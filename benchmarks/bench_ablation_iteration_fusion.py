@@ -1,0 +1,42 @@
+"""Ablation: iteration fusion (temporal blocking) for HotSpot.
+
+The paper notes HotSpot's kernel invocations across iterations "can be
+fused together"; this extension quantifies the projected benefit of the
+trapezoid scheme on the paper's GPU and finds the sweet spot where halo
+redundancy and shared-memory pressure eat the traffic savings.
+"""
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.model import GpuPerformanceModel
+from repro.transform.fusion import best_fusion, fused_characteristics
+from repro.workloads import HotSpot
+
+
+def _fusion_curve():
+    workload = HotSpot()
+    program = workload.skeleton(workload.dataset("1024 x 1024"))
+    kernel = program.kernels[0]
+    model = GpuPerformanceModel(quadro_fx_5600())
+    per_iteration = {}
+    for t in (1, 2, 4, 8, 16):
+        try:
+            chars = fused_characteristics(kernel, program.array_map, t)
+            per_iteration[t] = model.kernel_time(chars) / t
+        except ValueError:
+            per_iteration[t] = None  # illegal (shared memory overflow)
+    best = best_fusion(kernel, program.array_map, model, max_fusion=16)
+    return per_iteration, best
+
+
+def test_ablation_iteration_fusion(benchmark):
+    curve, best = benchmark(_fusion_curve)
+    assert curve[1] is not None
+    # Fusion pays off relative to one step per launch...
+    assert best.fusion > 1
+    assert best.seconds_per_iteration < curve[1]
+    # ...but not unboundedly: factor 16 overflows shared memory, so the
+    # optimum is interior, and it beats every sampled factor.
+    assert curve[16] is None
+    assert best.fusion < 16
+    sampled = [v for v in curve.values() if v is not None]
+    assert best.seconds_per_iteration <= min(sampled) + 1e-12

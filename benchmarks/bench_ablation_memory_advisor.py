@@ -1,0 +1,37 @@
+"""Ablation: the pinned/pageable advisor (the paper's future work, closed).
+
+Prices every workload's transfer plan under both memory kinds including
+the one-time allocation premium of pinning, across reuse counts.
+"""
+
+from repro.core.advisor import MemoryKindAdvisor
+from repro.harness.context import ExperimentContext
+from repro.pcie.channel import MemoryKind
+from repro.workloads.registry import paper_workloads
+
+
+def _advise_all(ctx: ExperimentContext):
+    advisor = MemoryKindAdvisor(ctx.testbed.bus)
+    out = {}
+    for workload in paper_workloads():
+        for dataset in workload.datasets():
+            plan = ctx.projection(workload, dataset).plan
+            out[f"{workload.name}/{dataset.label}"] = (
+                advisor.advise(plan, reuses=1),
+                advisor.advise(plan, reuses=1000),
+            )
+    return out
+
+
+def test_ablation_memory_advisor(benchmark, ctx):
+    advice = benchmark(_advise_all, ctx)
+    # With enough reuse, pinning always wins (bandwidth advantage).
+    for label, (once, many) in advice.items():
+        assert many.recommended is MemoryKind.PINNED, label
+    # One-shot megabyte-scale plans also prefer pinned...
+    assert advice["SRAD/4096 x 4096"][0].recommended is MemoryKind.PINNED
+    # ...but the kilobyte-scale HotSpot 64x64 cannot amortize the pinning
+    # premium in a single use — the nuance the paper left to future work.
+    assert (
+        advice["HotSpot/64 x 64"][0].recommended is MemoryKind.PAGEABLE
+    )

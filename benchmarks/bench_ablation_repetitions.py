@@ -1,0 +1,43 @@
+"""Ablation: how many calibration repetitions does the bus model need?
+
+The paper averages ten runs per calibration point.  This ablation sweeps
+the repetition count and measures the resulting model's error against a
+noise-free reference: one run is hostage to jitter on the 1-byte
+measurement; a handful suffice; beyond ten the returns vanish.
+"""
+
+from repro.datausage import Direction
+from repro.pcie.calibration import CalibrationConfig, Calibrator
+from repro.pcie.channel import MemoryKind
+from repro.sim.pcie_sim import SimulatedPcieBus, argonne_pcie_params
+from repro.util.rng import RngStream
+from repro.util.stats import error_magnitude
+
+
+def _alpha_error_by_repetitions(trials: int = 30):
+    """Mean |alpha error| vs repetitions, over independent calibrations."""
+    truth = argonne_pcie_params()[(Direction.H2D, MemoryKind.PINNED)]
+    results = {}
+    for repetitions in (1, 3, 10, 30):
+        errors = []
+        for trial in range(trials):
+            bus = SimulatedPcieBus(
+                rng=RngStream(1000 + trial, "reps", str(repetitions))
+            )
+            model = Calibrator(
+                bus, CalibrationConfig(repetitions=repetitions)
+            ).calibrate_direction(Direction.H2D)
+            errors.append(error_magnitude(model.alpha, truth.alpha))
+        results[repetitions] = sum(errors) / len(errors)
+    return results
+
+
+def test_ablation_calibration_repetitions(benchmark):
+    results = benchmark.pedantic(
+        _alpha_error_by_repetitions, rounds=1, iterations=1
+    )
+    # Averaging monotonically helps (allowing small sampling wiggle)...
+    assert results[10] < results[1]
+    assert results[30] <= results[3] * 1.2
+    # ...and the paper's choice of ten already sits near the floor.
+    assert results[10] < 0.03

@@ -1,0 +1,34 @@
+"""Ablation: full transformation search vs a naive fixed mapping.
+
+GROPHECY's value (before any transfer modeling) is searching the mapping
+space; this quantifies best-of-space against "just launch 256-thread
+blocks" across the paper's kernels.
+"""
+
+from repro.core.projector import Grophecy
+from repro.gpu.arch import quadro_fx_5600
+
+from repro.transform.space import TransformationSpace
+from repro.workloads.registry import paper_workloads
+
+
+def _search_gains() -> dict[str, float]:
+    full = Grophecy(quadro_fx_5600())
+    naive = Grophecy(quadro_fx_5600(), TransformationSpace.naive())
+    gains = {}
+    for workload in paper_workloads():
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        program = workload.skeleton(dataset)
+        t_full = full.project_kernels(program).seconds
+        t_naive = naive.project_kernels(program).seconds
+        gains[workload.name] = t_naive / t_full
+    return gains
+
+
+def test_ablation_transformation_search(benchmark):
+    gains = benchmark(_search_gains)
+    for name, gain in gains.items():
+        assert gain >= 1.0, name  # search can never lose
+    # At least one workload must benefit substantially from the search
+    # (the stencils, via shared-memory staging).
+    assert max(gains.values()) > 1.2

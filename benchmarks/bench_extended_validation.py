@@ -1,0 +1,34 @@
+"""Extended validation: the framework on applications beyond the paper.
+
+The paper's future work proposes validating "on a wider range of
+applications"; this bench runs the full predict-vs-measure pipeline on
+PathFinder and KMeans against the *uncalibrated* simulator (no Table-I
+replay), so the errors here are the framework's earned accuracy on
+unseen workloads.
+"""
+
+from repro.harness.context import ExperimentContext
+from repro.workloads.registry import extended_workloads
+
+
+def _validate(ctx: ExperimentContext):
+    out = {}
+    for workload in extended_workloads():
+        for dataset in workload.datasets():
+            report = ctx.report(workload, dataset)
+            out[f"{workload.name}/{dataset.label}"] = {
+                "kernel_error": report.kernel_error,
+                "transfer_error": report.transfer_error,
+                "both_error": report.speedup_error("both"),
+                "kernel_only_error": report.speedup_error("kernel"),
+            }
+    return out
+
+
+def test_extended_validation(benchmark, ctx):
+    results = benchmark(_validate, ctx)
+    for label, errors in results.items():
+        # The headline ordering must generalize beyond the paper's apps.
+        assert errors["both_error"] < errors["kernel_only_error"], label
+        assert errors["transfer_error"] < 0.10, label
+        assert errors["both_error"] < 0.60, label

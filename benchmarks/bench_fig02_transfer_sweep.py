@@ -1,0 +1,18 @@
+"""Fig. 2: pinned/pageable transfer-time sweep with the model overlay."""
+
+from repro.datausage import Direction
+from repro.harness.transfer_sweep import run_fig2_transfer_times
+
+
+def test_fig2_h2d_sweep(benchmark, ctx):
+    result = benchmark(run_fig2_transfer_times, ctx, Direction.H2D)
+    assert len(result.sizes) == 30
+    # Pinned beats pageable at the 512MB end (Fig. 2's visual).
+    assert result.pinned[-1] < result.pageable[-1]
+
+
+def test_fig2_d2h_sweep(benchmark, ctx):
+    result = benchmark(run_fig2_transfer_times, ctx, Direction.D2H)
+    assert result.pinned[-1] < result.pageable[-1]
+    # The model overlay tracks the pinned measurements at the large end.
+    assert abs(result.predicted_pinned[-1] / result.pinned[-1] - 1) < 0.05

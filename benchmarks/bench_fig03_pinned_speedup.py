@@ -1,0 +1,14 @@
+"""Fig. 3: speedup of pinned over pageable transfers."""
+
+from repro.harness import paperref
+from repro.harness.transfer_sweep import run_fig3_pinned_speedup
+
+
+def test_fig3_pinned_speedup(benchmark, ctx):
+    result = benchmark(run_fig3_pinned_speedup, ctx)
+    crossover = result.crossover_size_h2d()
+    assert crossover is not None
+    # Paper: pinned wins H2D for everything above ~2KB.
+    assert crossover <= 2 * paperref.FIG3_H2D_CROSSOVER_BYTES
+    # Pinned is roughly 2x at the large end.
+    assert 1.4 < result.h2d_speedup[-1] < 2.6

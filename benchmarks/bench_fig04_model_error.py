@@ -1,0 +1,13 @@
+"""Fig. 4: error magnitude of the linear model per transfer size."""
+
+from repro.datausage import Direction
+from repro.harness import paperref
+from repro.harness.transfer_sweep import run_fig4_model_error
+
+
+def test_fig4_model_error(benchmark, ctx):
+    result = benchmark(run_fig4_model_error, ctx)
+    # Paper: mean 2.0% / 0.8%, max 6.4% / 3.3%, ~0 above 1MB.
+    assert result.mean_h2d < 2 * paperref.FIG4_MEAN_ERROR_H2D
+    assert result.mean_d2h < 2 * paperref.FIG4_MEAN_ERROR_D2H
+    assert result.mean_above(2**20, Direction.H2D) < 0.01

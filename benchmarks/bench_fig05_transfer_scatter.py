@@ -1,0 +1,12 @@
+"""Fig. 5: predicted vs measured time for every individual transfer."""
+
+from repro.harness import paperref
+from repro.harness.apps import run_fig5_transfer_scatter
+
+
+def test_fig5_transfer_scatter(benchmark, ctx):
+    result = benchmark(run_fig5_transfer_scatter, ctx)
+    # Paper: 7.6% average per-transfer error, with a handful of outliers
+    # (the bimodal CFD transfer and jittery tiny HotSpot transfers).
+    assert result.mean_error < 2 * paperref.FIG5_MEAN_TRANSFER_ERROR
+    assert {p.application for p in result.outliers(0.3)} == {"CFD"}

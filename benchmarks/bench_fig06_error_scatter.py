@@ -1,0 +1,11 @@
+"""Fig. 6: per-dataset transfer-prediction error vs kernel-prediction error."""
+
+from repro.harness.apps import run_fig6_error_scatter
+
+
+def test_fig6_error_scatter(benchmark, ctx):
+    result = benchmark(run_fig6_error_scatter, ctx)
+    assert len(result.points) == 10
+    # Transfer predictions are collectively tighter than kernel ones
+    # (the paper's reason to trust the new component).
+    assert result.mean_transfer_error < result.mean_kernel_error

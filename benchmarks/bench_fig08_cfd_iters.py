@@ -1,0 +1,16 @@
+"""Fig. 8: CFD speedup vs iteration count (233K dataset)."""
+
+from repro.harness.speedups import run_speedup_vs_iterations
+from repro.workloads import get_workload
+
+
+def test_fig8_cfd_speedup_vs_iterations(benchmark, ctx):
+    result = benchmark(
+        run_speedup_vs_iterations, ctx, get_workload("CFD")
+    )
+    assert result.data_size == "233K"
+    # Paper: transfer-aware stays 2x more accurate below ~18 iterations.
+    assert result.accuracy_crossover is not None
+    assert 8 <= result.accuracy_crossover <= 60
+    # Paper: 22.6% error in the infinite-iteration limit.
+    assert result.limit_error < 0.45

@@ -1,0 +1,18 @@
+"""Fig. 9: HotSpot speedup across data sizes."""
+
+from repro.harness.speedups import run_speedup_vs_size
+from repro.workloads import get_workload
+
+
+def test_fig9_hotspot_speedup_vs_size(benchmark, ctx):
+    result = benchmark(run_speedup_vs_size, ctx, get_workload("HotSpot"))
+    assert len(result.labels) == 3
+    # Paper: without transfers the prediction is 2-4x reality; with
+    # transfers it lands in the right neighbourhood.
+    for meas, with_t, without_t in zip(
+        result.measured,
+        result.predicted_with_transfer,
+        result.predicted_without_transfer,
+    ):
+        assert without_t > 2 * meas
+        assert with_t < without_t

@@ -1,0 +1,22 @@
+"""Fig. 10: HotSpot speedup vs iteration count (1024x1024)."""
+
+from repro.harness.speedups import run_speedup_vs_iterations
+from repro.workloads import get_workload
+
+
+def test_fig10_hotspot_speedup_vs_iterations(benchmark, ctx):
+    result = benchmark(
+        run_speedup_vs_iterations, ctx, get_workload("HotSpot")
+    )
+    assert result.data_size == "1024 x 1024"
+    assert result.accuracy_crossover is not None
+    # Predictions with and without transfer converge as iterations grow.
+    gap_first = abs(
+        result.predicted_with_transfer[0]
+        - result.predicted_without_transfer[0]
+    )
+    gap_last = abs(
+        result.predicted_with_transfer[-1]
+        - result.predicted_without_transfer[-1]
+    )
+    assert gap_last < 0.25 * gap_first

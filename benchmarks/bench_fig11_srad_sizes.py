@@ -1,0 +1,14 @@
+"""Fig. 11: SRAD speedup across data sizes."""
+
+from repro.harness.speedups import run_speedup_vs_size
+from repro.workloads import get_workload
+
+
+def test_fig11_srad_speedup_vs_size(benchmark, ctx):
+    result = benchmark(run_speedup_vs_size, ctx, get_workload("SRAD"))
+    assert len(result.labels) == 3
+    for meas, with_t in zip(
+        result.measured, result.predicted_with_transfer
+    ):
+        # Paper: transfer-aware SRAD errors are 25% / 9% / 1%.
+        assert abs(with_t / meas - 1) < 0.30

@@ -1,0 +1,22 @@
+"""Table I: measured kernel/transfer times and transfer sizes."""
+
+import pytest
+
+from repro.harness import paperref
+from repro.harness.apps import run_table1_measured
+from repro.harness.context import ExperimentContext
+
+
+def _run_table1():
+    # Fresh context: Table I *is* the measurement pass, so time all of it
+    # (calibration + 10-run means for every dataset).
+    return run_table1_measured(ExperimentContext(seed=2013))
+
+
+def test_table1_measured(benchmark):
+    result = benchmark(_run_table1)
+    assert len(result.rows) == 10
+    for (app, size), ref in paperref.TABLE1.items():
+        row = result.row(app, size)
+        assert row.kernel_ms == pytest.approx(ref.kernel_ms, rel=0.10)
+        assert row.input_mb == pytest.approx(ref.input_mb, rel=0.10)

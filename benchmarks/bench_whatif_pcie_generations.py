@@ -1,0 +1,43 @@
+"""What-if: the paper's conclusions on PCIe generations 2 and 3.
+
+Section II-B quotes ~3/6/12 GB/s effective bandwidth for PCIe 1/2/3.
+This experiment re-prices every workload's transfer plan on the newer
+buses and asks which of the paper's verdicts change — most interestingly
+whether Stassuij's "GPU loses" flips back to a win.
+"""
+
+from repro.harness.context import ExperimentContext
+from repro.pcie.presets import bus_for_generation
+from repro.workloads.registry import paper_workloads
+
+
+def _speedups_by_generation(ctx: ExperimentContext):
+    out = {}
+    for workload in paper_workloads():
+        for dataset in workload.datasets():
+            projection = ctx.projection(workload, dataset)
+            cpu = ctx.measured(workload, dataset).cpu_seconds
+            row = {}
+            for gen in (1, 2, 3):
+                bus = bus_for_generation(gen)
+                transfer = bus.predict_plan(projection.plan)
+                total = projection.kernel_seconds + transfer
+                row[gen] = cpu / total
+            out[f"{workload.name}/{dataset.label}"] = row
+    return out
+
+
+def test_whatif_pcie_generations(benchmark, ctx):
+    speedups = benchmark(_speedups_by_generation, ctx)
+    for label, row in speedups.items():
+        # Faster buses monotonically improve the end-to-end speedup.
+        assert row[1] < row[2] < row[3], label
+    # Stassuij: a PCIe v1 loser; even gen-3 bandwidth only brings it
+    # near break-even — the kernel itself is barely faster than the CPU.
+    stassuij = speedups["Stassuij/132 x 2048"]
+    assert stassuij[1] < 0.5
+    assert stassuij[3] < 1.3
+    # The stencils turn decisively worthwhile at gen 3 single-iteration.
+    assert speedups["SRAD/4096 x 4096"][3] > 1.5 * speedups[
+        "SRAD/4096 x 4096"
+    ][1]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper (see
+DESIGN.md §4 for the experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The ``ctx`` fixture is session-scoped and pre-warmed so benchmarks measure
+the experiment computation itself, not one-time calibration; benchmarks
+that must include calibration construct their own context.
+"""
+
+import pytest
+
+from repro.harness.context import ExperimentContext
+from repro.workloads.registry import paper_workloads
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    context = ExperimentContext(seed=2013)
+    # Pre-warm every projection and measurement cache.
+    for workload in paper_workloads():
+        for dataset in workload.datasets():
+            context.report(workload, dataset)
+    return context
+
+
+@pytest.fixture()
+def fresh_ctx() -> ExperimentContext:
+    """An uncached context, for benchmarks that time the full pipeline."""
+    return ExperimentContext(seed=2013)

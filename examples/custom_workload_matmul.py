@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Bring your own workload: matrix multiplication (the paper's Fig. 1).
+
+The paper's Figure 1 walks GROPHECY through a matrix-multiply code
+skeleton; this example does the same with GROPHECY++, showing every step
+a user takes to project *their own* CPU code:
+
+1. declare the arrays and write the kernel skeleton (two parallel loops
+   over the output, a serial reduction loop, one multiply-add statement);
+2. look at what the transformation explorer discovers (shared-memory
+   tiling of the reused operands, block-size choice);
+3. read the projected kernel/transfer split and the speedup verdict as
+   the matrix size grows — matmul's O(n^3) compute over O(n^2) data means
+   transfers stop mattering quickly, the opposite of vector add.
+
+Run:  python examples/custom_workload_matmul.py
+"""
+
+from repro.core import GrophecyPlusPlus
+from repro.cpu.model import CpuWorkProfile
+from repro.gpu import quadro_fx_5600
+from repro.pcie import calibrate_bus
+from repro.sim import argonne_testbed
+from repro.skeleton import KernelBuilder, ProgramBuilder
+from repro.util.tables import Table
+from repro.util.units import seconds_to_human
+
+
+def matmul_skeleton(n: int):
+    """C = A @ B over n x n float32 matrices."""
+    pb = ProgramBuilder(f"matmul-{n}")
+    pb.array("A", (n, n)).array("B", (n, n)).array("C", (n, n))
+    kb = KernelBuilder("matmul")
+    kb.parallel_loop("i", n).parallel_loop("j", n)  # one thread per C[i,j]
+    kb.loop("k", n)  # serial reduction
+    kb.load("A", "i", "k").load("B", "k", "j")
+    kb.statement(flops=2, label="acc += A[i,k] * B[k,j]")
+    kb.store("C", "i", "j")
+    kb.statement(flops=0, label="C[i,j] = acc", amortize=("i", "j"))
+    return pb.kernel(kb).build()
+
+
+def main() -> None:
+    testbed = argonne_testbed()
+    bus = calibrate_bus(testbed.bus)
+    gpp = GrophecyPlusPlus(quadro_fx_5600(), bus)
+
+    table = Table(
+        ["n", "best mapping", "kernel", "transfer", "transfer share",
+         "CPU (roofline)", "speedup", "kernel-only claim"],
+        title="Matrix multiply: projection vs matrix size",
+    )
+    for n in (256, 512, 1024, 2048):
+        program = matmul_skeleton(n)
+        projection = gpp.project(program)
+        best = projection.kernels.kernels[0].best
+
+        # CPU baseline: a reasonable blocked OpenMP matmul sustains a
+        # good fraction of the node's 32 GFLOPS peak.
+        cpu_profile = CpuWorkProfile(
+            f"matmul-{n}",
+            bytes_moved=3 * n * n * 4,
+            flops=2 * n**3,
+            efficiency=0.55,
+        )
+        cpu_time = testbed.measure_cpu(cpu_profile).mean
+
+        table.add_row([
+            n,
+            best.config.label(),
+            seconds_to_human(projection.kernel_seconds),
+            seconds_to_human(projection.transfer_seconds),
+            f"{projection.transfer_fraction:.0%}",
+            seconds_to_human(cpu_time),
+            f"{projection.speedup(cpu_time):.2f}x",
+            f"{projection.speedup(cpu_time, include_transfer=False):.2f}x",
+        ])
+    print(table.render())
+    print(
+        "\nCompute-intensity effect: at n=256 the PCIe crossings eat a "
+        "large share of the total, but matmul's O(n^3)/O(n^2) ratio means "
+        "the transfer share — and the gap between the honest and the "
+        "kernel-only speedup — collapses as n grows.  Contrast with "
+        "quickstart.py's vector add, where the gap never closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

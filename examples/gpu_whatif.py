@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""What-if analysis: would a faster GPU fix the transfer problem?
+
+GROPHECY's GPU model "can be configured to reflect different GPU
+architectures" (paper Section II-C).  This example re-projects every
+workload on a GT200-class GeForce GTX 280 (~2x the FX 5600's bandwidth,
+relaxed coalescing rules) while keeping the *same PCIe v1 bus* — and
+shows the paper's deeper point: a faster GPU widens the gap between the
+kernel-only fantasy and the end-to-end reality, because the bus doesn't
+get any faster.
+
+Run:  python examples/gpu_whatif.py
+"""
+
+from repro.core import GrophecyPlusPlus
+from repro.gpu import gtx_280, quadro_fx_5600
+from repro.harness.context import ExperimentContext
+from repro.util.tables import Table
+from repro.workloads import paper_workloads
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    old_gpu = GrophecyPlusPlus(quadro_fx_5600(), ctx.bus_model)
+    new_gpu = GrophecyPlusPlus(gtx_280(), ctx.bus_model)
+
+    table = Table(
+        ["Workload", "Dataset", "kernel FX5600", "kernel GTX280",
+         "kernel gain", "end-to-end FX5600", "end-to-end GTX280",
+         "end-to-end gain"],
+        title="Upgrading the GPU but not the bus (1 iteration)",
+    )
+    for workload in paper_workloads():
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        program = workload.skeleton(dataset)
+        hints = workload.hints(dataset)
+        old = old_gpu.project(program, hints)
+        new = new_gpu.project(program, hints)
+        kernel_gain = old.kernel_seconds / new.kernel_seconds
+        total_gain = old.total_seconds(1) / new.total_seconds(1)
+        table.add_row([
+            workload.name,
+            dataset.label,
+            f"{old.kernel_seconds * 1e3:.2f}ms",
+            f"{new.kernel_seconds * 1e3:.2f}ms",
+            f"{kernel_gain:.2f}x",
+            f"{old.total_seconds(1) * 1e3:.2f}ms",
+            f"{new.total_seconds(1) * 1e3:.2f}ms",
+            f"{total_gain:.2f}x",
+        ])
+    print(table.render())
+    print(
+        "\nThe kernel-level gains (~2x and more where relaxed coalescing "
+        "rescues misaligned stencil taps) shrink to modest end-to-end "
+        "gains: the PCIe bus, unchanged, dominates single-iteration "
+        "runs.  Amdahl on a bus."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Iteration break-even analysis for iterative stencil applications.
+
+For CFD / HotSpot / SRAD the transfer set is iteration-independent: input
+moves once before the first iteration, output once after the last
+(paper Section IV-B).  So the GPU's advantage grows with iteration count —
+this example answers two practical questions per workload:
+
+1. after how many iterations does the GPU break even with the CPU?
+2. up to how many iterations does modeling transfers matter (the paper's
+   "twice as accurate" crossover of Figs. 8/10/12)?
+
+Run:  python examples/iteration_breakeven.py
+"""
+
+from repro.harness.context import ExperimentContext
+from repro.harness.speedups import run_speedup_vs_iterations
+from repro.util.tables import Table
+from repro.workloads import get_workload
+
+
+def break_even_iterations(report, max_iterations: int = 100_000):
+    """First iteration count where the projected GPU speedup exceeds 1."""
+    proj, meas = report.projection, report.measured
+    if meas.cpu_seconds <= proj.kernel_seconds:
+        return None  # the GPU never wins, even with free transfers
+    for n in range(1, max_iterations + 1):
+        if proj.speedup(meas.cpu_seconds, n) >= 1.0:
+            return n
+    return None
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    table = Table(
+        ["Workload", "Dataset", "speedup @1 iter", "break-even iters",
+         "transfer matters until", "limit speedup"],
+        title="Iteration break-even analysis (virtual Argonne testbed)",
+    )
+    for name in ("CFD", "HotSpot", "SRAD"):
+        workload = get_workload(name)
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        report = ctx.report(workload, dataset)
+        sweep = run_speedup_vs_iterations(ctx, workload, dataset)
+        table.add_row([
+            name,
+            dataset.label,
+            f"{report.predicted_speedup('both', 1):.2f}x",
+            break_even_iterations(report) or "never",
+            f"{sweep.accuracy_crossover} iters",
+            f"{report.projection.speedup_limit(report.measured.cpu_seconds):.2f}x",
+        ])
+    print(table.render())
+    print(
+        "\n'transfer matters until' = largest iteration count where the "
+        "transfer-aware prediction stays twice as accurate as kernel-only "
+        "(paper Figs. 8/10/12: 18 / 70 / 228)."
+    )
+
+    print("\nFull sweep for SRAD (the paper's Fig. 12):\n")
+    print(run_speedup_vs_iterations(ctx, get_workload("SRAD")).render())
+
+
+if __name__ == "__main__":
+    main()

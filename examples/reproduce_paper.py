@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Reproduce every table and figure of the paper's evaluation.
+
+Runs the full harness — the 1B..512MB bus sweeps (Figs. 2-4), the
+application measurements (Table I), the per-transfer scatter (Fig. 5), the
+component-error scatter (Fig. 6), the speedup-vs-size and
+speedup-vs-iterations families (Figs. 7-12), and the headline error table
+(Table II) — and prints each artifact as text, with the paper's reference
+numbers alongside where the paper states them.
+
+Run:  python examples/reproduce_paper.py            (full output)
+      python examples/reproduce_paper.py --summary  (headlines only)
+"""
+
+import sys
+
+from repro.datausage import Direction
+from repro.harness import paperref
+from repro.harness.apps import (
+    run_fig5_transfer_scatter,
+    run_fig6_error_scatter,
+    run_table1_measured,
+)
+from repro.harness.context import ExperimentContext
+from repro.harness.speedups import (
+    run_speedup_vs_iterations,
+    run_speedup_vs_size,
+    run_table2_speedup_error,
+)
+from repro.harness.transfer_sweep import (
+    run_fig2_transfer_times,
+    run_fig3_pinned_speedup,
+    run_fig4_model_error,
+)
+from repro.workloads import get_workload
+
+
+def heading(text: str) -> None:
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def main() -> None:
+    summary_only = "--summary" in sys.argv
+    ctx = ExperimentContext(seed=2013)
+
+    heading("Bus model validation (Figs. 2-4)")
+    if not summary_only:
+        for direction in Direction:
+            print(run_fig2_transfer_times(ctx, direction).render())
+            print()
+        print(run_fig3_pinned_speedup(ctx).render())
+        print()
+    fig4 = run_fig4_model_error(ctx)
+    print(fig4.render() if not summary_only else "")
+    print(
+        f"Fig. 4 summary: mean error {fig4.mean_h2d:.1%} (to GPU) / "
+        f"{fig4.mean_d2h:.1%} (from GPU) — paper: "
+        f"{paperref.FIG4_MEAN_ERROR_H2D:.1%} / "
+        f"{paperref.FIG4_MEAN_ERROR_D2H:.1%}"
+    )
+
+    heading("Table I: measured kernel & transfer times")
+    print(run_table1_measured(ctx).render())
+
+    heading("Fig. 5: per-transfer predicted vs measured")
+    fig5 = run_fig5_transfer_scatter(ctx)
+    if not summary_only:
+        print(fig5.render())
+    print(
+        f"average per-transfer error: {fig5.mean_error:.1%} "
+        f"(paper: {paperref.FIG5_MEAN_TRANSFER_ERROR:.1%}); outliers: "
+        + ", ".join(
+            f"{p.application}/{p.array}" for p in fig5.outliers(0.3)
+        )
+    )
+
+    heading("Fig. 6: transfer error vs kernel error per dataset")
+    print(run_fig6_error_scatter(ctx).render())
+
+    for name, size_fig, iter_fig in (
+        ("CFD", "Fig. 7", "Fig. 8"),
+        ("HotSpot", "Fig. 9", "Fig. 10"),
+        ("SRAD", "Fig. 11", "Fig. 12"),
+    ):
+        workload = get_workload(name)
+        heading(f"{size_fig} / {iter_fig}: {name}")
+        print(run_speedup_vs_size(ctx, workload).render())
+        print()
+        sweep = run_speedup_vs_iterations(ctx, workload)
+        print(sweep.render())
+        print(
+            f"(paper: crossover ~{paperref.ACCURACY_CROSSOVER[name]} "
+            f"iterations, limit error "
+            f"{paperref.LIMIT_ERROR[name]:.1%})"
+        )
+
+    heading("Stassuij (Section V-B.4): the decision flip")
+    workload = get_workload("Stassuij")
+    report = ctx.report(workload, workload.datasets()[0])
+    print(
+        f"kernel-only predicted speedup: "
+        f"{report.predicted_speedup('kernel'):.2f}x "
+        f"(paper {paperref.STASSUIJ_KERNEL_ONLY_SPEEDUP:.2f}x)\n"
+        f"measured speedup:              {report.measured.speedup():.2f}x "
+        f"(paper {paperref.STASSUIJ_MEASURED_SPEEDUP:.2f}x)\n"
+        f"transfer-aware prediction:     "
+        f"{report.predicted_speedup('both'):.2f}x "
+        f"(paper {paperref.STASSUIJ_BOTH_SPEEDUP:.2f}x)"
+    )
+
+    heading("Table II: speedup-prediction error")
+    table2 = run_table2_speedup_error(ctx)
+    print(table2.render())
+    avg = table2.application_average
+    ref = paperref.TABLE2_AVERAGE_APPLICATIONS
+    print(
+        f"\nheadline (application-weighted): "
+        f"{avg.kernel_only_error:.0%} / {avg.transfer_only_error:.0%} / "
+        f"{avg.both_error:.0%}   —   paper: "
+        f"{ref.kernel_only:.0%} / {ref.transfer_only:.0%} / {ref.both:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Visualize where a ported run spends its time — and what streams buy.
+
+Renders ASCII Gantt charts of two schedules for SRAD (one iteration):
+
+1. the synchronous schedule the paper models (copy in, compute, copy
+   out, strictly serialized);
+2. a chunked double-buffered schedule with one copy engine, realizing
+   the stream-overlap bound of ``repro.core.overlap`` event by event.
+
+The copy lane's busy fraction makes the paper's thesis visible at a
+glance: for single-iteration runs the bus, not the GPU, is the critical
+resource — streams shrink the problem, they don't remove it.
+
+Run:  python examples/stream_timeline.py
+"""
+
+from repro.core.overlap import estimate_overlap
+from repro.harness.context import ExperimentContext
+from repro.sim.timeline import overlapped_timeline, synchronous_timeline
+from repro.workloads import Srad
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    workload = Srad()
+    dataset = workload.dataset("2048 x 2048")
+    projection = ctx.projection(workload, dataset)
+
+    print("== Synchronous schedule (the paper's model) ==\n")
+    sync = synchronous_timeline(projection, iterations=1)
+    print(sync.render())
+
+    est = estimate_overlap(projection, ctx.bus_model)
+    print(f"\n== Chunked streams schedule ({est.chunks} chunks) ==\n")
+    over = overlapped_timeline(projection, chunks=est.chunks)
+    print(over.render())
+
+    saved = sync.makespan - over.makespan
+    print(
+        f"\nOverlap hides {saved * 1e3:.2f} ms "
+        f"({saved / sync.makespan:.0%} of the run) — but the copy lane "
+        f"still runs at {over.busy_fraction('copy'):.0%} utilization: "
+        "the PCIe bus remains the bottleneck resource, which is exactly "
+        "why the paper's transfer model matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""GROPHECY++: GPU performance projection with data-transfer modeling.
+
+A complete reproduction of Boyer, Meng & Kumaran, *Improving GPU
+Performance Prediction with Data Transfer Modeling* (IPDPS 2013): project
+a CPU code's end-to-end GPU speedup — kernel time **and** PCIe transfer
+time — from an abstract code skeleton, without writing GPU code.
+
+Quick orientation (full tour in ``docs/API.md``):
+
+- :mod:`repro.skeleton` — describe CPU code (builders or the text format);
+- :mod:`repro.core` — :class:`~repro.core.projector.GrophecyPlusPlus`
+  turns a skeleton + calibrated bus into a projection;
+- :mod:`repro.pcie` — the ``T(d) = α + β·d`` bus model and its 2-point
+  calibration;
+- :mod:`repro.workloads` — the paper's benchmarks with NumPy reference
+  implementations;
+- :mod:`repro.harness` — every table/figure of the paper's evaluation;
+- :mod:`repro.sim` — the virtual Argonne testbed standing in for the
+  2013 hardware.
+
+The most common entry points are importable from the top level:
+
+>>> from repro import GrophecyPlusPlus, calibrate_bus, argonne_testbed
+>>> from repro import ProgramBuilder, KernelBuilder
+"""
+
+from repro.core.projector import Grophecy, GrophecyPlusPlus
+from repro.core.prediction import Projection
+from repro.datausage.analyzer import analyze_transfers
+from repro.datausage.hints import AnalysisHints, SparseExtentHint
+from repro.gpu.arch import GPUArchitecture, gtx_280, quadro_fx_5600
+from repro.pcie.calibration import calibrate_bus
+from repro.pcie.channel import MemoryKind, TransferChannel
+from repro.pcie.model import BusModel, LinearTransferModel
+from repro.sim.machine import VirtualTestbed, argonne_testbed
+from repro.skeleton.builder import KernelBuilder, ProgramBuilder
+from repro.skeleton.parser import parse_skeleton, parse_skeleton_file
+from repro.workloads.registry import (
+    all_workloads,
+    get_workload,
+    paper_workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Grophecy",
+    "GrophecyPlusPlus",
+    "Projection",
+    "analyze_transfers",
+    "AnalysisHints",
+    "SparseExtentHint",
+    "GPUArchitecture",
+    "quadro_fx_5600",
+    "gtx_280",
+    "calibrate_bus",
+    "MemoryKind",
+    "TransferChannel",
+    "BusModel",
+    "LinearTransferModel",
+    "VirtualTestbed",
+    "argonne_testbed",
+    "KernelBuilder",
+    "ProgramBuilder",
+    "parse_skeleton",
+    "parse_skeleton_file",
+    "all_workloads",
+    "get_workload",
+    "paper_workloads",
+]

@@ -1,0 +1,48 @@
+"""Bounded Regular Section analysis (Havlak & Kennedy).
+
+A Bounded Regular Section describes the set of array elements touched by a
+statement across all enclosing loops as, per dimension, a strided interval
+``lower : upper : stride``.  GROPHECY uses INTERSECT and UNION on BRSs,
+combined with load/store direction, to derive inter-kernel dependencies;
+GROPHECY++ reuses the same machinery to decide which sections must cross
+the PCIe bus (Section III-B of the paper).
+
+This package implements:
+
+- :class:`~repro.brs.section.DimSection` / :class:`~repro.brs.section.Section`
+  — strided per-dimension intervals and their products;
+- exact INTERSECT via gcd/CRT arithmetic on arithmetic progressions;
+- UNION as a disjoint :class:`~repro.brs.set.SectionSet` (exact for
+  unit-stride boxes, conservatively over-approximated for partial overlaps
+  of strided sections — over-approximation only ever *adds* transferred
+  data, preserving correctness);
+- footprint extraction from kernel skeletons
+  (:func:`~repro.brs.footprint.kernel_footprint`).
+"""
+
+from repro.brs.section import DimSection, Section
+from repro.brs.ops import (
+    dim_intersect,
+    dim_contains,
+    intersect,
+    contains,
+    subtract,
+    hull,
+)
+from repro.brs.set import SectionSet
+from repro.brs.footprint import KernelFootprint, kernel_footprint, access_section
+
+__all__ = [
+    "DimSection",
+    "Section",
+    "dim_intersect",
+    "dim_contains",
+    "intersect",
+    "contains",
+    "subtract",
+    "hull",
+    "SectionSet",
+    "KernelFootprint",
+    "kernel_footprint",
+    "access_section",
+]

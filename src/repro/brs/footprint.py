@@ -1,0 +1,68 @@
+"""Footprint extraction: from kernel skeletons to per-array BRS sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.brs.section import DimSection, Section
+from repro.brs.set import SectionSet
+from repro.skeleton.access import AccessKind, ArrayAccess
+from repro.skeleton.arrays import ArrayDecl, ArrayKind
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.loops import Loop
+
+
+def access_section(
+    access: ArrayAccess, loops: Mapping[str, Loop], decl: ArrayDecl
+) -> Section:
+    """The BRS touched by one access over the kernel's iteration domain.
+
+    For a dense array each affine subscript spans a strided interval
+    (possibly over-approximated when several loop variables mix, which is
+    the standard BRS over-approximation).  For a sparse array the accessed
+    section is data-dependent, so the paper's conservative rule applies:
+    the whole array may be referenced.
+    """
+    if decl.kind is ArrayKind.SPARSE or access.indirect:
+        return Section.whole(decl.shape)
+    dims: list[DimSection] = []
+    for idx in access.indices:
+        lo, hi = idx.bounds(loops)
+        stride = idx.stride(loops)
+        dims.append(DimSection(lo, hi, max(stride, 1)))
+    return Section(tuple(dims))
+
+
+@dataclass
+class KernelFootprint:
+    """Per-array read and write section sets of one kernel."""
+
+    kernel: str
+    reads: dict[str, SectionSet] = field(default_factory=dict)
+    writes: dict[str, SectionSet] = field(default_factory=dict)
+
+    def read_arrays(self) -> frozenset[str]:
+        return frozenset(n for n, s in self.reads.items() if not s.is_empty)
+
+    def written_arrays(self) -> frozenset[str]:
+        return frozenset(n for n, s in self.writes.items() if not s.is_empty)
+
+
+def kernel_footprint(
+    kernel: KernelSkeleton, arrays: Mapping[str, ArrayDecl]
+) -> KernelFootprint:
+    """Compute the read/write footprints of a kernel.
+
+    Raises ``KeyError`` if the kernel references an undeclared array
+    (call :func:`repro.skeleton.validate.validate_kernel` first for a
+    friendlier error).
+    """
+    fp = KernelFootprint(kernel.name)
+    loops = kernel.loop_map
+    for access in kernel.accesses():
+        decl = arrays[access.array]
+        section = access_section(access, loops, decl)
+        target = fp.writes if access.kind is AccessKind.STORE else fp.reads
+        target.setdefault(access.array, SectionSet()).add(section)
+    return fp

@@ -1,0 +1,198 @@
+"""INTERSECT / UNION-support / SUBTRACT operators on sections.
+
+Intersection of strided intervals is exact, via gcd/CRT arithmetic on
+arithmetic progressions.  Subtraction is exact for unit-stride boxes and
+for equal-stride aligned sections (reduced to the dense case in progression
+index space); other partial overlaps of strided sections fall back to
+returning the minuend unchanged, a *conservative over-approximation*: the
+data-usage analyzer only ever uses subtraction to remove already-produced
+data from the transfer set, so keeping more means transferring more, never
+missing a required transfer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.brs.section import DimSection, Section
+
+
+def _crt_first(a: DimSection, b: DimSection) -> tuple[int, int] | None:
+    """First common point and combined stride of two progressions.
+
+    Returns ``(first, lcm_stride)`` ignoring the upper bounds, or ``None``
+    if the progressions share no point at all.
+    """
+    g = math.gcd(a.stride, b.stride)
+    diff = b.lower - a.lower
+    if diff % g != 0:
+        return None
+    lcm = a.stride // g * b.stride
+    # Solve x = a.lower (mod a.stride), x = b.lower (mod b.stride).
+    # pow() computes the modular inverse of (a.stride/g) mod (b.stride/g).
+    m = b.stride // g
+    if m == 1:
+        x0 = a.lower
+    else:
+        inv = pow(a.stride // g, -1, m)
+        k = (diff // g) * inv % m
+        x0 = a.lower + k * a.stride
+    return x0, lcm
+
+
+def dim_intersect(a: DimSection, b: DimSection) -> DimSection | None:
+    """Exact intersection of two strided intervals (or None if empty)."""
+    first_lcm = _crt_first(a, b)
+    if first_lcm is None:
+        return None
+    x0, lcm = first_lcm
+    start = max(a.lower, b.lower)
+    # Smallest progression point >= start.
+    if x0 < start:
+        x0 += -(-(start - x0) // lcm) * lcm
+    upper = min(a.upper, b.upper)
+    if x0 > upper:
+        return None
+    last = x0 + (upper - x0) // lcm * lcm
+    return DimSection(x0, last, lcm)
+
+
+def dim_contains(outer: DimSection, inner: DimSection) -> bool:
+    """Is every point of ``inner`` a point of ``outer``?"""
+    if inner.lower < outer.lower or inner.upper > outer.upper:
+        return False
+    if (inner.lower - outer.lower) % outer.stride != 0:
+        return False
+    if inner.is_point:
+        return True
+    return inner.stride % outer.stride == 0
+
+
+def intersect(a: Section, b: Section) -> Section | None:
+    """Exact intersection of two sections, or None if disjoint."""
+    _check_ranks(a, b)
+    dims: list[DimSection] = []
+    for da, db in zip(a.dims, b.dims):
+        inter = dim_intersect(da, db)
+        if inter is None:
+            return None
+        dims.append(inter)
+    return Section(tuple(dims))
+
+
+def contains(outer: Section, inner: Section) -> bool:
+    """Is ``inner`` entirely covered by ``outer``?"""
+    _check_ranks(outer, inner)
+    return all(dim_contains(o, i) for o, i in zip(outer.dims, inner.dims))
+
+
+def hull(a: Section, b: Section) -> Section:
+    """Smallest single BRS containing both sections (may over-approximate)."""
+    _check_ranks(a, b)
+    dims: list[DimSection] = []
+    for da, db in zip(a.dims, b.dims):
+        lower = min(da.lower, db.lower)
+        upper = max(da.upper, db.upper)
+        if da.is_point and db.is_point:
+            stride = abs(da.lower - db.lower) or 1
+        else:
+            strides = [s.stride for s in (da, db) if not s.is_point]
+            offs = abs(da.lower - db.lower)
+            stride = math.gcd(*strides, offs) if offs else math.gcd(*strides)
+        dims.append(DimSection(lower, upper, max(stride, 1)))
+    return Section(tuple(dims))
+
+
+def subtract(a: Section, b: Section) -> list[Section]:
+    """``a`` minus ``b`` as a list of disjoint sections.
+
+    Exact when the overlap can be decomposed (dense boxes, or equal-stride
+    aligned progressions); otherwise returns ``[a]`` (conservative: keeps
+    everything).  Returns ``[]`` when ``b`` covers ``a``.
+    """
+    _check_ranks(a, b)
+    if contains(b, a):
+        return []
+    overlap = intersect(a, b)
+    if overlap is None:
+        return [a]
+
+    if a.is_dense and b.is_dense:
+        return _subtract_dense(a, b)
+
+    if _strides_compatible(a, b):
+        base = a  # map both into a's progression index space
+        a_idx = _to_index_space(a, base)
+        b_clip = intersect(b, a)
+        assert b_clip is not None  # overlap was non-empty
+        b_idx = _to_index_space(b_clip, base)
+        parts = _subtract_dense(a_idx, b_idx)
+        return [_from_index_space(p, base) for p in parts]
+
+    # Partial overlap of incompatible strided sections: keep everything.
+    return [a]
+
+
+# Internal helpers ---------------------------------------------------------
+
+
+def _check_ranks(a: Section, b: Section) -> None:
+    if a.rank != b.rank:
+        raise ValueError(f"rank mismatch: {a.rank} vs {b.rank}")
+
+
+def _strides_compatible(a: Section, b: Section) -> bool:
+    """True when b's points all lie on a's per-dim progressions."""
+    for da, db in zip(a.dims, b.dims):
+        if db.stride % da.stride != 0 and not db.is_point:
+            return False
+        if (db.lower - da.lower) % da.stride != 0:
+            return False
+        if not db.is_point and db.stride != da.stride:
+            # Same lattice but coarser stride in b: the dense-space image of
+            # b would itself be strided; only handle equal strides exactly.
+            return False
+    return True
+
+
+def _to_index_space(section: Section, base: Section) -> Section:
+    dims = []
+    for d, bd in zip(section.dims, base.dims):
+        lo = (d.lower - bd.lower) // bd.stride
+        hi = (d.upper - bd.lower) // bd.stride
+        dims.append(DimSection.dense(lo, hi))
+    return Section(tuple(dims))
+
+
+def _from_index_space(section: Section, base: Section) -> Section:
+    dims = []
+    for d, bd in zip(section.dims, base.dims):
+        lo = bd.lower + d.lower * bd.stride
+        hi = bd.lower + d.upper * bd.stride
+        dims.append(DimSection(lo, hi, bd.stride if hi > lo else 1))
+    return Section(tuple(dims))
+
+
+def _subtract_dense(a: Section, b: Section) -> list[Section]:
+    """Standard box decomposition of ``a - b`` for unit-stride boxes."""
+    out: list[Section] = []
+    # Clip b to a first so per-dim splits are well-formed.
+    clipped = intersect(a, b)
+    if clipped is None:
+        return [a]
+    remaining = list(a.dims)
+    result_prefix: list[DimSection] = []
+    for dim in range(a.rank):
+        da, db = a.dims[dim], clipped.dims[dim]
+        below: DimSection | None = None
+        above: DimSection | None = None
+        if da.lower < db.lower:
+            below = DimSection.dense(da.lower, db.lower - 1)
+        if db.upper < da.upper:
+            above = DimSection.dense(db.upper + 1, da.upper)
+        suffix = [a.dims[j] for j in range(dim + 1, a.rank)]
+        for part in (below, above):
+            if part is not None:
+                out.append(Section(tuple([*result_prefix, part, *suffix])))
+        result_prefix.append(db)
+    return out

@@ -1,0 +1,124 @@
+"""Strided sections: the BRS data type."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class DimSection:
+    """An arithmetic progression ``{lower, lower+stride, ..., upper}``.
+
+    Invariants established at construction: ``stride >= 1``,
+    ``lower <= upper``, and ``upper`` lies exactly on the progression
+    (it is normalized down to the last reachable point).  A single point is
+    represented with ``lower == upper`` and ``stride == 1``.
+    """
+
+    lower: int
+    upper: int
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        lower, upper, stride = int(self.lower), int(self.upper), int(self.stride)
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if upper < lower:
+            raise ValueError(f"empty section [{lower}, {upper}]")
+        # Normalize upper onto the progression.
+        upper = lower + ((upper - lower) // stride) * stride
+        if upper == lower:
+            stride = 1
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "stride", stride)
+
+    @staticmethod
+    def point(value: int) -> "DimSection":
+        return DimSection(value, value, 1)
+
+    @staticmethod
+    def dense(lower: int, upper: int) -> "DimSection":
+        """Unit-stride interval ``[lower, upper]``."""
+        return DimSection(lower, upper, 1)
+
+    @property
+    def count(self) -> int:
+        """Number of points in the progression."""
+        return (self.upper - self.lower) // self.stride + 1
+
+    @property
+    def is_point(self) -> bool:
+        return self.lower == self.upper
+
+    @property
+    def is_dense(self) -> bool:
+        return self.stride == 1
+
+    def contains_point(self, value: int) -> bool:
+        return (
+            self.lower <= value <= self.upper
+            and (value - self.lower) % self.stride == 0
+        )
+
+    def points(self) -> Iterator[int]:
+        return iter(range(self.lower, self.upper + 1, self.stride))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_point:
+            return str(self.lower)
+        if self.is_dense:
+            return f"{self.lower}:{self.upper}"
+        return f"{self.lower}:{self.upper}:{self.stride}"
+
+
+@dataclass(frozen=True)
+class Section:
+    """A Bounded Regular Section: the product of per-dimension progressions."""
+
+    dims: tuple[DimSection, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dims", tuple(self.dims))
+        if not self.dims:
+            raise ValueError("a section needs at least one dimension")
+
+    @staticmethod
+    def box(*bounds: tuple[int, int]) -> "Section":
+        """Unit-stride box from (lower, upper) pairs."""
+        return Section(tuple(DimSection.dense(lo, hi) for lo, hi in bounds))
+
+    @staticmethod
+    def whole(shape: tuple[int, ...]) -> "Section":
+        """The full extent of an array with the given shape."""
+        return Section(tuple(DimSection.dense(0, extent - 1) for extent in shape))
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def volume(self) -> int:
+        """Number of elements in the section."""
+        return math.prod(d.count for d in self.dims)
+
+    @property
+    def is_dense(self) -> bool:
+        return all(d.is_dense for d in self.dims)
+
+    def contains_point(self, point: tuple[int, ...]) -> bool:
+        if len(point) != self.rank:
+            raise ValueError(
+                f"point has rank {len(point)}, section has rank {self.rank}"
+            )
+        return all(d.contains_point(p) for d, p in zip(self.dims, point))
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all points; intended for tests on small sections."""
+        return itertools.product(*(d.points() for d in self.dims))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "[" + ", ".join(str(d) for d in self.dims) + "]"

@@ -1,0 +1,123 @@
+"""Disjoint unions of sections (the UNION operator's result type)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.brs.ops import contains, intersect, subtract
+from repro.brs.section import Section
+
+
+class SectionSet:
+    """A union of sections, kept disjoint where subtraction is exact.
+
+    ``add`` subtracts the existing coverage from each incoming section
+    before storing it.  When the subtraction had to fall back to the
+    conservative path (partial overlap of incompatible strided sections),
+    members may overlap and :attr:`is_exact` turns False — ``volume`` is
+    then an upper bound, which for transfer-size estimation errs on the
+    safe (pessimistic) side, mirroring the paper's conservative treatment
+    of irregular accesses.
+    """
+
+    def __init__(self, sections: Iterable[Section] = ()) -> None:
+        self._sections: list[Section] = []
+        self._exact = True
+        for section in sections:
+            self.add(section)
+
+    # Mutation -------------------------------------------------------------
+    def add(self, section: Section) -> None:
+        """Union one section into the set."""
+        pending = [section]
+        for existing in self._sections:
+            next_pending: list[Section] = []
+            for piece in pending:
+                remainder = subtract(piece, existing)
+                if remainder == [piece] and intersect(piece, existing) is not None:
+                    if not contains(existing, piece):
+                        # Conservative path: piece kept whole despite overlap.
+                        self._exact = False
+                next_pending.extend(remainder)
+            pending = next_pending
+            if not pending:
+                return
+        self._sections.extend(pending)
+
+    def update(self, other: "SectionSet") -> None:
+        for section in other:
+            self.add(section)
+
+    def subtract_section(self, section: Section) -> "SectionSet":
+        """Return a new set with ``section`` removed from every member."""
+        out = SectionSet()
+        out._exact = self._exact
+        for member in self._sections:
+            remainder = subtract(member, section)
+            if remainder == [member] and intersect(member, section) is not None:
+                if not contains(section, member):
+                    out._exact = False
+            for piece in remainder:
+                out._sections.append(piece)
+        return out
+
+    def subtract_set(self, other: "SectionSet") -> "SectionSet":
+        result = self
+        for section in other:
+            result = result.subtract_section(section)
+        return result
+
+    # Queries ----------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self._sections
+
+    @property
+    def is_exact(self) -> bool:
+        """False if members may overlap (volume is then an upper bound)."""
+        return self._exact
+
+    @property
+    def volume(self) -> int:
+        """Total element count (exact, or an upper bound if not is_exact)."""
+        return sum(s.volume for s in self._sections)
+
+    def covers(self, section: Section) -> bool:
+        """True if the set provably covers ``section`` entirely.
+
+        Exact for single-member coverage and for dense decompositions;
+        may return False negatives for adversarial strided covers (safe
+        direction for transfer analysis).
+        """
+        pending = [section]
+        for existing in self._sections:
+            next_pending: list[Section] = []
+            for piece in pending:
+                next_pending.extend(subtract(piece, existing))
+            pending = next_pending
+            if not pending:
+                return True
+        return False
+
+    def contains_point(self, point: tuple[int, ...]) -> bool:
+        return any(s.contains_point(point) for s in self._sections)
+
+    def __iter__(self) -> Iterator[Section]:
+        return iter(self._sections)
+
+    def __len__(self) -> int:
+        return len(self._sections)
+
+    def __bool__(self) -> bool:
+        return bool(self._sections)
+
+    def copy(self) -> "SectionSet":
+        out = SectionSet()
+        out._sections = list(self._sections)
+        out._exact = self._exact
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = " U ".join(str(s) for s in self._sections) or "{}"
+        marker = "" if self._exact else " (conservative)"
+        return inner + marker

@@ -1,0 +1,339 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``list`` — workloads and their datasets;
+- ``calibrate`` — run the 2-point bus calibration and print the models;
+- ``project <workload>`` — full GROPHECY++ projection for one dataset;
+- ``project-file <path>`` — project a skeleton written in the text
+  format (see :mod:`repro.skeleton.parser`, examples in
+  ``examples/skeletons/``);
+- ``advise <workload>`` — pinned/pageable memory recommendation;
+- ``experiment <id>`` — regenerate one paper artifact (table1, table2,
+  fig2..fig12), optionally as markdown/CSV or an ASCII chart;
+- ``artifacts <outdir>`` — regenerate everything into a directory.
+
+Everything runs against the virtual Argonne testbed (seeded, so output is
+reproducible); ``--seed`` selects a different lab day.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.core.advisor import MemoryKindAdvisor
+from repro.datausage.transfers import Direction
+from repro.harness import figures
+from repro.harness.apps import (
+    run_fig5_transfer_scatter,
+    run_fig6_error_scatter,
+    run_table1_measured,
+)
+from repro.harness.context import ExperimentContext
+from repro.harness.export import export
+from repro.harness.speedups import (
+    run_speedup_vs_iterations,
+    run_speedup_vs_size,
+    run_table2_speedup_error,
+)
+from repro.harness.transfer_sweep import (
+    run_fig2_transfer_times,
+    run_fig3_pinned_speedup,
+    run_fig4_model_error,
+)
+from repro.util.units import MiB, seconds_to_human
+from repro.workloads.registry import all_workloads, get_workload
+
+EXPERIMENTS = (
+    "compare",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GROPHECY++: GPU performance projection with data-transfer "
+            "modeling (IPDPS'13 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2013,
+        help="virtual-testbed seed (default: 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and datasets")
+
+    sub.add_parser("calibrate", help="run the 2-point bus calibration")
+
+    p = sub.add_parser("project", help="project one workload/dataset")
+    p.add_argument("workload", help="CFD | HotSpot | SRAD | Stassuij | VectorAdd")
+    p.add_argument("--dataset", default=None, help="dataset label (default: largest)")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument(
+        "--allocation", action="store_true",
+        help="charge one-time memory-allocation overhead",
+    )
+
+    p = sub.add_parser(
+        "project-file",
+        help="project a skeleton written in the text format "
+        "(see repro.skeleton.parser)",
+    )
+    p.add_argument("path", help="skeleton file")
+    p.add_argument(
+        "--cpu-ms", type=float, default=None,
+        help="measured CPU time per iteration in ms (for a speedup verdict)",
+    )
+    p.add_argument("--iterations", type=int, default=1)
+
+    p = sub.add_parser("advise", help="pinned vs pageable recommendation")
+    p.add_argument("workload")
+    p.add_argument("--dataset", default=None)
+    p.add_argument("--reuses", type=int, default=1)
+
+    p = sub.add_parser(
+        "artifacts",
+        help="regenerate EVERY table/figure into a directory "
+        "(text + markdown + CSV + ASCII charts + summary)",
+    )
+    p.add_argument("outdir", help="output directory (created if missing)")
+    p.add_argument("--no-charts", action="store_true")
+
+    p = sub.add_parser("experiment", help="regenerate one paper artifact")
+    p.add_argument("id", choices=EXPERIMENTS)
+    p.add_argument(
+        "--format", choices=("text", "markdown", "csv"), default="text"
+    )
+    p.add_argument(
+        "--chart", action="store_true",
+        help="render as an ASCII chart instead of a table (figures only)",
+    )
+    return parser
+
+
+def _pick_dataset(workload, label):
+    if label is None:
+        return max(workload.datasets(), key=lambda d: d.size)
+    return workload.dataset(label)
+
+
+def _cmd_list(args, out: Callable[[str], None]) -> int:
+    for workload in all_workloads():
+        datasets = ", ".join(d.label for d in workload.datasets())
+        out(f"{workload.name}: {workload.description}")
+        out(f"  datasets: {datasets}")
+    return 0
+
+
+def _cmd_calibrate(args, out) -> int:
+    ctx = ExperimentContext(seed=args.seed)
+    out("2-point PCIe calibration (1B and 512MB, 10 runs each):")
+    out(f"  host->device: {ctx.bus_model.h2d}")
+    out(f"  device->host: {ctx.bus_model.d2h}")
+    return 0
+
+
+def _cmd_project(args, out) -> int:
+    ctx = ExperimentContext(seed=args.seed)
+    workload = get_workload(args.workload)
+    dataset = _pick_dataset(workload, args.dataset)
+    if args.allocation:
+        from repro.core.projector import GrophecyPlusPlus
+        from repro.gpu.arch import quadro_fx_5600
+        from repro.pcie.allocation import cuda23_era_allocation_model
+
+        projector = GrophecyPlusPlus(
+            quadro_fx_5600(),
+            ctx.bus_model,
+            allocation=cuda23_era_allocation_model(),
+        )
+        projection = projector.project(
+            workload.skeleton(dataset), workload.hints(dataset)
+        )
+    else:
+        projection = ctx.projection(workload, dataset)
+    measured = ctx.measured(workload, dataset)
+    n = args.iterations
+
+    out(f"{workload.name} / {dataset.label}  ({n} iteration(s))")
+    out(f"  kernels: "
+        + ", ".join(
+            f"{k.kernel}={k.best.config.label()}"
+            for k in projection.kernels.kernels
+        ))
+    out(f"  projected kernel time/iter: "
+        f"{seconds_to_human(projection.kernel_seconds)}")
+    out(f"  projected transfer time:    "
+        f"{seconds_to_human(projection.transfer_seconds)} "
+        f"({projection.plan.total_bytes / MiB:.1f} MB, "
+        f"{projection.plan.transfer_count} transfers)")
+    if projection.setup_seconds:
+        out(f"  projected allocation time:  "
+            f"{seconds_to_human(projection.setup_seconds)}")
+    out(f"  projected total:            "
+        f"{seconds_to_human(projection.total_seconds(n))}")
+    out(f"  measured CPU time/iter:     "
+        f"{seconds_to_human(measured.cpu_seconds)}")
+    speedup = projection.speedup(measured.cpu_seconds, n)
+    kernel_only = projection.speedup(
+        measured.cpu_seconds, n, include_transfer=False
+    )
+    out(f"  projected speedup:          {speedup:.2f}x "
+        f"(kernel-only would claim {kernel_only:.2f}x)")
+    verdict = "worth porting" if speedup > 1 else "NOT worth porting"
+    out(f"  verdict at {n} iteration(s): {verdict}")
+    return 0
+
+
+def _cmd_project_file(args, out) -> int:
+    from repro.skeleton.parser import parse_skeleton_file
+
+    ctx = ExperimentContext(seed=args.seed)
+    program = parse_skeleton_file(args.path)
+    projection = ctx.projector.project(program)
+    n = args.iterations
+    out(f"{program.name}  ({len(program.kernels)} kernel(s), "
+        f"{len(program.arrays)} array(s))")
+    for kp in projection.kernels.kernels:
+        out(f"  {kp.kernel}: best {kp.best.config.label()} -> "
+            f"{seconds_to_human(kp.seconds)} "
+            f"({kp.best.breakdown.regime})")
+    out(f"  transfer: {seconds_to_human(projection.transfer_seconds)} "
+        f"({projection.plan.total_bytes / MiB:.2f} MB, "
+        f"{projection.plan.transfer_count} transfers)")
+    out(f"  total for {n} iteration(s): "
+        f"{seconds_to_human(projection.total_seconds(n))}")
+    if args.cpu_ms is not None:
+        cpu = args.cpu_ms * 1e-3
+        speedup = projection.speedup(cpu, n)
+        out(f"  projected speedup vs your CPU time: {speedup:.2f}x "
+            f"({'worth porting' if speedup > 1 else 'NOT worth porting'})")
+    return 0
+
+
+def _cmd_advise(args, out) -> int:
+    ctx = ExperimentContext(seed=args.seed)
+    workload = get_workload(args.workload)
+    dataset = _pick_dataset(workload, args.dataset)
+    plan = ctx.projection(workload, dataset).plan
+    advice = MemoryKindAdvisor(ctx.testbed.bus).advise(plan, args.reuses)
+    out(str(advice))
+    out(f"  pinned:   setup {seconds_to_human(advice.pinned_setup_seconds)}"
+        f" + {seconds_to_human(advice.pinned_transfer_seconds)}/use")
+    out(f"  pageable: setup "
+        f"{seconds_to_human(advice.pageable_setup_seconds)}"
+        f" + {seconds_to_human(advice.pageable_transfer_seconds)}/use")
+    if advice.breakeven_reuses is not None:
+        out(f"  pinned pays off from {advice.breakeven_reuses} reuse(s)")
+    return 0
+
+
+def _cmd_artifacts(args, out) -> int:
+    from repro.harness.artifacts import write_all_artifacts
+
+    ctx = ExperimentContext(seed=args.seed)
+    paths = write_all_artifacts(
+        ctx, args.outdir, charts=not args.no_charts
+    )
+    out(f"wrote {len(paths)} artifacts to {args.outdir}")
+    out(f"summary: {paths[-1]}")
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    ctx = ExperimentContext(seed=args.seed)
+    exp = args.id
+    if exp == "compare":
+        from repro.harness.comparison import compare_with_paper
+
+        result = compare_with_paper(ctx)
+        if args.format == "text":
+            out(result.render())
+            return 0
+    elif exp == "table1":
+        result = run_table1_measured(ctx)
+    elif exp == "table2":
+        result = run_table2_speedup_error(ctx)
+    elif exp == "fig2":
+        result = run_fig2_transfer_times(ctx, Direction.H2D)
+        if args.chart:
+            out(figures.fig2_chart(result))
+            return 0
+    elif exp == "fig3":
+        result = run_fig3_pinned_speedup(ctx)
+        if args.chart:
+            out(figures.fig3_chart(result))
+            return 0
+    elif exp == "fig4":
+        result = run_fig4_model_error(ctx)
+        if args.chart:
+            out(figures.fig4_chart(result))
+            return 0
+    elif exp == "fig5":
+        result = run_fig5_transfer_scatter(ctx)
+        if args.chart:
+            out(figures.fig5_chart(result))
+            return 0
+    elif exp == "fig6":
+        result = run_fig6_error_scatter(ctx)
+        if args.chart:
+            out(figures.fig6_chart(result))
+            return 0
+    elif exp in ("fig7", "fig9", "fig11"):
+        name = {"fig7": "CFD", "fig9": "HotSpot", "fig11": "SRAD"}[exp]
+        result = run_speedup_vs_size(ctx, get_workload(name))
+        if args.chart:
+            out(figures.speedup_vs_size_chart(result))
+            return 0
+    else:  # fig8 / fig10 / fig12
+        name = {"fig8": "CFD", "fig10": "HotSpot", "fig12": "SRAD"}[exp]
+        result = run_speedup_vs_iterations(ctx, get_workload(name))
+        if args.chart:
+            out(figures.speedup_vs_iterations_chart(result))
+            return 0
+    if args.chart:
+        out(f"note: no chart form for {exp}; printing the table")
+    out(export(result, args.format))
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "calibrate": _cmd_calibrate,
+    "project": _cmd_project,
+    "project-file": _cmd_project_file,
+    "advise": _cmd_advise,
+    "artifacts": _cmd_artifacts,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None, out=print) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except KeyError as exc:
+        out(f"error: {exc.args[0]}")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""GROPHECY++: the integrated projection framework (paper Section III).
+
+:class:`~repro.core.projector.Grophecy` reproduces the base framework —
+kernel-time projection via transformation search over the analytical GPU
+model.  :class:`~repro.core.projector.GrophecyPlusPlus` adds this paper's
+contribution: the data-usage analyzer and the calibrated PCIe model, so a
+projection covers kernel time *and* transfer time, and therefore the true
+end-to-end GPU speedup.
+"""
+
+from repro.core.prediction import Projection
+from repro.core.projector import Grophecy, GrophecyPlusPlus
+from repro.core.speedup import (
+    speedup,
+    gpu_total_time,
+    accuracy_crossover_iterations,
+    limit_speedup_error,
+)
+from repro.core.report import PredictionReport, MeasuredApplication
+from repro.core.advisor import MemoryKindAdvice, MemoryKindAdvisor
+from repro.core.overlap import OverlapEstimate, estimate_overlap, pipeline_time
+from repro.core.serialize import (
+    projection_to_dict,
+    projection_to_json,
+    report_to_dict,
+    report_to_json,
+)
+
+__all__ = [
+    "Projection",
+    "Grophecy",
+    "GrophecyPlusPlus",
+    "speedup",
+    "gpu_total_time",
+    "accuracy_crossover_iterations",
+    "limit_speedup_error",
+    "PredictionReport",
+    "MeasuredApplication",
+    "MemoryKindAdvice",
+    "MemoryKindAdvisor",
+    "OverlapEstimate",
+    "estimate_overlap",
+    "pipeline_time",
+    "projection_to_dict",
+    "projection_to_json",
+    "report_to_dict",
+    "report_to_json",
+]

@@ -1,0 +1,137 @@
+"""Pinned-vs-pageable memory advisor (the paper's other future work).
+
+The paper assumes pinned memory because it is "advantageous in most
+typical use cases" and defers "automatically explor[ing] the tradeoff
+between the two types of memory" to future work.  This module closes that
+loop: given calibrated bus models for *both* memory kinds and an
+allocation model, it prices a transfer plan end to end under each choice
+— including the one-time pinned-allocation premium — and recommends the
+kind with the lower total, plus the reuse count at which the
+recommendation flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datausage.transfers import TransferPlan
+from repro.pcie.allocation import AllocationModel, cuda23_era_allocation_model
+from repro.pcie.calibration import CalibrationConfig, Calibrator
+from repro.pcie.channel import MemoryKind, TransferChannel
+from repro.pcie.model import BusModel
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MemoryKindAdvice:
+    """Priced comparison of the two memory kinds for one plan."""
+
+    plan: str
+    reuses: int  # how many times the plan's transfers execute
+    pinned_transfer_seconds: float  # per execution of the plan
+    pageable_transfer_seconds: float
+    pinned_setup_seconds: float  # one-time allocation cost
+    pageable_setup_seconds: float
+    recommended: MemoryKind
+    breakeven_reuses: int | None  # first reuse count where pinned wins
+
+    def total(self, memory: MemoryKind) -> float:
+        if memory is MemoryKind.PINNED:
+            return (
+                self.pinned_setup_seconds
+                + self.reuses * self.pinned_transfer_seconds
+            )
+        return (
+            self.pageable_setup_seconds
+            + self.reuses * self.pageable_transfer_seconds
+        )
+
+    @property
+    def saving_seconds(self) -> float:
+        """How much the recommended kind saves over the alternative."""
+        other = (
+            MemoryKind.PAGEABLE
+            if self.recommended is MemoryKind.PINNED
+            else MemoryKind.PINNED
+        )
+        return self.total(other) - self.total(self.recommended)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.plan}: use {self.recommended.value} memory "
+            f"(saves {self.saving_seconds * 1e3:.2f} ms over "
+            f"{self.reuses} reuse(s))"
+        )
+
+
+class MemoryKindAdvisor:
+    """Prices plans under both memory kinds and recommends one."""
+
+    def __init__(
+        self,
+        channel: TransferChannel,
+        allocation: AllocationModel | None = None,
+    ) -> None:
+        self._allocation = allocation or cuda23_era_allocation_model()
+        self._pinned = Calibrator(
+            channel, CalibrationConfig(memory=MemoryKind.PINNED)
+        ).calibrate()
+        self._pageable = Calibrator(
+            channel, CalibrationConfig(memory=MemoryKind.PAGEABLE)
+        ).calibrate()
+
+    @property
+    def pinned_bus(self) -> BusModel:
+        return self._pinned
+
+    @property
+    def pageable_bus(self) -> BusModel:
+        return self._pageable
+
+    def advise(self, plan: TransferPlan, reuses: int = 1) -> MemoryKindAdvice:
+        """Recommend a memory kind for a plan executed ``reuses`` times.
+
+        ``reuses`` counts how often the plan's transfers run — e.g. a
+        solver that re-uploads new inputs every outer step reuses its
+        (identically-shaped) plan once per step, amortizing allocation.
+        """
+        check_positive("reuses", reuses)
+        pinned_t = self._pinned.predict_plan(plan)
+        pageable_t = self._pageable.predict_plan(plan)
+        pinned_setup = self._allocation.plan_setup_time(
+            plan, MemoryKind.PINNED
+        )
+        pageable_setup = self._allocation.plan_setup_time(
+            plan, MemoryKind.PAGEABLE
+        )
+
+        def total(memory: MemoryKind, n: int) -> float:
+            if memory is MemoryKind.PINNED:
+                return pinned_setup + n * pinned_t
+            return pageable_setup + n * pageable_t
+
+        recommended = (
+            MemoryKind.PINNED
+            if total(MemoryKind.PINNED, reuses)
+            <= total(MemoryKind.PAGEABLE, reuses)
+            else MemoryKind.PAGEABLE
+        )
+        # Break-even: smallest reuse count at which pinned's per-use
+        # saving has paid back its allocation premium.
+        breakeven: int | None = None
+        per_use_saving = pageable_t - pinned_t
+        setup_premium = pinned_setup - pageable_setup
+        if per_use_saving > 0:
+            import math
+
+            breakeven = max(1, math.ceil(setup_premium / per_use_saving))
+        return MemoryKindAdvice(
+            plan=plan.program,
+            reuses=reuses,
+            pinned_transfer_seconds=pinned_t,
+            pageable_transfer_seconds=pageable_t,
+            pinned_setup_seconds=pinned_setup,
+            pageable_setup_seconds=pageable_setup,
+            recommended=recommended,
+            breakeven_reuses=breakeven,
+        )

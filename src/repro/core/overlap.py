@@ -1,0 +1,149 @@
+"""Transfer/compute overlap estimation (CUDA streams extension).
+
+The paper's projection charges transfers and kernels serially — correct
+for the synchronous ports it validates against.  A natural follow-up
+question is how much of the transfer overhead *asynchronous streams*
+could hide: chunk the arrays, double-buffer, and overlap copies with
+compute.
+
+This module bounds that opportunity with a classic software-pipeline
+estimate for a device with **one copy engine** (true of the paper's
+G80-class GPU: H2D and D2H share the DMA queue and serialize against
+each other, but run concurrently with kernels):
+
+``T(C) = fill + max(total_copy, total_kernel) + drain``
+
+where chunking into ``C`` pieces multiplies the per-transfer latency
+(each chunk pays its own alpha) — so more chunks pipeline better but pay
+more latency, and an optimal ``C`` exists.
+
+This is an *upper bound* on the benefit: it assumes every kernel's work
+decomposes into independent chunks (true for the paper's data-parallel
+workloads up to stencil halos) and ignores stream-launch overheads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.prediction import Projection
+from repro.datausage.transfers import Direction
+from repro.pcie.model import BusModel
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class OverlapEstimate:
+    """Projected effect of stream-based overlap for one projection."""
+
+    program: str
+    chunks: int
+    serial_seconds: float  # the paper's (synchronous) total
+    overlapped_seconds: float  # pipelined total
+    iterations: int
+
+    @property
+    def saving_seconds(self) -> float:
+        return self.serial_seconds - self.overlapped_seconds
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.serial_seconds == 0:
+            return 0.0
+        return self.saving_seconds / self.serial_seconds
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.program}: {self.serial_seconds * 1e3:.2f}ms -> "
+            f"{self.overlapped_seconds * 1e3:.2f}ms with {self.chunks} "
+            f"chunks ({self.saving_fraction:.0%} saved)"
+        )
+
+
+def pipeline_time(
+    transfer_in: float,
+    kernel: float,
+    transfer_out: float,
+    chunks: int,
+    alpha_in: float,
+    alpha_out: float,
+) -> float:
+    """Pipelined makespan for one (in, compute, out) pass in ``chunks``.
+
+    ``transfer_in``/``transfer_out`` exclude per-transfer latencies;
+    chunking pays ``alpha`` once per chunk per direction.
+    """
+    check_positive("chunks", chunks)
+    for name, value in (
+        ("transfer_in", transfer_in),
+        ("kernel", kernel),
+        ("transfer_out", transfer_out),
+        ("alpha_in", alpha_in),
+        ("alpha_out", alpha_out),
+    ):
+        check_non_negative(name, value)
+    chunk_in = transfer_in / chunks + alpha_in
+    chunk_out = transfer_out / chunks + alpha_out
+    total_copy = chunks * (chunk_in + chunk_out)  # one shared copy engine
+    fill = chunk_in  # first chunk must arrive before compute starts
+    drain = chunk_out  # last result leaves after compute ends
+    return fill + max(total_copy - fill - drain, kernel) + drain
+
+
+def estimate_overlap(
+    projection: Projection,
+    bus: BusModel,
+    iterations: int = 1,
+    max_chunks: int = 64,
+) -> OverlapEstimate:
+    """Best-chunking overlap estimate for a projection.
+
+    For iterative applications only the first iteration overlaps with the
+    input copy and the last with the output copy; intermediate iterations
+    are pure compute, so the absolute saving is iteration-independent —
+    exactly like the transfer overhead it hides.
+    """
+    check_positive("iterations", iterations)
+    check_positive("max_chunks", max_chunks)
+    plan = projection.plan
+    raw_in = sum(
+        bus.for_direction(t.direction).beta * t.bytes
+        for t in plan.inputs
+    )
+    raw_out = sum(
+        bus.for_direction(t.direction).beta * t.bytes
+        for t in plan.outputs
+    )
+    # Per-chunk latency: every array contributes its alpha per chunk.
+    alpha_in = sum(bus.for_direction(t.direction).alpha for t in plan.inputs)
+    alpha_out = sum(
+        bus.for_direction(t.direction).alpha for t in plan.outputs
+    )
+    kernel_total = projection.kernel_seconds * iterations
+    serial = projection.total_seconds(iterations)
+
+    best_chunks, best_time = 1, None
+    chunk_candidates = sorted(
+        {1, 2, 4, 8, 16, 32, max_chunks} | set(range(2, min(max_chunks, 9)))
+    )
+    for chunks in chunk_candidates:
+        if chunks > max_chunks:
+            continue
+        t = pipeline_time(
+            raw_in, kernel_total, raw_out, chunks, alpha_in, alpha_out
+        )
+        if best_time is None or t < best_time:
+            best_chunks, best_time = chunks, t
+    assert best_time is not None
+    overlapped = best_time + projection.setup_seconds
+    # Overlap can never beat the compute-only lower bound nor lose to the
+    # serial schedule (chunks=1 degenerates to ~serial).
+    overlapped = min(max(overlapped, kernel_total), serial)
+    return OverlapEstimate(
+        program=projection.program,
+        chunks=best_chunks,
+        serial_seconds=serial,
+        overlapped_seconds=overlapped,
+        iterations=iterations,
+    )

@@ -1,0 +1,150 @@
+"""Projection results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datausage.transfers import TransferPlan
+from repro.transform.explorer import ProgramProjection
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A complete GROPHECY++ projection for one program.
+
+    ``kernel_seconds`` is per application iteration (the sum of the
+    best-mapping times of all kernels in the sequence); ``transfer_seconds``
+    is iteration-independent — inputs move once before the first iteration
+    and outputs once after the last (Section IV-B).
+    """
+
+    program: str
+    kernel_seconds: float
+    transfer_seconds: float
+    plan: TransferPlan
+    per_transfer_seconds: tuple[float, ...]
+    kernels: ProgramProjection
+    #: One-time setup cost (memory allocation) — 0 unless the projector
+    #: was given an AllocationModel (the paper's future-work extension).
+    setup_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("kernel_seconds", self.kernel_seconds)
+        check_non_negative("transfer_seconds", self.transfer_seconds)
+        check_non_negative("setup_seconds", self.setup_seconds)
+        if len(self.per_transfer_seconds) != len(self.plan.transfers):
+            raise ValueError(
+                "per-transfer times do not match the plan: "
+                f"{len(self.per_transfer_seconds)} vs "
+                f"{len(self.plan.transfers)}"
+            )
+
+    # Total-time views --------------------------------------------------------
+    def total_seconds(self, iterations: int = 1) -> float:
+        """Projected end-to-end GPU time for ``iterations`` iterations."""
+        check_positive("iterations", iterations)
+        return (
+            self.kernel_seconds * iterations
+            + self.transfer_seconds
+            + self.setup_seconds
+        )
+
+    def kernel_only_seconds(self, iterations: int = 1) -> float:
+        """The pre-GROPHECY++ view: kernels only, no transfers."""
+        check_positive("iterations", iterations)
+        return self.kernel_seconds * iterations
+
+    def transfer_only_seconds(self) -> float:
+        """Table II's middle column: predict using transfers alone."""
+        return self.transfer_seconds
+
+    # Speedup views ------------------------------------------------------------
+    def speedup(
+        self,
+        cpu_seconds_per_iteration: float,
+        iterations: int = 1,
+        include_transfer: bool = True,
+    ) -> float:
+        """Projected GPU speedup over the measured CPU time."""
+        check_positive(
+            "cpu_seconds_per_iteration", cpu_seconds_per_iteration
+        )
+        gpu = (
+            self.total_seconds(iterations)
+            if include_transfer
+            else self.kernel_only_seconds(iterations)
+        )
+        return cpu_seconds_per_iteration * iterations / gpu
+
+    def speedup_limit(self, cpu_seconds_per_iteration: float) -> float:
+        """Speedup as iterations -> infinity (transfer fully amortized)."""
+        check_positive(
+            "cpu_seconds_per_iteration", cpu_seconds_per_iteration
+        )
+        return cpu_seconds_per_iteration / self.kernel_seconds
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Fraction of single-iteration total spent transferring."""
+        total = self.total_seconds(1)
+        return self.transfer_seconds / total if total else 0.0
+
+    def explain(self, cpu_seconds_per_iteration: float | None = None) -> str:
+        """Multi-line, human-readable account of the projection.
+
+        Covers the chosen mapping per kernel, the per-array transfer
+        breakdown, and — when a CPU time is supplied — the speedup
+        verdict with and without transfer modeling.
+        """
+        lines = [f"GROPHECY++ projection for {self.program}"]
+        lines.append("  kernels (best mapping each):")
+        for kp in self.kernels.kernels:
+            best = kp.best
+            lines.append(
+                f"    {kp.kernel:<24} {best.config.label():<16} "
+                f"{best.seconds * 1e6:10.1f} us  ({best.breakdown.regime}, "
+                f"searched {kp.search_width} mappings)"
+            )
+        lines.append(
+            f"  kernel total per iteration: "
+            f"{self.kernel_seconds * 1e3:.3f} ms"
+        )
+        lines.append("  transfers (each array separately, pinned):")
+        for transfer, seconds in zip(
+            self.plan.transfers, self.per_transfer_seconds
+        ):
+            tag = " [conservative]" if transfer.conservative else ""
+            lines.append(
+                f"    {transfer.direction.short} {transfer.array:<16} "
+                f"{transfer.bytes / 2**20:8.2f} MB  "
+                f"{seconds * 1e3:8.3f} ms{tag}"
+            )
+        lines.append(
+            f"  transfer total: {self.transfer_seconds * 1e3:.3f} ms "
+            f"({self.transfer_fraction:.0%} of a one-iteration run)"
+        )
+        if self.setup_seconds:
+            lines.append(
+                f"  one-time allocation: {self.setup_seconds * 1e3:.3f} ms"
+            )
+        if cpu_seconds_per_iteration is not None:
+            honest = self.speedup(cpu_seconds_per_iteration)
+            naive = self.speedup(
+                cpu_seconds_per_iteration, include_transfer=False
+            )
+            lines.append(
+                f"  speedup vs CPU "
+                f"({cpu_seconds_per_iteration * 1e3:.3f} ms/iter): "
+                f"{honest:.2f}x with transfers, {naive:.2f}x if you "
+                f"(wrongly) ignore them"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"projection[{self.program}]: kernel "
+            f"{self.kernel_seconds * 1e3:.3f}ms/iter + transfer "
+            f"{self.transfer_seconds * 1e3:.3f}ms "
+            f"({self.transfer_fraction:.0%} of one-iteration total)"
+        )

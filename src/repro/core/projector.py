@@ -1,0 +1,105 @@
+"""The projector classes: GROPHECY and GROPHECY++."""
+
+from __future__ import annotations
+
+from repro.datausage.analyzer import analyze_transfers
+from repro.datausage.hints import AnalysisHints
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.model import GpuPerformanceModel
+from repro.pcie.allocation import AllocationModel
+from repro.pcie.channel import MemoryKind
+from repro.pcie.model import BusModel
+from repro.skeleton.program import ProgramSkeleton
+from repro.transform.explorer import ProgramProjection, project_program
+from repro.transform.space import TransformationSpace
+from repro.core.prediction import Projection
+
+
+class Grophecy:
+    """The base framework: project kernel execution time from skeletons.
+
+    Explores the transformation space for every kernel of the program and
+    reports the best achievable time per kernel — what the SC'11 framework
+    provides, and what Table II's "Kernel Only" column predicts with.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUArchitecture | GpuPerformanceModel,
+        space: TransformationSpace | None = None,
+    ) -> None:
+        self._model = (
+            gpu
+            if isinstance(gpu, GpuPerformanceModel)
+            else GpuPerformanceModel(gpu)
+        )
+        self._space = space or TransformationSpace.default()
+
+    @property
+    def model(self) -> GpuPerformanceModel:
+        return self._model
+
+    @property
+    def space(self) -> TransformationSpace:
+        return self._space
+
+    def project_kernels(self, program: ProgramSkeleton) -> ProgramProjection:
+        """Best-mapping kernel projection for each kernel of the program."""
+        return project_program(program, self._model, self._space)
+
+
+class GrophecyPlusPlus(Grophecy):
+    """GROPHECY extended with data-transfer projection (this paper).
+
+    Adds the data usage analyzer (what must cross the bus) and the
+    calibrated PCIe model (how long each crossing takes); the combined
+    projection predicts the end-to-end GPU speedup.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUArchitecture | GpuPerformanceModel,
+        bus: BusModel,
+        space: TransformationSpace | None = None,
+        batched_transfers: bool = False,
+        allocation: AllocationModel | None = None,
+        memory: MemoryKind = MemoryKind.PINNED,
+    ) -> None:
+        """``allocation``: optionally charge one-time buffer-allocation
+        costs (the paper's future-work extension); ``memory`` selects the
+        host allocation kind those costs assume."""
+        super().__init__(gpu, space)
+        self._bus = bus
+        self._batched = batched_transfers
+        self._allocation = allocation
+        self._memory = memory
+
+    @property
+    def bus(self) -> BusModel:
+        return self._bus
+
+    def project(
+        self,
+        program: ProgramSkeleton,
+        hints: AnalysisHints | None = None,
+    ) -> Projection:
+        """Full projection: kernels + data usage + transfer times."""
+        kernels = self.project_kernels(program)
+        plan = analyze_transfers(program, hints)
+        if self._batched:
+            plan = plan.batched()
+        per_transfer = tuple(self._bus.predict_plan_by_transfer(plan))
+        setup = (
+            self._allocation.plan_setup_time(plan, self._memory)
+            if self._allocation is not None
+            else 0.0
+        )
+        return Projection(
+            program=program.name,
+            kernel_seconds=kernels.seconds,
+            transfer_seconds=sum(per_transfer),
+            plan=plan,
+            per_transfer_seconds=per_transfer,
+            kernels=kernels,
+            setup_seconds=setup,
+        )

@@ -1,0 +1,110 @@
+"""Prediction-vs-measurement reports (the evaluation's metric layer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.prediction import Projection
+from repro.core.speedup import gpu_total_time
+from repro.util.stats import error_magnitude
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MeasuredApplication:
+    """Measured (virtual-testbed) times for one application/dataset.
+
+    ``kernel_seconds`` and ``cpu_seconds`` are per application iteration;
+    ``transfer_seconds`` is the iteration-independent total;
+    ``per_transfer_seconds`` aligns with the projection's transfer plan.
+    """
+
+    label: str
+    kernel_seconds: float
+    transfer_seconds: float
+    cpu_seconds: float
+    per_transfer_seconds: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_positive("kernel_seconds", self.kernel_seconds)
+        check_positive("transfer_seconds", self.transfer_seconds)
+        check_positive("cpu_seconds", self.cpu_seconds)
+
+    def total_seconds(self, iterations: int = 1) -> float:
+        return gpu_total_time(
+            self.kernel_seconds, self.transfer_seconds, iterations
+        )
+
+    def speedup(self, iterations: int = 1) -> float:
+        return (self.cpu_seconds * iterations) / self.total_seconds(iterations)
+
+    @property
+    def transfer_fraction(self) -> float:
+        return self.transfer_seconds / self.total_seconds(1)
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """All the error metrics the paper reports, for one dataset."""
+
+    projection: Projection
+    measured: MeasuredApplication
+
+    # Component errors (Fig. 6 axes) ---------------------------------------
+    @property
+    def kernel_error(self) -> float:
+        return error_magnitude(
+            self.projection.kernel_seconds, self.measured.kernel_seconds
+        )
+
+    @property
+    def transfer_error(self) -> float:
+        return error_magnitude(
+            self.projection.transfer_seconds, self.measured.transfer_seconds
+        )
+
+    def per_transfer_errors(self) -> tuple[float, ...]:
+        """Per-individual-transfer errors (Fig. 5 points)."""
+        measured = self.measured.per_transfer_seconds
+        predicted = self.projection.per_transfer_seconds
+        if len(measured) != len(predicted):
+            raise ValueError(
+                f"{self.measured.label}: measured {len(measured)} transfers "
+                f"but predicted {len(predicted)}"
+            )
+        return tuple(
+            error_magnitude(p, m) for p, m in zip(predicted, measured)
+        )
+
+    # Speedup predictions (Table II columns) --------------------------------
+    def predicted_speedup(
+        self, mode: str = "both", iterations: int = 1
+    ) -> float:
+        """Predicted speedup using 'kernel', 'transfer', or 'both' times."""
+        cpu = self.measured.cpu_seconds * iterations
+        if mode == "kernel":
+            gpu = self.projection.kernel_only_seconds(iterations)
+        elif mode == "transfer":
+            gpu = self.projection.transfer_only_seconds()
+        elif mode == "both":
+            gpu = self.projection.total_seconds(iterations)
+        else:
+            raise ValueError(
+                f"mode must be 'kernel', 'transfer' or 'both', got {mode!r}"
+            )
+        return cpu / gpu
+
+    def speedup_error(self, mode: str = "both", iterations: int = 1) -> float:
+        """Error magnitude of the predicted GPU speedup (Table II)."""
+        return error_magnitude(
+            self.predicted_speedup(mode, iterations),
+            self.measured.speedup(iterations),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.measured.label}: kernel err "
+            f"{self.kernel_error:.1%}, transfer err "
+            f"{self.transfer_error:.1%}, speedup err (both) "
+            f"{self.speedup_error('both'):.1%}"
+        )

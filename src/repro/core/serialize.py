@@ -1,0 +1,98 @@
+"""JSON-friendly serialization of projections and reports.
+
+Projections feed downstream tooling (dashboards, CI diffs, notebooks);
+these helpers flatten them to plain dicts — every value a str/int/float/
+list/dict — and back-of-the-envelope loaders for the summary level.
+The full object graph (skeletons, breakdowns) is intentionally *not*
+round-tripped: recompute it from the skeleton, which is the source of
+truth.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.prediction import Projection
+from repro.core.report import MeasuredApplication, PredictionReport
+
+
+def projection_to_dict(projection: Projection) -> dict[str, Any]:
+    """Flatten a projection to JSON-safe primitives."""
+    return {
+        "program": projection.program,
+        "kernel_seconds": projection.kernel_seconds,
+        "transfer_seconds": projection.transfer_seconds,
+        "setup_seconds": projection.setup_seconds,
+        "transfer_fraction": projection.transfer_fraction,
+        "kernels": [
+            {
+                "name": kp.kernel,
+                "seconds": kp.seconds,
+                "best_mapping": kp.best.config.label(),
+                "regime": kp.best.breakdown.regime,
+                "search_width": kp.search_width,
+            }
+            for kp in projection.kernels.kernels
+        ],
+        "transfers": [
+            {
+                "array": transfer.array,
+                "direction": transfer.direction.short,
+                "bytes": transfer.bytes,
+                "seconds": seconds,
+                "conservative": transfer.conservative,
+            }
+            for transfer, seconds in zip(
+                projection.plan.transfers, projection.per_transfer_seconds
+            )
+        ],
+    }
+
+
+def report_to_dict(report: PredictionReport) -> dict[str, Any]:
+    """Flatten a prediction-vs-measurement report (all paper metrics)."""
+    measured = report.measured
+    return {
+        "label": measured.label,
+        "projection": projection_to_dict(report.projection),
+        "measured": {
+            "kernel_seconds": measured.kernel_seconds,
+            "transfer_seconds": measured.transfer_seconds,
+            "cpu_seconds": measured.cpu_seconds,
+            "per_transfer_seconds": list(measured.per_transfer_seconds),
+            "speedup": measured.speedup(),
+        },
+        "errors": {
+            "kernel": report.kernel_error,
+            "transfer": report.transfer_error,
+            "speedup_kernel_only": report.speedup_error("kernel"),
+            "speedup_transfer_only": report.speedup_error("transfer"),
+            "speedup_both": report.speedup_error("both"),
+        },
+    }
+
+
+def measured_from_dict(data: dict[str, Any], label: str) -> MeasuredApplication:
+    """Rebuild a MeasuredApplication from a report dict's measured block."""
+    return MeasuredApplication(
+        label=label,
+        kernel_seconds=float(data["kernel_seconds"]),
+        transfer_seconds=float(data["transfer_seconds"]),
+        cpu_seconds=float(data["cpu_seconds"]),
+        per_transfer_seconds=tuple(
+            float(v) for v in data.get("per_transfer_seconds", ())
+        ),
+    )
+
+
+def report_to_json(report: PredictionReport, indent: int = 2) -> str:
+    """Report as a JSON string."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def projection_to_json(projection: Projection, indent: int = 2) -> str:
+    """Projection as a JSON string."""
+    return json.dumps(
+        projection_to_dict(projection), indent=indent, sort_keys=True
+    )

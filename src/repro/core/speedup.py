@@ -1,0 +1,94 @@
+"""Speedup arithmetic, iteration scaling, and accuracy crossovers.
+
+The paper's key observation about iterative applications: the transfer set
+is iteration-independent, so as iterations grow the transfer overhead
+amortizes, the measured speedup rises toward ``cpu / kernel``, and the
+with-transfer and without-transfer predictions converge (Figs. 8/10/12).
+"""
+
+from __future__ import annotations
+
+from repro.util.stats import error_magnitude
+from repro.util.validation import check_non_negative, check_positive
+
+
+def gpu_total_time(
+    kernel_seconds_per_iteration: float,
+    transfer_seconds: float,
+    iterations: int = 1,
+) -> float:
+    """End-to-end GPU time for an iterative run (Section IV-A)."""
+    check_non_negative(
+        "kernel_seconds_per_iteration", kernel_seconds_per_iteration
+    )
+    check_non_negative("transfer_seconds", transfer_seconds)
+    check_positive("iterations", iterations)
+    return kernel_seconds_per_iteration * iterations + transfer_seconds
+
+
+def speedup(cpu_seconds: float, gpu_seconds: float) -> float:
+    """GPU speedup = total CPU time / total GPU time."""
+    check_positive("cpu_seconds", cpu_seconds)
+    check_positive("gpu_seconds", gpu_seconds)
+    return cpu_seconds / gpu_seconds
+
+
+def limit_speedup_error(
+    predicted_kernel_seconds: float, measured_kernel_seconds: float
+) -> float:
+    """Speedup-prediction error as iterations -> infinity.
+
+    In the limit the transfers amortize away entirely, so both the
+    with-transfer and kernel-only predictions converge to
+    ``cpu / kernel`` and the error reduces to the kernel-time error
+    (the CPU time cancels).
+    """
+    return error_magnitude(
+        measured_kernel_seconds / predicted_kernel_seconds, 1.0
+    )
+
+
+def accuracy_crossover_iterations(
+    predicted_kernel: float,
+    predicted_transfer: float,
+    measured_kernel: float,
+    measured_transfer: float,
+    advantage: float = 2.0,
+    max_iterations: int = 100_000,
+) -> int | None:
+    """Largest iteration count where transfer-aware prediction stays
+    ``advantage``-times more accurate than the kernel-only prediction.
+
+    This is the statistic the paper quotes per figure: e.g. for CFD "the
+    predicted speedup with data transfer time remains more than twice as
+    accurate for iteration counts less than 18" (Fig. 8), 70 for HotSpot
+    (Fig. 10), 228 for SRAD (Fig. 12).  Returns the last iteration count
+    satisfying the criterion, or ``None`` if it never holds (or
+    ``max_iterations`` if it still holds there).
+
+    Note the CPU time cancels out of both error magnitudes, so it is not
+    a parameter.
+    """
+    check_positive("predicted_kernel", predicted_kernel)
+    check_non_negative("predicted_transfer", predicted_transfer)
+    check_positive("measured_kernel", measured_kernel)
+    check_non_negative("measured_transfer", measured_transfer)
+    check_positive("advantage", advantage)
+
+    last_good: int | None = None
+    for iterations in range(1, max_iterations + 1):
+        measured = gpu_total_time(
+            measured_kernel, measured_transfer, iterations
+        )
+        with_transfer = gpu_total_time(
+            predicted_kernel, predicted_transfer, iterations
+        )
+        without_transfer = predicted_kernel * iterations
+        # Speedup errors; the common CPU numerator cancels.
+        err_with = error_magnitude(measured / with_transfer, 1.0)
+        err_without = error_magnitude(measured / without_transfer, 1.0)
+        if err_with == 0 or err_without >= advantage * err_with:
+            last_good = iterations
+        else:
+            return last_good
+    return last_good

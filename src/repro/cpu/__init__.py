@@ -1,0 +1,18 @@
+"""CPU architecture description and multi-threaded roofline time model.
+
+The paper's baseline is the OpenMP CPU implementation (8 threads on the
+testbed's Xeon E5405 node); the GPU speedup is measured CPU time divided
+by total GPU time.  We model CPU execution with a classic roofline —
+``max(bytes / memory_bandwidth, flops / peak_flops)`` with efficiency
+factors — which the simulated testbed perturbs into "measured" times.
+"""
+
+from repro.cpu.arch import CPUArchitecture, xeon_e5405
+from repro.cpu.model import CpuPerformanceModel, CpuWorkProfile
+
+__all__ = [
+    "CPUArchitecture",
+    "xeon_e5405",
+    "CpuPerformanceModel",
+    "CpuWorkProfile",
+]

@@ -1,0 +1,60 @@
+"""CPU architecture parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CPUArchitecture:
+    """Static CPU node description for the roofline model."""
+
+    name: str
+    cores: int
+    threads: int  # OpenMP threads used by the baseline (8 in the paper)
+    clock_ghz: float
+    flops_per_cycle_per_core: float  # SIMD width x FMA issue
+    mem_bandwidth: float  # bytes/second, node-level sustained peak
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "cores",
+            "threads",
+            "clock_ghz",
+            "flops_per_cycle_per_core",
+            "mem_bandwidth",
+        ):
+            check_positive(field_name, getattr(self, field_name))
+
+    @property
+    def peak_flops(self) -> float:
+        """Node peak FLOP/s with all cores busy."""
+        return (
+            self.cores * self.clock_ghz * 1e9 * self.flops_per_cycle_per_core
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.cores} cores @ {self.clock_ghz}GHz, "
+            f"{self.peak_flops / 1e9:.0f} GFLOPS, "
+            f"{self.mem_bandwidth / 1e9:.1f} GB/s"
+        )
+
+
+def xeon_e5405() -> CPUArchitecture:
+    """The paper's CPU: quad-core Intel Xeon E5405 at 2.00 GHz.
+
+    The node runs the OpenMP baselines with 8 threads (Section IV-A).
+    SSE gives 4 single-precision flops/cycle/core; the 1333 MT/s FSB
+    sustains roughly 10 GB/s at the node level.
+    """
+    return CPUArchitecture(
+        name="Intel Xeon E5405",
+        cores=4,
+        threads=8,
+        clock_ghz=2.0,
+        flops_per_cycle_per_core=4.0,
+        mem_bandwidth=10.0e9,
+    )

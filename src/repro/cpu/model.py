@@ -1,0 +1,54 @@
+"""Roofline CPU time model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.arch import CPUArchitecture
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class CpuWorkProfile:
+    """Work done by the CPU version of one application iteration.
+
+    ``bytes_moved`` counts DRAM traffic (loads + stores that miss cache);
+    ``flops`` counts floating-point operations; ``efficiency`` folds in
+    how far this code runs from the roofline (stride patterns, OpenMP
+    overheads, vectorization quality) — <1 means slower than roofline.
+    """
+
+    name: str
+    bytes_moved: float
+    flops: float
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("bytes_moved", self.bytes_moved)
+        check_non_negative("flops", self.flops)
+        check_positive("efficiency", self.efficiency)
+        if self.bytes_moved == 0 and self.flops == 0:
+            raise ValueError(f"profile {self.name!r} does no work")
+
+
+class CpuPerformanceModel:
+    """``time = max(bytes / bw, flops / peak) / efficiency``."""
+
+    def __init__(self, arch: CPUArchitecture) -> None:
+        self._arch = arch
+
+    @property
+    def arch(self) -> CPUArchitecture:
+        return self._arch
+
+    def time(self, profile: CpuWorkProfile) -> float:
+        """Modeled execution time (seconds) of one iteration."""
+        mem_time = profile.bytes_moved / self._arch.mem_bandwidth
+        comp_time = profile.flops / self._arch.peak_flops
+        return max(mem_time, comp_time) / profile.efficiency
+
+    def bound(self, profile: CpuWorkProfile) -> str:
+        """Which roofline side binds: "memory" or "compute"."""
+        mem_time = profile.bytes_moved / self._arch.mem_bandwidth
+        comp_time = profile.flops / self._arch.peak_flops
+        return "memory" if mem_time >= comp_time else "compute"

@@ -1,0 +1,162 @@
+"""The data usage analyzer (paper contribution #2).
+
+Walks the kernel sequence in program order, statement by statement,
+tracking which array sections have already been produced on the device.
+A load whose section is not covered by prior device-side stores
+contributes to the host-to-device set; every store contributes to the
+device-to-host set unless the array is hinted as a temporary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.brs.footprint import access_section
+from repro.brs.set import SectionSet
+from repro.datausage.hints import AnalysisHints
+from repro.datausage.transfers import Direction, Transfer, TransferPlan
+from repro.skeleton.arrays import ArrayDecl, ArrayKind
+from repro.skeleton.program import ProgramSkeleton
+from repro.skeleton.validate import validate_program
+
+
+@dataclass
+class _ArrayUsage:
+    """Accumulated per-array section sets."""
+
+    decl: ArrayDecl
+    to_device: SectionSet
+    produced: SectionSet
+    written: SectionSet
+
+
+class DataUsageAnalyzer:
+    """Derives a :class:`TransferPlan` from a program skeleton.
+
+    The analysis is flow-sensitive at statement granularity: a statement's
+    loads are resolved against sections produced by *earlier* statements
+    (in this or previous kernels), then its stores extend the produced set.
+    Within one statement, loads logically precede the store, so an
+    update-in-place statement (``a[i] = f(a[i-1], a[i], a[i+1])``) still
+    requires its input section to be transferred — exactly the paper's
+    "read but not previously written" rule.
+    """
+
+    def __init__(
+        self,
+        program: ProgramSkeleton,
+        hints: AnalysisHints | None = None,
+    ) -> None:
+        validate_program(program)
+        self._program = program
+        self._hints = hints or AnalysisHints.none()
+        self._usage: dict[str, _ArrayUsage] = {
+            a.name: _ArrayUsage(a, SectionSet(), SectionSet(), SectionSet())
+            for a in program.arrays
+        }
+        self._analyzed = False
+
+    @property
+    def program(self) -> ProgramSkeleton:
+        return self._program
+
+    # Analysis ---------------------------------------------------------------
+    def _run(self) -> None:
+        if self._analyzed:
+            return
+        for kernel in self._program.kernels:
+            loops = kernel.loop_map
+            for stmt in kernel.statements:
+                # Loads first: read-before-write within the statement.
+                for access in stmt.accesses:
+                    if not access.is_load:
+                        continue
+                    usage = self._usage[access.array]
+                    section = access_section(access, loops, usage.decl)
+                    needed = SectionSet([section]).subtract_set(usage.produced)
+                    usage.to_device.update(needed)
+                for access in stmt.accesses:
+                    if not access.is_store:
+                        continue
+                    usage = self._usage[access.array]
+                    section = access_section(access, loops, usage.decl)
+                    usage.produced.add(section)
+                    usage.written.add(section)
+        self._analyzed = True
+
+    # Results ------------------------------------------------------------------
+    def plan(self) -> TransferPlan:
+        """The per-array transfer plan (one transfer per array/direction)."""
+        self._run()
+        transfers: list[Transfer] = []
+        temporaries = (
+            self._program.temporaries | self._hints.extra_temporaries
+        )
+        # Host-to-device, in declaration order for determinism.
+        for decl in self._program.arrays:
+            usage = self._usage[decl.name]
+            if usage.to_device.is_empty:
+                continue
+            elements, conservative = self._effective_elements(
+                decl, usage.to_device
+            )
+            transfers.append(
+                Transfer(
+                    decl.name,
+                    Direction.H2D,
+                    elements * decl.dtype.size_bytes,
+                    elements,
+                    conservative,
+                )
+            )
+        # Device-to-host.
+        for decl in self._program.arrays:
+            if decl.name in temporaries:
+                continue
+            usage = self._usage[decl.name]
+            if usage.written.is_empty:
+                continue
+            elements, conservative = self._effective_elements(
+                decl, usage.written
+            )
+            transfers.append(
+                Transfer(
+                    decl.name,
+                    Direction.D2H,
+                    elements * decl.dtype.size_bytes,
+                    elements,
+                    conservative,
+                )
+            )
+        return TransferPlan(self._program.name, tuple(transfers))
+
+    def _effective_elements(
+        self, decl: ArrayDecl, sections: SectionSet
+    ) -> tuple[int, bool]:
+        """Element count to transfer for one array, with conservatism flag."""
+        if decl.kind is ArrayKind.SPARSE:
+            hinted = self._hints.sparse_extent_for(decl.name)
+            if hinted is not None:
+                return min(hinted, decl.element_count), False
+            return decl.element_count, True
+        volume = sections.volume
+        # A section-set volume can exceed the array when the conservative
+        # union path over-approximated; clamp to the allocation size (you
+        # never copy more than the array).
+        return min(volume, decl.element_count), not sections.is_exact
+
+    # Introspection used by tests and reports ----------------------------------
+    def device_input_sections(self, array: str) -> SectionSet:
+        self._run()
+        return self._usage[array].to_device.copy()
+
+    def written_sections(self, array: str) -> SectionSet:
+        self._run()
+        return self._usage[array].written.copy()
+
+
+def analyze_transfers(
+    program: ProgramSkeleton, hints: AnalysisHints | None = None
+) -> TransferPlan:
+    """Convenience wrapper: analyze and return the plan in one call."""
+    return DataUsageAnalyzer(program, hints).plan()

@@ -1,0 +1,120 @@
+"""Transfer plans: the analyzer's output."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+class Direction(enum.Enum):
+    """Transfer direction across the PCIe bus."""
+
+    H2D = "host-to-device"
+    D2H = "device-to-host"
+
+    @property
+    def short(self) -> str:
+        return "H2D" if self is Direction.H2D else "D2H"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One cudaMemcpy-equivalent: a single array moved in one direction.
+
+    ``conservative`` marks transfers sized by the whole-array fallback for
+    sparse/irregular data rather than by exact BRS analysis.
+    """
+
+    array: str
+    direction: Direction
+    bytes: int
+    elements: int
+    conservative: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.array:
+            raise ValueError("transfer must name an array")
+        check_positive(f"transfer bytes for {self.array!r}", self.bytes)
+        check_positive(f"transfer elements for {self.array!r}", self.elements)
+        object.__setattr__(self, "bytes", int(self.bytes))
+        object.__setattr__(self, "elements", int(self.elements))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = " (conservative)" if self.conservative else ""
+        return f"{self.direction.short} {self.array}: {self.bytes}B{tag}"
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """All transfers required by one offloaded kernel sequence.
+
+    For the paper's iterative applications this plan is iteration-count
+    independent: inputs move once before the first iteration, outputs once
+    after the last (Section IV-B).
+    """
+
+    program: str
+    transfers: tuple[Transfer, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "transfers", tuple(self.transfers))
+
+    def by_direction(self, direction: Direction) -> tuple[Transfer, ...]:
+        return tuple(t for t in self.transfers if t.direction is direction)
+
+    @property
+    def inputs(self) -> tuple[Transfer, ...]:
+        return self.by_direction(Direction.H2D)
+
+    @property
+    def outputs(self) -> tuple[Transfer, ...]:
+        return self.by_direction(Direction.D2H)
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(t.bytes for t in self.inputs)
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(t.bytes for t in self.outputs)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.input_bytes + self.output_bytes
+
+    @property
+    def transfer_count(self) -> int:
+        return len(self.transfers)
+
+    def batched(self) -> "TransferPlan":
+        """Merge all arrays per direction into one transfer.
+
+        This is the ablation the paper mentions: transferring several small
+        arrays as one saves per-transfer latency at the cost of program
+        restructuring.
+        """
+        merged: list[Transfer] = []
+        for direction in (Direction.H2D, Direction.D2H):
+            group = self.by_direction(direction)
+            if not group:
+                continue
+            merged.append(
+                Transfer(
+                    array="+".join(t.array for t in group),
+                    direction=direction,
+                    bytes=sum(t.bytes for t in group),
+                    elements=sum(t.elements for t in group),
+                    conservative=any(t.conservative for t in group),
+                )
+            )
+        return TransferPlan(self.program, tuple(merged))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"transfer plan for {self.program}:"]
+        lines += [f"  {t}" for t in self.transfers]
+        lines.append(
+            f"  total: {self.input_bytes}B in, {self.output_bytes}B out"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""GPU architecture descriptions and the analytical kernel-time model.
+
+GROPHECY synthesizes *kernel characteristics* for each candidate code
+transformation and feeds them to an analytical GPU performance model; we
+implement the MWP/CWP model of Hong & Kim (ISCA'09) — the model of that
+lineage GROPHECY builds on — whose published machine parameters include the
+exact GPU of the paper's testbed (NVIDIA Quadro FX 5600).
+"""
+
+from repro.gpu.arch import (
+    GPUArchitecture,
+    gtx_280,
+    quadro_fx_5600,
+    tesla_c1060,
+)
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.occupancy import OccupancyResult, occupancy
+from repro.gpu.model import GpuTimingBreakdown, GpuPerformanceModel
+from repro.gpu.sensitivity import (
+    Sensitivity,
+    classify_kernel,
+    dominant_parameter,
+    kernel_sensitivities,
+)
+
+__all__ = [
+    "Sensitivity",
+    "classify_kernel",
+    "dominant_parameter",
+    "kernel_sensitivities",
+    "GPUArchitecture",
+    "quadro_fx_5600",
+    "gtx_280",
+    "tesla_c1060",
+    "KernelCharacteristics",
+    "OccupancyResult",
+    "occupancy",
+    "GpuTimingBreakdown",
+    "GpuPerformanceModel",
+]

@@ -1,0 +1,101 @@
+"""Kernel characteristics: the interface between transforms and the model.
+
+GROPHECY's transformation engine synthesizes, for each candidate mapping of
+a code skeleton onto the GPU, the per-thread dynamic behaviour summarized
+here; the analytical model consumes only this record plus the architecture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class KernelCharacteristics:
+    """Per-mapping dynamic summary of one GPU kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel label (for reports).
+    threads:
+        Total GPU threads launched (one per data-parallel work item).
+    block_size:
+        Threads per block chosen by the transformation.
+    comp_insts_per_thread:
+        Dynamic non-memory instructions per thread (flops plus address
+        arithmetic and loop overhead), already weighted by divergence.
+    mem_insts_per_thread:
+        Dynamic global-memory warp instructions per thread.
+    coalesced_fraction:
+        Fraction of memory instructions that are fully coalesced.
+    bytes_per_access:
+        Useful payload bytes per thread per memory instruction.
+    registers_per_thread / shared_mem_per_block:
+        Occupancy inputs.
+    syncs_per_thread:
+        ``__syncthreads()`` executions per thread (smem tiling adds these).
+    """
+
+    name: str
+    threads: int
+    block_size: int
+    comp_insts_per_thread: float
+    mem_insts_per_thread: float
+    coalesced_fraction: float = 1.0
+    bytes_per_access: int = 4
+    registers_per_thread: int = 16
+    shared_mem_per_block: int = 0
+    syncs_per_thread: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("threads", self.threads)
+        check_positive("block_size", self.block_size)
+        check_non_negative("comp_insts_per_thread", self.comp_insts_per_thread)
+        check_non_negative("mem_insts_per_thread", self.mem_insts_per_thread)
+        if not 0.0 <= self.coalesced_fraction <= 1.0:
+            raise ValueError(
+                f"coalesced_fraction must be in [0, 1], got "
+                f"{self.coalesced_fraction}"
+            )
+        check_positive("bytes_per_access", self.bytes_per_access)
+        check_positive("registers_per_thread", self.registers_per_thread)
+        check_non_negative("shared_mem_per_block", self.shared_mem_per_block)
+        check_non_negative("syncs_per_thread", self.syncs_per_thread)
+        if self.comp_insts_per_thread == 0 and self.mem_insts_per_thread == 0:
+            raise ValueError(f"kernel {self.name!r} does no work")
+
+    @property
+    def num_blocks(self) -> int:
+        return math.ceil(self.threads / self.block_size)
+
+    @property
+    def total_mem_insts(self) -> float:
+        return self.mem_insts_per_thread * self.threads
+
+    @property
+    def total_bytes(self) -> float:
+        """Useful global-memory traffic of the kernel (payload bytes)."""
+        return self.total_mem_insts * self.bytes_per_access
+
+    @property
+    def total_comp_insts(self) -> float:
+        return self.comp_insts_per_thread * self.threads
+
+    def with_block_size(self, block_size: int) -> "KernelCharacteristics":
+        return replace(self, block_size=block_size)
+
+    def scaled_threads(self, threads: int) -> "KernelCharacteristics":
+        return replace(self, threads=threads)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.threads} threads x "
+            f"({self.comp_insts_per_thread:.1f} comp + "
+            f"{self.mem_insts_per_thread:.1f} mem), "
+            f"{self.coalesced_fraction:.0%} coalesced, "
+            f"block={self.block_size}"
+        )

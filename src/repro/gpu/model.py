@@ -1,0 +1,179 @@
+"""The analytical GPU kernel-time model (MWP/CWP, Hong & Kim ISCA'09).
+
+The model reasons about two forms of warp parallelism on each SM:
+
+- **MWP** (memory warp parallelism): how many warps can overlap their
+  memory requests, bounded by the latency/departure-delay ratio, by peak
+  memory bandwidth, and by the number of resident warps;
+- **CWP** (computation warp parallelism): how many warps' compute phases
+  fit inside one memory waiting period.
+
+Comparing the two selects one of three execution regimes (memory-bound
+with full overlap, memory-bound with exposed latency, or compute-bound)
+with a closed-form cycle count for each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.occupancy import OccupancyResult, occupancy
+
+
+@dataclass(frozen=True)
+class GpuTimingBreakdown:
+    """Everything the model derived for one kernel."""
+
+    kernel: str
+    seconds: float
+    cycles: float
+    regime: str  # "balanced" | "memory-bound" | "compute-bound"
+    mwp: float
+    cwp: float
+    active_warps: int
+    repetitions: int
+    mem_cycles_per_warp: float
+    comp_cycles_per_warp: float
+    occupancy: OccupancyResult
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.kernel}: {self.seconds * 1e3:.3f}ms "
+            f"({self.regime}, MWP={self.mwp:.1f}, CWP={self.cwp:.1f}, "
+            f"N={self.active_warps})"
+        )
+
+
+class GpuPerformanceModel:
+    """Maps (characteristics, architecture) to projected kernel time."""
+
+    #: Minimum DRAM transaction payload on G80-class parts; an uncoalesced
+    #: 4-byte access still moves a 32-byte segment, wasting 8x bandwidth.
+    MIN_TRANSACTION_BYTES = 32
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        launch_overhead: float = 7.0e-6,
+    ) -> None:
+        """``launch_overhead``: per-launch driver cost added to every
+        kernel projection — the measured times the projection is compared
+        against include it, and for very small kernels it dominates."""
+        if launch_overhead < 0:
+            raise ValueError(
+                f"launch_overhead must be non-negative, got {launch_overhead}"
+            )
+        self._arch = arch
+        self._launch_overhead = launch_overhead
+
+    @property
+    def arch(self) -> GPUArchitecture:
+        return self._arch
+
+    # ------------------------------------------------------------------ #
+    def kernel_time(self, chars: KernelCharacteristics) -> float:
+        """Projected execution time (seconds) of one kernel launch."""
+        return self.breakdown(chars).seconds
+
+    def breakdown(self, chars: KernelCharacteristics) -> GpuTimingBreakdown:
+        arch = self._arch
+        occ = occupancy(chars, arch)
+        n_warps = max(1, occ.active_warps)
+
+        f_coal = chars.coalesced_fraction
+        f_uncoal = 1.0 - f_coal
+        uncoal_trans = arch.uncoal_transactions_per_warp
+
+        # Departure delay: coalesced warps issue one transaction; an
+        # uncoalesced warp serializes `uncoal_trans` transactions.
+        dep_coal = arch.departure_del_coal
+        dep_uncoal = arch.departure_del_uncoal * uncoal_trans
+        departure_delay = f_coal * dep_coal + f_uncoal * dep_uncoal
+
+        # Effective memory latency per warp memory instruction.
+        mem_l_coal = arch.mem_latency_cycles
+        mem_l_uncoal = (
+            arch.mem_latency_cycles
+            + (uncoal_trans - 1) * arch.departure_del_uncoal
+        )
+        mem_l = f_coal * mem_l_coal + f_uncoal * mem_l_uncoal
+
+        mem_insts = chars.mem_insts_per_thread
+        comp_insts = chars.comp_insts_per_thread
+        mem_cycles = mem_l * mem_insts
+        comp_cycles = arch.issue_cycles * (comp_insts + mem_insts)
+        comp_cycles = max(comp_cycles, arch.issue_cycles)  # never zero
+
+        # Bandwidth-limited MWP.  Consumed (not useful) bytes per warp
+        # instruction: uncoalesced accesses drag whole min-size segments.
+        payload = chars.bytes_per_access * arch.warp_size
+        waste = max(1.0, self.MIN_TRANSACTION_BYTES / chars.bytes_per_access)
+        consumed_bytes = payload * (f_coal + f_uncoal * waste)
+        active_sms = min(arch.num_sms, chars.num_blocks)
+        bw_per_warp = arch.clock_hz * consumed_bytes / mem_l
+        mwp_peak_bw = arch.mem_bandwidth / (bw_per_warp * active_sms)
+        mwp_without_bw = mem_l / departure_delay
+        mwp = max(1.0, min(mwp_without_bw, mwp_peak_bw, float(n_warps)))
+
+        if mem_insts > 0:
+            cwp_full = (mem_cycles + comp_cycles) / comp_cycles
+        else:
+            cwp_full = 1.0
+        cwp = min(cwp_full, float(n_warps))
+
+        # Blocks round-robin over SMs; each SM runs `repetitions` batches
+        # of its resident blocks.
+        total_blocks = chars.num_blocks
+        repetitions = max(
+            1, math.ceil(total_blocks / (occ.blocks_per_sm * active_sms))
+        )
+
+        mem_per_inst_comp = comp_cycles / mem_insts if mem_insts else 0.0
+        if mem_insts == 0:
+            regime = "compute-bound"
+            exec_cycles = comp_cycles * n_warps
+        elif math.isclose(mwp, n_warps) and math.isclose(cwp, n_warps):
+            regime = "balanced"
+            exec_cycles = (
+                mem_cycles + comp_cycles + mem_per_inst_comp * (mwp - 1)
+            )
+        elif cwp >= mwp:
+            regime = "memory-bound"
+            exec_cycles = (
+                mem_cycles * (n_warps / mwp)
+                + mem_per_inst_comp * (mwp - 1)
+            )
+        else:
+            regime = "compute-bound"
+            exec_cycles = mem_l + comp_cycles * n_warps
+
+        # Synchronization overhead (smem-tiled kernels).
+        if chars.syncs_per_thread:
+            exec_cycles += (
+                arch.sync_cycles * chars.syncs_per_thread * n_warps
+            )
+
+        total_cycles = exec_cycles * repetitions
+        seconds = total_cycles / arch.clock_hz + self._launch_overhead
+        return GpuTimingBreakdown(
+            kernel=chars.name,
+            seconds=seconds,
+            cycles=total_cycles,
+            regime=regime,
+            mwp=mwp,
+            cwp=cwp,
+            active_warps=n_warps,
+            repetitions=repetitions,
+            mem_cycles_per_warp=mem_cycles,
+            comp_cycles_per_warp=comp_cycles,
+            occupancy=occ,
+        )
+
+    def sequence_time(
+        self, kernels: list[KernelCharacteristics]
+    ) -> float:
+        """Projected total time of a kernel sequence (no overlap)."""
+        return sum(self.kernel_time(k) for k in kernels)

@@ -1,0 +1,112 @@
+"""Parameter sensitivity of the analytical models.
+
+Before trusting a projection, it helps to know which machine parameters
+it actually depends on: a kernel whose projected time moves 1:1 with
+``mem_bandwidth`` is bandwidth-bound and insensitive to latency errors; a
+latency-bound kernel is the opposite.  This module perturbs one
+architecture parameter at a time and reports the elasticity
+
+    (dT / T) / (dp / p)
+
+of the projected kernel time — ~1.0 means proportional, ~0 means the
+parameter is irrelevant to this kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel
+from repro.util.validation import check_positive
+
+#: Architecture parameters that are meaningful to perturb continuously.
+TUNABLE_PARAMETERS = (
+    "clock_ghz",
+    "mem_bandwidth",
+    "mem_latency_cycles",
+    "departure_del_coal",
+    "departure_del_uncoal",
+    "issue_cycles",
+)
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticity of the projected time w.r.t. one parameter."""
+
+    parameter: str
+    elasticity: float  # d(logT)/d(log p), centered difference
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.parameter}: {self.elasticity:+.2f}"
+
+
+def kernel_sensitivities(
+    chars: KernelCharacteristics,
+    arch: GPUArchitecture,
+    relative_step: float = 0.05,
+    parameters: tuple[str, ...] = TUNABLE_PARAMETERS,
+    launch_overhead: float = 0.0,
+) -> tuple[Sensitivity, ...]:
+    """Centered-difference elasticities for one kernel on one machine.
+
+    ``launch_overhead`` defaults to zero here so the elasticities describe
+    the model proper, not the constant.
+    """
+    check_positive("relative_step", relative_step)
+    base_time = GpuPerformanceModel(arch, launch_overhead).kernel_time(chars)
+    out: list[Sensitivity] = []
+    for name in parameters:
+        value = getattr(arch, name)
+        lo_arch = dataclasses.replace(
+            arch, **{name: value * (1 - relative_step)}
+        )
+        hi_arch = dataclasses.replace(
+            arch, **{name: value * (1 + relative_step)}
+        )
+        t_lo = GpuPerformanceModel(lo_arch, launch_overhead).kernel_time(chars)
+        t_hi = GpuPerformanceModel(hi_arch, launch_overhead).kernel_time(chars)
+        elasticity = ((t_hi - t_lo) / base_time) / (2 * relative_step)
+        out.append(Sensitivity(name, elasticity))
+    return tuple(out)
+
+
+def dominant_parameter(
+    chars: KernelCharacteristics, arch: GPUArchitecture
+) -> Sensitivity:
+    """The parameter the projection depends on most (by |elasticity|)."""
+    return max(
+        kernel_sensitivities(chars, arch),
+        key=lambda s: abs(s.elasticity),
+    )
+
+
+def classify_kernel(
+    chars: KernelCharacteristics, arch: GPUArchitecture
+) -> str:
+    """Human-readable bottleneck class from the sensitivities.
+
+    Compares the bandwidth, latency-group, and instruction-issue
+    elasticities; the clock is excluded because it scales every
+    cycle-domain term and therefore discriminates nothing.
+
+    Returns ``bandwidth-limited`` / ``latency-limited`` /
+    ``issue-limited``.
+    """
+    sens = {
+        s.parameter: abs(s.elasticity)
+        for s in kernel_sensitivities(chars, arch)
+    }
+    classes = {
+        "bandwidth-limited": sens["mem_bandwidth"],
+        "latency-limited": max(
+            sens["mem_latency_cycles"],
+            sens["departure_del_coal"],
+            sens["departure_del_uncoal"],
+        ),
+        "issue-limited": sens["issue_cycles"],
+    }
+    return max(classes, key=lambda k: classes[k])

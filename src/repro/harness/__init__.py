@@ -1,0 +1,46 @@
+"""Experiment harness: one runner per paper table/figure.
+
+Every experiment returns a result object carrying the same rows/series the
+paper reports, and knows how to render itself as text.  The mapping from
+experiment id to paper artifact is in DESIGN.md §4; the paper's reference
+numbers live in :mod:`repro.harness.paperref` and the measured-vs-paper
+comparison is recorded in EXPERIMENTS.md.
+"""
+
+from repro.harness.context import ExperimentContext
+from repro.harness.transfer_sweep import (
+    run_fig2_transfer_times,
+    run_fig3_pinned_speedup,
+    run_fig4_model_error,
+)
+from repro.harness.apps import (
+    run_table1_measured,
+    run_fig5_transfer_scatter,
+    run_fig6_error_scatter,
+)
+from repro.harness.speedups import (
+    run_speedup_vs_size,
+    run_speedup_vs_iterations,
+    run_table2_speedup_error,
+)
+from repro.harness.comparison import PaperComparison, compare_with_paper
+from repro.harness.stability import StabilityResult, headline_across_seeds
+from repro.harness import paperref
+
+__all__ = [
+    "PaperComparison",
+    "compare_with_paper",
+    "StabilityResult",
+    "headline_across_seeds",
+    "ExperimentContext",
+    "run_fig2_transfer_times",
+    "run_fig3_pinned_speedup",
+    "run_fig4_model_error",
+    "run_table1_measured",
+    "run_fig5_transfer_scatter",
+    "run_fig6_error_scatter",
+    "run_speedup_vs_size",
+    "run_speedup_vs_iterations",
+    "run_table2_speedup_error",
+    "paperref",
+]

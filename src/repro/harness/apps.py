@@ -1,0 +1,243 @@
+"""Table I, Fig. 5, Fig. 6: application-level measurements and errors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.context import ExperimentContext
+from repro.util.stats import arithmetic_mean
+from repro.util.tables import Table
+from repro.util.units import MiB
+from repro.workloads.base import Workload
+from repro.workloads.registry import paper_workloads
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    application: str
+    data_size: str
+    kernel_ms: float
+    transfer_ms: float
+    percent_transfer: float
+    input_mb: float
+    output_mb: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+
+    def as_table(self) -> Table:
+        table = Table(
+            [
+                "Application",
+                "Data Size",
+                "Kernel (ms)",
+                "Transfer (ms)",
+                "% Transfer",
+                "Input (MB)",
+                "Output (MB)",
+            ],
+            title="Table I: measured kernel/transfer times and sizes",
+        )
+        def fmt(value: float, small: float, pattern: str) -> str:
+            # The paper prints "<0.1" for HotSpot 64x64's tiny values.
+            return f"<{small}" if value < small else pattern.format(value)
+
+        for r in self.rows:
+            table.add_row(
+                [
+                    r.application,
+                    r.data_size,
+                    fmt(r.kernel_ms, 0.1, "{:.2f}"),
+                    fmt(r.transfer_ms, 0.1, "{:.2f}"),
+                    f"{r.percent_transfer:.0f}",
+                    fmt(r.input_mb, 0.1, "{:.1f}"),
+                    fmt(r.output_mb, 0.1, "{:.1f}"),
+                ]
+            )
+        return table
+
+    def render(self) -> str:
+        return self.as_table().render()
+
+    def row(self, application: str, data_size: str) -> Table1Row:
+        for r in self.rows:
+            if r.application == application and r.data_size == data_size:
+                return r
+        raise KeyError(f"no row {application}/{data_size}")
+
+
+def run_table1_measured(
+    ctx: ExperimentContext,
+    workloads: tuple[Workload, ...] | None = None,
+) -> Table1Result:
+    """Measure kernel/transfer times + transfer sizes for every dataset."""
+    rows: list[Table1Row] = []
+    for workload in workloads or paper_workloads():
+        for dataset in workload.datasets():
+            measured = ctx.measured(workload, dataset)
+            plan = ctx.projection(workload, dataset).plan
+            total = measured.kernel_seconds + measured.transfer_seconds
+            rows.append(
+                Table1Row(
+                    application=workload.name,
+                    data_size=dataset.label,
+                    kernel_ms=measured.kernel_seconds * 1e3,
+                    transfer_ms=measured.transfer_seconds * 1e3,
+                    percent_transfer=100.0
+                    * measured.transfer_seconds
+                    / total,
+                    input_mb=plan.input_bytes / MiB,
+                    output_mb=plan.output_bytes / MiB,
+                )
+            )
+    return Table1Result(tuple(rows))
+
+
+@dataclass(frozen=True)
+class TransferScatterPoint:
+    """One point of Fig. 5: an individual transfer, predicted vs measured."""
+
+    application: str
+    data_size: str
+    array: str
+    direction: str
+    predicted: float
+    measured: float
+
+    @property
+    def error(self) -> float:
+        return abs(self.predicted - self.measured) / self.measured
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    points: tuple[TransferScatterPoint, ...]
+
+    @property
+    def mean_error(self) -> float:
+        """Paper: 'the average prediction error across all transfers is 7.6%'."""
+        return arithmetic_mean([p.error for p in self.points])
+
+    def outliers(self, threshold: float = 0.5) -> tuple[TransferScatterPoint, ...]:
+        return tuple(p for p in self.points if p.error >= threshold)
+
+    def as_table(self) -> Table:
+        table = Table(
+            ["App", "Size", "Array", "Dir", "Pred (ms)", "Meas (ms)", "Err"],
+            title="Fig. 5: predicted vs measured time per individual transfer",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    p.application,
+                    p.data_size,
+                    p.array,
+                    p.direction,
+                    f"{p.predicted * 1e3:.3f}",
+                    f"{p.measured * 1e3:.3f}",
+                    f"{p.error:.1%}",
+                ]
+            )
+        return table
+
+    def render(self) -> str:
+        return (
+            self.as_table().render()
+            + f"\naverage per-transfer error: {self.mean_error:.1%}"
+        )
+
+
+def run_fig5_transfer_scatter(
+    ctx: ExperimentContext,
+    workloads: tuple[Workload, ...] | None = None,
+) -> Fig5Result:
+    points: list[TransferScatterPoint] = []
+    for workload in workloads or paper_workloads():
+        for dataset in workload.datasets():
+            projection = ctx.projection(workload, dataset)
+            measured = ctx.measured(workload, dataset)
+            for transfer, predicted, meas in zip(
+                projection.plan.transfers,
+                projection.per_transfer_seconds,
+                measured.per_transfer_seconds,
+            ):
+                points.append(
+                    TransferScatterPoint(
+                        application=workload.name,
+                        data_size=dataset.label,
+                        array=transfer.array,
+                        direction=transfer.direction.short,
+                        predicted=predicted,
+                        measured=meas,
+                    )
+                )
+    return Fig5Result(tuple(points))
+
+
+@dataclass(frozen=True)
+class ErrorScatterPoint:
+    """One point of Fig. 6: per-dataset transfer error vs kernel error."""
+
+    application: str
+    data_size: str
+    transfer_error: float
+    kernel_error: float
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    points: tuple[ErrorScatterPoint, ...]
+
+    @property
+    def mean_kernel_error(self) -> float:
+        return arithmetic_mean([p.kernel_error for p in self.points])
+
+    @property
+    def mean_transfer_error(self) -> float:
+        return arithmetic_mean([p.transfer_error for p in self.points])
+
+    def as_table(self) -> Table:
+        table = Table(
+            ["App", "Size", "Transfer err", "Kernel err"],
+            title="Fig. 6: overall transfer vs kernel prediction error",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    p.application,
+                    p.data_size,
+                    f"{p.transfer_error:.1%}",
+                    f"{p.kernel_error:.1%}",
+                ]
+            )
+        return table
+
+    def render(self) -> str:
+        return (
+            self.as_table().render()
+            + f"\naverages: transfer {self.mean_transfer_error:.1%}, "
+            f"kernel {self.mean_kernel_error:.1%}"
+        )
+
+
+def run_fig6_error_scatter(
+    ctx: ExperimentContext,
+    workloads: tuple[Workload, ...] | None = None,
+) -> Fig6Result:
+    points: list[ErrorScatterPoint] = []
+    for workload in workloads or paper_workloads():
+        for dataset in workload.datasets():
+            report = ctx.report(workload, dataset)
+            points.append(
+                ErrorScatterPoint(
+                    application=workload.name,
+                    data_size=dataset.label,
+                    transfer_error=report.transfer_error,
+                    kernel_error=report.kernel_error,
+                )
+            )
+    return Fig6Result(tuple(points))

@@ -1,0 +1,125 @@
+"""One-call artifact generation: every table and figure, written to disk.
+
+``write_all_artifacts(ctx, outdir)`` regenerates the paper's full
+evaluation and writes each artifact as aligned text, markdown, and CSV,
+plus ASCII charts for the figures and a summary with the headline
+numbers.  This is what CI (or a reader) runs to refresh EXPERIMENTS.md's
+source data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.datausage.transfers import Direction
+from repro.harness import figures, paperref
+from repro.harness.apps import (
+    run_fig5_transfer_scatter,
+    run_fig6_error_scatter,
+    run_table1_measured,
+)
+from repro.harness.context import ExperimentContext
+from repro.harness.export import save
+from repro.harness.speedups import (
+    run_speedup_vs_iterations,
+    run_speedup_vs_size,
+    run_table2_speedup_error,
+)
+from repro.harness.transfer_sweep import (
+    run_fig2_transfer_times,
+    run_fig3_pinned_speedup,
+    run_fig4_model_error,
+)
+from repro.workloads.registry import get_workload
+
+FORMAT_SUFFIX = {"text": ".txt", "markdown": ".md", "csv": ".csv"}
+
+
+def write_all_artifacts(
+    ctx: ExperimentContext,
+    outdir: str | Path,
+    formats: tuple[str, ...] = ("text", "markdown", "csv"),
+    charts: bool = True,
+) -> list[Path]:
+    """Run every experiment and write each artifact; returns the paths."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    results = {
+        "table1": run_table1_measured(ctx),
+        "table2": run_table2_speedup_error(ctx),
+        "fig2_h2d": run_fig2_transfer_times(ctx, Direction.H2D),
+        "fig2_d2h": run_fig2_transfer_times(ctx, Direction.D2H),
+        "fig3": run_fig3_pinned_speedup(ctx),
+        "fig4": run_fig4_model_error(ctx),
+        "fig5": run_fig5_transfer_scatter(ctx),
+        "fig6": run_fig6_error_scatter(ctx),
+    }
+    size_figs = {"fig7": "CFD", "fig9": "HotSpot", "fig11": "SRAD"}
+    iter_figs = {"fig8": "CFD", "fig10": "HotSpot", "fig12": "SRAD"}
+    for name, app in size_figs.items():
+        results[name] = run_speedup_vs_size(ctx, get_workload(app))
+    for name, app in iter_figs.items():
+        results[name] = run_speedup_vs_iterations(ctx, get_workload(app))
+
+    for name, result in results.items():
+        for fmt in formats:
+            path = outdir / f"{name}{FORMAT_SUFFIX[fmt]}"
+            written.append(save(result, path, fmt))
+
+    if charts:
+        chart_renderers = {
+            "fig2_h2d": figures.fig2_chart,
+            "fig2_d2h": figures.fig2_chart,
+            "fig3": figures.fig3_chart,
+            "fig4": figures.fig4_chart,
+            "fig5": figures.fig5_chart,
+            "fig6": figures.fig6_chart,
+            **{n: figures.speedup_vs_size_chart for n in size_figs},
+            **{n: figures.speedup_vs_iterations_chart for n in iter_figs},
+        }
+        for name, renderer in chart_renderers.items():
+            path = outdir / f"{name}.chart.txt"
+            path.write_text(renderer(results[name]) + "\n", encoding="utf-8")
+            written.append(path)
+
+    written.append(_write_summary(ctx, results, outdir))
+    return written
+
+
+def _write_summary(
+    ctx: ExperimentContext, results: dict, outdir: Path
+) -> Path:
+    """The headline comparison, paper vs this run."""
+    table2 = results["table2"]
+    fig4 = results["fig4"]
+    fig5 = results["fig5"]
+    avg = table2.application_average
+    ref = paperref.TABLE2_AVERAGE_APPLICATIONS
+    lines = [
+        "# Reproduction summary",
+        "",
+        f"- testbed: {ctx.testbed.name} "
+        f"({ctx.testbed.gpu_arch.name} / {ctx.testbed.cpu_arch.name})",
+        f"- calibrated bus: H2D {ctx.bus_model.h2d}; "
+        f"D2H {ctx.bus_model.d2h}",
+        "",
+        "| metric | paper | this run |",
+        "|---|---|---|",
+        f"| speedup error, kernel-only | {ref.kernel_only:.0%} "
+        f"| {avg.kernel_only_error:.0%} |",
+        f"| speedup error, transfer-only | {ref.transfer_only:.0%} "
+        f"| {avg.transfer_only_error:.0%} |",
+        f"| speedup error, kernel+transfer | {ref.both:.0%} "
+        f"| {avg.both_error:.0%} |",
+        f"| Fig. 4 mean error (to GPU) | "
+        f"{paperref.FIG4_MEAN_ERROR_H2D:.1%} | {fig4.mean_h2d:.1%} |",
+        f"| Fig. 4 mean error (from GPU) | "
+        f"{paperref.FIG4_MEAN_ERROR_D2H:.1%} | {fig4.mean_d2h:.1%} |",
+        f"| Fig. 5 mean per-transfer error | "
+        f"{paperref.FIG5_MEAN_TRANSFER_ERROR:.1%} | {fig5.mean_error:.1%} |",
+    ]
+    path = outdir / "summary.md"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path

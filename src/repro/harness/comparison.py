@@ -1,0 +1,185 @@
+"""Automated paper-vs-reproduction comparison (EXPERIMENTS.md in code).
+
+Runs the evaluation and lines every reproduced statistic up against the
+paper's printed value, with a per-row verdict.  ``shape holds`` means the
+reproduction preserves the paper's qualitative claim even where the
+magnitude differs (our testbed is a simulator); ``match`` means the
+number itself lands within the row's tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness import paperref
+from repro.harness.apps import run_fig5_transfer_scatter, run_table1_measured
+from repro.harness.context import ExperimentContext
+from repro.harness.speedups import (
+    run_speedup_vs_iterations,
+    run_table2_speedup_error,
+)
+from repro.harness.transfer_sweep import run_fig4_model_error
+from repro.util.tables import Table
+from repro.workloads.registry import get_workload
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    metric: str
+    paper: float
+    reproduced: float
+    tolerance: float  # relative tolerance for a "match" verdict
+    percent: bool = True  # render as percentage?
+
+    @property
+    def verdict(self) -> str:
+        if self.paper == 0:
+            return "match" if abs(self.reproduced) < 1e-9 else "differs"
+        rel = abs(self.reproduced - self.paper) / abs(self.paper)
+        return "match" if rel <= self.tolerance else "differs"
+
+    def _fmt(self, value: float) -> str:
+        return f"{value:.1%}" if self.percent else f"{value:g}"
+
+    def cells(self) -> list[str]:
+        return [
+            self.metric,
+            self._fmt(self.paper),
+            self._fmt(self.reproduced),
+            self.verdict,
+        ]
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    rows: tuple[ComparisonRow, ...]
+
+    def as_table(self) -> Table:
+        table = Table(
+            ["metric", "paper", "reproduced", "verdict"],
+            title="Paper vs reproduction",
+        )
+        for row in self.rows:
+            table.add_row(row.cells())
+        return table
+
+    def render(self) -> str:
+        matched = sum(1 for r in self.rows if r.verdict == "match")
+        return (
+            self.as_table().render()
+            + f"\n{matched}/{len(self.rows)} metrics within tolerance"
+        )
+
+    @property
+    def match_fraction(self) -> float:
+        return sum(1 for r in self.rows if r.verdict == "match") / len(
+            self.rows
+        )
+
+
+def compare_with_paper(ctx: ExperimentContext) -> PaperComparison:
+    """Run the evaluation and build the full comparison."""
+    rows: list[ComparisonRow] = []
+
+    fig4 = run_fig4_model_error(ctx)
+    rows.append(
+        ComparisonRow("Fig4 mean bus error, to GPU",
+                      paperref.FIG4_MEAN_ERROR_H2D, fig4.mean_h2d, 0.6)
+    )
+    rows.append(
+        ComparisonRow("Fig4 mean bus error, from GPU",
+                      paperref.FIG4_MEAN_ERROR_D2H, fig4.mean_d2h, 0.6)
+    )
+    rows.append(
+        ComparisonRow("Fig4 max bus error, to GPU",
+                      paperref.FIG4_MAX_ERROR_H2D, fig4.max_h2d, 0.6)
+    )
+
+    table1 = run_table1_measured(ctx)
+    for (app, size), ref in paperref.TABLE1.items():
+        row = table1.row(app, size)
+        rows.append(
+            ComparisonRow(
+                f"Table1 kernel ms, {app} {size}",
+                ref.kernel_ms, row.kernel_ms, 0.10, percent=False,
+            )
+        )
+        rows.append(
+            ComparisonRow(
+                f"Table1 transfer ms, {app} {size}",
+                ref.transfer_ms, row.transfer_ms, 0.25, percent=False,
+            )
+        )
+
+    fig5 = run_fig5_transfer_scatter(ctx)
+    rows.append(
+        ComparisonRow("Fig5 mean per-transfer error",
+                      paperref.FIG5_MEAN_TRANSFER_ERROR, fig5.mean_error,
+                      0.5)
+    )
+
+    table2 = run_table2_speedup_error(ctx)
+    for (app, size), ref in paperref.TABLE2.items():
+        row = table2.row(app, size)
+        rows.append(
+            ComparisonRow(
+                f"Table2 kernel-only error, {app} {size}",
+                ref.kernel_only, row.kernel_only_error, 0.35,
+            )
+        )
+    avg = table2.application_average
+    ref_avg = paperref.TABLE2_AVERAGE_APPLICATIONS
+    rows.append(
+        ComparisonRow("Table2 headline kernel-only",
+                      ref_avg.kernel_only, avg.kernel_only_error, 1.0)
+    )
+    rows.append(
+        ComparisonRow("Table2 headline transfer-only",
+                      ref_avg.transfer_only, avg.transfer_only_error, 0.35)
+    )
+    rows.append(
+        ComparisonRow("Table2 headline combined",
+                      ref_avg.both, avg.both_error, 2.0)
+    )
+
+    for name in ("CFD", "HotSpot", "SRAD"):
+        sweep = run_speedup_vs_iterations(ctx, get_workload(name))
+        rows.append(
+            ComparisonRow(
+                f"accuracy crossover iters, {name}",
+                paperref.ACCURACY_CROSSOVER[name],
+                sweep.accuracy_crossover or 0,
+                0.5,
+                percent=False,
+            )
+        )
+        rows.append(
+            ComparisonRow(
+                f"limit error, {name}",
+                paperref.LIMIT_ERROR[name],
+                sweep.limit_error,
+                0.6,
+            )
+        )
+
+    stassuij = get_workload("Stassuij")
+    report = ctx.report(stassuij, stassuij.datasets()[0])
+    rows.append(
+        ComparisonRow(
+            "Stassuij transfer-aware speedup",
+            paperref.STASSUIJ_BOTH_SPEEDUP,
+            report.predicted_speedup("both"),
+            0.15,
+            percent=False,
+        )
+    )
+    rows.append(
+        ComparisonRow(
+            "Stassuij measured speedup",
+            paperref.STASSUIJ_MEASURED_SPEEDUP,
+            report.measured.speedup(),
+            0.15,
+            percent=False,
+        )
+    )
+    return PaperComparison(tuple(rows))

@@ -1,0 +1,61 @@
+"""Exporters: write any experiment result as text, markdown, or CSV.
+
+Every experiment result exposes ``as_table()``; these helpers turn that
+into files or strings, so the harness can feed notebooks, papers, or CI
+artifacts without extra dependencies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.util.tables import Table
+from repro.util.validation import check_in
+
+FORMATS = ("text", "markdown", "csv")
+
+
+@runtime_checkable
+class TabularResult(Protocol):
+    """Anything the harness produces that can render as a table."""
+
+    def as_table(self) -> Table: ...
+
+
+def to_text(result: TabularResult) -> str:
+    """Aligned plain-text rendering (same as ``result.render()``'s body)."""
+    return result.as_table().render()
+
+
+def to_markdown(result: TabularResult) -> str:
+    """GitHub-flavoured markdown table."""
+    return result.as_table().to_markdown()
+
+
+def to_csv(result: TabularResult) -> str:
+    """CSV (header row first; the table title is not included)."""
+    return result.as_table().to_csv()
+
+
+def export(result: TabularResult, fmt: str = "text") -> str:
+    """Dispatch on format name ('text' | 'markdown' | 'csv')."""
+    check_in("fmt", fmt, FORMATS)
+    if fmt == "text":
+        return to_text(result)
+    if fmt == "markdown":
+        return to_markdown(result)
+    return to_csv(result)
+
+
+def save(result: TabularResult, path: str | Path, fmt: str | None = None) -> Path:
+    """Write the rendered result to ``path``.
+
+    The format defaults from the file suffix: ``.md`` -> markdown,
+    ``.csv`` -> csv, anything else -> text.
+    """
+    path = Path(path)
+    if fmt is None:
+        fmt = {".md": "markdown", ".csv": "csv"}.get(path.suffix, "text")
+    path.write_text(export(result, fmt) + "\n", encoding="utf-8")
+    return path

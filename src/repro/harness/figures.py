@@ -1,0 +1,119 @@
+"""ASCII-figure rendering of the experiment results.
+
+The paper's figures are log-log line charts and scatter plots; with no
+plotting stack offline, these helpers render the same shapes as character
+grids via :mod:`repro.util.asciiplot` — close enough to eyeball the
+crossovers and outliers the paper discusses.
+"""
+
+from __future__ import annotations
+
+from repro.harness.apps import Fig5Result, Fig6Result
+from repro.harness.speedups import (
+    SpeedupVsIterationsResult,
+    SpeedupVsSizeResult,
+)
+from repro.harness.transfer_sweep import (
+    ModelErrorResult,
+    PinnedSpeedupResult,
+    TransferSweepResult,
+)
+from repro.util.asciiplot import line_chart, scatter_chart
+
+
+def fig2_chart(result: TransferSweepResult, **kwargs) -> str:
+    """Fig. 2 as a log-log line chart (like the paper's)."""
+    return line_chart(
+        f"Fig. 2 ({result.direction.short}): transfer time vs size "
+        "(log-log)",
+        list(result.sizes),
+        {
+            "pinned": list(result.pinned),
+            "pageable": list(result.pageable),
+            "predicted": list(result.predicted_pinned),
+        },
+        log_x=True,
+        log_y=True,
+        **kwargs,
+    )
+
+
+def fig3_chart(result: PinnedSpeedupResult, **kwargs) -> str:
+    return line_chart(
+        "Fig. 3: pinned-over-pageable speedup vs size (log x)",
+        list(result.sizes),
+        {
+            "CPU-to-GPU": list(result.h2d_speedup),
+            "GPU-to-CPU": list(result.d2h_speedup),
+        },
+        log_x=True,
+        **kwargs,
+    )
+
+
+def fig4_chart(result: ModelErrorResult, **kwargs) -> str:
+    return line_chart(
+        "Fig. 4: |prediction error| vs transfer size (log x)",
+        list(result.sizes),
+        {
+            "to GPU": list(result.h2d_errors),
+            "from GPU": list(result.d2h_errors),
+        },
+        log_x=True,
+        **kwargs,
+    )
+
+
+def fig5_chart(result: Fig5Result, **kwargs) -> str:
+    """Fig. 5: per-transfer predicted vs measured, with the y=x line."""
+    points = [(p.measured, p.predicted) for p in result.points]
+    return scatter_chart(
+        "Fig. 5: predicted (y) vs measured (x) transfer time, log-log",
+        points,
+        log=True,
+        diagonal=True,
+        **kwargs,
+    )
+
+
+def fig6_chart(result: Fig6Result, **kwargs) -> str:
+    points = [(p.kernel_error, p.transfer_error) for p in result.points]
+    return scatter_chart(
+        "Fig. 6: transfer error (y) vs kernel error (x)",
+        points,
+        log=False,
+        diagonal=True,
+        **kwargs,
+    )
+
+
+def speedup_vs_iterations_chart(
+    result: SpeedupVsIterationsResult, **kwargs
+) -> str:
+    """Figs. 8/10/12 as a log-x line chart."""
+    return line_chart(
+        f"{result.application} {result.data_size}: speedup vs iterations "
+        "(log x)",
+        list(result.iterations),
+        {
+            "measured": list(result.measured),
+            "with transfer": list(result.predicted_with_transfer),
+            "kernel only": list(result.predicted_without_transfer),
+        },
+        log_x=True,
+        **kwargs,
+    )
+
+
+def speedup_vs_size_chart(result: SpeedupVsSizeResult, **kwargs) -> str:
+    """Figs. 7/9/11 as a categorical line chart."""
+    return line_chart(
+        f"{result.application}: speedup vs data size",
+        list(range(len(result.labels))),
+        {
+            "measured": list(result.measured),
+            "with transfer": list(result.predicted_with_transfer),
+            "kernel only": list(result.predicted_without_transfer),
+        },
+        **kwargs,
+    )

@@ -1,0 +1,87 @@
+"""The paper's reported numbers, transcribed for comparison.
+
+All percentages are fractions (0.08 == 8%).  Sources: Table I, Table II,
+Figs. 4/5/8/10/12 captions and the surrounding prose of Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    kernel_ms: float
+    transfer_ms: float
+    percent_transfer: float
+    input_mb: float
+    output_mb: float
+
+
+#: Table I (the 64x64 HotSpot row prints "<0.1"; we carry the values our
+#: calibration resolves it to, consistent with its 41% transfer share).
+TABLE1: dict[tuple[str, str], PaperTable1Row] = {
+    ("CFD", "97K"): PaperTable1Row(1.9, 3.2, 63, 6.3, 1.9),
+    ("CFD", "193K"): PaperTable1Row(3.2, 6.2, 66, 12.6, 3.7),
+    ("CFD", "233K"): PaperTable1Row(3.1, 7.4, 70, 15.1, 4.4),
+    ("HotSpot", "64 x 64"): PaperTable1Row(0.072, 0.05, 41, 0.031, 0.016),
+    ("HotSpot", "512 x 512"): PaperTable1Row(0.3, 1.2, 77, 2.0, 1.0),
+    ("HotSpot", "1024 x 1024"): PaperTable1Row(1.2, 4.6, 79, 8.0, 4.0),
+    ("SRAD", "1024 x 1024"): PaperTable1Row(2.0, 4.0, 67, 4.0, 4.0),
+    ("SRAD", "2048 x 2048"): PaperTable1Row(7.6, 13.0, 63, 16.0, 16.0),
+    ("SRAD", "4096 x 4096"): PaperTable1Row(28.1, 49.0, 64, 64.0, 64.0),
+    ("Stassuij", "132 x 2048"): PaperTable1Row(2.4, 4.9, 67, 8.5, 4.1),
+}
+
+
+@dataclass(frozen=True)
+class PaperTable2Row:
+    kernel_only: float
+    transfer_only: float
+    both: float
+
+
+#: Table II, per data set.
+TABLE2: dict[tuple[str, str], PaperTable2Row] = {
+    ("CFD", "97K"): PaperTable2Row(3.77, 0.67, 0.24),
+    ("CFD", "193K"): PaperTable2Row(3.44, 0.56, 0.15),
+    ("CFD", "233K"): PaperTable2Row(3.16, 0.46, 0.08),
+    ("HotSpot", "64 x 64"): PaperTable2Row(0.93, 1.98, 0.17),
+    ("HotSpot", "512 x 512"): PaperTable2Row(4.06, 0.35, 0.07),
+    ("HotSpot", "1024 x 1024"): PaperTable2Row(3.66, 0.31, 0.02),
+    ("SRAD", "1024 x 1024"): PaperTable2Row(2.41, 0.97, 0.25),
+    ("SRAD", "2048 x 2048"): PaperTable2Row(1.96, 0.72, 0.09),
+    ("SRAD", "4096 x 4096"): PaperTable2Row(1.76, 0.61, 0.01),
+    ("Stassuij", "132 x 2048"): PaperTable2Row(1.82, 0.51, 0.02),
+}
+
+#: Table II's two closing average rows.
+TABLE2_AVERAGE_DATASETS = PaperTable2Row(2.70, 0.71, 0.11)
+TABLE2_AVERAGE_APPLICATIONS = PaperTable2Row(2.55, 0.68, 0.09)
+
+#: Fig. 4 summary statistics.
+FIG4_MAX_ERROR_H2D = 0.064
+FIG4_MAX_ERROR_D2H = 0.033
+FIG4_MEAN_ERROR_H2D = 0.020
+FIG4_MEAN_ERROR_D2H = 0.008
+
+#: Fig. 5: average per-transfer prediction error across all apps.
+FIG5_MEAN_TRANSFER_ERROR = 0.076
+
+#: Fig. 3: pinned beats pageable for all H2D transfers above ~2 KB.
+FIG3_H2D_CROSSOVER_BYTES = 2048
+
+#: Figs. 8/10/12: iteration counts below which the transfer-aware
+#: prediction stays more than twice as accurate, and the infinite-
+#: iteration-limit errors.
+ACCURACY_CROSSOVER = {"CFD": 18, "HotSpot": 70, "SRAD": 228}
+LIMIT_ERROR = {"CFD": 0.226, "HotSpot": 0.019, "SRAD": 0.0075}
+
+#: Section V-B.4: the Stassuij decision flip.
+STASSUIJ_KERNEL_ONLY_SPEEDUP = 1.10
+STASSUIJ_MEASURED_SPEEDUP = 0.39
+STASSUIJ_BOTH_SPEEDUP = 0.38
+
+#: Headline claims (abstract / Section V).
+MEAN_KERNEL_TIME_ERROR = 0.15
+MEAN_TRANSFER_TIME_ERROR = 0.08

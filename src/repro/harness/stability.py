@@ -1,0 +1,85 @@
+"""Seed-stability study: are the headline numbers a fluke of one run?
+
+Every measurement on the virtual testbed is stochastic (jitter, the
+bimodal CFD transfer).  This module reruns the headline Table II metrics
+across several independent testbed seeds — different "lab days" — and
+summarizes the spread, demonstrating the reproduction's conclusions are
+properties of the system, not of seed 2013.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.context import ExperimentContext
+from repro.harness.speedups import run_table2_speedup_error
+from repro.util.stats import Summary, summarize
+from repro.util.tables import Table
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Headline metrics across seeds."""
+
+    seeds: tuple[int, ...]
+    kernel_only: Summary
+    transfer_only: Summary
+    both: Summary
+
+    def as_table(self) -> Table:
+        table = Table(
+            ["metric", "mean", "std", "min", "max"],
+            title=(
+                f"Table II headline across {len(self.seeds)} testbed seeds"
+            ),
+        )
+        for name, summary in (
+            ("kernel-only error", self.kernel_only),
+            ("transfer-only error", self.transfer_only),
+            ("kernel+transfer error", self.both),
+        ):
+            table.add_row(
+                [
+                    name,
+                    f"{summary.mean:.0%}",
+                    f"{summary.std:.1%}",
+                    f"{summary.minimum:.0%}",
+                    f"{summary.maximum:.0%}",
+                ]
+            )
+        return table
+
+    def render(self) -> str:
+        return self.as_table().render()
+
+    @property
+    def conclusion_stable(self) -> bool:
+        """Does every seed preserve the headline ordering with margin?
+
+        Requires kernel-only to stay an order of magnitude above the
+        combined error in the *worst* seed.
+        """
+        return self.kernel_only.minimum > 10 * self.both.maximum
+
+
+def headline_across_seeds(
+    seeds: tuple[int, ...] = (2013, 1, 7, 42, 99),
+) -> StabilityResult:
+    """Run Table II on several independent testbeds; summarize."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    check_positive("seed count", len(seeds))
+    kernel_only, transfer_only, both = [], [], []
+    for seed in seeds:
+        ctx = ExperimentContext(seed=seed)
+        avg = run_table2_speedup_error(ctx).application_average
+        kernel_only.append(avg.kernel_only_error)
+        transfer_only.append(avg.transfer_only_error)
+        both.append(avg.both_error)
+    return StabilityResult(
+        seeds=tuple(seeds),
+        kernel_only=summarize(kernel_only),
+        transfer_only=summarize(transfer_only),
+        both=summarize(both),
+    )

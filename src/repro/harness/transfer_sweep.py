@@ -1,0 +1,200 @@
+"""Figures 2-4: the transfer-model validation sweep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datausage.transfers import Direction
+from repro.harness.context import ExperimentContext
+from repro.pcie.channel import MemoryKind
+from repro.pcie.sweep import measure_sweep, power_of_two_sizes
+from repro.util.stats import arithmetic_mean, error_magnitude
+from repro.util.tables import Table, series_table
+from repro.util.units import bytes_to_human
+
+
+@dataclass(frozen=True)
+class TransferSweepResult:
+    """Fig. 2: measured pinned/pageable times + model overlay, per size."""
+
+    direction: Direction
+    sizes: tuple[int, ...]
+    pinned: tuple[float, ...]
+    pageable: tuple[float, ...]
+    predicted_pinned: tuple[float, ...]
+
+    def as_table(self) -> Table:
+        return series_table(
+            f"Fig. 2 ({self.direction.short}): transfer time [s] vs size",
+            [bytes_to_human(s) for s in self.sizes],
+            {
+                "pinned": self.pinned,
+                "pageable": self.pageable,
+                "predicted(pinned)": self.predicted_pinned,
+            },
+            x_label="size",
+        )
+
+    def render(self) -> str:
+        return self.as_table().render()
+
+
+def run_fig2_transfer_times(
+    ctx: ExperimentContext,
+    direction: Direction = Direction.H2D,
+    repetitions: int = 10,
+) -> TransferSweepResult:
+    """Measure the 1B..512MB sweep for both memory kinds + model overlay."""
+    sizes = power_of_two_sizes()
+    pinned = measure_sweep(
+        ctx.testbed.bus, sizes, direction, MemoryKind.PINNED, repetitions
+    )
+    pageable = measure_sweep(
+        ctx.testbed.bus, sizes, direction, MemoryKind.PAGEABLE, repetitions
+    )
+    model = ctx.bus_model.for_direction(direction)
+    return TransferSweepResult(
+        direction=direction,
+        sizes=tuple(sizes),
+        pinned=tuple(s.mean_time for s in pinned),
+        pageable=tuple(s.mean_time for s in pageable),
+        predicted_pinned=tuple(model.predict(s) for s in sizes),
+    )
+
+
+@dataclass(frozen=True)
+class PinnedSpeedupResult:
+    """Fig. 3: pinned-vs-pageable speedup per size and direction."""
+
+    sizes: tuple[int, ...]
+    h2d_speedup: tuple[float, ...]
+    d2h_speedup: tuple[float, ...]
+
+    def as_table(self) -> Table:
+        return series_table(
+            "Fig. 3: speedup of pinned over pageable transfers",
+            [bytes_to_human(s) for s in self.sizes],
+            {"CPU-to-GPU": self.h2d_speedup, "GPU-to-CPU": self.d2h_speedup},
+            x_label="size",
+        )
+
+    def render(self) -> str:
+        return self.as_table().render()
+
+    def crossover_size_h2d(self) -> int | None:
+        """Smallest size from which pinned stays ahead for H2D (~2KB).
+
+        Scans from the large end so measurement jitter at tiny sizes
+        (where the two memory kinds are within noise of each other)
+        cannot fake an early crossover.
+        """
+        crossover = None
+        for size, s in zip(
+            reversed(self.sizes), reversed(self.h2d_speedup)
+        ):
+            if s >= 1.0:
+                crossover = size
+            else:
+                break
+        return crossover
+
+
+def run_fig3_pinned_speedup(
+    ctx: ExperimentContext, repetitions: int = 10
+) -> PinnedSpeedupResult:
+    sizes = power_of_two_sizes()
+    speedups: dict[Direction, tuple[float, ...]] = {}
+    for direction in Direction:
+        pinned = measure_sweep(
+            ctx.testbed.bus, sizes, direction, MemoryKind.PINNED, repetitions
+        )
+        pageable = measure_sweep(
+            ctx.testbed.bus, sizes, direction, MemoryKind.PAGEABLE, repetitions
+        )
+        speedups[direction] = tuple(
+            pg.mean_time / pi.mean_time for pg, pi in zip(pageable, pinned)
+        )
+    return PinnedSpeedupResult(
+        sizes=tuple(sizes),
+        h2d_speedup=speedups[Direction.H2D],
+        d2h_speedup=speedups[Direction.D2H],
+    )
+
+
+@dataclass(frozen=True)
+class ModelErrorResult:
+    """Fig. 4: |error| of the calibrated linear model per size/direction."""
+
+    sizes: tuple[int, ...]
+    h2d_errors: tuple[float, ...]
+    d2h_errors: tuple[float, ...]
+
+    @property
+    def mean_h2d(self) -> float:
+        return arithmetic_mean(self.h2d_errors)
+
+    @property
+    def mean_d2h(self) -> float:
+        return arithmetic_mean(self.d2h_errors)
+
+    @property
+    def max_h2d(self) -> float:
+        return max(self.h2d_errors)
+
+    @property
+    def max_d2h(self) -> float:
+        return max(self.d2h_errors)
+
+    def mean_above(self, threshold_bytes: int, direction: Direction) -> float:
+        errors = (
+            self.h2d_errors
+            if direction is Direction.H2D
+            else self.d2h_errors
+        )
+        selected = [
+            e for s, e in zip(self.sizes, errors) if s > threshold_bytes
+        ]
+        return arithmetic_mean(selected)
+
+    def as_table(self) -> Table:
+        return series_table(
+            "Fig. 4: |predicted - measured| / measured per transfer size",
+            [bytes_to_human(s) for s in self.sizes],
+            {
+                "to GPU": self.h2d_errors,
+                "from GPU": self.d2h_errors,
+            },
+            x_label="size",
+            value_format="{:.3%}",
+        )
+
+    def render(self) -> str:
+        body = self.as_table().render()
+        summary = (
+            f"\nmean error: {self.mean_h2d:.1%} (to GPU), "
+            f"{self.mean_d2h:.1%} (from GPU); "
+            f"max: {self.max_h2d:.1%} / {self.max_d2h:.1%}"
+        )
+        return body + summary
+
+
+def run_fig4_model_error(
+    ctx: ExperimentContext, repetitions: int = 10
+) -> ModelErrorResult:
+    """Validate the calibrated model against a fresh measured sweep."""
+    sizes = power_of_two_sizes()
+    errors: dict[Direction, tuple[float, ...]] = {}
+    for direction in Direction:
+        model = ctx.bus_model.for_direction(direction)
+        samples = measure_sweep(
+            ctx.testbed.bus, sizes, direction, MemoryKind.PINNED, repetitions
+        )
+        errors[direction] = tuple(
+            error_magnitude(model.predict(s.size_bytes), s.mean_time)
+            for s in samples
+        )
+    return ModelErrorResult(
+        sizes=tuple(sizes),
+        h2d_errors=errors[Direction.H2D],
+        d2h_errors=errors[Direction.D2H],
+    )

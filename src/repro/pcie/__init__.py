@@ -1,0 +1,54 @@
+"""PCIe bus transfer-time modeling (paper Section III-C).
+
+The model is deliberately simple: ``T(d) = alpha + beta * d`` with the two
+parameters measured empirically per system — ``alpha`` from a 1-byte
+transfer and ``beta`` from a 512 MB transfer, each averaged over ten runs.
+:class:`~repro.pcie.calibration.Calibrator` automates the procedure against
+any object implementing the :class:`~repro.pcie.channel.TransferChannel`
+protocol (the simulated testbed in :mod:`repro.sim`, or real hardware if
+you have it).
+"""
+
+from repro.pcie.channel import MemoryKind, TransferChannel
+from repro.pcie.model import BusModel, LinearTransferModel
+from repro.pcie.calibration import (
+    CalibrationConfig,
+    Calibrator,
+    calibrate_bus,
+)
+from repro.pcie.sweep import (
+    TransferSample,
+    measure_sweep,
+    power_of_two_sizes,
+)
+from repro.pcie.allocation import (
+    AllocationCost,
+    AllocationModel,
+    cuda23_era_allocation_model,
+)
+from repro.pcie.presets import (
+    bus_for_generation,
+    pcie_gen1_bus,
+    pcie_gen2_bus,
+    pcie_gen3_bus,
+)
+
+__all__ = [
+    "MemoryKind",
+    "TransferChannel",
+    "BusModel",
+    "LinearTransferModel",
+    "CalibrationConfig",
+    "Calibrator",
+    "calibrate_bus",
+    "TransferSample",
+    "measure_sweep",
+    "power_of_two_sizes",
+    "AllocationCost",
+    "AllocationModel",
+    "cuda23_era_allocation_model",
+    "bus_for_generation",
+    "pcie_gen1_bus",
+    "pcie_gen2_bus",
+    "pcie_gen3_bus",
+]

@@ -1,0 +1,88 @@
+"""Memory-allocation overhead modeling (the paper's stated future work).
+
+The paper's conclusion lists "account for the overhead of memory
+allocation" as future work: before any transfer can happen, the port must
+``cudaMalloc`` device buffers and — if it wants fast transfers —
+``cudaHostAlloc`` pinned host buffers, which page-lock memory and are an
+order of magnitude more expensive than ``malloc``.  For applications that
+run few iterations, allocation can rival the transfers themselves.
+
+Like the transfer model, allocation cost is modeled linearly per call:
+``T(n) = alpha + beta * n``.  The preset constants are CUDA-2.3-era
+estimates (documented per field); on real hardware they would be
+calibrated by the same kind of micro-benchmark as the bus model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datausage.transfers import TransferPlan
+from repro.pcie.channel import MemoryKind
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class AllocationCost:
+    """Linear per-call cost: ``alpha + beta * bytes``."""
+
+    alpha: float  # seconds per call
+    beta: float  # seconds per byte
+
+    def __post_init__(self) -> None:
+        check_non_negative("alpha", self.alpha)
+        check_non_negative("beta", self.beta)
+
+    def time(self, size_bytes: float) -> float:
+        check_non_negative("size_bytes", size_bytes)
+        return self.alpha + self.beta * size_bytes
+
+
+@dataclass(frozen=True)
+class AllocationModel:
+    """Allocation costs for the three buffer classes a port needs."""
+
+    device: AllocationCost
+    pinned_host: AllocationCost
+    pageable_host: AllocationCost
+
+    def host_cost(self, memory: MemoryKind) -> AllocationCost:
+        return (
+            self.pinned_host
+            if memory is MemoryKind.PINNED
+            else self.pageable_host
+        )
+
+    def plan_setup_time(
+        self, plan: TransferPlan, memory: MemoryKind = MemoryKind.PINNED
+    ) -> float:
+        """One-time allocation cost of implementing a transfer plan.
+
+        One device buffer per distinct array in the plan, plus one host
+        buffer of the matching kind per distinct array (the port re-homes
+        its host arrays into pinned buffers to get pinned transfer rates).
+        """
+        sizes: dict[str, int] = {}
+        for transfer in plan.transfers:
+            sizes[transfer.array] = max(
+                sizes.get(transfer.array, 0), transfer.bytes
+            )
+        host = self.host_cost(memory)
+        return sum(
+            self.device.time(n) + host.time(n) for n in sizes.values()
+        )
+
+
+def cuda23_era_allocation_model() -> AllocationModel:
+    """Plausible CUDA 2.3 / G80-era allocation costs.
+
+    - ``cudaMalloc``: ~90 us driver round trip, ~50 us/GiB bookkeeping;
+    - ``cudaHostAlloc``: ~230 us plus page-locking at ~400 us/GiB;
+    - ``malloc``: ~8 us, lazily mapped (per-byte cost negligible until
+      first touch, which the CPU baseline pays anyway).
+    """
+    return AllocationModel(
+        device=AllocationCost(alpha=90e-6, beta=5e-14),
+        pinned_host=AllocationCost(alpha=230e-6, beta=4e-13),
+        pageable_host=AllocationCost(alpha=8e-6, beta=0.0),
+    )

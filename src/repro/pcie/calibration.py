@@ -1,0 +1,91 @@
+"""Automatic per-system calibration of the bus model (Section III-C).
+
+GROPHECY++ runs a tiny synthetic benchmark on each new system: ten 1-byte
+transfers give ``alpha``; ten 512 MB transfers give ``beta``.  The
+:class:`Calibrator` reproduces that procedure against any
+:class:`~repro.pcie.channel.TransferChannel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datausage.transfers import Direction
+from repro.pcie.channel import MemoryKind, TransferChannel
+from repro.pcie.model import BusModel, LinearTransferModel
+from repro.util.stats import arithmetic_mean
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Knobs of the calibration benchmark.
+
+    Defaults are the paper's: 1 B small transfer, 512 MB large transfer,
+    10 repetitions, pinned memory.  The paper notes the large size is
+    arbitrary — anything beyond a few MB suffices — and that choosing a
+    size near the largest the system supports is a reasonable default.
+    """
+
+    small_size: int = 1
+    large_size: int = 512 * MiB
+    repetitions: int = 10
+    memory: MemoryKind = MemoryKind.PINNED
+
+    def __post_init__(self) -> None:
+        check_positive("small_size", self.small_size)
+        check_positive("large_size", self.large_size)
+        check_positive("repetitions", self.repetitions)
+        if self.large_size <= self.small_size:
+            raise ValueError(
+                "large_size must exceed small_size "
+                f"({self.large_size} <= {self.small_size})"
+            )
+
+
+class Calibrator:
+    """Measures alpha and beta on a channel and builds the bus model."""
+
+    def __init__(
+        self,
+        channel: TransferChannel,
+        config: CalibrationConfig | None = None,
+    ) -> None:
+        self._channel = channel
+        self._config = config or CalibrationConfig()
+
+    @property
+    def config(self) -> CalibrationConfig:
+        return self._config
+
+    def _mean_time(self, size: int, direction: Direction) -> float:
+        cfg = self._config
+        samples = [
+            self._channel.transfer_time(size, direction, cfg.memory)
+            for _ in range(cfg.repetitions)
+        ]
+        return arithmetic_mean(samples)
+
+    def calibrate_direction(self, direction: Direction) -> LinearTransferModel:
+        """Run the 2-point benchmark for one direction."""
+        cfg = self._config
+        t_small = self._mean_time(cfg.small_size, direction)
+        t_large = self._mean_time(cfg.large_size, direction)
+        return LinearTransferModel.from_two_points(
+            t_small, t_large, cfg.large_size
+        )
+
+    def calibrate(self) -> BusModel:
+        """Calibrate both directions (the full synthetic benchmark)."""
+        return BusModel(
+            h2d=self.calibrate_direction(Direction.H2D),
+            d2h=self.calibrate_direction(Direction.D2H),
+        )
+
+
+def calibrate_bus(
+    channel: TransferChannel, config: CalibrationConfig | None = None
+) -> BusModel:
+    """One-call calibration, as GROPHECY++ does on a new system."""
+    return Calibrator(channel, config).calibrate()

@@ -1,0 +1,42 @@
+"""The measurement interface the calibrator runs against."""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol, runtime_checkable
+
+from repro.datausage.transfers import Direction
+
+
+class MemoryKind(enum.Enum):
+    """Host allocation type for the transfer staging buffer.
+
+    Pinned (page-locked, ``cudaHostAlloc``) memory can be DMA'd directly;
+    pageable (``malloc``) memory is staged through a driver-side pinned
+    buffer, costing bandwidth.  The paper assumes pinned for predictions
+    (Section III-C) since it wins in almost all cases.
+    """
+
+    PINNED = "pinned"
+    PAGEABLE = "pageable"
+
+
+@runtime_checkable
+class TransferChannel(Protocol):
+    """Anything that can time one CPU<->GPU copy of ``size`` bytes.
+
+    Implementations: :class:`repro.sim.pcie_sim.SimulatedPcieBus` (the
+    virtual testbed) — on a machine with a real GPU one would wrap a
+    ``cudaMemcpy`` timing loop instead.  Each call represents one
+    *measured run*; the calibrator averages ten of them, mirroring the
+    paper's methodology.
+    """
+
+    def transfer_time(
+        self,
+        size_bytes: int,
+        direction: Direction,
+        memory: MemoryKind = MemoryKind.PINNED,
+    ) -> float:
+        """Seconds for one transfer of ``size_bytes`` in ``direction``."""
+        ...

@@ -1,0 +1,80 @@
+"""Transfer-size sweeps: the measurement grid behind Figs. 2-4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datausage.transfers import Direction
+from repro.pcie.channel import MemoryKind, TransferChannel
+from repro.util.stats import arithmetic_mean
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+
+def power_of_two_sizes(
+    smallest: int = 1, largest: int = 512 * MiB
+) -> list[int]:
+    """All powers of two from ``smallest`` to ``largest`` inclusive.
+
+    The paper's validation sweep runs from 1 B to 512 MB (30 sizes).
+    """
+    check_positive("smallest", smallest)
+    check_positive("largest", largest)
+    if smallest & (smallest - 1) or largest & (largest - 1):
+        raise ValueError("sweep endpoints must be powers of two")
+    if largest < smallest:
+        raise ValueError("largest must be >= smallest")
+    sizes = []
+    size = smallest
+    while size <= largest:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+@dataclass(frozen=True)
+class TransferSample:
+    """Mean measured time for one (size, direction, memory) grid point."""
+
+    size_bytes: int
+    direction: Direction
+    memory: MemoryKind
+    mean_time: float
+    times: tuple[float, ...]
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.times)
+
+
+def measure_sweep(
+    channel: TransferChannel,
+    sizes: list[int] | None = None,
+    direction: Direction = Direction.H2D,
+    memory: MemoryKind = MemoryKind.PINNED,
+    repetitions: int = 10,
+) -> list[TransferSample]:
+    """Measure a sweep of transfer sizes, ``repetitions`` runs per size.
+
+    Matches the methodology of Fig. 2: each reported time is the
+    arithmetic mean of ten separate transfers.
+    """
+    check_positive("repetitions", repetitions)
+    if sizes is None:
+        sizes = power_of_two_sizes()
+    samples = []
+    for size in sizes:
+        times = tuple(
+            channel.transfer_time(size, direction, memory)
+            for _ in range(repetitions)
+        )
+        samples.append(
+            TransferSample(
+                size_bytes=size,
+                direction=direction,
+                memory=memory,
+                mean_time=arithmetic_mean(times),
+                times=times,
+            )
+        )
+    return samples

@@ -1,0 +1,60 @@
+"""The simulated Argonne testbed (hardware substitution layer).
+
+The paper's "measured" numbers come from a real Xeon E5405 + Quadro FX
+5600 node (PCIe v1, x16).  Without that hardware we substitute a virtual
+testbed whose first-order behaviour matches the paper's calibration
+(alpha ~ 10 us, sustained PCIe bandwidth ~ 2.5 GB/s, kernel times anchored
+to Table I) and whose *second-order* behaviour supplies everything a real
+machine adds on top of a linear model: run-to-run jitter, mid-size
+curvature, pageable-memory staging costs, kernel-launch overhead, DRAM
+efficiency, uncoalesced-gather penalties, and the pathological per-
+transfer quirks the paper calls out in Fig. 5.
+
+Crucially, the *predictor* (GROPHECY++) never sees any of this machinery —
+it only observes transfer times through the same two-point calibration a
+real deployment would run, so prediction errors are earned, not assumed.
+"""
+
+from repro.sim.noise import NoiseProfile, BimodalQuirk
+from repro.sim.pcie_sim import (
+    PcieLinkParams,
+    SimulatedPcieBus,
+    argonne_pcie_params,
+)
+from repro.sim.gpu_sim import (
+    GpuSimParams,
+    KernelWork,
+    SimulatedGpu,
+    kernel_work_from_skeleton,
+)
+from repro.sim.cpu_sim import SimulatedCpu, CpuSimParams
+from repro.sim.machine import VirtualTestbed, argonne_testbed
+from repro.sim.measurement import MeasuredValue, repeat_mean
+from repro.sim.timeline import (
+    Timeline,
+    TimelineEvent,
+    overlapped_timeline,
+    synchronous_timeline,
+)
+
+__all__ = [
+    "Timeline",
+    "TimelineEvent",
+    "overlapped_timeline",
+    "synchronous_timeline",
+    "NoiseProfile",
+    "BimodalQuirk",
+    "PcieLinkParams",
+    "SimulatedPcieBus",
+    "argonne_pcie_params",
+    "GpuSimParams",
+    "KernelWork",
+    "SimulatedGpu",
+    "kernel_work_from_skeleton",
+    "SimulatedCpu",
+    "CpuSimParams",
+    "VirtualTestbed",
+    "argonne_testbed",
+    "MeasuredValue",
+    "repeat_mean",
+]

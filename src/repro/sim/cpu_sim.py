@@ -1,0 +1,64 @@
+"""The CPU execution simulator ("measured" CPU baseline times)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.arch import CPUArchitecture, xeon_e5405
+from repro.cpu.model import CpuPerformanceModel, CpuWorkProfile
+from repro.sim.noise import NoiseProfile
+from repro.util.rng import RngStream
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CpuSimParams:
+    """Behaviour knobs of the simulated CPU node."""
+
+    noise_sigma: float = 0.01
+
+
+class SimulatedCpu:
+    """Times the OpenMP CPU baseline on the virtual Xeon E5405 node.
+
+    The roofline model supplies the expected time; a per-workload
+    ``hardware_factor`` (replayed testbed calibration, DESIGN.md §2)
+    captures deviations of the real OpenMP code from the roofline, and a
+    small jitter models run-to-run variation (CPU timings are much
+    steadier than PCIe ones).
+    """
+
+    def __init__(
+        self,
+        arch: CPUArchitecture | None = None,
+        params: CpuSimParams | None = None,
+        rng: RngStream | None = None,
+    ) -> None:
+        self._arch = arch or xeon_e5405()
+        self._model = CpuPerformanceModel(self._arch)
+        self._params = params or CpuSimParams()
+        self._rng = rng or RngStream(0, "cpu")
+        self._noise = NoiseProfile.constant(self._params.noise_sigma)
+
+    @property
+    def arch(self) -> CPUArchitecture:
+        return self._arch
+
+    @property
+    def model(self) -> CpuPerformanceModel:
+        return self._model
+
+    def expected_time(
+        self, profile: CpuWorkProfile, hardware_factor: float = 1.0
+    ) -> float:
+        """Noise-free ground truth for one iteration of the CPU baseline."""
+        check_positive("hardware_factor", hardware_factor)
+        return self._model.time(profile) * hardware_factor
+
+    def run_time(
+        self, profile: CpuWorkProfile, hardware_factor: float = 1.0
+    ) -> float:
+        """One measured run (with jitter)."""
+        return self.expected_time(profile, hardware_factor) * (
+            self._noise.factor(profile.bytes_moved, self._rng)
+        )

@@ -1,0 +1,183 @@
+"""The GPU kernel-execution simulator ("measured" kernel times).
+
+This is the virtual testbed's stand-in for running hand-tuned CUDA on the
+Quadro FX 5600.  It accounts for effects the analytical predictor does not
+see:
+
+- kernel launch overhead (CUDA 2.3-era, several microseconds);
+- DRAM efficiency below peak, degrading further for small grids that
+  cannot fill the memory system;
+- block-scheduling granularity (partial last waves still take a full wave);
+- the gather/scatter penalty of data-dependent accesses (CFD, Stassuij);
+- a per-kernel ``hardware_factor`` — the replayed Argonne-testbed
+  calibration (anchored to the paper's Table I; see DESIGN.md §2) that
+  encodes everything else the real machine did differently;
+- run-to-run jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.skeleton.arrays import ArrayDecl
+from repro.skeleton.kernel import KernelSkeleton
+from repro.sim.noise import NoiseProfile
+from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative, check_positive
+
+#: Complex arithmetic expands to ~4 real operations (matches synthesize).
+_COMPLEX_EXPANSION = 4.0
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """What the hand-coded GPU kernel actually does, per launch.
+
+    Derived from the same skeleton the predictor sees (the work is a
+    property of the algorithm), but consumed by an independent timing
+    account.
+    """
+
+    name: str
+    threads: int
+    useful_bytes: float  # payload global-memory traffic
+    flops: float
+    irregular_fraction: float  # fraction of accesses that gather/scatter
+    syncs: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("threads", self.threads)
+        check_non_negative("useful_bytes", self.useful_bytes)
+        check_non_negative("flops", self.flops)
+        if not 0.0 <= self.irregular_fraction <= 1.0:
+            raise ValueError(
+                "irregular_fraction must be in [0, 1], got "
+                f"{self.irregular_fraction}"
+            )
+
+
+def kernel_work_from_skeleton(
+    kernel: KernelSkeleton,
+    arrays: Mapping[str, ArrayDecl],
+    strict_coalescing: bool = True,
+) -> KernelWork:
+    """Account the raw work of a kernel from its skeleton.
+
+    The irregular fraction weighs each access by its traffic and asks
+    whether the natural thread mapping (innermost parallel loop) would
+    coalesce it — a hand-coded CUDA port hits the same DRAM behaviour.
+    """
+    # Local import: sim must not depend on transform at module load time.
+    from repro.transform.synthesize import access_is_coalesced
+
+    map_var = kernel.parallel_loops[-1].var if kernel.parallel_loops else None
+    bytes_total = 0.0
+    irregular_bytes = 0.0
+    flops = 0.0
+    for stmt in kernel.statements:
+        weight = stmt.branch_prob * kernel.statement_weight(stmt)
+        expansion = 1.0
+        if any(arrays[a.array].dtype.is_complex for a in stmt.accesses):
+            expansion = _COMPLEX_EXPANSION
+        flops += stmt.flops * weight * expansion
+        for access in stmt.accesses:
+            decl = arrays[access.array]
+            traffic = decl.dtype.size_bytes * weight
+            if (
+                access.is_load
+                and map_var is not None
+                and not access.indirect
+                and all(
+                    idx.coefficient(map_var) == 0 for idx in access.indices
+                )
+            ):
+                # Warp-uniform broadcast (e.g. K-Means centroids): one
+                # transaction serves the whole warp.
+                traffic /= 32.0
+            bytes_total += traffic
+            coalesced = map_var is not None and access_is_coalesced(
+                access, map_var, decl, strict_coalescing
+            )
+            if not coalesced:
+                irregular_bytes += traffic
+    iterations = kernel.total_iterations
+    return KernelWork(
+        name=kernel.name,
+        threads=kernel.parallel_iterations,
+        useful_bytes=bytes_total * iterations,
+        flops=flops * iterations,
+        irregular_fraction=(
+            irregular_bytes / bytes_total if bytes_total else 0.0
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class GpuSimParams:
+    """Machine behaviour of the simulated GPU."""
+
+    peak_bandwidth: float = 76.8e9  # bytes/s
+    streaming_efficiency: float = 0.62  # fraction of peak for big grids
+    small_grid_penalty_threads: float = 200_000.0  # efficiency ramp scale
+    small_grid_penalty_depth: float = 0.35  # max extra loss for tiny grids
+    gather_bandwidth_fraction: float = 0.22  # efficiency of irregular access
+    peak_flops: float = 345.6e9  # 16 SM x 8 SP x 2 x 1.35 GHz
+    compute_efficiency: float = 0.55
+    launch_overhead: float = 7.0e-6  # seconds per kernel launch
+    wave_threads: int = 12_288  # 16 SMs x 768 threads: one full wave
+    noise_sigma: float = 0.015
+
+    def effective_bandwidth(self, work: KernelWork) -> float:
+        """Achievable DRAM bandwidth for this kernel's access mix."""
+        ramp = 1.0 - self.small_grid_penalty_depth * math.exp(
+            -work.threads / self.small_grid_penalty_threads
+        )
+        regular_bw = self.peak_bandwidth * self.streaming_efficiency * ramp
+        gather_bw = self.peak_bandwidth * self.gather_bandwidth_fraction * ramp
+        f = work.irregular_fraction
+        if f == 0.0:
+            return regular_bw
+        # Harmonic mix: time adds per byte class.
+        return 1.0 / ((1.0 - f) / regular_bw + f / gather_bw)
+
+
+class SimulatedGpu:
+    """Times kernel launches on the virtual FX 5600."""
+
+    def __init__(
+        self,
+        params: GpuSimParams | None = None,
+        rng: RngStream | None = None,
+    ) -> None:
+        self._params = params or GpuSimParams()
+        self._rng = rng or RngStream(0, "gpu")
+        self._noise = NoiseProfile.constant(self._params.noise_sigma)
+
+    @property
+    def params(self) -> GpuSimParams:
+        return self._params
+
+    def expected_kernel_time(
+        self, work: KernelWork, hardware_factor: float = 1.0
+    ) -> float:
+        """Noise-free ground truth for one kernel launch."""
+        check_positive("hardware_factor", hardware_factor)
+        p = self._params
+        mem_time = work.useful_bytes / p.effective_bandwidth(work)
+        comp_time = work.flops / (p.peak_flops * p.compute_efficiency)
+        body = max(mem_time, comp_time)
+        # Partial final waves round up to whole waves.
+        waves = work.threads / p.wave_threads
+        if waves > 1:
+            body *= math.ceil(waves) / waves
+        return (body * hardware_factor) + p.launch_overhead
+
+    def kernel_time(
+        self, work: KernelWork, hardware_factor: float = 1.0
+    ) -> float:
+        """One measured run (with jitter)."""
+        return self.expected_kernel_time(
+            work, hardware_factor
+        ) * self._noise.factor(work.useful_bytes, self._rng)

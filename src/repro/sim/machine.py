@@ -1,0 +1,92 @@
+"""The assembled virtual testbed."""
+
+from __future__ import annotations
+
+
+
+from repro.cpu.arch import CPUArchitecture, xeon_e5405
+from repro.cpu.model import CpuWorkProfile
+from repro.datausage.transfers import Direction
+from repro.gpu.arch import GPUArchitecture, quadro_fx_5600
+from repro.pcie.channel import MemoryKind
+from repro.sim.cpu_sim import CpuSimParams, SimulatedCpu
+from repro.sim.gpu_sim import GpuSimParams, KernelWork, SimulatedGpu
+from repro.sim.measurement import MeasuredValue, repeat_mean
+from repro.sim.noise import BimodalQuirk
+from repro.sim.pcie_sim import SimulatedPcieBus, argonne_pcie_params
+from repro.util.rng import RngStream
+
+
+class VirtualTestbed:
+    """One simulated node: CPU + GPU + the PCIe bus between them.
+
+    All measurement entry points follow the paper's discipline of
+    averaging ten runs.  Separate RNG streams per component keep the
+    measurement processes independent and reproducible.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 2013,
+        gpu_arch: GPUArchitecture | None = None,
+        cpu_arch: CPUArchitecture | None = None,
+        gpu_params: GpuSimParams | None = None,
+        cpu_params: CpuSimParams | None = None,
+        pcie_params=None,
+    ) -> None:
+        self.name = name
+        self._root = RngStream(seed, "testbed", name)
+        self.bus = SimulatedPcieBus(
+            pcie_params or argonne_pcie_params(), self._root.fork("pcie")
+        )
+        self.gpu = SimulatedGpu(gpu_params, self._root.fork("gpu"))
+        self.cpu = SimulatedCpu(cpu_arch, cpu_params, self._root.fork("cpu"))
+        self.gpu_arch = gpu_arch or quadro_fx_5600()
+        self.cpu_arch = cpu_arch or xeon_e5405()
+        self._quirk_rng = self._root.fork("quirks")
+
+    # Measurement entry points (10-run means, Section IV-A) ----------------
+    def measure_kernel(
+        self,
+        work: KernelWork,
+        hardware_factor: float = 1.0,
+        repetitions: int = 10,
+    ) -> MeasuredValue:
+        return repeat_mean(
+            lambda: self.gpu.kernel_time(work, hardware_factor), repetitions
+        )
+
+    def measure_transfer(
+        self,
+        size_bytes: int,
+        direction: Direction,
+        memory: MemoryKind = MemoryKind.PINNED,
+        quirk: BimodalQuirk | None = None,
+        repetitions: int = 10,
+    ) -> MeasuredValue:
+        def one_run() -> float:
+            t = self.bus.transfer_time(size_bytes, direction, memory)
+            if quirk is not None:
+                t *= quirk.factor(self._quirk_rng)
+            return t
+
+        return repeat_mean(one_run, repetitions)
+
+    def measure_cpu(
+        self,
+        profile: CpuWorkProfile,
+        hardware_factor: float = 1.0,
+        repetitions: int = 10,
+    ) -> MeasuredValue:
+        return repeat_mean(
+            lambda: self.cpu.run_time(profile, hardware_factor), repetitions
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualTestbed({self.name!r})"
+
+
+def argonne_testbed(seed: int = 2013) -> VirtualTestbed:
+    """The paper's node: Xeon E5405 + Quadro FX 5600 over PCIe v1 x16."""
+    return VirtualTestbed("argonne-eureka-node", seed=seed)

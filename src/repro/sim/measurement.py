@@ -1,0 +1,39 @@
+"""The paper's measurement discipline: arithmetic mean of ten runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.stats import arithmetic_mean, summarize
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MeasuredValue:
+    """A repeated measurement: mean plus the raw samples."""
+
+    mean: float
+    samples: tuple[float, ...]
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.samples)
+
+    @property
+    def spread(self) -> float:
+        """Relative sample spread (population std / mean)."""
+        if self.mean == 0:
+            return 0.0
+        return summarize(self.samples).std / self.mean
+
+
+def repeat_mean(run: Callable[[], float], repetitions: int = 10) -> MeasuredValue:
+    """Run a timing closure ``repetitions`` times; report the mean.
+
+    All measured times in the paper are arithmetic means of ten separate
+    runs (Section IV-A); ten is therefore the default here.
+    """
+    check_positive("repetitions", repetitions)
+    samples = tuple(run() for _ in range(repetitions))
+    return MeasuredValue(mean=arithmetic_mean(samples), samples=samples)

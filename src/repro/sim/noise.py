@@ -1,0 +1,69 @@
+"""Noise models for the virtual testbed."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.rng import RngStream
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class NoiseProfile:
+    """Size-dependent multiplicative jitter.
+
+    Real PCIe transfer times jitter far more (relatively) at small sizes —
+    interrupt timing, driver scheduling — than at large ones, where DMA
+    streaming dominates.  We model log-space sigma as
+    ``sigma_small * exp(-size / decay_bytes) + sigma_floor``.
+    """
+
+    sigma_small: float
+    sigma_floor: float
+    decay_bytes: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("sigma_small", self.sigma_small)
+        check_non_negative("sigma_floor", self.sigma_floor)
+        check_positive("decay_bytes", self.decay_bytes)
+
+    def sigma(self, size_bytes: float) -> float:
+        return (
+            self.sigma_small * math.exp(-size_bytes / self.decay_bytes)
+            + self.sigma_floor
+        )
+
+    def factor(self, size_bytes: float, rng: RngStream) -> float:
+        """Draw one multiplicative noise factor for a transfer of this size."""
+        return rng.lognormal_factor(self.sigma(size_bytes))
+
+    @staticmethod
+    def constant(sigma: float) -> "NoiseProfile":
+        """Size-independent jitter (used by the GPU/CPU simulators)."""
+        return NoiseProfile(sigma_small=0.0, sigma_floor=sigma, decay_bytes=1.0)
+
+
+@dataclass(frozen=True)
+class BimodalQuirk:
+    """The Fig. 5 pathology: a transfer that is sometimes much slower.
+
+    The paper observed one particular CFD transfer that, "inexplicably",
+    ran more than two times slower than predicted in about half the runs.
+    """
+
+    probability: float
+    slow_factor: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.slow_factor < 1.0:
+            raise ValueError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+
+    def factor(self, rng: RngStream) -> float:
+        return self.slow_factor if rng.bernoulli(self.probability) else 1.0

@@ -1,0 +1,191 @@
+"""Application-run timelines: what a projected port spends its time on.
+
+Builds an event-level schedule for an offloaded run — allocation,
+host→device copies, per-kernel launches across iterations, device→host
+copies — from a projection, and renders it as an ASCII Gantt chart with
+one lane for the copy engine and one for the compute engine.  Supports
+both the synchronous schedule the paper models and the chunked
+stream-overlap schedule of :mod:`repro.core.overlap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.prediction import Projection
+from repro.datausage.transfers import Direction
+from repro.util.units import seconds_to_human
+from repro.util.validation import check_positive
+
+LANE_COPY = "copy"
+LANE_COMPUTE = "compute"
+LANE_HOST = "host"
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One scheduled interval."""
+
+    start: float
+    end: float
+    lane: str
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"event {self.label!r} ends before it starts "
+                f"({self.end} < {self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A full run schedule."""
+
+    program: str
+    events: tuple[TimelineEvent, ...]
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def lane(self, lane: str) -> tuple[TimelineEvent, ...]:
+        return tuple(e for e in self.events if e.lane == lane)
+
+    def busy_fraction(self, lane: str) -> float:
+        """Fraction of the makespan this lane spends busy."""
+        if self.makespan == 0:
+            return 0.0
+        return sum(e.duration for e in self.lane(lane)) / self.makespan
+
+    def render(self, width: int = 72) -> str:
+        """ASCII Gantt: one row per lane, '#' for busy cells."""
+        check_positive("width", width)
+        span = self.makespan or 1.0
+        lanes = [LANE_HOST, LANE_COPY, LANE_COMPUTE]
+        lines = [
+            f"timeline: {self.program}  "
+            f"(makespan {seconds_to_human(self.makespan)})"
+        ]
+        for lane in lanes:
+            cells = [" "] * width
+            for event in self.lane(lane):
+                lo = int(event.start / span * (width - 1))
+                hi = max(lo, int(event.end / span * (width - 1)))
+                for c in range(lo, hi + 1):
+                    cells[c] = "#"
+            busy = self.busy_fraction(lane)
+            lines.append(f"{lane:>8} |{''.join(cells)}| {busy:4.0%}")
+        return "\n".join(lines)
+
+
+def synchronous_timeline(
+    projection: Projection, iterations: int = 1
+) -> Timeline:
+    """The paper's schedule: alloc, copy in, kernels x N, copy out."""
+    check_positive("iterations", iterations)
+    events: list[TimelineEvent] = []
+    t = 0.0
+    if projection.setup_seconds:
+        events.append(
+            TimelineEvent(t, t + projection.setup_seconds, LANE_HOST,
+                          "allocate")
+        )
+        t += projection.setup_seconds
+    for transfer, seconds in zip(
+        projection.plan.transfers, projection.per_transfer_seconds
+    ):
+        if transfer.direction is not Direction.H2D:
+            continue
+        events.append(
+            TimelineEvent(t, t + seconds, LANE_COPY, f"H2D {transfer.array}")
+        )
+        t += seconds
+    for iteration in range(iterations):
+        for kp in projection.kernels.kernels:
+            events.append(
+                TimelineEvent(
+                    t, t + kp.seconds, LANE_COMPUTE,
+                    f"{kp.kernel}#{iteration}",
+                )
+            )
+            t += kp.seconds
+    for transfer, seconds in zip(
+        projection.plan.transfers, projection.per_transfer_seconds
+    ):
+        if transfer.direction is not Direction.D2H:
+            continue
+        events.append(
+            TimelineEvent(t, t + seconds, LANE_COPY, f"D2H {transfer.array}")
+        )
+        t += seconds
+    return Timeline(projection.program, tuple(events))
+
+
+def overlapped_timeline(
+    projection: Projection, chunks: int, iterations: int = 1
+) -> Timeline:
+    """A chunked double-buffered schedule (one copy engine).
+
+    Chunk ``i``'s compute may start once its input chunk has landed and
+    the compute engine is free; output chunks queue on the copy engine
+    behind remaining input chunks.  This realizes the bound of
+    :func:`repro.core.overlap.pipeline_time` event by event.
+    """
+    check_positive("chunks", chunks)
+    check_positive("iterations", iterations)
+    in_total = sum(
+        s
+        for tr, s in zip(
+            projection.plan.transfers, projection.per_transfer_seconds
+        )
+        if tr.direction is Direction.H2D
+    )
+    out_total = sum(
+        s
+        for tr, s in zip(
+            projection.plan.transfers, projection.per_transfer_seconds
+        )
+        if tr.direction is Direction.D2H
+    )
+    kernel_total = projection.kernel_seconds * iterations
+    chunk_in = in_total / chunks
+    chunk_out = out_total / chunks
+    chunk_kernel = kernel_total / chunks
+
+    events: list[TimelineEvent] = []
+    t0 = 0.0
+    if projection.setup_seconds:
+        events.append(
+            TimelineEvent(0.0, projection.setup_seconds, LANE_HOST,
+                          "allocate")
+        )
+        t0 = projection.setup_seconds
+    copy_free = t0
+    compute_free = t0
+    compute_done: list[float] = []
+    # Input chunks, in order, on the copy engine.
+    for i in range(chunks):
+        start = copy_free
+        end = start + chunk_in
+        events.append(TimelineEvent(start, end, LANE_COPY, f"H2D c{i}"))
+        copy_free = end
+        k_start = max(end, compute_free)
+        k_end = k_start + chunk_kernel
+        events.append(
+            TimelineEvent(k_start, k_end, LANE_COMPUTE, f"kernel c{i}")
+        )
+        compute_free = k_end
+        compute_done.append(k_end)
+    # Output chunks queue behind input copies and their compute.
+    for i in range(chunks):
+        start = max(copy_free, compute_done[i])
+        end = start + chunk_out
+        events.append(TimelineEvent(start, end, LANE_COPY, f"D2H c{i}"))
+        copy_free = end
+    return Timeline(projection.program, tuple(events))

@@ -1,0 +1,47 @@
+"""Code skeletons: the abstract CPU-code representation GROPHECY consumes.
+
+A *code skeleton* (Meng et al., SC'11) summarizes the high-level semantics
+of a kernel: its loop nest, which loops are data-parallel, per-iteration
+computation intensity, and the array access patterns of each statement.
+GROPHECY++ takes a :class:`~repro.skeleton.program.ProgramSkeleton` — an
+ordered sequence of kernel skeletons sharing a set of array declarations —
+and from it derives both the GPU kernel characteristics (via
+:mod:`repro.transform`) and the CPU<->GPU transfer set (via
+:mod:`repro.datausage`).
+"""
+
+from repro.skeleton.types import DType
+from repro.skeleton.arrays import ArrayDecl, ArrayKind
+from repro.skeleton.access import AffineIndex, ArrayAccess, AccessKind
+from repro.skeleton.loops import Loop
+from repro.skeleton.statement import Statement
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.program import ProgramSkeleton
+from repro.skeleton.builder import KernelBuilder, ProgramBuilder
+from repro.skeleton.validate import validate_kernel, validate_program, SkeletonError
+from repro.skeleton.parser import (
+    SkeletonParseError,
+    parse_skeleton,
+    parse_skeleton_file,
+)
+
+__all__ = [
+    "SkeletonParseError",
+    "parse_skeleton",
+    "parse_skeleton_file",
+    "DType",
+    "ArrayDecl",
+    "ArrayKind",
+    "AffineIndex",
+    "ArrayAccess",
+    "AccessKind",
+    "Loop",
+    "Statement",
+    "KernelSkeleton",
+    "ProgramSkeleton",
+    "KernelBuilder",
+    "ProgramBuilder",
+    "validate_kernel",
+    "validate_program",
+    "SkeletonError",
+]

@@ -1,0 +1,188 @@
+"""Affine array accesses.
+
+Each subscript of an access is an affine expression over the surrounding
+loop variables, ``sum(coeff[v] * v) + offset``.  That is exactly the class
+of accesses Bounded Regular Section analysis (Havlak & Kennedy) handles:
+over a rectangular iteration domain each subscript spans a strided interval,
+so the footprint of the access is a BRS.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.skeleton.loops import Loop
+
+
+class AccessKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """``sum(coeffs[var] * var) + offset`` with integer coefficients."""
+
+    coeffs: Mapping[str, int]
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        cleaned = {
+            str(v): int(c) for v, c in dict(self.coeffs).items() if int(c) != 0
+        }
+        object.__setattr__(self, "coeffs", MappingProxyType(cleaned))
+        object.__setattr__(self, "offset", int(self.offset))
+
+    # Constructors --------------------------------------------------------
+    @staticmethod
+    def var(name: str, coeff: int = 1, offset: int = 0) -> "AffineIndex":
+        """Index ``coeff * name + offset``."""
+        return AffineIndex({name: coeff}, offset)
+
+    @staticmethod
+    def const(value: int) -> "AffineIndex":
+        """A constant subscript."""
+        return AffineIndex({}, value)
+
+    # Queries -------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def coefficient(self, var: str) -> int:
+        """Coefficient of ``var`` (0 if absent)."""
+        return self.coeffs.get(var, 0)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.coeffs)
+
+    def evaluate(self, binding: Mapping[str, int]) -> int:
+        """Evaluate at a concrete iteration point."""
+        total = self.offset
+        for var, coeff in self.coeffs.items():
+            if var not in binding:
+                raise KeyError(f"no binding for loop variable {var!r}")
+            total += coeff * binding[var]
+        return total
+
+    def bounds(self, loops: Mapping[str, Loop]) -> tuple[int, int]:
+        """Inclusive (min, max) over the rectangular loop domain."""
+        lo = hi = self.offset
+        for var, coeff in self.coeffs.items():
+            if var not in loops:
+                raise KeyError(f"index references unknown loop variable {var!r}")
+            loop = loops[var]
+            a, b = coeff * loop.lower, coeff * loop.last
+            lo += min(a, b)
+            hi += max(a, b)
+        return lo, hi
+
+    def stride(self, loops: Mapping[str, Loop]) -> int:
+        """GCD step of the values this subscript takes over the domain.
+
+        A constant subscript has stride 0 by convention (a single point).
+        Loops that execute a single iteration contribute no stride.
+        """
+        steps = [
+            abs(coeff) * loops[var].step
+            for var, coeff in self.coeffs.items()
+            if loops[var].trip_count > 1
+        ]
+        if not steps:
+            return 0
+        return math.gcd(*steps) if len(steps) > 1 else steps[0]
+
+    def shifted(self, delta: int) -> "AffineIndex":
+        """The same expression offset by ``delta``."""
+        return AffineIndex(dict(self.coeffs), self.offset + delta)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            (f"{c}*{v}" if c != 1 else v) for v, c in sorted(self.coeffs.items())
+        ]
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        return "+".join(parts).replace("+-", "-")
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One load or store of an array with affine subscripts.
+
+    ``indirect=True`` marks a data-dependent (gather/scatter) access such
+    as CFD's ``variables[neighbors[i][j]]``: the subscripts given are then
+    only nominal, the touched section is unknown statically, and the
+    paper's conservative rule applies — the whole array may be referenced
+    (Section III-B), and the access never coalesces.
+    """
+
+    array: str
+    indices: tuple[AffineIndex, ...]
+    kind: AccessKind = AccessKind.LOAD
+    indirect: bool = False
+    #: Which subscript positions are data-dependent.  Empty while
+    #: ``indirect`` is True means "all of them" (fully conservative).
+    indirect_dims: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.array:
+            raise ValueError("access must name an array")
+        if not self.indices:
+            raise ValueError(f"access to {self.array!r} needs >= 1 subscript")
+        object.__setattr__(self, "indices", tuple(self.indices))
+        dims = tuple(sorted(set(int(d) for d in self.indirect_dims)))
+        object.__setattr__(self, "indirect_dims", dims)
+        if dims and not self.indirect:
+            raise ValueError(
+                f"access to {self.array!r}: indirect_dims given but "
+                f"indirect is False"
+            )
+        for d in dims:
+            if not 0 <= d < len(self.indices):
+                raise ValueError(
+                    f"access to {self.array!r}: indirect dim {d} out of "
+                    f"range for rank {len(self.indices)}"
+                )
+
+    @property
+    def rank(self) -> int:
+        return len(self.indices)
+
+    def dim_is_indirect(self, dim: int) -> bool:
+        """Is subscript ``dim`` data-dependent?"""
+        if not self.indirect:
+            return False
+        if not self.indirect_dims:
+            return True  # unspecified: all dims conservative
+        return dim in self.indirect_dims
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is AccessKind.STORE
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is AccessKind.LOAD
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for idx in self.indices:
+            out |= idx.variables()
+        return frozenset(out)
+
+    def innermost_coefficient(self, var: str) -> int:
+        """Coefficient of ``var`` in the fastest-varying (last) subscript.
+
+        Used by the transformation layer to decide whether mapping ``var``
+        to adjacent GPU threads yields coalesced global memory accesses.
+        """
+        return self.indices[-1].coefficient(var)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        subs = "][".join(str(i) for i in self.indices)
+        arrow = "<-" if self.is_store else "->"
+        return f"{self.array}[{subs}] {arrow} {self.kind.value}"

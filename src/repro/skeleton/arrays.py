@@ -1,0 +1,72 @@
+"""Array declarations referenced by kernel skeletons."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.skeleton.types import DType
+from repro.util.validation import check_positive
+
+
+class ArrayKind(enum.Enum):
+    """Dense arrays have analyzable Bounded Regular Sections.
+
+    ``SPARSE`` marks arrays whose accessed section is data-dependent (e.g.
+    CSR column indices selecting rows of a dense operand, or the unstructured
+    neighbor lists in CFD).  For these the paper's analyzer conservatively
+    assumes the whole array may be referenced unless the user provides hints
+    (Section III-B).
+    """
+
+    DENSE = "dense"
+    SPARSE = "sparse"
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """Declaration of one host array visible to a kernel sequence.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a :class:`~repro.skeleton.program.ProgramSkeleton`.
+    shape:
+        Extent of each dimension, row-major.
+    dtype:
+        Element type.
+    kind:
+        Dense (BRS-analyzable) or sparse (conservative transfer).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.float32
+    kind: ArrayKind = ArrayKind.DENSE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("array name must be non-empty")
+        if not self.shape:
+            raise ValueError(f"array {self.name!r} must have at least one dim")
+        for extent in self.shape:
+            check_positive(f"array {self.name!r} dimension extent", extent)
+        object.__setattr__(self, "shape", tuple(int(e) for e in self.shape))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def element_count(self) -> int:
+        return math.prod(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total allocation size in bytes."""
+        return self.element_count * self.dtype.size_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(e) for e in self.shape)
+        return f"{self.name}[{dims}]:{self.dtype.label}"

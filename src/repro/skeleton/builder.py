@@ -1,0 +1,191 @@
+"""Fluent builders for skeletons.
+
+The raw dataclasses are verbose to assemble by hand; workload definitions
+use these builders, which also run :mod:`repro.skeleton.validate` on
+``build()`` so malformed skeletons fail at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.skeleton.access import AccessKind, AffineIndex, ArrayAccess
+from repro.skeleton.arrays import ArrayDecl, ArrayKind
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.loops import Loop
+from repro.skeleton.program import ProgramSkeleton
+from repro.skeleton.statement import Statement
+from repro.skeleton.types import DType
+from repro.skeleton.validate import validate_kernel, validate_program
+
+
+def _as_index(spec: object) -> AffineIndex:
+    """Coerce a subscript spec: AffineIndex | int | str | (str, coeff, off)."""
+    if isinstance(spec, AffineIndex):
+        return spec
+    if isinstance(spec, int):
+        return AffineIndex.const(spec)
+    if isinstance(spec, str):
+        return AffineIndex.var(spec)
+    if isinstance(spec, tuple) and len(spec) in (2, 3):
+        var, coeff = spec[0], spec[1]
+        offset = spec[2] if len(spec) == 3 else 0
+        return AffineIndex.var(str(var), int(coeff), int(offset))
+    raise TypeError(f"cannot interpret subscript spec {spec!r}")
+
+
+class KernelBuilder:
+    """Builds one :class:`KernelSkeleton`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._loops: list[Loop] = []
+        self._statements: list[Statement] = []
+        self._pending: list[ArrayAccess] = []
+
+    def loop(
+        self,
+        var: str,
+        upper: int,
+        lower: int = 0,
+        step: int = 1,
+        parallel: bool = False,
+    ) -> "KernelBuilder":
+        """Append a loop (outermost first)."""
+        self._loops.append(Loop(var, lower, upper, step, parallel))
+        return self
+
+    def parallel_loop(
+        self, var: str, upper: int, lower: int = 0, step: int = 1
+    ) -> "KernelBuilder":
+        return self.loop(var, upper, lower, step, parallel=True)
+
+    def load(self, array: str, *subscripts: object) -> "KernelBuilder":
+        """Queue a load access for the next ``statement`` call."""
+        self._pending.append(
+            ArrayAccess(array, tuple(_as_index(s) for s in subscripts), AccessKind.LOAD)
+        )
+        return self
+
+    def gather(
+        self,
+        array: str,
+        *subscripts: object,
+        dims: tuple[int, ...] | None = None,
+    ) -> "KernelBuilder":
+        """Queue an *indirect* load (data-dependent subscripts).
+
+        The subscripts are nominal; the analyzer treats the touched
+        section as the whole array.  ``dims`` names which subscript
+        positions are data-dependent (all of them if omitted); an access
+        whose *fastest* dimension stays affine can still coalesce.
+        """
+        self._pending.append(
+            ArrayAccess(
+                array,
+                tuple(_as_index(s) for s in subscripts),
+                AccessKind.LOAD,
+                indirect=True,
+                indirect_dims=dims or (),
+            )
+        )
+        return self
+
+    def store(self, array: str, *subscripts: object) -> "KernelBuilder":
+        """Queue a store access for the next ``statement`` call."""
+        self._pending.append(
+            ArrayAccess(
+                array, tuple(_as_index(s) for s in subscripts), AccessKind.STORE
+            )
+        )
+        return self
+
+    def scatter(
+        self,
+        array: str,
+        *subscripts: object,
+        dims: tuple[int, ...] | None = None,
+    ) -> "KernelBuilder":
+        """Queue an *indirect* store (data-dependent subscripts)."""
+        self._pending.append(
+            ArrayAccess(
+                array,
+                tuple(_as_index(s) for s in subscripts),
+                AccessKind.STORE,
+                indirect=True,
+                indirect_dims=dims or (),
+            )
+        )
+        return self
+
+    def statement(
+        self,
+        flops: float = 0.0,
+        label: str = "",
+        branch_prob: float = 1.0,
+        amortize: tuple[str, ...] | None = None,
+    ) -> "KernelBuilder":
+        """Close the currently queued accesses into one statement."""
+        if not self._pending:
+            raise ValueError(
+                f"statement() with no queued accesses in kernel {self._name!r}"
+            )
+        self._statements.append(
+            Statement(tuple(self._pending), flops, label, branch_prob, amortize)
+        )
+        self._pending = []
+        return self
+
+    def build(self, arrays: Sequence[ArrayDecl] | None = None) -> KernelSkeleton:
+        if self._pending:
+            raise ValueError(
+                f"kernel {self._name!r} has queued accesses without a "
+                f"closing statement() call"
+            )
+        kernel = KernelSkeleton(
+            self._name, tuple(self._loops), tuple(self._statements)
+        )
+        if arrays is not None:
+            validate_kernel(kernel, {a.name: a for a in arrays})
+        return kernel
+
+
+class ProgramBuilder:
+    """Builds a :class:`ProgramSkeleton` with validation."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._arrays: list[ArrayDecl] = []
+        self._kernels: list[KernelSkeleton] = []
+        self._temporaries: set[str] = set()
+
+    def array(
+        self,
+        name: str,
+        shape: Iterable[int],
+        dtype: DType = DType.float32,
+        kind: ArrayKind = ArrayKind.DENSE,
+    ) -> "ProgramBuilder":
+        self._arrays.append(ArrayDecl(name, tuple(shape), dtype, kind))
+        return self
+
+    def kernel(self, kernel: KernelSkeleton | KernelBuilder) -> "ProgramBuilder":
+        if isinstance(kernel, KernelBuilder):
+            kernel = kernel.build(self._arrays)
+        self._kernels.append(kernel)
+        return self
+
+    def temporary(self, *array_names: str) -> "ProgramBuilder":
+        """Hint: these written arrays need not be copied back (Sec. III-B)."""
+        self._temporaries.update(array_names)
+        return self
+
+    def build(self) -> ProgramSkeleton:
+        program = ProgramSkeleton(
+            self._name,
+            tuple(self._arrays),
+            tuple(self._kernels),
+            frozenset(self._temporaries),
+        )
+        validate_program(program)
+        return program

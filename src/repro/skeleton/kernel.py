@@ -1,0 +1,148 @@
+"""Kernel skeletons: one offloadable loop nest."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+from repro.skeleton.access import AccessKind, ArrayAccess
+from repro.skeleton.loops import Loop
+from repro.skeleton.statement import Statement
+
+
+@dataclass(frozen=True)
+class KernelSkeleton:
+    """A single kernel: a rectangular loop nest with statements inside.
+
+    Loops are ordered outermost to innermost, and every statement is taken
+    to execute once per innermost iteration (the workloads the paper
+    studies are perfect nests; imperfect nests can be modeled by splitting
+    into several kernels, which is also how global synchronization is
+    expressed — e.g. CFD's three kernels).
+    """
+
+    name: str
+    loops: tuple[Loop, ...]
+    statements: tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel name must be non-empty")
+        object.__setattr__(self, "loops", tuple(self.loops))
+        object.__setattr__(self, "statements", tuple(self.statements))
+        if not self.loops:
+            raise ValueError(f"kernel {self.name!r} needs at least one loop")
+        if not self.statements:
+            raise ValueError(f"kernel {self.name!r} needs at least one statement")
+        seen: set[str] = set()
+        for loop in self.loops:
+            if loop.var in seen:
+                raise ValueError(
+                    f"kernel {self.name!r} declares loop variable "
+                    f"{loop.var!r} twice"
+                )
+            seen.add(loop.var)
+
+    # Loop structure -------------------------------------------------------
+    @property
+    def loop_map(self) -> dict[str, Loop]:
+        return {loop.var: loop for loop in self.loops}
+
+    @property
+    def parallel_loops(self) -> tuple[Loop, ...]:
+        return tuple(l for l in self.loops if l.parallel)
+
+    @property
+    def serial_loops(self) -> tuple[Loop, ...]:
+        return tuple(l for l in self.loops if not l.parallel)
+
+    @property
+    def parallel_iterations(self) -> int:
+        """Number of independent work-items exposed to the GPU."""
+        return math.prod(l.trip_count for l in self.parallel_loops) or 1
+
+    @property
+    def serial_iterations(self) -> int:
+        """Sequential work per work-item."""
+        return math.prod(l.trip_count for l in self.serial_loops) or 1
+
+    @property
+    def total_iterations(self) -> int:
+        return math.prod(l.trip_count for l in self.loops)
+
+    # Work accounting ------------------------------------------------------
+    def statement_weight(self, stmt: Statement) -> float:
+        """Executions of ``stmt`` per innermost iteration (<= 1).
+
+        1.0 for ordinary statements; for amortized statements the inverse
+        of the trip-count product of the loops *not* named by
+        ``stmt.amortize``.
+        """
+        if stmt.amortize is None:
+            return 1.0
+        loop_map = self.loop_map
+        unknown = set(stmt.amortize) - set(loop_map)
+        if unknown:
+            raise ValueError(
+                f"kernel {self.name!r}: statement amortized over unknown "
+                f"loop variables {sorted(unknown)}"
+            )
+        excluded = math.prod(
+            loop.trip_count
+            for var, loop in loop_map.items()
+            if var not in stmt.amortize
+        )
+        return 1.0 / excluded
+
+    @property
+    def flops_per_iteration(self) -> float:
+        return sum(
+            s.flops * s.branch_prob * self.statement_weight(s)
+            for s in self.statements
+        )
+
+    @property
+    def total_flops(self) -> float:
+        return self.flops_per_iteration * self.total_iterations
+
+    def accesses(self) -> tuple[ArrayAccess, ...]:
+        return tuple(a for s in self.statements for a in s.accesses)
+
+    def loads_per_iteration(self) -> float:
+        return sum(
+            s.branch_prob * self.statement_weight(s) * len(s.loads)
+            for s in self.statements
+        )
+
+    def stores_per_iteration(self) -> float:
+        return sum(
+            s.branch_prob * self.statement_weight(s) * len(s.stores)
+            for s in self.statements
+        )
+
+    def arrays(self) -> frozenset[str]:
+        out: set[str] = set()
+        for stmt in self.statements:
+            out |= stmt.arrays()
+        return frozenset(out)
+
+    def reads(self) -> frozenset[str]:
+        """Arrays this kernel loads from."""
+        return frozenset(
+            a.array for a in self.accesses() if a.kind is AccessKind.LOAD
+        )
+
+    def writes(self) -> frozenset[str]:
+        """Arrays this kernel stores to."""
+        return frozenset(
+            a.array for a in self.accesses() if a.kind is AccessKind.STORE
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"kernel {self.name}: {len(self.loops)} loops "
+            f"({self.parallel_iterations} parallel x "
+            f"{self.serial_iterations} serial), "
+            f"{len(self.statements)} statements"
+        )

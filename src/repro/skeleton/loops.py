@@ -1,0 +1,50 @@
+"""Loop descriptions for kernel skeletons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop ``for var in range(lower, upper, step)``.
+
+    ``parallel`` marks the loop as data-parallel (safe to map to GPU
+    threads); in GROPHECY's input language this is the parallelism
+    annotation the user supplies with the skeleton.
+    """
+
+    var: str
+    lower: int
+    upper: int  # exclusive, like range()
+    step: int = 1
+    parallel: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.var:
+            raise ValueError("loop variable name must be non-empty")
+        check_positive("loop step", self.step)
+        if self.upper <= self.lower:
+            raise ValueError(
+                f"loop {self.var!r} is empty: range({self.lower}, {self.upper})"
+            )
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations executed."""
+        return (self.upper - self.lower + self.step - 1) // self.step
+
+    @property
+    def last(self) -> int:
+        """The last iteration value actually taken."""
+        return self.lower + (self.trip_count - 1) * self.step
+
+    def with_bounds(self, lower: int, upper: int) -> "Loop":
+        """Copy with new bounds (used by tiling transforms)."""
+        return Loop(self.var, lower, upper, self.step, self.parallel)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = " par" if self.parallel else ""
+        return f"for {self.var} in [{self.lower},{self.upper}) step {self.step}{tag}"

@@ -1,0 +1,328 @@
+"""A small text format for code skeletons.
+
+GROPHECY's input is a "simplified description of the corresponding CPU
+code"; this parser gives the library an equivalent on-disk format, so a
+skeleton can live next to the code it describes and be projected from the
+CLI without writing Python.
+
+Grammar (line-oriented; ``#`` starts a comment)::
+
+    program <name>
+    array <name>[<d0>][<d1>...] [f32|f64|i32|i64|c64|c128] [sparse]
+    temporary <name> [<name> ...]
+
+    kernel <name>
+      parfor <var> in <lo>..<hi>          # parallel loop (hi exclusive)
+      for <var> in <lo>..<hi> [step <s>]  # serial loop
+      stmt [flops=<f>] [prob=<p>] [amortize=<v1>,<v2>]
+        load  <array>[<idx>][<idx>...]
+        gather <array>[<idx>][<idx>...] [dims=<d0>,<d1>]
+        store <array>[<idx>][<idx>...]
+        scatter <array>[<idx>][<idx>...] [dims=...]
+
+Subscripts are affine: ``i``, ``i+1``, ``2*i-3``, ``4`` (one variable per
+subscript; multi-variable subscripts like ``8*i+j`` are also accepted).
+
+Example::
+
+    program hotspot
+    array temp[64][64] f32
+    array power[64][64] f32
+    array out[64][64] f32
+
+    kernel step
+      parfor i in 1..63
+      parfor j in 1..63
+      stmt flops=14
+        load temp[i][j]
+        load temp[i-1][j]
+        load temp[i+1][j]
+        load temp[i][j-1]
+        load temp[i][j+1]
+        load power[i][j]
+        store out[i][j]
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.skeleton.access import AffineIndex
+from repro.skeleton.arrays import ArrayKind
+from repro.skeleton.builder import KernelBuilder, ProgramBuilder
+from repro.skeleton.program import ProgramSkeleton
+from repro.skeleton.types import DType
+
+_DTYPES = {
+    "f32": DType.float32,
+    "f64": DType.float64,
+    "i32": DType.int32,
+    "i64": DType.int64,
+    "c64": DType.complex64,
+    "c128": DType.complex128,
+}
+
+_TERM = re.compile(r"^(?:(\d+)\s*\*\s*)?([A-Za-z_]\w*)$")
+
+
+class SkeletonParseError(ValueError):
+    """Malformed skeleton text, with a line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_index(expr: str, line_no: int) -> AffineIndex:
+    """Parse one affine subscript like ``2*i - 3 + j``."""
+    expr = expr.strip()
+    if not expr:
+        raise SkeletonParseError(line_no, "empty subscript")
+    # Normalize: insert '+' separators, keep '-' attached to its term.
+    normalized = expr.replace("-", "+-").replace(" ", "")
+    coeffs: dict[str, int] = {}
+    offset = 0
+    for raw in normalized.split("+"):
+        if not raw:
+            continue
+        sign = 1
+        term = raw
+        if term.startswith("-"):
+            sign = -1
+            term = term[1:]
+        if re.fullmatch(r"\d+", term):
+            offset += sign * int(term)
+            continue
+        match = _TERM.match(term)
+        if not match:
+            raise SkeletonParseError(
+                line_no, f"cannot parse subscript term {raw!r} in {expr!r}"
+            )
+        coeff = int(match.group(1)) if match.group(1) else 1
+        var = match.group(2)
+        coeffs[var] = coeffs.get(var, 0) + sign * coeff
+    return AffineIndex(coeffs, offset)
+
+
+def _parse_subscripts(text: str, line_no: int) -> tuple[str, list[AffineIndex]]:
+    """Split ``name[a][b]`` into the array name and its subscripts."""
+    match = re.match(r"^([A-Za-z_]\w*)((?:\[[^\]]*\])+)$", text.strip())
+    if not match:
+        raise SkeletonParseError(
+            line_no, f"expected array[subscripts], got {text!r}"
+        )
+    name = match.group(1)
+    indices = [
+        _parse_index(part, line_no)
+        for part in re.findall(r"\[([^\]]*)\]", match.group(2))
+    ]
+    return name, indices
+
+
+def _parse_kv(tokens: list[str], line_no: int) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise SkeletonParseError(
+                line_no, f"expected key=value, got {token!r}"
+            )
+        key, value = token.split("=", 1)
+        out[key] = value
+    return out
+
+
+def _lines(text: str) -> Iterator[tuple[int, str]]:
+    for i, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield i, line
+
+
+def parse_skeleton(text: str) -> ProgramSkeleton:
+    """Parse skeleton text into a validated :class:`ProgramSkeleton`."""
+    program: ProgramBuilder | None = None
+    kernel: KernelBuilder | None = None
+    pending_stmt: dict | None = None
+    temporaries: list[str] = []
+
+    def flush_statement(line_no: int) -> None:
+        nonlocal pending_stmt
+        if pending_stmt is None:
+            return
+        if not pending_stmt["has_access"]:
+            raise SkeletonParseError(
+                pending_stmt["line"], "stmt has no accesses"
+            )
+        assert kernel is not None
+        kernel.statement(
+            flops=pending_stmt["flops"],
+            branch_prob=pending_stmt["prob"],
+            amortize=pending_stmt["amortize"],
+        )
+        pending_stmt = None
+
+    def flush_kernel(line_no: int) -> None:
+        nonlocal kernel
+        flush_statement(line_no)
+        if kernel is not None:
+            assert program is not None
+            try:
+                program.kernel(kernel)
+            except SkeletonParseError:
+                raise
+            except Exception as exc:
+                raise SkeletonParseError(
+                    line_no, f"invalid program: {exc}"
+                ) from exc
+            kernel = None
+
+    for line_no, line in _lines(text):
+        tokens = line.split()
+        head = tokens[0]
+
+        if head == "program":
+            if program is not None:
+                raise SkeletonParseError(line_no, "duplicate program line")
+            if len(tokens) != 2:
+                raise SkeletonParseError(line_no, "usage: program <name>")
+            program = ProgramBuilder(tokens[1])
+            continue
+        if program is None:
+            raise SkeletonParseError(
+                line_no, "the first directive must be 'program <name>'"
+            )
+
+        if head == "array":
+            if kernel is not None:
+                raise SkeletonParseError(
+                    line_no, "arrays must be declared before kernels"
+                )
+            if len(tokens) < 2:
+                raise SkeletonParseError(line_no, "usage: array name[dims]")
+            name, dims = _parse_array_decl(tokens[1], line_no)
+            dtype = DType.float32
+            kind = ArrayKind.DENSE
+            for extra in tokens[2:]:
+                if extra in _DTYPES:
+                    dtype = _DTYPES[extra]
+                elif extra == "sparse":
+                    kind = ArrayKind.SPARSE
+                else:
+                    raise SkeletonParseError(
+                        line_no, f"unknown array attribute {extra!r}"
+                    )
+            program.array(name, dims, dtype, kind)
+        elif head == "temporary":
+            temporaries.extend(tokens[1:])
+        elif head == "kernel":
+            flush_kernel(line_no)
+            if len(tokens) != 2:
+                raise SkeletonParseError(line_no, "usage: kernel <name>")
+            kernel = KernelBuilder(tokens[1])
+        elif head in ("parfor", "for"):
+            if kernel is None:
+                raise SkeletonParseError(line_no, f"{head} outside a kernel")
+            flush_statement(line_no)
+            lo, hi, step = _parse_range(tokens, line_no)
+            kernel.loop(
+                tokens[1], hi, lower=lo, step=step,
+                parallel=(head == "parfor"),
+            )
+        elif head == "stmt":
+            if kernel is None:
+                raise SkeletonParseError(line_no, "stmt outside a kernel")
+            flush_statement(line_no)
+            kv = _parse_kv(tokens[1:], line_no)
+            unknown = set(kv) - {"flops", "prob", "amortize"}
+            if unknown:
+                raise SkeletonParseError(
+                    line_no, f"unknown stmt attributes {sorted(unknown)}"
+                )
+            pending_stmt = {
+                "line": line_no,
+                "flops": float(kv.get("flops", 0.0)),
+                "prob": float(kv.get("prob", 1.0)),
+                "amortize": (
+                    tuple(kv["amortize"].split(","))
+                    if "amortize" in kv
+                    else None
+                ),
+                "has_access": False,
+            }
+        elif head in ("load", "store", "gather", "scatter"):
+            if kernel is None or pending_stmt is None:
+                raise SkeletonParseError(
+                    line_no, f"{head} outside a stmt block"
+                )
+            # Subscripts may contain spaces ("a[i - 3]"); key=value
+            # attributes trail the reference.
+            attr_tokens = [t for t in tokens[1:] if "=" in t]
+            ref = "".join(t for t in tokens[1:] if "=" not in t)
+            name, indices = _parse_subscripts(ref, line_no)
+            dims = None
+            for extra in attr_tokens:
+                kv = _parse_kv([extra], line_no)
+                if set(kv) != {"dims"}:
+                    raise SkeletonParseError(
+                        line_no, f"unknown access attribute {extra!r}"
+                    )
+                dims = tuple(int(d) for d in kv["dims"].split(","))
+            if head == "load":
+                kernel.load(name, *indices)
+            elif head == "store":
+                kernel.store(name, *indices)
+            elif head == "gather":
+                kernel.gather(name, *indices, dims=dims)
+            else:
+                kernel.scatter(name, *indices, dims=dims)
+            pending_stmt["has_access"] = True
+        else:
+            raise SkeletonParseError(line_no, f"unknown directive {head!r}")
+
+    if program is None:
+        raise SkeletonParseError(1, "empty skeleton (no 'program' line)")
+    flush_kernel(0)
+    if temporaries:
+        program.temporary(*temporaries)
+    try:
+        return program.build()
+    except Exception as exc:
+        raise SkeletonParseError(0, f"invalid program: {exc}") from exc
+
+
+def parse_skeleton_file(path) -> ProgramSkeleton:
+    """Parse a skeleton from a file path."""
+    from pathlib import Path
+
+    return parse_skeleton(Path(path).read_text(encoding="utf-8"))
+
+
+def _parse_array_decl(text: str, line_no: int) -> tuple[str, list[int]]:
+    match = re.match(r"^([A-Za-z_]\w*)((?:\[\d+\])+)$", text)
+    if not match:
+        raise SkeletonParseError(
+            line_no, f"expected name[extent]..., got {text!r}"
+        )
+    dims = [int(d) for d in re.findall(r"\[(\d+)\]", match.group(2))]
+    return match.group(1), dims
+
+
+def _parse_range(tokens: list[str], line_no: int) -> tuple[int, int, int]:
+    # <head> <var> in <lo>..<hi> [step <s>]
+    if len(tokens) < 4 or tokens[2] != "in":
+        raise SkeletonParseError(
+            line_no, f"usage: {tokens[0]} <var> in <lo>..<hi> [step <s>]"
+        )
+    match = re.fullmatch(r"(-?\d+)\.\.(-?\d+)", tokens[3])
+    if not match:
+        raise SkeletonParseError(
+            line_no, f"expected <lo>..<hi>, got {tokens[3]!r}"
+        )
+    lo, hi = int(match.group(1)), int(match.group(2))
+    step = 1
+    if len(tokens) > 4:
+        if len(tokens) != 6 or tokens[4] != "step":
+            raise SkeletonParseError(line_no, "trailing tokens after range")
+        step = int(tokens[5])
+    return lo, hi, step

@@ -1,0 +1,86 @@
+"""Program skeletons: an ordered sequence of kernels over shared arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.skeleton.arrays import ArrayDecl
+from repro.skeleton.kernel import KernelSkeleton
+
+
+@dataclass(frozen=True)
+class ProgramSkeleton:
+    """The unit GROPHECY++ analyzes: kernels + array declarations + hints.
+
+    ``kernels`` is the sequence executed once per application iteration;
+    for the paper's iterative applications the transfer set is independent
+    of the iteration count (input data moves once before the first
+    iteration and output once after the last), which
+    :class:`repro.datausage.DataUsageAnalyzer` exploits.
+
+    ``temporaries`` is the user hint from Section III-B: written arrays
+    that need not be copied back to the CPU.
+    """
+
+    name: str
+    arrays: tuple[ArrayDecl, ...]
+    kernels: tuple[KernelSkeleton, ...]
+    temporaries: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("program name must be non-empty")
+        object.__setattr__(self, "arrays", tuple(self.arrays))
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+        object.__setattr__(self, "temporaries", frozenset(self.temporaries))
+        if not self.arrays:
+            raise ValueError(f"program {self.name!r} declares no arrays")
+        if not self.kernels:
+            raise ValueError(f"program {self.name!r} has no kernels")
+        names = [a.name for a in self.arrays]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(
+                f"program {self.name!r} declares arrays twice: {dupes}"
+            )
+        kernel_names = [k.name for k in self.kernels]
+        if len(kernel_names) != len(set(kernel_names)):
+            dupes = sorted(
+                {n for n in kernel_names if kernel_names.count(n) > 1}
+            )
+            raise ValueError(
+                f"program {self.name!r} declares kernels twice: {dupes}"
+            )
+        unknown = self.temporaries - set(names)
+        if unknown:
+            raise ValueError(
+                f"temporary hints reference undeclared arrays: {sorted(unknown)}"
+            )
+
+    @property
+    def array_map(self) -> dict[str, ArrayDecl]:
+        return {a.name: a for a in self.arrays}
+
+    def array(self, name: str) -> ArrayDecl:
+        try:
+            return self.array_map[name]
+        except KeyError:
+            raise KeyError(
+                f"program {self.name!r} declares no array {name!r}"
+            ) from None
+
+    def kernel(self, name: str) -> KernelSkeleton:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(f"program {self.name!r} has no kernel {name!r}")
+
+    @property
+    def total_flops(self) -> float:
+        return sum(k.total_flops for k in self.kernels)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"program {self.name}: {len(self.kernels)} kernels, "
+            f"{len(self.arrays)} arrays"
+        )

@@ -1,0 +1,65 @@
+"""Statements: the computation/access payload inside a loop nest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.skeleton.access import AccessKind, ArrayAccess
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One straight-line statement executed per innermost iteration.
+
+    ``flops`` is the floating-point operation count of the statement body
+    per execution (the skeleton's "computation intensity"); ``branch_prob``
+    optionally marks the statement as guarded by a data-dependent branch
+    taken with the given probability, which the GPU model turns into
+    divergence overhead.
+
+    ``amortize`` models imperfect nests: when set, the statement executes
+    once per distinct combination of the named loop variables rather than
+    per innermost iteration (e.g. Stassuij loads each CSR entry once per
+    (row, nonzero), not once per dense column).  The statement's work is
+    weighted accordingly in all accounting.
+    """
+
+    accesses: tuple[ArrayAccess, ...]
+    flops: float = 0.0
+    label: str = ""
+    branch_prob: float = 1.0
+    amortize: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "accesses", tuple(self.accesses))
+        check_non_negative("flops", self.flops)
+        if not 0.0 < self.branch_prob <= 1.0:
+            raise ValueError(
+                f"branch_prob must be in (0, 1], got {self.branch_prob}"
+            )
+        if self.amortize is not None:
+            object.__setattr__(self, "amortize", tuple(self.amortize))
+            if not self.amortize:
+                raise ValueError(
+                    "amortize must name at least one loop variable "
+                    "(or be None for the full nest)"
+                )
+
+    @property
+    def loads(self) -> tuple[ArrayAccess, ...]:
+        return tuple(a for a in self.accesses if a.kind is AccessKind.LOAD)
+
+    @property
+    def stores(self) -> tuple[ArrayAccess, ...]:
+        return tuple(a for a in self.accesses if a.kind is AccessKind.STORE)
+
+    def arrays(self) -> frozenset[str]:
+        return frozenset(a.array for a in self.accesses)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.label or "stmt"
+        return (
+            f"{name}: {len(self.loads)} loads, {len(self.stores)} stores, "
+            f"{self.flops:g} flops"
+        )

@@ -1,0 +1,41 @@
+"""Element types usable in array declarations."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DType(enum.Enum):
+    """Array element type with its size in bytes.
+
+    ``complex64`` matters for Stassuij, whose dense matrix holds complex
+    numbers; everything else in the paper's workloads is ``float32`` or
+    ``int32`` (CSR index vectors).
+    """
+
+    int32 = ("int32", 4)
+    int64 = ("int64", 8)
+    float32 = ("float32", 4)
+    float64 = ("float64", 8)
+    complex64 = ("complex64", 8)
+    complex128 = ("complex128", 16)
+
+    def __init__(self, label: str, size: int) -> None:
+        self.label = label
+        self.size_bytes = size
+
+    @property
+    def is_complex(self) -> bool:
+        return self in (DType.complex64, DType.complex128)
+
+    @property
+    def is_floating(self) -> bool:
+        return self in (
+            DType.float32,
+            DType.float64,
+            DType.complex64,
+            DType.complex128,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.label}"

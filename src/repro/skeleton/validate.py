@@ -1,0 +1,75 @@
+"""Structural validation of skeletons.
+
+These checks catch the mistakes that otherwise surface as silently wrong
+footprints: accesses to undeclared arrays, rank mismatches, subscripts
+referencing loop variables that do not enclose the statement, and accesses
+whose static bounds fall outside the declared array extents.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.skeleton.arrays import ArrayDecl, ArrayKind
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.program import ProgramSkeleton
+
+
+class SkeletonError(ValueError):
+    """A structurally invalid skeleton."""
+
+
+def validate_kernel(
+    kernel: KernelSkeleton, arrays: Mapping[str, ArrayDecl]
+) -> None:
+    """Validate one kernel against an array environment.
+
+    Raises :class:`SkeletonError` on the first problem found.
+    """
+    loop_map = kernel.loop_map
+    for stmt in kernel.statements:
+        if stmt.amortize is not None:
+            unknown_vars = set(stmt.amortize) - set(loop_map)
+            if unknown_vars:
+                raise SkeletonError(
+                    f"kernel {kernel.name!r}: statement amortized over "
+                    f"unknown loop variables {sorted(unknown_vars)}"
+                )
+        for access in stmt.accesses:
+            decl = arrays.get(access.array)
+            if decl is None:
+                raise SkeletonError(
+                    f"kernel {kernel.name!r} accesses undeclared array "
+                    f"{access.array!r}"
+                )
+            if access.rank != decl.rank:
+                raise SkeletonError(
+                    f"kernel {kernel.name!r}: access to {decl.name!r} has "
+                    f"{access.rank} subscripts but the array has rank "
+                    f"{decl.rank}"
+                )
+            unknown = access.variables() - set(loop_map)
+            if unknown:
+                raise SkeletonError(
+                    f"kernel {kernel.name!r}: access to {decl.name!r} uses "
+                    f"loop variables {sorted(unknown)} not declared by the "
+                    f"kernel's loop nest"
+                )
+            if decl.kind is ArrayKind.SPARSE or access.indirect:
+                # Data-dependent subscripts: static bounds don't apply.
+                continue
+            for dim, idx in enumerate(access.indices):
+                lo, hi = idx.bounds(loop_map)
+                if lo < 0 or hi >= decl.shape[dim]:
+                    raise SkeletonError(
+                        f"kernel {kernel.name!r}: subscript {dim} of "
+                        f"{decl.name!r} spans [{lo}, {hi}] outside the "
+                        f"extent [0, {decl.shape[dim] - 1}]"
+                    )
+
+
+def validate_program(program: ProgramSkeleton) -> None:
+    """Validate every kernel of a program against its declarations."""
+    env = program.array_map
+    for kernel in program.kernels:
+        validate_kernel(kernel, env)

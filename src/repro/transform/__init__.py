@@ -1,0 +1,44 @@
+"""Code-transformation exploration (the GROPHECY core loop).
+
+For each kernel skeleton GROPHECY enumerates candidate GPU mappings —
+thread-block size, shared-memory staging of reused neighborhoods, loop
+unrolling — synthesizes the kernel characteristics each mapping would
+exhibit, scores them with the analytical GPU model, and keeps the best.
+The projected kernel time of the paper's methodology (Section IV-A) is the
+time of this best-performing version.
+"""
+
+from repro.transform.space import MappingConfig, TransformationSpace
+from repro.transform.synthesize import (
+    access_is_coalesced,
+    synthesize_characteristics,
+)
+from repro.transform.explorer import (
+    KernelProjection,
+    ProgramProjection,
+    explore_kernel,
+    project_program,
+)
+from repro.transform.fusion import (
+    FusionChoice,
+    StencilShape,
+    best_fusion,
+    fused_characteristics,
+    stencil_shape,
+)
+
+__all__ = [
+    "MappingConfig",
+    "TransformationSpace",
+    "access_is_coalesced",
+    "synthesize_characteristics",
+    "KernelProjection",
+    "ProgramProjection",
+    "explore_kernel",
+    "project_program",
+    "FusionChoice",
+    "StencilShape",
+    "best_fusion",
+    "fused_characteristics",
+    "stencil_shape",
+]

@@ -1,0 +1,158 @@
+"""Exhaustive exploration of the transformation space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel, GpuTimingBreakdown
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.program import ProgramSkeleton
+from repro.transform.space import MappingConfig, TransformationSpace
+from repro.transform.synthesize import synthesize_characteristics
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One explored mapping and its projected time."""
+
+    config: MappingConfig
+    characteristics: KernelCharacteristics
+    breakdown: GpuTimingBreakdown
+
+    @property
+    def seconds(self) -> float:
+        return self.breakdown.seconds
+
+
+@dataclass(frozen=True)
+class KernelProjection:
+    """Outcome of exploring one kernel: best mapping + the whole table."""
+
+    kernel: str
+    best: CandidateResult
+    candidates: tuple[CandidateResult, ...]
+    skipped: tuple[tuple[MappingConfig, str], ...]
+
+    @property
+    def seconds(self) -> float:
+        """The paper's 'projected kernel time': the best mapping's time."""
+        return self.best.seconds
+
+    @property
+    def search_width(self) -> int:
+        return len(self.candidates) + len(self.skipped)
+
+    def as_table(self, top: int | None = None):
+        """The explored search space as a table, fastest first.
+
+        ``top`` limits the rows (None = everything, plus skipped
+        configurations at the bottom with their pruning reason).
+        """
+        from repro.util.tables import Table
+
+        table = Table(
+            ["mapping", "time (us)", "regime", "MWP", "CWP", "coalesced",
+             "occupancy"],
+            title=f"transformation search for {self.kernel!r} "
+            f"({self.search_width} mappings)",
+        )
+        ranked = sorted(self.candidates, key=lambda c: c.seconds)
+        if top is not None:
+            ranked = ranked[:top]
+        for candidate in ranked:
+            bd = candidate.breakdown
+            marker = " <- best" if candidate is self.best else ""
+            table.add_row(
+                [
+                    candidate.config.label() + marker,
+                    f"{candidate.seconds * 1e6:.1f}",
+                    bd.regime,
+                    f"{bd.mwp:.1f}",
+                    f"{bd.cwp:.1f}",
+                    f"{candidate.characteristics.coalesced_fraction:.0%}",
+                    f"{bd.occupancy.occupancy_fraction:.0%}",
+                ]
+            )
+        if top is None:
+            for config, reason in self.skipped:
+                table.add_row(
+                    [config.label(), "-", f"skipped: {reason[:40]}", "-",
+                     "-", "-", "-"]
+                )
+        return table
+
+
+@dataclass(frozen=True)
+class ProgramProjection:
+    """Per-kernel projections for a whole program (one iteration)."""
+
+    program: str
+    kernels: tuple[KernelProjection, ...]
+
+    @property
+    def seconds(self) -> float:
+        return sum(k.seconds for k in self.kernels)
+
+    def kernel(self, name: str) -> KernelProjection:
+        for k in self.kernels:
+            if k.kernel == name:
+                return k
+        raise KeyError(f"no projection for kernel {name!r}")
+
+
+def explore_kernel(
+    kernel: KernelSkeleton,
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    space: TransformationSpace | None = None,
+) -> KernelProjection:
+    """Score every mapping in the space; keep the fastest legal one.
+
+    Mappings that violate hardware limits (unlaunchable block sizes,
+    shared-memory or register overflow) are recorded in ``skipped`` with
+    the reason, mirroring how a real tuning search prunes illegal
+    configurations.
+    """
+    space = space or TransformationSpace.default()
+    arrays = program.array_map
+    candidates: list[CandidateResult] = []
+    skipped: list[tuple[MappingConfig, str]] = []
+    for config in space:
+        chars = synthesize_characteristics(
+            kernel,
+            arrays,
+            config,
+            strict_coalescing=model.arch.strict_coalescing,
+        )
+        try:
+            breakdown = model.breakdown(chars)
+        except ValueError as exc:
+            skipped.append((config, str(exc)))
+            continue
+        candidates.append(CandidateResult(config, chars, breakdown))
+    if not candidates:
+        raise ValueError(
+            f"no legal mapping for kernel {kernel.name!r} on "
+            f"{model.arch.name} (tried {len(skipped)})"
+        )
+    best = min(candidates, key=lambda c: c.seconds)
+    return KernelProjection(
+        kernel=kernel.name,
+        best=best,
+        candidates=tuple(candidates),
+        skipped=tuple(skipped),
+    )
+
+
+def project_program(
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    space: TransformationSpace | None = None,
+) -> ProgramProjection:
+    """Project every kernel of a program (one application iteration)."""
+    projections = tuple(
+        explore_kernel(kernel, program, model, space)
+        for kernel in program.kernels
+    )
+    return ProgramProjection(program=program.name, kernels=projections)

@@ -1,0 +1,188 @@
+"""Iteration fusion (temporal blocking) for iterative stencil kernels.
+
+The paper notes for HotSpot that "multiple invocations of the same kernel
+across several iterations can be fused together".  Fusing ``t`` time steps
+into one launch trades:
+
+- **less traffic** — the array is loaded/stored once per ``t`` steps
+  instead of every step — against
+- **redundant compute** — each block must carry a halo that shrinks by
+  one ring per fused step, so border work is recomputed (the classic
+  trapezoid/pyramid scheme), and
+- **occupancy pressure** — the staged tile grows to ``(b + 2t)^2`` per
+  array.
+
+This module synthesizes the fused kernel's characteristics, scores fusion
+factors with the analytical model, and reports the best factor.  It is an
+*extension* experiment (the paper's evaluation runs one step per launch);
+``benchmarks/bench_ablation_iteration_fusion.py`` quantifies it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel
+from repro.skeleton.arrays import ArrayDecl
+from repro.skeleton.kernel import KernelSkeleton
+from repro.transform.synthesize import _neighbor_groups
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StencilShape:
+    """What iteration fusion needs to know about a stencil kernel."""
+
+    array: str  # the time-stepped array
+    taps: int  # loads per point of the stepped array
+    radius: int  # halo ring width per step
+    secondary_loads: int  # other per-point loads (e.g. HotSpot's power)
+    stores: int  # per-point stores
+    flops: float  # per-point flops
+    element_bytes: int
+
+
+def stencil_shape(
+    kernel: KernelSkeleton, arrays: Mapping[str, ArrayDecl]
+) -> StencilShape | None:
+    """Recognize a fusable stencil; None if the kernel doesn't qualify.
+
+    Requirements: a 2D parallel nest, one dominant tap group (>= 3 loads
+    of one array at constant offsets), and all offsets within a small
+    radius.  This covers HotSpot and SRAD-like update kernels.
+    """
+    if len(kernel.parallel_loops) != 2:
+        return None
+    groups = _neighbor_groups(kernel)
+    best_sig, best_group = None, []
+    for sig, group in groups.items():
+        if len(group) > len(best_group):
+            best_sig, best_group = sig, group
+    if best_sig is None or len(best_group) < 3:
+        return None
+    array = best_sig[0]
+    radius = 0
+    for access in best_group:
+        for idx in access.indices:
+            radius = max(radius, abs(idx.offset))
+    if radius == 0 or radius > 2:
+        return None
+    secondary = sum(
+        w * 1.0
+        for stmt in kernel.statements
+        for w in [stmt.branch_prob * kernel.statement_weight(stmt)]
+        for access in stmt.loads
+        if access.array != array
+    )
+    stores = kernel.stores_per_iteration()
+    return StencilShape(
+        array=array,
+        taps=len(best_group),
+        radius=radius,
+        secondary_loads=secondary,
+        stores=stores,
+        flops=kernel.flops_per_iteration,
+        element_bytes=arrays[array].dtype.size_bytes,
+    )
+
+
+def fused_characteristics(
+    kernel: KernelSkeleton,
+    arrays: Mapping[str, ArrayDecl],
+    fusion: int,
+    block_size: int = 256,
+) -> KernelCharacteristics:
+    """Characteristics of one launch covering ``fusion`` time steps.
+
+    The block computes a trapezoid: it stages a ``(b + 2rt)^2`` tile,
+    then performs ``t`` steps entirely in shared memory, each step valid
+    on a ring-smaller region, finally storing the ``b^2`` core.
+    """
+    check_positive("fusion", fusion)
+    shape = stencil_shape(kernel, arrays)
+    if shape is None:
+        raise ValueError(
+            f"kernel {kernel.name!r} is not a fusable 2D stencil"
+        )
+    b = max(4, int(math.sqrt(block_size)))
+    halo = 2 * shape.radius * fusion
+    tile_elems = (b + halo) ** 2
+    core_elems = b * b
+
+    # Global traffic per launch, per core element.
+    loads_per_elem = (
+        tile_elems / core_elems  # the stepped array, haloed, once
+        + shape.secondary_loads * tile_elems / core_elems  # staged too
+    )
+    stores_per_elem = shape.stores  # core written once per launch
+    mem_insts = loads_per_elem + stores_per_elem
+
+    # Compute: step s updates a (b + halo - 2rs)^2 region.
+    total_points = sum(
+        (b + halo - 2 * shape.radius * s) ** 2 for s in range(1, fusion + 1)
+    )
+    comp_redundancy = total_points / (fusion * core_elems)
+    smem_ops_per_point = shape.taps + shape.secondary_loads + 1
+    comp_insts = fusion * comp_redundancy * (
+        shape.flops + smem_ops_per_point
+    ) + 2.0 * mem_insts  # address arithmetic on the global accesses
+
+    threads = kernel.parallel_iterations
+    smem_bytes = int(
+        tile_elems * shape.element_bytes * (2 + shape.secondary_loads)
+    )  # double buffer + staged secondaries
+    return KernelCharacteristics(
+        name=f"{kernel.name}[fused x{fusion}]",
+        threads=threads,
+        block_size=block_size,
+        comp_insts_per_thread=comp_insts,
+        mem_insts_per_thread=mem_insts,
+        coalesced_fraction=0.6,  # haloed tile loads, compute-1.0 rules
+        bytes_per_access=shape.element_bytes,
+        registers_per_thread=18,
+        shared_mem_per_block=smem_bytes,
+        syncs_per_thread=2.0 * fusion,
+    )
+
+
+@dataclass(frozen=True)
+class FusionChoice:
+    """Outcome of the fusion search."""
+
+    fusion: int
+    seconds_per_iteration: float
+    launch_seconds: float
+    characteristics: KernelCharacteristics
+
+
+def best_fusion(
+    kernel: KernelSkeleton,
+    arrays: Mapping[str, ArrayDecl],
+    model: GpuPerformanceModel,
+    max_fusion: int = 8,
+    block_size: int = 256,
+) -> FusionChoice:
+    """Search fusion factors 1..max and keep the best per-iteration time.
+
+    Factors whose tile no longer fits in shared memory are skipped; the
+    unfused kernel (factor 1) is always legal, so a result always exists.
+    """
+    check_positive("max_fusion", max_fusion)
+    best: FusionChoice | None = None
+    for t in range(1, max_fusion + 1):
+        try:
+            chars = fused_characteristics(kernel, arrays, t, block_size)
+            launch = model.kernel_time(chars)
+        except ValueError:
+            continue  # occupancy/shared-memory overflow: illegal factor
+        per_iteration = launch / t
+        if best is None or per_iteration < best.seconds_per_iteration:
+            best = FusionChoice(t, per_iteration, launch, chars)
+    if best is None:
+        raise ValueError(
+            f"no legal fusion factor for kernel {kernel.name!r}"
+        )
+    return best

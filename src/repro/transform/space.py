@@ -1,0 +1,102 @@
+"""The transformation space GROPHECY explores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """One candidate mapping of a kernel onto the GPU.
+
+    ``block_size``: threads per block; ``use_shared_memory``: stage reused
+    neighborhoods (stencil halos) in shared memory; ``unroll``: serial-loop
+    unroll factor (amortizes loop overhead at a register cost);
+    ``coarsening``: work-items processed per thread — fewer, fatter
+    threads amortize per-thread overheads and can improve ILP at an
+    occupancy cost.
+    """
+
+    block_size: int = 256
+    use_shared_memory: bool = False
+    unroll: int = 1
+    coarsening: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("block_size", self.block_size)
+        check_positive("unroll", self.unroll)
+        check_positive("coarsening", self.coarsening)
+        if self.block_size % 32 != 0:
+            raise ValueError(
+                f"block_size should be a warp multiple, got {self.block_size}"
+            )
+
+    def label(self) -> str:
+        smem = "+smem" if self.use_shared_memory else ""
+        unroll = f"+u{self.unroll}" if self.unroll > 1 else ""
+        coarse = f"+c{self.coarsening}" if self.coarsening > 1 else ""
+        return f"b{self.block_size}{smem}{unroll}{coarse}"
+
+
+@dataclass(frozen=True)
+class TransformationSpace:
+    """The cartesian candidate grid.
+
+    The default grid (8 block sizes x smem on/off x 3 unroll factors = 48
+    mappings per kernel) matches the scale of search GROPHECY performs; a
+    degenerate space (`naive()`) provides the ablation baseline of "just
+    port it with a fixed 256-thread block", and `wide()` adds thread
+    coarsening for a 144-point search.
+    """
+
+    block_sizes: tuple[int, ...] = (64, 128, 192, 256, 320, 384, 448, 512)
+    shared_memory_options: tuple[bool, ...] = (False, True)
+    unroll_factors: tuple[int, ...] = (1, 2, 4)
+    coarsening_factors: tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if not self.block_sizes:
+            raise ValueError("need at least one block size")
+        if not self.shared_memory_options:
+            raise ValueError("need at least one shared-memory option")
+        if not self.unroll_factors:
+            raise ValueError("need at least one unroll factor")
+        if not self.coarsening_factors:
+            raise ValueError("need at least one coarsening factor")
+
+    def __iter__(self) -> Iterator[MappingConfig]:
+        for block in self.block_sizes:
+            for smem in self.shared_memory_options:
+                for unroll in self.unroll_factors:
+                    for coarse in self.coarsening_factors:
+                        yield MappingConfig(block, smem, unroll, coarse)
+
+    def __len__(self) -> int:
+        return (
+            len(self.block_sizes)
+            * len(self.shared_memory_options)
+            * len(self.unroll_factors)
+            * len(self.coarsening_factors)
+        )
+
+    @staticmethod
+    def naive() -> "TransformationSpace":
+        """Single fixed mapping: the no-search ablation baseline."""
+        return TransformationSpace(
+            block_sizes=(256,),
+            shared_memory_options=(False,),
+            unroll_factors=(1,),
+            coarsening_factors=(1,),
+        )
+
+    @staticmethod
+    def default() -> "TransformationSpace":
+        return TransformationSpace()
+
+    @staticmethod
+    def wide() -> "TransformationSpace":
+        """Default grid extended with thread coarsening (1x/2x/4x)."""
+        return TransformationSpace(coarsening_factors=(1, 2, 4))

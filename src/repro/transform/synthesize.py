@@ -1,0 +1,342 @@
+"""Characteristic synthesis: what would this mapping's kernel look like?
+
+This is the analytical core of GROPHECY: given a kernel skeleton and a
+:class:`~repro.transform.space.MappingConfig`, derive the per-thread
+dynamic instruction mix, coalescing behaviour, and resource usage that the
+transformed CUDA kernel would exhibit — without writing any CUDA.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.skeleton.access import ArrayAccess
+from repro.skeleton.arrays import ArrayDecl, ArrayKind
+from repro.skeleton.kernel import KernelSkeleton
+from repro.transform.space import MappingConfig
+
+#: Instructions of address arithmetic charged per memory access.
+_ADDRESS_OVERHEAD = 2.0
+#: Loop-control instructions per serial iteration (amortized by unroll).
+_LOOP_OVERHEAD = 2.0
+#: Instruction cost of one shared-memory access (vs. a global access).
+_SMEM_ACCESS_COST = 1.0
+#: Base register usage of any kernel.
+_BASE_REGISTERS = 10
+#: Complex arithmetic expands to ~4 real operations per flop.
+_COMPLEX_EXPANSION = 4.0
+#: Redundant-traffic factor of a haloed shared-memory tile load
+#: ((tile+2)^2 / tile^2 for a 16x16 tile with a 1-wide halo).
+_HALO_FACTOR = 1.27
+#: Coalesced fraction of a haloed tile load under compute-1.0 rules:
+#: the halo-shifted rows of the tile are misaligned segments.
+_STRICT_TILE_COALESCING = 0.40
+
+
+def _mapping_variable(kernel: KernelSkeleton) -> str:
+    """The parallel loop variable mapped to adjacent threads (thread.x).
+
+    GROPHECY maps the *innermost* parallel loop to consecutive threads so
+    unit-stride accesses along it coalesce; that is the standard layout
+    choice and the one the explorer scores.
+    """
+    parallel = kernel.parallel_loops
+    if not parallel:
+        raise ValueError(
+            f"kernel {kernel.name!r} exposes no parallel loop to map"
+        )
+    return parallel[-1].var
+
+
+def access_is_coalesced(
+    access: ArrayAccess,
+    map_var: str,
+    decl: ArrayDecl,
+    strict: bool = True,
+) -> bool:
+    """Would this access coalesce when ``map_var`` indexes threads?
+
+    Coalesced iff consecutive threads touch consecutive addresses: the
+    fastest-varying subscript must move 1 element per ``map_var`` step and
+    ``map_var`` must not appear scaled in slower subscripts (which would
+    scatter threads across rows).  Accesses not involving the thread index
+    at all are broadcasts — one transaction serves the warp, which we count
+    as coalesced.  Sparse accesses never coalesce; indirect accesses
+    coalesce only when the indirection is confined to slower dimensions.
+    With ``strict`` (G80 / compute 1.0) a constant offset in the fastest
+    subscript also breaks coalescing (segment misalignment).
+    """
+    if decl.kind is ArrayKind.SPARSE:
+        return False
+    if access.indirect:
+        # An indirect access still coalesces if the indirection lives in
+        # slower dimensions while consecutive threads read consecutive
+        # addresses (Stassuij gathers whole contiguous rows of x); an
+        # indirect *fastest* dimension (CFD's neighbor gather) never does.
+        if access.dim_is_indirect(access.rank - 1):
+            return False
+        last = access.indices[-1]
+        return (
+            last.coefficient(map_var) == 1
+            and (not strict or last.offset == 0)
+            and all(
+                idx.coefficient(map_var) == 0
+                for idx in access.indices[:-1]
+            )
+        )
+    last_coeff = access.innermost_coefficient(map_var)
+    if last_coeff == 1:
+        if strict and access.indices[-1].offset != 0:
+            # Compute-1.0 coalescing requires 16-thread segment
+            # alignment; a shifted stencil tap (temp[i][j-1]) breaks it.
+            return False
+        # map_var must not also drive a slower dimension.
+        return all(
+            idx.coefficient(map_var) == 0 for idx in access.indices[:-1]
+        )
+    if last_coeff == 0:
+        involved = any(
+            idx.coefficient(map_var) != 0 for idx in access.indices
+        )
+        return not involved  # broadcast
+    return False  # strided along threads
+
+
+def _neighbor_groups(
+    kernel: KernelSkeleton,
+) -> dict[tuple, list[ArrayAccess]]:
+    """Group loads that differ only by constant offsets (stencil taps).
+
+    Such a group can be staged in shared memory: one (haloed) global load
+    per thread replaces the whole group.
+    """
+    groups: dict[tuple, list[ArrayAccess]] = defaultdict(list)
+    for stmt in kernel.statements:
+        for access in stmt.loads:
+            if access.indirect:
+                continue  # gathers cannot be staged as a tile
+            signature = (
+                access.array,
+                tuple(
+                    tuple(sorted(idx.coeffs.items())) for idx in access.indices
+                ),
+            )
+            groups[signature].append(access)
+    return groups
+
+
+@dataclass(frozen=True)
+class SynthesisDetail:
+    """Intermediate numbers, exposed for tests and reports."""
+
+    map_var: str
+    loads_per_iter: float
+    stores_per_iter: float
+    smem_staged_arrays: tuple[str, ...]
+    coalesced_fraction: float
+
+
+def synthesize_characteristics(
+    kernel: KernelSkeleton,
+    arrays: Mapping[str, ArrayDecl],
+    config: MappingConfig,
+    with_detail: bool = False,
+    strict_coalescing: bool = True,
+) -> KernelCharacteristics | tuple[KernelCharacteristics, SynthesisDetail]:
+    """Synthesize the characteristics of ``kernel`` under ``config``.
+
+    ``strict_coalescing`` selects compute-1.0 coalescing rules (default:
+    the paper's G80-class GPU), where misaligned accesses serialize.
+    """
+    map_var = _mapping_variable(kernel)
+    serial = kernel.serial_iterations
+
+    # --- Memory instruction stream -------------------------------------
+    smem_staged: list[str] = []
+    smem_loads_saved = 0.0
+    smem_traffic_insts = 0.0
+    syncs = 0.0
+    parallel_vars = frozenset(l.var for l in kernel.parallel_loops)
+    serial_vars = frozenset(l.var for l in kernel.serial_loops)
+    tile_dim = max(2, int(math.sqrt(config.block_size)))
+    reuse_staged: list[tuple[str, float]] = []  # (array, load weight)
+    if config.use_shared_memory:
+        for (array, _sig), group in _neighbor_groups(kernel).items():
+            if len(group) >= 3:  # a real neighborhood, worth staging
+                # One haloed tile load replaces len(group) loads.  A
+                # 1-wide halo on a 16x16 tile costs (18/16)^2 ~ 1.27x
+                # redundant traffic.
+                smem_staged.append(array)
+                smem_loads_saved += len(group) - _HALO_FACTOR
+                smem_traffic_insts += len(group) * _SMEM_ACCESS_COST
+        if smem_staged:
+            syncs = 1.0 * serial
+        # Cross-thread reuse tiling (tiled matmul): a load that does not
+        # involve every parallel variable is re-read by all threads along
+        # the missing dimension(s); staging a tile in shared memory lets
+        # `tile_dim` threads share each global load.
+        for stmt in kernel.statements:
+            if stmt.amortize is not None:
+                continue  # already amortized explicitly in the skeleton
+            stmt_weight = stmt.branch_prob
+            for access in stmt.loads:
+                if access.indirect or access.array in smem_staged:
+                    continue
+                if arrays[access.array].kind is ArrayKind.SPARSE:
+                    continue
+                missing = parallel_vars - access.variables()
+                reduces = bool(access.variables() & serial_vars)
+                if missing and reduces and serial > 1:
+                    reuse_staged.append((access.array, stmt_weight))
+                    smem_loads_saved += stmt_weight * (1 - 1 / tile_dim)
+                    smem_traffic_insts += stmt_weight * _SMEM_ACCESS_COST
+        if reuse_staged:
+            # One barrier per tile step of the reduction.
+            syncs = max(syncs, serial / tile_dim)
+
+    loads_per_iter = kernel.loads_per_iteration() - (
+        smem_loads_saved if (smem_staged or reuse_staged) else 0.0
+    )
+    loads_per_iter = max(loads_per_iter, 0.0)
+    stores_per_iter = kernel.stores_per_iteration()
+    mem_insts = (loads_per_iter + stores_per_iter) * serial
+
+    # --- Coalescing ------------------------------------------------------
+    weights_total = 0.0
+    weights_coalesced = 0.0
+    staged = set(smem_staged)
+    reuse_set = {name for name, _ in reuse_staged}
+    for stmt in kernel.statements:
+        stmt_weight = kernel.statement_weight(stmt)
+        for access in stmt.accesses:
+            weight = stmt.branch_prob * stmt_weight
+            if (
+                access.is_load
+                and access.array in reuse_set
+                and stmt.amortize is None
+                and not access.indirect
+            ):
+                # Cooperative tile loads: one coalesced global access per
+                # tile_dim threads.
+                weights_total += weight / tile_dim
+                weights_coalesced += weight / tile_dim
+                continue
+            if access.is_load and access.array in staged:
+                # The whole tap group collapses into one haloed tile
+                # load; spread its weight across the group's members so
+                # the group contributes `_HALO_FACTOR` total.  Under
+                # compute-1.0 rules the halo rows of the tile are
+                # misaligned, so only part of the tile load coalesces.
+                group_size = sum(
+                    1
+                    for s2 in kernel.statements
+                    for a2 in s2.loads
+                    if a2.array == access.array and not a2.indirect
+                )
+                share = weight * _HALO_FACTOR / max(group_size, 1)
+                tile_coal = (
+                    _STRICT_TILE_COALESCING if strict_coalescing else 1.0
+                )
+                weights_total += share
+                weights_coalesced += share * tile_coal
+                continue
+            decl = arrays[access.array]
+            weights_total += weight
+            if access_is_coalesced(access, map_var, decl, strict_coalescing):
+                weights_coalesced += weight
+    coalesced_fraction = (
+        weights_coalesced / weights_total if weights_total else 1.0
+    )
+
+    # --- Computation stream ----------------------------------------------
+    flops = 0.0
+    for stmt in kernel.statements:
+        expansion = 1.0
+        if any(
+            arrays[a.array].dtype.is_complex for a in stmt.accesses
+        ):
+            expansion = _COMPLEX_EXPANSION
+        flops += (
+            stmt.flops
+            * stmt.branch_prob
+            * kernel.statement_weight(stmt)
+            * expansion
+        )
+    address_insts = _ADDRESS_OVERHEAD * (loads_per_iter + stores_per_iter)
+    loop_insts = _LOOP_OVERHEAD / config.unroll if serial > 1 else 0.0
+    comp_per_iter = (
+        flops + address_insts + smem_traffic_insts + loop_insts
+    )
+    comp_insts = comp_per_iter * serial
+
+    # Thread coarsening: each thread handles `coarsening` work items
+    # (strided by blockDim, so coalescing is preserved).  Per-thread work
+    # multiplies; per-thread fixed overheads (index setup ~ the loop
+    # overhead share) are amortized across the coarsened items.
+    coarse = config.coarsening
+    if coarse > 1:
+        mem_insts *= coarse
+        comp_insts = comp_insts * coarse - loop_insts * serial * (coarse - 1)
+        if syncs:
+            syncs *= 1.0  # one barrier still covers all items of a thread
+
+    # --- Resources ---------------------------------------------------------
+    distinct_arrays = len(kernel.arrays())
+    registers = min(
+        60,
+        _BASE_REGISTERS
+        + 2 * distinct_arrays
+        + 3 * (config.unroll - 1)
+        + 2 * (config.coarsening - 1),
+    )
+    # Traffic-weighted element size: amortized statements (e.g. per-row
+    # CSR metadata) must not dilute the dominant access width.
+    traffic = 0.0
+    access_count = 0.0
+    for stmt in kernel.statements:
+        weight = stmt.branch_prob * kernel.statement_weight(stmt)
+        for access in stmt.accesses:
+            traffic += weight * arrays[access.array].dtype.size_bytes
+            access_count += weight
+    bytes_per_access = (
+        round(traffic / access_count) if access_count else 4
+    )
+    smem_bytes = 0
+    if smem_staged:
+        # One haloed tile per staged array.
+        tile = config.block_size + 2
+        smem_bytes = sum(
+            arrays[a].dtype.size_bytes * tile for a in smem_staged
+        )
+    for name in {n for n, _ in reuse_staged}:
+        # A tile_dim x tile_dim panel per reuse-staged operand.
+        smem_bytes += arrays[name].dtype.size_bytes * tile_dim * tile_dim
+
+    threads = max(1, math.ceil(kernel.parallel_iterations / coarse))
+    chars = KernelCharacteristics(
+        name=f"{kernel.name}[{config.label()}]",
+        threads=threads,
+        block_size=min(config.block_size, max(32, threads)),
+        comp_insts_per_thread=comp_insts,
+        mem_insts_per_thread=max(mem_insts, 1e-9),
+        coalesced_fraction=coalesced_fraction,
+        bytes_per_access=max(bytes_per_access, 1),
+        registers_per_thread=registers,
+        shared_mem_per_block=smem_bytes,
+        syncs_per_thread=syncs,
+    )
+    if not with_detail:
+        return chars
+    detail = SynthesisDetail(
+        map_var=map_var,
+        loads_per_iter=loads_per_iter,
+        stores_per_iter=stores_per_iter,
+        smem_staged_arrays=tuple(smem_staged)
+        + tuple(sorted({n for n, _ in reuse_staged})),
+        coalesced_fraction=coalesced_fraction,
+    )
+    return chars, detail

@@ -1,0 +1,61 @@
+"""Shared utilities: units, statistics, RNG streams, table rendering.
+
+These helpers are deliberately dependency-light; every other subpackage in
+:mod:`repro` builds on them.  All times in the library are expressed in
+**seconds** and all data sizes in **bytes** unless a function name says
+otherwise (e.g. :func:`repro.util.units.ms`).
+"""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    bytes_to_human,
+    us,
+    ms,
+    seconds_to_human,
+    gb_per_s,
+)
+from repro.util.stats import (
+    error_magnitude,
+    signed_relative_error,
+    mean_error_magnitude,
+    arithmetic_mean,
+    geometric_mean,
+    summarize,
+    Summary,
+)
+from repro.util.rng import RngStream, derive_seed
+from repro.util.tables import Table, render_series
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in,
+    check_type,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "bytes_to_human",
+    "us",
+    "ms",
+    "seconds_to_human",
+    "gb_per_s",
+    "error_magnitude",
+    "signed_relative_error",
+    "mean_error_magnitude",
+    "arithmetic_mean",
+    "geometric_mean",
+    "summarize",
+    "Summary",
+    "RngStream",
+    "derive_seed",
+    "Table",
+    "render_series",
+    "check_positive",
+    "check_non_negative",
+    "check_in",
+    "check_type",
+]

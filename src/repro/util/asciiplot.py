@@ -1,0 +1,139 @@
+"""Minimal ASCII charts for the experiment harness.
+
+The offline environment has no plotting stack, so the harness can render
+figures as character grids: line charts for the sweep/iteration figures
+and scatter charts for Figs. 5-6.  Deliberately tiny — monospaced grids,
+log or linear axes, one glyph per series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(
+    values: Sequence[float], log: bool, cells: int
+) -> list[int | None]:
+    """Map values onto 0..cells-1 (None for non-positive values on log)."""
+    finite = [
+        v for v in values if v is not None and (not log or v > 0)
+    ]
+    if not finite:
+        raise ValueError("no plottable values")
+    transform = (lambda v: math.log10(v)) if log else (lambda v: v)
+    lo = min(transform(v) for v in finite)
+    hi = max(transform(v) for v in finite)
+    span = hi - lo or 1.0
+    out: list[int | None] = []
+    for v in values:
+        if v is None or (log and v <= 0):
+            out.append(None)
+            continue
+        frac = (transform(v) - lo) / span
+        out.append(min(cells - 1, max(0, round(frac * (cells - 1)))))
+    return out
+
+
+def line_chart(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Plot y-series over a shared x axis as an ASCII grid.
+
+    Each series gets a glyph (``o x + * ...``); collisions show the glyph
+    of the later series.  Axis extremes are printed on the frame.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points, x axis {len(xs)}"
+            )
+    cols = _scale(list(xs), log_x, width)
+    all_y = [y for ys in series.values() for y in ys]
+    # Use one shared y scale across series.
+    flat_rows = _scale(all_y, log_y, height)
+    grid = [[" "] * width for _ in range(height)]
+    n = len(xs)
+    # Draw in reverse so the first (usually "measured") series wins
+    # glyph collisions.
+    for s_index in reversed(range(len(series))):
+        glyph = _GLYPHS[s_index]
+        rows = flat_rows[s_index * n : (s_index + 1) * n]
+        for col, row in zip(cols, rows):
+            if col is None or row is None:
+                continue
+            grid[height - 1 - row][col] = glyph
+
+    y_vals = [
+        y for y in all_y if y is not None and (not log_y or y > 0)
+    ]
+    x_vals = [x for x in xs if not log_x or x > 0]
+    lines = [title]
+    lines.append(f"y_max = {max(y_vals):.4g}")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f"y_min = {min(y_vals):.4g}")
+    lines.append(
+        f"x: {min(x_vals):.4g} .. {max(x_vals):.4g}"
+        + ("  (log x)" if log_x else "")
+        + ("  (log y)" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i]} = {label}" for i, label in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    title: str,
+    points: Sequence[tuple[float, float]],
+    width: int = 48,
+    height: int = 16,
+    log: bool = False,
+    diagonal: bool = True,
+) -> str:
+    """Scatter of (x, y) points, optionally with the y=x reference line.
+
+    The diagonal is what Fig. 5 plots predictions against: perfect
+    predictions sit on it, slower-than-predicted transfers fall below.
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    # Shared scale so the y=x diagonal is a real diagonal.
+    combined = xs + ys
+    cols = _scale(combined, log, width)[: len(xs)]
+    rows = _scale(combined, log, height)[len(xs) :]
+    grid = [[" "] * width for _ in range(height)]
+    if diagonal:
+        steps = max(width, height)
+        for i in range(steps):
+            c = round(i * (width - 1) / (steps - 1))
+            r = round(i * (height - 1) / (steps - 1))
+            grid[height - 1 - r][c] = "."
+    for col, row in zip(cols, rows):
+        if col is None or row is None:
+            continue
+        grid[height - 1 - row][col] = "o"
+    usable = [v for v in combined if not log or v > 0]
+    lines = [title]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(
+        f"range: {min(usable):.4g} .. {max(usable):.4g}"
+        + ("  (log-log)" if log else "")
+        + ("   '.' = y=x" if diagonal else "")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Error metrics and aggregate statistics used throughout the evaluation.
+
+The paper's central metric is the *error magnitude*: the absolute value of
+the percent difference between a predicted and a measured value
+(Section V-A).  All aggregation of error magnitudes in the paper uses the
+arithmetic mean, and all measured times are arithmetic means of ten runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def signed_relative_error(predicted: float, measured: float) -> float:
+    """Return ``(predicted - measured) / measured``.
+
+    Positive means over-prediction.  ``measured`` must be non-zero; a zero
+    measurement makes relative error meaningless.
+    """
+    if measured == 0:
+        raise ZeroDivisionError("relative error undefined for measured == 0")
+    return (predicted - measured) / measured
+
+
+def error_magnitude(predicted: float, measured: float) -> float:
+    """The paper's *error magnitude*: ``|predicted - measured| / |measured|``.
+
+    Returned as a fraction (0.08 == 8%).
+    """
+    if measured == 0:
+        raise ZeroDivisionError("error magnitude undefined for measured == 0")
+    return abs(predicted - measured) / abs(measured)
+
+
+def mean_error_magnitude(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> float:
+    """Arithmetic mean of per-point error magnitudes.
+
+    ``predicted`` and ``measured`` must be equal-length and non-empty.
+    """
+    if len(predicted) != len(measured):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs "
+            f"{len(measured)} measurements"
+        )
+    if not predicted:
+        raise ValueError("cannot average an empty set of errors")
+    return arithmetic_mean(
+        [error_magnitude(p, m) for p, m in zip(predicted, measured)]
+    )
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain arithmetic mean; raises on an empty iterable."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a non-empty sample (population std)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    mean = arithmetic_mean(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return Summary(
+        n=len(values),
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(values),
+        maximum=max(values),
+    )

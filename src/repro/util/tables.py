@@ -1,0 +1,114 @@
+"""Minimal ASCII table / series rendering for the experiment harness.
+
+The harness prints the same rows and series the paper's tables and figures
+report; no plotting dependency is available offline, so figures are emitted
+as aligned text series suitable for eyeballing and for diffing in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["a", "b"], title="demo")
+    >>> t.add_row(["1", "2"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(list(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+
+        def esc(cell: str) -> str:
+            return cell.replace("|", "\\|")
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(esc(h) for h in self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(esc(c) for c in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """RFC-4180-ish CSV rendering (quotes cells containing , " or NL)."""
+
+        def esc(cell: str) -> str:
+            if any(ch in cell for ch in ',"\n'):
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(esc(h) for h in self.headers)]
+        lines.extend(",".join(esc(c) for c in row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def series_table(
+    name: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    value_format: str = "{:.4g}",
+) -> Table:
+    """Build a Table holding one or more y-series over a shared x axis."""
+    lengths = {label: len(ys) for label, ys in series.items()}
+    for label, n in lengths.items():
+        if n != len(xs):
+            raise ValueError(
+                f"series {label!r} has {n} points but x axis has {len(xs)}"
+            )
+    table = Table([x_label, *series.keys()], title=name)
+    for i, x in enumerate(xs):
+        table.add_row(
+            [str(x), *(value_format.format(ys[i]) for ys in series.values())]
+        )
+    return table
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    value_format: str = "{:.4g}",
+) -> str:
+    """Render one or more y-series over a shared x axis as a text table."""
+    return series_table(name, xs, series, x_label, value_format).render()

@@ -1,0 +1,64 @@
+"""Byte and time unit helpers.
+
+The paper (and CUDA tooling of its era) uses binary prefixes when it says
+"KB"/"MB"/"GB" for transfer sizes (the sweep runs over powers of two from
+1 B to 512 MB), so the byte constants here are binary.  Bandwidths such as
+"2.5 GB/s" are decimal in the paper's prose; :func:`gb_per_s` therefore uses
+``1e9`` bytes.  Keeping both conventions explicit avoids a classic 7%
+calibration bug.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte (2**10 bytes).
+KiB: int = 1024
+#: One mebibyte (2**20 bytes).
+MiB: int = 1024 * 1024
+#: One gibibyte (2**30 bytes).
+GiB: int = 1024 * 1024 * 1024
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def gb_per_s(value: float) -> float:
+    """Convert a decimal-GB/s bandwidth to bytes/second."""
+    return value * 1e9
+
+
+def bytes_to_human(n: float) -> str:
+    """Render a byte count the way the paper labels its axes (1B..512MB)."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    if n < KiB:
+        text = f"{n:.0f}B" if float(n).is_integer() else f"{n:.1f}B"
+        return text
+    for unit, factor in (("KB", KiB), ("MB", MiB), ("GB", GiB)):
+        scaled = n / factor
+        if scaled < 1024 or unit == "GB":
+            if float(scaled).is_integer():
+                return f"{scaled:.0f}{unit}"
+            return f"{scaled:.2f}{unit}"
+    raise AssertionError("unreachable")
+
+
+def seconds_to_human(t: float) -> str:
+    """Render a duration with an auto-selected unit (ns/us/ms/s)."""
+    if t < 0:
+        raise ValueError(f"duration must be non-negative, got {t}")
+    if t == 0:
+        return "0s"
+    if t < 1e-6:
+        return f"{t * 1e9:.1f}ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.2f}ms"
+    return f"{t:.3f}s"

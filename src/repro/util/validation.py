@@ -1,0 +1,37 @@
+"""Tiny argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Container, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; returns the value for chaining."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; returns the value for chaining."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: T, allowed: Container[T]) -> T:
+    """Require membership in ``allowed``; returns the value for chaining."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, expected: Type[T]) -> T:
+    """Require ``isinstance(value, expected)``; returns the value."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,53 @@
+"""The paper's benchmarks (Section IV-B), implemented functionally.
+
+Each workload provides:
+
+- a NumPy **reference implementation** (the "CPU baseline" semantics),
+  used to validate algorithmic correctness and derive honest work counts;
+- a **code skeleton** — the abstract representation GROPHECY++ consumes —
+  whose loop structure, access patterns, and flop counts mirror the
+  reference implementation;
+- **hints** (temporaries, sparse extents) exactly where the paper's
+  methodology uses them;
+- a per-dataset **testbed calibration**: the Table-I replay targets that
+  anchor the virtual testbed's "measured" times (DESIGN.md §2), plus the
+  per-transfer quirks the paper observed (Fig. 5).
+
+Workloads: CFD (unstructured-grid Euler solver, 3 kernels), HotSpot
+(structured-grid ODE stencil), SRAD (speckle-reducing anisotropic
+diffusion, 2 kernels), Stassuij (sparse x dense complex multiply from
+Green's Function Monte Carlo), plus the pedagogical VectorAdd from
+Section II-B.
+"""
+
+from repro.workloads.base import Dataset, TestbedTargets, Workload
+from repro.workloads.vectoradd import VectorAdd
+from repro.workloads.hotspot import HotSpot
+from repro.workloads.srad import Srad
+from repro.workloads.cfd import Cfd
+from repro.workloads.stassuij import Stassuij
+from repro.workloads.pathfinder import PathFinder
+from repro.workloads.kmeans import KMeans
+from repro.workloads.registry import (
+    all_workloads,
+    extended_workloads,
+    get_workload,
+    paper_workloads,
+)
+
+__all__ = [
+    "Dataset",
+    "TestbedTargets",
+    "Workload",
+    "VectorAdd",
+    "HotSpot",
+    "Srad",
+    "Cfd",
+    "Stassuij",
+    "PathFinder",
+    "KMeans",
+    "all_workloads",
+    "extended_workloads",
+    "get_workload",
+    "paper_workloads",
+]

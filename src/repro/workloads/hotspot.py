@@ -1,0 +1,125 @@
+"""HotSpot: structured-grid thermal ODE solver (Rodinia).
+
+Each cell's temperature is updated from its 3x3-neighborhood (a 5-point
+stencil in practice) and the local power dissipation.  One kernel per
+iteration; the data size is the grid edge (Table I: 64, 512, 1024).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.model import CpuWorkProfile
+from repro.skeleton.builder import KernelBuilder, ProgramBuilder
+from repro.skeleton.program import ProgramSkeleton
+
+from repro.workloads.base import Dataset, TestbedTargets, Workload
+
+# Physical constants (Rodinia defaults, scaled for a unit grid).
+_T_AMB = 80.0
+_R_X = 10.0
+_R_Y = 10.0
+_R_Z = 2.0
+_CAP = 0.5
+_STEP = 1.0e-3
+
+
+class HotSpot(Workload):
+    name = "HotSpot"
+    description = "ODE stencil for microarchitectural temperature (Rodinia)"
+
+    def datasets(self) -> tuple[Dataset, ...]:
+        return (
+            Dataset("64 x 64", 64),
+            Dataset("512 x 512", 512),
+            Dataset("1024 x 1024", 1024),
+        )
+
+    def iteration_sweep(self) -> tuple[int, ...]:
+        return (1, 2, 5, 10, 20, 40, 70, 100, 150, 250, 400)
+
+    # --- skeleton ------------------------------------------------------------
+    def skeleton(self, dataset: Dataset) -> ProgramSkeleton:
+        n = dataset.size
+        pb = ProgramBuilder(f"hotspot-{dataset.label.replace(' ', '')}")
+        pb.array("temp", (n, n)).array("power", (n, n))
+        pb.array("temp_out", (n, n))
+        kb = KernelBuilder("hotspot_step")
+        kb.parallel_loop("i", n - 1, lower=1)
+        kb.parallel_loop("j", n - 1, lower=1)
+        kb.load("temp", "i", "j")
+        kb.load("temp", ("i", 1, -1), "j")
+        kb.load("temp", ("i", 1, 1), "j")
+        kb.load("temp", "i", ("j", 1, -1))
+        kb.load("temp", "i", ("j", 1, 1))
+        kb.load("power", "i", "j")
+        kb.store("temp_out", "i", "j")
+        # 4 neighbor diffs, 3 divisions-as-multiplies, power term, Euler
+        # update: ~14 floating-point operations per cell.
+        kb.statement(flops=14, label="euler-update")
+        return pb.kernel(kb).build()
+
+    def cpu_profile(self, dataset: Dataset) -> CpuWorkProfile:
+        n = dataset.size
+        # DRAM traffic: stream temp + power in, temp_out out; stencil
+        # neighbors hit cache.
+        return CpuWorkProfile(
+            name=f"hotspot-{dataset.size}",
+            bytes_moved=3 * n * n * 4,
+            flops=14 * n * n,
+        )
+
+    # --- reference implementation ------------------------------------------
+    def make_inputs(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        n = dataset.size
+        return {
+            "temp": (320.0 + 20.0 * rng.random((n, n))).astype(np.float32),
+            "power": (1.0e-3 * rng.random((n, n))).astype(np.float32),
+        }
+
+    @staticmethod
+    def step(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+        """One explicit-Euler step; boundary cells are held fixed."""
+        out = temp.copy()
+        c = temp[1:-1, 1:-1]
+        north = temp[:-2, 1:-1]
+        south = temp[2:, 1:-1]
+        west = temp[1:-1, :-2]
+        east = temp[1:-1, 2:]
+        delta = (_STEP / _CAP) * (
+            power[1:-1, 1:-1]
+            + (south + north - 2.0 * c) / _R_Y
+            + (east + west - 2.0 * c) / _R_X
+            + (_T_AMB - c) / _R_Z
+        )
+        out[1:-1, 1:-1] = c + delta
+        return out
+
+    def run_reference(
+        self, inputs: dict[str, np.ndarray], iterations: int = 1
+    ) -> dict[str, np.ndarray]:
+        temp = inputs["temp"].astype(np.float32, copy=True)
+        power = inputs["power"]
+        for _ in range(iterations):
+            temp = self.step(temp, power)
+        return {"temp_out": temp}
+
+    # --- testbed calibration ----------------------------------------------
+    def testbed_targets(self, dataset: Dataset) -> TestbedTargets:
+        # Kernel times: Table I (64x64's "<0.1 ms" resolved to 0.072 ms so
+        # that the transfer fraction lands at the reported 41%).  CPU
+        # anchor: the paper reports a 1.5x measured speedup and a 7.8x
+        # kernel-only predicted speedup for 512x512 (footnote 6), fixing
+        # the CPU time at ~2.25 ms; other sizes scale per-cell.  Transfer
+        # context factors replay the paper's in-application transfer
+        # slowdowns (18% / 7% / 4% vs the linear model).
+        kernel = {64: 0.072e-3, 512: 0.30e-3, 1024: 1.2e-3}[dataset.size]
+        context = {64: 1.22, 512: 1.08, 1024: 1.04}[dataset.size]
+        cpu_per_cell = 2.25e-3 / (512 * 512)
+        return TestbedTargets(
+            kernel_seconds=kernel,
+            cpu_seconds=cpu_per_cell * dataset.size * dataset.size,
+            transfer_context=context,
+        )

@@ -1,0 +1,135 @@
+"""K-Means assignment step (Rodinia kmeans) — extended validation.
+
+Not part of the paper's evaluation (future work: "a wider range of
+applications").  The GPU-side kernel assigns each point to its nearest
+centroid; the centroid update runs on the host, so per-iteration traffic
+includes a *small* recurring piece (fresh centroids in, labels out) on
+top of the one-time upload of the point cloud — a different transfer
+profile from the paper's stencil apps.
+
+Our program models one assignment pass: points and centroids in, labels
+out.  Measured times come from the uncalibrated simulator (no paper
+anchor), like PathFinder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.model import CpuWorkProfile
+from repro.skeleton.builder import KernelBuilder, ProgramBuilder
+from repro.skeleton.program import ProgramSkeleton
+from repro.skeleton.types import DType
+from repro.workloads.base import Dataset, TestbedTargets, Workload
+
+_DIMS = 16  # feature dimension
+_CLUSTERS = 32
+
+
+class KMeans(Workload):
+    name = "KMeans"
+    description = "nearest-centroid assignment over a point cloud (Rodinia)"
+
+    def datasets(self) -> tuple[Dataset, ...]:
+        return (
+            Dataset("64K points", 65_536),
+            Dataset("512K points", 524_288),
+        )
+
+    @property
+    def dims(self) -> int:
+        return _DIMS
+
+    @property
+    def clusters(self) -> int:
+        return _CLUSTERS
+
+    # --- skeleton ------------------------------------------------------------
+    def skeleton(self, dataset: Dataset) -> ProgramSkeleton:
+        n = dataset.size
+        pb = ProgramBuilder(f"kmeans-{dataset.label.replace(' ', '')}")
+        # Feature-major layout (dims x points) for coalescing, like the
+        # Rodinia CUDA port.
+        pb.array("points", (_DIMS, n))
+        pb.array("centroids", (_CLUSTERS, _DIMS))
+        pb.array("labels", (n,), DType.int32)
+
+        kb = KernelBuilder("assign")
+        kb.parallel_loop("i", n)
+        kb.loop("c", _CLUSTERS)
+        kb.loop("d", _DIMS)
+        # The point's features load once per (point, dim) and live in
+        # registers across the cluster loop.
+        kb.load("points", "d", "i")
+        kb.statement(flops=0, label="register-point", amortize=("i", "d"))
+        # Distance accumulation reads one centroid element (a warp-wide
+        # broadcast) per (cluster, dim) pair.
+        kb.load("centroids", "c", "d")
+        kb.statement(flops=3, label="sq-distance-accumulate")
+        # Running argmin once per cluster; label written once per point.
+        kb.load("centroids", "c", 0)
+        kb.statement(flops=2, label="argmin-update", amortize=("i", "c"))
+        kb.store("labels", "i")
+        kb.statement(flops=0, label="write-label", amortize=("i",))
+        return pb.kernel(kb).build()
+
+    def cpu_profile(self, dataset: Dataset) -> CpuWorkProfile:
+        n = dataset.size
+        return CpuWorkProfile(
+            name=f"kmeans-{dataset.label}",
+            # Points stream once (centroids stay cached).
+            bytes_moved=(_DIMS * 4 + 4) * n,
+            flops=3 * _DIMS * _CLUSTERS * n,
+            efficiency=0.6,
+        )
+
+    # --- reference implementation ------------------------------------------
+    def make_inputs(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        n = dataset.size
+        return {
+            "points": rng.standard_normal((_DIMS, n)).astype(np.float32),
+            "centroids": rng.standard_normal(
+                (_CLUSTERS, _DIMS)
+            ).astype(np.float32),
+        }
+
+    def run_reference(
+        self, inputs: dict[str, np.ndarray], iterations: int = 1
+    ) -> dict[str, np.ndarray]:
+        if iterations != 1:
+            raise ValueError(
+                "KMeans models a single assignment pass; the centroid "
+                "update runs on the host"
+            )
+        points = inputs["points"]  # dims x n
+        centroids = inputs["centroids"]  # k x dims
+        # Squared distances via ||p||^2 - 2 c.p + ||c||^2.
+        cross = centroids @ points  # k x n
+        p_sq = (points * points).sum(axis=0)  # n
+        c_sq = (centroids * centroids).sum(axis=1)  # k
+        dist = p_sq[None, :] - 2.0 * cross + c_sq[:, None]
+        return {"labels": dist.argmin(axis=0).astype(np.int32)}
+
+    # --- testbed calibration ----------------------------------------------
+    def testbed_targets(self, dataset: Dataset) -> TestbedTargets:
+        """Uncalibrated-simulator targets (no paper anchor)."""
+        from repro.cpu.arch import xeon_e5405
+        from repro.cpu.model import CpuPerformanceModel
+        from repro.sim.gpu_sim import SimulatedGpu, kernel_work_from_skeleton
+
+        gpu = SimulatedGpu()
+        program = self.skeleton(dataset)
+        kernel_seconds = sum(
+            gpu.expected_kernel_time(
+                kernel_work_from_skeleton(k, program.array_map)
+            )
+            for k in program.kernels
+        )
+        cpu_seconds = CpuPerformanceModel(xeon_e5405()).time(
+            self.cpu_profile(dataset)
+        )
+        return TestbedTargets(
+            kernel_seconds=kernel_seconds, cpu_seconds=cpu_seconds
+        )

@@ -1,0 +1,142 @@
+"""PathFinder: grid dynamic programming (Rodinia) — extended validation.
+
+Not part of the paper's evaluation; included for its stated future work of
+validating "on a wider range of applications".  PathFinder sweeps a
+rows x cols cost grid top to bottom; each step computes, per column, the
+running minimum over the three upstream neighbors:
+
+    dst[j] = wall[row][j] + min(src[j-1], src[j], src[j+1])
+
+One kernel launch per row (the row recurrence forces global
+synchronization, like CFD's kernel split), trivially parallel across
+columns.  The whole wall must cross the bus while each launch does a few
+flops per column — a transfer-dominated worst case.
+
+No paper anchor exists, so the virtual testbed runs *uncalibrated*
+(hardware factors 1.0): measured times are the honest simulator outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.model import CpuWorkProfile
+from repro.skeleton.builder import KernelBuilder, ProgramBuilder
+from repro.skeleton.program import ProgramSkeleton
+from repro.workloads.base import Dataset, TestbedTargets, Workload
+
+_ROWS = 64  # DP depth per run; the data size scales the width
+
+
+class PathFinder(Workload):
+    name = "PathFinder"
+    description = "grid dynamic programming over a cost field (Rodinia)"
+
+    def datasets(self) -> tuple[Dataset, ...]:
+        return (
+            Dataset("100K cols", 100_000),
+            Dataset("500K cols", 500_000),
+        )
+
+    @property
+    def rows(self) -> int:
+        return _ROWS
+
+    @property
+    def is_iterative(self) -> bool:
+        # The row sweep is internal to one run; the paper-style iteration
+        # sweep doesn't apply.
+        return False
+
+    # --- skeleton ------------------------------------------------------------
+    def skeleton(self, dataset: Dataset) -> ProgramSkeleton:
+        cols = dataset.size
+        pb = ProgramBuilder(f"pathfinder-{dataset.label.replace(' ', '')}")
+        pb.array("wall", (_ROWS, cols))
+        pb.array("src", (cols,))
+        pb.array("dst", (cols,))
+        # One representative row-step kernel per DP row.  All launches
+        # share the same shape; we model each row's kernel explicitly so
+        # the dependence chain (dst -> src swap) is visible.
+        for row in range(_ROWS):
+            kb = KernelBuilder(f"step_row{row}")
+            kb.parallel_loop("j", cols - 1, lower=1)
+            if row % 2 == 0:
+                src, dst = "src", "dst"
+            else:
+                src, dst = "dst", "src"
+            kb.load("wall", row, "j")
+            kb.load(src, ("j", 1, -1))
+            kb.load(src, "j")
+            kb.load(src, ("j", 1, 1))
+            kb.store(dst, "j")
+            kb.statement(flops=5, label="min3-accumulate")
+            pb.kernel(kb)
+        # The ping-pong buffers are intermediates except the final one.
+        final = "dst" if _ROWS % 2 == 1 else "src"
+        other = "src" if final == "dst" else "dst"
+        return pb.temporary(other).build()
+
+    def cpu_profile(self, dataset: Dataset) -> CpuWorkProfile:
+        cols = dataset.size
+        return CpuWorkProfile(
+            name=f"pathfinder-{dataset.label}",
+            bytes_moved=(_ROWS + 2) * cols * 4,  # stream wall + ping-pong
+            flops=5 * _ROWS * cols,
+            efficiency=0.5,  # branchy min-chain, modest vectorization
+        )
+
+    # --- reference implementation ------------------------------------------
+    def make_inputs(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        cols = dataset.size
+        return {
+            "wall": rng.integers(0, 10, size=(_ROWS, cols)).astype(
+                np.float32
+            ),
+            "src": np.zeros(cols, dtype=np.float32),
+        }
+
+    def run_reference(
+        self, inputs: dict[str, np.ndarray], iterations: int = 1
+    ) -> dict[str, np.ndarray]:
+        if iterations != 1:
+            raise ValueError("PathFinder is not iterative")
+        wall = inputs["wall"]
+        src = inputs["src"].astype(np.float32, copy=True)
+        for row in range(wall.shape[0]):
+            left = np.concatenate(([np.float32(np.inf)], src[:-1]))
+            right = np.concatenate((src[1:], [np.float32(np.inf)]))
+            dst = wall[row] + np.minimum(np.minimum(left, src), right)
+            # Boundary columns only see two candidates (inf padding).
+            src = dst.astype(np.float32)
+        return {"cost": src}
+
+    # --- testbed calibration ----------------------------------------------
+    def testbed_targets(self, dataset: Dataset) -> TestbedTargets:
+        """No paper anchor: replay the uncalibrated simulator.
+
+        Targets are computed from the simulator's own noise-free models
+        (factor 1.0), so the extended-validation experiments measure the
+        *predictor's* error against an independent machine model rather
+        than a replayed paper number.
+        """
+        from repro.cpu.model import CpuPerformanceModel
+        from repro.cpu.arch import xeon_e5405
+        from repro.sim.gpu_sim import SimulatedGpu, kernel_work_from_skeleton
+
+        gpu = SimulatedGpu()
+        program = self.skeleton(dataset)
+        kernel_seconds = sum(
+            gpu.expected_kernel_time(
+                kernel_work_from_skeleton(k, program.array_map)
+            )
+            for k in program.kernels
+        )
+        cpu_seconds = CpuPerformanceModel(xeon_e5405()).time(
+            self.cpu_profile(dataset)
+        )
+        return TestbedTargets(
+            kernel_seconds=kernel_seconds, cpu_seconds=cpu_seconds
+        )

@@ -1,0 +1,37 @@
+"""Workload registry."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.cfd import Cfd
+from repro.workloads.hotspot import HotSpot
+from repro.workloads.kmeans import KMeans
+from repro.workloads.pathfinder import PathFinder
+from repro.workloads.srad import Srad
+from repro.workloads.stassuij import Stassuij
+from repro.workloads.vectoradd import VectorAdd
+
+
+def paper_workloads() -> tuple[Workload, ...]:
+    """The four benchmarks of the paper's evaluation, in Table I order."""
+    return (Cfd(), HotSpot(), Srad(), Stassuij())
+
+
+def extended_workloads() -> tuple[Workload, ...]:
+    """Extra validation workloads beyond the paper (its stated future
+    work), measured against the *uncalibrated* simulator."""
+    return (PathFinder(), KMeans())
+
+
+def all_workloads() -> tuple[Workload, ...]:
+    """Every workload in the library."""
+    return paper_workloads() + extended_workloads() + (VectorAdd(),)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by (case-insensitive) name."""
+    for workload in all_workloads():
+        if workload.name.lower() == name.lower():
+            return workload
+    known = ", ".join(w.name for w in all_workloads())
+    raise KeyError(f"unknown workload {name!r}; known: {known}")

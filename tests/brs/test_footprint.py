@@ -1,0 +1,109 @@
+"""Tests for kernel footprint extraction."""
+
+import pytest
+
+from repro.brs.footprint import access_section, kernel_footprint
+from repro.brs.section import DimSection, Section
+from repro.skeleton import (
+    AffineIndex,
+    ArrayAccess,
+    ArrayDecl,
+    ArrayKind,
+    DType,
+    KernelBuilder,
+    Loop,
+)
+
+
+class TestAccessSection:
+    def test_unit_stride_1d(self):
+        decl = ArrayDecl("a", (100,))
+        acc = ArrayAccess("a", (AffineIndex.var("i"),))
+        sec = access_section(acc, {"i": Loop("i", 0, 100)}, decl)
+        assert sec == Section.box((0, 99))
+
+    def test_offset_stencil_access(self):
+        decl = ArrayDecl("a", (100,))
+        acc = ArrayAccess("a", (AffineIndex.var("i", 1, -1),))
+        sec = access_section(acc, {"i": Loop("i", 1, 99)}, decl)
+        assert sec == Section.box((0, 97))
+
+    def test_strided_access(self):
+        decl = ArrayDecl("a", (100,))
+        acc = ArrayAccess("a", (AffineIndex.var("i", 2),))
+        sec = access_section(acc, {"i": Loop("i", 0, 50)}, decl)
+        assert sec == Section((DimSection(0, 98, 2),))
+
+    def test_2d_access(self):
+        decl = ArrayDecl("a", (10, 20))
+        acc = ArrayAccess("a", (AffineIndex.var("i"), AffineIndex.var("j")))
+        loops = {"i": Loop("i", 0, 10), "j": Loop("j", 0, 20)}
+        assert access_section(acc, loops, decl) == Section.whole((10, 20))
+
+    def test_constant_subscript(self):
+        decl = ArrayDecl("a", (10, 20))
+        acc = ArrayAccess("a", (AffineIndex.const(3), AffineIndex.var("j")))
+        loops = {"j": Loop("j", 0, 20)}
+        sec = access_section(acc, loops, decl)
+        assert sec.dims[0].is_point and sec.dims[0].lower == 3
+        assert sec.volume == 20
+
+    def test_sparse_whole_array(self):
+        decl = ArrayDecl("s", (64,), DType.float32, ArrayKind.SPARSE)
+        acc = ArrayAccess("s", (AffineIndex.var("i"),))
+        sec = access_section(acc, {"i": Loop("i", 0, 5)}, decl)
+        assert sec == Section.whole((64,))
+
+    def test_linearized_2d_overapproximation(self):
+        # a[i*N + j] over i<4, j<4 with N=8: BRS over-approximates the gcd
+        # lattice but must contain every touched element.
+        decl = ArrayDecl("a", (64,))
+        acc = ArrayAccess("a", (AffineIndex({"i": 8, "j": 1}),))
+        loops = {"i": Loop("i", 0, 4), "j": Loop("j", 0, 4)}
+        sec = access_section(acc, loops, decl)
+        touched = {
+            8 * i + j for i in range(4) for j in range(4)
+        }
+        assert all(sec.contains_point((p,)) for p in touched)
+
+
+class TestKernelFootprint:
+    def test_stencil_kernel(self):
+        arrays = {
+            "src": ArrayDecl("src", (64, 64)),
+            "dst": ArrayDecl("dst", (64, 64)),
+        }
+        kb = KernelBuilder("stencil")
+        kb.parallel_loop("i", 63, lower=1).parallel_loop("j", 63, lower=1)
+        kb.load("src", ("i", 1, -1), "j")
+        kb.load("src", ("i", 1, 1), "j")
+        kb.load("src", "i", ("j", 1, -1))
+        kb.load("src", "i", ("j", 1, 1))
+        kb.load("src", "i", "j")
+        kb.store("dst", "i", "j")
+        kb.statement(flops=5)
+        fp = kernel_footprint(kb.build(arrays.values()), arrays)
+
+        assert fp.read_arrays() == frozenset({"src"})
+        assert fp.written_arrays() == frozenset({"dst"})
+        # Reads cover the full halo (rows/cols 0..63 via shifted accesses).
+        reads = fp.reads["src"]
+        assert reads.covers(Section.box((0, 63), (1, 62)))
+        assert reads.covers(Section.box((1, 62), (0, 63)))
+        # Writes are the interior only.
+        writes = fp.writes["dst"]
+        assert writes.volume == 62 * 62
+        assert not writes.contains_point((0, 5))
+
+    def test_kernel_with_undeclared_array_raises(self):
+        kb = KernelBuilder("k").loop("i", 4)
+        kb.load("ghost", "i").statement()
+        with pytest.raises(KeyError):
+            kernel_footprint(kb.build(), {})
+
+    def test_read_and_write_same_array(self):
+        arrays = {"a": ArrayDecl("a", (100,))}
+        kb = KernelBuilder("scale").parallel_loop("i", 100)
+        kb.load("a", "i").store("a", "i").statement(flops=1)
+        fp = kernel_footprint(kb.build(arrays.values()), arrays)
+        assert fp.read_arrays() == fp.written_arrays() == frozenset({"a"})

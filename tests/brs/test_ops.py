@@ -1,0 +1,221 @@
+"""Tests for BRS INTERSECT/SUBTRACT/contains/hull, incl. brute-force checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.brs.ops import (
+    contains,
+    dim_contains,
+    dim_intersect,
+    hull,
+    intersect,
+    subtract,
+)
+from repro.brs.section import DimSection, Section
+
+# Strategies ----------------------------------------------------------------
+
+dim_sections = st.builds(
+    lambda lo, extent, stride: DimSection(lo, lo + extent, stride),
+    st.integers(-20, 20),
+    st.integers(0, 40),
+    st.integers(1, 6),
+)
+
+
+def sections(rank: int):
+    return st.tuples(*([dim_sections] * rank)).map(Section)
+
+
+class TestDimIntersect:
+    def test_disjoint_ranges(self):
+        assert dim_intersect(DimSection(0, 4), DimSection(10, 20)) is None
+
+    def test_incompatible_progressions(self):
+        # evens vs odds share nothing.
+        a = DimSection(0, 100, 2)
+        b = DimSection(1, 101, 2)
+        assert dim_intersect(a, b) is None
+
+    def test_crt_case(self):
+        # {0,2,..,20} ∩ {1,4,..,19} = {4,10,16}
+        got = dim_intersect(DimSection(0, 20, 2), DimSection(1, 19, 3))
+        assert got == DimSection(4, 16, 6)
+
+    def test_dense_overlap(self):
+        got = dim_intersect(DimSection(0, 10), DimSection(5, 15))
+        assert got == DimSection(5, 10, 1)
+
+    def test_point_in_progression(self):
+        got = dim_intersect(DimSection.point(6), DimSection(0, 10, 3))
+        assert got == DimSection.point(6)
+        assert dim_intersect(DimSection.point(5), DimSection(0, 10, 3)) is None
+
+    @given(dim_sections, dim_sections)
+    @settings(max_examples=200)
+    def test_matches_brute_force(self, a, b):
+        expected = sorted(set(a.points()) & set(b.points()))
+        got = dim_intersect(a, b)
+        if not expected:
+            assert got is None
+        else:
+            assert got is not None
+            assert list(got.points()) == expected
+
+
+class TestDimContains:
+    def test_subset(self):
+        assert dim_contains(DimSection(0, 20, 2), DimSection(4, 12, 4))
+
+    def test_misaligned(self):
+        assert not dim_contains(DimSection(0, 20, 2), DimSection(1, 11, 2))
+
+    def test_point_member(self):
+        assert dim_contains(DimSection(0, 20, 5), DimSection.point(15))
+        assert not dim_contains(DimSection(0, 20, 5), DimSection.point(14))
+
+    @given(dim_sections, dim_sections)
+    @settings(max_examples=200)
+    def test_matches_brute_force(self, outer, inner):
+        expected = set(inner.points()) <= set(outer.points())
+        assert dim_contains(outer, inner) == expected
+
+
+class TestIntersect:
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            intersect(Section.box((0, 1)), Section.box((0, 1), (0, 1)))
+
+    def test_box_overlap(self):
+        got = intersect(Section.box((0, 9), (0, 9)), Section.box((5, 14), (5, 14)))
+        assert got == Section.box((5, 9), (5, 9))
+
+    def test_disjoint_in_one_dim(self):
+        assert (
+            intersect(Section.box((0, 9), (0, 9)), Section.box((0, 9), (20, 30)))
+            is None
+        )
+
+    @given(sections(2), sections(2))
+    @settings(max_examples=100)
+    def test_matches_brute_force(self, a, b):
+        expected = set(a.points()) & set(b.points())
+        got = intersect(a, b)
+        if got is None:
+            assert not expected
+        else:
+            assert set(got.points()) == expected
+
+
+class TestContains:
+    @given(sections(2), sections(2))
+    @settings(max_examples=100)
+    def test_no_false_positives(self, outer, inner):
+        # contains() may under-approximate but must never claim coverage
+        # that does not hold.
+        if contains(outer, inner):
+            assert set(inner.points()) <= set(outer.points())
+
+    def test_reflexive(self):
+        s = Section.box((0, 5), (3, 9))
+        assert contains(s, s)
+
+
+class TestSubtract:
+    def test_disjoint_keeps_all(self):
+        a, b = Section.box((0, 4)), Section.box((10, 12))
+        assert subtract(a, b) == [a]
+
+    def test_covered_removes_all(self):
+        a, b = Section.box((2, 3)), Section.box((0, 10))
+        assert subtract(a, b) == []
+
+    def test_dense_decomposition_2d(self):
+        a = Section.box((0, 9), (0, 9))
+        b = Section.box((3, 6), (3, 6))
+        parts = subtract(a, b)
+        total = sum(p.volume for p in parts)
+        assert total == 100 - 16
+        # Disjointness of the decomposition.
+        pts = [p for part in parts for p in part.points()]
+        assert len(pts) == len(set(pts))
+
+    def test_equal_stride_aligned_exact(self):
+        a = Section((DimSection(0, 20, 2),))
+        b = Section((DimSection(6, 12, 2),))
+        parts = subtract(a, b)
+        got = sorted(p for part in parts for pt in [part] for p in pt.points())
+        assert [p[0] for p in got] == [0, 2, 4, 14, 16, 18, 20]
+
+    def test_incompatible_strides_conservative(self):
+        a = Section((DimSection(0, 20, 2),))
+        b = Section((DimSection(0, 18, 3),))
+        # Partial overlap with incompatible lattices: keep the minuend.
+        assert subtract(a, b) == [a]
+
+    @given(sections(1), sections(1))
+    @settings(max_examples=200)
+    def test_superset_invariant_1d(self, a, b):
+        # subtract() must keep every point of a \ b (may keep more).
+        remaining = set()
+        for part in subtract(a, b):
+            remaining |= set(part.points())
+        true_diff = set(a.points()) - set(b.points())
+        assert true_diff <= remaining
+        assert remaining <= set(a.points())
+
+    @given(
+        st.tuples(dim_sections, dim_sections).map(Section),
+        st.tuples(dim_sections, dim_sections).map(Section),
+    )
+    @settings(max_examples=100)
+    def test_superset_invariant_2d(self, a, b):
+        remaining = set()
+        for part in subtract(a, b):
+            remaining |= set(part.points())
+        assert (set(a.points()) - set(b.points())) <= remaining
+        assert remaining <= set(a.points())
+
+    def _dense_sections(self):
+        return st.builds(
+            lambda lo1, e1, lo2, e2: Section.box(
+                (lo1, lo1 + e1), (lo2, lo2 + e2)
+            ),
+            st.integers(-10, 10),
+            st.integers(0, 15),
+            st.integers(-10, 10),
+            st.integers(0, 15),
+        )
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_dense_exact(self, data):
+        a = data.draw(self._dense_sections())
+        b = data.draw(self._dense_sections())
+        remaining = set()
+        for part in subtract(a, b):
+            remaining |= set(part.points())
+        assert remaining == set(a.points()) - set(b.points())
+
+
+class TestHull:
+    def test_contains_both(self):
+        a = Section((DimSection(0, 8, 4),))
+        b = Section((DimSection(2, 10, 2),))
+        h = hull(a, b)
+        assert contains(h, a) or set(a.points()) <= set(h.points())
+        assert set(b.points()) <= set(h.points())
+
+    @given(sections(2), sections(2))
+    @settings(max_examples=100)
+    def test_hull_covers_union(self, a, b):
+        h = hull(a, b)
+        union = set(a.points()) | set(b.points())
+        assert all(h.contains_point(p) for p in union)
+
+    def test_points_hull(self):
+        a = Section((DimSection.point(3),))
+        b = Section((DimSection.point(9),))
+        h = hull(a, b)
+        assert h == Section((DimSection(3, 9, 6),))

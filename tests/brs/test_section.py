@@ -1,0 +1,96 @@
+"""Tests for repro.brs.section."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.brs.section import DimSection, Section
+
+
+class TestDimSection:
+    def test_normalizes_upper(self):
+        d = DimSection(0, 10, 3)
+        assert d.upper == 9  # last reachable point
+        assert d.count == 4
+
+    def test_point(self):
+        d = DimSection.point(5)
+        assert d.is_point and d.count == 1 and d.stride == 1
+
+    def test_point_collapse_resets_stride(self):
+        d = DimSection(5, 7, 10)  # only one reachable point
+        assert d.is_point and d.stride == 1
+
+    def test_dense(self):
+        d = DimSection.dense(2, 6)
+        assert d.count == 5 and d.is_dense
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DimSection(5, 4)
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            DimSection(0, 5, 0)
+
+    def test_contains_point(self):
+        d = DimSection(2, 10, 4)  # {2, 6, 10}
+        assert d.contains_point(6)
+        assert not d.contains_point(4)
+        assert not d.contains_point(14)
+
+    def test_points(self):
+        assert list(DimSection(1, 9, 4).points()) == [1, 5, 9]
+
+    @given(
+        st.integers(-50, 50),
+        st.integers(0, 100),
+        st.integers(1, 7),
+    )
+    def test_count_matches_points(self, lower, extent, stride):
+        d = DimSection(lower, lower + extent, stride)
+        pts = list(d.points())
+        assert len(pts) == d.count
+        assert all(d.contains_point(p) for p in pts)
+        assert pts[0] == d.lower and pts[-1] == d.upper
+
+
+class TestSection:
+    def test_box(self):
+        s = Section.box((0, 4), (2, 3))
+        assert s.rank == 2
+        assert s.volume == 5 * 2
+
+    def test_whole(self):
+        s = Section.whole((4, 8))
+        assert s.volume == 32
+        assert s.contains_point((3, 7))
+        assert not s.contains_point((4, 0))
+
+    def test_needs_dims(self):
+        with pytest.raises(ValueError):
+            Section(())
+
+    def test_contains_point_rank_check(self):
+        with pytest.raises(ValueError):
+            Section.box((0, 4)).contains_point((1, 2))
+
+    def test_points_iteration(self):
+        s = Section(
+            (DimSection(0, 2, 2), DimSection(1, 2, 1))
+        )  # {0,2} x {1,2}
+        assert sorted(s.points()) == [(0, 1), (0, 2), (2, 1), (2, 2)]
+        assert s.volume == 4
+
+    def test_is_dense(self):
+        assert Section.box((0, 5)).is_dense
+        assert not Section((DimSection(0, 4, 2),)).is_dense
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=3))
+    def test_volume_equals_point_count(self, spans):
+        dims = tuple(
+            DimSection(lo, lo + extent, 1 + (extent % 3))
+            for lo, extent in spans
+        )
+        s = Section(dims)
+        assert s.volume == len(list(s.points()))

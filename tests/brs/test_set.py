@@ -1,0 +1,141 @@
+"""Tests for SectionSet (UNION semantics)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.brs.section import DimSection, Section
+from repro.brs.set import SectionSet
+
+dense_1d = st.builds(
+    lambda lo, e: Section.box((lo, lo + e)),
+    st.integers(-15, 15),
+    st.integers(0, 20),
+)
+
+strided_1d = st.builds(
+    lambda lo, e, s: Section((DimSection(lo, lo + e, s),)),
+    st.integers(-15, 15),
+    st.integers(0, 30),
+    st.integers(1, 5),
+)
+
+
+class TestSectionSetBasics:
+    def test_empty(self):
+        s = SectionSet()
+        assert s.is_empty and s.volume == 0 and not s
+        assert s.is_exact
+
+    def test_single(self):
+        s = SectionSet([Section.box((0, 9))])
+        assert s.volume == 10
+        assert len(s) == 1
+
+    def test_duplicate_add_idempotent(self):
+        s = SectionSet()
+        box = Section.box((0, 9))
+        s.add(box)
+        s.add(box)
+        assert s.volume == 10 and len(s) == 1
+
+    def test_overlapping_dense_union_exact(self):
+        s = SectionSet([Section.box((0, 9)), Section.box((5, 14))])
+        assert s.is_exact
+        assert s.volume == 15
+
+    def test_disjoint_union(self):
+        s = SectionSet([Section.box((0, 4)), Section.box((10, 14))])
+        assert s.volume == 10
+
+    def test_contained_section_ignored(self):
+        s = SectionSet([Section.box((0, 19))])
+        s.add(Section.box((5, 9)))
+        assert len(s) == 1 and s.volume == 20
+
+    def test_conservative_flag_on_incompatible_strides(self):
+        s = SectionSet([Section((DimSection(0, 20, 2),))])
+        s.add(Section((DimSection(1, 19, 3),)))  # overlaps at {4, 10, 16}
+        assert not s.is_exact
+        # Upper bound: counts overlap points twice.
+        assert s.volume >= 11 + 7 - 3
+
+    def test_copy_independent(self):
+        s = SectionSet([Section.box((0, 4))])
+        c = s.copy()
+        c.add(Section.box((10, 14)))
+        assert s.volume == 5 and c.volume == 10
+
+
+class TestSectionSetCovers:
+    def test_covers_single(self):
+        s = SectionSet([Section.box((0, 9))])
+        assert s.covers(Section.box((2, 5)))
+        assert not s.covers(Section.box((5, 12)))
+
+    def test_covers_split_across_members(self):
+        s = SectionSet([Section.box((0, 4)), Section.box((5, 9))])
+        assert s.covers(Section.box((2, 7)))
+
+    def test_contains_point(self):
+        s = SectionSet([Section.box((0, 4)), Section.box((10, 14))])
+        assert s.contains_point((12,))
+        assert not s.contains_point((7,))
+
+
+class TestSectionSetSubtraction:
+    def test_subtract_section(self):
+        s = SectionSet([Section.box((0, 9))])
+        out = s.subtract_section(Section.box((0, 4)))
+        assert out.volume == 5
+        assert not out.contains_point((3,))
+
+    def test_subtract_set(self):
+        s = SectionSet([Section.box((0, 9))])
+        cover = SectionSet([Section.box((0, 3)), Section.box((7, 9))])
+        out = s.subtract_set(cover)
+        assert sorted(p[0] for m in out for p in m.points()) == [4, 5, 6]
+
+    def test_subtract_everything(self):
+        s = SectionSet([Section.box((2, 5))])
+        assert s.subtract_section(Section.box((0, 10))).is_empty
+
+
+class TestSectionSetProperties:
+    @given(st.lists(dense_1d, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_dense_union_volume_exact(self, boxes):
+        s = SectionSet(boxes)
+        truth = set()
+        for b in boxes:
+            truth |= set(b.points())
+        assert s.is_exact
+        assert s.volume == len(truth)
+
+    @given(st.lists(strided_1d, min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_union_never_undercounts(self, parts):
+        s = SectionSet(parts)
+        truth = set()
+        for p in parts:
+            truth |= set(p.points())
+        covered = set()
+        for member in s:
+            covered |= set(member.points())
+        assert covered == truth  # membership always exact
+        assert s.volume >= len(truth)  # volume exact or upper bound
+        if s.is_exact:
+            assert s.volume == len(truth)
+
+    @given(st.lists(dense_1d, min_size=1, max_size=4), dense_1d)
+    @settings(max_examples=100)
+    def test_subtract_section_is_exact_dense(self, boxes, hole):
+        s = SectionSet(boxes)
+        out = s.subtract_section(hole)
+        truth = set()
+        for b in boxes:
+            truth |= set(b.points())
+        truth -= set(hole.points())
+        covered = set()
+        for member in out:
+            covered |= set(member.points())
+        assert covered == truth

@@ -1,0 +1,109 @@
+"""Tests for the pinned/pageable memory advisor."""
+
+import pytest
+
+from repro.core.advisor import MemoryKindAdvisor
+from repro.datausage import Direction, Transfer, TransferPlan, analyze_transfers
+from repro.pcie.channel import MemoryKind
+from repro.sim.machine import argonne_testbed
+from repro.util.units import KiB, MiB
+from repro.workloads import HotSpot, Srad
+
+
+@pytest.fixture(scope="module")
+def advisor() -> MemoryKindAdvisor:
+    return MemoryKindAdvisor(argonne_testbed(seed=77).bus)
+
+
+def tiny_plan() -> TransferPlan:
+    return TransferPlan(
+        "tiny",
+        (
+            Transfer("a", Direction.H2D, 1 * KiB, 256),
+            Transfer("a", Direction.D2H, 1 * KiB, 256),
+        ),
+    )
+
+
+def big_plan() -> TransferPlan:
+    return TransferPlan(
+        "big",
+        (
+            Transfer("a", Direction.H2D, 64 * MiB, 16 * MiB),
+            Transfer("a", Direction.D2H, 64 * MiB, 16 * MiB),
+        ),
+    )
+
+
+class TestAdvisor:
+    def test_big_plan_prefers_pinned_immediately(self, advisor):
+        advice = advisor.advise(big_plan(), reuses=1)
+        assert advice.recommended is MemoryKind.PINNED
+        assert advice.breakeven_reuses == 1
+        assert advice.saving_seconds > 0
+
+    def test_tiny_plan_prefers_pageable_for_one_shot(self, advisor):
+        advice = advisor.advise(tiny_plan(), reuses=1)
+        # KB-scale transfers can't pay back the pinning premium once.
+        assert advice.recommended is MemoryKind.PAGEABLE
+
+    def test_recommendation_flips_with_reuse(self, advisor):
+        one_shot = advisor.advise(tiny_plan(), reuses=1)
+        assert one_shot.breakeven_reuses is not None
+        amortized = advisor.advise(
+            tiny_plan(), reuses=one_shot.breakeven_reuses
+        )
+        assert amortized.recommended is MemoryKind.PINNED
+
+    def test_totals_consistent(self, advisor):
+        advice = advisor.advise(big_plan(), reuses=3)
+        assert advice.total(MemoryKind.PINNED) == pytest.approx(
+            advice.pinned_setup_seconds
+            + 3 * advice.pinned_transfer_seconds
+        )
+        # Recommended really is the argmin.
+        assert advice.total(advice.recommended) <= advice.total(
+            MemoryKind.PAGEABLE
+        )
+        assert advice.total(advice.recommended) <= advice.total(
+            MemoryKind.PINNED
+        )
+
+    def test_rejects_zero_reuses(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.advise(big_plan(), reuses=0)
+
+    def test_workload_plans(self, advisor):
+        """The paper's assumption checks out for its own workloads."""
+        for workload in (Srad(), HotSpot()):
+            ds = max(workload.datasets(), key=lambda d: d.size)
+            plan = analyze_transfers(
+                workload.skeleton(ds), workload.hints(ds)
+            )
+            advice = advisor.advise(plan, reuses=1)
+            assert advice.recommended is MemoryKind.PINNED, workload.name
+
+
+class TestProjectorWithAllocation:
+    def test_setup_seconds_in_projection(self):
+        from repro.core import GrophecyPlusPlus
+        from repro.gpu import quadro_fx_5600
+        from repro.pcie import calibrate_bus, cuda23_era_allocation_model
+
+        tb = argonne_testbed(seed=5)
+        bus = calibrate_bus(tb.bus)
+        w = Srad()
+        ds = w.datasets()[0]
+        plain = GrophecyPlusPlus(quadro_fx_5600(), bus).project(
+            w.skeleton(ds), w.hints(ds)
+        )
+        with_alloc = GrophecyPlusPlus(
+            quadro_fx_5600(),
+            bus,
+            allocation=cuda23_era_allocation_model(),
+        ).project(w.skeleton(ds), w.hints(ds))
+        assert plain.setup_seconds == 0.0
+        assert with_alloc.setup_seconds > 0.0
+        assert with_alloc.total_seconds(1) == pytest.approx(
+            plain.total_seconds(1) + with_alloc.setup_seconds
+        )

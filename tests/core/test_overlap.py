@@ -1,0 +1,103 @@
+"""Tests for the stream-overlap estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.overlap import estimate_overlap, pipeline_time
+from repro.harness.context import ExperimentContext
+from repro.workloads import Srad, Stassuij, VectorAdd
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=11)
+
+
+class TestPipelineTime:
+    def test_single_chunk_is_serial(self):
+        t = pipeline_time(10e-3, 5e-3, 8e-3, 1, 10e-6, 9e-6)
+        serial = 10e-3 + 5e-3 + 8e-3 + 10e-6 + 9e-6
+        assert t == pytest.approx(serial, rel=1e-6)
+
+    def test_copy_bound_pipeline(self):
+        """When copies dominate, the makespan tends to total copy time."""
+        t = pipeline_time(
+            transfer_in=100e-3, kernel=1e-3, transfer_out=100e-3,
+            chunks=16, alpha_in=0.0, alpha_out=0.0,
+        )
+        assert t == pytest.approx(200e-3, rel=0.02)
+
+    def test_compute_bound_pipeline(self):
+        """When compute dominates, copies hide almost entirely."""
+        t = pipeline_time(
+            transfer_in=2e-3, kernel=100e-3, transfer_out=2e-3,
+            chunks=16, alpha_in=0.0, alpha_out=0.0,
+        )
+        assert t < 101e-3
+
+    def test_alpha_penalizes_many_chunks(self):
+        few = pipeline_time(1e-3, 1e-3, 1e-3, 2, 50e-6, 50e-6)
+        many = pipeline_time(1e-3, 1e-3, 1e-3, 64, 50e-6, 50e-6)
+        assert many > few  # 64 alphas outweigh the pipelining
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_time(1.0, 1.0, 1.0, 0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            pipeline_time(-1.0, 1.0, 1.0, 2, 0.0, 0.0)
+
+    @given(
+        st.floats(1e-4, 1e-1),
+        st.floats(1e-4, 1e-1),
+        st.floats(1e-4, 1e-1),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_serial_and_compute(self, t_in, k, t_out, chunks):
+        t = pipeline_time(t_in, k, t_out, chunks, 1e-5, 1e-5)
+        # Never better than the compute-only lower bound plus one chunk
+        # of fill+drain; never meaningfully worse than fully serial.
+        assert t >= k
+        serial = t_in + k + t_out + chunks * 2e-5
+        assert t <= serial + 1e-12
+
+
+class TestEstimateOverlap:
+    def test_transfer_dominated_workload_gains(self, ctx):
+        w = Stassuij()
+        projection = ctx.projection(w, w.datasets()[0])
+        est = estimate_overlap(projection, ctx.bus_model)
+        assert est.chunks > 1
+        assert 0.2 < est.saving_fraction < 0.8
+        assert est.overlapped_seconds >= projection.kernel_seconds
+
+    def test_savings_bounded_by_transfer_share(self, ctx):
+        for workload in (Srad(), VectorAdd()):
+            ds = workload.datasets()[0]
+            projection = ctx.projection(workload, ds)
+            est = estimate_overlap(projection, ctx.bus_model)
+            assert est.saving_seconds <= projection.transfer_seconds + 1e-9
+
+    def test_iterative_saving_is_absolute_not_relative(self, ctx):
+        w = Srad()
+        projection = ctx.projection(w, w.datasets()[0])
+        one = estimate_overlap(projection, ctx.bus_model, iterations=1)
+        many = estimate_overlap(projection, ctx.bus_model, iterations=100)
+        # More compute to hide behind: saving can only grow or saturate...
+        assert many.saving_seconds >= one.saving_seconds - 1e-9
+        # ...but the *fraction* saved shrinks as kernels dominate.
+        assert many.saving_fraction < one.saving_fraction
+
+    def test_never_worse_than_serial(self, ctx):
+        for workload in (Srad(), Stassuij(), VectorAdd()):
+            ds = workload.datasets()[0]
+            projection = ctx.projection(workload, ds)
+            est = estimate_overlap(projection, ctx.bus_model)
+            assert est.overlapped_seconds <= est.serial_seconds + 1e-12
+
+    def test_rejects_bad_args(self, ctx):
+        w = VectorAdd()
+        projection = ctx.projection(w, w.datasets()[0])
+        with pytest.raises(ValueError):
+            estimate_overlap(projection, ctx.bus_model, iterations=0)

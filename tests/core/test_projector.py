@@ -1,0 +1,138 @@
+"""Tests for Grophecy / GrophecyPlusPlus projectors."""
+
+import pytest
+
+from repro.core.projector import Grophecy, GrophecyPlusPlus
+from repro.datausage import AnalysisHints
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.model import GpuPerformanceModel
+from repro.pcie.model import BusModel, LinearTransferModel
+from repro.skeleton import KernelBuilder, ProgramBuilder
+from repro.transform.space import TransformationSpace
+from repro.util.units import us
+
+
+def bus() -> BusModel:
+    return BusModel(
+        h2d=LinearTransferModel(us(10), 1 / 2.45e9),
+        d2h=LinearTransferModel(us(9), 1 / 2.6e9),
+    )
+
+
+def vadd_program(n=1 << 20):
+    pb = ProgramBuilder("vadd")
+    pb.array("a", (n,)).array("b", (n,)).array("c", (n,))
+    kb = KernelBuilder("add").parallel_loop("i", n)
+    kb.load("a", "i").load("b", "i").store("c", "i").statement(flops=1)
+    return pb.kernel(kb).build()
+
+
+class TestGrophecy:
+    def test_accepts_arch_or_model(self):
+        arch = quadro_fx_5600()
+        g1 = Grophecy(arch)
+        g2 = Grophecy(GpuPerformanceModel(arch))
+        prog = vadd_program()
+        assert g1.project_kernels(prog).seconds == pytest.approx(
+            g2.project_kernels(prog).seconds
+        )
+
+    def test_projects_best_of_space(self):
+        prog = vadd_program()
+        full = Grophecy(quadro_fx_5600()).project_kernels(prog)
+        naive = Grophecy(
+            quadro_fx_5600(), TransformationSpace.naive()
+        ).project_kernels(prog)
+        assert full.seconds <= naive.seconds
+
+
+class TestGrophecyPlusPlus:
+    def setup_method(self):
+        self.gpp = GrophecyPlusPlus(quadro_fx_5600(), bus())
+        self.prog = vadd_program()
+
+    def test_projection_structure(self):
+        proj = self.gpp.project(self.prog)
+        assert proj.program == "vadd"
+        assert proj.kernel_seconds > 0
+        assert proj.transfer_seconds > 0
+        assert len(proj.per_transfer_seconds) == 3  # a, b in; c out
+        assert proj.transfer_seconds == pytest.approx(
+            sum(proj.per_transfer_seconds)
+        )
+
+    def test_transfer_time_matches_bus_model(self):
+        proj = self.gpp.project(self.prog)
+        n = 1 << 20
+        expected = (
+            2 * bus().predict_transfer(4 * n, __import__(
+                "repro.datausage", fromlist=["Direction"]
+            ).Direction.H2D)
+            + bus().predict_transfer(4 * n, __import__(
+                "repro.datausage", fromlist=["Direction"]
+            ).Direction.D2H)
+        )
+        assert proj.transfer_seconds == pytest.approx(expected)
+
+    def test_vector_add_story(self):
+        """Section II-B: the GPU wins the kernel but loses end-to-end."""
+        proj = self.gpp.project(self.prog)
+        # Transfer dwarfs the kernel for a single pass over the data.
+        assert proj.transfer_seconds > 3 * proj.kernel_seconds
+        assert proj.transfer_fraction > 0.7
+
+    def test_batched_mode_fewer_alphas(self):
+        batched = GrophecyPlusPlus(
+            quadro_fx_5600(), bus(), batched_transfers=True
+        ).project(self.prog)
+        separate = self.gpp.project(self.prog)
+        assert batched.plan.transfer_count == 2
+        assert batched.transfer_seconds < separate.transfer_seconds
+        # The saving is exactly one H2D alpha.
+        assert separate.transfer_seconds - batched.transfer_seconds == (
+            pytest.approx(us(10), rel=1e-6)
+        )
+
+    def test_hints_forwarded(self):
+        pb = ProgramBuilder("hinted")
+        pb.array("a", (1024,)).array("t", (1024,))
+        kb = KernelBuilder("k").parallel_loop("i", 1024)
+        kb.load("a", "i").store("t", "i").statement(flops=1)
+        prog = pb.kernel(kb).build()
+        with_hint = self.gpp.project(
+            prog, AnalysisHints(extra_temporaries=frozenset({"t"}))
+        )
+        without = self.gpp.project(prog)
+        assert with_hint.plan.output_bytes == 0
+        assert without.plan.output_bytes == 4096
+
+
+class TestProjectionMath:
+    def _proj(self):
+        return GrophecyPlusPlus(quadro_fx_5600(), bus()).project(
+            vadd_program()
+        )
+
+    def test_total_seconds_iterations(self):
+        p = self._proj()
+        assert p.total_seconds(10) == pytest.approx(
+            10 * p.kernel_seconds + p.transfer_seconds
+        )
+        with pytest.raises(ValueError):
+            p.total_seconds(0)
+
+    def test_speedup_modes(self):
+        p = self._proj()
+        cpu = 5e-3
+        assert p.speedup(cpu) == pytest.approx(cpu / p.total_seconds(1))
+        assert p.speedup(cpu, include_transfer=False) == pytest.approx(
+            cpu / p.kernel_seconds
+        )
+
+    def test_speedup_limit(self):
+        p = self._proj()
+        assert p.speedup_limit(5e-3) == pytest.approx(5e-3 / p.kernel_seconds)
+        # Large iteration counts converge to the limit.
+        assert p.speedup(5e-3, iterations=10**6) == pytest.approx(
+            p.speedup_limit(5e-3), rel=1e-3
+        )

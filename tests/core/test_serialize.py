@@ -1,0 +1,72 @@
+"""Tests for projection/report serialization."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import (
+    measured_from_dict,
+    projection_to_dict,
+    projection_to_json,
+    report_to_dict,
+    report_to_json,
+)
+from repro.harness.context import ExperimentContext
+from repro.workloads import Srad
+
+
+@pytest.fixture(scope="module")
+def report():
+    ctx = ExperimentContext(seed=41)
+    w = Srad()
+    return ctx.report(w, w.datasets()[0])
+
+
+class TestProjectionSerialization:
+    def test_dict_shape(self, report):
+        d = projection_to_dict(report.projection)
+        assert d["program"].startswith("srad")
+        assert len(d["kernels"]) == 2
+        assert {k["name"] for k in d["kernels"]} == {
+            "srad_prepare", "srad_update"
+        }
+        assert all("best_mapping" in k for k in d["kernels"])
+        assert sum(t["seconds"] for t in d["transfers"]) == pytest.approx(
+            d["transfer_seconds"]
+        )
+
+    def test_json_round_trips_through_parser(self, report):
+        parsed = json.loads(projection_to_json(report.projection))
+        assert parsed["kernel_seconds"] == pytest.approx(
+            report.projection.kernel_seconds
+        )
+
+    def test_json_is_sorted_and_stable(self, report):
+        a = projection_to_json(report.projection)
+        b = projection_to_json(report.projection)
+        assert a == b
+
+
+class TestReportSerialization:
+    def test_errors_block(self, report):
+        d = report_to_dict(report)
+        assert d["errors"]["kernel"] == pytest.approx(report.kernel_error)
+        assert d["errors"]["speedup_both"] == pytest.approx(
+            report.speedup_error("both")
+        )
+        assert d["measured"]["speedup"] == pytest.approx(
+            report.measured.speedup()
+        )
+
+    def test_json_parses(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert "projection" in parsed and "measured" in parsed
+
+    def test_measured_round_trip(self, report):
+        d = report_to_dict(report)
+        rebuilt = measured_from_dict(d["measured"], label="rt")
+        assert rebuilt.kernel_seconds == report.measured.kernel_seconds
+        assert rebuilt.per_transfer_seconds == (
+            report.measured.per_transfer_seconds
+        )
+        assert rebuilt.speedup() == pytest.approx(report.measured.speedup())

@@ -1,0 +1,179 @@
+"""Tests for speedup math, crossover search, and prediction reports."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.report import MeasuredApplication, PredictionReport
+from repro.core.speedup import (
+    accuracy_crossover_iterations,
+    gpu_total_time,
+    limit_speedup_error,
+    speedup,
+)
+
+
+class TestSpeedupBasics:
+    def test_gpu_total_time(self):
+        assert gpu_total_time(2e-3, 5e-3, 10) == pytest.approx(25e-3)
+
+    def test_speedup(self):
+        assert speedup(10e-3, 5e-3) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(0, 1)
+
+    def test_limit_error(self):
+        # pred 2ms vs measured 3ms: limit error = 3/2 - 1 = 50%.
+        assert limit_speedup_error(2e-3, 3e-3) == pytest.approx(0.5)
+        assert limit_speedup_error(3e-3, 3e-3) == 0.0
+
+
+class TestAccuracyCrossover:
+    def test_cfd_like_case(self):
+        """CFD 233K: transfer-aware stays 2x more accurate below ~20 iters."""
+        crossover = accuracy_crossover_iterations(
+            predicted_kernel=2.52e-3,
+            predicted_transfer=7.19e-3,
+            measured_kernel=3.1e-3,
+            measured_transfer=7.4e-3,
+        )
+        assert crossover is not None
+        assert 10 <= crossover <= 40
+
+    def test_perfect_kernel_prediction_never_crosses(self):
+        """With pred_k == meas_k, the with-transfer error is ~0 at every
+        iteration count; the advantage never expires."""
+        crossover = accuracy_crossover_iterations(
+            predicted_kernel=3.0e-3,
+            predicted_transfer=7.0e-3,
+            measured_kernel=3.0e-3,
+            measured_transfer=7.0e-3,
+            max_iterations=1000,
+        )
+        assert crossover == 1000
+
+    def test_larger_transfer_fraction_longer_advantage(self):
+        common = dict(
+            predicted_kernel=1.0e-3,
+            measured_kernel=1.2e-3,
+        )
+        small = accuracy_crossover_iterations(
+            predicted_transfer=1.0e-3, measured_transfer=1.0e-3, **common
+        )
+        large = accuracy_crossover_iterations(
+            predicted_transfer=10.0e-3, measured_transfer=10.0e-3, **common
+        )
+        assert large > small
+
+    @given(
+        st.floats(0.5e-3, 5e-3),
+        st.floats(0.5e-3, 20e-3),
+        st.floats(1.01, 2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_crossover_prefix_property(self, kernel, transfer, bias):
+        """At every iteration <= crossover, transfer-aware is 2x better."""
+        crossover = accuracy_crossover_iterations(
+            predicted_kernel=kernel,
+            predicted_transfer=transfer,
+            measured_kernel=kernel * bias,
+            measured_transfer=transfer,
+            max_iterations=500,
+        )
+        if crossover is None:
+            return
+        n = min(crossover, 500)
+        meas = gpu_total_time(kernel * bias, transfer, n)
+        err_with = abs(meas / gpu_total_time(kernel, transfer, n) - 1)
+        err_without = abs(meas / (kernel * n) - 1)
+        assert err_with == 0 or err_without >= 2 * err_with - 1e-12
+
+
+def sample_report() -> PredictionReport:
+    """A hand-built report mirroring CFD/233K's numbers."""
+    from repro.core.prediction import Projection
+    from repro.datausage import Direction, Transfer, TransferPlan
+    from repro.transform.explorer import ProgramProjection
+
+    plan = TransferPlan(
+        "cfd",
+        (
+            Transfer("variables", Direction.H2D, 4_650_720, 1_162_680),
+            Transfer("variables", Direction.D2H, 4_650_720, 1_162_680),
+        ),
+    )
+    projection = Projection(
+        program="cfd",
+        kernel_seconds=2.52e-3,
+        transfer_seconds=7.19e-3,
+        plan=plan,
+        per_transfer_seconds=(3.6e-3, 3.59e-3),
+        kernels=ProgramProjection("cfd", ()),
+    )
+    measured = MeasuredApplication(
+        label="CFD/233K",
+        kernel_seconds=3.1e-3,
+        transfer_seconds=7.4e-3,
+        cpu_seconds=25e-3,
+        per_transfer_seconds=(3.7e-3, 3.7e-3),
+    )
+    return PredictionReport(projection, measured)
+
+
+class TestPredictionReport:
+    def test_component_errors(self):
+        r = sample_report()
+        assert r.kernel_error == pytest.approx(abs(2.52 / 3.1 - 1), rel=1e-6)
+        assert r.transfer_error == pytest.approx(
+            abs(7.19 / 7.4 - 1), rel=1e-6
+        )
+
+    def test_per_transfer_errors(self):
+        errors = sample_report().per_transfer_errors()
+        assert len(errors) == 2
+        assert errors[0] == pytest.approx(abs(3.6 / 3.7 - 1), rel=1e-6)
+
+    def test_speedup_error_modes_match_table2_algebra(self):
+        """The CPU time cancels: err = |T_meas / T_pred - 1|."""
+        r = sample_report()
+        t_meas = 3.1e-3 + 7.4e-3
+        assert r.speedup_error("kernel") == pytest.approx(
+            t_meas / 2.52e-3 - 1, rel=1e-6
+        )
+        assert r.speedup_error("transfer") == pytest.approx(
+            t_meas / 7.19e-3 - 1, rel=1e-6
+        )
+        assert r.speedup_error("both") == pytest.approx(
+            abs(t_meas / (2.52e-3 + 7.19e-3) - 1), rel=1e-6
+        )
+
+    def test_cpu_time_invariance(self):
+        """Table II's errors do not depend on the CPU anchor."""
+        r1 = sample_report()
+        m2 = MeasuredApplication(
+            label=r1.measured.label,
+            kernel_seconds=r1.measured.kernel_seconds,
+            transfer_seconds=r1.measured.transfer_seconds,
+            cpu_seconds=r1.measured.cpu_seconds * 7.5,
+            per_transfer_seconds=r1.measured.per_transfer_seconds,
+        )
+        r2 = PredictionReport(r1.projection, m2)
+        for mode in ("kernel", "transfer", "both"):
+            assert r1.speedup_error(mode) == pytest.approx(
+                r2.speedup_error(mode)
+            )
+
+    def test_iterations_shift_speedups(self):
+        r = sample_report()
+        assert r.predicted_speedup("both", 100) > r.predicted_speedup(
+            "both", 1
+        )
+        assert r.measured.speedup(100) > r.measured.speedup(1)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            sample_report().predicted_speedup("bogus")
+
+    def test_transfer_fraction(self):
+        m = sample_report().measured
+        assert m.transfer_fraction == pytest.approx(7.4 / 10.5, rel=1e-3)

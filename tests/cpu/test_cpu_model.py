@@ -1,0 +1,64 @@
+"""Tests for the CPU architecture and roofline model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.arch import xeon_e5405
+from repro.cpu.model import CpuPerformanceModel, CpuWorkProfile
+
+
+class TestArch:
+    def test_e5405_preset(self):
+        arch = xeon_e5405()
+        assert arch.cores == 4
+        assert arch.threads == 8  # OpenMP threads in the paper
+        assert arch.peak_flops == pytest.approx(32e9)
+        assert arch.mem_bandwidth == pytest.approx(10e9)
+
+
+class TestWorkProfile:
+    def test_rejects_no_work(self):
+        with pytest.raises(ValueError):
+            CpuWorkProfile("p", 0, 0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            CpuWorkProfile("p", 1, 1, efficiency=0)
+
+
+class TestRoofline:
+    def setup_method(self):
+        self.model = CpuPerformanceModel(xeon_e5405())
+
+    def test_memory_bound(self):
+        # 10 GB at 10 GB/s = 1 second; negligible flops.
+        p = CpuWorkProfile("stream", bytes_moved=10e9, flops=1e6)
+        assert self.model.time(p) == pytest.approx(1.0)
+        assert self.model.bound(p) == "memory"
+
+    def test_compute_bound(self):
+        # 320 Gflop at 32 GFLOPS = 10 seconds; negligible traffic.
+        p = CpuWorkProfile("gemm", bytes_moved=1e3, flops=320e9)
+        assert self.model.time(p) == pytest.approx(10.0)
+        assert self.model.bound(p) == "compute"
+
+    def test_efficiency_scales_time(self):
+        fast = CpuWorkProfile("p", 1e9, 0, efficiency=1.0)
+        slow = CpuWorkProfile("p", 1e9, 0, efficiency=0.5)
+        assert self.model.time(slow) == pytest.approx(
+            2 * self.model.time(fast)
+        )
+
+    @given(st.floats(1e3, 1e12), st.floats(1e3, 1e12))
+    def test_time_is_max_of_sides(self, nbytes, flops):
+        p = CpuWorkProfile("p", nbytes, flops)
+        t = self.model.time(p)
+        assert t >= nbytes / 10e9 - 1e-12
+        assert t >= flops / 32e9 - 1e-12
+
+    def test_vector_add_example(self):
+        """Section II-B intuition: vector add is bandwidth bound."""
+        n = 16 * 1024 * 1024
+        p = CpuWorkProfile("vadd", bytes_moved=12 * n, flops=n)
+        assert self.model.bound(p) == "memory"

@@ -1,0 +1,203 @@
+"""Tests for the data usage analyzer (paper Section III-B)."""
+
+import pytest
+
+from repro.datausage import (
+    AnalysisHints,
+    DataUsageAnalyzer,
+    Direction,
+    SparseExtentHint,
+    analyze_transfers,
+)
+from repro.skeleton import ArrayKind, DType, KernelBuilder, ProgramBuilder
+
+
+def vector_add(n=1000):
+    pb = ProgramBuilder("vadd")
+    pb.array("a", (n,)).array("b", (n,)).array("c", (n,))
+    kb = KernelBuilder("add").parallel_loop("i", n)
+    kb.load("a", "i").load("b", "i").store("c", "i").statement(flops=1)
+    return pb.kernel(kb).build()
+
+
+def producer_consumer(n=256):
+    """k1 writes tmp from a; k2 reads tmp and writes out."""
+    pb = ProgramBuilder("chain")
+    pb.array("a", (n,)).array("tmp", (n,)).array("out", (n,))
+    k1 = KernelBuilder("produce").parallel_loop("i", n)
+    k1.load("a", "i").store("tmp", "i").statement(flops=1)
+    k2 = KernelBuilder("consume").parallel_loop("i", n)
+    k2.load("tmp", "i").store("out", "i").statement(flops=1)
+    return pb.kernel(k1).kernel(k2).build()
+
+
+class TestVectorAdd:
+    def test_plan_contents(self):
+        plan = analyze_transfers(vector_add(1000))
+        assert {t.array for t in plan.inputs} == {"a", "b"}
+        assert {t.array for t in plan.outputs} == {"c"}
+        assert plan.input_bytes == 2 * 1000 * 4
+        assert plan.output_bytes == 1000 * 4
+        assert plan.transfer_count == 3
+
+    def test_each_array_separate(self):
+        plan = analyze_transfers(vector_add())
+        names = [t.array for t in plan.transfers]
+        assert len(names) == len(set(names))
+
+
+class TestInterKernelDataflow:
+    def test_intermediate_not_transferred_in(self):
+        plan = analyze_transfers(producer_consumer())
+        # tmp is produced on the device by k1 before k2 reads it: no H2D.
+        assert {t.array for t in plan.inputs} == {"a"}
+
+    def test_intermediate_transferred_out_unless_hinted(self):
+        prog = producer_consumer()
+        plan = analyze_transfers(prog)
+        assert {t.array for t in plan.outputs} == {"tmp", "out"}
+
+    def test_temporary_hint_suppresses_output(self):
+        pb = ProgramBuilder("chain")
+        n = 256
+        pb.array("a", (n,)).array("tmp", (n,)).array("out", (n,))
+        k1 = KernelBuilder("produce").parallel_loop("i", n)
+        k1.load("a", "i").store("tmp", "i").statement(flops=1)
+        k2 = KernelBuilder("consume").parallel_loop("i", n)
+        k2.load("tmp", "i").store("out", "i").statement(flops=1)
+        prog = pb.kernel(k1).kernel(k2).temporary("tmp").build()
+        plan = analyze_transfers(prog)
+        assert {t.array for t in plan.outputs} == {"out"}
+
+    def test_extra_temporaries_hint(self):
+        plan = analyze_transfers(
+            producer_consumer(),
+            AnalysisHints(extra_temporaries=frozenset({"tmp"})),
+        )
+        assert {t.array for t in plan.outputs} == {"out"}
+
+    def test_partial_production_still_transfers_rest(self):
+        # k1 writes only the first half of tmp; k2 reads all of it, so the
+        # second half must still come from the host.
+        pb = ProgramBuilder("partial")
+        pb.array("tmp", (100,)).array("out", (100,))
+        k1 = KernelBuilder("half").parallel_loop("i", 50)
+        k1.store("tmp", "i").statement(flops=1)
+        k2 = KernelBuilder("all").parallel_loop("i", 100)
+        k2.load("tmp", "i").store("out", "i").statement(flops=1)
+        prog = pb.kernel(k1).kernel(k2).build()
+        analyzer = DataUsageAnalyzer(prog)
+        plan = analyzer.plan()
+        tmp_in = [t for t in plan.inputs if t.array == "tmp"]
+        assert len(tmp_in) == 1
+        assert tmp_in[0].elements == 50  # only the unproduced half
+
+    def test_read_modify_write_needs_input(self):
+        # a[i] = a[i] * 2: read-before-write within the statement.
+        pb = ProgramBuilder("scale")
+        pb.array("a", (64,))
+        kb = KernelBuilder("scale").parallel_loop("i", 64)
+        kb.load("a", "i").store("a", "i").statement(flops=1)
+        plan = analyze_transfers(pb.kernel(kb).build())
+        assert {t.array for t in plan.inputs} == {"a"}
+        assert {t.array for t in plan.outputs} == {"a"}
+
+    def test_write_then_read_in_later_statement_no_input(self):
+        # Statement 1 stores all of a; statement 2 loads a: no H2D needed.
+        pb = ProgramBuilder("wr")
+        pb.array("a", (64,)).array("b", (64,))
+        kb = KernelBuilder("k").parallel_loop("i", 64)
+        kb.store("a", "i").statement(flops=1)
+        kb.load("a", "i").store("b", "i").statement(flops=1)
+        plan = analyze_transfers(pb.kernel(kb).build())
+        assert plan.inputs == ()
+
+
+class TestIterationIndependence:
+    def test_same_plan_regardless_of_kernel_repetition(self):
+        """Repeating the kernel sequence doesn't change the transfer set.
+
+        This is the paper's Section IV-B property: for iterative
+        applications, input moves once before the first iteration and
+        output once after the last.
+        """
+        n = 128
+        def build(reps):
+            pb = ProgramBuilder("iter")
+            pb.array("grid", (n,)).array("power", (n,))
+            for r in range(reps):
+                kb = KernelBuilder(f"step{r}").parallel_loop("i", n)
+                kb.load("grid", "i").load("power", "i").store(
+                    "grid", "i"
+                ).statement(flops=4)
+                pb.kernel(kb)
+            return pb.build()
+
+        p1 = analyze_transfers(build(1))
+        p5 = analyze_transfers(build(5))
+        assert p1.input_bytes == p5.input_bytes
+        assert p1.output_bytes == p5.output_bytes
+        assert p1.transfer_count == p5.transfer_count
+
+
+class TestSparseHandling:
+    def _sparse_prog(self, n=1000, hinted=False):
+        pb = ProgramBuilder("spmv")
+        pb.array("vals", (n,), DType.float32, ArrayKind.SPARSE)
+        pb.array("x", (100,)).array("y", (100,))
+        kb = KernelBuilder("spmv").parallel_loop("r", 100)
+        kb.load("vals", "r").load("x", "r").store("y", "r").statement(flops=2)
+        return pb.kernel(kb).build()
+
+    def test_conservative_whole_array(self):
+        plan = analyze_transfers(self._sparse_prog())
+        vals = [t for t in plan.inputs if t.array == "vals"][0]
+        assert vals.conservative
+        assert vals.elements == 1000  # whole array despite tiny loop
+
+    def test_sparse_extent_hint(self):
+        plan = analyze_transfers(
+            self._sparse_prog(),
+            AnalysisHints(sparse_extents=(SparseExtentHint("vals", 300),)),
+        )
+        vals = [t for t in plan.inputs if t.array == "vals"][0]
+        assert not vals.conservative
+        assert vals.elements == 300
+
+    def test_hint_clamped_to_allocation(self):
+        plan = analyze_transfers(
+            self._sparse_prog(),
+            AnalysisHints(sparse_extents=(SparseExtentHint("vals", 10**9),)),
+        )
+        vals = [t for t in plan.inputs if t.array == "vals"][0]
+        assert vals.elements == 1000
+
+    def test_duplicate_hints_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisHints(
+                sparse_extents=(
+                    SparseExtentHint("v", 1),
+                    SparseExtentHint("v", 2),
+                )
+            )
+
+
+class TestTransferPlanHelpers:
+    def test_batched_merges_per_direction(self):
+        plan = analyze_transfers(vector_add(1000))
+        batched = plan.batched()
+        assert batched.transfer_count == 2
+        assert batched.input_bytes == plan.input_bytes
+        assert batched.output_bytes == plan.output_bytes
+
+    def test_by_direction(self):
+        plan = analyze_transfers(vector_add())
+        assert all(t.direction is Direction.H2D for t in plan.inputs)
+        assert all(t.direction is Direction.D2H for t in plan.outputs)
+
+    def test_introspection_sections(self):
+        analyzer = DataUsageAnalyzer(vector_add(100))
+        analyzer.plan()
+        assert analyzer.device_input_sections("a").volume == 100
+        assert analyzer.written_sections("c").volume == 100
+        assert analyzer.device_input_sections("c").is_empty

@@ -1,0 +1,206 @@
+"""Property-based tests of the analyzer over randomly generated programs.
+
+Hypothesis builds small random (but valid) program skeletons; the
+invariants below must hold for every one of them — this is the closest
+thing to a soundness proof the transfer analysis gets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datausage.analyzer import DataUsageAnalyzer, analyze_transfers
+from repro.datausage.transfers import Direction
+from repro.skeleton import (
+    AccessKind,
+    AffineIndex,
+    ArrayAccess,
+    ArrayDecl,
+    KernelSkeleton,
+    Loop,
+    ProgramSkeleton,
+    Statement,
+)
+
+# --- Program generator -------------------------------------------------------
+
+ARRAY_NAMES = ("a", "b", "c", "d")
+N = 24  # every array is 1-D with this extent; loops stay in bounds
+
+
+@st.composite
+def programs(draw) -> ProgramSkeleton:
+    arrays = tuple(ArrayDecl(name, (N,)) for name in ARRAY_NAMES)
+    n_kernels = draw(st.integers(1, 3))
+    kernels = []
+    for ki in range(n_kernels):
+        lower = draw(st.integers(0, 4))
+        upper = draw(st.integers(lower + 4, N))
+        loop = Loop("i", lower, upper, parallel=True)
+        n_statements = draw(st.integers(1, 3))
+        statements = []
+        for si in range(n_statements):
+            n_accesses = draw(st.integers(1, 3))
+            accesses = []
+            for _ in range(n_accesses):
+                name = draw(st.sampled_from(ARRAY_NAMES))
+                offset = draw(st.integers(-lower, N - upper))
+                kind = draw(
+                    st.sampled_from([AccessKind.LOAD, AccessKind.STORE])
+                )
+                accesses.append(
+                    ArrayAccess(
+                        name,
+                        (AffineIndex.var("i", 1, offset),),
+                        kind,
+                    )
+                )
+            statements.append(Statement(tuple(accesses), flops=1.0))
+        kernels.append(
+            KernelSkeleton(f"k{ki}", (loop,), tuple(statements))
+        )
+    return ProgramSkeleton("random", arrays, tuple(kernels))
+
+
+# --- Reference semantics: simulate which elements must move -------------------
+
+
+def brute_force_live_in(program: ProgramSkeleton) -> dict[str, set[int]]:
+    """Elements read before ever being written, per array, by simulation."""
+    written: dict[str, set[int]] = {n: set() for n in ARRAY_NAMES}
+    needed: dict[str, set[int]] = {n: set() for n in ARRAY_NAMES}
+    for kernel in program.kernels:
+        loop = kernel.loops[0]
+        for stmt in kernel.statements:
+            loads = [a for a in stmt.accesses if a.kind is AccessKind.LOAD]
+            stores = [a for a in stmt.accesses if a.kind is AccessKind.STORE]
+            for access in loads:
+                for i in range(loop.lower, loop.upper):
+                    el = access.indices[0].evaluate({"i": i})
+                    if el not in written[access.array]:
+                        needed[access.array].add(el)
+            for access in stores:
+                for i in range(loop.lower, loop.upper):
+                    written[access.array].add(
+                        access.indices[0].evaluate({"i": i})
+                    )
+    return needed
+
+
+def brute_force_written(program: ProgramSkeleton) -> dict[str, set[int]]:
+    written: dict[str, set[int]] = {n: set() for n in ARRAY_NAMES}
+    for kernel in program.kernels:
+        loop = kernel.loops[0]
+        for stmt in kernel.statements:
+            for access in stmt.accesses:
+                if access.kind is AccessKind.STORE:
+                    for i in range(loop.lower, loop.upper):
+                        written[access.array].add(
+                            access.indices[0].evaluate({"i": i})
+                        )
+    return written
+
+
+# --- The invariants -------------------------------------------------------------
+
+
+class TestAnalyzerSoundness:
+    @given(programs())
+    @settings(max_examples=120, deadline=None)
+    def test_every_live_in_element_is_transferred(self, program):
+        """SOUNDNESS: the H2D plan covers every element the GPU reads
+        before producing it.  (The analyzer may conservatively transfer
+        more, never less.)"""
+        analyzer = DataUsageAnalyzer(program)
+        analyzer.plan()
+        needed = brute_force_live_in(program)
+        for name, elements in needed.items():
+            sections = analyzer.device_input_sections(name)
+            for el in elements:
+                assert sections.contains_point((el,)), (name, el)
+
+    @given(programs())
+    @settings(max_examples=120, deadline=None)
+    def test_every_written_element_is_returned(self, program):
+        """All device-produced data returns to the host (no temporaries
+        hinted here)."""
+        analyzer = DataUsageAnalyzer(program)
+        analyzer.plan()
+        written = brute_force_written(program)
+        for name, elements in written.items():
+            sections = analyzer.written_sections(name)
+            for el in elements:
+                assert sections.contains_point((el,)), (name, el)
+
+    @given(programs())
+    @settings(max_examples=100, deadline=None)
+    def test_transfers_bounded_by_allocations(self, program):
+        """No transfer exceeds its array's allocation size."""
+        plan = analyze_transfers(program)
+        sizes = {a.name: a.size_bytes for a in program.arrays}
+        for transfer in plan.transfers:
+            assert transfer.bytes <= sizes[transfer.array]
+
+    @given(programs())
+    @settings(max_examples=100, deadline=None)
+    def test_directions_partition_by_role(self, program):
+        """Inputs only for read arrays, outputs only for written ones."""
+        plan = analyze_transfers(program)
+        reads = set().union(*(k.reads() for k in program.kernels))
+        writes = set().union(*(k.writes() for k in program.kernels))
+        for t in plan.inputs:
+            assert t.array in reads
+        for t in plan.outputs:
+            assert t.array in writes
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_repetition_invariance(self, program):
+        """Repeating the kernel sequence never changes the plan
+        (Section IV-B: iteration-independent transfers)."""
+        doubled = ProgramSkeleton(
+            program.name,
+            program.arrays,
+            program.kernels
+            + tuple(
+                KernelSkeleton(f"{k.name}__again", k.loops, k.statements)
+                for k in program.kernels
+            ),
+            program.temporaries,
+        )
+        single = analyze_transfers(program)
+        twice = analyze_transfers(doubled)
+        assert single.input_bytes == twice.input_bytes
+        assert single.output_bytes == twice.output_bytes
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_batched_preserves_bytes(self, program):
+        plan = analyze_transfers(program)
+        batched = plan.batched()
+        assert batched.total_bytes == plan.total_bytes
+        assert batched.transfer_count <= min(plan.transfer_count, 2)
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_temporaries_only_remove_outputs(self, program):
+        """Hinting every array as temporary removes all outputs and
+        leaves inputs untouched."""
+        from repro.datausage.hints import AnalysisHints
+
+        plan = analyze_transfers(program)
+        hinted = analyze_transfers(
+            program,
+            AnalysisHints(extra_temporaries=frozenset(ARRAY_NAMES)),
+        )
+        assert hinted.outputs == ()
+        assert hinted.input_bytes == plan.input_bytes
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_plan_is_deterministic(self, program):
+        a = analyze_transfers(program)
+        b = analyze_transfers(program)
+        assert a == b

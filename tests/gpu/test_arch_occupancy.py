@@ -1,0 +1,112 @@
+"""Tests for GPU architecture presets and the occupancy calculator."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.arch import gtx_280, quadro_fx_5600
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.occupancy import occupancy
+
+
+def chars(**kwargs) -> KernelCharacteristics:
+    defaults = dict(
+        name="k",
+        threads=1_000_000,
+        block_size=256,
+        comp_insts_per_thread=20.0,
+        mem_insts_per_thread=5.0,
+    )
+    defaults.update(kwargs)
+    return KernelCharacteristics(**defaults)
+
+
+class TestArchPresets:
+    def test_fx5600_is_the_paper_gpu(self):
+        arch = quadro_fx_5600()
+        assert arch.num_sms == 16
+        assert arch.max_threads_per_sm == 768
+        assert arch.warp_size == 32
+        assert arch.strict_coalescing  # compute 1.0
+        assert arch.total_threads == 16 * 768
+
+    def test_gtx280_relaxed_coalescing(self):
+        assert not gtx_280().strict_coalescing
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(quadro_fx_5600(), num_sms=0)
+
+
+class TestCharacteristics:
+    def test_derived_quantities(self):
+        c = chars(threads=1000, block_size=128, mem_insts_per_thread=4,
+                  bytes_per_access=8)
+        assert c.num_blocks == 8  # ceil(1000/128)
+        assert c.total_mem_insts == 4000
+        assert c.total_bytes == 32000
+
+    def test_rejects_no_work(self):
+        with pytest.raises(ValueError):
+            chars(comp_insts_per_thread=0, mem_insts_per_thread=0)
+
+    def test_rejects_bad_coalescing(self):
+        with pytest.raises(ValueError):
+            chars(coalesced_fraction=1.5)
+
+    def test_with_block_size(self):
+        assert chars().with_block_size(64).block_size == 64
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        # 768 threads/SM, block 256, plenty of everything else -> 3 blocks.
+        occ = occupancy(chars(block_size=256, registers_per_thread=8),
+                        quadro_fx_5600())
+        assert occ.blocks_per_sm == 3
+        assert occ.warps_per_block == 8
+        assert occ.active_warps == 24
+        assert occ.limiter in ("threads", "warps")
+
+    def test_register_limited(self):
+        occ = occupancy(
+            chars(block_size=256, registers_per_thread=30),
+            quadro_fx_5600(),
+        )
+        # 256*30 = 7680 regs/block; 8192 regs/SM -> 1 block.
+        assert occ.blocks_per_sm == 1
+        assert occ.limiter == "registers"
+
+    def test_shared_memory_limited(self):
+        occ = occupancy(
+            chars(block_size=64, registers_per_thread=8,
+                  shared_mem_per_block=8 * 1024),
+            quadro_fx_5600(),
+        )
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared_mem"
+
+    def test_unlaunchable_block(self):
+        with pytest.raises(ValueError):
+            occupancy(chars(block_size=1024), quadro_fx_5600())
+
+    def test_register_overflow(self):
+        with pytest.raises(ValueError, match="registers"):
+            occupancy(chars(block_size=512, registers_per_thread=40),
+                      quadro_fx_5600())
+
+    def test_smem_overflow(self):
+        with pytest.raises(ValueError, match="shared memory"):
+            occupancy(chars(shared_mem_per_block=32 * 1024),
+                      quadro_fx_5600())
+
+    def test_small_grid_caps_blocks(self):
+        # 4 blocks over 16 SMs: at most 1 block per SM can be busy.
+        occ = occupancy(chars(threads=1024, block_size=256,
+                              registers_per_thread=8), quadro_fx_5600())
+        assert occ.blocks_per_sm == 1
+
+    def test_occupancy_fraction(self):
+        occ = occupancy(chars(block_size=256, registers_per_thread=8),
+                        quadro_fx_5600())
+        assert occ.occupancy_fraction == pytest.approx(1.0)

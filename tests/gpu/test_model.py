@@ -1,0 +1,151 @@
+"""Tests for the MWP/CWP analytical GPU model."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel
+
+
+def chars(**kwargs) -> KernelCharacteristics:
+    defaults = dict(
+        name="k",
+        threads=1_000_000,
+        block_size=256,
+        comp_insts_per_thread=10.0,
+        mem_insts_per_thread=5.0,
+        coalesced_fraction=1.0,
+        bytes_per_access=4,
+        registers_per_thread=10,
+    )
+    defaults.update(kwargs)
+    return KernelCharacteristics(**defaults)
+
+
+def model(launch: float = 0.0) -> GpuPerformanceModel:
+    return GpuPerformanceModel(quadro_fx_5600(), launch_overhead=launch)
+
+
+class TestBandwidthBoundRegime:
+    def test_streaming_kernel_hits_bandwidth(self):
+        """A big coalesced streaming kernel's time ~ consumed bytes / BW."""
+        m = model()
+        c = chars(threads=4_000_000, mem_insts_per_thread=8,
+                  comp_insts_per_thread=4)
+        bd = m.breakdown(c)
+        consumed = c.threads / 32 * 8 * 128  # warps x insts x 128B
+        ideal = consumed / m.arch.mem_bandwidth
+        assert bd.seconds == pytest.approx(ideal, rel=0.25)
+        assert bd.regime == "memory-bound"
+
+    def test_uncoalesced_much_slower(self):
+        m = model()
+        fast = m.kernel_time(chars(coalesced_fraction=1.0))
+        slow = m.kernel_time(chars(coalesced_fraction=0.0))
+        assert slow > 4 * fast
+
+    def test_time_scales_with_threads(self):
+        m = model()
+        t1 = m.kernel_time(chars(threads=1_000_000))
+        t4 = m.kernel_time(chars(threads=4_000_000))
+        assert t4 == pytest.approx(4 * t1, rel=0.15)
+
+
+class TestComputeBoundRegime:
+    def test_flop_heavy_kernel(self):
+        m = model()
+        bd = m.breakdown(
+            chars(comp_insts_per_thread=5000.0, mem_insts_per_thread=1.0)
+        )
+        assert bd.regime == "compute-bound"
+        # More compute -> more time.
+        bd2 = m.breakdown(
+            chars(comp_insts_per_thread=10000.0, mem_insts_per_thread=1.0)
+        )
+        assert bd2.seconds > 1.5 * bd.seconds
+
+    def test_pure_compute_kernel(self):
+        bd = model().breakdown(
+            chars(comp_insts_per_thread=100.0, mem_insts_per_thread=0.0)
+        )
+        assert bd.regime == "compute-bound"
+        assert bd.seconds > 0
+
+
+class TestModelStructure:
+    def test_mwp_cwp_bounded_by_warps(self):
+        bd = model().breakdown(chars())
+        assert 1 <= bd.mwp <= bd.active_warps
+        assert 1 <= bd.cwp <= bd.active_warps
+
+    def test_repetitions_cover_all_blocks(self):
+        c = chars(threads=1_000_000, block_size=256)
+        bd = model().breakdown(c)
+        occ = bd.occupancy
+        capacity = occ.blocks_per_sm * min(16, c.num_blocks)
+        assert bd.repetitions == -(-c.num_blocks // capacity)
+
+    def test_launch_overhead_added(self):
+        with_launch = model(launch=10e-6).kernel_time(chars())
+        without = model(launch=0.0).kernel_time(chars())
+        assert with_launch == pytest.approx(without + 10e-6)
+
+    def test_negative_launch_rejected(self):
+        with pytest.raises(ValueError):
+            GpuPerformanceModel(quadro_fx_5600(), launch_overhead=-1e-6)
+
+    def test_sync_cost_increases_time(self):
+        base = model().kernel_time(chars())
+        synced = model().kernel_time(chars(syncs_per_thread=10.0))
+        assert synced > base
+
+    def test_sequence_time_sums(self):
+        m = model()
+        a, b = chars(name="a"), chars(name="b", mem_insts_per_thread=2.0)
+        assert m.sequence_time([a, b]) == pytest.approx(
+            m.kernel_time(a) + m.kernel_time(b)
+        )
+
+    @given(
+        st.integers(1_000, 5_000_000),
+        st.floats(1.0, 100.0),
+        st.floats(0.5, 50.0),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_positive_and_finite(self, threads, comp, mem, coal):
+        t = model().kernel_time(
+            chars(
+                threads=threads,
+                comp_insts_per_thread=comp,
+                mem_insts_per_thread=mem,
+                coalesced_fraction=coal,
+            )
+        )
+        assert t > 0
+        assert t < 100  # sanity: under 100 seconds
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_coalescing(self, f1, f2):
+        lo, hi = sorted([f1, f2])
+        m = model()
+        # Better coalescing never makes a kernel slower.
+        assert m.kernel_time(chars(coalesced_fraction=hi)) <= m.kernel_time(
+            chars(coalesced_fraction=lo)
+        ) * (1 + 1e-9)
+
+
+class TestAgainstPaperScale:
+    def test_fx5600_streaming_kernel_milliseconds(self):
+        """A 1M-thread, 7-access float kernel lands in the ~0.5-2ms range
+        the paper's Table I reports for comparable stencils."""
+        t = model(launch=7e-6).kernel_time(
+            chars(threads=1024 * 1024, mem_insts_per_thread=7,
+                  comp_insts_per_thread=30, coalesced_fraction=0.7)
+        )
+        assert 0.3e-3 < t < 3e-3

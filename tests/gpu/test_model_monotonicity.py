@@ -1,0 +1,143 @@
+"""Monotonicity properties of the MWP/CWP model (property-based).
+
+The published Hong & Kim model is *piecewise*: it selects one of three
+closed forms by comparing MWP and CWP, and the forms do not meet
+continuously at the boundaries.  Consequently a better machine parameter
+can push a kernel across a regime boundary and the estimate can move the
+"wrong" way by a bounded amount — a known artifact of the published
+model that we reproduce faithfully rather than smooth away.
+
+These properties therefore assert monotonicity *up to the documented
+boundary-jump bound* (a factor ~1.5), plus one test that pins the
+discontinuity's existence so a future "fix" is a conscious decision.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel
+
+characteristics = st.builds(
+    lambda threads, comp, mem, coal, block: KernelCharacteristics(
+        name="k",
+        threads=threads,
+        block_size=block,
+        comp_insts_per_thread=comp,
+        mem_insts_per_thread=mem,
+        coalesced_fraction=coal,
+        registers_per_thread=10,
+    ),
+    st.integers(256, 4_000_000),
+    st.floats(0.5, 500.0),
+    st.floats(0.5, 64.0),
+    st.floats(0.0, 1.0),
+    st.sampled_from([64, 128, 256, 512]),
+)
+
+
+def time_with(chars, **arch_overrides) -> float:
+    arch = dataclasses.replace(quadro_fx_5600(), **arch_overrides)
+    return GpuPerformanceModel(arch, launch_overhead=0.0).kernel_time(chars)
+
+
+#: Strict tolerance used where no regime boundary can intervene.
+EPS = 1 + 1e-9
+#: The documented bound on case-boundary jumps of the piecewise model.
+BOUNDARY_JUMP = 1.5
+
+
+class TestMonotonicityUpToBoundaryJumps:
+    @given(characteristics)
+    @settings(max_examples=80, deadline=None)
+    def test_more_bandwidth_bounded(self, chars):
+        base = time_with(chars)
+        faster = time_with(
+            chars, mem_bandwidth=quadro_fx_5600().mem_bandwidth * 2
+        )
+        assert faster <= base * BOUNDARY_JUMP
+
+    @given(characteristics)
+    @settings(max_examples=80, deadline=None)
+    def test_higher_clock_never_slower(self, chars):
+        """Clock scales every cycle-domain term except the bandwidth
+        bound; scaling it up can also cross regimes."""
+        base = time_with(chars)
+        faster = time_with(chars, clock_ghz=quadro_fx_5600().clock_ghz * 2)
+        assert faster <= base * BOUNDARY_JUMP
+
+    @given(characteristics)
+    @settings(max_examples=80, deadline=None)
+    def test_lower_latency_bounded(self, chars):
+        base = time_with(chars)
+        faster = time_with(
+            chars,
+            mem_latency_cycles=quadro_fx_5600().mem_latency_cycles / 2,
+        )
+        assert faster <= base * BOUNDARY_JUMP
+
+    @given(characteristics, st.floats(1.1, 4.0))
+    @settings(max_examples=80, deadline=None)
+    def test_more_memory_work_bounded(self, chars, factor):
+        heavier = dataclasses.replace(
+            chars, mem_insts_per_thread=chars.mem_insts_per_thread * factor
+        )
+        assert time_with(heavier) >= time_with(chars) / BOUNDARY_JUMP
+
+    @given(characteristics, st.floats(1.1, 4.0))
+    @settings(max_examples=80, deadline=None)
+    def test_more_compute_work_never_faster(self, chars, factor):
+        """Compute grows every regime's formula: strictly monotone."""
+        heavier = dataclasses.replace(
+            chars,
+            comp_insts_per_thread=chars.comp_insts_per_thread * factor,
+        )
+        assert time_with(heavier) >= time_with(chars) / EPS
+
+    @given(characteristics)
+    @settings(max_examples=80, deadline=None)
+    def test_more_sms_bounded(self, chars):
+        base = time_with(chars)
+        bigger = time_with(chars, num_sms=32)
+        assert bigger <= base * BOUNDARY_JUMP
+
+
+class TestDocumentedDiscontinuity:
+    def test_regime_boundary_jump_exists(self):
+        """The published model's case discontinuity, pinned.
+
+        This compute-leaning kernel sits near the CWP == MWP boundary;
+        doubling bandwidth raises MWP, flips it from the memory-bound to
+        the compute-bound formula, and the estimate *increases* — the
+        exact behavior hypothesis first surfaced.  If a future change
+        smooths the cases, this test should be updated deliberately.
+        """
+        chars = KernelCharacteristics(
+            name="boundary",
+            threads=1025,
+            block_size=64,
+            comp_insts_per_thread=167.0,
+            mem_insts_per_thread=3.0,
+            coalesced_fraction=0.5,
+            registers_per_thread=10,
+        )
+        base = time_with(chars)
+        doubled = time_with(
+            chars, mem_bandwidth=quadro_fx_5600().mem_bandwidth * 2
+        )
+        regime_before = GpuPerformanceModel(
+            quadro_fx_5600(), launch_overhead=0.0
+        ).breakdown(chars).regime
+        regime_after = GpuPerformanceModel(
+            dataclasses.replace(
+                quadro_fx_5600(),
+                mem_bandwidth=quadro_fx_5600().mem_bandwidth * 2,
+            ),
+            launch_overhead=0.0,
+        ).breakdown(chars).regime
+        assert regime_before != regime_after  # the boundary was crossed
+        assert doubled > base  # the non-monotone jump
+        assert doubled < base * BOUNDARY_JUMP  # ...but bounded

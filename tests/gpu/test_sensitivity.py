@@ -1,0 +1,103 @@
+"""Tests for model sensitivity analysis."""
+
+import pytest
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.sensitivity import (
+    TUNABLE_PARAMETERS,
+    classify_kernel,
+    dominant_parameter,
+    kernel_sensitivities,
+)
+
+
+def chars(**kwargs) -> KernelCharacteristics:
+    defaults = dict(
+        name="k",
+        threads=2_000_000,
+        block_size=256,
+        comp_insts_per_thread=10.0,
+        mem_insts_per_thread=8.0,
+        coalesced_fraction=1.0,
+        registers_per_thread=10,
+    )
+    defaults.update(kwargs)
+    return KernelCharacteristics(**defaults)
+
+
+class TestSensitivities:
+    def test_all_parameters_reported(self):
+        sens = kernel_sensitivities(chars(), quadro_fx_5600())
+        assert {s.parameter for s in sens} == set(TUNABLE_PARAMETERS)
+
+    def test_streaming_kernel_tracks_bandwidth(self):
+        """A big coalesced streaming kernel: T ~ 1/bandwidth."""
+        sens = {
+            s.parameter: s.elasticity
+            for s in kernel_sensitivities(chars(), quadro_fx_5600())
+        }
+        assert sens["mem_bandwidth"] == pytest.approx(-1.0, abs=0.15)
+        # and is insensitive to raw latency.
+        assert abs(sens["mem_latency_cycles"]) < 0.3
+
+    def test_compute_kernel_tracks_clock(self):
+        c = chars(comp_insts_per_thread=5000.0, mem_insts_per_thread=0.5)
+        sens = {
+            s.parameter: s.elasticity
+            for s in kernel_sensitivities(c, quadro_fx_5600())
+        }
+        assert sens["clock_ghz"] == pytest.approx(-1.0, abs=0.15)
+        assert sens["issue_cycles"] == pytest.approx(1.0, abs=0.15)
+        assert abs(sens["mem_bandwidth"]) < 0.2
+
+    def test_latency_bound_small_kernel(self):
+        """Too few resident warps to hide the DRAM round trip: raw
+        latency dominates.  (An *uncoalesced* kernel instead hits the
+        bandwidth bound through transaction waste — also correct.)"""
+        c = chars(
+            threads=4096,
+            coalesced_fraction=1.0,
+            mem_insts_per_thread=20.0,
+            comp_insts_per_thread=2.0,
+            registers_per_thread=30,  # 1 block/SM -> N = 8 warps
+        )
+        assert classify_kernel(c, quadro_fx_5600()) == "latency-limited"
+
+    def test_uncoalesced_kernel_is_bandwidth_limited_via_waste(self):
+        c = chars(
+            threads=4096,
+            coalesced_fraction=0.0,
+            mem_insts_per_thread=20.0,
+            comp_insts_per_thread=2.0,
+        )
+        assert classify_kernel(c, quadro_fx_5600()) == "bandwidth-limited"
+
+    def test_classification_labels(self):
+        assert classify_kernel(chars(), quadro_fx_5600()) == (
+            "bandwidth-limited"
+        )
+        compute = chars(
+            comp_insts_per_thread=5000.0, mem_insts_per_thread=0.5
+        )
+        assert classify_kernel(compute, quadro_fx_5600()) == "issue-limited"
+
+    def test_dominant_parameter(self):
+        dom = dominant_parameter(chars(), quadro_fx_5600())
+        assert dom.parameter == "mem_bandwidth"
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            kernel_sensitivities(chars(), quadro_fx_5600(), relative_step=0)
+
+    def test_elasticities_are_signed_sensibly(self):
+        """More bandwidth/clock -> faster; more latency -> slower."""
+        sens = {
+            s.parameter: s.elasticity
+            for s in kernel_sensitivities(
+                chars(coalesced_fraction=0.3), quadro_fx_5600()
+            )
+        }
+        assert sens["mem_bandwidth"] <= 0.01
+        assert sens["clock_ghz"] <= 0.01
+        assert sens["mem_latency_cycles"] >= -0.01

@@ -1,0 +1,11 @@
+"""Shared (expensive) experiment context for harness tests."""
+
+import pytest
+
+from repro.harness.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """One calibrated virtual testbed for the whole harness test session."""
+    return ExperimentContext(seed=2013)

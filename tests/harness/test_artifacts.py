@@ -1,0 +1,54 @@
+"""Tests for the one-call artifact writer."""
+
+import pytest
+
+from repro.harness.artifacts import write_all_artifacts
+
+
+class TestWriteAllArtifacts:
+    @pytest.fixture(scope="class")
+    def written(self, tmp_path_factory):
+        from repro.harness.context import ExperimentContext
+
+        outdir = tmp_path_factory.mktemp("artifacts")
+        ctx = ExperimentContext(seed=33)
+        return outdir, write_all_artifacts(ctx, outdir)
+
+    def test_every_artifact_in_three_formats(self, written):
+        outdir, paths = written
+        names = {p.name for p in paths}
+        for artifact in ("table1", "table2", "fig4", "fig8", "fig12"):
+            for suffix in (".txt", ".md", ".csv"):
+                assert f"{artifact}{suffix}" in names
+
+    def test_charts_written_for_figures(self, written):
+        outdir, paths = written
+        names = {p.name for p in paths}
+        assert "fig5.chart.txt" in names
+        assert "fig12.chart.txt" in names
+        assert "table1.chart.txt" not in names  # tables have no chart
+
+    def test_summary_contains_headline(self, written):
+        outdir, _ = written
+        summary = (outdir / "summary.md").read_text()
+        assert "speedup error, kernel-only" in summary
+        assert "255%" in summary  # the paper column
+        assert "| metric | paper | this run |" in summary
+
+    def test_files_nonempty_and_parse(self, written):
+        outdir, paths = written
+        for path in paths:
+            text = path.read_text()
+            assert text.strip(), path.name
+            if path.suffix == ".csv":
+                header = text.splitlines()[0]
+                assert "," in header
+
+    def test_no_charts_mode(self, tmp_path):
+        from repro.harness.context import ExperimentContext
+
+        ctx = ExperimentContext(seed=34)
+        paths = write_all_artifacts(
+            ctx, tmp_path, formats=("csv",), charts=False
+        )
+        assert all(p.suffix == ".csv" or p.name == "summary.md" for p in paths)

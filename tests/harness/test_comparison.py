@@ -1,0 +1,58 @@
+"""Tests for the automated paper-vs-reproduction comparison."""
+
+import pytest
+
+from repro.harness.comparison import (
+    ComparisonRow,
+    PaperComparison,
+    compare_with_paper,
+)
+
+
+class TestComparisonRow:
+    def test_match_verdict(self):
+        row = ComparisonRow("m", paper=0.10, reproduced=0.11, tolerance=0.2)
+        assert row.verdict == "match"
+
+    def test_differs_verdict(self):
+        row = ComparisonRow("m", paper=0.10, reproduced=0.30, tolerance=0.2)
+        assert row.verdict == "differs"
+
+    def test_rendering_percent_vs_plain(self):
+        pct = ComparisonRow("m", 0.5, 0.5, 0.1, percent=True)
+        plain = ComparisonRow("m", 3.0, 3.0, 0.1, percent=False)
+        assert pct.cells()[1] == "50.0%"
+        assert plain.cells()[1] == "3"
+
+
+class TestCompareWithPaper:
+    @pytest.fixture(scope="class")
+    def comparison(self, tmp_path_factory):
+        from repro.harness.context import ExperimentContext
+
+        return compare_with_paper(ExperimentContext(seed=2013))
+
+    def test_covers_every_evaluation_surface(self, comparison):
+        metrics = " ".join(r.metric for r in comparison.rows)
+        for fragment in (
+            "Fig4", "Table1", "Fig5", "Table2", "crossover",
+            "limit error", "Stassuij",
+        ):
+            assert fragment in metrics
+
+    def test_most_metrics_match(self, comparison):
+        """The reproduction's contract: >= 80% of paper statistics land
+        within their per-row tolerance (the misses are the documented
+        HotSpot stencil-model gap; see EXPERIMENTS.md)."""
+        assert comparison.match_fraction >= 0.8
+
+    def test_misses_are_all_hotspot(self, comparison):
+        misses = [r.metric for r in comparison.rows if r.verdict == "differs"]
+        assert misses  # the gap is real and must stay visible
+        assert all("HotSpot" in m for m in misses), misses
+
+    def test_render_and_export(self, comparison):
+        text = comparison.render()
+        assert "metrics within tolerance" in text
+        md = comparison.as_table().to_markdown()
+        assert md.startswith("**Paper vs reproduction**")

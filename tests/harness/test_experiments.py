@@ -1,0 +1,132 @@
+"""Unit-level tests of each experiment runner's structure and rendering."""
+
+import pytest
+
+from repro.datausage import Direction
+from repro.harness.apps import (
+    run_fig5_transfer_scatter,
+    run_fig6_error_scatter,
+    run_table1_measured,
+)
+from repro.harness.speedups import (
+    run_speedup_vs_iterations,
+    run_speedup_vs_size,
+    run_table2_speedup_error,
+)
+from repro.harness.transfer_sweep import (
+    run_fig2_transfer_times,
+    run_fig3_pinned_speedup,
+    run_fig4_model_error,
+)
+from repro.workloads import Stassuij, get_workload
+
+
+class TestTransferSweepRunners:
+    def test_fig2_structure(self, ctx):
+        result = run_fig2_transfer_times(ctx, Direction.H2D, repetitions=3)
+        assert len(result.sizes) == 30
+        assert len(result.pinned) == 30
+        # Rendered output includes the model overlay.
+        text = result.render()
+        assert "predicted(pinned)" in text and "512MB" in text
+
+    def test_fig3_crossover(self, ctx):
+        result = run_fig3_pinned_speedup(ctx, repetitions=3)
+        crossover = result.crossover_size_h2d()
+        assert crossover is not None
+        assert 512 <= crossover <= 8192  # paper: ~2KB
+        assert "Fig. 3" in result.render()
+
+    def test_fig4_structure(self, ctx):
+        result = run_fig4_model_error(ctx, repetitions=3)
+        assert result.mean_h2d < 0.10
+        assert result.mean_above(2**20, Direction.H2D) < 0.01
+        assert "mean error" in result.render()
+
+
+class TestAppRunners:
+    def test_table1_rows_complete(self, ctx):
+        result = run_table1_measured(ctx)
+        assert len(result.rows) == 10  # 3+3+3+1 datasets
+        row = result.row("SRAD", "4096 x 4096")
+        assert row.input_mb == pytest.approx(64.0, rel=0.01)
+        with pytest.raises(KeyError):
+            result.row("SRAD", "7 x 7")
+        assert "Table I" in result.render()
+
+    def test_table1_transfer_dominates_except_tiny_hotspot(self, ctx):
+        """Paper: transfer > kernel for all but HotSpot's smallest set."""
+        result = run_table1_measured(ctx)
+        for row in result.rows:
+            if (row.application, row.data_size) == ("HotSpot", "64 x 64"):
+                continue
+            assert row.transfer_ms > row.kernel_ms, (
+                row.application,
+                row.data_size,
+            )
+
+    def test_fig5_points_and_outliers(self, ctx):
+        result = run_fig5_transfer_scatter(ctx)
+        assert len(result.points) >= 30
+        # The bimodal CFD transfer shows as repeated outliers.
+        outlier_apps = {p.application for p in result.outliers(0.3)}
+        assert outlier_apps == {"CFD"}
+        assert "Fig. 5" in result.render()
+
+    def test_fig6_points(self, ctx):
+        result = run_fig6_error_scatter(ctx)
+        assert len(result.points) == 10
+        assert all(p.transfer_error >= 0 for p in result.points)
+        assert "Fig. 6" in result.render()
+
+
+class TestSpeedupRunners:
+    def test_speedup_vs_size(self, ctx):
+        result = run_speedup_vs_size(ctx, get_workload("HotSpot"))
+        assert len(result.labels) == 3
+        # Kernel-only prediction always the most optimistic.
+        for with_t, without_t in zip(
+            result.predicted_with_transfer,
+            result.predicted_without_transfer,
+        ):
+            assert without_t > with_t
+        assert "HotSpot" in result.render()
+
+    def test_speedup_vs_iterations_converges(self, ctx):
+        result = run_speedup_vs_iterations(
+            ctx, get_workload("SRAD"),
+            iteration_counts=(1, 10, 100, 1000, 10000),
+        )
+        # With and without transfer converge at large iteration counts.
+        gap_small = abs(
+            result.predicted_with_transfer[0]
+            - result.predicted_without_transfer[0]
+        )
+        gap_large = abs(
+            result.predicted_with_transfer[-1]
+            - result.predicted_without_transfer[-1]
+        )
+        assert gap_large < 0.05 * gap_small
+        assert "crossover" in result.render()
+
+    def test_measured_speedup_rises_with_iterations(self, ctx):
+        result = run_speedup_vs_iterations(
+            ctx, get_workload("CFD"), iteration_counts=(1, 4, 16, 64)
+        )
+        assert list(result.measured) == sorted(result.measured)
+
+    def test_non_iterative_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            run_speedup_vs_iterations(ctx, Stassuij())
+
+    def test_table2_structure(self, ctx):
+        result = run_table2_speedup_error(ctx)
+        assert len(result.rows) == 10
+        avg = result.application_average
+        assert avg.kernel_only_error > avg.transfer_only_error
+        assert avg.transfer_only_error > avg.both_error
+        assert "Table II" in result.render()
+        row = result.row("CFD", "97K")
+        assert row.kernel_only_error > 1.0
+        with pytest.raises(KeyError):
+            result.row("CFD", "1K")

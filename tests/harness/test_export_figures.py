@@ -1,0 +1,120 @@
+"""Tests for exporters and ASCII-figure rendering of results."""
+
+import pytest
+
+from repro.datausage import Direction
+from repro.harness import figures
+from repro.harness.apps import (
+    run_fig5_transfer_scatter,
+    run_fig6_error_scatter,
+    run_table1_measured,
+)
+from repro.harness.export import export, save, to_csv, to_markdown, to_text
+from repro.harness.speedups import (
+    run_speedup_vs_iterations,
+    run_speedup_vs_size,
+    run_table2_speedup_error,
+)
+from repro.harness.transfer_sweep import (
+    run_fig2_transfer_times,
+    run_fig3_pinned_speedup,
+    run_fig4_model_error,
+)
+from repro.workloads import get_workload
+
+
+class TestExport:
+    def test_text_matches_as_table(self, ctx):
+        result = run_table1_measured(ctx)
+        assert to_text(result) == result.as_table().render()
+
+    def test_markdown_structure(self, ctx):
+        result = run_table2_speedup_error(ctx)
+        md = to_markdown(result)
+        lines = md.splitlines()
+        assert lines[0].startswith("**Table II")
+        header = next(l for l in lines if l.startswith("| Application"))
+        assert header.count("|") == 6
+        assert any(l.startswith("|---") for l in lines)
+
+    def test_csv_structure(self, ctx):
+        result = run_table1_measured(ctx)
+        csv = to_csv(result)
+        lines = csv.splitlines()
+        assert lines[0].startswith("Application,Data Size")
+        assert len(lines) == 1 + len(result.rows)
+
+    def test_csv_quoting(self):
+        from repro.util.tables import Table
+
+        t = Table(["a"], title="x")
+        t.add_row(['he said "1,2"'])
+        assert t.to_csv().splitlines()[1] == '"he said ""1,2"""'
+
+    def test_export_dispatch(self, ctx):
+        result = run_table1_measured(ctx)
+        assert export(result, "markdown") == to_markdown(result)
+        with pytest.raises(ValueError):
+            export(result, "pdf")
+
+    def test_save_infers_format(self, ctx, tmp_path):
+        result = run_table1_measured(ctx)
+        md = save(result, tmp_path / "t1.md")
+        csv = save(result, tmp_path / "t1.csv")
+        txt = save(result, tmp_path / "t1.txt")
+        assert md.read_text().startswith("**Table I")
+        assert csv.read_text().startswith("Application,")
+        assert "Application" in txt.read_text()
+
+    def test_every_result_has_as_table(self, ctx):
+        results = [
+            run_table1_measured(ctx),
+            run_table2_speedup_error(ctx),
+            run_fig2_transfer_times(ctx, Direction.H2D, repetitions=2),
+            run_fig3_pinned_speedup(ctx, repetitions=2),
+            run_fig4_model_error(ctx, repetitions=2),
+            run_fig5_transfer_scatter(ctx),
+            run_fig6_error_scatter(ctx),
+            run_speedup_vs_size(ctx, get_workload("SRAD")),
+            run_speedup_vs_iterations(ctx, get_workload("SRAD")),
+        ]
+        for result in results:
+            table = result.as_table()
+            assert table.rows, type(result).__name__
+            assert to_markdown(result).startswith("**")
+
+
+class TestFigureCharts:
+    def test_fig2_chart(self, ctx):
+        r = run_fig2_transfer_times(ctx, Direction.H2D, repetitions=2)
+        chart = figures.fig2_chart(r)
+        assert "log-log" in chart
+        assert "pinned" in chart and "pageable" in chart
+
+    def test_fig3_chart(self, ctx):
+        chart = figures.fig3_chart(run_fig3_pinned_speedup(ctx, repetitions=2))
+        assert "CPU-to-GPU" in chart
+
+    def test_fig4_chart(self, ctx):
+        chart = figures.fig4_chart(run_fig4_model_error(ctx, repetitions=2))
+        assert "to GPU" in chart
+
+    def test_fig5_chart_has_diagonal(self, ctx):
+        chart = figures.fig5_chart(run_fig5_transfer_scatter(ctx))
+        assert "y=x" in chart
+        assert "o" in chart
+
+    def test_fig6_chart(self, ctx):
+        chart = figures.fig6_chart(run_fig6_error_scatter(ctx))
+        assert "kernel error" in chart
+
+    def test_speedup_charts(self, ctx):
+        size_chart = figures.speedup_vs_size_chart(
+            run_speedup_vs_size(ctx, get_workload("CFD"))
+        )
+        iter_chart = figures.speedup_vs_iterations_chart(
+            run_speedup_vs_iterations(ctx, get_workload("CFD"))
+        )
+        assert "CFD" in size_chart
+        assert "iterations" in iter_chart
+        assert "kernel only" in iter_chart

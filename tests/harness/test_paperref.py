@@ -1,0 +1,87 @@
+"""Consistency checks on the transcribed paper numbers.
+
+Table II's three columns are not independent: given Table I's measured
+kernel+transfer total, each error column implies a predicted time, and
+those implied predictions must satisfy the combined-column identity
+
+    1 + err_both ~= T_total / (pred_kernel + pred_transfer)
+
+This cross-validates our transcription of the paper (and caught a wrong
+row during development).
+"""
+
+import pytest
+
+from repro.harness import paperref
+
+
+def implied_prediction(total_ms: float, error: float) -> float:
+    """Kernel-only/transfer-only predictions always under-shoot the
+    total (speedup over-predicted), so ``pred = total / (1 + err)``."""
+    return total_ms / (1.0 + error)
+
+
+class TestTable2InternalConsistency:
+    @pytest.mark.parametrize(
+        "key", sorted(paperref.TABLE2, key=str),
+        ids=lambda k: f"{k[0]}-{k[1]}",
+    )
+    def test_columns_mutually_consistent(self, key):
+        t1 = paperref.TABLE1[key]
+        t2 = paperref.TABLE2[key]
+        total = t1.kernel_ms + t1.transfer_ms
+        pred_k = implied_prediction(total, t2.kernel_only)
+        pred_t = implied_prediction(total, t2.transfer_only)
+        implied_both = abs(total / (pred_k + pred_t) - 1.0)
+        # Rounding in the paper's printed percentages leaves a few points
+        # of slack; HotSpot 64x64's "<0.1" rows get more.
+        slack = 0.06 if key != ("HotSpot", "64 x 64") else 0.25
+        assert implied_both == pytest.approx(t2.both, abs=slack), (
+            f"{key}: implied {implied_both:.2f} vs printed {t2.both:.2f}"
+        )
+
+    def test_average_rows_match_items(self):
+        rows = list(paperref.TABLE2.values())
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean([r.kernel_only for r in rows]) == pytest.approx(
+            paperref.TABLE2_AVERAGE_DATASETS.kernel_only, abs=0.03
+        )
+        assert mean([r.both for r in rows]) == pytest.approx(
+            paperref.TABLE2_AVERAGE_DATASETS.both, abs=0.02
+        )
+
+    def test_application_average_weighs_apps_equally(self):
+        apps: dict[str, list] = {}
+        for (app, _), row in paperref.TABLE2.items():
+            apps.setdefault(app, []).append(row)
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        app_means = [
+            mean([r.kernel_only for r in rows]) for rows in apps.values()
+        ]
+        assert mean(app_means) == pytest.approx(
+            paperref.TABLE2_AVERAGE_APPLICATIONS.kernel_only, abs=0.03
+        )
+
+
+class TestTable1InternalConsistency:
+    @pytest.mark.parametrize(
+        "key", sorted(paperref.TABLE1, key=str),
+        ids=lambda k: f"{k[0]}-{k[1]}",
+    )
+    def test_percent_transfer_matches_times(self, key):
+        row = paperref.TABLE1[key]
+        implied = 100 * row.transfer_ms / (row.kernel_ms + row.transfer_ms)
+        assert implied == pytest.approx(row.percent_transfer, abs=4.0)
+
+    def test_stassuij_cpu_anchor_derivation(self):
+        """Section V-B.4 algebra: kernel-only speedup 1.10x with the
+        measured total implies the CPU time, and that CPU time over the
+        total gives the measured 0.39x speedup."""
+        t1 = paperref.TABLE1[("Stassuij", "132 x 2048")]
+        t2 = paperref.TABLE2[("Stassuij", "132 x 2048")]
+        total = t1.kernel_ms + t1.transfer_ms
+        pred_k = implied_prediction(total, t2.kernel_only)
+        cpu = paperref.STASSUIJ_KERNEL_ONLY_SPEEDUP * pred_k
+        assert cpu / total == pytest.approx(
+            paperref.STASSUIJ_MEASURED_SPEEDUP, abs=0.03
+        )

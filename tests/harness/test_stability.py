@@ -1,0 +1,48 @@
+"""Tests for the seed-stability study."""
+
+import pytest
+
+from repro.harness.stability import StabilityResult, headline_across_seeds
+from repro.util.stats import summarize
+
+
+class TestHeadlineAcrossSeeds:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return headline_across_seeds(seeds=(2013, 5))
+
+    def test_structure(self, result):
+        assert result.seeds == (2013, 5)
+        assert result.kernel_only.n == 2
+        assert result.both.n == 2
+
+    def test_headline_ordering_every_seed(self, result):
+        assert result.kernel_only.minimum > result.transfer_only.maximum
+        assert result.transfer_only.minimum > result.both.maximum
+
+    def test_conclusion_stable(self, result):
+        assert result.conclusion_stable
+
+    def test_render(self, result):
+        text = result.render()
+        assert "kernel-only error" in text
+        assert "2 testbed seeds" in text
+        assert result.as_table().to_csv().startswith("metric,")
+
+    def test_rejects_no_seeds(self):
+        with pytest.raises(ValueError):
+            headline_across_seeds(seeds=())
+
+
+class TestStabilityResultLogic:
+    def _result(self, kernel_min, both_max):
+        return StabilityResult(
+            seeds=(1,),
+            kernel_only=summarize([kernel_min]),
+            transfer_only=summarize([0.5]),
+            both=summarize([both_max]),
+        )
+
+    def test_stability_threshold(self):
+        assert self._result(4.0, 0.2).conclusion_stable
+        assert not self._result(1.5, 0.2).conclusion_stable

@@ -1,0 +1,10 @@
+"""Shared experiment context for the integration (paper-shape) tests."""
+
+import pytest
+
+from repro.harness.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(seed=2013)

@@ -1,0 +1,81 @@
+"""Golden regression values for the calibrated pipeline.
+
+These pin the *current* end-to-end behavior (seed 2013) so that future
+refactors that unintentionally shift projections or the virtual testbed
+fail loudly.  Tolerances are tight (1-3%): they allow float noise, not
+model drift.  If a deliberate model change moves these numbers, update
+them alongside EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.workloads import get_workload
+
+# (workload, dataset) -> (predicted kernel ms, predicted transfer ms)
+GOLDEN_PREDICTIONS = {
+    ("CFD", "97K"): (1.087, 3.330),
+    ("CFD", "233K"): (2.578, 7.912),
+    ("HotSpot", "1024 x 1024"): (0.642, 5.053),
+    ("SRAD", "4096 x 4096"): (28.16, 53.22),
+    ("Stassuij", "132 x 2048"): (2.237, 5.272),
+    ("PathFinder", "100K cols"): (4.319, 10.81),
+    ("KMeans", "64K points"): (1.087, 1.843),
+}
+
+# (workload, dataset) -> measured kernel ms (10-run mean, seed 2013).
+GOLDEN_MEASURED_KERNEL = {
+    ("CFD", "97K"): 1.90,
+    ("HotSpot", "1024 x 1024"): 1.20,
+    ("SRAD", "4096 x 4096"): 28.1,
+    ("Stassuij", "132 x 2048"): 2.40,
+}
+
+
+class TestGoldenPredictions:
+    @pytest.mark.parametrize(
+        "key", sorted(GOLDEN_PREDICTIONS, key=str),
+        ids=lambda k: f"{k[0]}-{k[1]}",
+    )
+    def test_projection_values(self, ctx, key):
+        workload = get_workload(key[0])
+        dataset = workload.dataset(key[1])
+        projection = ctx.projection(workload, dataset)
+        kernel_ms, transfer_ms = GOLDEN_PREDICTIONS[key]
+        assert projection.kernel_seconds * 1e3 == pytest.approx(
+            kernel_ms, rel=0.03
+        )
+        assert projection.transfer_seconds * 1e3 == pytest.approx(
+            transfer_ms, rel=0.03
+        )
+
+    @pytest.mark.parametrize(
+        "key", sorted(GOLDEN_MEASURED_KERNEL, key=str),
+        ids=lambda k: f"{k[0]}-{k[1]}",
+    )
+    def test_measured_kernel_values(self, ctx, key):
+        workload = get_workload(key[0])
+        dataset = workload.dataset(key[1])
+        measured = ctx.measured(workload, dataset)
+        assert measured.kernel_seconds * 1e3 == pytest.approx(
+            GOLDEN_MEASURED_KERNEL[key], rel=0.05
+        )
+
+    def test_calibrated_bus_parameters(self, ctx):
+        # The 2-point calibration on seed 2013's testbed.
+        assert ctx.bus_model.h2d.alpha * 1e6 == pytest.approx(9.8, abs=0.4)
+        assert ctx.bus_model.h2d.bandwidth / 1e9 == pytest.approx(
+            2.45, rel=0.02
+        )
+        assert ctx.bus_model.d2h.bandwidth / 1e9 == pytest.approx(
+            2.60, rel=0.02
+        )
+
+    def test_best_mappings_stable(self, ctx):
+        """The explorer's choices for key kernels must not drift silently."""
+        w = get_workload("SRAD")
+        projection = ctx.projection(w, w.dataset("4096 x 4096"))
+        for kp in projection.kernels.kernels:
+            assert kp.best.config.use_shared_memory, kp.kernel
+        w = get_workload("Stassuij")
+        projection = ctx.projection(w, w.datasets()[0])
+        assert projection.kernels.kernels[0].best.config.block_size <= 128

@@ -1,0 +1,70 @@
+"""Tests for the allocation-overhead model."""
+
+import pytest
+
+from repro.datausage import Direction, Transfer, TransferPlan
+from repro.pcie.allocation import (
+    AllocationCost,
+    AllocationModel,
+    cuda23_era_allocation_model,
+)
+from repro.pcie.channel import MemoryKind
+from repro.util.units import MiB
+
+
+def plan(arrays=("a", "b")) -> TransferPlan:
+    transfers = [
+        Transfer(name, Direction.H2D, 4 * MiB, MiB) for name in arrays
+    ]
+    transfers.append(Transfer(arrays[0], Direction.D2H, 4 * MiB, MiB))
+    return TransferPlan("p", tuple(transfers))
+
+
+class TestAllocationCost:
+    def test_linear(self):
+        c = AllocationCost(alpha=1e-4, beta=1e-12)
+        assert c.time(0) == pytest.approx(1e-4)
+        assert c.time(1e9) == pytest.approx(1e-4 + 1e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AllocationCost(alpha=-1.0, beta=0)
+        with pytest.raises(ValueError):
+            AllocationCost(alpha=0, beta=0).time(-5)
+
+
+class TestAllocationModel:
+    def setup_method(self):
+        self.model = cuda23_era_allocation_model()
+
+    def test_pinned_costs_more_than_pageable(self):
+        p = plan()
+        pinned = self.model.plan_setup_time(p, MemoryKind.PINNED)
+        pageable = self.model.plan_setup_time(p, MemoryKind.PAGEABLE)
+        assert pinned > pageable
+
+    def test_one_buffer_per_distinct_array(self):
+        # Array "a" appears in both directions but is allocated once.
+        two_arrays = self.model.plan_setup_time(plan(("a", "b")))
+        three_arrays = self.model.plan_setup_time(plan(("a", "b", "c")))
+        assert three_arrays > two_arrays
+        delta = three_arrays - two_arrays
+        expected = self.model.device.time(4 * MiB) + (
+            self.model.pinned_host.time(4 * MiB)
+        )
+        assert delta == pytest.approx(expected)
+
+    def test_setup_scale_is_sub_millisecond_per_array(self):
+        """Era-plausible: allocating a few MB costs ~0.3-1 ms."""
+        t = self.model.plan_setup_time(plan(("a",)))
+        assert 1e-4 < t < 2e-3
+
+    def test_host_cost_dispatch(self):
+        assert (
+            self.model.host_cost(MemoryKind.PINNED)
+            is self.model.pinned_host
+        )
+        assert (
+            self.model.host_cost(MemoryKind.PAGEABLE)
+            is self.model.pageable_host
+        )

@@ -1,0 +1,91 @@
+"""Tests for the 2-point calibration procedure."""
+
+import pytest
+
+from repro.datausage import Direction
+from repro.pcie.calibration import CalibrationConfig, Calibrator, calibrate_bus
+from repro.pcie.channel import MemoryKind
+from repro.util.units import MiB, us
+
+
+class FakeChannel:
+    """Deterministic linear channel that records its measurement calls."""
+
+    def __init__(self, alpha=10e-6, bandwidth=2.5e9):
+        self.alpha = alpha
+        self.bandwidth = bandwidth
+        self.calls: list[tuple[int, Direction, MemoryKind]] = []
+
+    def transfer_time(self, size_bytes, direction, memory=MemoryKind.PINNED):
+        self.calls.append((size_bytes, direction, memory))
+        scale = 1.0 if direction is Direction.H2D else 1.1
+        return (self.alpha + size_bytes / self.bandwidth) * scale
+
+
+class TestCalibrationConfig:
+    def test_defaults_match_paper(self):
+        cfg = CalibrationConfig()
+        assert cfg.small_size == 1
+        assert cfg.large_size == 512 * MiB
+        assert cfg.repetitions == 10
+        assert cfg.memory is MemoryKind.PINNED
+
+    def test_rejects_inverted_sizes(self):
+        with pytest.raises(ValueError):
+            CalibrationConfig(small_size=100, large_size=10)
+
+    def test_rejects_bad_reps(self):
+        with pytest.raises(ValueError):
+            CalibrationConfig(repetitions=0)
+
+
+class TestCalibrator:
+    def test_recovers_channel_parameters(self):
+        chan = FakeChannel()
+        model = Calibrator(chan).calibrate_direction(Direction.H2D)
+        # alpha = t_S carries the (negligible) one transferred byte.
+        assert model.alpha == pytest.approx(10e-6, rel=1e-4)
+        # beta = t_L / s_L includes the (negligible) alpha.
+        assert model.bandwidth == pytest.approx(2.5e9, rel=1e-3)
+
+    def test_directions_calibrated_separately(self):
+        bus = calibrate_bus(FakeChannel())
+        assert bus.d2h.alpha == pytest.approx(1.1 * bus.h2d.alpha, rel=1e-6)
+
+    def test_measurement_count_and_sizes(self):
+        chan = FakeChannel()
+        Calibrator(chan).calibrate()
+        # 10 small + 10 large per direction.
+        assert len(chan.calls) == 40
+        sizes = {c[0] for c in chan.calls}
+        assert sizes == {1, 512 * MiB}
+
+    def test_uses_pinned_memory_by_default(self):
+        chan = FakeChannel()
+        Calibrator(chan).calibrate()
+        assert all(c[2] is MemoryKind.PINNED for c in chan.calls)
+
+    def test_custom_config_respected(self):
+        chan = FakeChannel()
+        cfg = CalibrationConfig(
+            small_size=2, large_size=MiB, repetitions=3,
+            memory=MemoryKind.PAGEABLE,
+        )
+        Calibrator(chan, cfg).calibrate_direction(Direction.H2D)
+        assert len(chan.calls) == 6
+        assert all(c[2] is MemoryKind.PAGEABLE for c in chan.calls)
+
+    def test_noise_averaged(self):
+        class NoisyChannel(FakeChannel):
+            def __init__(self):
+                super().__init__()
+                self._flip = 1.0
+
+            def transfer_time(self, size, direction, memory=MemoryKind.PINNED):
+                base = super().transfer_time(size, direction, memory)
+                self._flip = -self._flip
+                return base * (1.0 + 0.05 * self._flip)
+
+        model = Calibrator(NoisyChannel()).calibrate_direction(Direction.H2D)
+        # Symmetric +-5% noise averages out over 10 runs.
+        assert model.alpha == pytest.approx(10e-6, rel=1e-3)

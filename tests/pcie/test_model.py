@@ -1,0 +1,135 @@
+"""Tests for the linear transfer model (Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datausage import Direction, Transfer, TransferPlan
+from repro.pcie.model import BusModel, LinearTransferModel
+from repro.util.units import MiB, us
+
+
+def paper_model() -> LinearTransferModel:
+    """alpha ~ 10us, bandwidth ~ 2.5 GB/s (the paper's system)."""
+    return LinearTransferModel(alpha=us(10), beta=1 / 2.5e9)
+
+
+class TestLinearTransferModel:
+    def test_alpha_dominates_small(self):
+        m = paper_model()
+        # For <1KB transfers the curve is essentially flat (Section III-C).
+        assert m.predict(1) == pytest.approx(us(10), rel=1e-3)
+        assert m.predict(1024) == pytest.approx(us(10), rel=0.05)
+
+    def test_beta_dominates_large(self):
+        m = paper_model()
+        t = m.predict(512 * MiB)
+        assert t == pytest.approx(512 * MiB / 2.5e9, rel=0.001)
+
+    def test_bandwidth_property(self):
+        assert paper_model().bandwidth == pytest.approx(2.5e9)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            paper_model().predict(-1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LinearTransferModel(alpha=-1e-6, beta=1e-9)
+        with pytest.raises(ValueError):
+            LinearTransferModel(alpha=1e-6, beta=0)
+
+    def test_predict_many_matches_scalar(self):
+        m = paper_model()
+        sizes = [1, 1024, MiB]
+        np.testing.assert_allclose(
+            m.predict_many(sizes), [m.predict(s) for s in sizes]
+        )
+
+    def test_predict_many_rejects_negative(self):
+        with pytest.raises(ValueError):
+            paper_model().predict_many([1, -2])
+
+    @given(st.floats(0, 1e9), st.floats(0, 1e9))
+    def test_monotone_in_size(self, a, b):
+        m = paper_model()
+        lo, hi = sorted([a, b])
+        assert m.predict(lo) <= m.predict(hi)
+
+    def test_roundtrip_dict(self):
+        m = paper_model()
+        again = LinearTransferModel.from_dict(m.to_dict())
+        assert again == m
+
+
+class TestTwoPointFit:
+    def test_paper_procedure(self):
+        # t_S = 10us for 1 byte; t_L = 204.8ms for 512MB -> 2.62 GB/s.
+        m = LinearTransferModel.from_two_points(us(10), 0.2048, 512 * MiB)
+        assert m.alpha == pytest.approx(us(10))
+        assert m.bandwidth == pytest.approx(512 * MiB / 0.2048)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LinearTransferModel.from_two_points(0, 0.2, 512 * MiB)
+
+    @given(
+        st.floats(1e-6, 1e-4),
+        st.floats(0.05, 1.0),
+    )
+    def test_recovers_exact_linear_data(self, alpha, t_large):
+        m = LinearTransferModel.from_two_points(alpha, t_large, 512 * MiB)
+        # The fit is exact at both calibration points (up to the alpha
+        # buried in the large transfer, which is negligible).
+        assert m.predict(0) == pytest.approx(alpha)
+        assert m.predict(512 * MiB) == pytest.approx(
+            alpha + t_large, rel=1e-6
+        )
+
+
+class TestLeastSquaresFit:
+    def test_recovers_linear_data(self):
+        truth = paper_model()
+        sizes = [2.0**k for k in range(0, 30)]
+        times = [truth.predict(s) for s in sizes]
+        fit = LinearTransferModel.least_squares(sizes, times)
+        assert fit.beta == pytest.approx(truth.beta, rel=1e-6)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            LinearTransferModel.least_squares([1.0], [1.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearTransferModel.least_squares([1, 2], [1.0])
+
+
+class TestBusModel:
+    def _bus(self):
+        return BusModel(
+            h2d=LinearTransferModel(us(10), 1 / 2.45e9),
+            d2h=LinearTransferModel(us(9), 1 / 2.6e9),
+        )
+
+    def test_direction_dispatch(self):
+        bus = self._bus()
+        assert bus.for_direction(Direction.H2D) is bus.h2d
+        assert bus.for_direction(Direction.D2H) is bus.d2h
+
+    def test_plan_prediction_sums_per_array(self):
+        bus = self._bus()
+        plan = TransferPlan(
+            "p",
+            (
+                Transfer("a", Direction.H2D, MiB, MiB // 4),
+                Transfer("b", Direction.H2D, MiB, MiB // 4),
+                Transfer("c", Direction.D2H, 2 * MiB, MiB // 2),
+            ),
+        )
+        per = bus.predict_plan_by_transfer(plan)
+        assert len(per) == 3
+        assert bus.predict_plan(plan) == pytest.approx(sum(per))
+        # Two separate 1MB transfers pay alpha twice.
+        merged = bus.predict_transfer(2 * MiB, Direction.H2D)
+        assert per[0] + per[1] == pytest.approx(merged + us(10))

@@ -1,0 +1,41 @@
+"""Tests for the PCIe-generation bus presets."""
+
+import pytest
+
+from repro.pcie.presets import (
+    bus_for_generation,
+    pcie_gen1_bus,
+    pcie_gen2_bus,
+    pcie_gen3_bus,
+)
+from repro.util.units import MiB
+
+
+class TestGenerationPresets:
+    def test_bandwidth_ladder(self):
+        """Paper Section II-B: ~3 / 6 / 12 GB/s for gens 1/2/3."""
+        g1, g2, g3 = pcie_gen1_bus(), pcie_gen2_bus(), pcie_gen3_bus()
+        assert 2.0e9 < g1.h2d.bandwidth < 3.5e9
+        assert 5.0e9 < g2.h2d.bandwidth < 7.0e9
+        assert 10.0e9 < g3.h2d.bandwidth < 14.0e9
+
+    def test_each_generation_strictly_faster(self):
+        size = 64 * MiB
+        times = [
+            bus_for_generation(g).predict_transfer(
+                size, __import__("repro.datausage",
+                                 fromlist=["Direction"]).Direction.H2D
+            )
+            for g in (1, 2, 3)
+        ]
+        assert times[0] > times[1] > times[2]
+
+    def test_lookup(self):
+        assert bus_for_generation(2).h2d.bandwidth == pytest.approx(6.0e9)
+        with pytest.raises(ValueError, match="unknown PCIe generation"):
+            bus_for_generation(4)
+
+    def test_latency_improves_mildly(self):
+        assert pcie_gen3_bus().h2d.alpha < pcie_gen1_bus().h2d.alpha
+        # But it's still ~10us class: latency didn't scale like bandwidth.
+        assert pcie_gen3_bus().h2d.alpha > 1e-6

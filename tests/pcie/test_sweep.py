@@ -1,0 +1,58 @@
+"""Tests for the transfer-size sweep utilities."""
+
+import pytest
+
+from repro.datausage import Direction
+from repro.pcie.channel import MemoryKind
+from repro.pcie.sweep import measure_sweep, power_of_two_sizes
+from repro.util.units import MiB
+
+from tests.pcie.test_calibration import FakeChannel
+
+
+class TestPowerOfTwoSizes:
+    def test_paper_sweep(self):
+        sizes = power_of_two_sizes()
+        assert sizes[0] == 1
+        assert sizes[-1] == 512 * MiB
+        assert len(sizes) == 30  # 2^0 .. 2^29
+
+    def test_all_powers_of_two(self):
+        for s in power_of_two_sizes():
+            assert s & (s - 1) == 0
+
+    def test_custom_range(self):
+        assert power_of_two_sizes(4, 32) == [4, 8, 16, 32]
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            power_of_two_sizes(3, 16)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            power_of_two_sizes(32, 16)
+
+
+class TestMeasureSweep:
+    def test_sample_structure(self):
+        chan = FakeChannel()
+        samples = measure_sweep(chan, [1, 2, 4], Direction.H2D,
+                                MemoryKind.PINNED, repetitions=5)
+        assert [s.size_bytes for s in samples] == [1, 2, 4]
+        assert all(s.repetitions == 5 for s in samples)
+        assert all(s.memory is MemoryKind.PINNED for s in samples)
+
+    def test_mean_is_mean_of_times(self):
+        chan = FakeChannel()
+        (sample,) = measure_sweep(chan, [1024], repetitions=3)
+        assert sample.mean_time == pytest.approx(
+            sum(sample.times) / len(sample.times)
+        )
+
+    def test_default_sizes(self):
+        samples = measure_sweep(FakeChannel(), repetitions=1)
+        assert len(samples) == 30
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError):
+            measure_sweep(FakeChannel(), [1], repetitions=0)

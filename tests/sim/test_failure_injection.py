@@ -1,0 +1,145 @@
+"""Failure injection: the pipeline must fail loudly or degrade sanely.
+
+These tests feed hostile inputs into each stage — pathological
+measurement channels, extreme noise, degenerate kernels — and check that
+errors surface as exceptions with useful messages (never silent garbage).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.datausage import Direction
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel
+from repro.pcie.calibration import Calibrator, calibrate_bus
+from repro.pcie.channel import MemoryKind
+from repro.pcie.model import LinearTransferModel
+from repro.sim.gpu_sim import GpuSimParams, KernelWork, SimulatedGpu
+from repro.sim.noise import NoiseProfile
+from repro.sim.pcie_sim import PcieLinkParams, SimulatedPcieBus, argonne_pcie_params
+from repro.util.rng import RngStream
+
+
+class BrokenChannel:
+    """A channel whose timer is broken (returns zero)."""
+
+    def transfer_time(self, size, direction, memory=MemoryKind.PINNED):
+        return 0.0
+
+
+class NegativeChannel:
+    """A channel with clock skew (returns negative durations)."""
+
+    def transfer_time(self, size, direction, memory=MemoryKind.PINNED):
+        return -1e-6
+
+
+class InfiniteChannel:
+    def transfer_time(self, size, direction, memory=MemoryKind.PINNED):
+        return float("inf")
+
+
+class TestHostileCalibration:
+    def test_zero_timer_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            calibrate_bus(BrokenChannel())
+
+    def test_negative_timer_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            calibrate_bus(NegativeChannel())
+
+    def test_infinite_timer_produces_infinite_model(self):
+        # Not rejected (it is 'positive'), but predictions are inf, which
+        # any sane consumer notices immediately.
+        model = calibrate_bus(InfiniteChannel())
+        assert model.h2d.predict(1024) == float("inf")
+
+    def test_extreme_noise_still_averages_out(self):
+        """50% lognormal jitter: 10-run means stay within ~2x of truth."""
+        params = argonne_pcie_params()
+        noisy = {
+            key: dataclasses.replace(
+                link,
+                noise=NoiseProfile(sigma_small=0.5, sigma_floor=0.5,
+                                   decay_bytes=1024.0),
+            )
+            for key, link in params.items()
+        }
+        bus = SimulatedPcieBus(noisy, RngStream(3, "chaos"))
+        model = Calibrator(bus).calibrate_direction(Direction.H2D)
+        truth = params[(Direction.H2D, MemoryKind.PINNED)]
+        assert 0.3 * truth.alpha < model.alpha < 3 * truth.alpha
+        assert 0.3 * truth.bandwidth < model.bandwidth < 3 * truth.bandwidth
+
+
+class TestDegenerateLinkParams:
+    def test_zero_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            PcieLinkParams(
+                alpha=0.0, bandwidth=1e9, staging_bandwidth=None,
+                bump_amplitude=0.0, bump_center_log2=10, bump_width_log2=1,
+                noise=NoiseProfile.constant(0.0),
+            )
+
+    def test_negative_bump_rejected(self):
+        with pytest.raises(ValueError):
+            PcieLinkParams(
+                alpha=1e-6, bandwidth=1e9, staging_bandwidth=None,
+                bump_amplitude=-0.5, bump_center_log2=10, bump_width_log2=1,
+                noise=NoiseProfile.constant(0.0),
+            )
+
+
+class TestDegenerateKernels:
+    def test_single_thread_kernel(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        t = model.kernel_time(
+            KernelCharacteristics(
+                name="one", threads=1, block_size=32,
+                comp_insts_per_thread=1.0, mem_insts_per_thread=1.0,
+            )
+        )
+        assert 0 < t < 1e-3  # microseconds, not garbage
+
+    def test_enormous_kernel_finite(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        t = model.kernel_time(
+            KernelCharacteristics(
+                name="huge", threads=10**9, block_size=512,
+                comp_insts_per_thread=100.0,
+                mem_insts_per_thread=50.0,
+                coalesced_fraction=0.0,
+            )
+        )
+        assert t > 1.0  # genuinely huge
+        assert t != float("inf")
+
+    def test_gpu_sim_zero_byte_kernel(self):
+        gpu = SimulatedGpu()
+        t = gpu.expected_kernel_time(
+            KernelWork("empty", threads=1, useful_bytes=0.0, flops=0.0,
+                       irregular_fraction=0.0)
+        )
+        assert t == pytest.approx(gpu.params.launch_overhead)
+
+    def test_gpu_sim_params_bounds(self):
+        params = GpuSimParams(gather_bandwidth_fraction=0.01)
+        slow = params.effective_bandwidth(
+            KernelWork("g", 10**6, 1e6, 0.0, irregular_fraction=1.0)
+        )
+        fast = params.effective_bandwidth(
+            KernelWork("s", 10**6, 1e6, 0.0, irregular_fraction=0.0)
+        )
+        assert slow < 0.05 * fast
+
+
+class TestModelEdgeValues:
+    def test_tiny_beta_ok(self):
+        m = LinearTransferModel(alpha=1e-6, beta=1e-18)  # exabyte/s bus
+        assert m.predict(2**40) > 0
+
+    def test_prediction_overflow_safe(self):
+        m = LinearTransferModel(alpha=1e-6, beta=1e-9)
+        assert m.predict(2**60) < float("inf")

@@ -1,0 +1,157 @@
+"""Tests for the GPU/CPU execution simulators."""
+
+import pytest
+
+from repro.cpu.model import CpuWorkProfile
+from repro.sim.cpu_sim import SimulatedCpu
+from repro.sim.gpu_sim import (
+    GpuSimParams,
+    KernelWork,
+    SimulatedGpu,
+    kernel_work_from_skeleton,
+)
+from repro.skeleton import ArrayDecl, DType, KernelBuilder
+from repro.util.rng import RngStream
+
+
+def work(**kwargs) -> KernelWork:
+    defaults = dict(
+        name="k",
+        threads=1_000_000,
+        useful_bytes=28e6,
+        flops=14e6,
+        irregular_fraction=0.0,
+    )
+    defaults.update(kwargs)
+    return KernelWork(**defaults)
+
+
+class TestKernelWork:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            work(threads=0)
+        with pytest.raises(ValueError):
+            work(irregular_fraction=1.5)
+
+
+class TestKernelWorkFromSkeleton:
+    def test_streaming_kernel(self):
+        kb = KernelBuilder("copy").parallel_loop("i", 1000)
+        kb.load("a", "i").store("b", "i").statement(flops=2)
+        arrays = {
+            "a": ArrayDecl("a", (1000,)),
+            "b": ArrayDecl("b", (1000,)),
+        }
+        w = kernel_work_from_skeleton(kb.build(), arrays)
+        assert w.threads == 1000
+        assert w.useful_bytes == 8 * 1000
+        assert w.flops == 2000
+        assert w.irregular_fraction == 0.0
+
+    def test_misaligned_taps_counted_irregular(self):
+        kb = KernelBuilder("stencil")
+        kb.parallel_loop("i", 63, 1).parallel_loop("j", 63, 1)
+        kb.load("a", "i", "j").load("a", "i", ("j", 1, -1))
+        kb.store("b", "i", "j").statement(flops=1)
+        arrays = {
+            "a": ArrayDecl("a", (64, 64)),
+            "b": ArrayDecl("b", (64, 64)),
+        }
+        w = kernel_work_from_skeleton(kb.build(), arrays,
+                                      strict_coalescing=True)
+        assert w.irregular_fraction == pytest.approx(1 / 3)
+        relaxed = kernel_work_from_skeleton(kb.build(), arrays,
+                                            strict_coalescing=False)
+        assert relaxed.irregular_fraction == 0.0
+
+    def test_amortized_statement_weighting(self):
+        kb = KernelBuilder("amortized").parallel_loop("i", 10).loop("k", 100)
+        kb.load("meta", "i").statement(flops=0, amortize=("i",))
+        kb.load("a", "i").statement(flops=1)
+        arrays = {
+            "meta": ArrayDecl("meta", (10,)),
+            "a": ArrayDecl("a", (10,)),
+        }
+        w = kernel_work_from_skeleton(kb.build(), arrays)
+        # meta read once per i (10 x 4B); a read per (i, k) (1000 x 4B).
+        assert w.useful_bytes == pytest.approx(40 + 4000)
+
+    def test_complex_flop_expansion(self):
+        kb = KernelBuilder("cplx").parallel_loop("i", 10)
+        kb.load("z", "i").store("z", "i").statement(flops=2)
+        arrays = {"z": ArrayDecl("z", (10,), DType.complex128)}
+        w = kernel_work_from_skeleton(kb.build(), arrays)
+        assert w.flops == pytest.approx(2 * 4 * 10)
+
+
+class TestSimulatedGpu:
+    def test_bandwidth_bound_scale(self):
+        gpu = SimulatedGpu(rng=RngStream(1, "g"))
+        w = work()
+        t = gpu.expected_kernel_time(w)
+        p = gpu.params
+        floor = w.useful_bytes / p.peak_bandwidth
+        assert t > floor  # can't beat theoretical peak
+        assert t < 10 * floor
+
+    def test_irregular_slower(self):
+        gpu = SimulatedGpu()
+        assert gpu.expected_kernel_time(
+            work(irregular_fraction=1.0)
+        ) > 2 * gpu.expected_kernel_time(work(irregular_fraction=0.0))
+
+    def test_small_grid_less_efficient(self):
+        p = GpuSimParams()
+        big = p.effective_bandwidth(work(threads=5_000_000))
+        small = p.effective_bandwidth(work(threads=4_000))
+        assert small < big
+
+    def test_launch_overhead_floor(self):
+        gpu = SimulatedGpu()
+        t = gpu.expected_kernel_time(
+            work(threads=1, useful_bytes=4, flops=1)
+        )
+        assert t >= gpu.params.launch_overhead
+
+    def test_hardware_factor_scales_body(self):
+        gpu = SimulatedGpu()
+        w = work()
+        launch = gpu.params.launch_overhead
+        t1 = gpu.expected_kernel_time(w, 1.0) - launch
+        t2 = gpu.expected_kernel_time(w, 2.0) - launch
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedGpu().expected_kernel_time(work(), 0.0)
+
+    def test_noise_bounded(self):
+        gpu = SimulatedGpu(rng=RngStream(5, "n"))
+        truth = gpu.expected_kernel_time(work())
+        for _ in range(50):
+            assert gpu.kernel_time(work()) == pytest.approx(truth, rel=0.1)
+
+    def test_wave_granularity(self):
+        gpu = SimulatedGpu()
+        p = gpu.params
+        # 1.05 waves rounds up to 2 -> disproportionate cost.
+        exact = work(threads=p.wave_threads, useful_bytes=1e8)
+        ragged = work(threads=int(p.wave_threads * 1.05), useful_bytes=1e8)
+        t_exact = gpu.expected_kernel_time(exact)
+        t_ragged = gpu.expected_kernel_time(ragged)
+        assert t_ragged > 1.5 * t_exact
+
+
+class TestSimulatedCpu:
+    def test_roofline_based(self):
+        cpu = SimulatedCpu(rng=RngStream(1, "c"))
+        p = CpuWorkProfile("stream", bytes_moved=1e9, flops=1e6)
+        assert cpu.expected_time(p) == pytest.approx(0.1)
+
+    def test_factor_and_noise(self):
+        cpu = SimulatedCpu(rng=RngStream(2, "c"))
+        p = CpuWorkProfile("p", 1e9, 1e6)
+        assert cpu.expected_time(p, 2.0) == pytest.approx(0.2)
+        samples = [cpu.run_time(p) for _ in range(30)]
+        assert len(set(samples)) > 1
+        assert sum(samples) / len(samples) == pytest.approx(0.1, rel=0.02)

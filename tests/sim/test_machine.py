@@ -1,0 +1,88 @@
+"""Tests for the assembled virtual testbed."""
+
+import pytest
+
+from repro.cpu.model import CpuWorkProfile
+from repro.datausage import Direction
+from repro.pcie.channel import MemoryKind
+from repro.sim.gpu_sim import KernelWork
+from repro.sim.machine import VirtualTestbed, argonne_testbed
+from repro.sim.measurement import MeasuredValue, repeat_mean
+from repro.sim.noise import BimodalQuirk
+from repro.util.units import MiB
+
+
+class TestRepeatMean:
+    def test_runs_exactly_n(self):
+        calls = []
+        mv = repeat_mean(lambda: calls.append(1) or 1.5, repetitions=10)
+        assert len(calls) == 10
+        assert mv.mean == 1.5
+        assert mv.repetitions == 10
+
+    def test_mean_of_varying(self):
+        values = iter([1.0, 2.0, 3.0])
+        mv = repeat_mean(lambda: next(values), repetitions=3)
+        assert mv.mean == pytest.approx(2.0)
+        assert mv.spread > 0
+
+    def test_rejects_zero_reps(self):
+        with pytest.raises(ValueError):
+            repeat_mean(lambda: 1.0, repetitions=0)
+
+
+class TestVirtualTestbed:
+    def test_reproducible_across_instances(self):
+        a = argonne_testbed(seed=99)
+        b = argonne_testbed(seed=99)
+        w = KernelWork("k", 100_000, 1e6, 1e6, 0.0)
+        assert a.measure_kernel(w).mean == b.measure_kernel(w).mean
+        assert (
+            a.measure_transfer(MiB, Direction.H2D).mean
+            == b.measure_transfer(MiB, Direction.H2D).mean
+        )
+
+    def test_seed_changes_measurements(self):
+        a = argonne_testbed(seed=1)
+        b = argonne_testbed(seed=2)
+        assert (
+            a.measure_transfer(MiB, Direction.H2D).mean
+            != b.measure_transfer(MiB, Direction.H2D).mean
+        )
+
+    def test_default_architectures(self):
+        tb = argonne_testbed()
+        assert "FX 5600" in tb.gpu_arch.name
+        assert "E5405" in tb.cpu_arch.name
+
+    def test_measure_transfer_with_quirk_inflates_mean(self):
+        tb1 = argonne_testbed(seed=5)
+        tb2 = argonne_testbed(seed=5)
+        plain = tb1.measure_transfer(MiB, Direction.H2D, repetitions=50)
+        quirky = tb2.measure_transfer(
+            MiB,
+            Direction.H2D,
+            quirk=BimodalQuirk(probability=0.5, slow_factor=2.3),
+            repetitions=50,
+        )
+        assert quirky.mean > 1.3 * plain.mean
+        # The quirky transfer has the paper's "half the runs much slower"
+        # signature: huge spread.
+        assert quirky.spread > 3 * plain.spread
+
+    def test_measure_cpu(self):
+        tb = argonne_testbed()
+        p = CpuWorkProfile("p", 1e9, 1e6)
+        mv = tb.measure_cpu(p, hardware_factor=1.5)
+        assert isinstance(mv, MeasuredValue)
+        assert mv.mean == pytest.approx(0.15, rel=0.05)
+
+    def test_pageable_memory_measurement(self):
+        tb = argonne_testbed()
+        pinned = tb.measure_transfer(
+            16 * MiB, Direction.H2D, MemoryKind.PINNED
+        )
+        pageable = tb.measure_transfer(
+            16 * MiB, Direction.H2D, MemoryKind.PAGEABLE
+        )
+        assert pageable.mean > pinned.mean

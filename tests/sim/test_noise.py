@@ -1,0 +1,70 @@
+"""Tests for the noise models."""
+
+import pytest
+
+from repro.sim.noise import BimodalQuirk, NoiseProfile
+from repro.util.rng import RngStream
+from repro.util.units import KiB, MiB
+
+
+class TestNoiseProfile:
+    def test_sigma_decays_with_size(self):
+        p = NoiseProfile(sigma_small=0.05, sigma_floor=0.002,
+                         decay_bytes=64 * KiB)
+        assert p.sigma(1) > p.sigma(64 * KiB) > p.sigma(16 * MiB)
+        assert p.sigma(512 * MiB) == pytest.approx(0.002, rel=1e-3)
+
+    def test_factor_positive(self):
+        p = NoiseProfile(0.05, 0.002, 64 * KiB)
+        rng = RngStream(7, "t")
+        for _ in range(200):
+            assert p.factor(1024, rng) > 0
+
+    def test_constant_profile(self):
+        p = NoiseProfile.constant(0.01)
+        assert p.sigma(1) == p.sigma(1e9) == pytest.approx(0.01)
+
+    def test_zero_noise_profile(self):
+        p = NoiseProfile.constant(0.0)
+        assert p.factor(123, RngStream(1)) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NoiseProfile(-0.1, 0.0, 1.0)
+
+    def test_small_transfers_jitter_more(self):
+        """The Fig. 5 HotSpot effect: same-size small transfers vary."""
+        p = NoiseProfile(0.05, 0.002, 64 * KiB)
+        rng = RngStream(11, "j")
+        small = [p.factor(64, rng) for _ in range(300)]
+        large = [p.factor(64 * MiB, rng) for _ in range(300)]
+
+        def spread(xs):
+            mean = sum(xs) / len(xs)
+            return (sum((x - mean) ** 2 for x in xs) / len(xs)) ** 0.5
+
+        assert spread(small) > 5 * spread(large)
+
+
+class TestBimodalQuirk:
+    def test_factor_values(self):
+        q = BimodalQuirk(probability=0.5, slow_factor=2.3)
+        rng = RngStream(3, "q")
+        factors = {q.factor(rng) for _ in range(200)}
+        assert factors == {1.0, 2.3}
+
+    def test_rate(self):
+        q = BimodalQuirk(probability=0.5, slow_factor=2.0)
+        rng = RngStream(5, "q")
+        slow = sum(q.factor(rng) > 1 for _ in range(2000))
+        assert 850 < slow < 1150
+
+    def test_never_quirky(self):
+        q = BimodalQuirk(probability=0.0, slow_factor=3.0)
+        assert q.factor(RngStream(1)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BimodalQuirk(probability=1.5, slow_factor=2.0)
+        with pytest.raises(ValueError):
+            BimodalQuirk(probability=0.5, slow_factor=0.5)

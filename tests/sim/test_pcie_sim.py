@@ -1,0 +1,107 @@
+"""Tests for the PCIe bus simulator (the virtual testbed's ground truth)."""
+
+import pytest
+
+from repro.datausage import Direction
+from repro.pcie.channel import MemoryKind, TransferChannel
+from repro.sim.pcie_sim import SimulatedPcieBus, argonne_pcie_params
+from repro.util.rng import RngStream
+from repro.util.units import KiB, MiB
+
+
+@pytest.fixture
+def bus() -> SimulatedPcieBus:
+    return SimulatedPcieBus(rng=RngStream(42, "test-bus"))
+
+
+class TestParamsPreset:
+    def test_all_modes_present(self):
+        params = argonne_pcie_params()
+        assert len(params) == 4
+
+    def test_pinned_matches_paper_scale(self):
+        """alpha ~ 10us, bandwidth ~ 2.5 GB/s (Section III-C)."""
+        h2d = argonne_pcie_params()[(Direction.H2D, MemoryKind.PINNED)]
+        assert 5e-6 < h2d.alpha < 20e-6
+        assert 2.0e9 < h2d.bandwidth < 3.0e9
+
+    def test_missing_mode_rejected(self):
+        params = argonne_pcie_params()
+        del params[(Direction.D2H, MemoryKind.PAGEABLE)]
+        with pytest.raises(ValueError, match="missing link modes"):
+            SimulatedPcieBus(params)
+
+
+class TestGroundTruthShape:
+    def test_is_a_transfer_channel(self, bus):
+        assert isinstance(bus, TransferChannel)
+
+    def test_monotone_in_size(self, bus):
+        sizes = [1, KiB, 64 * KiB, MiB, 64 * MiB, 512 * MiB]
+        times = [
+            bus.expected_time(s, Direction.H2D, MemoryKind.PINNED)
+            for s in sizes
+        ]
+        assert times == sorted(times)
+
+    def test_alpha_floor_for_tiny_transfers(self, bus):
+        t1 = bus.expected_time(1, Direction.H2D)
+        t512 = bus.expected_time(512, Direction.H2D)
+        # Flat below ~1KB: alpha dominates (Fig. 2's plateau).
+        assert t512 < 1.1 * t1
+
+    def test_bandwidth_dominates_large(self, bus):
+        t = bus.expected_time(512 * MiB, Direction.H2D)
+        link = bus.link(Direction.H2D, MemoryKind.PINNED)
+        assert t == pytest.approx(512 * MiB / link.bandwidth, rel=0.05)
+
+    def test_pinned_beats_pageable_above_2kb_h2d(self, bus):
+        """Fig. 2/3: pageable H2D wins only below ~2KB."""
+        assert bus.expected_time(
+            1, Direction.H2D, MemoryKind.PAGEABLE
+        ) < bus.expected_time(1, Direction.H2D, MemoryKind.PINNED)
+        for size in (8 * KiB, MiB, 512 * MiB):
+            assert bus.expected_time(
+                size, Direction.H2D, MemoryKind.PINNED
+            ) < bus.expected_time(size, Direction.H2D, MemoryKind.PAGEABLE)
+
+    def test_pinned_always_beats_pageable_d2h(self, bus):
+        for size in (1, KiB, MiB, 512 * MiB):
+            assert bus.expected_time(
+                size, Direction.D2H, MemoryKind.PINNED
+            ) < bus.expected_time(size, Direction.D2H, MemoryKind.PAGEABLE)
+
+    def test_pageable_speedup_band_at_large_sizes(self, bus):
+        """Fig. 3: pinned is roughly ~2x at the large end."""
+        pinned = bus.expected_time(512 * MiB, Direction.H2D, MemoryKind.PINNED)
+        pageable = bus.expected_time(
+            512 * MiB, Direction.H2D, MemoryKind.PAGEABLE
+        )
+        assert 1.5 < pageable / pinned < 2.5
+
+    def test_curvature_vanishes_above_1mb(self, bus):
+        """Fig. 4: the linear model error is ~0 above 1 MB."""
+        link = bus.link(Direction.H2D, MemoryKind.PINNED)
+        for size in (4 * MiB, 64 * MiB, 512 * MiB):
+            linear = link.alpha + size / link.bandwidth
+            assert bus.expected_time(size, Direction.H2D) == pytest.approx(
+                linear, rel=0.01
+            )
+
+
+class TestMeasuredRuns:
+    def test_noise_around_truth(self, bus):
+        truth = bus.expected_time(MiB, Direction.H2D)
+        samples = [
+            bus.transfer_time(MiB, Direction.H2D) for _ in range(50)
+        ]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(truth, rel=0.02)
+        assert len(set(samples)) > 1  # actually random
+
+    def test_deterministic_given_seed(self):
+        a = SimulatedPcieBus(rng=RngStream(7, "x"))
+        b = SimulatedPcieBus(rng=RngStream(7, "x"))
+        assert [
+            a.transfer_time(KiB, Direction.H2D) for _ in range(5)
+        ] == [b.transfer_time(KiB, Direction.H2D) for _ in range(5)]

@@ -1,0 +1,117 @@
+"""Tests for application-run timelines."""
+
+import pytest
+
+from repro.core.overlap import estimate_overlap
+from repro.harness.context import ExperimentContext
+from repro.sim.timeline import (
+    LANE_COMPUTE,
+    LANE_COPY,
+    Timeline,
+    TimelineEvent,
+    overlapped_timeline,
+    synchronous_timeline,
+)
+from repro.workloads import Srad, Stassuij
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=17)
+
+
+@pytest.fixture(scope="module")
+def srad_projection(ctx):
+    w = Srad()
+    return ctx.projection(w, w.datasets()[0])
+
+
+class TestTimelineEvent:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TimelineEvent(1.0, 0.5, LANE_COPY, "bad")
+
+    def test_duration(self):
+        assert TimelineEvent(1.0, 3.0, LANE_COPY, "x").duration == 2.0
+
+
+class TestSynchronousTimeline:
+    def test_makespan_matches_projection(self, srad_projection):
+        tl = synchronous_timeline(srad_projection, iterations=3)
+        assert tl.makespan == pytest.approx(
+            srad_projection.total_seconds(3), rel=1e-9
+        )
+
+    def test_event_structure(self, srad_projection):
+        tl = synchronous_timeline(srad_projection, iterations=2)
+        copies = tl.lane(LANE_COPY)
+        kernels = tl.lane(LANE_COMPUTE)
+        assert len(copies) == srad_projection.plan.transfer_count
+        assert len(kernels) == 2 * len(srad_projection.kernels.kernels)
+        # Serial: no two events overlap anywhere.
+        ordered = sorted(tl.events, key=lambda e: e.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.start >= a.end - 1e-12
+
+    def test_h2d_before_kernels_before_d2h(self, srad_projection):
+        tl = synchronous_timeline(srad_projection)
+        h2d_end = max(
+            e.end for e in tl.lane(LANE_COPY) if e.label.startswith("H2D")
+        )
+        kernel_start = min(e.start for e in tl.lane(LANE_COMPUTE))
+        d2h_start = min(
+            e.start for e in tl.lane(LANE_COPY) if e.label.startswith("D2H")
+        )
+        assert h2d_end <= kernel_start + 1e-12
+        assert max(e.end for e in tl.lane(LANE_COMPUTE)) <= d2h_start + 1e-12
+
+    def test_render(self, srad_projection):
+        text = synchronous_timeline(srad_projection).render(width=40)
+        assert "makespan" in text
+        assert "copy" in text and "compute" in text
+        assert "#" in text
+
+
+class TestOverlappedTimeline:
+    def test_beats_synchronous(self, srad_projection):
+        sync = synchronous_timeline(srad_projection, iterations=4)
+        over = overlapped_timeline(srad_projection, chunks=8, iterations=4)
+        assert over.makespan < sync.makespan
+
+    def test_copy_engine_never_double_booked(self, srad_projection):
+        tl = overlapped_timeline(srad_projection, chunks=6)
+        copies = sorted(tl.lane(LANE_COPY), key=lambda e: e.start)
+        for a, b in zip(copies, copies[1:]):
+            assert b.start >= a.end - 1e-12
+
+    def test_compute_waits_for_its_chunk(self, srad_projection):
+        tl = overlapped_timeline(srad_projection, chunks=4)
+        for i in range(4):
+            h2d = next(
+                e for e in tl.events if e.label == f"H2D c{i}"
+            )
+            kernel = next(
+                e for e in tl.events if e.label == f"kernel c{i}"
+            )
+            assert kernel.start >= h2d.end - 1e-12
+
+    def test_consistent_with_pipeline_bound(self, ctx):
+        """The event-level schedule lands close to the closed form used
+        by estimate_overlap (which searches chunk counts and folds the
+        per-chunk alphas the timeline's even split spreads out)."""
+        w = Stassuij()
+        projection = ctx.projection(w, w.datasets()[0])
+        est = estimate_overlap(projection, ctx.bus_model)
+        tl = overlapped_timeline(projection, chunks=est.chunks)
+        assert tl.makespan == pytest.approx(
+            est.overlapped_seconds, rel=0.25
+        )
+
+    def test_busy_fractions(self, srad_projection):
+        tl = overlapped_timeline(srad_projection, chunks=8)
+        assert 0 < tl.busy_fraction(LANE_COPY) <= 1.0
+        assert 0 < tl.busy_fraction(LANE_COMPUTE) <= 1.0
+
+    def test_validation(self, srad_projection):
+        with pytest.raises(ValueError):
+            overlapped_timeline(srad_projection, chunks=0)

@@ -1,0 +1,133 @@
+"""Tests for repro.skeleton.access (affine indices and accesses)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.skeleton.access import AccessKind, AffineIndex, ArrayAccess
+from repro.skeleton.loops import Loop
+
+
+class TestAffineIndexBasics:
+    def test_var_constructor(self):
+        idx = AffineIndex.var("i", 2, 3)
+        assert idx.coefficient("i") == 2
+        assert idx.offset == 3
+        assert not idx.is_constant
+
+    def test_const_constructor(self):
+        idx = AffineIndex.const(7)
+        assert idx.is_constant
+        assert idx.offset == 7
+        assert idx.variables() == frozenset()
+
+    def test_zero_coefficients_dropped(self):
+        idx = AffineIndex({"i": 0, "j": 1})
+        assert idx.variables() == frozenset({"j"})
+
+    def test_evaluate(self):
+        idx = AffineIndex({"i": 2, "j": -1}, 5)
+        assert idx.evaluate({"i": 3, "j": 4}) == 2 * 3 - 4 + 5
+
+    def test_evaluate_missing_binding(self):
+        with pytest.raises(KeyError):
+            AffineIndex.var("i").evaluate({})
+
+    def test_shifted(self):
+        idx = AffineIndex.var("i").shifted(-1)
+        assert idx.offset == -1
+        assert idx.coefficient("i") == 1
+
+    def test_frozen_coeffs(self):
+        idx = AffineIndex.var("i")
+        with pytest.raises(TypeError):
+            idx.coeffs["j"] = 1  # type: ignore[index]
+
+
+class TestAffineIndexBounds:
+    def setup_method(self):
+        self.loops = {
+            "i": Loop("i", 0, 10),
+            "j": Loop("j", 2, 8),
+        }
+
+    def test_single_var(self):
+        lo, hi = AffineIndex.var("i").bounds(self.loops)
+        assert (lo, hi) == (0, 9)
+
+    def test_negative_coefficient(self):
+        lo, hi = AffineIndex.var("i", -1, 100).bounds(self.loops)
+        assert (lo, hi) == (91, 100)
+
+    def test_two_vars(self):
+        idx = AffineIndex({"i": 1, "j": 2})
+        lo, hi = idx.bounds(self.loops)
+        assert (lo, hi) == (0 + 4, 9 + 14)
+
+    def test_constant(self):
+        assert AffineIndex.const(5).bounds(self.loops) == (5, 5)
+
+    def test_unknown_variable(self):
+        with pytest.raises(KeyError):
+            AffineIndex.var("k").bounds(self.loops)
+
+    @given(st.integers(-4, 4), st.integers(-10, 10))
+    def test_bounds_contain_all_values(self, coeff, offset):
+        idx = AffineIndex({"i": coeff}, offset)
+        lo, hi = idx.bounds(self.loops)
+        for i in range(0, 10):
+            assert lo <= idx.evaluate({"i": i}) <= hi
+
+
+class TestAffineIndexStride:
+    def test_unit(self):
+        loops = {"i": Loop("i", 0, 10)}
+        assert AffineIndex.var("i").stride(loops) == 1
+
+    def test_coefficient_scales_stride(self):
+        loops = {"i": Loop("i", 0, 10)}
+        assert AffineIndex.var("i", 3).stride(loops) == 3
+
+    def test_loop_step_scales_stride(self):
+        loops = {"i": Loop("i", 0, 10, step=2)}
+        assert AffineIndex.var("i").stride(loops) == 2
+
+    def test_gcd_of_two_vars(self):
+        loops = {"i": Loop("i", 0, 4), "j": Loop("j", 0, 4)}
+        idx = AffineIndex({"i": 4, "j": 6})
+        assert idx.stride(loops) == 2
+
+    def test_constant_has_zero_stride(self):
+        assert AffineIndex.const(3).stride({}) == 0
+
+    def test_single_trip_loop_ignored(self):
+        loops = {"i": Loop("i", 5, 6)}
+        assert AffineIndex.var("i", 7).stride(loops) == 0
+
+
+class TestArrayAccess:
+    def test_basic(self):
+        acc = ArrayAccess("a", (AffineIndex.var("i"),), AccessKind.STORE)
+        assert acc.is_store and not acc.is_load
+        assert acc.rank == 1
+
+    def test_requires_subscripts(self):
+        with pytest.raises(ValueError):
+            ArrayAccess("a", ())
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            ArrayAccess("", (AffineIndex.var("i"),))
+
+    def test_variables_union(self):
+        acc = ArrayAccess(
+            "a", (AffineIndex.var("i"), AffineIndex.var("j"))
+        )
+        assert acc.variables() == frozenset({"i", "j"})
+
+    def test_innermost_coefficient(self):
+        acc = ArrayAccess(
+            "a", (AffineIndex.var("i"), AffineIndex.var("j", 4))
+        )
+        assert acc.innermost_coefficient("j") == 4
+        assert acc.innermost_coefficient("i") == 0

@@ -1,0 +1,176 @@
+"""Tests for the skeleton text format parser."""
+
+import pytest
+
+from repro.datausage import analyze_transfers
+from repro.skeleton import ArrayKind, DType
+from repro.skeleton.parser import (
+    SkeletonParseError,
+    parse_skeleton,
+    parse_skeleton_file,
+)
+
+HOTSPOT = """
+program hotspot
+array temp[64][64] f32
+array power[64][64] f32
+array out[64][64] f32
+
+kernel step
+  parfor i in 1..63
+  parfor j in 1..63
+  stmt flops=14
+    load temp[i][j]
+    load temp[i-1][j]     # north tap
+    load temp[i+1][j]
+    load temp[i][j-1]
+    load temp[i][j+1]
+    load power[i][j]
+    store out[i][j]
+"""
+
+
+class TestBasicParsing:
+    def test_hotspot_roundtrip(self):
+        prog = parse_skeleton(HOTSPOT)
+        assert prog.name == "hotspot"
+        assert [a.name for a in prog.arrays] == ["temp", "power", "out"]
+        kernel = prog.kernels[0]
+        assert kernel.name == "step"
+        assert kernel.parallel_iterations == 62 * 62
+        assert kernel.loads_per_iteration() == 6
+        assert kernel.flops_per_iteration == 14
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = parse_skeleton(
+            "# leading comment\n\nprogram p\narray a[4]\n"
+            "kernel k\n parfor i in 0..4\n stmt flops=1\n  load a[i]\n"
+        )
+        assert prog.name == "p"
+
+    def test_analysis_ready(self):
+        plan = analyze_transfers(parse_skeleton(HOTSPOT))
+        assert {t.array for t in plan.inputs} == {"temp", "power"}
+        assert {t.array for t in plan.outputs} == {"out"}
+
+    def test_dtypes_and_sparse(self):
+        prog = parse_skeleton(
+            "program p\n"
+            "array a[8] c128\n"
+            "array s[8] f64 sparse\n"
+            "kernel k\n parfor i in 0..8\n stmt\n  load a[i]\n  load s[i]\n"
+            "  store a[i]\n"
+        )
+        assert prog.array("a").dtype is DType.complex128
+        assert prog.array("s").kind is ArrayKind.SPARSE
+
+    def test_temporaries(self):
+        prog = parse_skeleton(
+            "program p\narray a[8]\narray t[8]\ntemporary t\n"
+            "kernel k\n parfor i in 0..8\n stmt\n  load a[i]\n  store t[i]\n"
+        )
+        assert prog.temporaries == frozenset({"t"})
+
+    def test_serial_loop_with_step(self):
+        prog = parse_skeleton(
+            "program p\narray a[64]\n"
+            "kernel k\n parfor i in 0..8\n for k in 0..16 step 2\n"
+            " stmt flops=1\n  load a[k]\n"
+        )
+        loop = prog.kernels[0].loops[1]
+        assert not loop.parallel and loop.step == 2 and loop.trip_count == 8
+
+    def test_gather_with_dims(self):
+        prog = parse_skeleton(
+            "program p\narray x[16][32]\narray y[16][32]\n"
+            "kernel k\n parfor r in 0..16\n parfor j in 0..32\n"
+            " stmt flops=1\n  gather x[r][j] dims=0\n  store y[r][j]\n"
+        )
+        access = prog.kernels[0].accesses()[0]
+        assert access.indirect and access.indirect_dims == (0,)
+
+    def test_amortize_and_prob(self):
+        prog = parse_skeleton(
+            "program p\narray a[8]\narray b[8]\n"
+            "kernel k\n parfor i in 0..8\n for t in 0..4\n"
+            " stmt flops=1 prob=0.5 amortize=i\n  load a[i]\n"
+            " stmt flops=2\n  load b[i]\n"
+        )
+        s0, s1 = prog.kernels[0].statements
+        assert s0.branch_prob == 0.5
+        assert s0.amortize == ("i",)
+        assert s1.amortize is None
+
+
+class TestAffineSubscripts:
+    @pytest.mark.parametrize(
+        "expr,coeffs,offset",
+        [
+            ("i", {"i": 1}, 0),
+            ("i+1", {"i": 1}, 1),
+            ("i - 3", {"i": 1}, -3),
+            ("2*i", {"i": 2}, 0),
+            ("2*i - 1", {"i": 2}, -1),
+            ("8*i+j", {"i": 8, "j": 1}, 0),
+            ("5", {}, 5),
+            ("-2 + i", {"i": 1}, -2),
+        ],
+    )
+    def test_expressions(self, expr, coeffs, offset):
+        prog = parse_skeleton(
+            "program p\narray a[1024]\n"
+            "kernel k\n parfor i in 3..8\n parfor j in 3..8\n"
+            f" stmt\n  load a[{expr}]\n  store a[i]\n"
+        )
+        idx = prog.kernels[0].accesses()[0].indices[0]
+        assert dict(idx.coeffs) == coeffs
+        assert idx.offset == offset
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("array a[4]", "program"),
+            ("program p\nprogram q", "duplicate"),
+            ("program p\nfrobnicate", "unknown directive"),
+            ("program p\narray a[4]\nkernel k\n stmt\n  load a[i]",
+             "invalid program"),
+            ("program p\narray a[4]\nkernel k\n parfor i in 0..4\n"
+             "  load a[i]", "outside a stmt"),
+            ("program p\narray a[4] q16", "unknown array attribute"),
+            ("program p\narray a[4]\nkernel k\n parfor i in 0..4\n stmt\n",
+             "no accesses"),
+            ("program p\narray a[4]\nkernel k\n parfor i in zero..4\n",
+             "expected <lo>..<hi>"),
+            ("program p\narray a[4]\nkernel k\n parfor i in 0..4\n"
+             " stmt\n  load a[i*i]", "subscript term"),
+        ],
+    )
+    def test_malformed(self, text, fragment):
+        with pytest.raises(SkeletonParseError, match=fragment):
+            parse_skeleton(text)
+
+    def test_empty_input(self):
+        with pytest.raises(SkeletonParseError, match="empty skeleton"):
+            parse_skeleton("# nothing here\n")
+
+    def test_invalid_program_rejected(self):
+        # Out-of-bounds access caught by validation at build time.
+        with pytest.raises(SkeletonParseError, match="invalid program"):
+            parse_skeleton(
+                "program p\narray a[4]\nkernel k\n parfor i in 0..8\n"
+                " stmt\n  load a[i]\n"
+            )
+
+
+class TestFileParsing:
+    def test_bundled_examples_parse(self):
+        for name in ("jacobi2d", "spmv"):
+            prog = parse_skeleton_file(f"examples/skeletons/{name}.skel")
+            assert prog.kernels
+
+    def test_from_tmp_file(self, tmp_path):
+        path = tmp_path / "mini.skel"
+        path.write_text(HOTSPOT)
+        assert parse_skeleton_file(path).name == "hotspot"

@@ -1,0 +1,290 @@
+"""Tests for loops, statements, kernels, programs, and validation."""
+
+import pytest
+
+from repro.skeleton import (
+    AccessKind,
+    AffineIndex,
+    ArrayAccess,
+    ArrayDecl,
+    ArrayKind,
+    DType,
+    KernelBuilder,
+    KernelSkeleton,
+    Loop,
+    ProgramBuilder,
+    SkeletonError,
+    Statement,
+    validate_kernel,
+)
+
+
+class TestLoop:
+    def test_trip_count(self):
+        assert Loop("i", 0, 10).trip_count == 10
+        assert Loop("i", 0, 10, 3).trip_count == 4
+        assert Loop("i", 2, 8, 2).trip_count == 3
+
+    def test_last(self):
+        assert Loop("i", 0, 10, 3).last == 9
+        assert Loop("i", 2, 8, 2).last == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", 5, 5)
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            Loop("i", 0, 10, 0)
+
+    def test_with_bounds_preserves_flags(self):
+        l = Loop("i", 0, 10, parallel=True).with_bounds(0, 5)
+        assert l.parallel and l.upper == 5
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.float32.size_bytes == 4
+        assert DType.complex64.size_bytes == 8
+        assert DType.complex128.size_bytes == 16
+
+    def test_flags(self):
+        assert DType.complex64.is_complex
+        assert DType.float32.is_floating
+        assert not DType.int32.is_floating
+
+
+class TestArrayDecl:
+    def test_size_bytes(self):
+        a = ArrayDecl("a", (1024, 1024), DType.float32)
+        assert a.size_bytes == 4 * 1024 * 1024
+        assert a.element_count == 1024 * 1024
+        assert a.rank == 2
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", ())
+        with pytest.raises(ValueError):
+            ArrayDecl("a", (0,))
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("", (4,))
+
+
+class TestStatement:
+    def _acc(self, kind):
+        return ArrayAccess("a", (AffineIndex.var("i"),), kind)
+
+    def test_load_store_partition(self):
+        s = Statement(
+            (self._acc(AccessKind.LOAD), self._acc(AccessKind.STORE)), flops=2
+        )
+        assert len(s.loads) == 1 and len(s.stores) == 1
+        assert s.arrays() == frozenset({"a"})
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            Statement((self._acc(AccessKind.LOAD),), flops=-1)
+
+    def test_branch_prob_bounds(self):
+        with pytest.raises(ValueError):
+            Statement((self._acc(AccessKind.LOAD),), branch_prob=0.0)
+        with pytest.raises(ValueError):
+            Statement((self._acc(AccessKind.LOAD),), branch_prob=1.5)
+
+
+def _simple_kernel(n=100, parallel=True):
+    kb = KernelBuilder("k").loop("i", n, parallel=parallel)
+    kb.load("a", "i").store("b", "i").statement(flops=3)
+    return kb.build()
+
+
+class TestKernelSkeleton:
+    def test_work_accounting(self):
+        k = _simple_kernel(100)
+        assert k.parallel_iterations == 100
+        assert k.serial_iterations == 1
+        assert k.total_iterations == 100
+        assert k.flops_per_iteration == 3
+        assert k.total_flops == 300
+        assert k.loads_per_iteration() == 1
+        assert k.stores_per_iteration() == 1
+
+    def test_reads_writes(self):
+        k = _simple_kernel()
+        assert k.reads() == frozenset({"a"})
+        assert k.writes() == frozenset({"b"})
+
+    def test_serial_and_parallel_mix(self):
+        kb = KernelBuilder("k").parallel_loop("i", 10).loop("t", 5)
+        kb.load("a", "i").statement(flops=1)
+        k = kb.build()
+        assert k.parallel_iterations == 10
+        assert k.serial_iterations == 5
+        assert k.total_iterations == 50
+
+    def test_duplicate_loop_var_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            KernelSkeleton(
+                "k",
+                (Loop("i", 0, 4), Loop("i", 0, 4)),
+                (
+                    Statement(
+                        (ArrayAccess("a", (AffineIndex.var("i"),)),), 1.0
+                    ),
+                ),
+            )
+
+    def test_needs_loops_and_statements(self):
+        stmt = Statement((ArrayAccess("a", (AffineIndex.var("i"),)),), 1.0)
+        with pytest.raises(ValueError):
+            KernelSkeleton("k", (), (stmt,))
+        with pytest.raises(ValueError):
+            KernelSkeleton("k", (Loop("i", 0, 4),), ())
+
+    def test_branch_prob_weights_flops(self):
+        kb = KernelBuilder("k").loop("i", 10)
+        kb.load("a", "i").statement(flops=10, branch_prob=0.5)
+        k = kb.build()
+        assert k.flops_per_iteration == 5.0
+
+
+class TestBuilderErrors:
+    def test_statement_without_accesses(self):
+        with pytest.raises(ValueError, match="no queued accesses"):
+            KernelBuilder("k").loop("i", 4).statement()
+
+    def test_unclosed_accesses(self):
+        kb = KernelBuilder("k").loop("i", 4).load("a", "i")
+        with pytest.raises(ValueError, match="without a closing"):
+            kb.build()
+
+    def test_subscript_coercion(self):
+        kb = KernelBuilder("k").loop("i", 4)
+        kb.load("a", ("i", 2, 1)).load("b", 0).store("c", "i").statement()
+        k = kb.build()
+        acc = k.accesses()[0]
+        assert acc.indices[0].coefficient("i") == 2
+        assert acc.indices[0].offset == 1
+
+
+class TestValidation:
+    def _env(self):
+        return {
+            "a": ArrayDecl("a", (100,)),
+            "s": ArrayDecl("s", (50,), kind=ArrayKind.SPARSE),
+        }
+
+    def test_valid_kernel_passes(self):
+        k = (
+            KernelBuilder("k")
+            .loop("i", 100)
+            .load("a", "i")
+            .statement()
+            .build()
+        )
+        validate_kernel(k, self._env())
+
+    def test_undeclared_array(self):
+        k = (
+            KernelBuilder("k")
+            .loop("i", 10)
+            .load("zzz", "i")
+            .statement()
+            .build()
+        )
+        with pytest.raises(SkeletonError, match="undeclared"):
+            validate_kernel(k, self._env())
+
+    def test_rank_mismatch(self):
+        k = (
+            KernelBuilder("k")
+            .loop("i", 10)
+            .load("a", "i", "i")
+            .statement()
+            .build()
+        )
+        with pytest.raises(SkeletonError, match="rank"):
+            validate_kernel(k, self._env())
+
+    def test_out_of_bounds(self):
+        k = (
+            KernelBuilder("k")
+            .loop("i", 101)
+            .load("a", "i")
+            .statement()
+            .build()
+        )
+        with pytest.raises(SkeletonError, match="outside"):
+            validate_kernel(k, self._env())
+
+    def test_negative_subscript_bound(self):
+        k = (
+            KernelBuilder("k")
+            .loop("i", 10)
+            .load("a", ("i", 1, -1))
+            .statement()
+            .build()
+        )
+        with pytest.raises(SkeletonError, match="outside"):
+            validate_kernel(k, self._env())
+
+    def test_sparse_skips_bounds(self):
+        # Sparse arrays have data-dependent subscripts; static bounds are
+        # not enforced.
+        k = (
+            KernelBuilder("k")
+            .loop("i", 1000)
+            .load("s", "i")
+            .statement()
+            .build()
+        )
+        validate_kernel(k, self._env())
+
+    def test_unknown_loop_variable(self):
+        stmt = Statement((ArrayAccess("a", (AffineIndex.var("q"),)),), 1.0)
+        k = KernelSkeleton("k", (Loop("i", 0, 10),), (stmt,))
+        with pytest.raises(SkeletonError, match="loop variables"):
+            validate_kernel(k, self._env())
+
+
+class TestProgramSkeleton:
+    def _program(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", (100,)).array("b", (100,))
+        kb = KernelBuilder("k1").parallel_loop("i", 100)
+        kb.load("a", "i").store("b", "i").statement(flops=1)
+        pb.kernel(kb)
+        return pb
+
+    def test_build_and_lookup(self):
+        p = self._program().build()
+        assert p.array("a").name == "a"
+        assert p.kernel("k1").name == "k1"
+        assert p.total_flops == 100
+
+    def test_missing_array_lookup(self):
+        p = self._program().build()
+        with pytest.raises(KeyError):
+            p.array("zzz")
+        with pytest.raises(KeyError):
+            p.kernel("zzz")
+
+    def test_duplicate_arrays_rejected(self):
+        pb = self._program()
+        pb.array("a", (5,))
+        with pytest.raises(ValueError, match="twice"):
+            pb.build()
+
+    def test_unknown_temporary_rejected(self):
+        pb = self._program().temporary("nope")
+        with pytest.raises(ValueError, match="undeclared"):
+            pb.build()
+
+    def test_builder_validates_kernels(self):
+        pb = ProgramBuilder("p").array("a", (10,))
+        kb = KernelBuilder("bad").loop("i", 20)
+        kb.load("a", "i").statement()
+        with pytest.raises(SkeletonError):
+            pb.kernel(kb)

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    lines: list[str] = []
+    code = main(list(argv), out=lambda s: lines.append(str(s)))
+    return code, "\n".join(lines)
+
+
+class TestListCommand:
+    def test_lists_all_workloads(self):
+        code, out = run_cli("list")
+        assert code == 0
+        for name in ("CFD", "HotSpot", "SRAD", "Stassuij", "VectorAdd"):
+            assert name in out
+        assert "97K" in out
+
+
+class TestCalibrateCommand:
+    def test_prints_both_directions(self):
+        code, out = run_cli("calibrate")
+        assert code == 0
+        assert "host->device" in out and "device->host" in out
+        assert "GB/s" in out
+
+    def test_seed_changes_numbers(self):
+        _, a = run_cli("--seed", "1", "calibrate")
+        _, b = run_cli("--seed", "2", "calibrate")
+        assert a != b
+
+
+class TestProjectCommand:
+    def test_stassuij_verdict(self):
+        code, out = run_cli("project", "Stassuij")
+        assert code == 0
+        assert "NOT worth porting" in out
+        assert "kernel-only would claim" in out
+
+    def test_iterative_verdict_flips(self):
+        _, one = run_cli("project", "SRAD", "--iterations", "1")
+        _, many = run_cli("project", "SRAD", "--iterations", "100")
+        assert "speedup" in one and "speedup" in many
+
+    def test_dataset_selection(self):
+        code, out = run_cli("project", "HotSpot", "--dataset", "64 x 64")
+        assert code == 0
+        assert "64 x 64" in out
+
+    def test_allocation_flag(self):
+        code, out = run_cli("project", "SRAD", "--allocation")
+        assert code == 0
+        assert "allocation time" in out
+
+    def test_unknown_workload(self):
+        code, out = run_cli("project", "nope")
+        assert code == 2
+        assert "error" in out.lower()
+
+
+class TestProjectFileCommand:
+    def test_bundled_skeleton(self):
+        code, out = run_cli(
+            "project-file", "examples/skeletons/jacobi2d.skel",
+            "--cpu-ms", "11",
+        )
+        assert code == 0
+        assert "jacobi2d" in out
+        assert "transfer:" in out
+        assert "speedup" in out
+
+    def test_without_cpu_time_no_verdict(self):
+        code, out = run_cli(
+            "project-file", "examples/skeletons/spmv.skel"
+        )
+        assert code == 0
+        assert "worth porting" not in out
+
+    def test_iterations_flag(self):
+        code, out = run_cli(
+            "project-file", "examples/skeletons/jacobi2d.skel",
+            "--iterations", "50",
+        )
+        assert code == 0
+        assert "50 iteration(s)" in out
+
+
+class TestAdviseCommand:
+    def test_small_hotspot_prefers_pageable(self):
+        code, out = run_cli("advise", "HotSpot", "--dataset", "64 x 64")
+        assert code == 0
+        assert "pageable" in out
+
+    def test_reuses_flip_recommendation(self):
+        code, out = run_cli(
+            "advise", "HotSpot", "--dataset", "64 x 64", "--reuses", "100"
+        )
+        assert code == 0
+        assert "use pinned" in out
+
+
+class TestArtifactsCommand:
+    def test_writes_directory(self, tmp_path):
+        code, out = run_cli("artifacts", str(tmp_path), "--no-charts")
+        assert code == 0
+        assert "wrote" in out
+        assert (tmp_path / "summary.md").exists()
+        assert (tmp_path / "table2.md").exists()
+
+
+class TestExperimentCommand:
+    @pytest.mark.parametrize("exp", ["table1", "table2"])
+    def test_tables(self, exp):
+        code, out = run_cli("experiment", exp)
+        assert code == 0
+        assert "CFD" in out and "Stassuij" in out
+
+    def test_markdown_format(self):
+        code, out = run_cli("experiment", "table2", "--format", "markdown")
+        assert code == 0
+        assert "| Application |" in out
+
+    def test_csv_format(self):
+        code, out = run_cli("experiment", "table1", "--format", "csv")
+        assert code == 0
+        assert out.splitlines()[0].startswith("Application,")
+
+    def test_figure_chart(self):
+        code, out = run_cli("experiment", "fig12", "--chart")
+        assert code == 0
+        assert "log x" in out and "measured" in out
+
+    def test_figure_table(self):
+        code, out = run_cli("experiment", "fig8")
+        assert code == 0
+        assert "iterations" in out
+
+    def test_compare_experiment(self):
+        code, out = run_cli("experiment", "compare")
+        assert code == 0
+        assert "metrics within tolerance" in out
+        assert "Stassuij measured speedup" in out
+
+    def test_chart_fallback_for_tables(self):
+        code, out = run_cli("experiment", "table1", "--chart")
+        assert code == 0
+        assert "no chart form" in out
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("experiment", "fig99")

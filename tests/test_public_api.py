@@ -1,0 +1,70 @@
+"""The top-level public API surface must stay importable and coherent."""
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_flow(self):
+        """The README's quickstart snippet, verbatim in spirit."""
+        n = 1 << 16
+        pb = repro.ProgramBuilder("vectoradd")
+        pb.array("a", (n,)).array("b", (n,)).array("c", (n,))
+        kb = repro.KernelBuilder("add").parallel_loop("i", n)
+        kb.load("a", "i").load("b", "i").store("c", "i").statement(flops=1)
+        program = pb.kernel(kb).build()
+
+        testbed = repro.argonne_testbed()
+        bus = repro.calibrate_bus(testbed.bus)
+        projection = repro.GrophecyPlusPlus(
+            repro.quadro_fx_5600(), bus
+        ).project(program)
+        assert projection.transfer_fraction > 0.5
+        assert projection.speedup(22e-3) > 0
+
+    def test_every_subpackage_importable(self):
+        import importlib
+
+        for module in (
+            "repro.util",
+            "repro.skeleton",
+            "repro.brs",
+            "repro.datausage",
+            "repro.pcie",
+            "repro.gpu",
+            "repro.transform",
+            "repro.cpu",
+            "repro.sim",
+            "repro.core",
+            "repro.workloads",
+            "repro.harness",
+            "repro.cli",
+        ):
+            mod = importlib.import_module(module)
+            assert mod.__doc__, f"{module} lacks a module docstring"
+
+    def test_subpackage_alls_resolve(self):
+        import importlib
+
+        for module in (
+            "repro.util",
+            "repro.skeleton",
+            "repro.brs",
+            "repro.datausage",
+            "repro.pcie",
+            "repro.gpu",
+            "repro.transform",
+            "repro.sim",
+            "repro.core",
+            "repro.workloads",
+            "repro.cpu",
+        ):
+            mod = importlib.import_module(module)
+            for name in getattr(mod, "__all__", ()):
+                assert hasattr(mod, name), f"{module}.{name}"

@@ -1,0 +1,70 @@
+"""Tests for the explorer's diagnostic table and the new arch preset."""
+
+import pytest
+
+from repro.gpu import (
+    GpuPerformanceModel,
+    quadro_fx_5600,
+    tesla_c1060,
+)
+from repro.transform.explorer import explore_kernel
+from repro.transform.space import TransformationSpace
+from repro.workloads import HotSpot
+
+
+@pytest.fixture(scope="module")
+def projection():
+    w = HotSpot()
+    program = w.skeleton(w.dataset("512 x 512"))
+    model = GpuPerformanceModel(quadro_fx_5600())
+    return explore_kernel(program.kernels[0], program, model)
+
+
+class TestSearchTable:
+    def test_full_table(self, projection):
+        table = projection.as_table()
+        assert len(table.rows) == projection.search_width
+        text = table.render()
+        assert "<- best" in text
+        assert "transformation search" in text
+
+    def test_fastest_first(self, projection):
+        table = projection.as_table(top=5)
+        assert len(table.rows) == 5
+        times = [float(r[1]) for r in table.rows]
+        assert times == sorted(times)
+        assert "<- best" in table.rows[0][0]
+
+    def test_skipped_rows_included(self):
+        w = HotSpot()
+        program = w.skeleton(w.dataset("512 x 512"))
+        model = GpuPerformanceModel(quadro_fx_5600())
+        space = TransformationSpace(
+            block_sizes=(256, 1024),  # 1024 unlaunchable on FX 5600
+            shared_memory_options=(False,),
+            unroll_factors=(1,),
+        )
+        proj = explore_kernel(program.kernels[0], program, model, space)
+        text = proj.as_table().render()
+        assert "skipped:" in text
+
+
+class TestTeslaPreset:
+    def test_parameters(self):
+        arch = tesla_c1060()
+        assert arch.num_sms == 30
+        assert not arch.strict_coalescing
+
+    def test_stencil_faster_than_g80(self):
+        """Relaxed coalescing + more bandwidth: the stencil speeds up."""
+        w = HotSpot()
+        program = w.skeleton(w.dataset("1024 x 1024"))
+        old = explore_kernel(
+            program.kernels[0], program,
+            GpuPerformanceModel(quadro_fx_5600()),
+        )
+        new = explore_kernel(
+            program.kernels[0], program,
+            GpuPerformanceModel(tesla_c1060()),
+        )
+        assert new.seconds < old.seconds

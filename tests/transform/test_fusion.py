@@ -1,0 +1,149 @@
+"""Tests for iteration fusion (temporal blocking) and thread coarsening."""
+
+import pytest
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.model import GpuPerformanceModel
+from repro.transform.fusion import (
+    best_fusion,
+    fused_characteristics,
+    stencil_shape,
+)
+from repro.transform.space import MappingConfig, TransformationSpace
+from repro.transform.synthesize import synthesize_characteristics
+from repro.workloads import Cfd, HotSpot, Srad
+
+
+@pytest.fixture(scope="module")
+def hotspot_kernel():
+    w = HotSpot()
+    prog = w.skeleton(w.dataset("1024 x 1024"))
+    return prog.kernels[0], prog.array_map
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GpuPerformanceModel(quadro_fx_5600())
+
+
+class TestStencilShape:
+    def test_hotspot_recognized(self, hotspot_kernel):
+        kernel, arrays = hotspot_kernel
+        shape = stencil_shape(kernel, arrays)
+        assert shape is not None
+        assert shape.array == "temp"
+        assert shape.taps == 5
+        assert shape.radius == 1
+        assert shape.secondary_loads == pytest.approx(1.0)  # power
+
+    def test_srad_prepare_recognized(self):
+        w = Srad()
+        prog = w.skeleton(w.dataset("1024 x 1024"))
+        shape = stencil_shape(prog.kernel("srad_prepare"), prog.array_map)
+        assert shape is not None and shape.array == "J"
+
+    def test_cfd_gather_rejected(self):
+        w = Cfd()
+        prog = w.skeleton(w.datasets()[0])
+        assert stencil_shape(prog.kernel("compute_flux"), prog.array_map) is None
+
+    def test_one_dimensional_rejected(self):
+        w = Cfd()
+        prog = w.skeleton(w.datasets()[0])
+        assert (
+            stencil_shape(prog.kernel("time_step"), prog.array_map) is None
+        )
+
+
+class TestFusedCharacteristics:
+    def test_traffic_decreases_with_fusion(self, hotspot_kernel):
+        kernel, arrays = hotspot_kernel
+        c1 = fused_characteristics(kernel, arrays, 1)
+        c4 = fused_characteristics(kernel, arrays, 4)
+        # Per launch covering 4 steps, global traffic is far below 4x.
+        assert c4.mem_insts_per_thread < 2 * c1.mem_insts_per_thread
+
+    def test_compute_and_syncs_grow(self, hotspot_kernel):
+        kernel, arrays = hotspot_kernel
+        c1 = fused_characteristics(kernel, arrays, 1)
+        c4 = fused_characteristics(kernel, arrays, 4)
+        assert c4.comp_insts_per_thread > 3 * c1.comp_insts_per_thread
+        assert c4.syncs_per_thread == pytest.approx(8.0)
+        assert c4.shared_mem_per_block > c1.shared_mem_per_block
+
+    def test_rejects_non_stencil(self):
+        w = Cfd()
+        prog = w.skeleton(w.datasets()[0])
+        with pytest.raises(ValueError, match="not a fusable"):
+            fused_characteristics(
+                prog.kernel("compute_flux"), prog.array_map, 2
+            )
+
+    def test_rejects_bad_factor(self, hotspot_kernel):
+        kernel, arrays = hotspot_kernel
+        with pytest.raises(ValueError):
+            fused_characteristics(kernel, arrays, 0)
+
+
+class TestBestFusion:
+    def test_fusion_helps_hotspot(self, hotspot_kernel, model):
+        kernel, arrays = hotspot_kernel
+        choice = best_fusion(kernel, arrays, model)
+        unfused = model.kernel_time(
+            fused_characteristics(kernel, arrays, 1)
+        )
+        assert choice.fusion > 1
+        assert choice.seconds_per_iteration < unfused
+
+    def test_diminishing_returns(self, hotspot_kernel, model):
+        """Per-iteration gains shrink as redundancy catches up."""
+        kernel, arrays = hotspot_kernel
+        times = []
+        for t in (1, 2, 4, 8):
+            chars = fused_characteristics(kernel, arrays, t)
+            times.append(model.kernel_time(chars) / t)
+        gain_early = times[0] / times[1]
+        gain_late = times[2] / times[3]
+        assert gain_early > gain_late
+
+    def test_always_returns_legal_choice(self, hotspot_kernel, model):
+        kernel, arrays = hotspot_kernel
+        choice = best_fusion(kernel, arrays, model, max_fusion=1)
+        assert choice.fusion == 1
+
+
+class TestThreadCoarsening:
+    def _stencil(self):
+        w = HotSpot()
+        prog = w.skeleton(w.dataset("512 x 512"))
+        return prog.kernels[0], prog.array_map
+
+    def test_coarsening_reduces_threads(self):
+        kernel, arrays = self._stencil()
+        base = synthesize_characteristics(kernel, arrays, MappingConfig())
+        coarse = synthesize_characteristics(
+            kernel, arrays, MappingConfig(coarsening=4)
+        )
+        assert coarse.threads == pytest.approx(base.threads / 4, abs=1)
+        assert coarse.mem_insts_per_thread == pytest.approx(
+            4 * base.mem_insts_per_thread
+        )
+        assert coarse.registers_per_thread > base.registers_per_thread
+
+    def test_total_work_preserved(self):
+        kernel, arrays = self._stencil()
+        base = synthesize_characteristics(kernel, arrays, MappingConfig())
+        coarse = synthesize_characteristics(
+            kernel, arrays, MappingConfig(coarsening=2)
+        )
+        assert coarse.total_mem_insts == pytest.approx(
+            base.total_mem_insts, rel=0.01
+        )
+
+    def test_wide_space_contains_coarsening(self):
+        space = TransformationSpace.wide()
+        assert len(space) == 8 * 2 * 3 * 3
+        assert any(c.coarsening == 4 for c in space)
+
+    def test_label(self):
+        assert MappingConfig(64, coarsening=2).label() == "b64+c2"

@@ -1,0 +1,198 @@
+"""Tests for characteristic synthesis (the GROPHECY analysis core)."""
+
+import pytest
+
+from repro.skeleton import (
+    ArrayDecl,
+    ArrayKind,
+    DType,
+    KernelBuilder,
+)
+from repro.skeleton.access import AccessKind, AffineIndex, ArrayAccess
+from repro.transform.space import MappingConfig
+from repro.transform.synthesize import (
+    access_is_coalesced,
+    synthesize_characteristics,
+)
+
+
+def stencil_kernel(n=256):
+    kb = KernelBuilder("stencil")
+    kb.parallel_loop("i", n - 1, 1).parallel_loop("j", n - 1, 1)
+    kb.load("src", "i", "j")
+    kb.load("src", ("i", 1, -1), "j")
+    kb.load("src", ("i", 1, 1), "j")
+    kb.load("src", "i", ("j", 1, -1))
+    kb.load("src", "i", ("j", 1, 1))
+    kb.store("dst", "i", "j")
+    kb.statement(flops=5)
+    return kb.build()
+
+
+def arrays(n=256):
+    return {
+        "src": ArrayDecl("src", (n, n)),
+        "dst": ArrayDecl("dst", (n, n)),
+        "sp": ArrayDecl("sp", (n,), DType.float32, ArrayKind.SPARSE),
+    }
+
+
+class TestAccessIsCoalesced:
+    def _acc(self, *indices, indirect=False, dims=()):
+        return ArrayAccess(
+            "src", tuple(indices), AccessKind.LOAD,
+            indirect=indirect, indirect_dims=dims,
+        )
+
+    def test_unit_stride_aligned(self):
+        acc = self._acc(AffineIndex.var("i"), AffineIndex.var("j"))
+        assert access_is_coalesced(acc, "j", arrays()["src"])
+
+    def test_row_shift_still_coalesced(self):
+        # src[i-1][j]: rows shift, columns aligned.
+        acc = self._acc(AffineIndex.var("i", 1, -1), AffineIndex.var("j"))
+        assert access_is_coalesced(acc, "j", arrays()["src"])
+
+    def test_column_shift_misaligned_strict(self):
+        acc = self._acc(AffineIndex.var("i"), AffineIndex.var("j", 1, -1))
+        assert not access_is_coalesced(acc, "j", arrays()["src"], strict=True)
+        assert access_is_coalesced(acc, "j", arrays()["src"], strict=False)
+
+    def test_thread_in_slow_dim_uncoalesced(self):
+        # src[j][i]: consecutive threads jump whole rows.
+        acc = self._acc(AffineIndex.var("j"), AffineIndex.var("i"))
+        assert not access_is_coalesced(acc, "j", arrays()["src"])
+
+    def test_broadcast_coalesced(self):
+        acc = self._acc(AffineIndex.const(0), AffineIndex.var("k"))
+        assert access_is_coalesced(acc, "j", arrays()["src"])
+
+    def test_strided_threads_uncoalesced(self):
+        acc = self._acc(AffineIndex.var("i"), AffineIndex.var("j", 2))
+        assert not access_is_coalesced(acc, "j", arrays()["src"])
+
+    def test_sparse_never_coalesced(self):
+        acc = ArrayAccess("sp", (AffineIndex.var("j"),))
+        assert not access_is_coalesced(acc, "j", arrays()["sp"])
+
+    def test_indirect_fast_dim_uncoalesced(self):
+        acc = self._acc(
+            AffineIndex.const(0), AffineIndex.var("j"),
+            indirect=True, dims=(1,),
+        )
+        assert not access_is_coalesced(acc, "j", arrays()["src"])
+
+    def test_indirect_slow_dim_coalesced(self):
+        # x[cols[k]][j]: the Stassuij pattern.
+        acc = self._acc(
+            AffineIndex.var("k"), AffineIndex.var("j"),
+            indirect=True, dims=(0,),
+        )
+        assert access_is_coalesced(acc, "j", arrays()["src"])
+
+    def test_fully_indirect_uncoalesced(self):
+        acc = self._acc(
+            AffineIndex.var("i"), AffineIndex.var("j"), indirect=True
+        )
+        assert not access_is_coalesced(acc, "j", arrays()["src"])
+
+
+class TestSynthesis:
+    def test_basic_accounting(self):
+        chars = synthesize_characteristics(
+            stencil_kernel(), arrays(), MappingConfig(block_size=256)
+        )
+        assert chars.threads == 254 * 254  # interior loops [1, 255)
+        assert chars.mem_insts_per_thread == pytest.approx(6.0)
+        # 2 of 6 accesses (the j+-1 taps) misalign under strict rules.
+        assert chars.coalesced_fraction == pytest.approx(4 / 6)
+
+    def test_relaxed_coalescing(self):
+        chars = synthesize_characteristics(
+            stencil_kernel(), arrays(), MappingConfig(),
+            strict_coalescing=False,
+        )
+        assert chars.coalesced_fraction == pytest.approx(1.0)
+
+    def test_smem_staging_reduces_loads(self):
+        base = synthesize_characteristics(
+            stencil_kernel(), arrays(), MappingConfig(use_shared_memory=False)
+        )
+        smem = synthesize_characteristics(
+            stencil_kernel(), arrays(), MappingConfig(use_shared_memory=True)
+        )
+        assert smem.mem_insts_per_thread < base.mem_insts_per_thread
+        assert smem.shared_mem_per_block > 0
+        assert smem.syncs_per_thread > 0
+        # The staged taps still execute as shared-memory instructions.
+        assert smem.comp_insts_per_thread >= 5 + 5  # flops + smem reads
+
+    def test_smem_needs_a_neighborhood(self):
+        # A single load per array: nothing to stage.
+        kb = KernelBuilder("copy").parallel_loop("i", 64)
+        kb.load("a", "i").store("b", "i").statement(flops=0)
+        env = {"a": ArrayDecl("a", (64,)), "b": ArrayDecl("b", (64,))}
+        chars = synthesize_characteristics(
+            kb.build(), env, MappingConfig(use_shared_memory=True)
+        )
+        assert chars.shared_mem_per_block == 0
+        assert chars.syncs_per_thread == 0
+
+    def test_unroll_reduces_loop_overhead(self):
+        kb = KernelBuilder("serial").parallel_loop("i", 1024).loop("t", 100)
+        kb.load("a", "i").statement(flops=2)
+        env = {"a": ArrayDecl("a", (1024,))}
+        u1 = synthesize_characteristics(kb.build(), env, MappingConfig(unroll=1))
+        u4 = synthesize_characteristics(kb.build(), env, MappingConfig(unroll=4))
+        assert u4.comp_insts_per_thread < u1.comp_insts_per_thread
+        assert u4.registers_per_thread > u1.registers_per_thread
+
+    def test_amortized_statement_weighting(self):
+        kb = KernelBuilder("amortized").parallel_loop("i", 8).loop("k", 100)
+        kb.load("meta", "i").statement(flops=0, amortize=("i",))
+        kb.load("a", "i").statement(flops=1)
+        env = {
+            "meta": ArrayDecl("meta", (8,)),
+            "a": ArrayDecl("a", (8,)),
+        }
+        chars = synthesize_characteristics(kb.build(), env, MappingConfig())
+        # meta contributes 1/100th of a load per innermost iteration.
+        assert chars.mem_insts_per_thread == pytest.approx(
+            (1.0 + 0.01) * 100
+        )
+
+    def test_complex_dtype_expands_flops(self):
+        kb = KernelBuilder("cplx").parallel_loop("i", 64)
+        kb.load("z", "i").store("z", "i").statement(flops=2)
+        env = {"z": ArrayDecl("z", (64,), DType.complex128)}
+        chars = synthesize_characteristics(kb.build(), env, MappingConfig())
+        # 2 complex flops -> 8 real ops, plus addressing overhead.
+        assert chars.comp_insts_per_thread >= 8
+
+    def test_detail_output(self):
+        chars, detail = synthesize_characteristics(
+            stencil_kernel(), arrays(), MappingConfig(use_shared_memory=True),
+            with_detail=True,
+        )
+        assert detail.map_var == "j"
+        assert detail.smem_staged_arrays == ("src",)
+        assert detail.coalesced_fraction == chars.coalesced_fraction
+
+    def test_requires_parallel_loop(self):
+        kb = KernelBuilder("serial-only").loop("i", 64)
+        kb.load("a", "i").statement(flops=1)
+        env = {"a": ArrayDecl("a", (64,))}
+        with pytest.raises(ValueError, match="no parallel loop"):
+            synthesize_characteristics(kb.build(), env, MappingConfig())
+
+    def test_traffic_weighted_bytes_per_access(self):
+        # Dominant 16B accesses must not be diluted by amortized 4B ones.
+        kb = KernelBuilder("mixed").parallel_loop("j", 2048).loop("k", 30)
+        kb.load("idx", "k").statement(flops=0, amortize=("k",))
+        kb.load("z", "j").statement(flops=1)
+        env = {
+            "idx": ArrayDecl("idx", (30,), DType.int32),
+            "z": ArrayDecl("z", (2048,), DType.complex128),
+        }
+        chars = synthesize_characteristics(kb.build(), env, MappingConfig())
+        assert chars.bytes_per_access == 16

@@ -1,0 +1,95 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.util.asciiplot import line_chart, scatter_chart
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        out = line_chart(
+            "demo", [1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=5
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("y_max")
+        body = [l for l in lines if l.startswith("|")]
+        assert len(body) == 5
+        assert all(len(l) == 22 for l in body)  # |...20 cells...|
+        assert "a" in lines[-1]  # legend
+
+    def test_monotone_series_descends_visually(self):
+        out = line_chart(
+            "m", list(range(10)), {"y": list(range(10))}, width=10, height=10
+        )
+        body = [l[1:-1] for l in out.splitlines() if l.startswith("|")]
+        # First row (max y) has the glyph at the right end.
+        assert body[0].rstrip().endswith("o")
+        assert body[-1].lstrip().startswith("o")
+
+    def test_multiple_series_glyphs(self):
+        out = line_chart(
+            "two", [1, 2], {"a": [1, 2], "b": [2, 1]}, width=12, height=4
+        )
+        assert "o = a" in out and "x = b" in out
+
+    def test_log_axes(self):
+        out = line_chart(
+            "log",
+            [1, 1024, 1024**2],
+            {"y": [1e-6, 1e-3, 1.0]},
+            log_x=True,
+            log_y=True,
+        )
+        assert "(log x)" in out and "(log y)" in out
+
+    def test_first_series_wins_collisions(self):
+        out = line_chart(
+            "same", [1, 2], {"meas": [5, 5], "pred": [5, 5]},
+            width=8, height=3,
+        )
+        body = "".join(l for l in out.splitlines() if l.startswith("|"))
+        assert "o" in body  # the first series' glyph survives
+        assert "x" not in body
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart("t", [1], {})
+        with pytest.raises(ValueError):
+            line_chart("t", [1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart("t", [0], {"a": [0.0]}, log_y=True)
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            line_chart("t", [1], series)
+
+
+class TestScatterChart:
+    def test_diagonal_present(self):
+        out = scatter_chart("s", [(1.0, 1.0)], width=10, height=10)
+        assert "." in out
+        assert "'.' = y=x" in out
+
+    def test_points_on_diagonal_when_equal(self):
+        pts = [(float(v), float(v)) for v in (1, 10, 100)]
+        out = scatter_chart("s", pts, width=20, height=20, log=True)
+        body = [l[1:-1] for l in out.splitlines() if l.startswith("|")]
+        # Every 'o' sits where the diagonal would be: the char below/above
+        # neighbors on its row are '.' or it replaced the '.' itself.
+        for r, row in enumerate(body):
+            for c, ch in enumerate(row):
+                if ch == "o":
+                    # On a square grid the y=x line is col == (h-1-r).
+                    assert abs(c * (len(body) - 1) - (len(body) - 1 - r) * (len(row) - 1)) <= (len(row) - 1)
+
+    def test_no_diagonal(self):
+        out = scatter_chart("s", [(1.0, 2.0)], diagonal=False)
+        assert "." not in "".join(
+            l for l in out.splitlines() if l.startswith("|")
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_chart("s", [])

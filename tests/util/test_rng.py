@@ -1,0 +1,75 @@
+"""Tests for repro.util.rng."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "bus", "h2d") == derive_seed(42, "bus", "h2d")
+
+    def test_path_sensitive(self):
+        assert derive_seed(42, "bus") != derive_seed(42, "gpu")
+
+    def test_root_sensitive(self):
+        assert derive_seed(1, "bus") != derive_seed(2, "bus")
+
+    def test_nesting_not_flattened(self):
+        # ("ab",) and ("a", "b") must differ: the separator matters.
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    @given(st.integers(0, 2**32), st.text(max_size=20))
+    def test_in_63bit_range(self, root, name):
+        seed = derive_seed(root, name)
+        assert 0 <= seed < 2**63
+
+
+class TestRngStream:
+    def test_same_path_same_sequence(self):
+        a = RngStream(1, "x").generator.random(5)
+        b = RngStream(1, "x").generator.random(5)
+        assert (a == b).all()
+
+    def test_forks_are_independent_and_reproducible(self):
+        parent = RngStream(1)
+        c1 = parent.fork("bus").generator.random(5)
+        c2 = parent.fork("gpu").generator.random(5)
+        c1_again = RngStream(1).fork("bus").generator.random(5)
+        assert (c1 == c1_again).all()
+        assert not (c1 == c2).all()
+
+    def test_fork_unaffected_by_parent_draws(self):
+        p1 = RngStream(3)
+        p1.uniform()  # consume parent state
+        p2 = RngStream(3)
+        assert (
+            p1.fork("child").generator.random(4)
+            == p2.fork("child").generator.random(4)
+        ).all()
+
+    def test_lognormal_factor_zero_sigma(self):
+        assert RngStream(1).lognormal_factor(0.0) == 1.0
+
+    def test_lognormal_factor_positive(self):
+        s = RngStream(1)
+        for _ in range(100):
+            assert s.lognormal_factor(0.5) > 0
+
+    def test_lognormal_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            RngStream(1).lognormal_factor(-0.1)
+
+    def test_bernoulli_bounds(self):
+        s = RngStream(1)
+        with pytest.raises(ValueError):
+            s.bernoulli(1.5)
+        assert s.bernoulli(1.0) is True
+        assert s.bernoulli(0.0) is False
+
+    def test_bernoulli_rate(self):
+        s = RngStream(123, "rate")
+        hits = sum(s.bernoulli(0.5) for _ in range(2000))
+        assert 850 < hits < 1150

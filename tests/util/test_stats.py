@@ -1,0 +1,108 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    arithmetic_mean,
+    error_magnitude,
+    geometric_mean,
+    mean_error_magnitude,
+    signed_relative_error,
+    summarize,
+)
+
+
+class TestErrorMagnitude:
+    def test_paper_example_direction_insensitive(self):
+        # Over- and under-prediction of equal relative size give the same
+        # magnitude; the paper reports magnitudes only (Fig. 6 caption).
+        assert error_magnitude(1.1, 1.0) == pytest.approx(0.10)
+        assert error_magnitude(0.9, 1.0) == pytest.approx(0.10)
+
+    def test_large_overprediction(self):
+        # Kernel-only CFD 97K: predicted speedup ~4.77x the measured one.
+        assert error_magnitude(4.77, 1.0) == pytest.approx(3.77)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            error_magnitude(1.0, 0.0)
+
+    @given(
+        st.floats(0.01, 1e6),
+        st.floats(0.01, 1e6),
+    )
+    def test_matches_signed_error_abs(self, predicted, measured):
+        assert error_magnitude(predicted, measured) == pytest.approx(
+            abs(signed_relative_error(predicted, measured))
+        )
+
+    @given(st.floats(0.01, 1e3), st.floats(0.01, 1e3), st.floats(0.1, 10))
+    def test_scale_invariant(self, predicted, measured, scale):
+        assert error_magnitude(predicted, measured) == pytest.approx(
+            error_magnitude(predicted * scale, measured * scale)
+        )
+
+
+class TestSignedRelativeError:
+    def test_sign_of_overprediction(self):
+        assert signed_relative_error(2.0, 1.0) == pytest.approx(1.0)
+        assert signed_relative_error(0.5, 1.0) == pytest.approx(-0.5)
+
+
+class TestMeanErrorMagnitude:
+    def test_simple(self):
+        got = mean_error_magnitude([1.1, 0.8], [1.0, 1.0])
+        assert got == pytest.approx((0.1 + 0.2) / 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_error_magnitude([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_error_magnitude([], [])
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_arithmetic_empty(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_geometric(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=20))
+    def test_geometric_le_arithmetic(self, values):
+        assert geometric_mean(values) <= arithmetic_mean(values) * (1 + 1e-9)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx(math.sqrt(2 / 3))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_bounds_hold(self, values):
+        s = summarize(values)
+        eps = 1e-9 * (1 + abs(s.minimum) + abs(s.maximum))
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+        assert s.std >= 0

@@ -1,0 +1,52 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table, render_series
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row(["a", 1])
+        t.add_row(["long-name", 123])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines equal width.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_no_title(self):
+        t = Table(["x"])
+        t.add_row([5])
+        assert t.render().splitlines()[0].strip() == "x"
+
+    def test_cells_coerced_to_str(self):
+        t = Table(["x"])
+        t.add_row([3.5])
+        assert "3.5" in t.render()
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        out = render_series(
+            "fig", ["1B", "2B"], {"pred": [1.0, 2.0], "meas": [1.1, 2.2]}
+        )
+        assert "fig" in out
+        assert "pred" in out and "meas" in out
+        assert "1.1" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("f", [1, 2], {"y": [1.0]})
+
+    def test_value_format(self):
+        out = render_series("f", [1], {"y": [0.123456]}, value_format="{:.2f}")
+        assert "0.12" in out

@@ -1,0 +1,80 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    bytes_to_human,
+    gb_per_s,
+    ms,
+    seconds_to_human,
+    us,
+)
+
+
+class TestByteConstants:
+    def test_binary_prefixes(self):
+        assert KiB == 2**10
+        assert MiB == 2**20
+        assert GiB == 2**30
+
+    def test_sweep_endpoint_is_512mb(self):
+        # The paper's calibration uses a 512MB large transfer.
+        assert 512 * MiB == 2**29
+
+
+class TestTimeConversions:
+    def test_us(self):
+        assert us(10) == pytest.approx(1e-5)
+
+    def test_ms(self):
+        assert ms(3.2) == pytest.approx(3.2e-3)
+
+    def test_gb_per_s_is_decimal(self):
+        # 2.5 GB/s in the paper's prose means 2.5e9 bytes/s.
+        assert gb_per_s(2.5) == pytest.approx(2.5e9)
+
+
+class TestBytesToHuman:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, "1B"),
+            (512, "512B"),
+            (KiB, "1KB"),
+            (2 * KiB, "2KB"),
+            (MiB, "1MB"),
+            (512 * MiB, "512MB"),
+            (GiB, "1GB"),
+        ],
+    )
+    def test_axis_labels(self, n, expected):
+        assert bytes_to_human(n) == expected
+
+    def test_fractional(self):
+        assert bytes_to_human(1536) == "1.50KB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_human(-1)
+
+
+class TestSecondsToHuman:
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (0.0, "0s"),
+            (5e-9, "5.0ns"),
+            (1e-5, "10.0us"),
+            (3.2e-3, "3.20ms"),
+            (2.5, "2.500s"),
+        ],
+    )
+    def test_rendering(self, t, expected):
+        assert seconds_to_human(t) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_human(-0.1)

@@ -1,0 +1,47 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_passes_and_returns(self):
+        assert check_positive("x", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_zero_ok(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+
+class TestCheckIn:
+    def test_member(self):
+        assert check_in("mode", "a", {"a", "b"}) == "a"
+
+    def test_nonmember(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_in("mode", "c", {"a", "b"})
+
+
+class TestCheckType:
+    def test_ok(self):
+        assert check_type("n", 5, int) == 5
+
+    def test_wrong(self):
+        with pytest.raises(TypeError, match="n must be int"):
+            check_type("n", "5", int)

@@ -1,0 +1,139 @@
+"""Tests for the extended-validation workloads (PathFinder, KMeans)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.context import ExperimentContext
+from repro.workloads import KMeans, PathFinder, extended_workloads
+from repro.workloads.base import Dataset
+
+
+def rng():
+    return np.random.default_rng(77)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=21)
+
+
+class TestPathFinderFunctional:
+    def _naive(self, wall, src):
+        cost = src.astype(np.float64).copy()
+        rows, cols = wall.shape
+        for r in range(rows):
+            new = np.empty(cols)
+            for j in range(cols):
+                best = cost[j]
+                if j > 0:
+                    best = min(best, cost[j - 1])
+                if j < cols - 1:
+                    best = min(best, cost[j + 1])
+                new[j] = wall[r, j] + best
+            cost = new
+        return cost
+
+    def test_matches_naive(self):
+        w = PathFinder()
+        ds = Dataset("tiny", 40)
+        inputs = {
+            "wall": rng().integers(0, 10, size=(w.rows, 40)).astype(
+                np.float32
+            ),
+            "src": np.zeros(40, dtype=np.float32),
+        }
+        got = w.run_reference(inputs)["cost"]
+        want = self._naive(inputs["wall"], inputs["src"])
+        np.testing.assert_allclose(got, want, rtol=1e-6)
+
+    def test_monotone_cost(self):
+        """Non-negative walls: the DP cost grows with depth."""
+        w = PathFinder()
+        inputs = w.make_inputs(Dataset("tiny", 64), rng())
+        cost = w.run_reference(inputs)["cost"]
+        assert (cost >= 0).all()
+
+    def test_not_iterative(self):
+        with pytest.raises(ValueError):
+            PathFinder().run_reference(
+                PathFinder().make_inputs(Dataset("t", 32), rng()),
+                iterations=2,
+            )
+
+
+class TestKMeansFunctional:
+    def test_matches_naive(self):
+        w = KMeans()
+        inputs = w.make_inputs(Dataset("tiny", 200), rng())
+        got = w.run_reference(inputs)["labels"]
+        points = inputs["points"].T  # n x dims
+        centroids = inputs["centroids"]
+        want = np.array(
+            [
+                int(np.argmin(((centroids - p) ** 2).sum(axis=1)))
+                for p in points
+            ],
+            dtype=np.int32,
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_labels_in_range(self):
+        w = KMeans()
+        inputs = w.make_inputs(Dataset("tiny", 500), rng())
+        labels = w.run_reference(inputs)["labels"]
+        assert labels.min() >= 0
+        assert labels.max() < w.clusters
+
+
+class TestExtendedValidation:
+    """The paper's future work: the pipeline on unseen applications.
+
+    No Table-I anchors exist, so "measured" is the honest, uncalibrated
+    simulator; the bands below are the framework's earned accuracy.
+    """
+
+    @pytest.mark.parametrize("workload", extended_workloads(),
+                             ids=lambda w: w.name)
+    def test_transfer_prediction_tight(self, ctx, workload):
+        for ds in workload.datasets():
+            report = ctx.report(workload, ds)
+            assert report.transfer_error < 0.05, ds.label
+
+    @pytest.mark.parametrize("workload", extended_workloads(),
+                             ids=lambda w: w.name)
+    def test_kernel_prediction_in_band(self, ctx, workload):
+        for ds in workload.datasets():
+            report = ctx.report(workload, ds)
+            assert report.kernel_error < 1.0, ds.label
+
+    @pytest.mark.parametrize("workload", extended_workloads(),
+                             ids=lambda w: w.name)
+    def test_transfer_aware_beats_kernel_only(self, ctx, workload):
+        for ds in workload.datasets():
+            report = ctx.report(workload, ds)
+            assert report.speedup_error("both") < report.speedup_error(
+                "kernel"
+            ), ds.label
+
+    def test_pathfinder_decision_flip(self, ctx):
+        """PathFinder is a second Stassuij: kernel-only says port,
+        transfers say don't — and transfers are right."""
+        w = PathFinder()
+        report = ctx.report(w, w.datasets()[0])
+        assert report.predicted_speedup("kernel") > 1.0
+        assert report.measured.speedup() < 0.6
+        assert report.predicted_speedup("both") < 0.6
+
+    def test_kmeans_direction_correct(self, ctx):
+        """KMeans genuinely wins on the GPU; the prediction agrees."""
+        w = KMeans()
+        report = ctx.report(w, w.datasets()[1])
+        assert report.measured.speedup() > 1.0
+        assert report.predicted_speedup("both") > 1.0
+
+    def test_registry_includes_extended(self):
+        from repro.workloads import all_workloads, get_workload
+
+        names = {w.name for w in all_workloads()}
+        assert {"PathFinder", "KMeans"} <= names
+        assert get_workload("pathfinder").name == "PathFinder"

@@ -1,0 +1,243 @@
+"""Functional correctness of the workload reference implementations.
+
+Each vectorized NumPy reference is checked against an independent
+straight-loop implementation on a tiny input — the reference is what both
+the skeleton work counts and the "CPU baseline" semantics rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Cfd, HotSpot, Srad, Stassuij, VectorAdd
+from repro.workloads.base import Dataset
+
+
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestVectorAdd:
+    def test_reference(self):
+        w = VectorAdd()
+        ds = Dataset("tiny", 128)
+        inputs = w.make_inputs(ds, rng())
+        out = w.run_reference(inputs)
+        np.testing.assert_allclose(out["c"], inputs["a"] + inputs["b"])
+
+    def test_not_iterative(self):
+        with pytest.raises(ValueError):
+            VectorAdd().run_reference(
+                VectorAdd().make_inputs(Dataset("t", 8), rng()), iterations=2
+            )
+
+
+class TestHotSpot:
+    def _naive_step(self, temp, power):
+        from repro.workloads.hotspot import _CAP, _R_X, _R_Y, _R_Z, _STEP, _T_AMB
+
+        n = temp.shape[0]
+        out = temp.copy()
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                c = temp[i, j]
+                delta = (_STEP / _CAP) * (
+                    power[i, j]
+                    + (temp[i + 1, j] + temp[i - 1, j] - 2 * c) / _R_Y
+                    + (temp[i, j + 1] + temp[i, j - 1] - 2 * c) / _R_X
+                    + (_T_AMB - c) / _R_Z
+                )
+                out[i, j] = c + delta
+        return out
+
+    def test_single_step_matches_naive(self):
+        w = HotSpot()
+        ds = Dataset("tiny", 16)
+        inputs = w.make_inputs(ds, rng())
+        got = w.run_reference(inputs)["temp_out"]
+        want = self._naive_step(
+            inputs["temp"].astype(np.float64), inputs["power"]
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-5)
+
+    def test_boundary_held_fixed(self):
+        w = HotSpot()
+        inputs = w.make_inputs(Dataset("tiny", 16), rng())
+        out = w.run_reference(inputs, iterations=3)["temp_out"]
+        np.testing.assert_array_equal(out[0, :], inputs["temp"][0, :])
+        np.testing.assert_array_equal(out[:, -1], inputs["temp"][:, -1])
+
+    def test_iterations_progress(self):
+        w = HotSpot()
+        inputs = w.make_inputs(Dataset("tiny", 16), rng())
+        one = w.run_reference(inputs, 1)["temp_out"]
+        five = w.run_reference(inputs, 5)["temp_out"]
+        assert not np.allclose(one, five)
+
+    def test_inputs_not_mutated(self):
+        w = HotSpot()
+        inputs = w.make_inputs(Dataset("tiny", 16), rng())
+        snapshot = inputs["temp"].copy()
+        w.run_reference(inputs, 3)
+        np.testing.assert_array_equal(inputs["temp"], snapshot)
+
+    def test_converges_toward_steady_state(self):
+        """The explicit Euler step is a contraction for these constants."""
+        w = HotSpot()
+        inputs = w.make_inputs(Dataset("tiny", 16), rng())
+        t1 = w.run_reference(inputs, 50)["temp_out"]
+        t2 = w.run_reference(inputs, 51)["temp_out"]
+        d1 = np.abs(w.step(t1, inputs["power"]) - t1).max()
+        assert np.isfinite(t1).all()
+        assert d1 < 1.0  # changes settle to a small per-step delta
+
+
+class TestSrad:
+    def _naive_iteration(self, img):
+        n = img.shape[0]
+        mean, std = img.mean(), img.std()
+        q0 = (std * std) / (mean * mean)
+        pad = lambda i: min(max(i, 0), n - 1)  # noqa: E731
+        c = np.zeros_like(img)
+        dN = np.zeros_like(img)
+        dS = np.zeros_like(img)
+        dE = np.zeros_like(img)
+        dW = np.zeros_like(img)
+        for i in range(n):
+            for j in range(n):
+                J = img[i, j]
+                dN[i, j] = img[pad(i - 1), j] - J
+                dS[i, j] = img[pad(i + 1), j] - J
+                dW[i, j] = img[i, pad(j - 1)] - J
+                dE[i, j] = img[i, pad(j + 1)] - J
+                g2 = (
+                    dN[i, j] ** 2 + dS[i, j] ** 2 + dE[i, j] ** 2 + dW[i, j] ** 2
+                ) / (J * J)
+                lap = (dN[i, j] + dS[i, j] + dE[i, j] + dW[i, j]) / J
+                num = 0.5 * g2 - (1 / 16) * lap * lap
+                den = 1 + 0.25 * lap
+                qsqr = num / (den * den)
+                den2 = (qsqr - q0) / (q0 * (1 + q0))
+                c[i, j] = np.clip(1.0 / (1.0 + den2), 0, 1)
+        out = img.copy()
+        for i in range(n):
+            for j in range(n):
+                div = (
+                    c[pad(i + 1), j] * dS[i, j]
+                    + c[i, j] * dN[i, j]
+                    + c[i, pad(j + 1)] * dE[i, j]
+                    + c[i, j] * dW[i, j]
+                )
+                out[i, j] = img[i, j] + 0.25 * 0.5 * div
+        return out
+
+    def test_single_iteration_matches_naive(self):
+        w = Srad()
+        inputs = w.make_inputs(Dataset("tiny", 12), rng())
+        got = w.run_reference(inputs, 1)["J"]
+        want = self._naive_iteration(inputs["J"].astype(np.float64))
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_smooths_speckle(self):
+        """Diffusion reduces local variance without killing the mean."""
+        w = Srad()
+        inputs = w.make_inputs(Dataset("tiny", 32), rng())
+        before = inputs["J"]
+        after = w.run_reference(inputs, 30)["J"]
+        assert after.std() < before.std()
+        assert after.mean() == pytest.approx(before.mean(), rel=0.05)
+        assert np.isfinite(after).all()
+
+    def test_inputs_not_mutated(self):
+        w = Srad()
+        inputs = w.make_inputs(Dataset("tiny", 12), rng())
+        snapshot = inputs["J"].copy()
+        w.run_reference(inputs, 2)
+        np.testing.assert_array_equal(inputs["J"], snapshot)
+
+
+class TestCfd:
+    def _naive_iteration(self, variables, areas, neighbors, normals):
+        from repro.workloads.cfd import _CFL, _NNB, _NVAR
+
+        n = variables.shape[1]
+        sf = np.zeros(n)
+        for i in range(n):
+            density = variables[0, i]
+            speed = (
+                np.sqrt(sum(variables[v, i] ** 2 for v in (1, 2, 3)))
+                / density
+            )
+            sf[i] = _CFL / (np.sqrt(areas[i]) * (speed + 1.0))
+        old = variables.copy()
+        fluxes = np.zeros_like(variables)
+        for i in range(n):
+            for v in range(_NVAR):
+                acc = 0.0
+                for j in range(_NNB):
+                    nb = neighbors[i, j]
+                    acc += normals[i, j] * (variables[v, nb] - variables[v, i])
+                acc += normals[i, 4] * variables[v, i] + normals[i, 5]
+                fluxes[v, i] = acc
+        out = np.zeros_like(variables)
+        for i in range(n):
+            for v in range(_NVAR):
+                out[v, i] = old[v, i] + sf[i] * fluxes[v, i]
+        return out
+
+    def test_single_iteration_matches_naive(self):
+        w = Cfd()
+        inputs = w.make_inputs(Dataset("tiny", 64), rng())
+        got = w.run_reference(inputs, 1)["variables"]
+        want = self._naive_iteration(
+            inputs["variables"].astype(np.float64),
+            inputs["areas"].astype(np.float64),
+            inputs["neighbors"],
+            inputs["normals"].astype(np.float64),
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-4)
+
+    def test_multiple_iterations_stable(self):
+        w = Cfd()
+        inputs = w.make_inputs(Dataset("tiny", 64), rng())
+        out = w.run_reference(inputs, 5)["variables"]
+        assert np.isfinite(out).all()
+
+    def test_inputs_not_mutated(self):
+        w = Cfd()
+        inputs = w.make_inputs(Dataset("tiny", 64), rng())
+        snapshot = inputs["variables"].copy()
+        w.run_reference(inputs, 2)
+        np.testing.assert_array_equal(inputs["variables"], snapshot)
+
+
+class TestStassuij:
+    def test_matches_dense_computation(self):
+        w = Stassuij()
+        inputs = w.make_inputs(w.datasets()[0], rng())
+        got = w.run_reference(inputs)["y"]
+        # Rebuild the dense matrix by hand.
+        dense = np.zeros((132, 132))
+        rowptr = inputs["csr_rowptr"]
+        for r in range(132):
+            for k in range(rowptr[r], rowptr[r + 1]):
+                dense[r, inputs["csr_cols"][k]] += inputs["csr_vals"][k]
+        want = inputs["y"] + dense @ inputs["x"]
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_output_is_complex(self):
+        w = Stassuij()
+        inputs = w.make_inputs(w.datasets()[0], rng())
+        assert w.run_reference(inputs)["y"].dtype == np.complex128
+
+    def test_nnz_structure(self):
+        w = Stassuij()
+        inputs = w.make_inputs(w.datasets()[0], rng())
+        assert inputs["csr_vals"].shape == (w.nnz,)
+        assert inputs["csr_rowptr"][-1] == w.nnz
+
+    def test_not_iterative(self):
+        w = Stassuij()
+        with pytest.raises(ValueError):
+            w.run_reference(
+                w.make_inputs(w.datasets()[0], rng()), iterations=2
+            )
