@@ -16,7 +16,9 @@ Quick orientation (full tour in ``docs/API.md``):
   implementations;
 - :mod:`repro.harness` — every table/figure of the paper's evaluation;
 - :mod:`repro.sim` — the virtual Argonne testbed standing in for the
-  2013 hardware.
+  2013 hardware;
+- :mod:`repro.service` — the batched, cached, parallel projection
+  engine (``python -m repro batch``), for sweeps and heavy traffic.
 
 The most common entry points are importable from the top level:
 
@@ -32,6 +34,15 @@ from repro.gpu.arch import GPUArchitecture, gtx_280, quadro_fx_5600
 from repro.pcie.calibration import calibrate_bus
 from repro.pcie.channel import MemoryKind, TransferChannel
 from repro.pcie.model import BusModel, LinearTransferModel
+from repro.core.serialize import ProjectionSummary, summarize_projection
+from repro.service.cache import ProjectionCache
+from repro.service.engine import (
+    ProjectionEngine,
+    ProjectionRequest,
+    ProjectionResponse,
+)
+from repro.service.jobs import run_batch
+from repro.service.metrics import ServiceMetrics
 from repro.sim.machine import VirtualTestbed, argonne_testbed
 from repro.skeleton.builder import KernelBuilder, ProgramBuilder
 from repro.skeleton.parser import parse_skeleton, parse_skeleton_file
@@ -59,6 +70,14 @@ __all__ = [
     "TransferChannel",
     "BusModel",
     "LinearTransferModel",
+    "ProjectionSummary",
+    "summarize_projection",
+    "ProjectionCache",
+    "ProjectionEngine",
+    "ProjectionRequest",
+    "ProjectionResponse",
+    "ServiceMetrics",
+    "run_batch",
     "VirtualTestbed",
     "argonne_testbed",
     "KernelBuilder",

@@ -11,10 +11,17 @@ Commands
 - ``advise <workload>`` — pinned/pageable memory recommendation;
 - ``experiment <id>`` — regenerate one paper artifact (table1, table2,
   fig2..fig12), optionally as markdown/CSV or an ASCII chart;
-- ``artifacts <outdir>`` — regenerate everything into a directory.
+- ``artifacts <outdir>`` — regenerate everything into a directory;
+- ``batch <requests.jsonl>`` — project many requests through the
+  cached, parallel :mod:`repro.service` engine (JSONL in, JSONL out);
+- ``cache-stats`` — inspect an on-disk projection cache directory.
 
 Everything runs against the virtual Argonne testbed (seeded, so output is
 reproducible); ``--seed`` selects a different lab day.
+
+Errors a user can cause (unknown workload or dataset, a missing or
+unparsable skeleton file) print a one-line ``error: ...`` to stderr and
+exit with status 2; tracebacks are reserved for actual bugs.
 """
 
 from __future__ import annotations
@@ -124,6 +131,42 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--chart", action="store_true",
         help="render as an ASCII chart instead of a table (figures only)",
+    )
+
+    p = sub.add_parser(
+        "batch",
+        help="project a JSONL file of requests through the service "
+        "engine (cached + parallel; see docs/SERVICE.md)",
+    )
+    p.add_argument("requests", help="requests file, one JSON object per line")
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="results file (default: <requests>.results.jsonl)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker threads (default: 4)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request timeout in seconds",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk cache directory "
+        "(default: .repro-cache next to the requests file)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable result caching for this run",
+    )
+
+    p = sub.add_parser(
+        "cache-stats", help="inspect an on-disk projection cache"
+    )
+    p.add_argument(
+        "cache_dir", nargs="?", default=".repro-cache",
+        help="cache directory (default: .repro-cache)",
     )
     return parser
 
@@ -314,6 +357,66 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_batch(args, out) -> int:
+    from pathlib import Path
+
+    from repro.gpu.arch import quadro_fx_5600
+    from repro.service.cache import ProjectionCache
+    from repro.service.engine import ProjectionEngine
+    from repro.service.jobs import run_batch
+
+    requests_path = Path(args.requests)
+    if not requests_path.is_file():
+        raise FileNotFoundError(f"no such requests file: {requests_path}")
+    ctx = ExperimentContext(seed=args.seed)
+    cache = None
+    if not args.no_cache:
+        cache_dir = (
+            Path(args.cache_dir)
+            if args.cache_dir is not None
+            else requests_path.resolve().parent / ".repro-cache"
+        )
+        cache = ProjectionCache(disk_dir=cache_dir)
+    engine = ProjectionEngine(
+        arch=quadro_fx_5600(),
+        bus=ctx.bus_model,
+        cache=cache,
+        max_workers=max(1, args.jobs),
+    )
+    result = run_batch(
+        requests_path,
+        output_path=args.output,
+        engine=engine,
+        max_workers=max(1, args.jobs),
+        timeout=args.timeout,
+    )
+    out(result.report())
+    out(engine.metrics.report())
+    if cache is not None:
+        stats = cache.stats()
+        out(
+            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"{stats['disk']['entries']} entr(ies) on disk at "
+            f"{stats['disk']['path']}"
+        )
+    return 0
+
+
+def _cmd_cache_stats(args, out) -> int:
+    from repro.service.cache import disk_cache_stats
+    from repro.util.units import bytes_to_human
+
+    stats = disk_cache_stats(args.cache_dir)
+    out(f"projection cache at {stats['path']}:")
+    out(
+        f"  {stats['entries']} entr(ies), "
+        f"{bytes_to_human(stats['total_bytes'])}"
+    )
+    if stats["entries"] == 0:
+        out("  (run `python -m repro batch <requests.jsonl>` to populate)")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "calibrate": _cmd_calibrate,
@@ -322,16 +425,34 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "artifacts": _cmd_artifacts,
     "experiment": _cmd_experiment,
+    "batch": _cmd_batch,
+    "cache-stats": _cmd_cache_stats,
 }
 
 
-def main(argv: Sequence[str] | None = None, out=print) -> int:
-    """CLI entry point; returns a process exit code."""
+def _error_line(exc: Exception) -> str:
+    """One line of human-readable cause, no traceback."""
+    if isinstance(exc, OSError) and exc.filename:
+        reason = exc.strerror or type(exc).__name__
+        return f"{reason}: {exc.filename}"
+    message = str(exc.args[0]) if exc.args else str(exc)
+    return message.splitlines()[0] if message else type(exc).__name__
+
+
+def main(argv: Sequence[str] | None = None, out=print, err=None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    User-caused failures (unknown workload/dataset, missing or
+    unparsable skeleton files) are reported as a single ``error: ...``
+    line on stderr (or via ``err``) with exit status 2.
+    """
+    if err is None:
+        err = lambda s: print(s, file=sys.stderr)  # noqa: E731
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args, out)
-    except KeyError as exc:
-        out(f"error: {exc.args[0]}")
+    except (KeyError, OSError, ValueError) as exc:
+        err(f"error: {_error_line(exc)}")
         return 2
 
 

@@ -20,10 +20,14 @@ from repro.core.report import PredictionReport, MeasuredApplication
 from repro.core.advisor import MemoryKindAdvice, MemoryKindAdvisor
 from repro.core.overlap import OverlapEstimate, estimate_overlap, pipeline_time
 from repro.core.serialize import (
+    KernelSummary,
+    ProjectionSummary,
+    TransferSummary,
     projection_to_dict,
     projection_to_json,
     report_to_dict,
     report_to_json,
+    summarize_projection,
 )
 
 __all__ = [
@@ -41,8 +45,12 @@ __all__ = [
     "OverlapEstimate",
     "estimate_overlap",
     "pipeline_time",
+    "KernelSummary",
+    "ProjectionSummary",
+    "TransferSummary",
     "projection_to_dict",
     "projection_to_json",
     "report_to_dict",
     "report_to_json",
+    "summarize_projection",
 ]

@@ -6,15 +6,24 @@ list/dict — and back-of-the-envelope loaders for the summary level.
 The full object graph (skeletons, breakdowns) is intentionally *not*
 round-tripped: recompute it from the skeleton, which is the source of
 truth.
+
+:class:`ProjectionSummary` is the *faithful* round-trip level in between:
+everything a consumer of a projection needs (per-kernel times and chosen
+mappings, per-transfer times and sizes, totals and speedup views) with
+exact ``summary -> dict -> JSON -> dict -> summary`` fidelity.  It is
+what the projection service caches; the round-trip property is what makes
+a cache hit provably equivalent to recomputation.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.prediction import Projection
 from repro.core.report import MeasuredApplication, PredictionReport
+from repro.util.validation import check_non_negative, check_positive
 
 
 def projection_to_dict(projection: Projection) -> dict[str, Any]:
@@ -48,6 +57,212 @@ def projection_to_dict(projection: Projection) -> dict[str, Any]:
             )
         ],
     }
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """One kernel's share of a projection, reduced to primitives."""
+
+    name: str
+    seconds: float
+    best_mapping: str
+    regime: str
+    search_width: int
+
+    def __post_init__(self) -> None:
+        check_non_negative("seconds", self.seconds)
+        check_positive("search_width", self.search_width)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "best_mapping": self.best_mapping,
+            "regime": self.regime,
+            "search_width": self.search_width,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "KernelSummary":
+        return KernelSummary(
+            name=str(data["name"]),
+            seconds=float(data["seconds"]),
+            best_mapping=str(data["best_mapping"]),
+            regime=str(data["regime"]),
+            search_width=int(data["search_width"]),
+        )
+
+
+@dataclass(frozen=True)
+class TransferSummary:
+    """One bus crossing of a projection, reduced to primitives."""
+
+    array: str
+    direction: str  # Direction.short: "H2D" | "D2H"
+    bytes: int
+    elements: int
+    seconds: float
+    conservative: bool
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("H2D", "D2H"):
+            raise ValueError(
+                f"direction must be 'H2D' or 'D2H', got {self.direction!r}"
+            )
+        check_positive("bytes", self.bytes)
+        check_positive("elements", self.elements)
+        check_non_negative("seconds", self.seconds)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "array": self.array,
+            "direction": self.direction,
+            "bytes": self.bytes,
+            "elements": self.elements,
+            "seconds": self.seconds,
+            "conservative": self.conservative,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "TransferSummary":
+        return TransferSummary(
+            array=str(data["array"]),
+            direction=str(data["direction"]),
+            bytes=int(data["bytes"]),
+            elements=int(data["elements"]),
+            seconds=float(data["seconds"]),
+            conservative=bool(data["conservative"]),
+        )
+
+
+@dataclass(frozen=True)
+class ProjectionSummary:
+    """A projection flattened to exactly round-trippable primitives.
+
+    Carries everything the time/speedup views of :class:`Projection`
+    need, so the views here mirror that class (same formulas, same
+    iteration semantics).  ``from_dict(to_dict(s)) == s`` holds exactly,
+    including through a JSON encode/decode — floats survive via their
+    shortest-repr form.
+    """
+
+    program: str
+    kernel_seconds: float
+    transfer_seconds: float
+    setup_seconds: float
+    kernels: tuple[KernelSummary, ...]
+    transfers: tuple[TransferSummary, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+        object.__setattr__(self, "transfers", tuple(self.transfers))
+        check_non_negative("kernel_seconds", self.kernel_seconds)
+        check_non_negative("transfer_seconds", self.transfer_seconds)
+        check_non_negative("setup_seconds", self.setup_seconds)
+
+    # Time/speedup views (mirror Projection) ------------------------------
+    def total_seconds(self, iterations: int = 1) -> float:
+        check_positive("iterations", iterations)
+        return (
+            self.kernel_seconds * iterations
+            + self.transfer_seconds
+            + self.setup_seconds
+        )
+
+    def speedup(
+        self,
+        cpu_seconds_per_iteration: float,
+        iterations: int = 1,
+        include_transfer: bool = True,
+    ) -> float:
+        check_positive(
+            "cpu_seconds_per_iteration", cpu_seconds_per_iteration
+        )
+        gpu = (
+            self.total_seconds(iterations)
+            if include_transfer
+            else self.kernel_seconds * iterations
+        )
+        return cpu_seconds_per_iteration * iterations / gpu
+
+    @property
+    def transfer_fraction(self) -> float:
+        total = self.total_seconds(1)
+        return self.transfer_seconds / total if total else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.bytes for t in self.transfers)
+
+    @property
+    def transfer_count(self) -> int:
+        return len(self.transfers)
+
+    # Round-trip ----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "program": self.program,
+            "kernel_seconds": self.kernel_seconds,
+            "transfer_seconds": self.transfer_seconds,
+            "setup_seconds": self.setup_seconds,
+            "kernels": [k.to_dict() for k in self.kernels],
+            "transfers": [t.to_dict() for t in self.transfers],
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "ProjectionSummary":
+        return ProjectionSummary(
+            program=str(data["program"]),
+            kernel_seconds=float(data["kernel_seconds"]),
+            transfer_seconds=float(data["transfer_seconds"]),
+            setup_seconds=float(data["setup_seconds"]),
+            kernels=tuple(
+                KernelSummary.from_dict(k) for k in data["kernels"]
+            ),
+            transfers=tuple(
+                TransferSummary.from_dict(t) for t in data["transfers"]
+            ),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ProjectionSummary":
+        return ProjectionSummary.from_dict(json.loads(text))
+
+
+def summarize_projection(projection: Projection) -> ProjectionSummary:
+    """Reduce a full :class:`Projection` to its faithful summary."""
+    return ProjectionSummary(
+        program=projection.program,
+        kernel_seconds=projection.kernel_seconds,
+        transfer_seconds=projection.transfer_seconds,
+        setup_seconds=projection.setup_seconds,
+        kernels=tuple(
+            KernelSummary(
+                name=kp.kernel,
+                seconds=kp.seconds,
+                best_mapping=kp.best.config.label(),
+                regime=kp.best.breakdown.regime,
+                search_width=kp.search_width,
+            )
+            for kp in projection.kernels.kernels
+        ),
+        transfers=tuple(
+            TransferSummary(
+                array=transfer.array,
+                direction=transfer.direction.short,
+                bytes=transfer.bytes,
+                elements=transfer.elements,
+                seconds=seconds,
+                conservative=transfer.conservative,
+            )
+            for transfer, seconds in zip(
+                projection.plan.transfers, projection.per_transfer_seconds
+            )
+        ),
+    )
 
 
 def report_to_dict(report: PredictionReport) -> dict[str, Any]:

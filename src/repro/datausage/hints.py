@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util.fingerprint import stable_digest
 from repro.util.validation import check_positive
 
 
@@ -52,6 +53,18 @@ class AnalysisHints:
             if hint.array == array:
                 return hint.referenced_elements
         return None
+
+    def fingerprint(self) -> str:
+        """Stable content hash; hint order never matters."""
+        return stable_digest(
+            {
+                "extra_temporaries": sorted(self.extra_temporaries),
+                "sparse_extents": sorted(
+                    (h.array, h.referenced_elements)
+                    for h in self.sparse_extents
+                ),
+            }
+        )
 
     @staticmethod
     def none() -> "AnalysisHints":

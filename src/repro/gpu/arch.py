@@ -7,8 +7,10 @@ the very GPU in the paper's Argonne testbed.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
+from repro.util.fingerprint import stable_digest
 from repro.util.validation import check_positive
 
 
@@ -55,6 +57,15 @@ class GPUArchitecture:
             "uncoal_transactions_per_warp",
         ):
             check_positive(field_name, getattr(self, field_name))
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every machine parameter.
+
+        Any change to any field — SM count, clocks, latencies, coalescing
+        rules — yields a different digest; the projection service keys
+        cached results on it.
+        """
+        return stable_digest(dataclasses.asdict(self))
 
     @property
     def clock_hz(self) -> float:

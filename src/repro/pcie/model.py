@@ -8,6 +8,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.datausage.transfers import Direction, TransferPlan
+from repro.util.fingerprint import stable_digest
 from repro.util.validation import check_non_negative, check_positive
 
 
@@ -95,6 +96,10 @@ class LinearTransferModel:
     def from_dict(data: Mapping[str, float]) -> "LinearTransferModel":
         return LinearTransferModel(float(data["alpha"]), float(data["beta"]))
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the fitted (alpha, beta) pair."""
+        return stable_digest(self.to_dict())
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"T(d) = {self.alpha * 1e6:.2f}us + d / "
@@ -115,6 +120,17 @@ class BusModel:
 
     def for_direction(self, direction: Direction) -> LinearTransferModel:
         return self.h2d if direction is Direction.H2D else self.d2h
+
+    def fingerprint(self) -> str:
+        """Stable content hash over both directions' (alpha, beta).
+
+        Any recalibration — a different alpha or beta in either direction
+        — changes the digest, so the projection service never serves a
+        result computed against a stale bus model.
+        """
+        return stable_digest(
+            {"h2d": self.h2d.to_dict(), "d2h": self.d2h.to_dict()}
+        )
 
     def predict_transfer(self, size_bytes: float, direction: Direction) -> float:
         return self.for_direction(direction).predict(size_bytes)

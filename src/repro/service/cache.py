@@ -1,0 +1,198 @@
+"""Content-addressed result cache for the projection service.
+
+Results are stored under the request fingerprint (see
+:meth:`repro.service.engine.ProjectionEngine.fingerprint`) as the plain
+dict form of a :class:`~repro.core.serialize.ProjectionSummary`, which
+round-trips exactly — a hit is provably equivalent to recomputation.
+
+Two tiers:
+
+- an in-memory **LRU** tier (always on) bounded by ``capacity`` entries;
+- an optional **on-disk JSON** tier (``disk_dir``) that persists across
+  processes — one ``<fingerprint>.json`` file per entry, written
+  atomically so concurrent writers can never leave a torn file.
+
+Disk hits are promoted into the memory tier.  Corrupt or unreadable disk
+entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+#: Schema version of on-disk entries; bump on incompatible change.
+DISK_FORMAT = 1
+
+_SUFFIX = ".json"
+
+
+class ProjectionCache:
+    """Two-tier (memory LRU + optional disk) cache of summary dicts."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        disk_dir: str | Path | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._hits_memory = 0
+        self._hits_disk = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        if self._disk_dir is not None:
+            self._disk_dir.mkdir(parents=True, exist_ok=True)
+
+    # Properties ----------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def disk_dir(self) -> Path | None:
+        return self._disk_dir
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    # Core API ------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look up ``key``: memory first, then disk (with promotion)."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self._hits_memory += 1
+                return self._memory[key]
+        entry = self._disk_get(key)
+        if entry is not None:
+            with self._lock:
+                self._hits_disk += 1
+                self._memory_put(key, entry)
+            return entry
+        with self._lock:
+            self._misses += 1
+        return None
+
+    def put(self, key: str, summary: dict[str, Any]) -> None:
+        """Store ``summary`` under ``key`` in both tiers."""
+        with self._lock:
+            self._puts += 1
+            self._memory_put(key, summary)
+        self._disk_put(key, summary)
+
+    def clear(self) -> None:
+        """Drop every entry from both tiers (counters are kept)."""
+        with self._lock:
+            self._memory.clear()
+        if self._disk_dir is not None and self._disk_dir.is_dir():
+            for path in self._disk_dir.glob(f"*{_SUFFIX}"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot plus tier sizes, JSON-safe."""
+        with self._lock:
+            stats: dict[str, Any] = {
+                "hits": self._hits_memory + self._hits_disk,
+                "hits_memory": self._hits_memory,
+                "hits_disk": self._hits_disk,
+                "misses": self._misses,
+                "puts": self._puts,
+                "evictions": self._evictions,
+                "memory_entries": len(self._memory),
+                "capacity": self._capacity,
+            }
+        if self._disk_dir is not None:
+            stats["disk"] = disk_cache_stats(self._disk_dir)
+        return stats
+
+    # Memory tier (callers hold the lock) ---------------------------------
+    def _memory_put(self, key: str, summary: dict[str, Any]) -> None:
+        self._memory[key] = summary
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._capacity:
+            self._memory.popitem(last=False)
+            self._evictions += 1
+
+    # Disk tier -----------------------------------------------------------
+    def _disk_path(self, key: str) -> Path:
+        assert self._disk_dir is not None
+        return self._disk_dir / f"{key}{_SUFFIX}"
+
+    def _disk_get(self, key: str) -> dict[str, Any] | None:
+        if self._disk_dir is None:
+            return None
+        try:
+            with open(self._disk_path(key), encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != DISK_FORMAT
+            or record.get("key") != key
+            or not isinstance(record.get("summary"), dict)
+        ):
+            return None
+        return record["summary"]
+
+    def _disk_put(self, key: str, summary: dict[str, Any]) -> None:
+        if self._disk_dir is None:
+            return
+        record = {"format": DISK_FORMAT, "key": key, "summary": summary}
+        path = self._disk_path(key)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full disk degrades to memory-only caching.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"cache: {stats['memory_entries']}/{stats['capacity']} in "
+            f"memory, {stats['hits']} hits / {stats['misses']} misses"
+        )
+
+
+def disk_cache_stats(path: str | Path) -> dict[str, Any]:
+    """Inspect an on-disk cache directory without opening every file.
+
+    Returns entry count, total bytes, and the directory path; a missing
+    directory reports zero entries rather than raising, so ``repro
+    cache-stats`` is safe to run before any batch has populated it.
+    """
+    directory = Path(path)
+    entries = 0
+    total_bytes = 0
+    if directory.is_dir():
+        for file in directory.glob(f"*{_SUFFIX}"):
+            try:
+                total_bytes += file.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    return {
+        "path": str(directory),
+        "entries": entries,
+        "total_bytes": total_bytes,
+    }

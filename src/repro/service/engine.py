@@ -1,0 +1,289 @@
+"""The projection engine: batched, cached, parallel GROPHECY++.
+
+:class:`ProjectionEngine` serves :class:`ProjectionRequest`s — single or
+batched — and returns structured :class:`ProjectionResponse`s.  Compared
+to calling :class:`~repro.core.projector.GrophecyPlusPlus` directly it
+adds:
+
+- **content-addressed caching**: results are keyed by a stable
+  fingerprint of skeleton + GPU architecture + bus model + explorer
+  options, so repeated projections (parameter sweeps, what-if studies,
+  the figure harness) cost a dictionary lookup instead of a
+  transformation-space search;
+- **parallelism**: independent kernels — or, for single-kernel
+  programs, chunks of the transformation space — fan out across a
+  worker pool with deterministic result ordering;
+- **metrics**: every request feeds counters (requests, cache hits and
+  misses, candidates explored) and per-stage timers (explore, analyze,
+  predict).
+
+The iteration count deliberately stays *out* of the cache key: a
+projection is iteration-independent (kernel time scales, the transfer
+set does not — paper Section IV-B), so asking for 1 and 500 iterations
+of the same skeleton is one exploration and two cheap reads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.prediction import Projection
+from repro.core.serialize import ProjectionSummary, summarize_projection
+from repro.datausage.analyzer import analyze_transfers
+from repro.datausage.hints import AnalysisHints
+from repro.gpu.arch import GPUArchitecture, quadro_fx_5600
+from repro.gpu.model import GpuPerformanceModel
+from repro.pcie.model import BusModel
+from repro.pcie.presets import pcie_gen1_bus
+from repro.service.cache import ProjectionCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.parallel import map_ordered, project_kernels_parallel
+from repro.skeleton.program import ProgramSkeleton
+from repro.transform.space import TransformationSpace
+from repro.util.fingerprint import stable_digest
+from repro.util.validation import check_positive
+
+#: Fingerprint schema version; bump when the key derivation changes.
+KEY_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ProjectionRequest:
+    """One unit of work for the engine.
+
+    ``arch``, ``bus``, and ``space`` override the engine defaults when
+    given; ``iterations`` and ``cpu_seconds`` only shape the response
+    (total time, speedup verdict) and never affect the cache key.
+    """
+
+    program: ProgramSkeleton
+    hints: AnalysisHints | None = None
+    arch: GPUArchitecture | None = None
+    bus: BusModel | None = None
+    space: TransformationSpace | None = None
+    batched_transfers: bool = False
+    iterations: int = 1
+    cpu_seconds: float | None = None
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive("iterations", self.iterations)
+        if self.cpu_seconds is not None:
+            check_positive("cpu_seconds", self.cpu_seconds)
+
+
+@dataclass(frozen=True)
+class ProjectionResponse:
+    """The engine's answer: summary + provenance + serving cost."""
+
+    request_id: str
+    fingerprint: str
+    summary: ProjectionSummary
+    cached: bool
+    seconds: float  # wall time spent serving this request
+    iterations: int
+    cpu_seconds: float | None = None
+    #: The full projection object — only populated on a cache miss (a
+    #: hit reconstructs the summary, which is all the cache stores).
+    projection: Projection | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def total_seconds(self) -> float:
+        """Projected end-to-end GPU time at the requested iterations."""
+        return self.summary.total_seconds(self.iterations)
+
+    @property
+    def speedup(self) -> float | None:
+        """Projected speedup vs the supplied CPU time (None without)."""
+        if self.cpu_seconds is None:
+            return None
+        return self.summary.speedup(self.cpu_seconds, self.iterations)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSONL-ready record (the batch runner's output row)."""
+        record: dict[str, Any] = {
+            "id": self.request_id,
+            "ok": True,
+            "cached": self.cached,
+            "seconds": self.seconds,
+            "fingerprint": self.fingerprint,
+            "iterations": self.iterations,
+            "total_seconds": self.total_seconds,
+            "projection": self.summary.to_dict(),
+        }
+        if self.speedup is not None:
+            record["speedup"] = self.speedup
+        return record
+
+
+class ProjectionEngine:
+    """Serves projection requests with caching, fan-out, and metrics."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture | None = None,
+        bus: BusModel | None = None,
+        space: TransformationSpace | None = None,
+        cache: ProjectionCache | None = None,
+        metrics: ServiceMetrics | None = None,
+        max_workers: int = 1,
+    ) -> None:
+        """``cache=None`` disables caching entirely; ``bus=None`` uses
+        the nominal PCIe gen-1 preset (the paper's bus class) — pass a
+        calibrated :class:`BusModel` for real projections."""
+        check_positive("max_workers", max_workers)
+        self._arch = arch or quadro_fx_5600()
+        self._bus = bus or pcie_gen1_bus()
+        self._space = space or TransformationSpace.default()
+        self._cache = cache
+        self._max_workers = max_workers
+        self.metrics = metrics or ServiceMetrics()
+        self._models: dict[str, GpuPerformanceModel] = {}
+
+    # Defaults ------------------------------------------------------------
+    @property
+    def arch(self) -> GPUArchitecture:
+        return self._arch
+
+    @property
+    def bus(self) -> BusModel:
+        return self._bus
+
+    @property
+    def space(self) -> TransformationSpace:
+        return self._space
+
+    @property
+    def cache(self) -> ProjectionCache | None:
+        return self._cache
+
+    # Keying --------------------------------------------------------------
+    def fingerprint(self, request: ProjectionRequest) -> str:
+        """Cache key: everything that determines the projection result."""
+        arch = request.arch or self._arch
+        bus = request.bus or self._bus
+        space = request.space or self._space
+        hints = request.hints or AnalysisHints.none()
+        return stable_digest(
+            {
+                "format": KEY_FORMAT,
+                "skeleton": request.program.fingerprint(),
+                "hints": hints.fingerprint(),
+                "arch": arch.fingerprint(),
+                "bus": bus.fingerprint(),
+                "space": space.fingerprint(),
+                "options": {"batched_transfers": request.batched_transfers},
+            }
+        )
+
+    # Serving -------------------------------------------------------------
+    def project(
+        self, request: ProjectionRequest, workers: int | None = None
+    ) -> ProjectionResponse:
+        """Serve one request, from cache when possible.
+
+        ``workers`` overrides the engine's intra-request fan-out (the
+        batch runner passes 1: it parallelizes across requests instead).
+        """
+        start = time.perf_counter()
+        self.metrics.incr("requests")
+        key = self.fingerprint(request)
+
+        if self._cache is not None:
+            with self.metrics.timer("cache_lookup"):
+                entry = self._cache.get(key)
+            if entry is not None:
+                self.metrics.incr("cache_hits")
+                summary = ProjectionSummary.from_dict(entry)
+                return ProjectionResponse(
+                    request_id=request.request_id,
+                    fingerprint=key,
+                    summary=summary,
+                    cached=True,
+                    seconds=time.perf_counter() - start,
+                    iterations=request.iterations,
+                    cpu_seconds=request.cpu_seconds,
+                )
+            self.metrics.incr("cache_misses")
+
+        projection = self._compute(
+            request, self._max_workers if workers is None else workers
+        )
+        summary = summarize_projection(projection)
+        if self._cache is not None:
+            with self.metrics.timer("cache_store"):
+                self._cache.put(key, summary.to_dict())
+        return ProjectionResponse(
+            request_id=request.request_id,
+            fingerprint=key,
+            summary=summary,
+            cached=False,
+            seconds=time.perf_counter() - start,
+            iterations=request.iterations,
+            cpu_seconds=request.cpu_seconds,
+            projection=projection,
+        )
+
+    def project_batch(
+        self, requests: Iterable[ProjectionRequest]
+    ) -> list[ProjectionResponse]:
+        """Serve many requests, fanning out across the worker pool.
+
+        Responses come back in request order.  Within a batch the
+        parallelism budget moves to the request level, so each request
+        explores serially.  Duplicate requests in one batch are
+        deduplicated through the cache when one is attached (concurrent
+        duplicates may both compute; both store the same entry, which is
+        idempotent by construction).
+        """
+        batch: Sequence[ProjectionRequest] = list(requests)
+        return map_ordered(
+            lambda request: self.project(request, workers=1),
+            batch,
+            self._max_workers,
+        )
+
+    # Internals -----------------------------------------------------------
+    def _model_for(self, arch: GPUArchitecture) -> GpuPerformanceModel:
+        model = self._models.get(arch.name)
+        if model is None or model.arch is not arch:
+            model = GpuPerformanceModel(arch)
+            self._models[arch.name] = model
+        return model
+
+    def _compute(
+        self, request: ProjectionRequest, workers: int
+    ) -> Projection:
+        """The GROPHECY++ pipeline, staged and instrumented."""
+        program = request.program
+        arch = request.arch or self._arch
+        bus = request.bus or self._bus
+        space = request.space or self._space
+        model = self._model_for(arch)
+
+        with self.metrics.timer("explore"):
+            kernels = project_kernels_parallel(
+                program, model, space, max_workers=workers
+            )
+        self.metrics.incr(
+            "candidates_explored",
+            sum(kp.search_width for kp in kernels.kernels),
+        )
+        with self.metrics.timer("analyze"):
+            plan = analyze_transfers(program, request.hints)
+            if request.batched_transfers:
+                plan = plan.batched()
+        with self.metrics.timer("predict"):
+            per_transfer = tuple(bus.predict_plan_by_transfer(plan))
+        return Projection(
+            program=program.name,
+            kernel_seconds=kernels.seconds,
+            transfer_seconds=sum(per_transfer),
+            plan=plan,
+            per_transfer_seconds=per_transfer,
+            kernels=kernels,
+        )

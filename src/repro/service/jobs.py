@@ -1,0 +1,307 @@
+"""JSONL batch runner: N request records in, N result records out.
+
+Request records are one JSON object per line.  Exactly one skeleton
+source is required:
+
+- ``{"workload": "SRAD", "dataset": "503 x 458"}`` — a registry
+  workload (``dataset`` optional: defaults to the largest); the
+  workload's own analysis hints apply;
+- ``{"skeleton_file": "examples/skeletons/jacobi2d.skel"}`` — a text
+  skeleton on disk (relative paths resolve against the requests file);
+- ``{"skeleton": "program p\\n..."}`` — an inline text skeleton.
+
+Optional fields: ``id`` (echoed in the result; defaults to the line
+number), ``iterations``, ``cpu_ms`` (enables a speedup verdict),
+``arch`` (``quadro_fx_5600`` | ``tesla_c1060`` | ``gtx_280``),
+``pcie_gen`` (1 | 2 | 3 — an analytic bus preset instead of the
+engine's calibrated bus), ``batched_transfers``, ``temporaries`` (extra
+temporary-array hints), and ``sparse_extents`` (array name -> referenced
+element count).
+
+Every request is isolated: a malformed line, an unknown workload, an
+unparsable skeleton, or a timeout produces an *error record* in the
+output — never an aborted batch.  Results are written in input order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.datausage.hints import AnalysisHints, SparseExtentHint
+from repro.gpu.arch import (
+    GPUArchitecture,
+    gtx_280,
+    quadro_fx_5600,
+    tesla_c1060,
+)
+from repro.pcie.presets import bus_for_generation
+from repro.service.engine import (
+    ProjectionEngine,
+    ProjectionRequest,
+    ProjectionResponse,
+)
+from repro.skeleton.parser import parse_skeleton, parse_skeleton_file
+from repro.workloads.registry import get_workload
+
+_ARCHS: dict[str, Callable[[], GPUArchitecture]] = {
+    "quadro_fx_5600": quadro_fx_5600,
+    "tesla_c1060": tesla_c1060,
+    "gtx_280": gtx_280,
+}
+
+_SOURCE_FIELDS = ("workload", "skeleton_file", "skeleton")
+
+
+class BadRequestError(ValueError):
+    """A single malformed batch record (isolated, never fatal)."""
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One output row: a response or an isolated error."""
+
+    request_id: str
+    ok: bool
+    response: ProjectionResponse | None = None
+    error: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.ok:
+            assert self.response is not None
+            return self.response.to_dict()
+        return {"id": self.request_id, "ok": False, "error": self.error}
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch run."""
+
+    records: tuple[BatchRecord, ...]
+    elapsed: float
+    metrics: dict[str, Any]
+    output_path: str
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def error_count(self) -> int:
+        return len(self.records) - self.ok_count
+
+    @property
+    def hit_count(self) -> int:
+        return sum(
+            1 for r in self.records if r.ok and r.response.cached
+        )
+
+    def report(self) -> str:
+        """One-paragraph human summary of the run."""
+        lines = [
+            f"batch: {len(self.records)} request(s) -> {self.output_path}",
+            f"  ok {self.ok_count}, errors {self.error_count}, "
+            f"cache hits {self.hit_count}/{len(self.records)}",
+            f"  wall time {self.elapsed:.3f}s",
+        ]
+        for record in self.records:
+            if not record.ok:
+                lines.append(f"  error [{record.request_id}]: {record.error}")
+        return "\n".join(lines)
+
+
+def parse_request(
+    data: Any, index: int, base_dir: Path
+) -> ProjectionRequest:
+    """Turn one decoded JSONL record into a :class:`ProjectionRequest`.
+
+    Raises :class:`BadRequestError` with a one-line message on any
+    malformed field; the caller converts that into an error record.
+    """
+    if not isinstance(data, dict):
+        raise BadRequestError(
+            f"record must be a JSON object, got {type(data).__name__}"
+        )
+    request_id = str(data.get("id") or f"request-{index + 1}")
+    sources = [f for f in _SOURCE_FIELDS if f in data]
+    if len(sources) != 1:
+        raise BadRequestError(
+            "need exactly one of 'workload', 'skeleton_file', 'skeleton'"
+            f" (got {sources or 'none'})"
+        )
+
+    hints: AnalysisHints | None = None
+    try:
+        if sources[0] == "workload":
+            workload = get_workload(str(data["workload"]))
+            label = data.get("dataset")
+            dataset = (
+                workload.dataset(str(label))
+                if label is not None
+                else max(workload.datasets(), key=lambda d: d.size)
+            )
+            program = workload.skeleton(dataset)
+            hints = workload.hints(dataset)
+        elif sources[0] == "skeleton_file":
+            path = Path(str(data["skeleton_file"]))
+            if not path.is_absolute():
+                path = base_dir / path
+            program = parse_skeleton_file(str(path))
+        else:
+            program = parse_skeleton(str(data["skeleton"]))
+    except (KeyError, OSError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        raise BadRequestError(str(message)) from exc
+
+    extra_temporaries = data.get("temporaries", ())
+    sparse_extents = data.get("sparse_extents", {})
+    if extra_temporaries or sparse_extents:
+        base = hints or AnalysisHints.none()
+        try:
+            hints = AnalysisHints(
+                extra_temporaries=base.extra_temporaries
+                | frozenset(str(n) for n in extra_temporaries),
+                sparse_extents=base.sparse_extents
+                + tuple(
+                    SparseExtentHint(str(name), int(count))
+                    for name, count in dict(sparse_extents).items()
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"bad hints: {exc}") from exc
+
+    arch = None
+    if "arch" in data:
+        name = str(data["arch"]).lower()
+        if name not in _ARCHS:
+            raise BadRequestError(
+                f"unknown arch {data['arch']!r}; know {sorted(_ARCHS)}"
+            )
+        arch = _ARCHS[name]()
+    bus = None
+    if "pcie_gen" in data:
+        try:
+            bus = bus_for_generation(int(data["pcie_gen"]))
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(str(exc)) from exc
+
+    try:
+        iterations = int(data.get("iterations", 1))
+        cpu_ms = data.get("cpu_ms")
+        cpu_seconds = float(cpu_ms) * 1e-3 if cpu_ms is not None else None
+        return ProjectionRequest(
+            program=program,
+            hints=hints,
+            arch=arch,
+            bus=bus,
+            batched_transfers=bool(data.get("batched_transfers", False)),
+            iterations=iterations,
+            cpu_seconds=cpu_seconds,
+            request_id=request_id,
+        )
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(str(exc)) from exc
+
+
+def run_batch(
+    requests_path: str | Path,
+    output_path: str | Path | None = None,
+    engine: ProjectionEngine | None = None,
+    max_workers: int = 4,
+    timeout: float | None = None,
+) -> BatchResult:
+    """Project every record of a JSONL file with bounded concurrency.
+
+    ``timeout`` (seconds) bounds each request's wall time; a request
+    that exceeds it yields an error record while the rest of the batch
+    completes.  The output file (default: ``<input>.results.jsonl``)
+    receives one JSON line per input record, in input order.
+    """
+    requests_path = Path(requests_path)
+    if output_path is None:
+        output_path = requests_path.with_suffix(
+            requests_path.suffix + ".results.jsonl"
+        )
+    output_path = Path(output_path)
+    engine = engine or ProjectionEngine(max_workers=max_workers)
+
+    start = time.perf_counter()
+    with open(requests_path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+
+    # Parse every record first; parse failures become error records.
+    parsed: list[tuple[str, ProjectionRequest | None, str]] = []
+    for index, line in enumerate(line for line in lines if line.strip()):
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            parsed.append((f"request-{index + 1}", None, f"bad JSON: {exc}"))
+            continue
+        try:
+            request = parse_request(data, index, requests_path.parent)
+        except BadRequestError as exc:
+            request_id = (
+                str(data.get("id") or f"request-{index + 1}")
+                if isinstance(data, dict)
+                else f"request-{index + 1}"
+            )
+            parsed.append((request_id, None, str(exc)))
+            continue
+        parsed.append((request.request_id, request, ""))
+
+    # Project the valid ones with bounded concurrency; isolate failures.
+    records: list[BatchRecord | None] = [None] * len(parsed)
+    pending: list[tuple[int, Future[ProjectionResponse]]] = []
+    pool = ThreadPoolExecutor(max_workers=max(1, max_workers))
+    try:
+        for slot, (request_id, request, error) in enumerate(parsed):
+            if request is None:
+                records[slot] = BatchRecord(request_id, False, error=error)
+            else:
+                pending.append(
+                    (slot, pool.submit(engine.project, request, 1))
+                )
+        for slot, future in pending:
+            request_id = parsed[slot][0]
+            try:
+                response = future.result(timeout=timeout)
+                records[slot] = BatchRecord(
+                    request_id, True, response=response
+                )
+            except TimeoutError:
+                future.cancel()
+                records[slot] = BatchRecord(
+                    request_id,
+                    False,
+                    error=f"timed out after {timeout:g}s",
+                )
+                engine.metrics.incr("timeouts")
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                message = str(exc.args[0] if exc.args else exc)
+                records[slot] = BatchRecord(
+                    request_id,
+                    False,
+                    error=message.splitlines()[0] if message else repr(exc),
+                )
+                engine.metrics.incr("errors")
+    finally:
+        # Don't block the batch on a worker that outlived its timeout —
+        # its thread finishes in the background, the record already says
+        # "timed out".
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    done = tuple(r for r in records if r is not None)
+    with open(output_path, "w", encoding="utf-8") as fh:
+        for record in done:
+            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    return BatchResult(
+        records=done,
+        elapsed=time.perf_counter() - start,
+        metrics=engine.metrics.snapshot(),
+        output_path=str(output_path),
+    )

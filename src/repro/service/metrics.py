@@ -1,0 +1,107 @@
+"""Counters and stage timers for the projection service.
+
+:class:`ServiceMetrics` is a small, thread-safe metrics sink shared by
+the engine, the cache, and the batch runner.  It tracks monotonically
+increasing counters (requests served, cache hits/misses, candidates
+explored, errors) and accumulated wall time per named stage (explore,
+analyze, predict, ...), and exposes both as a plain-dict snapshot — for
+machine consumption — and a human-readable report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, defaultdict
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class ServiceMetrics:
+    """Thread-safe counters + per-stage wall-time accumulators."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Counter[str] = Counter()
+        self._timer_seconds: defaultdict[str, float] = defaultdict(float)
+        self._timer_calls: Counter[str] = Counter()
+
+    # Counters ------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counters[name] += amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters[name]
+
+    # Timers --------------------------------------------------------------
+    @contextmanager
+    def timer(self, stage: str) -> Iterator[None]:
+        """Context manager accumulating wall time under ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(stage, time.perf_counter() - start)
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        """Record ``seconds`` of wall time against ``stage``."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for stage {stage!r}")
+        with self._lock:
+            self._timer_seconds[stage] += seconds
+            self._timer_calls[stage] += 1
+
+    def stage_seconds(self, stage: str) -> float:
+        """Accumulated wall time of ``stage`` (0.0 if never timed)."""
+        with self._lock:
+            return self._timer_seconds[stage]
+
+    # Views ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict copy of every counter and timer, JSON-safe."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    stage: {
+                        "seconds": self._timer_seconds[stage],
+                        "calls": self._timer_calls[stage],
+                    }
+                    for stage in sorted(self._timer_seconds)
+                },
+            }
+
+    def report(self) -> str:
+        """Human-readable multi-line account of the snapshot."""
+        snap = self.snapshot()
+        lines = ["service metrics:"]
+        if snap["counters"]:
+            lines.append("  counters:")
+            for name in sorted(snap["counters"]):
+                lines.append(f"    {name:<24} {snap['counters'][name]}")
+        if snap["timers"]:
+            lines.append("  stage wall time:")
+            for stage, entry in snap["timers"].items():
+                mean = entry["seconds"] / entry["calls"]
+                lines.append(
+                    f"    {stage:<24} {entry['seconds'] * 1e3:10.2f} ms "
+                    f"over {entry['calls']} call(s) "
+                    f"({mean * 1e3:.2f} ms each)"
+                )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        with self._lock:
+            self._counters.clear()
+            self._timer_seconds.clear()
+            self._timer_calls.clear()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.report()

@@ -1,0 +1,159 @@
+"""Deterministic fan-out of projection work across a worker pool.
+
+Two axes of parallelism, both embarrassingly parallel and both merged in
+a fixed order so parallel and serial execution produce *identical*
+results:
+
+- **kernels**: each kernel of a multi-kernel program explores its
+  transformation space independently;
+- **transformation-space chunks**: a single kernel's candidate grid is
+  split into contiguous chunks scored concurrently and merged back in
+  grid order, so the best-candidate tie-breaking (first minimum wins)
+  matches the serial explorer exactly.
+
+The pool is a ``concurrent.futures.ThreadPoolExecutor``; the exploration
+is pure computation over immutable dataclasses, so threads are safe, and
+``max_workers <= 1`` (or a pool that cannot be created) falls back to a
+plain serial loop.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.gpu.model import GpuPerformanceModel
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.program import ProgramSkeleton
+from repro.transform.explorer import (
+    CandidateResult,
+    KernelProjection,
+    ProgramProjection,
+    explore_configs,
+)
+from repro.transform.space import MappingConfig, TransformationSpace
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def map_ordered(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]`` with optional thread fan-out.
+
+    Results always come back in input order regardless of completion
+    order.  Runs serially when ``max_workers`` is None/<=1, when there is
+    at most one item, or when the pool cannot be created (e.g. a
+    thread-limited environment) — the serial fallback is semantically
+    identical.
+    """
+    work = list(items)
+    if max_workers is None or max_workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        pool = ThreadPoolExecutor(max_workers=min(max_workers, len(work)))
+    except (OSError, RuntimeError):
+        return [fn(item) for item in work]
+    with pool:
+        futures = [pool.submit(fn, item) for item in work]
+        return [future.result() for future in futures]
+
+
+def space_chunks(
+    configs: Sequence[MappingConfig], chunk_count: int
+) -> list[tuple[MappingConfig, ...]]:
+    """Split a candidate list into <= ``chunk_count`` contiguous chunks.
+
+    Chunks preserve grid order, so concatenating the per-chunk results
+    reproduces the serial enumeration exactly.
+    """
+    if chunk_count < 1:
+        raise ValueError(f"chunk_count must be >= 1, got {chunk_count}")
+    configs = tuple(configs)
+    if not configs:
+        return []
+    chunk_count = min(chunk_count, len(configs))
+    size, extra = divmod(len(configs), chunk_count)
+    chunks: list[tuple[MappingConfig, ...]] = []
+    start = 0
+    for index in range(chunk_count):
+        end = start + size + (1 if index < extra else 0)
+        chunks.append(configs[start:end])
+        start = end
+    return chunks
+
+
+def explore_kernel_parallel(
+    kernel: KernelSkeleton,
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    space: TransformationSpace | None = None,
+    max_workers: int | None = None,
+) -> KernelProjection:
+    """:func:`~repro.transform.explorer.explore_kernel`, chunk-parallel.
+
+    Splits the space into one chunk per worker, scores chunks on the
+    pool, and merges candidates/skipped in grid order.  ``min`` keeps the
+    first of tied minima, so the selected best mapping is identical to
+    the serial explorer's.
+    """
+    space = space or TransformationSpace.default()
+    configs = tuple(space)
+    chunks = space_chunks(configs, max_workers or 1)
+    results = map_ordered(
+        lambda chunk: explore_configs(kernel, program, model, chunk),
+        chunks,
+        max_workers,
+    )
+    candidates: list[CandidateResult] = []
+    skipped: list[tuple[MappingConfig, str]] = []
+    for chunk_candidates, chunk_skipped in results:
+        candidates.extend(chunk_candidates)
+        skipped.extend(chunk_skipped)
+    if not candidates:
+        raise ValueError(
+            f"no legal mapping for kernel {kernel.name!r} on "
+            f"{model.arch.name} (tried {len(skipped)})"
+        )
+    best = min(candidates, key=lambda c: c.seconds)
+    return KernelProjection(
+        kernel=kernel.name,
+        best=best,
+        candidates=tuple(candidates),
+        skipped=tuple(skipped),
+    )
+
+
+def project_kernels_parallel(
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    space: TransformationSpace | None = None,
+    max_workers: int | None = None,
+) -> ProgramProjection:
+    """:func:`~repro.transform.explorer.project_program`, pool-backed.
+
+    Multi-kernel programs fan out one task per kernel; a single-kernel
+    program instead splits its transformation space across the pool.
+    Either way the returned projection is byte-for-byte the serial one.
+    """
+    kernels = program.kernels
+    if len(kernels) == 1:
+        projections = (
+            explore_kernel_parallel(
+                kernels[0], program, model, space, max_workers
+            ),
+        )
+    else:
+        projections = tuple(
+            map_ordered(
+                lambda kernel: explore_kernel_parallel(
+                    kernel, program, model, space, max_workers=1
+                ),
+                kernels,
+                max_workers,
+            )
+        )
+    return ProgramProjection(program=program.name, kernels=projections)

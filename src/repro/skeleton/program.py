@@ -3,9 +3,78 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.skeleton.arrays import ArrayDecl
 from repro.skeleton.kernel import KernelSkeleton
+from repro.util.fingerprint import canonical_json, stable_digest
+
+
+def _index_payload(index) -> dict[str, Any]:
+    return {
+        "coeffs": sorted(index.coeffs.items()),
+        "offset": index.offset,
+    }
+
+
+def _access_payload(access) -> dict[str, Any]:
+    return {
+        "array": access.array,
+        "indices": [_index_payload(i) for i in access.indices],
+        "kind": access.kind.value,
+        "indirect": access.indirect,
+        "indirect_dims": list(access.indirect_dims),
+    }
+
+
+def _statement_payload(statement) -> dict[str, Any]:
+    # ``label`` is cosmetic and access order within a statement is
+    # irrelevant to the analysis, so neither participates.
+    return {
+        "accesses": sorted(
+            (_access_payload(a) for a in statement.accesses),
+            key=canonical_json,
+        ),
+        "flops": statement.flops,
+        "branch_prob": statement.branch_prob,
+        "amortize": (
+            sorted(statement.amortize)
+            if statement.amortize is not None
+            else None
+        ),
+    }
+
+
+def _kernel_payload(kernel: KernelSkeleton) -> dict[str, Any]:
+    # Loop order matters (it defines the nest); statement order does not
+    # (every statement executes once per innermost iteration), so
+    # statements are sorted into a canonical order.
+    return {
+        "name": kernel.name,
+        "loops": [
+            {
+                "var": loop.var,
+                "lower": loop.lower,
+                "upper": loop.upper,
+                "step": loop.step,
+                "parallel": loop.parallel,
+            }
+            for loop in kernel.loops
+        ],
+        "statements": sorted(
+            (_statement_payload(s) for s in kernel.statements),
+            key=canonical_json,
+        ),
+    }
+
+
+def _array_payload(array: ArrayDecl) -> dict[str, Any]:
+    return {
+        "name": array.name,
+        "shape": list(array.shape),
+        "dtype": array.dtype.label,
+        "kind": array.kind.value,
+    }
 
 
 @dataclass(frozen=True)
@@ -78,6 +147,27 @@ class ProgramSkeleton:
     @property
     def total_flops(self) -> float:
         return sum(k.total_flops for k in self.kernels)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything the projection depends on.
+
+        Two programs that differ only in *representation* — array
+        declaration order, statement order within a kernel, statement
+        labels — fingerprint identically; any change to shapes, dtypes,
+        flops, loop structure, kernel order (which drives liveness), or
+        temporary hints produces a different digest.  The projection
+        service uses this as part of its cache key.
+        """
+        payload = {
+            "name": self.name,
+            "arrays": sorted(
+                (_array_payload(a) for a in self.arrays),
+                key=lambda p: p["name"],
+            ),
+            "kernels": [_kernel_payload(k) for k in self.kernels],
+            "temporaries": sorted(self.temporaries),
+        }
+        return stable_digest(payload)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

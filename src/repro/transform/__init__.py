@@ -14,8 +14,10 @@ from repro.transform.synthesize import (
     synthesize_characteristics,
 )
 from repro.transform.explorer import (
+    CandidateResult,
     KernelProjection,
     ProgramProjection,
+    explore_configs,
     explore_kernel,
     project_program,
 )
@@ -32,8 +34,10 @@ __all__ = [
     "TransformationSpace",
     "access_is_coalesced",
     "synthesize_characteristics",
+    "CandidateResult",
     "KernelProjection",
     "ProgramProjection",
+    "explore_configs",
     "explore_kernel",
     "project_program",
     "FusionChoice",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.gpu.characteristics import KernelCharacteristics
 from repro.gpu.model import GpuPerformanceModel, GpuTimingBreakdown
@@ -101,6 +102,39 @@ class ProgramProjection:
         raise KeyError(f"no projection for kernel {name!r}")
 
 
+def explore_configs(
+    kernel: KernelSkeleton,
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    configs: Iterable[MappingConfig],
+) -> tuple[list[CandidateResult], list[tuple[MappingConfig, str]]]:
+    """Score an explicit list of mappings; no best-selection.
+
+    The building block under :func:`explore_kernel` — and under the
+    service layer's parallel explorer, which splits a space into chunks,
+    scores each chunk on a worker, and merges.  Returns the scored
+    candidates and the pruned (config, reason) pairs, both in input
+    order.
+    """
+    arrays = program.array_map
+    candidates: list[CandidateResult] = []
+    skipped: list[tuple[MappingConfig, str]] = []
+    for config in configs:
+        chars = synthesize_characteristics(
+            kernel,
+            arrays,
+            config,
+            strict_coalescing=model.arch.strict_coalescing,
+        )
+        try:
+            breakdown = model.breakdown(chars)
+        except ValueError as exc:
+            skipped.append((config, str(exc)))
+            continue
+        candidates.append(CandidateResult(config, chars, breakdown))
+    return candidates, skipped
+
+
 def explore_kernel(
     kernel: KernelSkeleton,
     program: ProgramSkeleton,
@@ -115,22 +149,7 @@ def explore_kernel(
     configurations.
     """
     space = space or TransformationSpace.default()
-    arrays = program.array_map
-    candidates: list[CandidateResult] = []
-    skipped: list[tuple[MappingConfig, str]] = []
-    for config in space:
-        chars = synthesize_characteristics(
-            kernel,
-            arrays,
-            config,
-            strict_coalescing=model.arch.strict_coalescing,
-        )
-        try:
-            breakdown = model.breakdown(chars)
-        except ValueError as exc:
-            skipped.append((config, str(exc)))
-            continue
-        candidates.append(CandidateResult(config, chars, breakdown))
+    candidates, skipped = explore_configs(kernel, program, model, space)
     if not candidates:
         raise ValueError(
             f"no legal mapping for kernel {kernel.name!r} on "

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.util.fingerprint import stable_digest
 from repro.util.validation import check_positive
 
 
@@ -80,6 +81,22 @@ class TransformationSpace:
             * len(self.shared_memory_options)
             * len(self.unroll_factors)
             * len(self.coarsening_factors)
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the candidate *set*.
+
+        Axis values are sorted first: two spaces enumerating the same
+        candidates in a different order explore the same set and
+        fingerprint identically.
+        """
+        return stable_digest(
+            {
+                "block_sizes": sorted(self.block_sizes),
+                "shared_memory_options": sorted(self.shared_memory_options),
+                "unroll_factors": sorted(self.unroll_factors),
+                "coarsening_factors": sorted(self.coarsening_factors),
+            }
         )
 
     @staticmethod

@@ -25,6 +25,7 @@ from repro.util.stats import (
     summarize,
     Summary,
 )
+from repro.util.fingerprint import canonical_json, stable_digest
 from repro.util.rng import RngStream, derive_seed
 from repro.util.tables import Table, render_series
 from repro.util.validation import (
@@ -50,6 +51,8 @@ __all__ = [
     "geometric_mean",
     "summarize",
     "Summary",
+    "canonical_json",
+    "stable_digest",
     "RngStream",
     "derive_seed",
     "Table",

@@ -1,0 +1,47 @@
+"""Stable content fingerprints for cache keys.
+
+The projection service (:mod:`repro.service`) caches results under a key
+derived from everything that determines a projection: the skeleton, the
+GPU architecture, the bus model, and the explorer options.  Each of those
+types exposes a ``fingerprint()`` built on :func:`stable_digest`: the
+object is first reduced to a *canonical* JSON-safe payload (sorted keys,
+no insertion-order or float-repr ambiguity) and then hashed with SHA-256.
+
+Two rules keep the keys useful:
+
+- **Semantically equal inputs hash equally.**  Payloads must normalize
+  away representation choices that cannot affect the projection — e.g.
+  array-declaration order or statement order within a kernel.
+- **Anything that can change the result changes the hash.**  Every model
+  parameter, shape, flop count, and option must appear in the payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding of a JSON-safe payload.
+
+    Keys are sorted and separators fixed, so the encoding is independent
+    of dict insertion order and Python version cosmetics.  Floats use
+    ``repr`` (shortest round-trip form), which is stable across CPython
+    builds.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def stable_digest(payload: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``payload``.
+
+    Raises ``TypeError`` if the payload contains non-JSON-safe values —
+    fingerprint payloads are built from primitives on purpose, so a leak
+    of a rich object into one is a bug worth failing loudly on.
+    """
+    encoded = canonical_json(payload).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()

@@ -1,0 +1,107 @@
+"""Round-trip property: summary -> dict/JSON -> summary is the identity.
+
+The service cache stores summaries as JSON on disk, so exact (not
+approximate) round-tripping is what makes a cache hit provably
+equivalent to recomputation.  Hypothesis drives arbitrary summaries
+through the dict and JSON forms; a concrete test does the same for a
+summary produced by the real pipeline.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialize import (
+    KernelSummary,
+    ProjectionSummary,
+    TransferSummary,
+    summarize_projection,
+)
+from repro.gpu.arch import quadro_fx_5600
+from repro.pcie.presets import pcie_gen1_bus
+from repro.core.projector import GrophecyPlusPlus
+from repro.workloads.registry import get_workload
+
+# Finite floats only: NaN breaks equality and the canonical JSON form
+# rejects it by design (allow_nan=False).
+finite = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+name = st.text(min_size=1, max_size=24)
+
+kernels = st.builds(
+    KernelSummary,
+    name=name,
+    seconds=finite,
+    best_mapping=st.text(max_size=16),
+    regime=st.sampled_from(["MWP", "CWP", "FEW_WARPS"]),
+    search_width=st.integers(1, 10_000),
+)
+
+transfers = st.builds(
+    TransferSummary,
+    array=name,
+    direction=st.sampled_from(["H2D", "D2H"]),
+    bytes=st.integers(1, 1 << 40),
+    elements=st.integers(1, 1 << 32),
+    seconds=finite,
+    conservative=st.booleans(),
+)
+
+summaries = st.builds(
+    ProjectionSummary,
+    program=name,
+    kernel_seconds=finite,
+    transfer_seconds=finite,
+    setup_seconds=finite,
+    kernels=st.tuples() | st.tuples(kernels) | st.tuples(kernels, kernels),
+    transfers=st.tuples()
+    | st.tuples(transfers)
+    | st.tuples(transfers, transfers),
+)
+
+
+class TestRoundTripProperty:
+    @given(summaries)
+    @settings(max_examples=200, deadline=None)
+    def test_dict_round_trip_is_identity(self, summary):
+        assert ProjectionSummary.from_dict(summary.to_dict()) == summary
+
+    @given(summaries)
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip_is_identity(self, summary):
+        assert ProjectionSummary.from_json(summary.to_json()) == summary
+
+    @given(summaries)
+    @settings(max_examples=50, deadline=None)
+    def test_dict_form_is_json_safe_and_stable(self, summary):
+        a = json.dumps(summary.to_dict(), sort_keys=True)
+        b = json.dumps(
+            ProjectionSummary.from_dict(summary.to_dict()).to_dict(),
+            sort_keys=True,
+        )
+        assert a == b
+
+    @given(summaries, st.integers(1, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_derived_quantities_survive(self, summary, iterations):
+        rebuilt = ProjectionSummary.from_dict(summary.to_dict())
+        assert rebuilt.total_seconds(iterations) == summary.total_seconds(
+            iterations
+        )
+        assert rebuilt.total_bytes == summary.total_bytes
+        assert rebuilt.transfer_count == summary.transfer_count
+
+
+class TestRealProjectionRoundTrip:
+    def test_pipeline_summary_round_trips_exactly(self):
+        workload = get_workload("HotSpot")
+        dataset = workload.datasets()[0]
+        projection = GrophecyPlusPlus(
+            quadro_fx_5600(), pcie_gen1_bus()
+        ).project(workload.skeleton(dataset), workload.hints(dataset))
+        summary = summarize_projection(projection)
+        assert ProjectionSummary.from_json(summary.to_json()) == summary
+        assert summary.kernel_seconds == projection.kernel_seconds
+        assert summary.transfer_seconds == projection.transfer_seconds

@@ -1,0 +1,158 @@
+"""Tests for the projection engine: caching, batching, metrics."""
+
+import pytest
+
+from repro.core.projector import GrophecyPlusPlus
+from repro.gpu.arch import quadro_fx_5600
+from repro.pcie.presets import pcie_gen1_bus
+from repro.service.cache import ProjectionCache
+from repro.service.engine import ProjectionEngine, ProjectionRequest
+from repro.skeleton import KernelBuilder, ProgramBuilder
+
+
+def vector_program(n=4096, name="vadd"):
+    pb = ProgramBuilder(name)
+    pb.array("a", (n,)).array("b", (n,)).array("c", (n,))
+    kb = KernelBuilder("add").parallel_loop("i", n)
+    kb.load("a", "i").load("b", "i").store("c", "i").statement(flops=1)
+    return pb.kernel(kb).build()
+
+
+class TestSingleRequests:
+    def test_matches_direct_projector(self):
+        program = vector_program()
+        engine = ProjectionEngine()
+        response = engine.project(ProjectionRequest(program))
+        direct = GrophecyPlusPlus(quadro_fx_5600(), pcie_gen1_bus()).project(
+            program
+        )
+        assert response.summary.kernel_seconds == pytest.approx(
+            direct.kernel_seconds
+        )
+        assert response.summary.transfer_seconds == pytest.approx(
+            direct.transfer_seconds
+        )
+        assert not response.cached
+        assert response.projection is not None
+
+    def test_iterations_scale_total_but_not_key(self):
+        program = vector_program()
+        engine = ProjectionEngine(cache=ProjectionCache())
+        one = engine.project(ProjectionRequest(program, iterations=1))
+        many = engine.project(ProjectionRequest(program, iterations=100))
+        assert many.cached  # same key: iterations are response-side only
+        assert many.total_seconds > one.total_seconds
+
+    def test_speedup_requires_cpu_time(self):
+        program = vector_program()
+        engine = ProjectionEngine()
+        without = engine.project(ProjectionRequest(program))
+        with_cpu = engine.project(
+            ProjectionRequest(program, cpu_seconds=1.0)
+        )
+        assert without.speedup is None
+        assert with_cpu.speedup == pytest.approx(
+            1.0 / with_cpu.total_seconds
+        )
+
+    def test_to_dict_is_jsonl_ready(self):
+        import json
+
+        program = vector_program()
+        engine = ProjectionEngine()
+        record = engine.project(
+            ProjectionRequest(program, request_id="r1", cpu_seconds=0.5)
+        ).to_dict()
+        assert record["id"] == "r1"
+        assert record["ok"] is True
+        assert "speedup" in record
+        json.dumps(record)  # must not raise
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            ProjectionRequest(vector_program(), iterations=0)
+
+
+class TestCaching:
+    def test_hit_returns_identical_summary(self):
+        engine = ProjectionEngine(cache=ProjectionCache())
+        request = ProjectionRequest(vector_program())
+        cold = engine.project(request)
+        warm = engine.project(request)
+        assert not cold.cached and warm.cached
+        assert warm.summary == cold.summary
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.projection is None  # hits carry only the summary
+
+    def test_metrics_track_hits_and_misses(self):
+        engine = ProjectionEngine(cache=ProjectionCache())
+        request = ProjectionRequest(vector_program())
+        engine.project(request)
+        engine.project(request)
+        engine.project(ProjectionRequest(vector_program(name="other")))
+        assert engine.metrics.counter("requests") == 3
+        assert engine.metrics.counter("cache_hits") == 1
+        assert engine.metrics.counter("cache_misses") == 2
+        assert engine.metrics.counter("candidates_explored") > 0
+
+    def test_no_cache_means_no_hits(self):
+        engine = ProjectionEngine(cache=None)
+        request = ProjectionRequest(vector_program())
+        assert not engine.project(request).cached
+        assert not engine.project(request).cached
+        assert engine.metrics.counter("cache_hits") == 0
+
+    def test_disk_cache_spans_engines(self, tmp_path):
+        request = ProjectionRequest(vector_program())
+        first = ProjectionEngine(
+            cache=ProjectionCache(disk_dir=tmp_path / "cache")
+        )
+        cold = first.project(request)
+        second = ProjectionEngine(
+            cache=ProjectionCache(disk_dir=tmp_path / "cache")
+        )
+        warm = second.project(request)
+        assert warm.cached
+        assert warm.summary == cold.summary
+
+    def test_stage_timers_populated_on_miss(self):
+        engine = ProjectionEngine(cache=ProjectionCache())
+        engine.project(ProjectionRequest(vector_program()))
+        snap = engine.metrics.snapshot()
+        for stage in ("explore", "analyze", "predict", "cache_lookup"):
+            assert stage in snap["timers"], stage
+
+
+class TestBatching:
+    def test_responses_in_request_order(self):
+        engine = ProjectionEngine(max_workers=4)
+        requests = [
+            ProjectionRequest(
+                vector_program(name=f"p{i}"), request_id=f"r{i}"
+            )
+            for i in range(6)
+        ]
+        responses = engine.project_batch(requests)
+        assert [r.request_id for r in responses] == [
+            f"r{i}" for i in range(6)
+        ]
+
+    def test_parallel_batch_matches_serial(self):
+        requests = [
+            ProjectionRequest(vector_program(n=1024 * (i + 1)))
+            for i in range(4)
+        ]
+        serial = ProjectionEngine(max_workers=1).project_batch(requests)
+        parallel = ProjectionEngine(max_workers=4).project_batch(requests)
+        assert [r.summary for r in serial] == [r.summary for r in parallel]
+
+    def test_second_batch_is_all_hits(self):
+        engine = ProjectionEngine(cache=ProjectionCache(), max_workers=4)
+        requests = [
+            ProjectionRequest(vector_program(name=f"p{i}"))
+            for i in range(5)
+        ]
+        engine.project_batch(requests)
+        again = engine.project_batch(requests)
+        assert all(r.cached for r in again)
+        assert engine.metrics.counter("cache_hits") == 5

@@ -1,0 +1,95 @@
+"""Tests for the service metrics sink."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics
+
+
+class TestCounters:
+    def test_incr_and_read(self):
+        metrics = ServiceMetrics()
+        assert metrics.counter("requests") == 0
+        metrics.incr("requests")
+        metrics.incr("requests", 4)
+        assert metrics.counter("requests") == 5
+
+    def test_thread_safety(self):
+        metrics = ServiceMetrics()
+
+        def bump():
+            for _ in range(1000):
+                metrics.incr("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.counter("n") == 8000
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        metrics = ServiceMetrics()
+        metrics.add_time("explore", 0.25)
+        metrics.add_time("explore", 0.25)
+        assert metrics.stage_seconds("explore") == pytest.approx(0.5)
+        assert metrics.stage_seconds("never") == 0.0
+
+    def test_context_manager_records_time(self):
+        metrics = ServiceMetrics()
+        with metrics.timer("stage"):
+            pass
+        assert metrics.stage_seconds("stage") >= 0.0
+        assert metrics.snapshot()["timers"]["stage"]["calls"] == 1
+
+    def test_context_manager_records_on_exception(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(RuntimeError):
+            with metrics.timer("stage"):
+                raise RuntimeError("boom")
+        assert metrics.snapshot()["timers"]["stage"]["calls"] == 1
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics().add_time("x", -1.0)
+
+
+class TestViews:
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.incr("requests", 2)
+        metrics.add_time("explore", 0.1)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"requests": 2}
+        assert snap["timers"]["explore"]["seconds"] == pytest.approx(0.1)
+        assert snap["timers"]["explore"]["calls"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        metrics = ServiceMetrics()
+        metrics.incr("requests")
+        snap = metrics.snapshot()
+        snap["counters"]["requests"] = 99
+        assert metrics.counter("requests") == 1
+
+    def test_report_mentions_counters_and_stages(self):
+        metrics = ServiceMetrics()
+        metrics.incr("cache_hits", 3)
+        metrics.add_time("predict", 0.01)
+        report = metrics.report()
+        assert "cache_hits" in report
+        assert "predict" in report
+        assert "ms" in report
+
+    def test_empty_report(self):
+        assert "(empty)" in ServiceMetrics().report()
+
+    def test_reset(self):
+        metrics = ServiceMetrics()
+        metrics.incr("requests")
+        metrics.add_time("explore", 1.0)
+        metrics.reset()
+        assert metrics.counter("requests") == 0
+        assert metrics.stage_seconds("explore") == 0.0

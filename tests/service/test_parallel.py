@@ -1,0 +1,115 @@
+"""Parallel exploration must be bit-identical to the serial explorer."""
+
+import pytest
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.model import GpuPerformanceModel
+from repro.service.parallel import (
+    explore_kernel_parallel,
+    map_ordered,
+    project_kernels_parallel,
+    space_chunks,
+)
+from repro.skeleton import KernelBuilder, ProgramBuilder
+from repro.transform.explorer import explore_kernel, project_program
+from repro.transform.space import MappingConfig, TransformationSpace
+
+
+def stencil_program(n=256):
+    pb = ProgramBuilder("p")
+    pb.array("src", (n, n)).array("dst", (n, n))
+    kb = KernelBuilder("stencil")
+    kb.parallel_loop("i", n - 1, 1).parallel_loop("j", n - 1, 1)
+    kb.load("src", "i", "j").load("src", ("i", 1, -1), "j")
+    kb.load("src", ("i", 1, 1), "j").store("dst", "i", "j")
+    kb.statement(flops=4)
+    return pb.kernel(kb).build()
+
+
+def two_kernel_program(n=256):
+    pb = ProgramBuilder("p2")
+    pb.array("a", (n,)).array("b", (n,))
+    k1 = KernelBuilder("first").parallel_loop("i", n)
+    k1.load("a", "i").store("b", "i").statement(flops=1)
+    k2 = KernelBuilder("second").parallel_loop("i", n)
+    k2.load("b", "i").store("a", "i").statement(flops=2)
+    return pb.kernel(k1).kernel(k2).build()
+
+
+class TestMapOrdered:
+    def test_preserves_input_order(self):
+        items = list(range(20))
+        assert map_ordered(lambda x: x * x, items, 4) == [
+            x * x for x in items
+        ]
+
+    def test_serial_fallback_matches(self):
+        items = ["a", "bb", "ccc"]
+        assert map_ordered(len, items, None) == map_ordered(len, items, 8)
+
+    def test_propagates_exceptions(self):
+        def boom(x):
+            raise RuntimeError(f"bad {x}")
+
+        with pytest.raises(RuntimeError):
+            map_ordered(boom, [1, 2], 2)
+
+
+class TestSpaceChunks:
+    def test_concatenation_preserves_order(self):
+        configs = tuple(TransformationSpace.default())
+        chunks = space_chunks(configs, 5)
+        assert len(chunks) == 5
+        flat = tuple(c for chunk in chunks for c in chunk)
+        assert flat == configs
+
+    def test_more_chunks_than_configs(self):
+        configs = (MappingConfig(64), MappingConfig(128))
+        chunks = space_chunks(configs, 10)
+        assert len(chunks) == 2
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_empty_space(self):
+        assert space_chunks((), 4) == []
+
+    def test_rejects_bad_chunk_count(self):
+        with pytest.raises(ValueError):
+            space_chunks((MappingConfig(64),), 0)
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_single_kernel_identical(self, workers):
+        program = stencil_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        serial = explore_kernel(program.kernels[0], program, model)
+        parallel = explore_kernel_parallel(
+            program.kernels[0], program, model, max_workers=workers
+        )
+        assert parallel.best == serial.best
+        assert parallel.candidates == serial.candidates
+        assert parallel.skipped == serial.skipped
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_multi_kernel_identical(self, workers):
+        program = two_kernel_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        serial = project_program(program, model)
+        parallel = project_kernels_parallel(
+            program, model, max_workers=workers
+        )
+        assert parallel == serial
+
+    def test_no_legal_mapping_still_raises(self):
+        # Only an oversized block on offer: every candidate is pruned.
+        program = stencil_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        space = TransformationSpace(
+            block_sizes=(1024,),
+            shared_memory_options=(False,),
+            unroll_factors=(1,),
+        )
+        with pytest.raises(ValueError, match="no legal mapping"):
+            explore_kernel_parallel(
+                program.kernels[0], program, model, space, max_workers=4
+            )

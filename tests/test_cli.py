@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -7,8 +9,24 @@ from repro.cli import main
 
 def run_cli(*argv: str) -> tuple[int, str]:
     lines: list[str] = []
-    code = main(list(argv), out=lambda s: lines.append(str(s)))
+    code = main(
+        list(argv),
+        out=lambda s: lines.append(str(s)),
+        err=lambda s: lines.append(str(s)),
+    )
     return code, "\n".join(lines)
+
+
+def run_cli_split(*argv: str) -> tuple[int, str, str]:
+    """Like run_cli but with stdout and stderr captured separately."""
+    out_lines: list[str] = []
+    err_lines: list[str] = []
+    code = main(
+        list(argv),
+        out=lambda s: out_lines.append(str(s)),
+        err=lambda s: err_lines.append(str(s)),
+    )
+    return code, "\n".join(out_lines), "\n".join(err_lines)
 
 
 class TestListCommand:
@@ -61,6 +79,52 @@ class TestProjectCommand:
         assert "error" in out.lower()
 
 
+class TestErrorHandling:
+    """User-caused failures: one line on stderr, exit 2, no traceback."""
+
+    def test_unknown_workload_goes_to_stderr(self):
+        code, out, err = run_cli_split("project", "nope")
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error: ")
+        assert len(err.splitlines()) == 1
+        assert "unknown workload" in err
+
+    def test_unknown_dataset(self):
+        code, _, err = run_cli_split(
+            "project", "HotSpot", "--dataset", "9999 x 9999"
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "no dataset" in err
+
+    def test_missing_skeleton_file(self):
+        code, _, err = run_cli_split("project-file", "/no/such/file.skel")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "/no/such/file.skel" in err
+
+    def test_unparsable_skeleton_file(self, tmp_path):
+        bad = tmp_path / "bad.skel"
+        bad.write_text("program broken\nwat is this\n")
+        code, _, err = run_cli_split("project-file", str(bad))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert len(err.splitlines()) == 1
+        assert "line 2" in err
+
+    def test_default_err_writes_to_stderr(self, capsys):
+        code = main(["project", "nope"], out=lambda s: None)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+
+    def test_advise_unknown_workload(self):
+        code, _, err = run_cli_split("advise", "nope")
+        assert code == 2
+        assert "unknown workload" in err
+
+
 class TestProjectFileCommand:
     def test_bundled_skeleton(self):
         code, out = run_cli(
@@ -100,6 +164,84 @@ class TestAdviseCommand:
         )
         assert code == 0
         assert "use pinned" in out
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def requests_file(self, tmp_path):
+        lines = [
+            {"id": "hs", "workload": "HotSpot", "dataset": "64 x 64"},
+            {"id": "va", "workload": "VectorAdd"},
+            {"id": "bad", "workload": "NoSuchWorkload"},
+        ]
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines)
+        )
+        return path
+
+    def test_end_to_end(self, requests_file, tmp_path):
+        out_path = tmp_path / "results.jsonl"
+        code, out = run_cli(
+            "batch", str(requests_file), "-o", str(out_path)
+        )
+        assert code == 0
+        assert "ok 2, errors 1" in out
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        assert [r["id"] for r in records] == ["hs", "va", "bad"]
+        assert records[0]["ok"] and records[1]["ok"]
+        assert not records[2]["ok"]
+        assert "NoSuchWorkload" in records[2]["error"]
+
+    def test_second_run_hits_cache(self, requests_file, tmp_path):
+        args = (
+            "batch", str(requests_file),
+            "-o", str(tmp_path / "r.jsonl"),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        run_cli(*args)
+        code, out = run_cli(*args)
+        assert code == 0
+        assert "cache hits 2/3" in out
+
+    def test_no_cache_flag(self, requests_file, tmp_path):
+        code, out = run_cli(
+            "batch", str(requests_file),
+            "-o", str(tmp_path / "r.jsonl"), "--no-cache",
+        )
+        assert code == 0
+        assert "cache:" not in out
+
+    def test_missing_requests_file(self):
+        code, _, err = run_cli_split("batch", "/no/such/requests.jsonl")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "requests" in err
+
+
+class TestCacheStatsCommand:
+    def test_empty_directory(self, tmp_path):
+        code, out = run_cli("cache-stats", str(tmp_path / "nope"))
+        assert code == 0
+        assert "0 entr(ies)" in out
+
+    def test_populated_directory(self, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "va", "workload": "VectorAdd"}) + "\n"
+        )
+        cache_dir = tmp_path / "cache"
+        run_cli(
+            "batch", str(requests),
+            "-o", str(tmp_path / "r.jsonl"),
+            "--cache-dir", str(cache_dir),
+        )
+        code, out = run_cli("cache-stats", str(cache_dir))
+        assert code == 0
+        assert "1 entr(ies)" in out
 
 
 class TestArtifactsCommand:

@@ -44,6 +44,7 @@ class TestTopLevelApi:
             "repro.core",
             "repro.workloads",
             "repro.harness",
+            "repro.service",
             "repro.cli",
         ):
             mod = importlib.import_module(module)
@@ -64,6 +65,7 @@ class TestTopLevelApi:
             "repro.core",
             "repro.workloads",
             "repro.cpu",
+            "repro.service",
         ):
             mod = importlib.import_module(module)
             for name in getattr(mod, "__all__", ()):
