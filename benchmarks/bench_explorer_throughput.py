@@ -1,0 +1,92 @@
+"""Explorer throughput: fast path vs reference oracle, pruning on/off.
+
+The projected kernel time is the min over the transformation space, so
+configs-scored-per-second is the system's hot-path metric.  This
+benchmark sweeps every registered workload's kernels over
+``TransformationSpace.wide()`` with each scoring path and asserts the
+acceptance bar from ``docs/EXPLORER.md``: the fast path is at least 5x
+faster than the reference explorer across the registered workloads.
+
+Per-kernel ratios vary (the smallest skeletons are dominated by the
+dataclass construction both paths share); the bar is on the aggregate —
+total configs scored over total wall time.
+"""
+
+import time
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.model import GpuPerformanceModel
+from repro.transform.explorer import explore_kernel
+from repro.transform.space import TransformationSpace
+from repro.workloads.registry import all_workloads
+
+
+def _kernel_suite():
+    """(kernel, program) for every kernel of every registered workload."""
+    suite = []
+    for workload in all_workloads():
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        program = workload.skeleton(dataset)
+        for kernel in program.kernels[:2]:  # cap PathFinder's 64 rows
+            suite.append((workload.name, kernel, program))
+    return suite
+
+
+def _sweep(model, space, explorer, prune=False):
+    for _, kernel, program in _kernel_suite():
+        explore_kernel(
+            kernel, program, model, space, explorer=explorer, prune=prune
+        )
+
+
+def test_reference_explorer(benchmark):
+    model = GpuPerformanceModel(quadro_fx_5600())
+    space = TransformationSpace.wide()
+    benchmark.pedantic(
+        lambda: _sweep(model, space, "reference"), rounds=3, warmup_rounds=1
+    )
+
+
+def test_fast_explorer(benchmark):
+    model = GpuPerformanceModel(quadro_fx_5600())
+    space = TransformationSpace.wide()
+    benchmark.pedantic(
+        lambda: _sweep(model, space, "fast"), rounds=3, warmup_rounds=1
+    )
+
+
+def test_fast_explorer_with_pruning(benchmark):
+    model = GpuPerformanceModel(quadro_fx_5600())
+    space = TransformationSpace.wide()
+    benchmark.pedantic(
+        lambda: _sweep(model, space, "fast", prune=True),
+        rounds=3,
+        warmup_rounds=1,
+    )
+
+
+def test_fast_is_at_least_5x_faster():
+    """The PR's acceptance bar, measured directly in configs/second."""
+    model = GpuPerformanceModel(quadro_fx_5600())
+    space = TransformationSpace.wide()
+    suite = _kernel_suite()
+    configs_per_sweep = len(space) * len(suite)
+
+    def measure(explorer, rounds):
+        _sweep(model, space, explorer)  # warm up caches and imports
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            _sweep(model, space, explorer)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    ref = measure("reference", rounds=3)
+    fast = measure("fast", rounds=3)
+    ref_rate = configs_per_sweep / ref
+    fast_rate = configs_per_sweep / fast
+    print(
+        f"\nreference: {ref_rate:,.0f} configs/s   "
+        f"fast: {fast_rate:,.0f} configs/s   ratio: {ref / fast:.1f}x"
+    )
+    assert ref / fast >= 5.0

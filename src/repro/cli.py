@@ -97,6 +97,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--allocation", action="store_true",
         help="charge one-time memory-allocation overhead",
     )
+    p.add_argument(
+        "--reference-explorer", action="store_true",
+        help="force the scalar reference explorer instead of the fast "
+        "path (identical results; see docs/EXPLORER.md)",
+    )
 
     p = sub.add_parser(
         "project-file",
@@ -109,6 +114,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="measured CPU time per iteration in ms (for a speedup verdict)",
     )
     p.add_argument("--iterations", type=int, default=1)
+    p.add_argument(
+        "--reference-explorer", action="store_true",
+        help="force the scalar reference explorer instead of the fast path",
+    )
 
     p = sub.add_parser("advise", help="pinned vs pageable recommendation")
     p.add_argument("workload")
@@ -160,6 +169,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable result caching for this run",
     )
+    p.add_argument(
+        "--reference-explorer", action="store_true",
+        help="force the scalar reference explorer instead of the fast path",
+    )
+    p.add_argument(
+        "--prune", action="store_true",
+        help="enable bound-based pruning on the fast path "
+        "(same best mappings; losing candidates are skipped early)",
+    )
 
     p = sub.add_parser(
         "cache-stats", help="inspect an on-disk projection cache"
@@ -194,7 +212,8 @@ def _cmd_calibrate(args, out) -> int:
 
 
 def _cmd_project(args, out) -> int:
-    ctx = ExperimentContext(seed=args.seed)
+    explorer = "reference" if args.reference_explorer else "fast"
+    ctx = ExperimentContext(seed=args.seed, explorer=explorer)
     workload = get_workload(args.workload)
     dataset = _pick_dataset(workload, args.dataset)
     if args.allocation:
@@ -206,6 +225,7 @@ def _cmd_project(args, out) -> int:
             quadro_fx_5600(),
             ctx.bus_model,
             allocation=cuda23_era_allocation_model(),
+            explorer=explorer,
         )
         projection = projector.project(
             workload.skeleton(dataset), workload.hints(dataset)
@@ -248,7 +268,8 @@ def _cmd_project(args, out) -> int:
 def _cmd_project_file(args, out) -> int:
     from repro.skeleton.parser import parse_skeleton_file
 
-    ctx = ExperimentContext(seed=args.seed)
+    explorer = "reference" if args.reference_explorer else "fast"
+    ctx = ExperimentContext(seed=args.seed, explorer=explorer)
     program = parse_skeleton_file(args.path)
     projection = ctx.projector.project(program)
     n = args.iterations
@@ -382,6 +403,8 @@ def _cmd_batch(args, out) -> int:
         bus=ctx.bus_model,
         cache=cache,
         max_workers=max(1, args.jobs),
+        explorer="reference" if args.reference_explorer else "fast",
+        prune=args.prune,
     )
     result = run_batch(
         requests_path,

@@ -27,13 +27,21 @@ class Grophecy:
         self,
         gpu: GPUArchitecture | GpuPerformanceModel,
         space: TransformationSpace | None = None,
+        explorer: str = "fast",
+        prune: bool = False,
     ) -> None:
+        """``explorer`` selects the exploration path (``"fast"`` or the
+        scalar ``"reference"`` oracle — identical results, see
+        ``docs/EXPLORER.md``); ``prune=True`` enables bound-based
+        pruning on the fast path."""
         self._model = (
             gpu
             if isinstance(gpu, GpuPerformanceModel)
             else GpuPerformanceModel(gpu)
         )
         self._space = space or TransformationSpace.default()
+        self._explorer = explorer
+        self._prune = prune
 
     @property
     def model(self) -> GpuPerformanceModel:
@@ -45,7 +53,13 @@ class Grophecy:
 
     def project_kernels(self, program: ProgramSkeleton) -> ProgramProjection:
         """Best-mapping kernel projection for each kernel of the program."""
-        return project_program(program, self._model, self._space)
+        return project_program(
+            program,
+            self._model,
+            self._space,
+            explorer=self._explorer,
+            prune=self._prune,
+        )
 
 
 class GrophecyPlusPlus(Grophecy):
@@ -64,11 +78,13 @@ class GrophecyPlusPlus(Grophecy):
         batched_transfers: bool = False,
         allocation: AllocationModel | None = None,
         memory: MemoryKind = MemoryKind.PINNED,
+        explorer: str = "fast",
+        prune: bool = False,
     ) -> None:
         """``allocation``: optionally charge one-time buffer-allocation
         costs (the paper's future-work extension); ``memory`` selects the
         host allocation kind those costs assume."""
-        super().__init__(gpu, space)
+        super().__init__(gpu, space, explorer=explorer, prune=prune)
         self._bus = bus
         self._batched = batched_transfers
         self._allocation = allocation

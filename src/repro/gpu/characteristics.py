@@ -10,8 +10,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-from repro.util.validation import check_non_negative, check_positive
-
 
 @dataclass(frozen=True)
 class KernelCharacteristics:
@@ -52,19 +50,50 @@ class KernelCharacteristics:
     syncs_per_thread: float = 0.0
 
     def __post_init__(self) -> None:
-        check_positive("threads", self.threads)
-        check_positive("block_size", self.block_size)
-        check_non_negative("comp_insts_per_thread", self.comp_insts_per_thread)
-        check_non_negative("mem_insts_per_thread", self.mem_insts_per_thread)
+        # Inlined check_positive/check_non_negative (same messages): the
+        # explorer constructs one of these per candidate mapping, and the
+        # helper-call overhead is measurable on that path.
+        if not self.threads > 0:
+            raise ValueError(f"threads must be positive, got {self.threads!r}")
+        if not self.block_size > 0:
+            raise ValueError(
+                f"block_size must be positive, got {self.block_size!r}"
+            )
+        if self.comp_insts_per_thread < 0:
+            raise ValueError(
+                f"comp_insts_per_thread must be non-negative, got "
+                f"{self.comp_insts_per_thread!r}"
+            )
+        if self.mem_insts_per_thread < 0:
+            raise ValueError(
+                f"mem_insts_per_thread must be non-negative, got "
+                f"{self.mem_insts_per_thread!r}"
+            )
         if not 0.0 <= self.coalesced_fraction <= 1.0:
             raise ValueError(
                 f"coalesced_fraction must be in [0, 1], got "
                 f"{self.coalesced_fraction}"
             )
-        check_positive("bytes_per_access", self.bytes_per_access)
-        check_positive("registers_per_thread", self.registers_per_thread)
-        check_non_negative("shared_mem_per_block", self.shared_mem_per_block)
-        check_non_negative("syncs_per_thread", self.syncs_per_thread)
+        if not self.bytes_per_access > 0:
+            raise ValueError(
+                f"bytes_per_access must be positive, got "
+                f"{self.bytes_per_access!r}"
+            )
+        if not self.registers_per_thread > 0:
+            raise ValueError(
+                f"registers_per_thread must be positive, got "
+                f"{self.registers_per_thread!r}"
+            )
+        if self.shared_mem_per_block < 0:
+            raise ValueError(
+                f"shared_mem_per_block must be non-negative, got "
+                f"{self.shared_mem_per_block!r}"
+            )
+        if self.syncs_per_thread < 0:
+            raise ValueError(
+                f"syncs_per_thread must be non-negative, got "
+                f"{self.syncs_per_thread!r}"
+            )
         if self.comp_insts_per_thread == 0 and self.mem_insts_per_thread == 0:
             raise ValueError(f"kernel {self.name!r} does no work")
 

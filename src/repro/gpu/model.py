@@ -73,6 +73,11 @@ class GpuPerformanceModel:
     def arch(self) -> GPUArchitecture:
         return self._arch
 
+    @property
+    def launch_overhead(self) -> float:
+        """Per-launch driver cost (seconds) added to every projection."""
+        return self._launch_overhead
+
     # ------------------------------------------------------------------ #
     def kernel_time(self, chars: KernelCharacteristics) -> float:
         """Projected execution time (seconds) of one kernel launch."""

@@ -1,0 +1,368 @@
+"""Vectorized MWP/CWP scoring of whole characteristic batches.
+
+:func:`score_batch` replays :meth:`GpuPerformanceModel.breakdown` —
+occupancy included — over a batch of :class:`KernelCharacteristics` as
+NumPy structure-of-arrays math instead of N independent scalar passes.
+Every elementwise operation mirrors the scalar model's operation *and
+order*, so the resulting ``seconds`` are bitwise-equal to the reference
+(IEEE-754 binary64 arithmetic is deterministic; only re-association
+could diverge, and nothing here re-associates).
+
+It also derives a cheap **lower bound** on each candidate's time —
+``exec_cycles`` can never drop below the raw memory cycles nor below the
+pipelined memory/compute floor ``N * mem * comp / (mem + comp)``,
+whatever regime the model lands in (see ``docs/EXPLORER.md`` for the
+per-regime proof) — which powers the explorer's bound-based pruning:
+fully score one promising seed, then skip every candidate whose floor
+already exceeds the seed's actual time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel, GpuTimingBreakdown
+from repro.gpu.occupancy import OccupancyResult
+
+#: Resource names in the scalar occupancy's dict-insertion order; the
+#: stacked argmin below reproduces its first-minimum limiter choice.
+_LIMITERS = ("threads", "blocks", "warps", "registers", "shared_mem")
+_REGIMES = ("balanced", "memory-bound", "compute-bound")
+#: The lower bound's proof tolerates the model's ``math.isclose`` slop
+#: (1e-9 relative); shave a comfortably larger margin so the bound never
+#: edges above the true time through rounding.
+_BOUND_SAFETY = 1.0 - 1e-6
+
+_ERR_BLOCK, _ERR_REGS, _ERR_SMEM, _ERR_FIT = 1, 2, 3, 4
+
+
+class _Batch:
+    """Structure-of-arrays view of a characteristics batch on one model."""
+
+    def __init__(
+        self, model: GpuPerformanceModel, chars_list: list[KernelCharacteristics]
+    ) -> None:
+        self.model = model
+        self.chars = chars_list
+        arch = model.arch
+        as_i64 = lambda xs: np.asarray(xs, dtype=np.int64)  # noqa: E731
+        as_f64 = lambda xs: np.asarray(xs, dtype=np.float64)  # noqa: E731
+        self.block = as_i64([c.block_size for c in chars_list])
+        self.regs = as_i64([c.registers_per_thread for c in chars_list])
+        self.smem = as_i64([c.shared_mem_per_block for c in chars_list])
+        threads = as_i64([c.threads for c in chars_list])
+        # num_blocks = ceil(threads / block_size), replaying the scalar
+        # property's float division (cheaper than a property call per row).
+        self.nb = np.ceil(threads / self.block).astype(np.int64)
+        self.bpa = as_i64([c.bytes_per_access for c in chars_list])
+        self.mem_insts = as_f64([c.mem_insts_per_thread for c in chars_list])
+        self.comp_insts = as_f64([c.comp_insts_per_thread for c in chars_list])
+        self.f_coal = as_f64([c.coalesced_fraction for c in chars_list])
+        self.syncs = as_f64([c.syncs_per_thread for c in chars_list])
+
+        # --- Occupancy (vectorized repro.gpu.occupancy.occupancy) --------
+        self.warps_per_block = -(-self.block // arch.warp_size)
+        regs_per_block = self.regs * self.block
+        big = np.iinfo(np.int64).max
+        limits = np.stack(
+            [
+                arch.max_threads_per_sm // self.block,
+                np.full(len(chars_list), arch.max_blocks_per_sm, np.int64),
+                arch.max_warps_per_sm // self.warps_per_block,
+                arch.registers_per_sm // np.maximum(regs_per_block, 1),
+                np.where(
+                    self.smem > 0,
+                    arch.shared_mem_per_sm // np.maximum(self.smem, 1),
+                    big,
+                ),
+            ]
+        )
+        self.limiter_idx = np.argmin(limits, axis=0)
+        raw_blocks_per_sm = np.min(limits, axis=0)
+
+        # Error precedence matches the scalar raise order exactly.
+        err = np.zeros(len(chars_list), dtype=np.int64)
+        err_block = self.block > arch.max_threads_per_sm
+        err_regs = ~err_block & (regs_per_block > arch.registers_per_sm)
+        err_smem = (
+            ~err_block & ~err_regs & (self.smem > arch.shared_mem_per_sm)
+        )
+        err_fit = (
+            ~err_block & ~err_regs & ~err_smem & (raw_blocks_per_sm < 1)
+        )
+        err[err_block] = _ERR_BLOCK
+        err[err_regs] = _ERR_REGS
+        err[err_smem] = _ERR_SMEM
+        err[err_fit] = _ERR_FIT
+        self.err = err
+        self.legal = err == 0
+        self._regs_per_block = regs_per_block
+
+        cap = np.maximum(
+            1, np.ceil(self.nb / arch.num_sms).astype(np.int64)
+        )
+        # Illegal rows carry dummy occupancy (1 block/SM); their timing
+        # arrays are computed but never read.
+        self.blocks_per_sm = np.minimum(
+            np.where(self.legal, raw_blocks_per_sm, 1), cap
+        )
+        self.active_warps = self.blocks_per_sm * self.warps_per_block
+        self.n_warps = np.maximum(1, self.active_warps)
+        self.n_f = self.n_warps.astype(np.float64)
+
+        # --- Cheap timing terms (model.breakdown stage shared with the
+        # lower bound) ----------------------------------------------------
+        self.f_uncoal = 1.0 - self.f_coal
+        uncoal_trans = arch.uncoal_transactions_per_warp
+        dep_uncoal = arch.departure_del_uncoal * uncoal_trans
+        self.departure_delay = (
+            self.f_coal * arch.departure_del_coal + self.f_uncoal * dep_uncoal
+        )
+        mem_l_uncoal = (
+            arch.mem_latency_cycles
+            + (uncoal_trans - 1) * arch.departure_del_uncoal
+        )
+        self.mem_l = (
+            self.f_coal * arch.mem_latency_cycles
+            + self.f_uncoal * mem_l_uncoal
+        )
+        self.mem_cycles = self.mem_l * self.mem_insts
+        comp_cycles = arch.issue_cycles * (self.comp_insts + self.mem_insts)
+        self.comp_cycles = np.maximum(comp_cycles, arch.issue_cycles)
+        self.active_sms = np.minimum(arch.num_sms, self.nb)
+        self.repetitions = np.maximum(
+            1,
+            np.ceil(
+                self.nb / (self.blocks_per_sm * self.active_sms)
+            ).astype(np.int64),
+        )
+        self.sync_term = (arch.sync_cycles * self.syncs) * self.n_f
+
+    # ------------------------------------------------------------------ #
+    def bound_seconds(self) -> np.ndarray:
+        """A provable lower bound on each row's projected seconds.
+
+        ``exec_cycles >= max(mem_cycles, N*mem*comp/(mem+comp)) + sync``
+        holds in every regime; ``repetitions`` and the launch overhead
+        transfer the bound to seconds.  ``_BOUND_SAFETY`` absorbs the
+        model's isclose slop and rounding.
+        """
+        pipelined_floor = (
+            self.n_f
+            * self.mem_cycles
+            * self.comp_cycles
+            / (self.mem_cycles + self.comp_cycles)
+        )
+        bound_cycles = (
+            np.maximum(self.mem_cycles, pipelined_floor)
+            + np.where(self.syncs != 0.0, self.sync_term, 0.0)
+        ) * _BOUND_SAFETY
+        return (
+            bound_cycles * self.repetitions / self.model.arch.clock_hz
+            + self.model.launch_overhead
+        )
+
+    def exec_at(self, idx: np.ndarray) -> dict[str, np.ndarray]:
+        """Full regime selection + exec cycles for the rows in ``idx``."""
+        arch = self.model.arch
+        bpa = self.bpa[idx]
+        f_coal = self.f_coal[idx]
+        f_uncoal = self.f_uncoal[idx]
+        mem_l = self.mem_l[idx]
+        mi = self.mem_insts[idx]
+        mc = self.mem_cycles[idx]
+        cc = self.comp_cycles[idx]
+        nf = self.n_f[idx]
+
+        payload = bpa * arch.warp_size
+        waste = np.maximum(
+            1.0, GpuPerformanceModel.MIN_TRANSACTION_BYTES / bpa
+        )
+        consumed = payload * (f_coal + f_uncoal * waste)
+        bw_per_warp = arch.clock_hz * consumed / mem_l
+        mwp_peak_bw = arch.mem_bandwidth / (bw_per_warp * self.active_sms[idx])
+        mwp_without_bw = mem_l / self.departure_delay[idx]
+        mwp = np.maximum(
+            1.0, np.minimum(np.minimum(mwp_without_bw, mwp_peak_bw), nf)
+        )
+        cwp_full = np.where(mi > 0, (mc + cc) / cc, 1.0)
+        cwp = np.minimum(cwp_full, nf)
+        mpic = np.zeros_like(cc)
+        np.divide(cc, mi, out=mpic, where=mi != 0)
+
+        m0 = mi == 0
+        m1 = ~m0 & _isclose(mwp, nf) & _isclose(cwp, nf)
+        m2 = ~m0 & ~m1 & (cwp >= mwp)
+        exec_cycles = np.select(
+            [m0, m1, m2],
+            [
+                cc * nf,
+                mc + cc + mpic * (mwp - 1),
+                mc * (nf / mwp) + mpic * (mwp - 1),
+            ],
+            default=mem_l + cc * nf,
+        )
+        regime = np.select([m0, m1, m2], [2, 0, 1], default=2)
+        exec_cycles = np.where(
+            self.syncs[idx] != 0.0,
+            exec_cycles + self.sync_term[idx],
+            exec_cycles,
+        )
+        cycles = exec_cycles * self.repetitions[idx]
+        seconds = cycles / arch.clock_hz + self.model.launch_overhead
+        return {
+            "seconds": seconds,
+            "cycles": cycles,
+            "regime": regime,
+            "mwp": mwp,
+            "cwp": cwp,
+            "mem_cycles": mc,
+            "comp_cycles": cc,
+        }
+
+    # ------------------------------------------------------------------ #
+    def error_message(self, i: int) -> str:
+        """The exact ValueError text the scalar occupancy raises for row i."""
+        arch = self.model.arch
+        chars = self.chars[i]
+        kind = int(self.err[i])
+        if kind == _ERR_BLOCK:
+            return (
+                f"block size {int(self.block[i])} exceeds "
+                f"{arch.max_threads_per_sm} threads/SM on {arch.name}"
+            )
+        if kind == _ERR_REGS:
+            return (
+                f"kernel {chars.name!r} needs {int(self._regs_per_block[i])} "
+                f"registers per block; SM has {arch.registers_per_sm}"
+            )
+        if kind == _ERR_SMEM:
+            return (
+                f"kernel {chars.name!r} needs {int(self.smem[i])}B shared "
+                f"memory per block; SM has {arch.shared_mem_per_sm}B"
+            )
+        limiter = _LIMITERS[int(self.limiter_idx[i])]
+        return (
+            f"kernel {chars.name!r} cannot fit one block per SM "
+            f"(limited by {limiter})"
+        )
+
+    def materialize(
+        self, idx: np.ndarray, row: dict[str, np.ndarray]
+    ) -> list[GpuTimingBreakdown]:
+        """Dataclass results for the rows in ``idx`` (order preserved).
+
+        Bulk ``tolist()`` conversion first: it yields native Python
+        ints/floats in one C pass, instead of a NumPy-scalar box plus an
+        int()/float() unbox per field per row.
+        """
+        arch = self.model.arch
+        max_warps = arch.max_warps_per_sm
+        bps = self.blocks_per_sm[idx].tolist()
+        wpb = self.warps_per_block[idx].tolist()
+        aw = self.active_warps[idx].tolist()
+        nw = self.n_warps[idx].tolist()
+        rep = self.repetitions[idx].tolist()
+        lim = self.limiter_idx[idx].tolist()
+        sec = row["seconds"].tolist()
+        cyc = row["cycles"].tolist()
+        reg = row["regime"].tolist()
+        mwp = row["mwp"].tolist()
+        cwp = row["cwp"].tolist()
+        mc = row["mem_cycles"].tolist()
+        cc = row["comp_cycles"].tolist()
+        out = []
+        # Positional construction (field order per the dataclasses):
+        # keyword parsing costs show up at two calls per candidate row.
+        for j, i in enumerate(idx.tolist()):
+            occ = OccupancyResult(
+                bps[j], wpb[j], aw[j], _LIMITERS[lim[j]], max_warps
+            )
+            out.append(
+                GpuTimingBreakdown(
+                    self.chars[i].name,
+                    sec[j],
+                    cyc[j],
+                    _REGIMES[reg[j]],
+                    mwp[j],
+                    cwp[j],
+                    nw[j],
+                    rep[j],
+                    mc[j],
+                    cc[j],
+                    occ,
+                )
+            )
+        return out
+
+
+def _isclose(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``math.isclose`` (rel_tol=1e-9, abs_tol=0) elementwise."""
+    return np.abs(a - b) <= 1e-9 * np.maximum(np.abs(a), np.abs(b))
+
+
+def lower_bound_seconds(
+    model: GpuPerformanceModel, chars_list: list[KernelCharacteristics]
+) -> np.ndarray:
+    """Per-row lower bounds on projected seconds (NaN for illegal rows)."""
+    if not chars_list:
+        return np.empty(0, dtype=np.float64)
+    batch = _Batch(model, list(chars_list))
+    bounds = batch.bound_seconds()
+    return np.where(batch.legal, bounds, np.nan)
+
+
+def score_batch(
+    model: GpuPerformanceModel,
+    chars_list: list[KernelCharacteristics],
+    prune: bool = False,
+) -> list[tuple[str, object]]:
+    """Score a whole batch; returns one ``(kind, payload)`` per input row.
+
+    - ``("candidate", GpuTimingBreakdown)`` — fully scored, bitwise-equal
+      to ``model.breakdown(chars)``;
+    - ``("illegal", str)`` — the exact occupancy ``ValueError`` message;
+    - ``("pruned", str)`` — only with ``prune=True``: the row's lower
+      bound already exceeds a fully-scored incumbent, so it cannot be the
+      argmin (the incumbent survives at a better-or-equal time).
+
+    Pruning preserves the argmin *and* its first-minimum tie-break: any
+    row whose true time ties the best has ``bound <= time <= incumbent``
+    and therefore survives.
+    """
+    if not chars_list:
+        return []
+    batch = _Batch(model, list(chars_list))
+    legal_idx = np.flatnonzero(batch.legal)
+
+    incumbent = None
+    bounds = None
+    if prune and len(legal_idx) > 1:
+        bounds = batch.bound_seconds()
+        seed_pos = int(np.argmin(bounds[legal_idx]))
+        seed_row = batch.exec_at(legal_idx[seed_pos : seed_pos + 1])
+        incumbent = float(seed_row["seconds"][0])
+        survive_idx = legal_idx[bounds[legal_idx] <= incumbent]
+    else:
+        survive_idx = legal_idx
+
+    row = batch.exec_at(survive_idx)
+    breakdowns = batch.materialize(survive_idx, row)
+    by_row = dict(zip(survive_idx.tolist(), breakdowns))
+    legal = batch.legal.tolist()
+    results: list[tuple[str, object]] = []
+    for i in range(len(chars_list)):
+        if not legal[i]:
+            results.append(("illegal", batch.error_message(i)))
+        elif i in by_row:
+            results.append(("candidate", by_row[i]))
+        else:
+            results.append(
+                (
+                    "pruned",
+                    f"lower bound {float(bounds[i]) * 1e6:.2f}us exceeds "
+                    f"incumbent {incumbent * 1e6:.2f}us",
+                )
+            )
+    return results

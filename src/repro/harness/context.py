@@ -40,6 +40,7 @@ class ExperimentContext:
         seed: int = 2013,
         testbed: VirtualTestbed | None = None,
         batched_transfers: bool = False,
+        explorer: str = "fast",
     ) -> None:
         self.testbed = testbed or argonne_testbed(seed)
         self.bus_model = calibrate_bus(self.testbed.bus)
@@ -47,6 +48,7 @@ class ExperimentContext:
             quadro_fx_5600(),
             self.bus_model,
             batched_transfers=batched_transfers,
+            explorer=explorer,
         )
         self._projections: dict[tuple[str, str], Projection] = {}
         self._measured: dict[tuple[str, str], MeasuredApplication] = {}

@@ -131,16 +131,33 @@ class ProjectionEngine:
         cache: ProjectionCache | None = None,
         metrics: ServiceMetrics | None = None,
         max_workers: int = 1,
+        explorer: str = "fast",
+        prune: bool = False,
     ) -> None:
         """``cache=None`` disables caching entirely; ``bus=None`` uses
         the nominal PCIe gen-1 preset (the paper's bus class) — pass a
-        calibrated :class:`BusModel` for real projections."""
+        calibrated :class:`BusModel` for real projections.
+
+        ``explorer``/``prune`` select the exploration path (see
+        ``docs/EXPLORER.md``).  Neither enters the cache key: both paths
+        produce the identical :class:`ProjectionSummary` (same best
+        mapping, same seconds, same ``search_width`` — pruned configs
+        still count toward the width), so cached entries stay valid
+        across path switches.
+        """
         check_positive("max_workers", max_workers)
+        if explorer not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown explorer {explorer!r}: expected 'fast' or "
+                f"'reference'"
+            )
         self._arch = arch or quadro_fx_5600()
         self._bus = bus or pcie_gen1_bus()
         self._space = space or TransformationSpace.default()
         self._cache = cache
         self._max_workers = max_workers
+        self._explorer = explorer
+        self._prune = prune
         self.metrics = metrics or ServiceMetrics()
         self._models: dict[str, GpuPerformanceModel] = {}
 
@@ -267,7 +284,12 @@ class ProjectionEngine:
 
         with self.metrics.timer("explore"):
             kernels = project_kernels_parallel(
-                program, model, space, max_workers=workers
+                program,
+                model,
+                space,
+                max_workers=workers,
+                explorer=self._explorer,
+                prune=self._prune,
             )
         self.metrics.incr(
             "candidates_explored",

@@ -25,12 +25,14 @@ from typing import Callable, Iterable, Sequence, TypeVar
 from repro.gpu.model import GpuPerformanceModel
 from repro.skeleton.kernel import KernelSkeleton
 from repro.skeleton.program import ProgramSkeleton
+from repro.transform.analysis import analyze_kernel
 from repro.transform.explorer import (
     CandidateResult,
     KernelProjection,
     ProgramProjection,
     explore_configs,
 )
+from repro.transform.fastpath import explore_configs_fast
 from repro.transform.space import MappingConfig, TransformationSpace
 
 T = TypeVar("T")
@@ -92,27 +94,65 @@ def explore_kernel_parallel(
     model: GpuPerformanceModel,
     space: TransformationSpace | None = None,
     max_workers: int | None = None,
+    explorer: str = "fast",
+    prune: bool = False,
 ) -> KernelProjection:
     """:func:`~repro.transform.explorer.explore_kernel`, chunk-parallel.
 
     Splits the space into one chunk per worker, scores chunks on the
-    pool, and merges candidates/skipped in grid order.  ``min`` keeps the
-    first of tied minima, so the selected best mapping is identical to
-    the serial explorer's.
+    pool, and merges candidates/skipped/pruned in grid order.  ``min``
+    keeps the first of tied minima, so the selected best mapping is
+    identical to the serial explorer's.
+
+    On the fast path the per-kernel :class:`KernelAnalysis` precompute
+    is built once and shared across chunks (its profile cache is safe
+    under CPython threads).  With ``prune=True`` each chunk prunes
+    against its own incumbent; a chunk incumbent is a real candidate
+    time, so any global-best tie still satisfies ``bound <= time <=
+    incumbent`` and survives — the selected best never changes.
     """
+    if explorer not in ("fast", "reference"):
+        raise ValueError(
+            f"unknown explorer {explorer!r}: expected 'fast' or 'reference'"
+        )
     space = space or TransformationSpace.default()
-    configs = tuple(space)
+    configs = space.configs()
     chunks = space_chunks(configs, max_workers or 1)
-    results = map_ordered(
-        lambda chunk: explore_configs(kernel, program, model, chunk),
-        chunks,
-        max_workers,
-    )
-    candidates: list[CandidateResult] = []
-    skipped: list[tuple[MappingConfig, str]] = []
-    for chunk_candidates, chunk_skipped in results:
-        candidates.extend(chunk_candidates)
-        skipped.extend(chunk_skipped)
+    pruned: list[tuple[MappingConfig, str]] = []
+    if explorer == "fast":
+        try:
+            analysis = analyze_kernel(
+                kernel, program.array_map, model.arch.strict_coalescing
+            )
+        except ValueError:
+            raise ValueError(
+                f"no legal mapping for kernel {kernel.name!r} on "
+                f"{model.arch.name} (tried {len(configs)})"
+            ) from None
+        results = map_ordered(
+            lambda chunk: explore_configs_fast(
+                kernel, program, model, chunk, analysis=analysis, prune=prune
+            ),
+            chunks,
+            max_workers,
+        )
+        candidates: list[CandidateResult] = []
+        skipped: list[tuple[MappingConfig, str]] = []
+        for chunk_candidates, chunk_skipped, chunk_pruned in results:
+            candidates.extend(chunk_candidates)
+            skipped.extend(chunk_skipped)
+            pruned.extend(chunk_pruned)
+    else:
+        reference = map_ordered(
+            lambda chunk: explore_configs(kernel, program, model, chunk),
+            chunks,
+            max_workers,
+        )
+        candidates = []
+        skipped = []
+        for chunk_candidates, chunk_skipped in reference:
+            candidates.extend(chunk_candidates)
+            skipped.extend(chunk_skipped)
     if not candidates:
         raise ValueError(
             f"no legal mapping for kernel {kernel.name!r} on "
@@ -124,6 +164,7 @@ def explore_kernel_parallel(
         best=best,
         candidates=tuple(candidates),
         skipped=tuple(skipped),
+        pruned=tuple(pruned),
     )
 
 
@@ -132,6 +173,8 @@ def project_kernels_parallel(
     model: GpuPerformanceModel,
     space: TransformationSpace | None = None,
     max_workers: int | None = None,
+    explorer: str = "fast",
+    prune: bool = False,
 ) -> ProgramProjection:
     """:func:`~repro.transform.explorer.project_program`, pool-backed.
 
@@ -143,14 +186,26 @@ def project_kernels_parallel(
     if len(kernels) == 1:
         projections = (
             explore_kernel_parallel(
-                kernels[0], program, model, space, max_workers
+                kernels[0],
+                program,
+                model,
+                space,
+                max_workers,
+                explorer=explorer,
+                prune=prune,
             ),
         )
     else:
         projections = tuple(
             map_ordered(
                 lambda kernel: explore_kernel_parallel(
-                    kernel, program, model, space, max_workers=1
+                    kernel,
+                    program,
+                    model,
+                    space,
+                    max_workers=1,
+                    explorer=explorer,
+                    prune=prune,
                 ),
                 kernels,
                 max_workers,

@@ -13,6 +13,7 @@ from repro.transform.synthesize import (
     access_is_coalesced,
     synthesize_characteristics,
 )
+from repro.transform.analysis import KernelAnalysis, analyze_kernel
 from repro.transform.explorer import (
     CandidateResult,
     KernelProjection,
@@ -20,6 +21,10 @@ from repro.transform.explorer import (
     explore_configs,
     explore_kernel,
     project_program,
+)
+from repro.transform.fastpath import (
+    explore_configs_fast,
+    explore_kernel_fast,
 )
 from repro.transform.fusion import (
     FusionChoice,
@@ -34,11 +39,15 @@ __all__ = [
     "TransformationSpace",
     "access_is_coalesced",
     "synthesize_characteristics",
+    "KernelAnalysis",
+    "analyze_kernel",
     "CandidateResult",
     "KernelProjection",
     "ProgramProjection",
     "explore_configs",
+    "explore_configs_fast",
     "explore_kernel",
+    "explore_kernel_fast",
     "project_program",
     "FusionChoice",
     "StencilShape",

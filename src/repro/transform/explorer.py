@@ -34,6 +34,10 @@ class KernelProjection:
     best: CandidateResult
     candidates: tuple[CandidateResult, ...]
     skipped: tuple[tuple[MappingConfig, str], ...]
+    #: Configs the fast path's branch-and-bound layer skipped because
+    #: their lower bound exceeded the incumbent best — legal mappings
+    #: that provably cannot win, as opposed to ``skipped`` (illegal).
+    pruned: tuple[tuple[MappingConfig, str], ...] = ()
 
     @property
     def seconds(self) -> float:
@@ -42,7 +46,7 @@ class KernelProjection:
 
     @property
     def search_width(self) -> int:
-        return len(self.candidates) + len(self.skipped)
+        return len(self.candidates) + len(self.skipped) + len(self.pruned)
 
     def as_table(self, top: int | None = None):
         """The explored search space as a table, fastest first.
@@ -63,7 +67,9 @@ class KernelProjection:
             ranked = ranked[:top]
         for candidate in ranked:
             bd = candidate.breakdown
-            marker = " <- best" if candidate is self.best else ""
+            # Compare configs, not identity: cache round-trips and merged
+            # parallel chunks rebuild equal-but-distinct candidate objects.
+            marker = " <- best" if candidate.config == self.best.config else ""
             table.add_row(
                 [
                     candidate.config.label() + marker,
@@ -79,6 +85,11 @@ class KernelProjection:
             for config, reason in self.skipped:
                 table.add_row(
                     [config.label(), "-", f"skipped: {reason[:40]}", "-",
+                     "-", "-", "-"]
+                )
+            for config, reason in self.pruned:
+                table.add_row(
+                    [config.label(), "-", f"pruned: {reason[:40]}", "-",
                      "-", "-", "-"]
                 )
         return table
@@ -120,13 +131,16 @@ def explore_configs(
     candidates: list[CandidateResult] = []
     skipped: list[tuple[MappingConfig, str]] = []
     for config in configs:
-        chars = synthesize_characteristics(
-            kernel,
-            arrays,
-            config,
-            strict_coalescing=model.arch.strict_coalescing,
-        )
+        # Synthesis can reject a config too (no parallel loop to map, a
+        # mapping that degenerates to zero work) — record it as skipped
+        # rather than aborting the whole exploration.
         try:
+            chars = synthesize_characteristics(
+                kernel,
+                arrays,
+                config,
+                strict_coalescing=model.arch.strict_coalescing,
+            )
             breakdown = model.breakdown(chars)
         except ValueError as exc:
             skipped.append((config, str(exc)))
@@ -140,6 +154,8 @@ def explore_kernel(
     program: ProgramSkeleton,
     model: GpuPerformanceModel,
     space: TransformationSpace | None = None,
+    explorer: str = "fast",
+    prune: bool = False,
 ) -> KernelProjection:
     """Score every mapping in the space; keep the fastest legal one.
 
@@ -147,9 +163,27 @@ def explore_kernel(
     shared-memory or register overflow) are recorded in ``skipped`` with
     the reason, mirroring how a real tuning search prunes illegal
     configurations.
+
+    ``explorer`` selects the scoring path: ``"fast"`` (default) uses the
+    precomputed-analysis + vectorized pipeline, ``"reference"`` the
+    original scalar loop; both produce identical projections (see
+    ``docs/EXPLORER.md``).  ``prune=True`` additionally enables
+    bound-based pruning on the fast path — the best mapping and its time
+    are unchanged, but provably-losing candidates land in ``pruned``
+    instead of ``candidates``.
     """
+    if explorer not in ("fast", "reference"):
+        raise ValueError(
+            f"unknown explorer {explorer!r}: expected 'fast' or 'reference'"
+        )
     space = space or TransformationSpace.default()
-    candidates, skipped = explore_configs(kernel, program, model, space)
+    if explorer == "fast":
+        from repro.transform.fastpath import explore_kernel_fast
+
+        return explore_kernel_fast(kernel, program, model, space, prune=prune)
+    candidates, skipped = explore_configs(
+        kernel, program, model, space.configs()
+    )
     if not candidates:
         raise ValueError(
             f"no legal mapping for kernel {kernel.name!r} on "
@@ -168,10 +202,14 @@ def project_program(
     program: ProgramSkeleton,
     model: GpuPerformanceModel,
     space: TransformationSpace | None = None,
+    explorer: str = "fast",
+    prune: bool = False,
 ) -> ProgramProjection:
     """Project every kernel of a program (one application iteration)."""
     projections = tuple(
-        explore_kernel(kernel, program, model, space)
+        explore_kernel(
+            kernel, program, model, space, explorer=explorer, prune=prune
+        )
         for kernel in program.kernels
     )
     return ProgramProjection(program=program.name, kernels=projections)

@@ -1,0 +1,119 @@
+"""The fast exploration path: precomputed analysis + batched scoring.
+
+Functionally identical to the reference path
+(:func:`~repro.transform.explorer.explore_configs`) — same candidates in
+the same order with bitwise-equal times, same skipped configs with the
+same reasons — but the skeleton is walked once per kernel
+(:class:`~repro.transform.analysis.KernelAnalysis`) and the MWP/CWP
+model runs vectorized over the whole grid
+(:func:`~repro.gpu.vectorized.score_batch`).  With ``prune=True`` a
+bound-based branch-and-bound layer additionally skips candidates whose
+lower bound exceeds a fully-scored incumbent; those land in a separate
+``pruned`` list so ``search_width`` accounting stays honest.
+
+The reference scalar path is kept unchanged as the oracle; the property
+tests in ``tests/transform/test_fast_reference_property.py`` hold the
+two paths equal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.vectorized import score_batch
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.program import ProgramSkeleton
+from repro.transform.analysis import KernelAnalysis, analyze_kernel
+from repro.transform.explorer import CandidateResult, KernelProjection
+from repro.transform.space import MappingConfig, TransformationSpace
+
+
+def explore_configs_fast(
+    kernel: KernelSkeleton,
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    configs: Iterable[MappingConfig],
+    analysis: KernelAnalysis | None = None,
+    prune: bool = False,
+) -> tuple[
+    list[CandidateResult],
+    list[tuple[MappingConfig, str]],
+    list[tuple[MappingConfig, str]],
+]:
+    """Score an explicit list of mappings through the fast path.
+
+    Returns ``(candidates, skipped, pruned)``, each in input order.
+    ``analysis`` may be passed in to share one precompute across chunks
+    (the service's parallel explorer does); when omitted it is built
+    here.  A kernel-level synthesis error (e.g. no parallel loop) skips
+    every config with that reason, matching the reference path.
+    """
+    configs = list(configs)
+    if analysis is None:
+        try:
+            analysis = analyze_kernel(
+                kernel, program.array_map, model.arch.strict_coalescing
+            )
+        except ValueError as exc:
+            reason = str(exc)
+            return [], [(config, reason) for config in configs], []
+
+    chars_list = []
+    synthesis_errors: dict[int, str] = {}
+    for index, config in enumerate(configs):
+        try:
+            chars_list.append(analysis.characteristics(config))
+        except ValueError as exc:
+            synthesis_errors[index] = str(exc)
+            chars_list.append(None)
+
+    scored = iter(
+        score_batch(
+            model, [c for c in chars_list if c is not None], prune=prune
+        )
+    )
+    candidates: list[CandidateResult] = []
+    skipped: list[tuple[MappingConfig, str]] = []
+    pruned: list[tuple[MappingConfig, str]] = []
+    for index, config in enumerate(configs):
+        if index in synthesis_errors:
+            skipped.append((config, synthesis_errors[index]))
+            continue
+        kind, payload = next(scored)
+        if kind == "candidate":
+            candidates.append(
+                CandidateResult(config, chars_list[index], payload)
+            )
+        elif kind == "illegal":
+            skipped.append((config, payload))
+        else:  # pruned
+            pruned.append((config, payload))
+    return candidates, skipped, pruned
+
+
+def explore_kernel_fast(
+    kernel: KernelSkeleton,
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    space: TransformationSpace | None = None,
+    prune: bool = False,
+) -> KernelProjection:
+    """:func:`~repro.transform.explorer.explore_kernel`, fast path."""
+    space = space or TransformationSpace.default()
+    candidates, skipped, pruned = explore_configs_fast(
+        kernel, program, model, space.configs(), prune=prune
+    )
+    if not candidates:
+        raise ValueError(
+            f"no legal mapping for kernel {kernel.name!r} on "
+            f"{model.arch.name} (tried {len(skipped)})"
+        )
+    best = min(candidates, key=lambda c: c.seconds)
+    return KernelProjection(
+        kernel=kernel.name,
+        best=best,
+        candidates=tuple(candidates),
+        skipped=tuple(skipped),
+        pruned=tuple(pruned),
+    )

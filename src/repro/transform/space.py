@@ -3,10 +3,25 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.util.fingerprint import stable_digest
 from repro.util.validation import check_positive
+
+
+@lru_cache(maxsize=256)
+def _space_configs(space: "TransformationSpace") -> tuple["MappingConfig", ...]:
+    return tuple(iter(space))
+
+
+@lru_cache(maxsize=4096)
+def _label(block_size: int, use_shared_memory: bool, unroll: int,
+           coarsening: int) -> str:
+    smem = "+smem" if use_shared_memory else ""
+    unroll_tag = f"+u{unroll}" if unroll > 1 else ""
+    coarse = f"+c{coarsening}" if coarsening > 1 else ""
+    return f"b{block_size}{smem}{unroll_tag}{coarse}"
 
 
 @dataclass(frozen=True)
@@ -36,10 +51,12 @@ class MappingConfig:
             )
 
     def label(self) -> str:
-        smem = "+smem" if self.use_shared_memory else ""
-        unroll = f"+u{self.unroll}" if self.unroll > 1 else ""
-        coarse = f"+c{self.coarsening}" if self.coarsening > 1 else ""
-        return f"b{self.block_size}{smem}{unroll}{coarse}"
+        # Memoized at module level: the explorer labels every candidate
+        # of every exploration, and spaces re-yield equal configs.
+        return _label(
+            self.block_size, self.use_shared_memory, self.unroll,
+            self.coarsening,
+        )
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,15 @@ class TransformationSpace:
                 for unroll in self.unroll_factors:
                     for coarse in self.coarsening_factors:
                         yield MappingConfig(block, smem, unroll, coarse)
+
+    def configs(self) -> tuple[MappingConfig, ...]:
+        """The grid as a tuple, memoized per space.
+
+        ``__iter__`` re-constructs every ``MappingConfig`` (validation
+        included) on each pass; the explorer walks the same space once
+        per kernel, so both scoring paths take this cached view.
+        """
+        return _space_configs(self)
 
     def __len__(self) -> int:
         return (

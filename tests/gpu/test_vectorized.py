@@ -1,0 +1,144 @@
+"""Tests for the vectorized MWP/CWP batch scorer and its lower bound."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gpu.arch import gtx_280, quadro_fx_5600, tesla_c1060
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.vectorized import lower_bound_seconds, score_batch
+
+ARCHES = [quadro_fx_5600, tesla_c1060, gtx_280]
+
+
+def chars_grid():
+    """A batch spanning regimes, sync/no-sync, and illegal rows."""
+    out = []
+    for block in (32, 64, 256, 512, 1024):
+        for mem, comp in ((40.0, 10.0), (2.0, 400.0), (6.0, 6.0)):
+            for coal in (1.0, 0.5, 0.0):
+                out.append(
+                    KernelCharacteristics(
+                        name=f"k_b{block}_m{mem}_c{coal}",
+                        threads=1 << 18,
+                        block_size=block,
+                        comp_insts_per_thread=comp,
+                        mem_insts_per_thread=mem,
+                        coalesced_fraction=coal,
+                        registers_per_thread=32,
+                        shared_mem_per_block=2048 if block == 256 else 0,
+                        syncs_per_thread=4.0 if block == 64 else 0.0,
+                    )
+                )
+    # Compute-only kernel (mem_insts at the synthesizer's epsilon floor).
+    out.append(
+        KernelCharacteristics(
+            name="compute_only", threads=4096, block_size=128,
+            comp_insts_per_thread=100.0, mem_insts_per_thread=1e-9,
+        )
+    )
+    # Register-overflow and smem-overflow rows (illegal everywhere).
+    out.append(
+        KernelCharacteristics(
+            name="reg_hog", threads=4096, block_size=512,
+            comp_insts_per_thread=10.0, mem_insts_per_thread=10.0,
+            registers_per_thread=124,
+        )
+    )
+    out.append(
+        KernelCharacteristics(
+            name="smem_hog", threads=4096, block_size=128,
+            comp_insts_per_thread=10.0, mem_insts_per_thread=10.0,
+            shared_mem_per_block=1 << 20,
+        )
+    )
+    return out
+
+
+@pytest.mark.parametrize("arch_fn", ARCHES)
+class TestScoreBatchEquivalence:
+    def test_rowwise_bitwise_equal_to_scalar(self, arch_fn):
+        model = GpuPerformanceModel(arch_fn())
+        batch = chars_grid()
+        scored = score_batch(model, batch)
+        assert len(scored) == len(batch)
+        for chars, (kind, payload) in zip(batch, scored):
+            try:
+                ref = model.breakdown(chars)
+            except ValueError as exc:
+                assert kind == "illegal"
+                assert payload == str(exc)
+                continue
+            assert kind == "candidate"
+            # Dataclass equality covers every field, occupancy included;
+            # seconds must match bit for bit, not approximately.
+            assert payload == ref
+            assert payload.seconds == ref.seconds
+
+    def test_lower_bound_below_true_time(self, arch_fn):
+        model = GpuPerformanceModel(arch_fn())
+        batch = chars_grid()
+        bounds = lower_bound_seconds(model, batch)
+        for chars, bound in zip(batch, bounds):
+            try:
+                ref = model.breakdown(chars)
+            except ValueError:
+                assert math.isnan(bound)
+                continue
+            assert bound <= ref.seconds
+
+
+class TestPruning:
+    def test_pruned_rows_cannot_contain_argmin(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = chars_grid()
+        plain = score_batch(model, batch)
+        pruned = score_batch(model, batch, prune=True)
+        best_ref = min(
+            (p.seconds, i)
+            for i, (kind, p) in enumerate(plain)
+            if kind == "candidate"
+        )
+        survivors = {
+            i: p for i, (kind, p) in enumerate(pruned) if kind == "candidate"
+        }
+        # First-minimum argmin survives with a bitwise-equal time.
+        assert best_ref[1] in survivors
+        assert survivors[best_ref[1]].seconds == best_ref[0]
+        # Survivors are bitwise-equal to the plain scoring.
+        for i, payload in survivors.items():
+            assert payload == plain[i][1]
+        # Illegal rows keep their reasons; pruned rows explain the bound.
+        for (k_plain, p_plain), (k_pruned, p_pruned) in zip(plain, pruned):
+            if k_plain == "illegal":
+                assert (k_pruned, p_pruned) == (k_plain, p_plain)
+            elif k_pruned == "pruned":
+                assert "lower bound" in p_pruned
+
+    def test_single_legal_row_never_pruned(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = [chars_grid()[0]]
+        scored = score_batch(model, batch, prune=True)
+        assert scored[0][0] == "candidate"
+
+
+class TestEdgeCases:
+    def test_empty_batch(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        assert score_batch(model, []) == []
+        assert lower_bound_seconds(model, []).shape == (0,)
+
+    def test_all_illegal_batch(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = [
+            KernelCharacteristics(
+                name="huge", threads=4096, block_size=1024,
+                comp_insts_per_thread=1.0, mem_insts_per_thread=1.0,
+            )
+        ]
+        scored = score_batch(model, batch, prune=True)
+        assert scored[0][0] == "illegal"
+        assert "block size 1024" in scored[0][1]
+        assert np.isnan(lower_bound_seconds(model, batch)).all()

@@ -128,3 +128,40 @@ class TestProjectProgram:
         assert proj.kernel("k1").kernel == "k1"
         with pytest.raises(KeyError):
             proj.kernel("zzz")
+
+
+class TestSynthesisErrorsAreSkips:
+    """Regression: a ValueError raised inside synthesize_characteristics
+    (not just inside model.breakdown) must mark the config as skipped
+    instead of aborting the exploration."""
+
+    def serial_only_program(self):
+        pb = ProgramBuilder("serial")
+        pb.array("a", (64, 1)).array("b", (64, 1))
+        kb = KernelBuilder("no_parallel")
+        kb.loop("k", 64)
+        kb.load("a", "k", 0).store("b", "k", 0).statement(flops=1)
+        return pb.kernel(kb).build()
+
+    def test_explore_configs_records_synthesis_rejections(self):
+        from repro.transform.explorer import explore_configs
+
+        program = self.serial_only_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        space = TransformationSpace.default()
+        candidates, skipped = explore_configs(
+            program.kernels[0], program, model, space.configs()
+        )
+        assert candidates == []
+        assert len(skipped) == len(space)
+        for _, reason in skipped:
+            assert "no parallel loop" in reason
+
+    def test_explore_kernel_raises_no_legal_mapping(self):
+        program = self.serial_only_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        for explorer in ("fast", "reference"):
+            with pytest.raises(ValueError, match="no legal mapping"):
+                explore_kernel(
+                    program.kernels[0], program, model, explorer=explorer
+                )

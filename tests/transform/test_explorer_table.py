@@ -68,3 +68,23 @@ class TestTeslaPreset:
             GpuPerformanceModel(tesla_c1060()),
         )
         assert new.seconds < old.seconds
+
+
+class TestBestMarkerSurvivesReconstruction:
+    """Regression: the '<- best' marker used to hinge on ``candidate is
+    self.best`` identity, which breaks once a cache round-trip or a
+    merged parallel chunk rebuilds equal-but-distinct candidates."""
+
+    def test_marker_with_rebuilt_best(self, projection):
+        import dataclasses
+
+        best = projection.best
+        clone = dataclasses.replace(best)
+        assert clone is not best and clone.config == best.config
+        rebuilt = dataclasses.replace(projection, best=clone)
+        text = rebuilt.as_table(top=3).render()
+        assert "<- best" in text
+
+    def test_marker_unique(self, projection):
+        text = projection.as_table().render()
+        assert text.count("<- best") == 1

@@ -1,0 +1,160 @@
+"""Property test: the fast explorer is indistinguishable from the oracle.
+
+Hypothesis builds random-but-valid kernel skeletons (loop nests, access
+patterns, branch weights, amortized statements, indirect accesses) and
+checks that the fast path reproduces the reference path exactly — same
+candidates with bitwise-equal times, same skipped configs with the same
+reasons — across architectures and spaces, and that bound-based pruning
+never loses the argmin.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.gpu.arch import gtx_280, quadro_fx_5600, tesla_c1060  # noqa: E402
+from repro.gpu.model import GpuPerformanceModel  # noqa: E402
+from repro.skeleton import (  # noqa: E402
+    ArrayKind,
+    DType,
+    KernelBuilder,
+    ProgramBuilder,
+)
+from repro.transform.explorer import explore_configs  # noqa: E402
+from repro.transform.fastpath import explore_configs_fast  # noqa: E402
+from repro.transform.space import TransformationSpace  # noqa: E402
+
+N = 257  # odd grid edge: exercises ceil-division paths
+
+ARCHES = [quadro_fx_5600, tesla_c1060, gtx_280]
+SHIFTS = [None, ("", 1, -1), ("", 1, 1)]  # None = plain var
+
+
+@st.composite
+def subscripts(draw, vars_2d):
+    """A rank-2 subscript over the available loop variables."""
+    row = draw(st.sampled_from(vars_2d))
+    col = draw(st.sampled_from(vars_2d))
+    out = []
+    for var in (row, col):
+        shift = draw(st.sampled_from(SHIFTS))
+        out.append(var if shift is None else (var, shift[1], shift[2]))
+    return tuple(out)
+
+
+@st.composite
+def kernels(draw):
+    kb = KernelBuilder("rand")
+    shape = draw(
+        st.sampled_from(
+            ["ij", "i", "ikj", "kij", "ijk", "k"]  # "k" = no parallel loop
+        )
+    )
+    serial_extent = draw(st.sampled_from([2, 5, 16]))
+    loop_vars = []
+    for var in shape:
+        if var == "k":
+            kb.loop("k", serial_extent, 1)
+        else:
+            kb.parallel_loop(var, N - 1, 1)
+        loop_vars.append(var)
+    # Serial-loop subscripts stay in range: extents are < N.
+    n_statements = draw(st.integers(1, 3))
+    for _ in range(n_statements):
+        n_loads = draw(st.integers(1, 3))
+        for _ in range(n_loads):
+            array = draw(st.sampled_from(["a", "b", "c"]))
+            if draw(st.booleans()) and draw(st.booleans()):
+                kb.gather(array, *draw(subscripts(loop_vars)), dims=(0,))
+            else:
+                kb.load(array, *draw(subscripts(loop_vars)))
+        if draw(st.booleans()):
+            kb.store("out", *draw(subscripts(loop_vars)))
+        if draw(st.booleans()):
+            kb.load("sp", draw(st.sampled_from(loop_vars)))
+        amortize = None
+        if "k" in loop_vars and draw(st.booleans()):
+            amortize = ("k",)
+        kb.statement(
+            flops=draw(st.sampled_from([0.0, 1.0, 5.0, 12.0])),
+            branch_prob=draw(st.sampled_from([1.0, 0.5, 0.25])),
+            amortize=amortize,
+        )
+    return kb.build()
+
+
+@st.composite
+def programs(draw):
+    pb = ProgramBuilder("rand")
+    dtype = draw(st.sampled_from([DType.float32, DType.float64]))
+    for name in ("a", "b", "c", "out"):
+        pb.array(name, (N, N), dtype)
+    pb.array("sp", (N,), DType.float32, ArrayKind.SPARSE)
+    pb.kernel(draw(kernels()))
+    return pb.build()
+
+
+def spaces():
+    return st.sampled_from(
+        [TransformationSpace.default(), TransformationSpace.wide()]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    program=programs(),
+    arch_fn=st.sampled_from(ARCHES),
+    space=spaces(),
+)
+def test_fast_path_equals_reference(program, arch_fn, space):
+    model = GpuPerformanceModel(arch_fn())
+    kernel = program.kernels[0]
+    ref_cands, ref_skipped = explore_configs(
+        kernel, program, model, space.configs()
+    )
+    fast_cands, fast_skipped, fast_pruned = explore_configs_fast(
+        kernel, program, model, space.configs()
+    )
+    assert fast_pruned == []
+    assert fast_skipped == ref_skipped  # same configs, same reasons
+    assert len(fast_cands) == len(ref_cands)
+    for fast, ref in zip(fast_cands, ref_cands):
+        assert fast.config == ref.config
+        assert fast.characteristics == ref.characteristics
+        assert fast.breakdown == ref.breakdown  # bitwise: dataclass eq
+    if ref_cands:
+        ref_best = min(ref_cands, key=lambda c: c.seconds)
+        fast_best = min(fast_cands, key=lambda c: c.seconds)
+        assert fast_best.config == ref_best.config
+        assert fast_best.seconds == ref_best.seconds
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=programs(),
+    arch_fn=st.sampled_from(ARCHES),
+    space=spaces(),
+)
+def test_pruning_never_loses_the_argmin(program, arch_fn, space):
+    model = GpuPerformanceModel(arch_fn())
+    kernel = program.kernels[0]
+    ref_cands, ref_skipped = explore_configs(
+        kernel, program, model, space.configs()
+    )
+    cands, skipped, pruned = explore_configs_fast(
+        kernel, program, model, space.configs(), prune=True
+    )
+    assert skipped == ref_skipped
+    # Pruning only moves losing candidates; the partition is exact.
+    assert len(cands) + len(pruned) == len(ref_cands)
+    if ref_cands:
+        ref_best = min(ref_cands, key=lambda c: c.seconds)
+        best = min(cands, key=lambda c: c.seconds)
+        assert best.config == ref_best.config
+        assert best.seconds == ref_best.seconds
+    ref_by_config = {c.config: c for c in ref_cands}
+    for candidate in cands:
+        ref = ref_by_config[candidate.config]
+        assert candidate.breakdown == ref.breakdown

@@ -1,0 +1,138 @@
+"""Tests for the fast exploration path and its explorer wiring."""
+
+import pytest
+
+from repro.gpu.arch import quadro_fx_5600, tesla_c1060
+from repro.gpu.model import GpuPerformanceModel
+from repro.skeleton import KernelBuilder, ProgramBuilder
+from repro.transform.analysis import analyze_kernel
+from repro.transform.explorer import explore_configs, explore_kernel
+from repro.transform.fastpath import (
+    explore_configs_fast,
+    explore_kernel_fast,
+)
+from repro.transform.space import TransformationSpace
+from repro.workloads import HotSpot
+
+
+def stencil_program(n=512):
+    pb = ProgramBuilder("p")
+    pb.array("src", (n, n)).array("dst", (n, n))
+    kb = KernelBuilder("stencil")
+    kb.parallel_loop("i", n - 1, 1).parallel_loop("j", n - 1, 1)
+    kb.load("src", "i", "j")
+    kb.load("src", ("i", 1, -1), "j")
+    kb.load("src", ("i", 1, 1), "j")
+    kb.load("src", "i", ("j", 1, -1))
+    kb.load("src", "i", ("j", 1, 1))
+    kb.store("dst", "i", "j")
+    kb.statement(flops=5)
+    return pb.kernel(kb).build()
+
+
+def assert_projections_equal(fast, ref):
+    assert fast.kernel == ref.kernel
+    assert fast.best.config == ref.best.config
+    assert fast.best.seconds == ref.best.seconds
+    assert len(fast.candidates) == len(ref.candidates)
+    for fc, rc in zip(fast.candidates, ref.candidates):
+        assert fc.config == rc.config
+        assert fc.characteristics == rc.characteristics
+        assert fc.breakdown == rc.breakdown
+    assert fast.skipped == ref.skipped
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("arch_fn", [quadro_fx_5600, tesla_c1060])
+    @pytest.mark.parametrize(
+        "space", [TransformationSpace.default(), TransformationSpace.wide()]
+    )
+    def test_matches_reference(self, arch_fn, space):
+        program = stencil_program()
+        model = GpuPerformanceModel(arch_fn())
+        kernel = program.kernels[0]
+        fast = explore_kernel(
+            kernel, program, model, space, explorer="fast"
+        )
+        ref = explore_kernel(
+            kernel, program, model, space, explorer="reference"
+        )
+        assert_projections_equal(fast, ref)
+        assert fast.pruned == ()
+        assert ref.pruned == ()
+
+    def test_shared_analysis_matches_per_chunk(self):
+        """The service path precomputes once and scores chunks."""
+        program = stencil_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        kernel = program.kernels[0]
+        configs = list(TransformationSpace.wide())
+        analysis = analyze_kernel(
+            kernel, program.array_map, model.arch.strict_coalescing
+        )
+        whole = explore_configs_fast(kernel, program, model, configs)
+        half = len(configs) // 2
+        first = explore_configs_fast(
+            kernel, program, model, configs[:half], analysis=analysis
+        )
+        second = explore_configs_fast(
+            kernel, program, model, configs[half:], analysis=analysis
+        )
+        assert whole[0] == first[0] + second[0]
+        assert whole[1] == first[1] + second[1]
+
+
+class TestPruning:
+    def test_prune_preserves_best_and_partitions_grid(self):
+        w = HotSpot()
+        program = w.skeleton(w.dataset("512 x 512"))
+        model = GpuPerformanceModel(quadro_fx_5600())
+        kernel = program.kernels[0]
+        space = TransformationSpace.wide()
+        plain = explore_kernel_fast(kernel, program, model, space)
+        pruned = explore_kernel_fast(
+            kernel, program, model, space, prune=True
+        )
+        assert pruned.best.config == plain.best.config
+        assert pruned.best.seconds == plain.best.seconds
+        assert pruned.skipped == plain.skipped
+        # Pruned rows are bookkept: the search width stays honest.
+        assert len(pruned.candidates) + len(pruned.pruned) == len(
+            plain.candidates
+        )
+        assert pruned.search_width == plain.search_width == len(
+            list(space)
+        )
+        surviving = {c.config for c in pruned.candidates}
+        for config, reason in pruned.pruned:
+            assert config not in surviving
+            assert "lower bound" in reason
+
+
+class TestExplorerSelection:
+    def test_unknown_explorer_rejected(self):
+        program = stencil_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        with pytest.raises(ValueError, match="unknown explorer"):
+            explore_kernel(
+                program.kernels[0], program, model, explorer="turbo"
+            )
+
+    def test_no_legal_mapping_raises_same_error(self):
+        program = stencil_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        space = TransformationSpace(
+            block_sizes=(1024,),  # unlaunchable on the FX 5600
+            shared_memory_options=(False,),
+            unroll_factors=(1,),
+        )
+        with pytest.raises(ValueError) as fast_err:
+            explore_kernel(
+                program.kernels[0], program, model, space, explorer="fast"
+            )
+        with pytest.raises(ValueError) as ref_err:
+            explore_kernel(
+                program.kernels[0], program, model, space,
+                explorer="reference",
+            )
+        assert str(fast_err.value) == str(ref_err.value)
