@@ -10,19 +10,26 @@ from repro.harness.context import ExperimentContext
 from repro.pcie.presets import bus_for_generation
 from repro.workloads.registry import paper_workloads
 
+_GENERATIONS = (1, 2, 3)
+
 
 def _speedups_by_generation(ctx: ExperimentContext):
+    """Each plan priced on every bus in one :meth:`sweep_buses` call.
+
+    The transfer set is bus-independent, so the sweep engine re-prices a
+    fixed plan per generation without re-exploring or re-analyzing.
+    """
+    buses = [bus_for_generation(gen) for gen in _GENERATIONS]
     out = {}
     for workload in paper_workloads():
         for dataset in workload.datasets():
             projection = ctx.projection(workload, dataset)
             cpu = ctx.measured(workload, dataset).cpu_seconds
-            row = {}
-            for gen in (1, 2, 3):
-                bus = bus_for_generation(gen)
-                transfer = bus.predict_plan(projection.plan)
-                total = projection.kernel_seconds + transfer
-                row[gen] = cpu / total
+            points = ctx.sweep_engine.sweep_buses(projection.plan, buses)
+            row = {
+                gen: cpu / (projection.kernel_seconds + p.transfer_seconds)
+                for gen, p in zip(_GENERATIONS, points)
+            }
             out[f"{workload.name}/{dataset.label}"] = row
     return out
 

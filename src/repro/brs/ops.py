@@ -68,6 +68,72 @@ def dim_contains(outer: DimSection, inner: DimSection) -> bool:
     return inner.stride % outer.stride == 0
 
 
+def dim_union(a: DimSection, b: DimSection) -> DimSection | None:
+    """*Exact* union of two progressions as one progression, or ``None``.
+
+    Unlike :func:`hull` this never over-approximates: a result is
+    returned only when the union really is a single arithmetic
+    progression — containment, a point extending a progression by one
+    stride, or two congruent equal-stride progressions that overlap or
+    touch.  The section-set coalescer relies on this exactness to merge
+    without changing the represented point set.  Two lone points are
+    deliberately NOT fused into a new coarser-stride progression (only
+    adjacent points merge, via the point/progression rule below, since
+    points normalize to stride 1): inventing a stride would push later
+    subtractions against dense sections onto the conservative fallback.
+    """
+    if a == b:
+        return a
+    if dim_contains(a, b):
+        return a
+    if dim_contains(b, a):
+        return b
+    if a.is_point or b.is_point:
+        point, prog = (a, b) if a.is_point else (b, a)
+        if (point.lower - prog.lower) % prog.stride == 0 and (
+            prog.lower - prog.stride
+            <= point.lower
+            <= prog.upper + prog.stride
+        ):
+            return DimSection(
+                min(prog.lower, point.lower),
+                max(prog.upper, point.lower),
+                prog.stride,
+            )
+        return None
+    if a.stride == b.stride and (a.lower - b.lower) % a.stride == 0:
+        first, second = (a, b) if a.lower <= b.lower else (b, a)
+        if second.lower <= first.upper + first.stride:
+            return DimSection(
+                first.lower, max(first.upper, second.upper), first.stride
+            )
+    return None
+
+
+def try_merge(a: Section, b: Section) -> Section | None:
+    """Merge two sections into one exactly, or ``None`` if impossible.
+
+    Sections merge when they agree on every dimension but (at most) one,
+    and that dimension's progressions union exactly
+    (:func:`dim_union`) — e.g. two halves of a row, or successive
+    stencil columns.  Equal sections merge to themselves.
+    """
+    if a.rank != b.rank:
+        return None
+    differing = [
+        i for i, (da, db) in enumerate(zip(a.dims, b.dims)) if da != db
+    ]
+    if not differing:
+        return a
+    if len(differing) != 1:
+        return None
+    i = differing[0]
+    union = dim_union(a.dims[i], b.dims[i])
+    if union is None:
+        return None
+    return Section(a.dims[:i] + (union,) + a.dims[i + 1 :])
+
+
 def intersect(a: Section, b: Section) -> Section | None:
     """Exact intersection of two sections, or None if disjoint."""
     _check_ranks(a, b)

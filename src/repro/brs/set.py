@@ -4,20 +4,26 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.brs.ops import contains, intersect, subtract
+from repro.brs.ops import contains, intersect, subtract, try_merge
 from repro.brs.section import Section
+
+#: Largest overlap-component size the exact inclusion-exclusion volume
+#: enumerates (2^cap subset intersections worst case); bigger clusters
+#: fall back to the additive upper bound.
+_IE_COMPONENT_CAP = 16
 
 
 class SectionSet:
     """A union of sections, kept disjoint where subtraction is exact.
 
     ``add`` subtracts the existing coverage from each incoming section
-    before storing it.  When the subtraction had to fall back to the
-    conservative path (partial overlap of incompatible strided sections),
-    members may overlap and :attr:`is_exact` turns False — ``volume`` is
-    then an upper bound, which for transfer-size estimation errs on the
-    safe (pessimistic) side, mirroring the paper's conservative treatment
-    of irregular accesses.
+    before storing it, then coalesces members whose union is exactly one
+    section (two halves of a row, successive stencil columns) so repeated
+    adds do not fragment the set.  When the subtraction had to fall back
+    to the conservative path (partial overlap of incompatible strided
+    sections), members may overlap and :attr:`is_exact` turns False —
+    ``volume`` then switches to inclusion-exclusion over the (exact)
+    pairwise intersections, so overlap is never double-counted.
     """
 
     def __init__(self, sections: Iterable[Section] = ()) -> None:
@@ -43,6 +49,36 @@ class SectionSet:
             if not pending:
                 return
         self._sections.extend(pending)
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        """Merge members whose union is exactly one section, to fixpoint.
+
+        Merging never changes the represented point set
+        (:func:`~repro.brs.ops.try_merge` only fires on exact unions), so
+        membership, coverage, and the inclusion-exclusion volume are all
+        preserved; an exact (disjoint) set additionally keeps its
+        additive volume because disjoint mergeable sections partition
+        their union.
+        """
+        sections = self._sections
+        merged = len(sections) > 1
+        while merged:
+            merged = False
+            out: list[Section] = []
+            for section in sections:
+                for i, existing in enumerate(out):
+                    union = try_merge(existing, section)
+                    if union is not None:
+                        out[i] = union
+                        merged = True
+                        break
+                else:
+                    out.append(section)
+            sections = out
+            if len(sections) <= 1:
+                break
+        self._sections = sections
 
     def update(self, other: "SectionSet") -> None:
         for section in other:
@@ -79,8 +115,52 @@ class SectionSet:
 
     @property
     def volume(self) -> int:
-        """Total element count (exact, or an upper bound if not is_exact)."""
-        return sum(s.volume for s in self._sections)
+        """Total element count of the union.
+
+        Exact when members are disjoint (the common case) and, since the
+        intersection operator is always exact, also for overlapping
+        members via inclusion-exclusion over each connected overlap
+        cluster — so ``volume`` never double-counts an overlap.  Only
+        pathological clusters of more than ``_IE_COMPONENT_CAP`` mutually
+        overlapping sections fall back to the additive upper bound (the
+        safe direction for transfer sizing).
+        """
+        if self._exact:
+            return sum(s.volume for s in self._sections)
+        return self._union_volume()
+
+    def _union_volume(self) -> int:
+        sections = self._sections
+        n = len(sections)
+        overlaps: dict[int, list[int]] = {i: [] for i in range(n)}
+        for i in range(n):
+            for j in range(i + 1, n):
+                if intersect(sections[i], sections[j]) is not None:
+                    overlaps[i].append(j)
+                    overlaps[j].append(i)
+        total = 0
+        seen: set[int] = set()
+        for start in range(n):
+            if start in seen:
+                continue
+            # Connected component of the overlap graph (iterative DFS).
+            component: list[int] = []
+            stack = [start]
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbour in overlaps[node]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+            if len(component) == 1:
+                total += sections[component[0]].volume
+            elif len(component) <= _IE_COMPONENT_CAP:
+                total += _ie_volume([sections[i] for i in component])
+            else:  # pragma: no cover - adversarial cluster sizes only
+                total += sum(sections[i].volume for i in component)
+        return total
 
     def covers(self, section: Section) -> bool:
         """True if the set provably covers ``section`` entirely.
@@ -121,3 +201,22 @@ class SectionSet:
         inner = " U ".join(str(s) for s in self._sections) or "{}"
         marker = "" if self._exact else " (conservative)"
         return inner + marker
+
+
+def _ie_volume(sections: list[Section]) -> int:
+    """Exact union volume by inclusion-exclusion.
+
+    Enumerates subsets recursively, carrying the running intersection so a
+    branch dies as soon as it goes empty (most do: only connected overlap
+    clusters reach here, but triple-wise intersections are often empty).
+    """
+
+    def expand(start: int, running: Section, sign: int) -> int:
+        total = sign * running.volume
+        for i in range(start, len(sections)):
+            deeper = intersect(running, sections[i])
+            if deeper is not None:
+                total += expand(i + 1, deeper, -sign)
+        return total
+
+    return sum(expand(i + 1, sections[i], 1) for i in range(len(sections)))

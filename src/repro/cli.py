@@ -11,6 +11,10 @@ Commands
 - ``advise <workload>`` — pinned/pageable memory recommendation;
 - ``experiment <id>`` — regenerate one paper artifact (table1, table2,
   fig2..fig12), optionally as markdown/CSV or an ASCII chart;
+- ``sweep <workload>`` — parameter sweep along ``--axis size``,
+  ``iterations``, or ``bus`` through the parametric sweep engine
+  (``docs/SWEEP.md``); ``--check`` cross-checks every point against the
+  per-point pipeline;
 - ``artifacts <outdir>`` — regenerate everything into a directory;
 - ``batch <requests.jsonl>`` — project many requests through the
   cached, parallel :mod:`repro.service` engine (JSONL in, JSONL out);
@@ -140,6 +144,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--chart", action="store_true",
         help="render as an ASCII chart instead of a table (figures only)",
+    )
+
+    p = sub.add_parser(
+        "sweep",
+        help="parameter sweep through the parametric sweep engine "
+        "(analyze once, evaluate every point; see docs/SWEEP.md)",
+    )
+    p.add_argument("workload", help="CFD | HotSpot | SRAD | Stassuij | VectorAdd")
+    p.add_argument(
+        "--axis", choices=("size", "iterations", "bus"), default="size",
+        help="sweep axis: data size (default), iteration count, or "
+        "PCIe bus generation",
+    )
+    p.add_argument(
+        "--dataset", default=None,
+        help="dataset label for the iterations/bus axes (default: largest)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="cross-check every sweep point against the per-point "
+        "pipeline (raises on any mismatch)",
     )
 
     p = sub.add_parser(
@@ -378,6 +403,73 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_sweep(args, out) -> int:
+    from repro.pcie.presets import bus_for_generation
+
+    ctx = ExperimentContext(seed=args.seed)
+    workload = get_workload(args.workload)
+    engine = ctx.sweep_engine
+
+    if args.axis == "size":
+        datasets = list(workload.datasets())
+        projections = engine.sweep_workload(workload, check=args.check)
+        header = f"{workload.name}: size sweep, {len(datasets)} point(s)"
+        if args.check:
+            header += "  [every point checked against the per-point pipeline]"
+        out(header)
+        for dataset, projection in zip(datasets, projections):
+            cpu = ctx.measured(workload, dataset).cpu_seconds
+            speedup = projection.speedup(cpu, 1)
+            out(
+                f"  {dataset.label}: kernel "
+                f"{seconds_to_human(projection.kernel_seconds)}"
+                f" + transfer "
+                f"{seconds_to_human(projection.transfer_seconds)}"
+                f" = {seconds_to_human(projection.total_seconds(1))}"
+                f"  ->  {speedup:.2f}x"
+            )
+        stats = engine.stats
+        out(
+            f"  served: kernel structure "
+            f"{'shared across the sweep' if stats['kernels_shared'] else 'computed per point'}, "
+            f"{stats['plans_from_template']} plan(s) from template, "
+            f"{stats['plans_exact']} exact"
+        )
+        return 0
+
+    if args.axis == "iterations":
+        dataset = (
+            workload.dataset(args.dataset)
+            if args.dataset is not None
+            else None
+        )
+        result = run_speedup_vs_iterations(ctx, workload, dataset=dataset)
+        out(result.render())
+        return 0
+
+    # axis == "bus": re-price one dataset's fixed transfer plan.
+    dataset = _pick_dataset(workload, args.dataset)
+    projection = ctx.projection(workload, dataset)
+    cpu = ctx.measured(workload, dataset).cpu_seconds
+    generations = (1, 2, 3)
+    points = engine.sweep_buses(
+        projection.plan, [bus_for_generation(g) for g in generations]
+    )
+    out(
+        f"{workload.name} / {dataset.label}: what-if across PCIe "
+        f"generations (fixed transfer plan, "
+        f"{projection.plan.transfer_count} transfers)"
+    )
+    for generation, point in zip(generations, points):
+        total = projection.kernel_seconds + point.transfer_seconds
+        out(
+            f"  PCIe gen {generation}: transfer "
+            f"{seconds_to_human(point.transfer_seconds)}, total "
+            f"{seconds_to_human(total)}  ->  {cpu / total:.2f}x"
+        )
+    return 0
+
+
 def _cmd_batch(args, out) -> int:
     from pathlib import Path
 
@@ -448,6 +540,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "artifacts": _cmd_artifacts,
     "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
     "batch": _cmd_batch,
     "cache-stats": _cmd_cache_stats,
 }

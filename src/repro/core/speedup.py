@@ -8,6 +8,8 @@ with-transfer and without-transfer predictions converge (Figs. 8/10/12).
 
 from __future__ import annotations
 
+import math
+
 from repro.util.stats import error_magnitude
 from repro.util.validation import check_non_negative, check_positive
 
@@ -55,6 +57,7 @@ def accuracy_crossover_iterations(
     measured_transfer: float,
     advantage: float = 2.0,
     max_iterations: int = 100_000,
+    method: str = "closed",
 ) -> int | None:
     """Largest iteration count where transfer-aware prediction stays
     ``advantage``-times more accurate than the kernel-only prediction.
@@ -68,27 +71,155 @@ def accuracy_crossover_iterations(
 
     Note the CPU time cancels out of both error magnitudes, so it is not
     a parameter.
+
+    ``method`` selects ``"closed"`` (default, O(1): both error curves are
+    ratios of polynomials in the iteration count, so the criterion's sign
+    can only change at the real roots of two quadratics — see
+    ``docs/SWEEP.md`` for the derivation) or ``"scan"`` (the original
+    linear scan, kept as the oracle; the property tests hold the two
+    equal).
     """
     check_positive("predicted_kernel", predicted_kernel)
     check_non_negative("predicted_transfer", predicted_transfer)
     check_positive("measured_kernel", measured_kernel)
     check_non_negative("measured_transfer", measured_transfer)
     check_positive("advantage", advantage)
+    check_positive("max_iterations", max_iterations)
+    if method not in ("closed", "scan"):
+        raise ValueError(
+            f"unknown method {method!r}: expected 'closed' or 'scan'"
+        )
+    args = (
+        predicted_kernel,
+        predicted_transfer,
+        measured_kernel,
+        measured_transfer,
+        advantage,
+        max_iterations,
+    )
+    if method == "scan":
+        return _crossover_scan(*args)
+    return _crossover_closed(*args)
 
+
+def _crossover_holds(
+    predicted_kernel: float,
+    predicted_transfer: float,
+    measured_kernel: float,
+    measured_transfer: float,
+    advantage: float,
+    iterations: int,
+) -> bool:
+    """The scan's per-iteration criterion (both methods share it)."""
+    measured = gpu_total_time(measured_kernel, measured_transfer, iterations)
+    with_transfer = gpu_total_time(
+        predicted_kernel, predicted_transfer, iterations
+    )
+    without_transfer = predicted_kernel * iterations
+    # Speedup errors; the common CPU numerator cancels.
+    err_with = error_magnitude(measured / with_transfer, 1.0)
+    err_without = error_magnitude(measured / without_transfer, 1.0)
+    return err_with == 0 or err_without >= advantage * err_with
+
+
+def _crossover_scan(
+    predicted_kernel: float,
+    predicted_transfer: float,
+    measured_kernel: float,
+    measured_transfer: float,
+    advantage: float,
+    max_iterations: int,
+) -> int | None:
+    """Reference linear scan: stop at the first failing iteration."""
     last_good: int | None = None
     for iterations in range(1, max_iterations + 1):
-        measured = gpu_total_time(
-            measured_kernel, measured_transfer, iterations
-        )
-        with_transfer = gpu_total_time(
-            predicted_kernel, predicted_transfer, iterations
-        )
-        without_transfer = predicted_kernel * iterations
-        # Speedup errors; the common CPU numerator cancels.
-        err_with = error_magnitude(measured / with_transfer, 1.0)
-        err_without = error_magnitude(measured / without_transfer, 1.0)
-        if err_with == 0 or err_without >= advantage * err_with:
+        if _crossover_holds(
+            predicted_kernel,
+            predicted_transfer,
+            measured_kernel,
+            measured_transfer,
+            advantage,
+            iterations,
+        ):
             last_good = iterations
         else:
             return last_good
     return last_good
+
+
+def _real_roots(a: float, b: float, c: float) -> list[float]:
+    """Real roots of ``a*x^2 + b*x + c``, degenerate degrees included."""
+    if a == 0.0:
+        if b == 0.0:
+            return []
+        return [-c / b]
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0:
+        return []
+    sqrt_disc = math.sqrt(disc)
+    # Numerically stable form: the larger-magnitude root first, the other
+    # via Vieta (avoids cancellation when b ~ +-sqrt(disc)).
+    q = -0.5 * (b + math.copysign(sqrt_disc, b)) if b != 0.0 else 0.5 * sqrt_disc
+    roots = [q / a]
+    if q != 0.0:
+        roots.append(c / q)
+    return roots
+
+
+def _crossover_closed(
+    predicted_kernel: float,
+    predicted_transfer: float,
+    measured_kernel: float,
+    measured_transfer: float,
+    advantage: float,
+    max_iterations: int,
+) -> int | None:
+    """Closed-form crossover: O(roots) instead of O(max_iterations).
+
+    Both total times are affine in the iteration count ``n``, so with
+    ``u(n) = (measured - without) * with`` and ``v(n) = (measured - with)
+    * without`` (all three totals positive for ``n >= 1``), the criterion
+    ``err_without >= advantage * err_with`` is ``|u| >= advantage * |v|``
+    — its sign can only flip at real roots of the quadratics
+    ``u - advantage*v`` and ``u + advantage*v``.  The integers adjacent
+    to those roots (plus interval midpoints as guards against float
+    drift) are the only places the scan's verdict can change; evaluating
+    the scan's own float predicate there reproduces the scan exactly.
+    """
+    pk, pt = predicted_kernel, predicted_transfer
+    mk, mt = measured_kernel, measured_transfer
+    d = mk - pk
+    # u = ((mk-pk)n + mt)(pk n + pt);  v = ((mk-pk)n + (mt-pt)) pk n.
+    u2, u1, u0 = d * pk, mt * pk + d * pt, mt * pt
+    v2, v1 = d * pk, (mt - pt) * pk
+    roots = _real_roots(
+        u2 - advantage * v2, u1 - advantage * v1, u0
+    ) + _real_roots(u2 + advantage * v2, u1 + advantage * v1, u0)
+
+    candidates = {1, max_iterations}
+    for root in roots:
+        if not math.isfinite(root):
+            continue
+        base = math.floor(root)
+        for offset in (-1, 0, 1, 2):
+            n = base + offset
+            if 1 <= n <= max_iterations:
+                candidates.add(n)
+    ordered = sorted(candidates)
+    # Midpoint guards: between consecutive candidates the criterion's
+    # algebraic sign is constant (no roots inside), so one sample
+    # certifies the whole gap against rounding-level flips.
+    for lo, hi in zip(ordered, ordered[1:]):
+        if hi - lo > 1:
+            candidates.add((lo + hi) // 2)
+
+    first_bad: int | None = None
+    for n in sorted(candidates):
+        if not _crossover_holds(pk, pt, mk, mt, advantage, n):
+            first_bad = n
+            break
+    if first_bad is None:
+        return max_iterations
+    if first_bad == 1:
+        return None
+    return first_bad - 1

@@ -2,7 +2,9 @@
 
 :func:`score_batch` replays :meth:`GpuPerformanceModel.breakdown` —
 occupancy included — over a batch of :class:`KernelCharacteristics` as
-NumPy structure-of-arrays math instead of N independent scalar passes.
+NumPy structure-of-arrays math instead of N independent scalar passes;
+:func:`score_grid` stacks many such batches (one per sweep point) into a
+single ``(configs x points)`` evaluation for the parametric sweep engine.
 Every elementwise operation mirrors the scalar model's operation *and
 order*, so the resulting ``seconds`` are bitwise-equal to the reference
 (IEEE-754 binary64 arithmetic is deterministic; only re-association
@@ -36,31 +38,57 @@ _BOUND_SAFETY = 1.0 - 1e-6
 
 _ERR_BLOCK, _ERR_REGS, _ERR_SMEM, _ERR_FIT = 1, 2, 3, 4
 
+#: Interned :class:`OccupancyResult` instances keyed by field values —
+#: the scorer would otherwise rebuild the same few dozen results for
+#: every row of every batch.  Bounded defensively; real sessions see a
+#: handful of entries per architecture.
+_OCC_CACHE: dict[tuple, OccupancyResult] = {}
+_OCC_CACHE_MAX = 4096
+
 
 class _Batch:
     """Structure-of-arrays view of a characteristics batch on one model."""
 
     def __init__(
-        self, model: GpuPerformanceModel, chars_list: list[KernelCharacteristics]
+        self,
+        model: GpuPerformanceModel,
+        chars_list: list[KernelCharacteristics],
+        columns: dict[str, np.ndarray] | None = None,
     ) -> None:
         self.model = model
         self.chars = chars_list
         arch = model.arch
-        as_i64 = lambda xs: np.asarray(xs, dtype=np.int64)  # noqa: E731
-        as_f64 = lambda xs: np.asarray(xs, dtype=np.float64)  # noqa: E731
-        self.block = as_i64([c.block_size for c in chars_list])
-        self.regs = as_i64([c.registers_per_thread for c in chars_list])
-        self.smem = as_i64([c.shared_mem_per_block for c in chars_list])
-        threads = as_i64([c.threads for c in chars_list])
+        if columns is not None:
+            # Caller-supplied structure-of-arrays view of ``chars_list``
+            # (same values the attribute sweep below would read) — the
+            # sweep engine tiles the point-invariant fields instead of
+            # re-reading them from every row object.
+            self.block = columns["block_size"]
+            self.regs = columns["registers_per_thread"]
+            self.smem = columns["shared_mem_per_block"]
+            threads = columns["threads"]
+            self.bpa = columns["bytes_per_access"]
+            self.mem_insts = columns["mem_insts_per_thread"]
+            self.comp_insts = columns["comp_insts_per_thread"]
+            self.f_coal = columns["coalesced_fraction"]
+            self.syncs = columns["syncs_per_thread"]
+        else:
+            as_i64 = lambda xs: np.asarray(xs, dtype=np.int64)  # noqa: E731
+            as_f64 = lambda xs: np.asarray(xs, dtype=np.float64)  # noqa: E731
+            self.block = as_i64([c.block_size for c in chars_list])
+            self.regs = as_i64([c.registers_per_thread for c in chars_list])
+            self.smem = as_i64([c.shared_mem_per_block for c in chars_list])
+            threads = as_i64([c.threads for c in chars_list])
+            self.bpa = as_i64([c.bytes_per_access for c in chars_list])
+            self.mem_insts = as_f64([c.mem_insts_per_thread for c in chars_list])
+            self.comp_insts = as_f64(
+                [c.comp_insts_per_thread for c in chars_list]
+            )
+            self.f_coal = as_f64([c.coalesced_fraction for c in chars_list])
+            self.syncs = as_f64([c.syncs_per_thread for c in chars_list])
         # num_blocks = ceil(threads / block_size), replaying the scalar
         # property's float division (cheaper than a property call per row).
         self.nb = np.ceil(threads / self.block).astype(np.int64)
-        self.bpa = as_i64([c.bytes_per_access for c in chars_list])
-        self.mem_insts = as_f64([c.mem_insts_per_thread for c in chars_list])
-        self.comp_insts = as_f64([c.comp_insts_per_thread for c in chars_list])
-        self.f_coal = as_f64([c.coalesced_fraction for c in chars_list])
-        self.syncs = as_f64([c.syncs_per_thread for c in chars_list])
-
         # --- Occupancy (vectorized repro.gpu.occupancy.occupancy) --------
         self.warps_per_block = -(-self.block // arch.warp_size)
         regs_per_block = self.regs * self.block
@@ -273,27 +301,46 @@ class _Batch:
         mc = row["mem_cycles"].tolist()
         cc = row["comp_cycles"].tolist()
         out = []
-        # Positional construction (field order per the dataclasses):
-        # keyword parsing costs show up at two calls per candidate row.
-        for j, i in enumerate(idx.tolist()):
-            occ = OccupancyResult(
-                bps[j], wpb[j], aw[j], _LIMITERS[lim[j]], max_warps
-            )
-            out.append(
-                GpuTimingBreakdown(
-                    self.chars[i].name,
-                    sec[j],
-                    cyc[j],
-                    _REGIMES[reg[j]],
-                    mwp[j],
-                    cwp[j],
-                    nw[j],
-                    rep[j],
-                    mc[j],
-                    cc[j],
-                    occ,
-                )
-            )
+        # Both result types are frozen dataclasses, so normal construction
+        # pays one ``object.__setattr__`` per field; at two objects per
+        # candidate row that dominates this loop.  Building the instances
+        # via ``__new__`` and filling the field dict directly produces
+        # identical objects (the fields carry no validation) much faster.
+        chars = self.chars
+        names = [chars[i].name for i in idx.tolist()]
+        new = object.__new__
+        occ_cache = _OCC_CACHE
+        for j in range(len(names)):
+            # Occupancy repeats heavily across rows (one distinct result
+            # per config modulo the block-count cap), so intern instances:
+            # they are frozen, and sharing changes nothing observable.
+            occ_key = (bps[j], wpb[j], aw[j], lim[j], max_warps)
+            occ = occ_cache.get(occ_key)
+            if occ is None:
+                if len(occ_cache) >= _OCC_CACHE_MAX:  # pragma: no cover
+                    occ_cache.clear()
+                occ = new(OccupancyResult)
+                fields = occ.__dict__
+                fields["blocks_per_sm"] = bps[j]
+                fields["warps_per_block"] = wpb[j]
+                fields["active_warps"] = aw[j]
+                fields["limiter"] = _LIMITERS[lim[j]]
+                fields["_max_warps"] = max_warps
+                occ_cache[occ_key] = occ
+            breakdown = new(GpuTimingBreakdown)
+            fields = breakdown.__dict__
+            fields["kernel"] = names[j]
+            fields["seconds"] = sec[j]
+            fields["cycles"] = cyc[j]
+            fields["regime"] = _REGIMES[reg[j]]
+            fields["mwp"] = mwp[j]
+            fields["cwp"] = cwp[j]
+            fields["active_warps"] = nw[j]
+            fields["repetitions"] = rep[j]
+            fields["mem_cycles_per_warp"] = mc[j]
+            fields["comp_cycles_per_warp"] = cc[j]
+            fields["occupancy"] = occ
+            out.append(breakdown)
         return out
 
 
@@ -333,36 +380,85 @@ def score_batch(
     """
     if not chars_list:
         return []
-    batch = _Batch(model, list(chars_list))
-    legal_idx = np.flatnonzero(batch.legal)
+    return score_grid(model, [chars_list], prune=prune)[0]
 
-    incumbent = None
-    bounds = None
-    if prune and len(legal_idx) > 1:
-        bounds = batch.bound_seconds()
-        seed_pos = int(np.argmin(bounds[legal_idx]))
-        seed_row = batch.exec_at(legal_idx[seed_pos : seed_pos + 1])
-        incumbent = float(seed_row["seconds"][0])
-        survive_idx = legal_idx[bounds[legal_idx] <= incumbent]
-    else:
-        survive_idx = legal_idx
 
+def score_grid(
+    model: GpuPerformanceModel,
+    chars_lists: list[list[KernelCharacteristics]],
+    prune: bool = False,
+    columns: dict[str, np.ndarray] | None = None,
+) -> list[list[tuple[str, object]]]:
+    """Score several batches — one per sweep point — as a single SoA pass.
+
+    ``chars_lists`` holds one characteristics list per *segment* (e.g.
+    one transformation grid per sweep point of a parametric size sweep);
+    the result is one :func:`score_batch`-shaped list per segment.  Every
+    occupancy/timing operation in :class:`_Batch` is elementwise, so a
+    row's numbers are independent of which other rows share the batch and
+    each segment's output is bitwise-equal to scoring it alone.  With
+    ``prune=True`` every segment seeds and prunes against its *own*
+    incumbent — candidates never prune across sweep points.
+
+    ``columns`` optionally supplies the flattened structure-of-arrays
+    view of the rows (one array per characteristics field, in flat row
+    order) so the batch skips its per-row attribute sweep; the values
+    must equal the rows' own — the sweep engine derives them from the
+    rows' point-invariance, tiling the shared fields once.
+    """
+    flat: list[KernelCharacteristics] = []
+    starts = [0]
+    for segment in chars_lists:
+        flat.extend(segment)
+        starts.append(len(flat))
+    if not flat:
+        return [[] for _ in chars_lists]
+
+    batch = _Batch(model, flat, columns)
+    bounds = batch.bound_seconds() if prune else None
+    incumbents: dict[int, float] = {}
+    survive_parts: list[np.ndarray] = []
+    pending_seeds: list[tuple[int, np.ndarray, int]] = []
+    for s in range(len(chars_lists)):
+        lo, hi = starts[s], starts[s + 1]
+        seg_legal = lo + np.flatnonzero(batch.legal[lo:hi])
+        if prune and len(seg_legal) > 1:
+            seed_pos = int(np.argmin(bounds[seg_legal]))
+            pending_seeds.append((s, seg_legal, int(seg_legal[seed_pos])))
+            survive_parts.append(seg_legal)  # placeholder, replaced below
+        else:
+            survive_parts.append(seg_legal)
+    if pending_seeds:
+        seed_idx = np.asarray([row for _, _, row in pending_seeds])
+        seed_seconds = batch.exec_at(seed_idx)["seconds"].tolist()
+        for (s, seg_legal, _), incumbent in zip(pending_seeds, seed_seconds):
+            incumbents[s] = incumbent
+            survive_parts[s] = seg_legal[bounds[seg_legal] <= incumbent]
+
+    survive_idx = (
+        np.concatenate(survive_parts)
+        if survive_parts
+        else np.empty(0, dtype=np.int64)
+    )
     row = batch.exec_at(survive_idx)
     breakdowns = batch.materialize(survive_idx, row)
     by_row = dict(zip(survive_idx.tolist(), breakdowns))
     legal = batch.legal.tolist()
-    results: list[tuple[str, object]] = []
-    for i in range(len(chars_list)):
-        if not legal[i]:
-            results.append(("illegal", batch.error_message(i)))
-        elif i in by_row:
-            results.append(("candidate", by_row[i]))
-        else:
-            results.append(
-                (
-                    "pruned",
-                    f"lower bound {float(bounds[i]) * 1e6:.2f}us exceeds "
-                    f"incumbent {incumbent * 1e6:.2f}us",
+    out: list[list[tuple[str, object]]] = []
+    for s in range(len(chars_lists)):
+        results: list[tuple[str, object]] = []
+        for i in range(starts[s], starts[s + 1]):
+            if not legal[i]:
+                results.append(("illegal", batch.error_message(i)))
+            elif i in by_row:
+                results.append(("candidate", by_row[i]))
+            else:
+                results.append(
+                    (
+                        "pruned",
+                        f"lower bound {float(bounds[i]) * 1e6:.2f}us exceeds "
+                        f"incumbent {incumbents[s] * 1e6:.2f}us",
+                    )
                 )
-            )
-    return results
+        out.append(results)
+    return out

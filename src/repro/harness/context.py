@@ -12,6 +12,7 @@ from repro.pcie.calibration import calibrate_bus
 from repro.pcie.channel import MemoryKind
 from repro.sim.gpu_sim import KernelWork, kernel_work_from_skeleton
 from repro.sim.machine import VirtualTestbed, argonne_testbed
+from repro.sweep.engine import SweepEngine
 from repro.workloads.base import Dataset, Workload
 
 #: Measurement repetitions, per the paper's methodology.
@@ -41,27 +42,87 @@ class ExperimentContext:
         testbed: VirtualTestbed | None = None,
         batched_transfers: bool = False,
         explorer: str = "fast",
+        sweep: bool = True,
     ) -> None:
+        """``sweep=True`` (the default) serves multi-dataset projections
+        through the parametric :class:`~repro.sweep.engine.SweepEngine`
+        — the first projection of a workload sweeps *all* its datasets
+        in one structural pass.  Results are numerically identical to
+        the per-point projector (``docs/SWEEP.md``); ``sweep=False``
+        restores point-at-a-time projection.
+        """
         self.testbed = testbed or argonne_testbed(seed)
         self.bus_model = calibrate_bus(self.testbed.bus)
+        self._batched_transfers = batched_transfers
         self.projector = GrophecyPlusPlus(
             quadro_fx_5600(),
             self.bus_model,
             batched_transfers=batched_transfers,
             explorer=explorer,
         )
+        self.sweep = sweep
+        self._sweep_engine: SweepEngine | None = None
         self._projections: dict[tuple[str, str], Projection] = {}
         self._measured: dict[tuple[str, str], MeasuredApplication] = {}
         self._factors: dict[tuple[str, str], CalibratedFactors] = {}
+        self._reports: dict[tuple[str, str], PredictionReport] = {}
 
     # --- prediction side -----------------------------------------------------
+    @property
+    def sweep_engine(self) -> SweepEngine:
+        """The context's sweep engine (built lazily, shares the model)."""
+        if self._sweep_engine is None:
+            self._sweep_engine = SweepEngine(
+                self.projector.model,
+                self.bus_model,
+                self.projector.space,
+                batched_transfers=self._batched_transfers,
+            )
+        return self._sweep_engine
+
+    def project_all(
+        self,
+        workload: Workload,
+        datasets: tuple[Dataset, ...] | list[Dataset] | None = None,
+    ) -> list[Projection]:
+        """Project every dataset of a workload in one sweep pass.
+
+        Cached points are reused; only the missing ones go through the
+        sweep engine.  Returns projections in dataset order.
+        """
+        points = (
+            list(datasets)
+            if datasets is not None
+            else list(workload.datasets())
+        )
+        missing = [
+            d
+            for d in points
+            if (workload.name, d.label) not in self._projections
+        ]
+        if missing:
+            swept = self.sweep_engine.sweep_workload(
+                workload, datasets=missing
+            )
+            for dataset, projection in zip(missing, swept):
+                self._projections[(workload.name, dataset.label)] = projection
+        return [
+            self._projections[(workload.name, d.label)] for d in points
+        ]
+
     def projection(self, workload: Workload, dataset: Dataset) -> Projection:
         key = (workload.name, dataset.label)
         if key not in self._projections:
-            program = workload.skeleton(dataset)
-            self._projections[key] = self.projector.project(
-                program, workload.hints(dataset)
-            )
+            if self.sweep:
+                # One structural pass covers the whole workload; the
+                # requested dataset may be outside workload.datasets()
+                # (custom sweeps), in which case fall through below.
+                self.project_all(workload)
+            if key not in self._projections:
+                program = workload.skeleton(dataset)
+                self._projections[key] = self.projector.project(
+                    program, workload.hints(dataset)
+                )
         return self._projections[key]
 
     # --- measured side ----------------------------------------------------
@@ -157,7 +218,12 @@ class ExperimentContext:
     def report(
         self, workload: Workload, dataset: Dataset
     ) -> PredictionReport:
-        return PredictionReport(
-            projection=self.projection(workload, dataset),
-            measured=self.measured(workload, dataset),
-        )
+        key = (workload.name, dataset.label)
+        report = self._reports.get(key)
+        if report is None:
+            report = PredictionReport(
+                projection=self.projection(workload, dataset),
+                measured=self.measured(workload, dataset),
+            )
+            self._reports[key] = report
+        return report

@@ -11,7 +11,10 @@ this package amortizes that work across requests:
   or batched :class:`ProjectionRequest`s;
 - :mod:`~repro.service.cache` — a content-addressed result cache
   (in-memory LRU + optional on-disk JSON tier) keyed by stable
-  fingerprints of skeleton + architecture + bus + explorer options;
+  fingerprints of skeleton + architecture + bus + explorer options,
+  plus a bus-independent per-kernel tier
+  (:class:`KernelProjectionCache`) that lets what-if studies skip the
+  transformation-space search;
 - :mod:`~repro.service.parallel` — deterministic fan-out of kernels and
   transformation-space chunks over a worker pool;
 - :mod:`~repro.service.metrics` — counters and per-stage timers;
@@ -21,7 +24,11 @@ this package amortizes that work across requests:
 See ``docs/SERVICE.md`` for the full tour.
 """
 
-from repro.service.cache import ProjectionCache, disk_cache_stats
+from repro.service.cache import (
+    KernelProjectionCache,
+    ProjectionCache,
+    disk_cache_stats,
+)
 from repro.service.engine import (
     ProjectionEngine,
     ProjectionRequest,
@@ -42,6 +49,7 @@ from repro.service.parallel import (
 )
 
 __all__ = [
+    "KernelProjectionCache",
     "ProjectionCache",
     "disk_cache_stats",
     "ProjectionEngine",

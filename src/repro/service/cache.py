@@ -174,6 +174,82 @@ class ProjectionCache:
         )
 
 
+class KernelProjectionCache:
+    """Thread-safe in-memory LRU of live kernel projections.
+
+    The kernel side of a projection is bus-independent, so the engine
+    keys entries by kernel content + architecture + space + pruning
+    (see :meth:`repro.service.engine.ProjectionEngine._kernel_key`) and
+    entries stay valid across bus what-ifs — and across *programs* that
+    share a kernel.  Values are the immutable
+    :class:`~repro.transform.explorer.KernelProjection` dataclasses
+    themselves: sharing them is safe, and a hit compares equal to the
+    recomputation it replaces (the sweep-engine equivalence tests lean
+    on exactly that dataclass equality).
+
+    This tier is memory-only: entries hold live object graphs (every
+    candidate's characteristics and timing breakdown), which the JSON
+    disk tier of :class:`ProjectionCache` could not round-trip.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: str, projection: Any) -> None:
+        with self._lock:
+            self._entries[key] = projection
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+            }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"kernel cache: {stats['entries']}/{stats['capacity']} "
+            f"entries, {stats['hits']} hits / {stats['misses']} misses"
+        )
+
+
 def disk_cache_stats(path: str | Path) -> dict[str, Any]:
     """Inspect an on-disk cache directory without opening every file.
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.prediction import Projection
 from repro.core.serialize import ProjectionSummary, summarize_projection
@@ -37,10 +37,17 @@ from repro.gpu.arch import GPUArchitecture, quadro_fx_5600
 from repro.gpu.model import GpuPerformanceModel
 from repro.pcie.model import BusModel
 from repro.pcie.presets import pcie_gen1_bus
-from repro.service.cache import ProjectionCache
+from repro.service.cache import KernelProjectionCache, ProjectionCache
 from repro.service.metrics import ServiceMetrics
-from repro.service.parallel import map_ordered, project_kernels_parallel
-from repro.skeleton.program import ProgramSkeleton
+from repro.service.parallel import (
+    explore_kernel_parallel,
+    map_ordered,
+    project_kernels_parallel,
+)
+from repro.skeleton.arrays import ArrayDecl
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.program import ProgramSkeleton, kernel_fingerprint
+from repro.transform.explorer import KernelProjection, ProgramProjection
 from repro.transform.space import TransformationSpace
 from repro.util.fingerprint import stable_digest
 from repro.util.validation import check_positive
@@ -133,19 +140,36 @@ class ProjectionEngine:
         max_workers: int = 1,
         explorer: str = "fast",
         prune: bool = False,
+        kernel_cache: KernelProjectionCache | None = None,
+        kernel_cache_capacity: int = 512,
     ) -> None:
-        """``cache=None`` disables caching entirely; ``bus=None`` uses
-        the nominal PCIe gen-1 preset (the paper's bus class) — pass a
+        """``cache=None`` disables result caching; ``bus=None`` uses the
+        nominal PCIe gen-1 preset (the paper's bus class) — pass a
         calibrated :class:`BusModel` for real projections.
 
         ``explorer``/``prune`` select the exploration path (see
-        ``docs/EXPLORER.md``).  Neither enters the cache key: both paths
-        produce the identical :class:`ProjectionSummary` (same best
-        mapping, same seconds, same ``search_width`` — pruned configs
-        still count toward the width), so cached entries stay valid
-        across path switches.
+        ``docs/EXPLORER.md``).  Neither enters the *request* cache key:
+        both paths produce the identical :class:`ProjectionSummary`
+        (same best mapping, same seconds, same ``search_width`` — pruned
+        configs still count toward the width), so cached entries stay
+        valid across path switches.
+
+        A second, finer cache sits under the request cache: exploration
+        results are kept per *kernel*, keyed by kernel content + arch +
+        space (``prune`` included — it shapes the candidate tables; the
+        bus deliberately excluded — kernel time is bus-independent).  A
+        what-if study that re-projects the same program over PCIe
+        generations misses the request cache (the bus is in its key) but
+        skips every transformation-space search.  Pass ``kernel_cache``
+        to share one across engines, or ``kernel_cache_capacity=0`` to
+        disable the tier.
         """
         check_positive("max_workers", max_workers)
+        if kernel_cache_capacity < 0:
+            raise ValueError(
+                f"kernel_cache_capacity must be >= 0, got "
+                f"{kernel_cache_capacity}"
+            )
         if explorer not in ("fast", "reference"):
             raise ValueError(
                 f"unknown explorer {explorer!r}: expected 'fast' or "
@@ -155,6 +179,12 @@ class ProjectionEngine:
         self._bus = bus or pcie_gen1_bus()
         self._space = space or TransformationSpace.default()
         self._cache = cache
+        if kernel_cache is not None:
+            self._kernel_cache: KernelProjectionCache | None = kernel_cache
+        elif kernel_cache_capacity > 0:
+            self._kernel_cache = KernelProjectionCache(kernel_cache_capacity)
+        else:
+            self._kernel_cache = None
         self._max_workers = max_workers
         self._explorer = explorer
         self._prune = prune
@@ -178,6 +208,10 @@ class ProjectionEngine:
     def cache(self) -> ProjectionCache | None:
         return self._cache
 
+    @property
+    def kernel_cache(self) -> KernelProjectionCache | None:
+        return self._kernel_cache
+
     # Keying --------------------------------------------------------------
     def fingerprint(self, request: ProjectionRequest) -> str:
         """Cache key: everything that determines the projection result."""
@@ -194,6 +228,31 @@ class ProjectionEngine:
                 "bus": bus.fingerprint(),
                 "space": space.fingerprint(),
                 "options": {"batched_transfers": request.batched_transfers},
+            }
+        )
+
+    def _kernel_key(
+        self,
+        kernel: KernelSkeleton,
+        array_map: Mapping[str, ArrayDecl],
+        arch: GPUArchitecture,
+        space: TransformationSpace,
+    ) -> str:
+        """Kernel-level cache key: everything one exploration reads.
+
+        Bus and explorer stay out — kernel time is bus-independent, and
+        fast/reference produce bitwise-identical projections.  ``prune``
+        is *in*: pruning moves configs between the candidate and pruned
+        tables, so projections from different prune modes are distinct
+        objects even though the best mapping agrees.
+        """
+        return stable_digest(
+            {
+                "format": KEY_FORMAT,
+                "kernel": kernel_fingerprint(kernel, array_map),
+                "arch": arch.fingerprint(),
+                "space": space.fingerprint(),
+                "options": {"prune": self._prune},
             }
         )
 
@@ -272,6 +331,104 @@ class ProjectionEngine:
             self._models[arch.name] = model
         return model
 
+    def _explore(
+        self,
+        program: ProgramSkeleton,
+        model: GpuPerformanceModel,
+        space: TransformationSpace,
+        workers: int,
+    ) -> ProgramProjection:
+        """Explore every kernel, reusing kernel-level cache entries.
+
+        ``candidates_explored`` counts only searches actually run; a
+        kernel served from the cache adds to ``kernel_cache_hits``
+        instead.  The assembled :class:`ProgramProjection` is identical
+        either way — cached entries are the very objects a fresh search
+        would rebuild (dataclass-equal by the explorer's determinism).
+        """
+        cache = self._kernel_cache
+        if cache is None:
+            projection = project_kernels_parallel(
+                program,
+                model,
+                space,
+                max_workers=workers,
+                explorer=self._explorer,
+                prune=self._prune,
+            )
+            self.metrics.incr(
+                "candidates_explored",
+                sum(kp.search_width for kp in projection.kernels),
+            )
+            return projection
+
+        array_map = program.array_map
+        keys = [
+            self._kernel_key(kernel, array_map, model.arch, space)
+            for kernel in program.kernels
+        ]
+        found: dict[int, KernelProjection] = {}
+        for index, key in enumerate(keys):
+            entry = cache.get(key)
+            if entry is not None:
+                found[index] = entry
+        missing = [i for i in range(len(keys)) if i not in found]
+        self.metrics.incr("kernel_cache_hits", len(found))
+        self.metrics.incr("kernel_cache_misses", len(missing))
+
+        if not missing:
+            return ProgramProjection(
+                program=program.name,
+                kernels=tuple(found[i] for i in range(len(keys))),
+            )
+        if not found:
+            # All kernels miss: the existing whole-program fan-out picks
+            # the best split (per-kernel tasks, or chunked space for a
+            # single-kernel program).
+            projection = project_kernels_parallel(
+                program,
+                model,
+                space,
+                max_workers=workers,
+                explorer=self._explorer,
+                prune=self._prune,
+            )
+            self.metrics.incr(
+                "candidates_explored",
+                sum(kp.search_width for kp in projection.kernels),
+            )
+            for key, kernel_projection in zip(keys, projection.kernels):
+                cache.put(key, kernel_projection)
+            return projection
+
+        # Partial hit: explore only the missing kernels.  A single miss
+        # gets the whole worker budget as chunk parallelism; several
+        # misses fan out one task per kernel.
+        inner = workers if len(missing) == 1 else 1
+        computed = map_ordered(
+            lambda i: explore_kernel_parallel(
+                program.kernels[i],
+                program,
+                model,
+                space,
+                max_workers=inner,
+                explorer=self._explorer,
+                prune=self._prune,
+            ),
+            missing,
+            1 if len(missing) == 1 else workers,
+        )
+        for index, kernel_projection in zip(missing, computed):
+            cache.put(keys[index], kernel_projection)
+            self.metrics.incr(
+                "candidates_explored", kernel_projection.search_width
+            )
+            found[index] = kernel_projection
+        return ProgramProjection(
+            program=program.name,
+            kernels=tuple(found[i] for i in range(len(keys))),
+        )
+
     def _compute(
         self, request: ProjectionRequest, workers: int
     ) -> Projection:
@@ -283,18 +440,7 @@ class ProjectionEngine:
         model = self._model_for(arch)
 
         with self.metrics.timer("explore"):
-            kernels = project_kernels_parallel(
-                program,
-                model,
-                space,
-                max_workers=workers,
-                explorer=self._explorer,
-                prune=self._prune,
-            )
-        self.metrics.incr(
-            "candidates_explored",
-            sum(kp.search_width for kp in kernels.kernels),
-        )
+            kernels = self._explore(program, model, space, workers)
         with self.metrics.timer("analyze"):
             plan = analyze_transfers(program, request.hints)
             if request.batched_transfers:

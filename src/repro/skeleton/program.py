@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Mapping
 
 from repro.skeleton.arrays import ArrayDecl
 from repro.skeleton.kernel import KernelSkeleton
@@ -75,6 +75,33 @@ def _array_payload(array: ArrayDecl) -> dict[str, Any]:
         "dtype": array.dtype.label,
         "kind": array.kind.value,
     }
+
+
+def kernel_fingerprint(
+    kernel: KernelSkeleton, array_map: Mapping[str, ArrayDecl]
+) -> str:
+    """Content hash of one kernel plus the arrays it touches.
+
+    Everything kernel exploration reads: the kernel's loops and
+    statements (canonicalized exactly like :meth:`ProgramSkeleton.
+    fingerprint`) and the declarations of the arrays its accesses name.
+    Program identity stays *out*, so two programs sharing a kernel share
+    its cache entry — the kernel-level cache key of
+    :class:`repro.service.engine.ProjectionEngine`.
+    """
+    touched = sorted(
+        {
+            access.array
+            for statement in kernel.statements
+            for access in statement.accesses
+        }
+    )
+    return stable_digest(
+        {
+            "kernel": _kernel_payload(kernel),
+            "arrays": [_array_payload(array_map[name]) for name in touched],
+        }
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,25 @@
+"""Parametric sweep engine: analyze once, evaluate every point.
+
+A parameter sweep (speedup vs data size, what-if bus studies, the
+figure harness) re-runs the full GROPHECY++ pipeline per point even
+though most of the work — the transformation-space walk, the BRS
+transfer analysis — has the same *structure* at every point and only a
+few numbers change.  :class:`~repro.sweep.engine.SweepEngine` certifies
+that structural sharing per sweep (exactly, falling back to the
+per-point pipeline whenever a certificate fails) and then evaluates all
+points in one vectorized pass per kernel.  Results are numerically
+identical to projecting each point individually; see ``docs/SWEEP.md``.
+"""
+
+from repro.sweep.engine import BusSweepPoint, SweepEngine
+from repro.sweep.parametric import AffineInt, fit_affine
+from repro.sweep.structure import PlanTemplate, fit_plan_template
+
+__all__ = [
+    "AffineInt",
+    "BusSweepPoint",
+    "PlanTemplate",
+    "SweepEngine",
+    "fit_affine",
+    "fit_plan_template",
+]

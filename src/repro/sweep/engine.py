@@ -1,0 +1,441 @@
+"""The sweep engine: one structural precompute, cheap per-point evaluation.
+
+:class:`SweepEngine` projects a whole parameter sweep — the same
+application skeleton instantiated at many dataset sizes — in one pass:
+
+1. **Certify sharing** (:mod:`repro.sweep.structure`): every point's
+   kernel analyses must be identical except for the exposed work-item
+   count; the anchor points' transfer plans must fit one affine template
+   over the size axis.
+2. **Evaluate**: the transformation grid of *all* points scores as a
+   single :func:`~repro.gpu.vectorized.score_grid` NumPy pass per
+   kernel; non-anchor transfer plans come from the template.
+
+Every certificate failure degrades gracefully to the exact per-point
+pipeline (never to a wrong answer), and both paths produce identical
+:class:`~repro.core.prediction.Projection` objects — the equivalence
+tests in ``tests/sweep/`` compare them with dataclass equality, and
+``check=True`` runs that comparison inline as an oracle.  See
+``docs/SWEEP.md`` for the design and the exactness argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.prediction import Projection
+from repro.datausage.analyzer import analyze_transfers
+from repro.datausage.hints import AnalysisHints
+from repro.datausage.transfers import TransferPlan
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.vectorized import score_grid
+from repro.pcie.model import BusModel
+from repro.skeleton.program import ProgramSkeleton
+from repro.sweep.structure import fit_plan_template, shared_kernel_analyses
+from repro.transform.explorer import (
+    CandidateResult,
+    KernelProjection,
+    ProgramProjection,
+    project_program,
+)
+from repro.transform.space import TransformationSpace
+from repro.workloads.base import Dataset, Workload
+
+#: Exact plans are computed at up to this many anchor points (smallest,
+#: median, largest size); the affine template must interpolate all of
+#: them, so a quadratic element count (e.g. an n x n grid swept over n)
+#: is detected and sent down the exact path.
+MAX_PLAN_ANCHORS = 3
+
+#: The point-invariant characteristics fields, tiled across points by
+#: :func:`_grid_columns`; ``threads`` and ``block_size`` (derived from
+#: the per-point work-item count) are read per row instead.
+_TILED_FIELDS = (
+    ("registers_per_thread", np.int64),
+    ("shared_mem_per_block", np.int64),
+    ("bytes_per_access", np.int64),
+    ("mem_insts_per_thread", np.float64),
+    ("comp_insts_per_thread", np.float64),
+    ("coalesced_fraction", np.float64),
+    ("syncs_per_thread", np.float64),
+)
+
+
+def _grid_columns(grids: list[list]) -> dict[str, np.ndarray]:
+    """Structure-of-arrays view of a full characteristics grid.
+
+    Exploits the sweep's sharing certificate: every row of ``grids``
+    holds the same per-config objects modulo ``threads`` and the block
+    floor ``block_size`` depends on, so the other fields are read from
+    the first point only and tiled — the scorer sees exactly the values
+    it would have read from each row object.
+    """
+    points = len(grids)
+    first = grids[0]
+    columns = {
+        name: np.tile(
+            np.asarray([getattr(c, name) for c in first], dtype), points
+        )
+        for name, dtype in _TILED_FIELDS
+    }
+    flat = [c for row in grids for c in row]
+    columns["threads"] = np.asarray(
+        [c.threads for c in flat], dtype=np.int64
+    )
+    columns["block_size"] = np.asarray(
+        [c.block_size for c in flat], dtype=np.int64
+    )
+    return columns
+
+
+@dataclass(frozen=True)
+class BusSweepPoint:
+    """One bus of a what-if sweep priced against a fixed transfer plan."""
+
+    bus: BusModel
+    transfer_seconds: float
+    per_transfer_seconds: tuple[float, ...]
+
+
+class SweepEngine:
+    """Projects parameter sweeps; point-for-point equal to the projector.
+
+    Construction mirrors :class:`~repro.core.projector.GrophecyPlusPlus`
+    (same architecture/bus/space/batched-transfers knobs, fast-path
+    exploration with optional pruning); ``stats`` exposes how the last
+    sweep was served (how many points rode the shared structure vs the
+    exact fallback).
+    """
+
+    def __init__(
+        self,
+        gpu: GPUArchitecture | GpuPerformanceModel,
+        bus: BusModel,
+        space: TransformationSpace | None = None,
+        batched_transfers: bool = False,
+        prune: bool = False,
+    ) -> None:
+        self._model = (
+            gpu
+            if isinstance(gpu, GpuPerformanceModel)
+            else GpuPerformanceModel(gpu)
+        )
+        self._bus = bus
+        self._space = space or TransformationSpace.default()
+        self._batched = batched_transfers
+        self._prune = prune
+        self.stats: dict[str, int] = {}
+
+    @property
+    def model(self) -> GpuPerformanceModel:
+        return self._model
+
+    @property
+    def bus(self) -> BusModel:
+        return self._bus
+
+    # Public sweeps ---------------------------------------------------------
+    def sweep_workload(
+        self,
+        workload: Workload,
+        datasets: Sequence[Dataset] | None = None,
+        check: bool = False,
+    ) -> list[Projection]:
+        """Project every dataset of a workload, in dataset order."""
+        points = list(datasets) if datasets is not None else list(
+            workload.datasets()
+        )
+        return self.sweep(
+            [workload.skeleton(d) for d in points],
+            hints=[workload.hints(d) for d in points],
+            sizes=[d.size for d in points],
+            check=check,
+        )
+
+    def sweep(
+        self,
+        programs: Sequence[ProgramSkeleton],
+        hints: Sequence[AnalysisHints | None] | None = None,
+        sizes: Sequence[int] | None = None,
+        check: bool = False,
+    ) -> list[Projection]:
+        """Project every program, in input order.
+
+        ``sizes`` is the sweep's numeric axis (one value per program);
+        without it transfer plans are computed exactly at every point
+        (only kernel scoring is shared).  ``check=True`` additionally
+        projects every point through the per-point pipeline and raises
+        ``AssertionError`` on any mismatch — the oracle mode the
+        equivalence tests and the CLI's ``sweep --check`` use.
+        """
+        programs = list(programs)
+        if not programs:
+            return []
+        hints_list = (
+            list(hints) if hints is not None else [None] * len(programs)
+        )
+        if len(hints_list) != len(programs):
+            raise ValueError(
+                f"hints do not match programs: {len(hints_list)} vs "
+                f"{len(programs)}"
+            )
+        if sizes is not None and len(sizes) != len(programs):
+            raise ValueError(
+                f"sizes do not match programs: {len(sizes)} vs "
+                f"{len(programs)}"
+            )
+
+        anchors = self._anchor_indices(len(programs), sizes)
+        kernels = self._sweep_kernels(programs, anchors)
+        plans, template_points = self._sweep_plans(
+            programs, hints_list, sizes, anchors
+        )
+        self.stats = {
+            "points": len(programs),
+            "kernels_shared": int(kernels is not None),
+            "plans_from_template": template_points,
+            "plans_exact": len(programs) - template_points,
+        }
+
+        projections: list[Projection] = []
+        for index, program in enumerate(programs):
+            kernel_projection = (
+                kernels[index]
+                if kernels is not None
+                else project_program(
+                    program, self._model, self._space, prune=self._prune
+                )
+            )
+            plan = plans[index]
+            if plan is None:
+                plan = self._exact_plan(program, hints_list[index])
+            per_transfer = tuple(self._bus.predict_plan_by_transfer(plan))
+            projections.append(
+                Projection(
+                    program=program.name,
+                    kernel_seconds=kernel_projection.seconds,
+                    transfer_seconds=sum(per_transfer),
+                    plan=plan,
+                    per_transfer_seconds=per_transfer,
+                    kernels=kernel_projection,
+                )
+            )
+        if check:
+            for index, program in enumerate(programs):
+                exact = self._project_exact(program, hints_list[index])
+                assert projections[index] == exact, (
+                    f"sweep point {index} ({program.name}) diverged from "
+                    f"the per-point pipeline"
+                )
+        return projections
+
+    def sweep_buses(
+        self, plan: TransferPlan, buses: Sequence[BusModel]
+    ) -> list[BusSweepPoint]:
+        """Price one fixed transfer plan on many buses (what-if studies).
+
+        The transfer set is bus-independent, so a bus sweep never
+        re-explores or re-analyzes — this is the sweep-engine face of
+        the paper's PCIe-generation what-if.
+        """
+        points = []
+        for bus in buses:
+            per_transfer = tuple(bus.predict_plan_by_transfer(plan))
+            points.append(
+                BusSweepPoint(bus, sum(per_transfer), per_transfer)
+            )
+        return points
+
+    @staticmethod
+    def _anchor_indices(
+        count: int, sizes: Sequence[int] | None
+    ) -> list[int]:
+        """Points where structure is certified exactly.
+
+        Without a size axis there is nothing to interpolate along, so
+        every point anchors; with one, the smallest, median, and largest
+        points do (all of them when the sweep has at most
+        :data:`MAX_PLAN_ANCHORS` points — a figure-style sweep is then
+        certified at every point).
+        """
+        if sizes is None or count <= MAX_PLAN_ANCHORS:
+            return list(range(count))
+        order = sorted(range(count), key=lambda i: sizes[i])
+        return sorted({order[0], order[count // 2], order[-1]})
+
+    # Kernel side -----------------------------------------------------------
+    def _sweep_kernels(
+        self, programs: list[ProgramSkeleton], anchors: list[int]
+    ) -> list[ProgramProjection] | None:
+        """All points' kernel projections via shared analyses, or None."""
+        shared = shared_kernel_analyses(
+            programs, self._model.arch.strict_coalescing, anchors
+        )
+        if shared is None:
+            return None
+        configs = list(self._space.configs())
+        per_point: list[list[KernelProjection]] = [[] for _ in programs]
+        for analysis, point_iterations in shared:
+            # Per-config synthesis errors do not depend on the work-item
+            # count, so the grid reports each failing config once.
+            grids, synthesis_errors = analysis.characteristics_grid(
+                configs, point_iterations
+            )
+            if synthesis_errors:
+                scored = score_grid(
+                    self._model,
+                    [[c for c in chars if c is not None] for chars in grids],
+                    prune=self._prune,
+                )
+            else:
+                # Full grid: every field except threads/block_size is
+                # point-invariant (that is what the sharing certificate
+                # guarantees), so read those once from the first point
+                # and tile instead of per-row attribute sweeps.
+                scored = score_grid(
+                    self._model,
+                    grids,
+                    prune=self._prune,
+                    columns=_grid_columns(grids),
+                )
+            for point, (chars, results) in enumerate(zip(grids, scored)):
+                projection = self._assemble_kernel(
+                    analysis.kernel.name, configs, chars,
+                    synthesis_errors, results,
+                )
+                per_point[point].append(projection)
+        return [
+            ProgramProjection(
+                program=program.name, kernels=tuple(per_point[index])
+            )
+            for index, program in enumerate(programs)
+        ]
+
+    def _assemble_kernel(
+        self,
+        kernel_name: str,
+        configs: list,
+        chars: list,
+        synthesis_errors: dict[int, str],
+        results: list[tuple[str, object]],
+    ) -> KernelProjection:
+        """Mirror of the fast path's per-kernel result assembly."""
+        candidates: list[CandidateResult] = []
+        skipped: list[tuple] = []
+        pruned: list[tuple] = []
+        best: CandidateResult | None = None
+        best_seconds = float("inf")
+        # CandidateResult is a frozen dataclass; bypassing its
+        # per-field ``object.__setattr__`` construction (as the scorer's
+        # materialize step does) keeps this per-point loop cheap.  The
+        # strict ``<`` replays min()'s first-minimum tie-break.
+        new = object.__new__
+        add_candidate = candidates.append
+        if synthesis_errors:
+            scored: list[tuple] = []
+            results_iter = iter(results)
+            for index, config in enumerate(configs):
+                if index in synthesis_errors:
+                    skipped.append((config, synthesis_errors[index]))
+                else:
+                    scored.append((config, chars[index], next(results_iter)))
+        else:
+            scored = list(zip(configs, chars, results))
+        for config, characteristics, (kind, payload) in scored:
+            if kind == "candidate":
+                candidate = new(CandidateResult)
+                fields = candidate.__dict__
+                fields["config"] = config
+                fields["characteristics"] = characteristics
+                fields["breakdown"] = payload
+                add_candidate(candidate)
+                if payload.seconds < best_seconds:
+                    best = candidate
+                    best_seconds = payload.seconds
+            elif kind == "illegal":
+                skipped.append((config, payload))
+            else:
+                pruned.append((config, payload))
+        if best is None:
+            raise ValueError(
+                f"no legal mapping for kernel {kernel_name!r} on "
+                f"{self._model.arch.name} (tried {len(skipped)})"
+            )
+        return KernelProjection(
+            kernel=kernel_name,
+            best=best,
+            candidates=tuple(candidates),
+            skipped=tuple(skipped),
+            pruned=tuple(pruned),
+        )
+
+    # Transfer side ---------------------------------------------------------
+    def _exact_plan(
+        self, program: ProgramSkeleton, hints: AnalysisHints | None
+    ) -> TransferPlan:
+        plan = analyze_transfers(program, hints)
+        if self._batched:
+            plan = plan.batched()
+        return plan
+
+    def _sweep_plans(
+        self,
+        programs: list[ProgramSkeleton],
+        hints_list: list[AnalysisHints | None],
+        sizes: Sequence[int] | None,
+        anchors: list[int],
+    ) -> tuple[list[TransferPlan | None], int]:
+        """Plans plus how many came from the template; ``None`` slots
+        (and the anchors themselves) run the exact analyzer.
+
+        Anchors always get exact plans; the template fitted through them
+        serves the rest, unless the anchors reject it (non-affine
+        element counts, differing transfer sequences) or a point's
+        evaluation falls off the integer lattice.
+        """
+        count = len(programs)
+        plans: list[TransferPlan | None] = [None] * count
+        if sizes is None:
+            return plans, 0
+        for index in anchors:
+            plans[index] = self._exact_plan(
+                programs[index], hints_list[index]
+            )
+        if count <= len(anchors):
+            return plans, 0
+        template = fit_plan_template(
+            [sizes[i] for i in anchors], [plans[i] for i in anchors]
+        )
+        if template is None:
+            return plans, 0
+        template_points = 0
+        for index in range(count):
+            if plans[index] is None:
+                plans[index] = template.instantiate(
+                    programs[index].name, sizes[index]
+                )
+                template_points += plans[index] is not None
+        return plans, template_points
+
+    # Oracle ----------------------------------------------------------------
+    def _project_exact(
+        self, program: ProgramSkeleton, hints: AnalysisHints | None
+    ) -> Projection:
+        """The per-point pipeline (the ``check=True`` oracle)."""
+        kernels = project_program(
+            program, self._model, self._space, prune=self._prune
+        )
+        plan = self._exact_plan(program, hints)
+        per_transfer = tuple(self._bus.predict_plan_by_transfer(plan))
+        return Projection(
+            program=program.name,
+            kernel_seconds=kernels.seconds,
+            transfer_seconds=sum(per_transfer),
+            plan=plan,
+            per_transfer_seconds=per_transfer,
+            kernels=kernels,
+        )

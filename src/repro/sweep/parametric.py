@@ -1,0 +1,87 @@
+"""Exact affine fits over integer sweep axes.
+
+The sweep engine models per-point integer quantities (transfer element
+counts, loop trip counts) as affine functions of the sweep's size
+parameter.  Fits are exact — :class:`fractions.Fraction` arithmetic, and
+a candidate line is only accepted when *every* supplied sample lies on
+it — so evaluating the fit at a sample point reproduces the sample
+bit-for-bit, and evaluation at a new point either yields an exact
+integer or reports that the model does not apply there (the engine then
+falls back to the exact per-point pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class AffineInt:
+    """``y = slope * x + intercept`` with exact rational coefficients."""
+
+    slope: Fraction
+    intercept: Fraction
+
+    @property
+    def is_constant(self) -> bool:
+        return self.slope == 0
+
+    def try_eval(self, x: int) -> int | None:
+        """The value at ``x`` as an exact integer, or ``None``.
+
+        ``None`` means the line passes between integers at this ``x``
+        (e.g. slope 1/2 at odd ``x``) — the affine model cannot describe
+        an integer quantity there, so the caller must fall back.
+        """
+        value = self.slope * x + self.intercept
+        if value.denominator != 1:
+            return None
+        return int(value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.slope}*x + {self.intercept}"
+
+
+def fit_affine(
+    xs: Sequence[int], ys: Sequence[int]
+) -> AffineInt | None:
+    """Fit ``ys = f(xs)`` exactly, or ``None`` if no single line works.
+
+    Requires at least one sample; a single sample (or all-equal ``ys``
+    over distinct ``xs``) fits as a constant.  Duplicate ``xs`` with
+    conflicting ``ys`` — or any sample off the candidate line — reject
+    the fit.  A successful fit interpolates every sample exactly; it
+    says nothing about points *between* samples, which is why the sweep
+    engine anchors fits on actual sweep points and offers an oracle
+    check mode (``docs/SWEEP.md``).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"mismatched sample lengths: {len(xs)} xs vs {len(ys)} ys"
+        )
+    if not xs:
+        raise ValueError("cannot fit an affine function to no samples")
+    base_x, base_y = xs[0], ys[0]
+    slope: Fraction | None = None
+    for x, y in zip(xs[1:], ys[1:]):
+        if x == base_x:
+            if y != base_y:
+                return None
+            continue
+        candidate = Fraction(y - base_y, x - base_x)
+        if slope is None:
+            slope = candidate
+        elif candidate != slope:
+            return None
+    if slope is None:
+        slope = Fraction(0)
+    intercept = base_y - slope * base_x
+    fit = AffineInt(slope, intercept)
+    # Collinearity of the first pair only constrains two points; verify
+    # every sample (three anchors make a quadratic fail here).
+    for x, y in zip(xs, ys):
+        if fit.try_eval(x) != y:
+            return None
+    return fit

@@ -1,0 +1,170 @@
+"""Structural certificates shared across the points of one sweep.
+
+Two kinds of per-sweep precompute live here:
+
+- **kernel analyses** (:func:`shared_kernel_analyses`): certify that
+  every point's :class:`~repro.transform.analysis.KernelAnalysis` is
+  identical except for the exposed work-item count, so one analysis (and
+  its cached per-config tails) can serve all points through
+  :meth:`~repro.transform.analysis.KernelAnalysis.characteristics_at`;
+- **transfer-plan templates** (:class:`PlanTemplate`): fit the exact
+  anchor-point plans as affine functions of the size parameter, so
+  non-anchor points skip the BRS walk entirely.
+
+Every certificate is checked, never assumed; a failed check returns
+``None`` and the engine runs the exact per-point pipeline instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datausage.transfers import Direction, Transfer, TransferPlan
+from repro.skeleton.program import ProgramSkeleton
+from repro.sweep.parametric import AffineInt, fit_affine
+from repro.transform.analysis import KernelAnalysis, analyze_kernel
+
+
+def shared_kernel_analyses(
+    programs: Sequence[ProgramSkeleton],
+    strict_coalescing: bool,
+    anchors: Sequence[int],
+) -> list[tuple[KernelAnalysis, list[int]]] | None:
+    """One shared analysis + per-point work-item counts per kernel.
+
+    Returns, for each kernel position, ``(analysis, parallel_iterations
+    per point)`` where ``analysis`` is built at the first anchor point
+    and certified — by :meth:`KernelAnalysis.signature` equality at
+    every anchor — to produce bitwise-identical characteristics across
+    the sweep; the per-point work-item counts are read straight off each
+    point's skeleton.  Returns ``None`` — no sharing, caller falls back
+    — when the anchors disagree on kernel structure or any anchor
+    analysis fails to build (the per-point path must surface that error
+    itself).
+
+    Non-anchor points contribute only their kernel names and parallel
+    trip counts to the certificate; a sweep whose *config-independent*
+    kernel structure changes strictly between anchors would be
+    mis-shared.  That is the same trust boundary as the transfer-plan
+    template (see ``docs/SWEEP.md``) and what ``check=True`` exists
+    to audit.
+    """
+    first = programs[0]
+    names = tuple(k.name for k in first.kernels)
+    for program in programs[1:]:
+        if tuple(k.name for k in program.kernels) != names:
+            return None
+    shared: list[tuple[KernelAnalysis, list[int]]] = []
+    for position in range(len(names)):
+        analyses = []
+        for index in anchors:
+            try:
+                analyses.append(
+                    analyze_kernel(
+                        programs[index].kernels[position],
+                        programs[index].array_map,
+                        strict_coalescing,
+                    )
+                )
+            except ValueError:
+                return None
+        signature = analyses[0].signature()
+        if any(a.signature() != signature for a in analyses[1:]):
+            return None
+        shared.append(
+            (
+                analyses[0],
+                [
+                    program.kernels[position].parallel_iterations
+                    for program in programs
+                ],
+            )
+        )
+    return shared
+
+
+@dataclass(frozen=True)
+class _TransferShape:
+    """The size-independent part of one transfer slot."""
+
+    array: str
+    direction: Direction
+    bytes_per_element: int
+    conservative: bool
+    elements: AffineInt
+
+
+@dataclass(frozen=True)
+class PlanTemplate:
+    """A transfer plan as a function of the sweep's size parameter.
+
+    Built by :func:`fit_plan_template` from the exact plans of the
+    anchor points; :meth:`instantiate` evaluates it at any size.  The
+    template interpolates the anchors exactly — instantiating at an
+    anchor size reproduces that anchor's plan field-for-field.
+    """
+
+    shapes: tuple[_TransferShape, ...]
+
+    def instantiate(self, program: str, size: int) -> TransferPlan | None:
+        """The plan at ``size``, or ``None`` where the fit breaks down
+        (a fractional or non-positive element count)."""
+        transfers = []
+        for shape in self.shapes:
+            elements = shape.elements.try_eval(size)
+            if elements is None or elements <= 0:
+                return None
+            transfers.append(
+                Transfer(
+                    shape.array,
+                    shape.direction,
+                    elements * shape.bytes_per_element,
+                    elements,
+                    shape.conservative,
+                )
+            )
+        return TransferPlan(program, tuple(transfers))
+
+
+def fit_plan_template(
+    sizes: Sequence[int], plans: Sequence[TransferPlan]
+) -> PlanTemplate | None:
+    """Fit anchor plans to a template, or ``None`` if they disagree.
+
+    The anchors must share the transfer sequence — same arrays, same
+    directions, same conservatism, same per-element byte width — with
+    element counts that fit one affine function of the size each.
+    """
+    first = plans[0]
+    shapes: list[_TransferShape] = []
+    for slot, transfer in enumerate(first.transfers):
+        counts = []
+        for plan in plans:
+            if len(plan.transfers) != len(first.transfers):
+                return None
+            other = plan.transfers[slot]
+            if (
+                other.array != transfer.array
+                or other.direction is not transfer.direction
+                or other.conservative != transfer.conservative
+                or other.bytes * transfer.elements
+                != transfer.bytes * other.elements
+            ):
+                return None
+            counts.append(other.elements)
+        if transfer.bytes % transfer.elements != 0:
+            return None
+        elements = fit_affine(list(sizes), counts)
+        if elements is None:
+            return None
+        shapes.append(
+            _TransferShape(
+                transfer.array,
+                transfer.direction,
+                transfer.bytes // transfer.elements,
+                transfer.conservative,
+                elements,
+            )
+        )
+    return PlanTemplate(tuple(shapes))

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.gpu.characteristics import KernelCharacteristics
 from repro.skeleton.arrays import ArrayDecl, ArrayKind
@@ -232,6 +232,42 @@ class KernelAnalysis:
         self._reg_base = _BASE_REGISTERS + 2 * self.distinct_arrays
         self._bytes_pa = max(self.bytes_per_access, 1)
         self._threads_by_coarse: dict[int, tuple[int, int]] = {}
+        self._tails: dict[MappingConfig, tuple] = {}
+        self._char_fields: dict[MappingConfig, dict] = {}
+
+    def signature(self) -> tuple:
+        """Every input of :meth:`characteristics` except the work-item count.
+
+        Two analyses with equal signatures produce bitwise-identical
+        :class:`KernelCharacteristics` for any config at any injected
+        ``parallel_iterations`` — the guarantee the parametric sweep
+        engine uses to share one analysis (and its cached config tails)
+        across every point of a dataset-size sweep via
+        :meth:`characteristics_at`.
+        """
+        return (
+            self.kernel.name,
+            self.strict_coalescing,
+            self.map_var,
+            self.serial,
+            self.flops,
+            self.bytes_per_access,
+            self.base_loads_per_iter,
+            self.stores_per_iter,
+            self.distinct_arrays,
+            self.smem_staged,
+            self._staged_saved,
+            self._staged_traffic,
+            self._staged_elem_bytes,
+            tuple(sorted(self._group_sizes.items())),
+            self.reuse_arrays,
+            self._reuse_weights,
+            self._reuse_elem_bytes,
+            self._access_weights,
+            self._access_verdicts,
+            self._access_categories,
+            self._staged_shares,
+        )
 
     # ------------------------------------------------------------------ #
     def _profile(self, use_shared_memory: bool, tile_dim: int) -> MemoryProfile:
@@ -308,37 +344,78 @@ class KernelAnalysis:
         )
 
     # ------------------------------------------------------------------ #
+    def _config_tail(self, config: MappingConfig) -> tuple:
+        """Everything per-config that does not depend on the work-item
+        count: ``(name, block, comp_insts, mem_insts, coalesced_fraction,
+        registers, smem_bytes, syncs, coarsening)``.
+
+        The mapping reshapes instruction counts, register pressure, and
+        shared-memory footprint through the config alone; only ``threads``
+        (and the block floor derived from it) reads
+        ``parallel_iterations``.  Caching the tail per config lets a
+        parametric sweep re-evaluate one kernel at many dataset sizes for
+        just a ceil-division and a dataclass construction per point.
+        """
+        tail = self._tails.get(config)
+        if tail is None:
+            serial = self.serial
+            block = config.block_size
+            tile_dim = max(2, int(math.sqrt(block)))
+            profile = self._profile(config.use_shared_memory, tile_dim)
+
+            unroll = config.unroll
+            loop_insts = _LOOP_OVERHEAD / unroll if serial > 1 else 0.0
+            mem_insts = profile.mem_insts_base
+            comp_insts = (profile.comp_base + loop_insts) * serial
+
+            coarse = config.coarsening
+            if coarse > 1:
+                mem_insts *= coarse
+                comp_insts = (
+                    comp_insts * coarse - loop_insts * serial * (coarse - 1)
+                )
+
+            registers = self._reg_base + 3 * (unroll - 1) + 2 * (coarse - 1)
+            if registers > 60:
+                registers = 60
+            smem_bytes = 0
+            if config.use_shared_memory:
+                if self.smem_staged:
+                    smem_bytes = self._staged_elem_bytes * (block + 2)
+                smem_bytes += self._reuse_elem_bytes * tile_dim * tile_dim
+            tail = (
+                f"{self.kernel.name}[{config.label()}]",
+                block,
+                comp_insts,
+                mem_insts if mem_insts > 1e-9 else 1e-9,
+                profile.coalesced_fraction,
+                registers,
+                smem_bytes,
+                profile.syncs,
+                coarse,
+            )
+            self._tails[config] = tail
+        return tail
+
     def characteristics(self, config: MappingConfig) -> KernelCharacteristics:
         """The reference synthesis as a closed form of the precompute.
 
         Bitwise-equal to ``synthesize_characteristics(kernel, arrays,
         config, strict_coalescing=...)`` for every config: the per-config
-        tail below replays the reference's remaining float operations in
-        the reference's order on the profile's cached partial sums.
+        tail replays the reference's remaining float operations in the
+        reference's order on the profile's cached partial sums.
         """
-        serial = self.serial
-        block = config.block_size
-        tile_dim = max(2, int(math.sqrt(block)))
-        profile = self._profile(config.use_shared_memory, tile_dim)
-
-        unroll = config.unroll
-        loop_insts = _LOOP_OVERHEAD / unroll if serial > 1 else 0.0
-        mem_insts = profile.mem_insts_base
-        comp_insts = (profile.comp_base + loop_insts) * serial
-
-        coarse = config.coarsening
-        if coarse > 1:
-            mem_insts *= coarse
-            comp_insts = comp_insts * coarse - loop_insts * serial * (coarse - 1)
-
-        registers = self._reg_base + 3 * (unroll - 1) + 2 * (coarse - 1)
-        if registers > 60:
-            registers = 60
-        smem_bytes = 0
-        if config.use_shared_memory:
-            if self.smem_staged:
-                smem_bytes = self._staged_elem_bytes * (block + 2)
-            smem_bytes += self._reuse_elem_bytes * tile_dim * tile_dim
+        (
+            name,
+            block,
+            comp_insts,
+            mem_insts,
+            coalesced,
+            registers,
+            smem_bytes,
+            syncs,
+            coarse,
+        ) = self._config_tail(config)
 
         threads_pair = self._threads_by_coarse.get(coarse)
         if threads_pair is None:
@@ -349,17 +426,154 @@ class KernelAnalysis:
         # Positional construction: keyword parsing is measurable at one
         # call per candidate mapping (field order per the dataclass).
         return KernelCharacteristics(
-            f"{self.kernel.name}[{config.label()}]",
+            name,
             threads,
             block if block < block_floor else block_floor,
             comp_insts,
-            mem_insts if mem_insts > 1e-9 else 1e-9,
-            profile.coalesced_fraction,
+            mem_insts,
+            coalesced,
             self._bytes_pa,
             registers,
             smem_bytes,
-            profile.syncs,
+            syncs,
         )
+
+    def characteristics_at(
+        self, config: MappingConfig, parallel_iterations: int
+    ) -> KernelCharacteristics:
+        """:meth:`characteristics` with the work-item count overridden.
+
+        The parametric sweep engine holds one analysis (built at an anchor
+        dataset) and injects each sweep point's exposed parallelism here;
+        for an analysis whose config-independent fields match the point's
+        own, the result is bitwise-equal to building a fresh analysis at
+        that point and calling :meth:`characteristics`.
+        """
+        (
+            name,
+            block,
+            comp_insts,
+            mem_insts,
+            coalesced,
+            registers,
+            smem_bytes,
+            syncs,
+            coarse,
+        ) = self._config_tail(config)
+        threads = max(1, math.ceil(parallel_iterations / coarse))
+        block_floor = 32 if threads < 32 else threads
+        block_size = block if block < block_floor else block_floor
+        template = self._char_fields.get(config)
+        if template is None:
+            # First point for this config: a validated construction guards
+            # the tail's config-constant fields once; the two per-point
+            # fields (threads, block_size) are positive by construction,
+            # so later points clone the field dict and skip __post_init__.
+            chars = KernelCharacteristics(
+                name,
+                threads,
+                block_size,
+                comp_insts,
+                mem_insts,
+                coalesced,
+                self._bytes_pa,
+                registers,
+                smem_bytes,
+                syncs,
+            )
+            self._char_fields[config] = dict(chars.__dict__)
+            return chars
+        chars = object.__new__(KernelCharacteristics)
+        fields = chars.__dict__
+        fields.update(template)
+        fields["threads"] = threads
+        fields["block_size"] = block_size
+        return chars
+
+    def characteristics_grid(
+        self,
+        configs: Sequence[MappingConfig],
+        iterations_list: Sequence[int],
+    ) -> tuple[list[list[KernelCharacteristics | None]], dict[int, str]]:
+        """:meth:`characteristics_at` over a whole configs x points grid.
+
+        Returns one characteristics row per work-item count, with ``None``
+        in the slots of configs whose synthesis fails (each such config is
+        reported once, by position, in the error dict — the failure is
+        independent of the work-item count, so one message covers every
+        point).  Iterating config-outer pays the tail and template
+        lookups once per config instead of once per cell and shares the
+        thread-count ceiling across configs with equal coarsening, which
+        is what makes the sweep engine's per-point cost a handful of
+        dict writes.
+        """
+        points = len(iterations_list)
+        grids: list[list[KernelCharacteristics | None]] = [
+            [None] * len(configs) for _ in range(points)
+        ]
+        errors: dict[int, str] = {}
+        threads_rows: dict[int, list[tuple[int, int]]] = {}
+        new = object.__new__
+        for index, config in enumerate(configs):
+            try:
+                tail = self._config_tail(config)
+            except ValueError as exc:
+                errors[index] = str(exc)
+                continue
+            (
+                name,
+                block,
+                comp_insts,
+                mem_insts,
+                coalesced,
+                registers,
+                smem_bytes,
+                syncs,
+                coarse,
+            ) = tail
+            pairs = threads_rows.get(coarse)
+            if pairs is None:
+                pairs = []
+                for iterations in iterations_list:
+                    threads = max(1, math.ceil(iterations / coarse))
+                    pairs.append((threads, 32 if threads < 32 else threads))
+                threads_rows[coarse] = pairs
+            template = self._char_fields.get(config)
+            start = 0
+            if template is None:
+                threads, block_floor = pairs[0]
+                try:
+                    chars = KernelCharacteristics(
+                        name,
+                        threads,
+                        block if block < block_floor else block_floor,
+                        comp_insts,
+                        mem_insts,
+                        coalesced,
+                        self._bytes_pa,
+                        registers,
+                        smem_bytes,
+                        syncs,
+                    )
+                except ValueError as exc:
+                    errors[index] = str(exc)
+                    continue
+                template = dict(chars.__dict__)
+                self._char_fields[config] = template
+                grids[0][index] = chars
+                start = 1
+            for row, (threads, block_floor) in zip(
+                grids[start:], pairs[start:]
+            ):
+                chars = new(KernelCharacteristics)
+                fields = chars.__dict__
+                fields.update(template)
+                fields["threads"] = threads
+                fields["block_size"] = (
+                    block if block < block_floor else block_floor
+                )
+                row[index] = chars
+        return grids, errors
 
 
 def analyze_kernel(

@@ -8,9 +8,11 @@ from repro.brs.ops import (
     contains,
     dim_contains,
     dim_intersect,
+    dim_union,
     hull,
     intersect,
     subtract,
+    try_merge,
 )
 from repro.brs.section import DimSection, Section
 
@@ -219,3 +221,76 @@ class TestHull:
         b = Section((DimSection.point(9),))
         h = hull(a, b)
         assert h == Section((DimSection(3, 9, 6),))
+
+
+class TestDimUnion:
+    def test_equal(self):
+        a = DimSection(0, 8, 2)
+        assert dim_union(a, DimSection(0, 8, 2)) == a
+
+    def test_containment(self):
+        outer = DimSection(0, 10, 1)
+        inner = DimSection(2, 8, 2)
+        assert dim_union(outer, inner) == outer
+        assert dim_union(inner, outer) == outer
+
+    def test_adjacent_points_fuse_dense(self):
+        got = dim_union(DimSection(3, 3), DimSection(4, 4))
+        assert got == DimSection(3, 4, 1)
+
+    def test_separated_points_stay_apart(self):
+        # Fusing {3, 9} into a stride-6 progression would be exact here
+        # but would degrade later subtractions; see dim_union docstring.
+        assert dim_union(DimSection(3, 3), DimSection(9, 9)) is None
+
+    def test_point_extends_progression(self):
+        prog = DimSection(0, 8, 2)
+        assert dim_union(prog, DimSection(10, 10)) == DimSection(0, 10, 2)
+        assert dim_union(DimSection(-2, -2), prog) == DimSection(-2, 8, 2)
+
+    def test_point_off_lattice_rejected(self):
+        assert dim_union(DimSection(0, 8, 2), DimSection(3, 3)) is None
+
+    def test_adjacent_dense_ranges(self):
+        got = dim_union(DimSection(0, 4), DimSection(5, 9))
+        assert got == DimSection(0, 9, 1)
+
+    def test_gap_rejected(self):
+        assert dim_union(DimSection(0, 4), DimSection(6, 9)) is None
+
+    def test_misaligned_equal_strides_rejected(self):
+        assert dim_union(DimSection(0, 8, 2), DimSection(1, 9, 2)) is None
+
+    @given(dim_sections, dim_sections)
+    @settings(max_examples=150)
+    def test_union_is_exact(self, a, b):
+        """A merge result has exactly the points of a | b — never more."""
+        got = dim_union(a, b)
+        if got is not None:
+            union_points = {(p,) for p in range(got.lower, got.upper + 1)
+                            if (p - got.lower) % got.stride == 0}
+            truth = set(Section((a,)).points()) | set(Section((b,)).points())
+            assert union_points == truth
+
+
+class TestTryMerge:
+    def test_merges_row_halves(self):
+        left = Section.box((0, 3), (0, 4))
+        right = Section.box((0, 3), (5, 9))
+        merged = try_merge(left, right)
+        assert merged == Section.box((0, 3), (0, 9))
+
+    def test_rejects_two_differing_dims(self):
+        a = Section.box((0, 3), (0, 4))
+        b = Section.box((4, 7), (5, 9))
+        assert try_merge(a, b) is None
+
+    def test_rank_mismatch(self):
+        assert try_merge(Section.box((0, 3)), Section.box((0, 3), (0, 3))) is None
+
+    @given(sections(2), sections(2))
+    @settings(max_examples=100)
+    def test_merge_preserves_point_set(self, a, b):
+        merged = try_merge(a, b)
+        if merged is not None:
+            assert set(merged.points()) == set(a.points()) | set(b.points())

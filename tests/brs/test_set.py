@@ -139,3 +139,59 @@ class TestSectionSetProperties:
         for member in out:
             covered |= set(member.points())
         assert covered == truth
+
+
+class TestSectionSetCoalesceAndExactVolume:
+    def test_adjacent_halves_coalesce(self):
+        s = SectionSet([Section.box((0, 4)), Section.box((5, 9))])
+        assert len(s) == 1 and s.volume == 10
+
+    def test_row_halves_coalesce_2d(self):
+        s = SectionSet(
+            [Section.box((0, 3), (0, 4)), Section.box((0, 3), (5, 9))]
+        )
+        assert len(s) == 1 and s.volume == 40
+
+    def test_inclusion_exclusion_volume_exact_on_overlap(self):
+        # Incompatible strides: subtraction keeps both whole, but the
+        # union volume is still exact via inclusion-exclusion.
+        s = SectionSet([Section((DimSection(0, 20, 2),))])
+        s.add(Section((DimSection(1, 19, 3),)))  # overlaps at {4, 10, 16}
+        assert not s.is_exact
+        assert s.volume == 11 + 7 - 3
+
+    @given(st.lists(strided_1d, min_size=1, max_size=5))
+    @settings(max_examples=150)
+    def test_volume_matches_point_enumeration(self, parts):
+        """Exact or not, volume equals the true union cardinality."""
+        s = SectionSet(parts)
+        truth = set()
+        for p in parts:
+            truth |= set(p.points())
+        assert s.volume == len(truth)
+
+    @given(st.lists(strided_1d, min_size=1, max_size=5), st.randoms())
+    @settings(max_examples=150)
+    def test_volume_add_order_invariant(self, parts, rng):
+        ordered = SectionSet(parts)
+        shuffled_parts = list(parts)
+        rng.shuffle(shuffled_parts)
+        shuffled = SectionSet(shuffled_parts)
+        assert ordered.volume == shuffled.volume
+
+    @given(
+        st.lists(
+            st.tuples(strided_1d, strided_1d).map(
+                lambda ab: Section(ab[0].dims + ab[1].dims)
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60)
+    def test_volume_matches_point_enumeration_2d(self, parts):
+        s = SectionSet(parts)
+        truth = set()
+        for p in parts:
+            truth |= set(p.points())
+        assert s.volume == len(truth)

@@ -89,6 +89,112 @@ class TestAccuracyCrossover:
         assert err_with == 0 or err_without >= 2 * err_with - 1e-12
 
 
+class TestCrossoverClosedForm:
+    """Edge cases of the O(1) closed form, pinned against the scan oracle."""
+
+    def test_never_holds_is_none(self):
+        """With no transfer on either side, the two predictions coincide;
+        a 2x accuracy advantage can never hold, not even at iteration 1."""
+        crossover = accuracy_crossover_iterations(
+            predicted_kernel=2.0e-3,
+            predicted_transfer=0.0,
+            measured_kernel=3.0e-3,
+            measured_transfer=0.0,
+        )
+        assert crossover is None
+
+    def test_none_matches_scan(self):
+        for method in ("closed", "scan"):
+            assert (
+                accuracy_crossover_iterations(
+                    predicted_kernel=2.0e-3,
+                    predicted_transfer=0.0,
+                    measured_kernel=3.0e-3,
+                    measured_transfer=0.0,
+                    max_iterations=200,
+                    method=method,
+                )
+                is None
+            )
+
+    def test_still_holds_at_max_returns_max(self):
+        """When the criterion survives the horizon, both methods must
+        report the horizon itself, not search past it."""
+        for method in ("closed", "scan"):
+            assert (
+                accuracy_crossover_iterations(
+                    predicted_kernel=3.0e-3,
+                    predicted_transfer=7.0e-3,
+                    measured_kernel=3.0e-3,
+                    measured_transfer=7.0e-3,
+                    max_iterations=77,
+                    method=method,
+                )
+                == 77
+            )
+
+    def test_boundary_crossover_equal_to_max(self):
+        """A finite crossover clipped exactly at max_iterations."""
+        args = dict(
+            predicted_kernel=2.52e-3,
+            predicted_transfer=7.19e-3,
+            measured_kernel=3.1e-3,
+            measured_transfer=7.4e-3,
+        )
+        free = accuracy_crossover_iterations(**args)
+        assert free is not None and free > 1
+        clipped = accuracy_crossover_iterations(
+            **args, max_iterations=free
+        )
+        assert clipped == free
+        below = accuracy_crossover_iterations(
+            **args, max_iterations=free - 1
+        )
+        assert below == free - 1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            accuracy_crossover_iterations(
+                predicted_kernel=1e-3,
+                predicted_transfer=1e-3,
+                measured_kernel=1e-3,
+                measured_transfer=1e-3,
+                method="bisect",
+            )
+
+    @given(
+        predicted_kernel=st.floats(0.2e-3, 5e-3),
+        predicted_transfer=st.floats(0.0, 20e-3),
+        kernel_bias=st.floats(0.5, 3.0),
+        transfer_bias=st.floats(0.5, 3.0),
+        advantage=st.floats(1.1, 4.0),
+        max_iterations=st.integers(1, 400),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_closed_form_equals_scan(
+        self,
+        predicted_kernel,
+        predicted_transfer,
+        kernel_bias,
+        transfer_bias,
+        advantage,
+        max_iterations,
+    ):
+        """The closed form and the linear scan agree everywhere the scan
+        can reach — including None and the max_iterations clip."""
+        kwargs = dict(
+            predicted_kernel=predicted_kernel,
+            predicted_transfer=predicted_transfer,
+            measured_kernel=predicted_kernel * kernel_bias,
+            measured_transfer=predicted_transfer * transfer_bias,
+            advantage=advantage,
+            max_iterations=max_iterations,
+        )
+        closed = accuracy_crossover_iterations(**kwargs, method="closed")
+        scan = accuracy_crossover_iterations(**kwargs, method="scan")
+        assert closed == scan
+
+
 def sample_report() -> PredictionReport:
     """A hand-built report mirroring CFD/233K's numbers."""
     from repro.core.prediction import Projection

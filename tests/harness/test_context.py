@@ -62,3 +62,53 @@ class TestExperimentContext:
             a.measured(w, ds).kernel_seconds
             != b.measured(w, ds).kernel_seconds
         )
+
+    def test_report_cached(self, ctx):
+        """Satellite of the sweep PR: one report object per
+        (workload, dataset) key, not a fresh wrapper per call."""
+        w = HotSpot()
+        ds = w.datasets()[0]
+        assert ctx.report(w, ds) is ctx.report(w, ds)
+
+
+class TestSweepWiring:
+    def test_sweep_on_by_default(self, ctx):
+        assert ctx.sweep is True
+
+    def test_projection_equals_per_point_path(self, ctx):
+        """The sweep-served projections must be dataclass-equal to what
+        a sweep-disabled context (the old per-point path) computes."""
+        plain = ExperimentContext(seed=2013, sweep=False)
+        w = get_workload("CFD")
+        for ds in w.datasets():
+            assert ctx.projection(w, ds) == plain.projection(w, ds)
+
+    def test_first_projection_sweeps_whole_workload(self):
+        context = ExperimentContext(seed=2013)
+        w = get_workload("SRAD")
+        datasets = w.datasets()
+        context.projection(w, datasets[0])
+        # Every sibling dataset was projected by the same structural pass.
+        for ds in datasets:
+            assert (w.name, ds.label) in context._projections
+
+    def test_project_all_reuses_cached_points(self, ctx):
+        w = get_workload("CFD")
+        before = [ctx.projection(w, ds) for ds in w.datasets()]
+        after = ctx.project_all(w)
+        assert all(a is b for a, b in zip(after, before))
+
+    def test_sweep_engine_is_lazy_and_shared(self):
+        context = ExperimentContext(seed=2013)
+        assert context._sweep_engine is None
+        engine = context.sweep_engine
+        assert engine is context.sweep_engine
+        assert engine.model is context.projector.model
+
+    def test_sweep_disabled_stays_per_point(self):
+        context = ExperimentContext(seed=2013, sweep=False)
+        w = get_workload("CFD")
+        datasets = w.datasets()
+        context.projection(w, datasets[0])
+        assert (w.name, datasets[0].label) in context._projections
+        assert (w.name, datasets[-1].label) not in context._projections

@@ -1,0 +1,95 @@
+"""Exact-affine-fit properties (the sweep engine's numeric foundation)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep.parametric import AffineInt, fit_affine
+
+
+class TestAffineInt:
+    def test_exact_integer_eval(self):
+        line = AffineInt(Fraction(3), Fraction(-2))
+        assert line.try_eval(5) == 13
+
+    def test_fractional_eval_is_none(self):
+        """Slope 1/2 lands between integers at odd x — no silent rounding."""
+        line = AffineInt(Fraction(1, 2), Fraction(0))
+        assert line.try_eval(4) == 2
+        assert line.try_eval(5) is None
+
+    def test_is_constant(self):
+        assert AffineInt(Fraction(0), Fraction(7)).is_constant
+        assert not AffineInt(Fraction(1), Fraction(7)).is_constant
+
+
+class TestFitAffine:
+    def test_single_sample_fits_constant(self):
+        fit = fit_affine([10], [42])
+        assert fit == AffineInt(Fraction(0), Fraction(42))
+
+    def test_constant_over_distinct_xs(self):
+        fit = fit_affine([1, 5, 9], [7, 7, 7])
+        assert fit is not None and fit.is_constant
+
+    def test_conflicting_duplicate_xs_reject(self):
+        assert fit_affine([3, 3], [1, 2]) is None
+
+    def test_consistent_duplicate_xs_accepted(self):
+        fit = fit_affine([3, 3, 5], [1, 1, 9])
+        assert fit is not None
+        assert fit.try_eval(3) == 1 and fit.try_eval(5) == 9
+
+    def test_quadratic_three_anchors_reject(self):
+        """Three anchors on y = x^2 are not collinear; the fit must say
+        so rather than extrapolate the first pair's secant."""
+        xs = [2, 5, 9]
+        assert fit_affine(xs, [x * x for x in xs]) is None
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            fit_affine([1, 2], [1])
+
+    def test_no_samples_raise(self):
+        with pytest.raises(ValueError):
+            fit_affine([], [])
+
+    @given(
+        slope_num=st.integers(-50, 50),
+        slope_den=st.integers(1, 8),
+        intercept=st.integers(-1000, 1000),
+        xs=st.lists(
+            st.integers(0, 10_000), min_size=2, max_size=6, unique=True
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fit_interpolates_every_sample(
+        self, slope_num, slope_den, intercept, xs
+    ):
+        """Samples drawn from an integer-valued line are recovered
+        bit-for-bit (the template-exactness guarantee)."""
+        slope = Fraction(slope_num, slope_den)
+        # Keep every sample integer-valued by snapping xs to the
+        # denominator's lattice.
+        xs = [x * slope_den for x in xs]
+        ys = [int(slope * x + intercept) for x in xs]
+        fit = fit_affine(xs, ys)
+        assert fit is not None
+        for x, y in zip(xs, ys):
+            assert fit.try_eval(x) == y
+
+    @given(
+        xs=st.lists(
+            st.integers(0, 1000), min_size=3, max_size=6, unique=True
+        ),
+        bump=st.integers(1, 100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_off_line_sample_rejects(self, xs, bump):
+        """Perturbing one sample off an otherwise-perfect line kills the
+        fit — anchors certify, they never average."""
+        ys = [3 * x + 7 for x in xs]
+        ys[-1] += bump
+        assert fit_affine(xs, ys) is None

@@ -1,0 +1,123 @@
+"""Plan-template certificates: fit from anchors, instantiate anywhere."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datausage.transfers import Direction, Transfer, TransferPlan
+from repro.sweep.structure import fit_plan_template
+
+
+def _plan(size: int, name: str = "app") -> TransferPlan:
+    """A synthetic plan whose element counts are affine in ``size``."""
+    return TransferPlan(
+        name,
+        (
+            Transfer("a", Direction.H2D, 4 * (2 * size + 5), 2 * size + 5),
+            Transfer("b", Direction.H2D, 8 * size, size, conservative=True),
+            Transfer("out", Direction.D2H, 4 * size, size),
+        ),
+    )
+
+
+class TestFitPlanTemplate:
+    def test_reproduces_anchors_field_for_field(self):
+        sizes = [100, 550, 1000]
+        template = fit_plan_template(sizes, [_plan(s) for s in sizes])
+        assert template is not None
+        for size in sizes:
+            assert template.instantiate("app", size) == _plan(size)
+
+    def test_interpolates_between_anchors(self):
+        sizes = [100, 550, 1000]
+        template = fit_plan_template(sizes, [_plan(s) for s in sizes])
+        assert template.instantiate("app", 300) == _plan(300)
+
+    def test_program_name_comes_from_caller(self):
+        sizes = [100, 550, 1000]
+        template = fit_plan_template(sizes, [_plan(s) for s in sizes])
+        assert template.instantiate("other", 300) == _plan(300, "other")
+
+    def test_quadratic_counts_reject(self):
+        """n x n element counts (HotSpot-style, swept by side length) are
+        quadratic in the axis; three anchors expose that and the
+        template refuses rather than extrapolating a secant."""
+        sizes = [10, 20, 40]
+
+        def quadratic(n: int) -> TransferPlan:
+            return TransferPlan(
+                "grid", (Transfer("cells", Direction.H2D, 4 * n * n, n * n),)
+            )
+
+        assert fit_plan_template(sizes, [quadratic(s) for s in sizes]) is None
+
+    def test_differing_transfer_sequences_reject(self):
+        base = _plan(100)
+        reordered = TransferPlan(
+            "app", (base.transfers[1], base.transfers[0], base.transfers[2])
+        )
+        assert fit_plan_template([100, 200], [base, reordered]) is None
+
+    def test_differing_conservatism_rejects(self):
+        strict = TransferPlan(
+            "app", (Transfer("a", Direction.H2D, 400, 100),)
+        )
+        loose = TransferPlan(
+            "app",
+            (Transfer("a", Direction.H2D, 800, 200, conservative=True),),
+        )
+        assert fit_plan_template([100, 200], [strict, loose]) is None
+
+    def test_differing_element_width_rejects(self):
+        four = TransferPlan("app", (Transfer("a", Direction.H2D, 400, 100),))
+        eight = TransferPlan(
+            "app", (Transfer("a", Direction.H2D, 1600, 200),)
+        )
+        assert fit_plan_template([100, 200], [four, eight]) is None
+
+    def test_non_positive_instantiation_is_none(self):
+        """A fit whose line dips to zero elements at small sizes must
+        report inapplicability, not emit an invalid Transfer."""
+        def shrinking(size: int) -> TransferPlan:
+            return TransferPlan(
+                "app",
+                (Transfer("a", Direction.H2D, 4 * (size - 50), size - 50),),
+            )
+
+        template = fit_plan_template([100, 200], [shrinking(100),
+                                                  shrinking(200)])
+        assert template is not None
+        assert template.instantiate("app", 50) is None
+
+    def test_fractional_instantiation_is_none(self):
+        def halves(size: int) -> TransferPlan:
+            return TransferPlan(
+                "app",
+                (Transfer("a", Direction.H2D, 4 * (size // 2), size // 2),),
+            )
+
+        template = fit_plan_template([100, 200], [halves(100), halves(200)])
+        assert template is not None
+        assert template.instantiate("app", 150) == halves(150)
+        assert template.instantiate("app", 151) is None
+
+    @given(
+        slope=st.integers(1, 20),
+        intercept=st.integers(0, 500),
+        sizes=st.lists(
+            st.integers(1, 10_000), min_size=2, max_size=4, unique=True
+        ),
+        probe=st.integers(1, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_affine_plans_always_template(
+        self, slope, intercept, sizes, probe
+    ):
+        def plan(size: int) -> TransferPlan:
+            count = slope * size + intercept + 1
+            return TransferPlan(
+                "app", (Transfer("a", Direction.D2H, 8 * count, count),)
+            )
+
+        template = fit_plan_template(sizes, [plan(s) for s in sizes])
+        assert template is not None
+        assert template.instantiate("app", probe) == plan(probe)

@@ -166,6 +166,50 @@ class TestAdviseCommand:
         assert "use pinned" in out
 
 
+class TestSweepCommand:
+    def test_size_axis_default(self):
+        code, out = run_cli("sweep", "CFD")
+        assert code == 0
+        assert "size sweep" in out
+        for label in ("97K", "193K", "233K"):
+            assert label in out
+        assert "served:" in out
+
+    def test_check_flag_runs_oracle(self):
+        code, out = run_cli("sweep", "CFD", "--check")
+        assert code == 0
+        assert "checked against the per-point pipeline" in out
+
+    def test_iterations_axis(self):
+        code, out = run_cli("sweep", "HotSpot", "--axis", "iterations")
+        assert code == 0
+        assert "vs iterations" in out
+        assert "crossover" in out
+
+    def test_iterations_axis_rejects_non_iterative(self):
+        code, out = run_cli("sweep", "Stassuij", "--axis", "iterations")
+        assert code == 2
+        assert "error:" in out
+
+    def test_bus_axis(self):
+        code, out = run_cli("sweep", "Stassuij", "--axis", "bus")
+        assert code == 0
+        for generation in (1, 2, 3):
+            assert f"PCIe gen {generation}" in out
+
+    def test_bus_axis_dataset_selection(self):
+        code, out = run_cli(
+            "sweep", "HotSpot", "--axis", "bus", "--dataset", "512 x 512"
+        )
+        assert code == 0
+        assert "512 x 512" in out
+
+    def test_unknown_workload(self):
+        code, out = run_cli("sweep", "Nope")
+        assert code == 2
+        assert "error:" in out and "unknown workload" in out
+
+
 class TestBatchCommand:
     @pytest.fixture()
     def requests_file(self, tmp_path):

