@@ -90,3 +90,45 @@ def test_fast_is_at_least_5x_faster():
         f"fast: {fast_rate:,.0f} configs/s   ratio: {ref / fast:.1f}x"
     )
     assert ref / fast >= 5.0
+
+
+def test_tracing_disabled_overhead_under_2_percent():
+    """Observability acceptance bar: tracing off must cost < 2%.
+
+    Raw A/B wall-clock of the same sweep is noisier than the bound
+    itself, so the check is constructive: measure the per-call cost of a
+    disabled instrumentation point (one global read + identity check +
+    the kwargs dict), count the spans one traced sweep emits, and bound
+    the total instrumentation cost against the sweep's wall time.
+    """
+    from repro.obs.trace import span, tracing
+
+    model = GpuPerformanceModel(quadro_fx_5600())
+    space = TransformationSpace.wide()
+
+    _sweep(model, space, "fast")  # warm up caches and imports
+    sweep_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        _sweep(model, space, "fast")
+        sweep_seconds = min(sweep_seconds, time.perf_counter() - start)
+
+    with tracing() as tracer:
+        _sweep(model, space, "fast")
+    spans_per_sweep = len(tracer)
+    assert spans_per_sweep > 0  # the sweep is actually instrumented
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with span("probe", kernel="k"):
+            pass
+    disabled_cost = (time.perf_counter() - start) / calls
+
+    overhead = disabled_cost * spans_per_sweep / sweep_seconds
+    print(
+        f"\ntracing disabled: {disabled_cost * 1e9:.0f} ns/span x "
+        f"{spans_per_sweep} span(s) over a {sweep_seconds * 1e3:.1f} ms "
+        f"sweep = {overhead:.4%} overhead"
+    )
+    assert overhead < 0.02

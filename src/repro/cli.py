@@ -18,7 +18,15 @@ Commands
 - ``artifacts <outdir>`` — regenerate everything into a directory;
 - ``batch <requests.jsonl>`` — project many requests through the
   cached, parallel :mod:`repro.service` engine (JSONL in, JSONL out);
-- ``cache-stats`` — inspect an on-disk projection cache directory.
+- ``cache-stats`` — inspect an on-disk projection cache directory,
+  including accumulated hit rates from past batch runs;
+- ``trace <skeleton>`` — run one traced projection and write the span
+  tree as Chrome ``trace_event`` JSON (load in Perfetto / chrome://
+  tracing) or JSONL, plus the prediction's provenance record;
+- ``metrics`` — exercise the service engine on one workload and print
+  its metrics snapshot (JSON, or ``--prometheus`` text exposition).
+
+See ``docs/OBSERVABILITY.md`` for the tracing/provenance/metrics tour.
 
 Everything runs against the virtual Argonne testbed (seeded, so output is
 reproducible); ``--seed`` selects a different lab day.
@@ -210,6 +218,39 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "cache_dir", nargs="?", default=".repro-cache",
         help="cache directory (default: .repro-cache)",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help="project a skeleton file with tracing on and write the "
+        "span tree (Chrome trace_event JSON, Perfetto-loadable)",
+    )
+    p.add_argument("path", help="skeleton file")
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="trace file (default: <skeleton>.trace.json)",
+    )
+    p.add_argument(
+        "--jsonl", action="store_true",
+        help="write one span per line (JSONL) instead of Chrome JSON",
+    )
+    p.add_argument(
+        "--no-provenance", action="store_true",
+        help="skip the prediction-provenance report",
+    )
+
+    p = sub.add_parser(
+        "metrics",
+        help="run one workload through the service engine and print "
+        "its metrics (counters + stage latency percentiles)",
+    )
+    p.add_argument(
+        "--workload", default="VectorAdd",
+        help="workload to exercise (default: VectorAdd)",
+    )
+    p.add_argument(
+        "--prometheus", action="store_true",
+        help="print Prometheus text exposition instead of JSON",
     )
     return parser
 
@@ -508,17 +549,43 @@ def _cmd_batch(args, out) -> int:
     out(result.report())
     out(engine.metrics.report())
     if cache is not None:
+        from repro.service.cache import record_run_meta
+
         stats = cache.stats()
+        kernel_stats = (
+            engine.kernel_cache.stats()
+            if engine.kernel_cache is not None
+            else None
+        )
         out(
-            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es)"
+            f"{_rate_suffix(stats['hit_rate'])}, "
             f"{stats['disk']['entries']} entr(ies) on disk at "
             f"{stats['disk']['path']}"
         )
+        if kernel_stats is not None:
+            out(
+                f"kernel cache: {kernel_stats['hits']} hit(s), "
+                f"{kernel_stats['misses']} miss(es)"
+                f"{_rate_suffix(kernel_stats['hit_rate'])}"
+            )
+        record_run_meta(cache.disk_dir, stats, kernel_stats)
     return 0
 
 
+def _rate_suffix(rate: float | None) -> str:
+    """`` (NN.N% hit rate)`` or empty when nothing was looked up."""
+    if rate is None:
+        return ""
+    return f" ({rate:.1%} hit rate)"
+
+
 def _cmd_cache_stats(args, out) -> int:
-    from repro.service.cache import disk_cache_stats
+    from repro.service.cache import (
+        disk_cache_stats,
+        hit_rate,
+        read_run_meta,
+    )
     from repro.util.units import bytes_to_human
 
     stats = disk_cache_stats(args.cache_dir)
@@ -527,8 +594,92 @@ def _cmd_cache_stats(args, out) -> int:
         f"  {stats['entries']} entr(ies), "
         f"{bytes_to_human(stats['total_bytes'])}"
     )
+    meta = read_run_meta(args.cache_dir)
+    if meta is not None:
+        for label, counters in (
+            ("projection", meta["projection"]),
+            ("kernel", meta["kernel"]),
+        ):
+            rate = hit_rate(counters["hits"], counters["misses"])
+            rendered = "n/a (no lookups)" if rate is None else f"{rate:.1%}"
+            out(
+                f"  {label} hit rate: {rendered} "
+                f"({counters['hits']} hit(s), {counters['misses']} "
+                f"miss(es) over {meta['runs']} run(s))"
+            )
     if stats["entries"] == 0:
         out("  (run `python -m repro batch <requests.jsonl>` to populate)")
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from pathlib import Path
+
+    from repro.obs.provenance import build_provenance
+    from repro.obs.trace import Tracer, tracing
+    from repro.skeleton.parser import parse_skeleton_file
+
+    ctx = ExperimentContext(seed=args.seed)
+    program = parse_skeleton_file(args.path)
+    tracer = Tracer()
+    with tracing(tracer):
+        projection = ctx.projector.project(program)
+    default_suffix = ".trace.jsonl" if args.jsonl else ".trace.json"
+    target = Path(
+        args.output
+        if args.output is not None
+        else Path(args.path).with_suffix(default_suffix)
+    )
+    if args.jsonl:
+        tracer.write_jsonl(target)
+    else:
+        tracer.write_chrome_trace(target)
+    out(f"{program.name}: {len(tracer)} span(s) -> {target}")
+    for span in tracer.spans():
+        if span.parent_id is None:
+            out(
+                f"  {span.name}: {seconds_to_human(span.duration)} "
+                f"({sum(1 for s in tracer.spans() if s.parent_id == span.span_id)} "
+                f"child span(s))"
+            )
+    if not args.no_provenance:
+        out(build_provenance(projection, ctx.bus_model).explain())
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    import json
+
+    from repro.gpu.arch import quadro_fx_5600
+    from repro.service.cache import ProjectionCache
+    from repro.service.engine import ProjectionEngine, ProjectionRequest
+
+    ctx = ExperimentContext(seed=args.seed)
+    workload = get_workload(args.workload)
+    engine = ProjectionEngine(
+        arch=quadro_fx_5600(),
+        bus=ctx.bus_model,
+        cache=ProjectionCache(),
+        provenance=True,
+    )
+    datasets = list(workload.datasets())
+    # Every dataset once, then the first again: the replay exercises the
+    # cache-hit path so hit counters and lookup timers are non-trivial.
+    for dataset in datasets + datasets[:1]:
+        engine.project(
+            ProjectionRequest(
+                program=workload.skeleton(dataset),
+                hints=workload.hints(dataset),
+            )
+        )
+    if args.prometheus:
+        out(engine.metrics.to_prometheus())
+    else:
+        out(
+            json.dumps(
+                engine.metrics.snapshot(), indent=2, sort_keys=True
+            )
+        )
     return 0
 
 
@@ -543,6 +694,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "batch": _cmd_batch,
     "cache-stats": _cmd_cache_stats,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

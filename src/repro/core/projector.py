@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.datausage.analyzer import analyze_transfers
 from repro.datausage.hints import AnalysisHints
+from repro.obs.trace import span as trace_span
 from repro.gpu.arch import GPUArchitecture
 from repro.gpu.model import GpuPerformanceModel
 from repro.pcie.allocation import AllocationModel
@@ -100,22 +101,32 @@ class GrophecyPlusPlus(Grophecy):
         hints: AnalysisHints | None = None,
     ) -> Projection:
         """Full projection: kernels + data usage + transfer times."""
-        kernels = self.project_kernels(program)
-        plan = analyze_transfers(program, hints)
-        if self._batched:
-            plan = plan.batched()
-        per_transfer = tuple(self._bus.predict_plan_by_transfer(plan))
-        setup = (
-            self._allocation.plan_setup_time(plan, self._memory)
-            if self._allocation is not None
-            else 0.0
-        )
-        return Projection(
-            program=program.name,
-            kernel_seconds=kernels.seconds,
-            transfer_seconds=sum(per_transfer),
-            plan=plan,
-            per_transfer_seconds=per_transfer,
-            kernels=kernels,
-            setup_seconds=setup,
-        )
+        with trace_span("project", program=program.name):
+            kernels = self.project_kernels(program)
+            with trace_span(
+                "transfer-planning", program=program.name
+            ) as planning:
+                plan = analyze_transfers(program, hints)
+                if self._batched:
+                    plan = plan.batched()
+                planning.set(
+                    transfers=len(plan.transfers), bytes=plan.total_bytes
+                )
+            with trace_span("integrate", program=program.name):
+                per_transfer = tuple(
+                    self._bus.predict_plan_by_transfer(plan)
+                )
+                setup = (
+                    self._allocation.plan_setup_time(plan, self._memory)
+                    if self._allocation is not None
+                    else 0.0
+                )
+                return Projection(
+                    program=program.name,
+                    kernel_seconds=kernels.seconds,
+                    transfer_seconds=sum(per_transfer),
+                    plan=plan,
+                    per_transfer_seconds=per_transfer,
+                    kernels=kernels,
+                    setup_seconds=setup,
+                )

@@ -18,11 +18,12 @@ a cache hit provably equivalent to recomputation.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.core.prediction import Projection
 from repro.core.report import MeasuredApplication, PredictionReport
+from repro.obs.provenance import ProjectionProvenance
 from repro.util.validation import check_non_negative, check_positive
 
 
@@ -144,6 +145,14 @@ class ProjectionSummary:
     iteration semantics).  ``from_dict(to_dict(s)) == s`` holds exactly,
     including through a JSON encode/decode — floats survive via their
     shortest-repr form.
+
+    ``provenance`` optionally carries the
+    :class:`~repro.obs.provenance.ProjectionProvenance` record built for
+    this projection (the engine attaches one when constructed with
+    ``provenance=True``).  It rides through the round-trip exactly, is
+    simply *absent* from the dict form when ``None``, and never enters
+    any cache key — :meth:`without_provenance` strips it and yields a
+    summary whose dict form is byte-identical to one that never had it.
     """
 
     program: str
@@ -152,6 +161,7 @@ class ProjectionSummary:
     setup_seconds: float
     kernels: tuple[KernelSummary, ...]
     transfers: tuple[TransferSummary, ...]
+    provenance: ProjectionProvenance | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kernels", tuple(self.kernels))
@@ -198,9 +208,21 @@ class ProjectionSummary:
     def transfer_count(self) -> int:
         return len(self.transfers)
 
+    # Provenance ----------------------------------------------------------
+    def without_provenance(self) -> "ProjectionSummary":
+        """This summary with the provenance record stripped.
+
+        The result's dict/JSON form is identical to a summary that never
+        carried provenance, which is what keeps cache entries and
+        downstream diffs stable whether or not a producer attached one.
+        """
+        if self.provenance is None:
+            return self
+        return replace(self, provenance=None)
+
     # Round-trip ----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        record = {
             "program": self.program,
             "kernel_seconds": self.kernel_seconds,
             "transfer_seconds": self.transfer_seconds,
@@ -208,9 +230,13 @@ class ProjectionSummary:
             "kernels": [k.to_dict() for k in self.kernels],
             "transfers": [t.to_dict() for t in self.transfers],
         }
+        if self.provenance is not None:
+            record["provenance"] = self.provenance.to_dict()
+        return record
 
     @staticmethod
     def from_dict(data: dict[str, Any]) -> "ProjectionSummary":
+        raw_provenance = data.get("provenance")
         return ProjectionSummary(
             program=str(data["program"]),
             kernel_seconds=float(data["kernel_seconds"]),
@@ -222,6 +248,11 @@ class ProjectionSummary:
             transfers=tuple(
                 TransferSummary.from_dict(t) for t in data["transfers"]
             ),
+            provenance=(
+                None
+                if raw_provenance is None
+                else ProjectionProvenance.from_dict(raw_provenance)
+            ),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -232,8 +263,16 @@ class ProjectionSummary:
         return ProjectionSummary.from_dict(json.loads(text))
 
 
-def summarize_projection(projection: Projection) -> ProjectionSummary:
-    """Reduce a full :class:`Projection` to its faithful summary."""
+def summarize_projection(
+    projection: Projection,
+    provenance: ProjectionProvenance | None = None,
+) -> ProjectionSummary:
+    """Reduce a full :class:`Projection` to its faithful summary.
+
+    ``provenance`` optionally attaches the explanation record built by
+    :func:`repro.obs.provenance.build_provenance` — the summary carries
+    it through serialization but is otherwise unchanged.
+    """
     return ProjectionSummary(
         program=projection.program,
         kernel_seconds=projection.kernel_seconds,
@@ -262,6 +301,7 @@ def summarize_projection(projection: Projection) -> ProjectionSummary:
                 projection.plan.transfers, projection.per_transfer_seconds
             )
         ),
+        provenance=provenance,
     )
 
 

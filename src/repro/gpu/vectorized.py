@@ -26,6 +26,7 @@ import numpy as np
 from repro.gpu.characteristics import KernelCharacteristics
 from repro.gpu.model import GpuPerformanceModel, GpuTimingBreakdown
 from repro.gpu.occupancy import OccupancyResult
+from repro.obs.trace import span as trace_span
 
 #: Resource names in the scalar occupancy's dict-insertion order; the
 #: stacked argmin below reproduces its first-minimum limiter choice.
@@ -413,7 +414,21 @@ def score_grid(
         starts.append(len(flat))
     if not flat:
         return [[] for _ in chars_lists]
+    with trace_span(
+        "score", rows=len(flat), segments=len(chars_lists), prune=prune
+    ):
+        return _score_flat(model, chars_lists, flat, starts, prune, columns)
 
+
+def _score_flat(
+    model: GpuPerformanceModel,
+    chars_lists: list[list[KernelCharacteristics]],
+    flat: list[KernelCharacteristics],
+    starts: list[int],
+    prune: bool,
+    columns: dict[str, np.ndarray] | None,
+) -> list[list[tuple[str, object]]]:
+    """The SoA scoring pass behind :func:`score_grid` (traced there)."""
     batch = _Batch(model, flat, columns)
     bounds = batch.bound_seconds() if prune else None
     incumbents: dict[int, float] = {}

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.core.projector import GrophecyPlusPlus
 from repro.core.prediction import Projection
+from repro.obs.trace import span as trace_span
 from repro.core.report import MeasuredApplication, PredictionReport
 from repro.gpu.arch import quadro_fx_5600
 from repro.pcie.calibration import calibrate_bus
@@ -101,9 +102,15 @@ class ExperimentContext:
             if (workload.name, d.label) not in self._projections
         ]
         if missing:
-            swept = self.sweep_engine.sweep_workload(
-                workload, datasets=missing
-            )
+            with trace_span(
+                "project-all",
+                category="harness",
+                workload=workload.name,
+                points=len(missing),
+            ):
+                swept = self.sweep_engine.sweep_workload(
+                    workload, datasets=missing
+                )
             for dataset, projection in zip(missing, swept):
                 self._projections[(workload.name, dataset.label)] = projection
         return [
@@ -120,9 +127,15 @@ class ExperimentContext:
                 self.project_all(workload)
             if key not in self._projections:
                 program = workload.skeleton(dataset)
-                self._projections[key] = self.projector.project(
-                    program, workload.hints(dataset)
-                )
+                with trace_span(
+                    "project-point",
+                    category="harness",
+                    workload=workload.name,
+                    dataset=dataset.label,
+                ):
+                    self._projections[key] = self.projector.project(
+                        program, workload.hints(dataset)
+                    )
         return self._projections[key]
 
     # --- measured side ----------------------------------------------------

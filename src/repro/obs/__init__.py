@@ -1,0 +1,64 @@
+"""repro.obs — observability for the projection stack.
+
+Three concerns, one package (tour in ``docs/OBSERVABILITY.md``):
+
+- **tracing** (:mod:`repro.obs.trace`): hierarchical spans over the
+  pipeline (``project`` → per-kernel ``search`` → ``score`` →
+  ``transfer-planning`` → ``integrate``), exportable as JSONL or Chrome
+  ``trace_event`` JSON for ``chrome://tracing``/Perfetto.  Ambient and
+  zero-cost-when-off; ``python -m repro trace <skeleton>`` is the CLI
+  face.
+- **provenance** (:mod:`repro.obs.provenance`): a per-projection record
+  of *why* the result is what it is — winning mapping and regime per
+  kernel, runner-up gap, search accounting, per-array ``α + β·d``
+  transfer split — with exact component-sum invariants, attached to
+  :class:`~repro.core.serialize.ProjectionSummary` on request.
+- **metrics** (:mod:`repro.obs.metrics`, :mod:`repro.obs.prometheus`):
+  latency histograms (p50/p95/p99) behind
+  :class:`~repro.service.metrics.ServiceMetrics`, with Prometheus text
+  exposition via ``python -m repro metrics --prometheus``.
+"""
+
+from repro.obs.metrics import DEFAULT_QUANTILES, Histogram, nearest_rank
+from repro.obs.prometheus import (
+    metric_name,
+    parse_exposition,
+    render_snapshot,
+)
+from repro.obs.provenance import (
+    KernelProvenance,
+    ProjectionProvenance,
+    TransferProvenance,
+    build_provenance,
+)
+from repro.obs.trace import (
+    CHROME_EVENT_KEYS,
+    TraceSpan,
+    Tracer,
+    current,
+    install,
+    span,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "CHROME_EVENT_KEYS",
+    "DEFAULT_QUANTILES",
+    "Histogram",
+    "KernelProvenance",
+    "ProjectionProvenance",
+    "TraceSpan",
+    "Tracer",
+    "TransferProvenance",
+    "build_provenance",
+    "current",
+    "install",
+    "metric_name",
+    "nearest_rank",
+    "parse_exposition",
+    "render_snapshot",
+    "span",
+    "tracing",
+    "uninstall",
+]

@@ -1,0 +1,120 @@
+"""Latency histograms: percentile views over recorded durations.
+
+:class:`Histogram` is the building block
+:class:`~repro.service.metrics.ServiceMetrics` uses to turn its
+accumulated per-stage wall times into p50/p95/p99 latencies.  It keeps
+**exact** count/sum/min/max over every observation, plus a bounded ring
+buffer of the most recent observations from which percentiles are
+computed — so memory stays O(capacity) under production traffic while
+the quantiles track current behaviour (a sliding window, not a decayed
+sketch; the window size is the explicit ``capacity``).
+
+Percentiles use the nearest-rank method over the retained window: p50 of
+``[1, 2, 3, 4]`` is 2, matching the conventional definition and keeping
+the hypothesis properties in ``tests/obs/test_metrics_histogram.py``
+exact.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Sequence
+
+#: The percentile triple every snapshot reports.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def nearest_rank(values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of ``values`` (which must be non-empty)."""
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    if not values:
+        raise ValueError("cannot take a percentile of no observations")
+    ordered = sorted(values)
+    rank = math.ceil(quantile * len(ordered))
+    return ordered[rank - 1]
+
+
+class Histogram:
+    """Thread-safe scalar histogram with a bounded percentile window."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._window: list[float] = []
+        self._cursor = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def observe(self, value: float) -> None:
+        """Record one observation (any finite float)."""
+        if not math.isfinite(value):
+            raise ValueError(f"observation must be finite, got {value!r}")
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._window) < self._capacity:
+                self._window.append(value)
+            else:
+                self._window[self._cursor] = value
+                self._cursor = (self._cursor + 1) % self._capacity
+
+    # Views ---------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, quantile: float) -> float:
+        """Nearest-rank percentile over the retained window."""
+        with self._lock:
+            window = list(self._window)
+        return nearest_rank(window, quantile)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe view: exact totals plus the percentile triple."""
+        with self._lock:
+            window = list(self._window)
+            count = self._count
+            total = self._sum
+            low = self._min
+            high = self._max
+        if not count:
+            return {"count": 0, "sum": 0.0}
+        snap: dict[str, Any] = {
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+        }
+        for quantile in DEFAULT_QUANTILES:
+            key = f"p{round(quantile * 100):d}"
+            snap[key] = nearest_rank(window, quantile)
+        return snap
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.snapshot()
+        if not snap["count"]:
+            return "histogram: empty"
+        return (
+            f"histogram: n={snap['count']} p50={snap['p50']:.6f} "
+            f"p95={snap['p95']:.6f} p99={snap['p99']:.6f}"
+        )

@@ -1,0 +1,124 @@
+"""Prometheus text exposition of a ServiceMetrics snapshot.
+
+Renders the plain-dict snapshot of
+:class:`~repro.service.metrics.ServiceMetrics` in the Prometheus text
+format (version 0.0.4): counters as ``repro_<name>_total`` counter
+metrics, per-stage timers as one ``summary`` family with ``stage``
+labels — quantile series from the histogram window plus the exact
+``_sum``/``_count`` pairs.  ``python -m repro metrics --prometheus``
+prints exactly this; a scrape config pointed at anything that serves it
+needs no adapter.
+
+No dependency on ``prometheus_client`` — the format is a handful of
+lines, and :func:`parse_exposition` implements the reader side so tests
+(and consumers without the client library) can validate round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+#: ``name{labels} value`` — the subset of the text format we emit.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def metric_name(raw: str, namespace: str = "repro") -> str:
+    """A valid Prometheus metric name for counter ``raw``."""
+    cleaned = _INVALID.sub("_", raw).strip("_") or "unnamed"
+    name = f"{namespace}_{cleaned}"
+    if not name.endswith("_total"):
+        name += "_total"
+    assert _NAME_OK.match(name), name
+    return name
+
+
+def _format_value(value: float) -> str:
+    """Float form Prometheus accepts; repr keeps exactness."""
+    return repr(float(value))
+
+
+def render_snapshot(
+    snapshot: dict[str, Any], namespace: str = "repro"
+) -> str:
+    """The text exposition of one ServiceMetrics snapshot."""
+    lines: list[str] = []
+    for raw in sorted(snapshot.get("counters", {})):
+        name = metric_name(raw, namespace)
+        lines.append(f"# HELP {name} Monotonic counter {raw!r}.")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {snapshot['counters'][raw]}")
+    timers = snapshot.get("timers", {})
+    if timers:
+        family = f"{namespace}_stage_duration_seconds"
+        lines.append(
+            f"# HELP {family} Wall time per pipeline stage (seconds)."
+        )
+        lines.append(f"# TYPE {family} summary")
+        for stage in sorted(timers):
+            entry = timers[stage]
+            label = stage.replace("\\", "\\\\").replace('"', '\\"')
+            for key, quantile in (
+                ("p50", "0.5"),
+                ("p95", "0.95"),
+                ("p99", "0.99"),
+            ):
+                if key in entry:
+                    lines.append(
+                        f'{family}{{stage="{label}",quantile="{quantile}"}}'
+                        f" {_format_value(entry[key])}"
+                    )
+            lines.append(
+                f'{family}_sum{{stage="{label}"}} '
+                f"{_format_value(entry['seconds'])}"
+            )
+            lines.append(
+                f'{family}_count{{stage="{label}"}} {entry["calls"]}'
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_exposition(
+    text: str,
+) -> Iterator[tuple[str, dict[str, str], float]]:
+    """Parse the text format back into ``(name, labels, value)`` samples.
+
+    Strict about the subset this module emits — any malformed sample or
+    label raises ``ValueError`` — which is what makes it usable as the
+    line-format validator in tests and CI.
+    """
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {lineno} is not a valid sample: {line!r}"
+            )
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                label_match = _LABEL.match(pair)
+                if label_match is None:
+                    raise ValueError(
+                        f"line {lineno} has a malformed label: {pair!r}"
+                    )
+                labels[label_match.group("key")] = label_match.group(
+                    "value"
+                )
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno} has a non-numeric value: "
+                f"{match.group('value')!r}"
+            ) from None
+        yield match.group("name"), labels, value

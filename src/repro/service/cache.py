@@ -103,13 +103,19 @@ class ProjectionCache:
                     pass
 
     def stats(self) -> dict[str, Any]:
-        """Counter snapshot plus tier sizes, JSON-safe."""
+        """Counter snapshot plus tier sizes, JSON-safe.
+
+        ``hit_rate`` is hits over lookups in [0, 1], or ``None`` before
+        the first lookup (never a zero-division).
+        """
         with self._lock:
+            hits = self._hits_memory + self._hits_disk
             stats: dict[str, Any] = {
-                "hits": self._hits_memory + self._hits_disk,
+                "hits": hits,
                 "hits_memory": self._hits_memory,
                 "hits_disk": self._hits_disk,
                 "misses": self._misses,
+                "hit_rate": hit_rate(hits, self._misses),
                 "puts": self._puts,
                 "evictions": self._evictions,
                 "memory_entries": len(self._memory),
@@ -237,6 +243,7 @@ class KernelProjectionCache:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
+                "hit_rate": hit_rate(self._hits, self._misses),
                 "evictions": self._evictions,
                 "entries": len(self._entries),
                 "capacity": self._capacity,
@@ -248,6 +255,77 @@ class KernelProjectionCache:
             f"kernel cache: {stats['entries']}/{stats['capacity']} "
             f"entries, {stats['hits']} hits / {stats['misses']} misses"
         )
+
+
+def hit_rate(hits: int, misses: int) -> float | None:
+    """Hits over lookups, or None when nothing was ever looked up."""
+    lookups = hits + misses
+    if lookups <= 0:
+        return None
+    return hits / lookups
+
+
+#: Sidecar accumulating hit/miss counters across batch runs.  Not
+#: ``*.json`` on purpose: :func:`disk_cache_stats` globs ``*.json`` to
+#: count cache entries, and the sidecar is bookkeeping, not an entry.
+META_FILENAME = "stats.meta"
+
+
+def record_run_meta(
+    path: str | Path,
+    projection_stats: dict[str, Any],
+    kernel_stats: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Fold one run's hit/miss counters into the cache's ``stats.meta``.
+
+    Keeps lifetime totals across processes so ``repro cache-stats`` can
+    report hit rates for a directory, not just one run.  Returns the
+    accumulated record.  A torn or missing sidecar restarts the totals;
+    an unwritable directory degrades to returning the would-be record.
+    """
+    directory = Path(path)
+    meta = read_run_meta(directory) or {
+        "format": DISK_FORMAT,
+        "runs": 0,
+        "projection": {"hits": 0, "misses": 0},
+        "kernel": {"hits": 0, "misses": 0},
+    }
+    meta["runs"] += 1
+    meta["projection"]["hits"] += int(projection_stats.get("hits", 0))
+    meta["projection"]["misses"] += int(projection_stats.get("misses", 0))
+    if kernel_stats is not None:
+        meta["kernel"]["hits"] += int(kernel_stats.get("hits", 0))
+        meta["kernel"]["misses"] += int(kernel_stats.get("misses", 0))
+    target = directory / META_FILENAME
+    tmp = target.with_name(f"{target.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh, sort_keys=True)
+        os.replace(tmp, target)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+    return meta
+
+
+def read_run_meta(path: str | Path) -> dict[str, Any] | None:
+    """Load the accumulated ``stats.meta`` sidecar, or None if absent
+    (never raises — a corrupt sidecar reads as absent)."""
+    try:
+        with open(Path(path) / META_FILENAME, encoding="utf-8") as fh:
+            meta = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(meta, dict)
+        or meta.get("format") != DISK_FORMAT
+        or not isinstance(meta.get("projection"), dict)
+        or not isinstance(meta.get("kernel"), dict)
+    ):
+        return None
+    return meta
 
 
 def disk_cache_stats(path: str | Path) -> dict[str, Any]:

@@ -35,6 +35,8 @@ from repro.datausage.analyzer import analyze_transfers
 from repro.datausage.hints import AnalysisHints
 from repro.gpu.arch import GPUArchitecture, quadro_fx_5600
 from repro.gpu.model import GpuPerformanceModel
+from repro.obs.provenance import build_provenance
+from repro.obs.trace import span as trace_span
 from repro.pcie.model import BusModel
 from repro.pcie.presets import pcie_gen1_bus
 from repro.service.cache import KernelProjectionCache, ProjectionCache
@@ -142,6 +144,7 @@ class ProjectionEngine:
         prune: bool = False,
         kernel_cache: KernelProjectionCache | None = None,
         kernel_cache_capacity: int = 512,
+        provenance: bool = False,
     ) -> None:
         """``cache=None`` disables result caching; ``bus=None`` uses the
         nominal PCIe gen-1 preset (the paper's bus class) — pass a
@@ -163,6 +166,13 @@ class ProjectionEngine:
         skips every transformation-space search.  Pass ``kernel_cache``
         to share one across engines, or ``kernel_cache_capacity=0`` to
         disable the tier.
+
+        ``provenance=True`` attaches a
+        :class:`~repro.obs.provenance.ProjectionProvenance` record to
+        every freshly computed summary (see ``docs/OBSERVABILITY.md``).
+        Provenance never enters the request fingerprint — cache keys are
+        identical with it on or off; a cache hit serves whatever the
+        storing engine recorded.
         """
         check_positive("max_workers", max_workers)
         if kernel_cache_capacity < 0:
@@ -188,6 +198,7 @@ class ProjectionEngine:
         self._max_workers = max_workers
         self._explorer = explorer
         self._prune = prune
+        self._provenance = provenance
         self.metrics = metrics or ServiceMetrics()
         self._models: dict[str, GpuPerformanceModel] = {}
 
@@ -267,42 +278,56 @@ class ProjectionEngine:
         """
         start = time.perf_counter()
         self.metrics.incr("requests")
-        key = self.fingerprint(request)
+        with trace_span(
+            "project",
+            category="service",
+            program=request.program.name,
+            request=request.request_id,
+        ) as root:
+            key = self.fingerprint(request)
+            root.set(fingerprint=key)
 
-        if self._cache is not None:
-            with self.metrics.timer("cache_lookup"):
-                entry = self._cache.get(key)
-            if entry is not None:
-                self.metrics.incr("cache_hits")
-                summary = ProjectionSummary.from_dict(entry)
-                return ProjectionResponse(
-                    request_id=request.request_id,
-                    fingerprint=key,
-                    summary=summary,
-                    cached=True,
-                    seconds=time.perf_counter() - start,
-                    iterations=request.iterations,
-                    cpu_seconds=request.cpu_seconds,
-                )
-            self.metrics.incr("cache_misses")
+            if self._cache is not None:
+                with self.metrics.timer("cache_lookup"):
+                    entry = self._cache.get(key)
+                if entry is not None:
+                    self.metrics.incr("cache_hits")
+                    root.set(cached=True)
+                    summary = ProjectionSummary.from_dict(entry)
+                    return ProjectionResponse(
+                        request_id=request.request_id,
+                        fingerprint=key,
+                        summary=summary,
+                        cached=True,
+                        seconds=time.perf_counter() - start,
+                        iterations=request.iterations,
+                        cpu_seconds=request.cpu_seconds,
+                    )
+                self.metrics.incr("cache_misses")
 
-        projection = self._compute(
-            request, self._max_workers if workers is None else workers
-        )
-        summary = summarize_projection(projection)
-        if self._cache is not None:
-            with self.metrics.timer("cache_store"):
-                self._cache.put(key, summary.to_dict())
-        return ProjectionResponse(
-            request_id=request.request_id,
-            fingerprint=key,
-            summary=summary,
-            cached=False,
-            seconds=time.perf_counter() - start,
-            iterations=request.iterations,
-            cpu_seconds=request.cpu_seconds,
-            projection=projection,
-        )
+            root.set(cached=False)
+            projection = self._compute(
+                request, self._max_workers if workers is None else workers
+            )
+            provenance = (
+                build_provenance(projection, request.bus or self._bus)
+                if self._provenance
+                else None
+            )
+            summary = summarize_projection(projection, provenance)
+            if self._cache is not None:
+                with self.metrics.timer("cache_store"):
+                    self._cache.put(key, summary.to_dict())
+            return ProjectionResponse(
+                request_id=request.request_id,
+                fingerprint=key,
+                summary=summary,
+                cached=False,
+                seconds=time.perf_counter() - start,
+                iterations=request.iterations,
+                cpu_seconds=request.cpu_seconds,
+                projection=projection,
+            )
 
     def project_batch(
         self, requests: Iterable[ProjectionRequest]
@@ -442,16 +467,24 @@ class ProjectionEngine:
         with self.metrics.timer("explore"):
             kernels = self._explore(program, model, space, workers)
         with self.metrics.timer("analyze"):
-            plan = analyze_transfers(program, request.hints)
-            if request.batched_transfers:
-                plan = plan.batched()
+            with trace_span(
+                "transfer-planning", program=program.name
+            ) as planning:
+                plan = analyze_transfers(program, request.hints)
+                if request.batched_transfers:
+                    plan = plan.batched()
+                planning.set(
+                    transfers=plan.transfer_count,
+                    bytes=plan.total_bytes,
+                )
         with self.metrics.timer("predict"):
-            per_transfer = tuple(bus.predict_plan_by_transfer(plan))
-        return Projection(
-            program=program.name,
-            kernel_seconds=kernels.seconds,
-            transfer_seconds=sum(per_transfer),
-            plan=plan,
-            per_transfer_seconds=per_transfer,
-            kernels=kernels,
-        )
+            with trace_span("integrate", program=program.name):
+                per_transfer = tuple(bus.predict_plan_by_transfer(plan))
+                return Projection(
+                    program=program.name,
+                    kernel_seconds=kernels.seconds,
+                    transfer_seconds=sum(per_transfer),
+                    plan=plan,
+                    per_transfer_seconds=per_transfer,
+                    kernels=kernels,
+                )

@@ -1,11 +1,20 @@
-"""Counters and stage timers for the projection service.
+"""Counters, stage timers, and latency histograms for the service.
 
 :class:`ServiceMetrics` is a small, thread-safe metrics sink shared by
 the engine, the cache, and the batch runner.  It tracks monotonically
 increasing counters (requests served, cache hits/misses, candidates
-explored, errors) and accumulated wall time per named stage (explore,
-analyze, predict, ...), and exposes both as a plain-dict snapshot — for
-machine consumption — and a human-readable report.
+explored, errors) and per-stage wall time (explore, analyze, predict,
+...) — both the exact accumulated total and a
+:class:`~repro.obs.metrics.Histogram` per stage, so the snapshot reports
+p50/p95/p99 stage latencies alongside the totals.
+
+Three views: :meth:`snapshot` (plain dict, machine-readable),
+:meth:`report` (human multi-line), and :meth:`to_prometheus` (text
+exposition for a scrape endpoint; see ``docs/OBSERVABILITY.md``).
+
+A stage that raises inside :meth:`timer` still records its wall time
+*and* increments ``<stage>_errors``, so failed work is distinguishable
+from slow work.
 """
 
 from __future__ import annotations
@@ -16,6 +25,11 @@ from collections import Counter, defaultdict
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.metrics import Histogram
+
+#: Retained observations per stage for the percentile window.
+HISTOGRAM_CAPACITY = 2048
+
 
 class ServiceMetrics:
     """Thread-safe counters + per-stage wall-time accumulators."""
@@ -25,6 +39,7 @@ class ServiceMetrics:
         self._counters: Counter[str] = Counter()
         self._timer_seconds: defaultdict[str, float] = defaultdict(float)
         self._timer_calls: Counter[str] = Counter()
+        self._histograms: dict[str, Histogram] = {}
 
     # Counters ------------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -40,11 +55,21 @@ class ServiceMetrics:
     # Timers --------------------------------------------------------------
     @contextmanager
     def timer(self, stage: str) -> Iterator[None]:
-        """Context manager accumulating wall time under ``stage``."""
+        """Context manager accumulating wall time under ``stage``.
+
+        On an exception inside the block the elapsed time still counts
+        (slow failures show up in the latency view) and
+        ``<stage>_errors`` is incremented, so error rates are readable
+        per stage.
+        """
         start = time.perf_counter()
         try:
             yield
-        finally:
+        except BaseException:
+            self.add_time(stage, time.perf_counter() - start)
+            self.incr(f"{stage}_errors")
+            raise
+        else:
             self.add_time(stage, time.perf_counter() - start)
 
     def add_time(self, stage: str, seconds: float) -> None:
@@ -54,26 +79,50 @@ class ServiceMetrics:
         with self._lock:
             self._timer_seconds[stage] += seconds
             self._timer_calls[stage] += 1
+            histogram = self._histograms.get(stage)
+            if histogram is None:
+                histogram = Histogram(HISTOGRAM_CAPACITY)
+                self._histograms[stage] = histogram
+            histogram.observe(seconds)
 
     def stage_seconds(self, stage: str) -> float:
         """Accumulated wall time of ``stage`` (0.0 if never timed)."""
         with self._lock:
             return self._timer_seconds[stage]
 
+    def percentile(self, stage: str, quantile: float) -> float:
+        """Latency percentile of ``stage`` over the retained window."""
+        with self._lock:
+            histogram = self._histograms.get(stage)
+        if histogram is None:
+            raise KeyError(f"no recorded durations for stage {stage!r}")
+        return histogram.percentile(quantile)
+
     # Views ---------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """Plain-dict copy of every counter and timer, JSON-safe."""
+        """Plain-dict copy of every counter and timer, JSON-safe.
+
+        Each timer entry carries the exact ``seconds``/``calls`` totals
+        plus the histogram view (``min``/``max``/``p50``/``p95``/``p99``
+        over the retained window).
+        """
         with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "timers": {
-                    stage: {
-                        "seconds": self._timer_seconds[stage],
-                        "calls": self._timer_calls[stage],
-                    }
-                    for stage in sorted(self._timer_seconds)
-                },
-            }
+            counters = dict(self._counters)
+            stages = sorted(self._timer_seconds)
+            entries = {}
+            for stage in stages:
+                entry: dict[str, Any] = {
+                    "seconds": self._timer_seconds[stage],
+                    "calls": self._timer_calls[stage],
+                }
+                histogram = self._histograms.get(stage)
+                if histogram is not None:
+                    hist = histogram.snapshot()
+                    for key in ("min", "max", "p50", "p95", "p99"):
+                        if key in hist:
+                            entry[key] = hist[key]
+                entries[stage] = entry
+        return {"counters": counters, "timers": entries}
 
     def report(self) -> str:
         """Human-readable multi-line account of the snapshot."""
@@ -87,21 +136,35 @@ class ServiceMetrics:
             lines.append("  stage wall time:")
             for stage, entry in snap["timers"].items():
                 mean = entry["seconds"] / entry["calls"]
-                lines.append(
+                line = (
                     f"    {stage:<24} {entry['seconds'] * 1e3:10.2f} ms "
                     f"over {entry['calls']} call(s) "
                     f"({mean * 1e3:.2f} ms each)"
                 )
+                if "p95" in entry:
+                    line += (
+                        f"  p50 {entry['p50'] * 1e3:.2f} / "
+                        f"p95 {entry['p95'] * 1e3:.2f} / "
+                        f"p99 {entry['p99'] * 1e3:.2f} ms"
+                    )
+                lines.append(line)
         if len(lines) == 1:
             lines.append("  (empty)")
         return "\n".join(lines)
 
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """The snapshot in Prometheus text-exposition format."""
+        from repro.obs.prometheus import render_snapshot
+
+        return render_snapshot(self.snapshot(), namespace)
+
     def reset(self) -> None:
-        """Zero every counter and timer."""
+        """Zero every counter, timer, and histogram."""
         with self._lock:
             self._counters.clear()
             self._timer_seconds.clear()
             self._timer_calls.clear()
+            self._histograms.clear()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.report()

@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.gpu.model import GpuPerformanceModel
+from repro.obs.trace import span as trace_span
 from repro.skeleton.kernel import KernelSkeleton
 from repro.skeleton.program import ProgramSkeleton
 from repro.transform.analysis import analyze_kernel
@@ -119,40 +120,56 @@ def explore_kernel_parallel(
     configs = space.configs()
     chunks = space_chunks(configs, max_workers or 1)
     pruned: list[tuple[MappingConfig, str]] = []
-    if explorer == "fast":
-        try:
-            analysis = analyze_kernel(
-                kernel, program.array_map, model.arch.strict_coalescing
+    with trace_span(
+        "search",
+        kernel=kernel.name,
+        explorer=explorer,
+        chunks=len(chunks),
+    ) as search:
+        if explorer == "fast":
+            try:
+                analysis = analyze_kernel(
+                    kernel, program.array_map, model.arch.strict_coalescing
+                )
+            except ValueError:
+                raise ValueError(
+                    f"no legal mapping for kernel {kernel.name!r} on "
+                    f"{model.arch.name} (tried {len(configs)})"
+                ) from None
+            results = map_ordered(
+                lambda chunk: explore_configs_fast(
+                    kernel,
+                    program,
+                    model,
+                    chunk,
+                    analysis=analysis,
+                    prune=prune,
+                ),
+                chunks,
+                max_workers,
             )
-        except ValueError:
-            raise ValueError(
-                f"no legal mapping for kernel {kernel.name!r} on "
-                f"{model.arch.name} (tried {len(configs)})"
-            ) from None
-        results = map_ordered(
-            lambda chunk: explore_configs_fast(
-                kernel, program, model, chunk, analysis=analysis, prune=prune
-            ),
-            chunks,
-            max_workers,
+            candidates: list[CandidateResult] = []
+            skipped: list[tuple[MappingConfig, str]] = []
+            for chunk_candidates, chunk_skipped, chunk_pruned in results:
+                candidates.extend(chunk_candidates)
+                skipped.extend(chunk_skipped)
+                pruned.extend(chunk_pruned)
+        else:
+            reference = map_ordered(
+                lambda chunk: explore_configs(kernel, program, model, chunk),
+                chunks,
+                max_workers,
+            )
+            candidates = []
+            skipped = []
+            for chunk_candidates, chunk_skipped in reference:
+                candidates.extend(chunk_candidates)
+                skipped.extend(chunk_skipped)
+        search.set(
+            explored=len(candidates),
+            illegal=len(skipped),
+            pruned=len(pruned),
         )
-        candidates: list[CandidateResult] = []
-        skipped: list[tuple[MappingConfig, str]] = []
-        for chunk_candidates, chunk_skipped, chunk_pruned in results:
-            candidates.extend(chunk_candidates)
-            skipped.extend(chunk_skipped)
-            pruned.extend(chunk_pruned)
-    else:
-        reference = map_ordered(
-            lambda chunk: explore_configs(kernel, program, model, chunk),
-            chunks,
-            max_workers,
-        )
-        candidates = []
-        skipped = []
-        for chunk_candidates, chunk_skipped in reference:
-            candidates.extend(chunk_candidates)
-            skipped.extend(chunk_skipped)
     if not candidates:
         raise ValueError(
             f"no legal mapping for kernel {kernel.name!r} on "

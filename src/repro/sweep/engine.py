@@ -33,6 +33,7 @@ from repro.datausage.transfers import TransferPlan
 from repro.gpu.arch import GPUArchitecture
 from repro.gpu.model import GpuPerformanceModel
 from repro.gpu.vectorized import score_grid
+from repro.obs.trace import span as trace_span
 from repro.pcie.model import BusModel
 from repro.skeleton.program import ProgramSkeleton
 from repro.sweep.structure import fit_plan_template, shared_kernel_analyses
@@ -189,41 +190,59 @@ class SweepEngine:
                 f"{len(programs)}"
             )
 
-        anchors = self._anchor_indices(len(programs), sizes)
-        kernels = self._sweep_kernels(programs, anchors)
-        plans, template_points = self._sweep_plans(
-            programs, hints_list, sizes, anchors
-        )
-        self.stats = {
-            "points": len(programs),
-            "kernels_shared": int(kernels is not None),
-            "plans_from_template": template_points,
-            "plans_exact": len(programs) - template_points,
-        }
+        with trace_span(
+            "sweep", category="sweep", points=len(programs)
+        ) as root:
+            anchors = self._anchor_indices(len(programs), sizes)
+            kernels = self._sweep_kernels(programs, anchors)
+            with trace_span(
+                "transfer-planning", category="sweep", points=len(programs)
+            ):
+                plans, template_points = self._sweep_plans(
+                    programs, hints_list, sizes, anchors
+                )
+            self.stats = {
+                "points": len(programs),
+                "kernels_shared": int(kernels is not None),
+                "plans_from_template": template_points,
+                "plans_exact": len(programs) - template_points,
+            }
+            root.set(
+                kernels_shared=bool(kernels is not None),
+                plans_from_template=template_points,
+            )
 
-        projections: list[Projection] = []
-        for index, program in enumerate(programs):
-            kernel_projection = (
-                kernels[index]
-                if kernels is not None
-                else project_program(
-                    program, self._model, self._space, prune=self._prune
-                )
-            )
-            plan = plans[index]
-            if plan is None:
-                plan = self._exact_plan(program, hints_list[index])
-            per_transfer = tuple(self._bus.predict_plan_by_transfer(plan))
-            projections.append(
-                Projection(
-                    program=program.name,
-                    kernel_seconds=kernel_projection.seconds,
-                    transfer_seconds=sum(per_transfer),
-                    plan=plan,
-                    per_transfer_seconds=per_transfer,
-                    kernels=kernel_projection,
-                )
-            )
+            projections: list[Projection] = []
+            with trace_span(
+                "integrate", category="sweep", points=len(programs)
+            ):
+                for index, program in enumerate(programs):
+                    kernel_projection = (
+                        kernels[index]
+                        if kernels is not None
+                        else project_program(
+                            program,
+                            self._model,
+                            self._space,
+                            prune=self._prune,
+                        )
+                    )
+                    plan = plans[index]
+                    if plan is None:
+                        plan = self._exact_plan(program, hints_list[index])
+                    per_transfer = tuple(
+                        self._bus.predict_plan_by_transfer(plan)
+                    )
+                    projections.append(
+                        Projection(
+                            program=program.name,
+                            kernel_seconds=kernel_projection.seconds,
+                            transfer_seconds=sum(per_transfer),
+                            plan=plan,
+                            per_transfer_seconds=per_transfer,
+                            kernels=kernel_projection,
+                        )
+                    )
         if check:
             for index, program in enumerate(programs):
                 exact = self._project_exact(program, hints_list[index])

@@ -7,6 +7,7 @@ from typing import Iterable
 
 from repro.gpu.characteristics import KernelCharacteristics
 from repro.gpu.model import GpuPerformanceModel, GpuTimingBreakdown
+from repro.obs.trace import span as trace_span
 from repro.skeleton.kernel import KernelSkeleton
 from repro.skeleton.program import ProgramSkeleton
 from repro.transform.space import MappingConfig, TransformationSpace
@@ -181,9 +182,13 @@ def explore_kernel(
         from repro.transform.fastpath import explore_kernel_fast
 
         return explore_kernel_fast(kernel, program, model, space, prune=prune)
-    candidates, skipped = explore_configs(
-        kernel, program, model, space.configs()
-    )
+    with trace_span(
+        "search", kernel=kernel.name, explorer="reference"
+    ) as search:
+        candidates, skipped = explore_configs(
+            kernel, program, model, space.configs()
+        )
+        search.set(explored=len(candidates), illegal=len(skipped))
     if not candidates:
         raise ValueError(
             f"no legal mapping for kernel {kernel.name!r} on "

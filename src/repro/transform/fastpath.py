@@ -22,6 +22,7 @@ from typing import Iterable
 
 from repro.gpu.model import GpuPerformanceModel
 from repro.gpu.vectorized import score_batch
+from repro.obs.trace import span as trace_span
 from repro.skeleton.kernel import KernelSkeleton
 from repro.skeleton.program import ProgramSkeleton
 from repro.transform.analysis import KernelAnalysis, analyze_kernel
@@ -101,9 +102,17 @@ def explore_kernel_fast(
 ) -> KernelProjection:
     """:func:`~repro.transform.explorer.explore_kernel`, fast path."""
     space = space or TransformationSpace.default()
-    candidates, skipped, pruned = explore_configs_fast(
-        kernel, program, model, space.configs(), prune=prune
-    )
+    with trace_span(
+        "search", kernel=kernel.name, explorer="fast", prune=prune
+    ) as search:
+        candidates, skipped, pruned = explore_configs_fast(
+            kernel, program, model, space.configs(), prune=prune
+        )
+        search.set(
+            explored=len(candidates),
+            illegal=len(skipped),
+            pruned=len(pruned),
+        )
     if not candidates:
         raise ValueError(
             f"no legal mapping for kernel {kernel.name!r} on "

@@ -19,6 +19,12 @@ from repro.core.serialize import (
     summarize_projection,
 )
 from repro.gpu.arch import quadro_fx_5600
+from repro.obs.provenance import (
+    KernelProvenance,
+    ProjectionProvenance,
+    TransferProvenance,
+    build_provenance,
+)
 from repro.pcie.presets import pcie_gen1_bus
 from repro.core.projector import GrophecyPlusPlus
 from repro.workloads.registry import get_workload
@@ -49,6 +55,43 @@ transfers = st.builds(
     conservative=st.booleans(),
 )
 
+kernel_provenances = st.builds(
+    KernelProvenance,
+    name=name,
+    best_mapping=st.text(max_size=16),
+    regime=st.sampled_from(["MWP", "CWP", "FEW_WARPS"]),
+    mwp=finite,
+    cwp=finite,
+    seconds=finite,
+    runner_up_mapping=st.none() | st.text(max_size=16),
+    runner_up_gap_seconds=st.none() | finite,
+    configs_explored=st.integers(0, 10_000),
+    configs_skipped=st.integers(0, 10_000),
+    configs_pruned=st.integers(0, 10_000),
+)
+
+transfer_provenances = st.builds(
+    TransferProvenance,
+    array=name,
+    direction=st.sampled_from(["H2D", "D2H"]),
+    bytes=st.integers(0, 1 << 40),
+    seconds=finite,
+    alpha_seconds=finite,
+    beta_seconds=finite,
+    conservative=st.booleans(),
+)
+
+provenances = st.builds(
+    ProjectionProvenance,
+    program=name,
+    kernel_seconds=finite,
+    transfer_seconds=finite,
+    setup_seconds=finite,
+    total_seconds=finite,
+    kernels=st.tuples() | st.tuples(kernel_provenances),
+    transfers=st.tuples() | st.tuples(transfer_provenances),
+)
+
 summaries = st.builds(
     ProjectionSummary,
     program=name,
@@ -59,6 +102,7 @@ summaries = st.builds(
     transfers=st.tuples()
     | st.tuples(transfers)
     | st.tuples(transfers, transfers),
+    provenance=st.none() | provenances,
 )
 
 
@@ -94,6 +138,43 @@ class TestRoundTripProperty:
         assert rebuilt.transfer_count == summary.transfer_count
 
 
+class TestProvenanceAttachment:
+    @given(summaries)
+    @settings(max_examples=50, deadline=None)
+    def test_without_provenance_strips_only_provenance(self, summary):
+        stripped = summary.without_provenance()
+        assert stripped.provenance is None
+        assert stripped == summary.without_provenance()
+        assert "provenance" not in stripped.to_dict()
+        rebuilt = dict(stripped.to_dict())
+        if summary.provenance is not None:
+            rebuilt["provenance"] = summary.provenance.to_dict()
+        assert ProjectionSummary.from_dict(rebuilt) == summary
+
+    def test_cache_key_is_unchanged_by_provenance(self):
+        """The engine fingerprint must ignore the provenance flag."""
+        from repro.service.engine import (
+            ProjectionEngine,
+            ProjectionRequest,
+        )
+
+        workload = get_workload("HotSpot")
+        dataset = workload.datasets()[0]
+        request = ProjectionRequest(
+            program=workload.skeleton(dataset),
+            hints=workload.hints(dataset),
+        )
+        plain = ProjectionEngine(provenance=False)
+        attributed = ProjectionEngine(provenance=True)
+        assert plain.fingerprint(request) == attributed.fingerprint(
+            request
+        )
+        bare = plain.project(request).summary
+        rich = attributed.project(request).summary
+        assert rich.provenance is not None
+        assert rich.without_provenance() == bare
+
+
 class TestRealProjectionRoundTrip:
     def test_pipeline_summary_round_trips_exactly(self):
         workload = get_workload("HotSpot")
@@ -105,3 +186,23 @@ class TestRealProjectionRoundTrip:
         assert ProjectionSummary.from_json(summary.to_json()) == summary
         assert summary.kernel_seconds == projection.kernel_seconds
         assert summary.transfer_seconds == projection.transfer_seconds
+
+    def test_pipeline_summary_with_provenance_round_trips(self):
+        workload = get_workload("HotSpot")
+        dataset = workload.datasets()[0]
+        bus = pcie_gen1_bus()
+        projection = GrophecyPlusPlus(quadro_fx_5600(), bus).project(
+            workload.skeleton(dataset), workload.hints(dataset)
+        )
+        summary = summarize_projection(
+            projection, build_provenance(projection, bus)
+        )
+        rebuilt = ProjectionSummary.from_json(summary.to_json())
+        assert rebuilt == summary
+        assert rebuilt.provenance == summary.provenance
+        assert (
+            rebuilt.provenance.kernel_seconds
+            + rebuilt.provenance.transfer_seconds
+            + rebuilt.provenance.setup_seconds
+            == rebuilt.provenance.total_seconds
+        )

@@ -1,0 +1,111 @@
+"""Histogram percentiles: exact totals, bounded window, nearest rank."""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, nearest_rank
+
+finite = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestNearestRank:
+    def test_conventional_examples(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(values, 0.5) == 2.0
+        assert nearest_rank(values, 0.25) == 1.0
+        assert nearest_rank(values, 1.0) == 4.0
+
+    def test_rejects_empty_and_bad_quantiles(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.5)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)
+
+    @given(st.lists(finite, min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_always_an_observed_value(self, values):
+        for quantile in (0.5, 0.95, 0.99):
+            assert nearest_rank(values, quantile) in values
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self):
+        histogram = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 6.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["p50"] == 2.0
+
+    def test_empty_snapshot(self):
+        assert Histogram().snapshot() == {"count": 0, "sum": 0.0}
+
+    def test_rejects_non_finite(self):
+        histogram = Histogram()
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ValueError):
+                histogram.observe(bad)
+
+    def test_window_is_bounded_but_totals_are_exact(self):
+        histogram = Histogram(capacity=8)
+        for index in range(100):
+            histogram.observe(float(index))
+        snap = histogram.snapshot()
+        assert snap["count"] == 100
+        assert snap["sum"] == sum(range(100))
+        assert snap["min"] == 0.0
+        assert snap["max"] == 99.0
+        # Percentiles come from the last `capacity` observations.
+        assert snap["p50"] >= 92.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(capacity=0)
+
+    def test_percentile_matches_nearest_rank(self):
+        histogram = Histogram()
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for value in values:
+            histogram.observe(value)
+        for quantile in (0.5, 0.95, 0.99):
+            assert histogram.percentile(quantile) == nearest_rank(
+                values, quantile
+            )
+
+    @given(st.lists(finite, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_totals_equal_sum_of_observations(self, values):
+        histogram = Histogram(capacity=16)
+        for value in values:
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == len(values)
+        assert snap["sum"] == pytest.approx(sum(values))
+        assert snap["min"] == min(values)
+        assert snap["max"] == max(values)
+
+    def test_thread_safety_exact_totals(self):
+        histogram = Histogram(capacity=32)
+
+        def work():
+            for _ in range(1000):
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert histogram.count == 8000
+        assert histogram.sum == 8000.0

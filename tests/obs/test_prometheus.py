@@ -1,0 +1,110 @@
+"""Prometheus exposition: rendering and the strict line-format parser."""
+
+import pytest
+
+from repro.obs.prometheus import (
+    metric_name,
+    parse_exposition,
+    render_snapshot,
+)
+from repro.service.metrics import ServiceMetrics
+
+
+class TestMetricName:
+    def test_namespaced_and_suffixed(self):
+        assert metric_name("cache_hits") == "repro_cache_hits_total"
+
+    def test_sanitizes_invalid_characters(self):
+        assert metric_name("weird-name.x") == "repro_weird_name_x_total"
+
+    def test_keeps_existing_total_suffix(self):
+        assert metric_name("requests_total") == "repro_requests_total"
+
+
+class TestRenderSnapshot:
+    def _snapshot(self):
+        metrics = ServiceMetrics()
+        metrics.incr("requests", 3)
+        metrics.incr("cache_hits")
+        for seconds in (0.010, 0.020, 0.030):
+            metrics.add_time("explore", seconds)
+        return metrics.snapshot()
+
+    def test_counters_render_as_counter_families(self):
+        text = render_snapshot(self._snapshot())
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 3" in text
+        assert "repro_cache_hits_total 1" in text
+
+    def test_timers_render_as_one_summary_family(self):
+        text = render_snapshot(self._snapshot())
+        assert "# TYPE repro_stage_duration_seconds summary" in text
+        assert 'stage="explore",quantile="0.5"' in text
+        assert 'repro_stage_duration_seconds_count{stage="explore"} 3' in (
+            text
+        )
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_snapshot({"counters": {}, "timers": {}}) == ""
+
+    def test_every_line_parses_back(self):
+        samples = list(parse_exposition(render_snapshot(self._snapshot())))
+        names = {name for name, _, _ in samples}
+        assert "repro_requests_total" in names
+        assert "repro_stage_duration_seconds_sum" in names
+        by_key = {
+            (name, labels.get("stage"), labels.get("quantile")): value
+            for name, labels, value in samples
+        }
+        assert by_key[("repro_requests_total", None, None)] == 3.0
+        assert (
+            by_key[("repro_stage_duration_seconds", "explore", "0.5")]
+            == 0.020
+        )
+        assert by_key[
+            ("repro_stage_duration_seconds_count", "explore", None)
+        ] == 3.0
+
+    def test_sum_value_round_trips_exactly(self):
+        snapshot = self._snapshot()
+        samples = list(parse_exposition(render_snapshot(snapshot)))
+        total = next(
+            value
+            for name, labels, value in samples
+            if name == "repro_stage_duration_seconds_sum"
+        )
+        assert total == snapshot["timers"]["explore"]["seconds"]
+
+
+class TestParseExposition:
+    def test_skips_comments_and_blank_lines(self):
+        text = "# HELP x y\n\nrepro_x_total 1\n"
+        assert list(parse_exposition(text)) == [("repro_x_total", {}, 1.0)]
+
+    def test_parses_labels(self):
+        ((name, labels, value),) = parse_exposition(
+            'family{stage="explore",quantile="0.95"} 0.5\n'
+        )
+        assert name == "family"
+        assert labels == {"stage": "explore", "quantile": "0.95"}
+        assert value == 0.5
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not a sample at all!",
+            "name{unterminated 1",
+            'name{key=unquoted} 1',
+            "name notanumber",
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ValueError):
+            list(parse_exposition(line + "\n"))
+
+    def test_to_prometheus_is_parseable_end_to_end(self):
+        metrics = ServiceMetrics()
+        metrics.incr("requests")
+        metrics.add_time("predict", 0.001)
+        samples = list(parse_exposition(metrics.to_prometheus()))
+        assert samples  # strict parse of the whole exposition succeeded

@@ -1,0 +1,183 @@
+"""Tests for the hierarchical tracer and its exports."""
+
+import json
+import threading
+
+from repro.obs.trace import (
+    CHROME_EVENT_KEYS,
+    Tracer,
+    current,
+    install,
+    span,
+    tracing,
+    uninstall,
+)
+
+
+class TestTracerRecording:
+    def test_records_name_category_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("search", category="service", kernel="k") as h:
+            h.set(explored=40)
+        (recorded,) = tracer.spans()
+        assert recorded.name == "search"
+        assert recorded.category == "service"
+        assert recorded.attrs == {"kernel": "k", "explored": 40}
+        assert recorded.duration >= 0.0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["sibling"].parent_id == by_name["outer"].span_id
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer) == 1
+        # The failed span must not corrupt nesting for the next one.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans()[-1].parent_id is None
+
+    def test_threads_record_on_their_own_lanes(self):
+        tracer = Tracer()
+        # Hold all threads alive together: the OS reuses thread ids of
+        # finished threads, which would collapse the lanes.
+        barrier = threading.Barrier(4)
+
+        def work(index):
+            with tracer.span("worker", index=index):
+                with tracer.span("step"):
+                    barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == 8
+        workers = [s for s in spans if s.name == "worker"]
+        assert all(s.parent_id is None for s in workers)
+        steps = {s.parent_id for s in spans if s.name == "step"}
+        assert steps == {s.span_id for s in workers}
+        assert len({s.thread_id for s in workers}) == 4
+
+    def test_clear_and_len(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestExports:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("project", program="p"):
+            with tracer.span("search", kernel="k"):
+                pass
+        return tracer
+
+    def test_jsonl_one_object_per_span(self):
+        tracer = self._traced()
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        rows = [json.loads(line) for line in lines]
+        assert {row["name"] for row in rows} == {"project", "search"}
+
+    def test_write_jsonl(self, tmp_path):
+        path = self._traced().write_jsonl(tmp_path / "trace.jsonl")
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert len(content.splitlines()) == 2
+
+    def test_chrome_trace_has_required_keys(self):
+        doc = self._traced().chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            for key in CHROME_EVENT_KEYS:
+                assert key in event, key
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+
+    def test_chrome_trace_keeps_hierarchy_in_args(self):
+        events = self._traced().chrome_trace()["traceEvents"]
+        by_name = {e["name"]: e for e in events}
+        assert (
+            by_name["search"]["args"]["parent_id"]
+            == by_name["project"]["args"]["span_id"]
+        )
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = self._traced().write_chrome_trace(tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 2
+
+
+class TestAmbientTracing:
+    def test_disabled_by_default_and_null_span_is_shared(self):
+        assert current() is None
+        first = span("anything", attr=1)
+        second = span("else")
+        assert first is second  # the shared no-op
+        with first as handle:
+            handle.set(ignored=True)  # must be a silent no-op
+
+    def test_install_uninstall(self):
+        tracer = Tracer()
+        install(tracer)
+        try:
+            assert current() is tracer
+            with span("recorded"):
+                pass
+        finally:
+            uninstall()
+        assert current() is None
+        assert len(tracer) == 1
+
+    def test_tracing_scopes_and_restores(self):
+        with tracing() as tracer:
+            assert current() is tracer
+            with span("inside"):
+                pass
+        assert current() is None
+        assert [s.name for s in tracer.spans()] == ["inside"]
+
+    def test_tracing_uses_the_caller_tracer_even_when_empty(self):
+        # Regression: Tracer defines __len__, so an empty tracer is
+        # falsy — `tracer or Tracer()` would silently swap it out.
+        mine = Tracer()
+        with tracing(mine) as active:
+            assert active is mine
+            with span("kept"):
+                pass
+        assert len(mine) == 1
+
+    def test_tracing_nests_and_restores_previous(self):
+        outer = Tracer()
+        inner = Tracer()
+        with tracing(outer):
+            with tracing(inner):
+                with span("deep"):
+                    pass
+            assert current() is outer
+        assert len(inner) == 1
+        assert len(outer) == 0

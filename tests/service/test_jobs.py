@@ -180,12 +180,22 @@ class TestRunBatch:
         assert "oops" in report
 
     def test_timeout_produces_error_record(self, tmp_path):
+        import time
+
+        class SlowEngine(ProjectionEngine):
+            # Deterministically slower than the timeout: the real
+            # engine can finish before the main thread even asks for
+            # the result, which made a bare 1e-9s timeout flaky.
+            def project(self, request, workers=None):
+                time.sleep(0.05)
+                return super().project(request, workers)
+
         requests = write_jsonl(
             tmp_path / "r.jsonl",
             [{"id": "slow", "workload": "CFD"}],
         )
         result = run_batch(
-            requests, engine=ProjectionEngine(), timeout=1e-9
+            requests, engine=SlowEngine(), timeout=1e-3
         )
         assert result.error_count == 1
         assert "timed out" in result.records[0].error

@@ -3,6 +3,8 @@
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.service.metrics import ServiceMetrics
 
@@ -52,9 +54,152 @@ class TestTimers:
                 raise RuntimeError("boom")
         assert metrics.snapshot()["timers"]["stage"]["calls"] == 1
 
+    def test_exception_increments_stage_errors(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(RuntimeError):
+            with metrics.timer("explore"):
+                raise RuntimeError("boom")
+        assert metrics.counter("explore_errors") == 1
+
+    def test_success_does_not_touch_stage_errors(self):
+        metrics = ServiceMetrics()
+        with metrics.timer("explore"):
+            pass
+        assert metrics.counter("explore_errors") == 0
+
+    def test_errors_counted_per_stage(self):
+        metrics = ServiceMetrics()
+        for stage, should_fail in (
+            ("explore", True),
+            ("explore", True),
+            ("predict", False),
+        ):
+            try:
+                with metrics.timer(stage):
+                    if should_fail:
+                        raise ValueError("boom")
+            except ValueError:
+                pass
+        assert metrics.counter("explore_errors") == 2
+        assert metrics.counter("predict_errors") == 0
+        assert metrics.snapshot()["timers"]["explore"]["calls"] == 2
+
     def test_negative_duration_rejected(self):
         with pytest.raises(ValueError):
             ServiceMetrics().add_time("x", -1.0)
+
+
+class TestPercentiles:
+    def test_percentile_over_recorded_durations(self):
+        metrics = ServiceMetrics()
+        for seconds in (0.010, 0.020, 0.030, 0.040):
+            metrics.add_time("explore", seconds)
+        assert metrics.percentile("explore", 0.5) == 0.020
+        assert metrics.percentile("explore", 0.99) == 0.040
+
+    def test_percentile_of_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            ServiceMetrics().percentile("never", 0.5)
+
+    def test_snapshot_carries_percentile_triple(self):
+        metrics = ServiceMetrics()
+        for seconds in (0.001, 0.002, 0.003):
+            metrics.add_time("predict", seconds)
+        entry = metrics.snapshot()["timers"]["predict"]
+        assert entry["min"] == 0.001
+        assert entry["max"] == 0.003
+        assert entry["p50"] == 0.002
+        assert entry["p95"] == 0.003
+        assert entry["p99"] == 0.003
+
+    def test_report_mentions_percentiles(self):
+        metrics = ServiceMetrics()
+        metrics.add_time("explore", 0.010)
+        assert "p95" in metrics.report()
+
+
+class TestSnapshotConsistency:
+    """Snapshot totals must equal the sum of the recorded events."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["explore", "analyze", "predict"]),
+                st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            max_size=60,
+        ),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["requests", "cache_hits"]),
+                st.integers(0, 100),
+            ),
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_totals_equal_sum_of_events(self, timings, bumps):
+        metrics = ServiceMetrics()
+        for stage, seconds in timings:
+            metrics.add_time(stage, seconds)
+        for name, amount in bumps:
+            metrics.incr(name, amount)
+        snap = metrics.snapshot()
+        for stage in {stage for stage, _ in timings}:
+            recorded = [s for n, s in timings if n == stage]
+            entry = snap["timers"][stage]
+            assert entry["calls"] == len(recorded)
+            assert entry["seconds"] == pytest.approx(sum(recorded))
+            assert entry["min"] == min(recorded)
+            assert entry["max"] == max(recorded)
+        for name in {name for name, _ in bumps}:
+            assert snap["counters"].get(name, 0) == sum(
+                a for n, a in bumps if n == name
+            )
+
+    def test_threaded_stress_totals_are_exact(self):
+        metrics = ServiceMetrics()
+        per_thread = 500
+        threads = 8
+
+        def work(index):
+            for _ in range(per_thread):
+                metrics.incr("requests")
+                metrics.add_time("explore", 0.001)
+                if index % 2:
+                    try:
+                        with metrics.timer("analyze"):
+                            raise RuntimeError("boom")
+                    except RuntimeError:
+                        pass
+
+        pool = [
+            threading.Thread(target=work, args=(i,)) for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        snap = metrics.snapshot()
+        assert snap["counters"]["requests"] == threads * per_thread
+        assert snap["timers"]["explore"]["calls"] == threads * per_thread
+        assert snap["timers"]["explore"]["seconds"] == pytest.approx(
+            threads * per_thread * 0.001
+        )
+        failing_threads = threads // 2
+        assert (
+            snap["counters"]["analyze_errors"]
+            == failing_threads * per_thread
+        )
+        assert (
+            snap["timers"]["analyze"]["calls"]
+            == failing_threads * per_thread
+        )
 
 
 class TestViews:

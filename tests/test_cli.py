@@ -338,3 +338,119 @@ class TestExperimentCommand:
     def test_bad_experiment_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("experiment", "fig99")
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def skeleton(self, tmp_path):
+        import shutil
+
+        src = "examples/skeletons/jacobi2d.skel"
+        dst = tmp_path / "jacobi2d.skel"
+        shutil.copy(src, dst)
+        return dst
+
+    def test_writes_perfetto_loadable_chrome_trace(self, skeleton):
+        code, out = run_cli("trace", str(skeleton))
+        assert code == 0
+        trace_path = skeleton.with_suffix(".trace.json")
+        assert trace_path.is_file()
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event, key
+        names = {event["name"] for event in events}
+        assert {"project", "search", "transfer-planning",
+                "integrate"} <= names
+        assert "span(s)" in out
+        assert "provenance for jacobi2d" in out
+
+    def test_jsonl_export(self, skeleton, tmp_path):
+        target = tmp_path / "spans.jsonl"
+        code, out = run_cli(
+            "trace", str(skeleton), "--jsonl", "-o", str(target),
+            "--no-provenance",
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert {row["name"] for row in rows} >= {"project", "search"}
+        assert "provenance" not in out
+
+    def test_missing_skeleton_is_a_user_error(self):
+        code, _, err = run_cli_split("trace", "/no/such.skel")
+        assert code == 2
+        assert err.startswith("error: ")
+
+
+class TestMetricsCommand:
+    def test_json_snapshot(self):
+        code, out = run_cli("metrics")
+        assert code == 0
+        snap = json.loads(out)
+        assert snap["counters"]["requests"] >= 2
+        assert snap["counters"]["cache_hits"] >= 1
+        explore = snap["timers"]["explore"]
+        assert explore["calls"] >= 1
+        assert "p95" in explore
+
+    def test_prometheus_exposition_parses(self):
+        from repro.obs.prometheus import parse_exposition
+
+        code, out = run_cli("metrics", "--prometheus")
+        assert code == 0
+        samples = list(parse_exposition(out))
+        names = {name for name, _, _ in samples}
+        assert "repro_requests_total" in names
+        assert "repro_stage_duration_seconds_sum" in names
+
+    def test_unknown_workload_rejected(self):
+        code, _, err = run_cli_split("metrics", "--workload", "Nope")
+        assert code == 2
+        assert "unknown workload" in err
+
+
+class TestCacheHitRates:
+    def test_batch_and_cache_stats_report_hit_rates(self, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "va", "workload": "VectorAdd"}) + "\n"
+        )
+        cache_dir = tmp_path / "cache"
+        args = (
+            "batch", str(requests),
+            "-o", str(tmp_path / "r.jsonl"),
+            "--cache-dir", str(cache_dir),
+        )
+        _, first = run_cli(*args)
+        assert "(0.0% hit rate)" in first
+        _, second = run_cli(*args)
+        assert "(100.0% hit rate)" in second
+        code, out = run_cli("cache-stats", str(cache_dir))
+        assert code == 0
+        assert "projection hit rate: 50.0%" in out
+        assert "kernel hit rate:" in out
+        assert "over 2 run(s)" in out
+
+    def test_cache_stats_without_meta_has_no_rates(self, tmp_path):
+        code, out = run_cli("cache-stats", str(tmp_path))
+        assert code == 0
+        assert "hit rate" not in out
+
+    def test_rates_guard_zero_lookups(self, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "x", "workload": "NoSuchWorkload"}) + "\n"
+        )
+        cache_dir = tmp_path / "cache"
+        code, out = run_cli(
+            "batch", str(requests),
+            "-o", str(tmp_path / "r.jsonl"),
+            "--cache-dir", str(cache_dir),
+        )
+        assert code == 0
+        assert "%" not in out.split("cache:")[1]
+        code, out = run_cli("cache-stats", str(cache_dir))
+        assert code == 0
+        assert "n/a (no lookups)" in out

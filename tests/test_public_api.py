@@ -45,6 +45,7 @@ class TestTopLevelApi:
             "repro.workloads",
             "repro.harness",
             "repro.service",
+            "repro.obs",
             "repro.cli",
         ):
             mod = importlib.import_module(module)
@@ -66,6 +67,7 @@ class TestTopLevelApi:
             "repro.workloads",
             "repro.cpu",
             "repro.service",
+            "repro.obs",
         ):
             mod = importlib.import_module(module)
             for name in getattr(mod, "__all__", ()):
