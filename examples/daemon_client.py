@@ -1,0 +1,99 @@
+"""Talk to a running repro daemon — pure stdlib, no repro import needed.
+
+The daemon's wire protocol is plain JSON over HTTP (docs/DAEMON.md), so
+any language's standard library is a complete client.  This example
+uses only ``urllib`` and ``json`` to submit a batch, poll it, and
+scrape a few metrics — exactly what a CI gate or a cron job would do.
+
+Run a daemon first::
+
+    python -m repro daemon start --state-dir .repro-daemon --port 8642
+
+then::
+
+    python examples/daemon_client.py http://127.0.0.1:8642
+
+(The richer ``repro.daemon.client.DaemonClient`` wraps the same calls
+with error handling and state-dir discovery; use it when repro is
+importable.)
+"""
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+BASE = sys.argv[1] if len(sys.argv) > 1 else "http://127.0.0.1:8642"
+
+
+def call(method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        BASE + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def main():
+    version = call("GET", "/v1/version")
+    print(f"daemon {version['version']} (protocol {version['protocol']})")
+
+    # Submit a batch: the same records `python -m repro batch` reads.
+    submitted = call(
+        "POST",
+        "/v1/jobs",
+        {
+            "kind": "batch",
+            "client": "example",
+            "payload": {
+                "requests": [
+                    {"workload": "VectorAdd", "dataset": "4M"},
+                    {"workload": "VectorAdd", "dataset": "64M"},
+                    {"workload": "HotSpot", "dataset": "64 x 64",
+                     "iterations": 10},
+                ]
+            },
+        },
+    )
+    job_id = submitted["id"]
+    print(f"submitted batch job {job_id} (position {submitted['position']})")
+
+    # Poll until terminal: /result answers 409 while the job is pending.
+    while True:
+        try:
+            body = call("GET", f"/v1/jobs/{job_id}/result")
+            break
+        except urllib.error.HTTPError as exc:
+            if exc.code != 409:
+                raise
+            time.sleep(0.1)
+
+    print(f"job {job_id}: {body['state']}")
+    summary = body["result"]["summary"]
+    print(
+        f"  {summary['ok']}/{summary['total']} ok, "
+        f"{summary['cache_hits']} cache hit(s)"
+    )
+    for record in body["result"]["records"]:
+        if record["ok"]:
+            print(
+                f"  {record['id']}: {record['total_seconds'] * 1e3:.2f} ms "
+                f"projected total"
+            )
+        else:
+            print(f"  {record['id']}: ERROR {record['error']}")
+
+    # One scrape of the Prometheus exposition, filtered to job counters.
+    with urllib.request.urlopen(BASE + "/metrics", timeout=10) as response:
+        for line in response.read().decode().splitlines():
+            if line.startswith("repro_jobs_"):
+                print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,13 +46,14 @@ from repro.service.metrics import ServiceMetrics
 from repro.sim.machine import VirtualTestbed, argonne_testbed
 from repro.skeleton.builder import KernelBuilder, ProgramBuilder
 from repro.skeleton.parser import parse_skeleton, parse_skeleton_file
+from repro.version import package_version
 from repro.workloads.registry import (
     all_workloads,
     get_workload,
     paper_workloads,
 )
 
-__version__ = "1.0.0"
+__version__ = package_version()
 
 __all__ = [
     "__version__",

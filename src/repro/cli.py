@@ -24,7 +24,11 @@ Commands
   tree as Chrome ``trace_event`` JSON (load in Perfetto / chrome://
   tracing) or JSONL, plus the prediction's provenance record;
 - ``metrics`` — exercise the service engine on one workload and print
-  its metrics snapshot (JSON, or ``--prometheus`` text exposition).
+  its metrics snapshot (JSON, or ``--prometheus`` text exposition);
+- ``version`` (also ``--version``) — package and protocol version;
+- ``daemon start|status|submit|result|cancel`` — the always-on
+  projection daemon: persistent job queue, checkpoint/resume for
+  sweeps, rate limiting (``docs/DAEMON.md``).
 
 See ``docs/OBSERVABILITY.md`` for the tracing/provenance/metrics tour.
 
@@ -63,6 +67,7 @@ from repro.harness.transfer_sweep import (
     run_fig4_model_error,
 )
 from repro.util.units import MiB, seconds_to_human
+from repro.version import package_version
 from repro.workloads.registry import all_workloads, get_workload
 
 EXPERIMENTS = (
@@ -94,6 +99,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=2013,
         help="virtual-testbed seed (default: 2013)",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -252,6 +261,120 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prometheus", action="store_true",
         help="print Prometheus text exposition instead of JSON",
     )
+
+    sub.add_parser("version", help="print package and protocol version")
+
+    p = sub.add_parser(
+        "daemon",
+        help="the always-on projection daemon (see docs/DAEMON.md)",
+    )
+    dsub = p.add_subparsers(dest="daemon_command", required=True)
+
+    def _endpoint_args(dp) -> None:
+        dp.add_argument(
+            "--state-dir", default=".repro-daemon",
+            help="daemon state directory (default: .repro-daemon)",
+        )
+        dp.add_argument(
+            "--url", default=None,
+            help="daemon URL (default: read <state-dir>/daemon.json)",
+        )
+
+    dp = dsub.add_parser(
+        "start", help="run the daemon in the foreground until SIGTERM"
+    )
+    dp.add_argument(
+        "--state-dir", default=".repro-daemon",
+        help="journal/results/checkpoints directory "
+        "(default: .repro-daemon)",
+    )
+    dp.add_argument("--host", default="127.0.0.1")
+    dp.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: 0 = pick a free one)",
+    )
+    dp.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads executing jobs (default: 2)",
+    )
+    dp.add_argument(
+        "--rate", type=float, default=None,
+        help="per-client rate limit in jobs/second (default: off)",
+    )
+    dp.add_argument(
+        "--burst", type=float, default=10.0,
+        help="rate-limit burst size (default: 10)",
+    )
+    dp.add_argument(
+        "--max-client-running", type=int, default=2,
+        help="max concurrently running jobs per client (default: 2)",
+    )
+    dp.add_argument(
+        "--drain-deadline", type=float, default=10.0,
+        help="seconds to wait for in-flight jobs on shutdown "
+        "(default: 10)",
+    )
+    dp.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk projection cache",
+    )
+
+    dp = dsub.add_parser(
+        "status", help="daemon health + human-readable job table"
+    )
+    _endpoint_args(dp)
+
+    dp = dsub.add_parser("submit", help="submit one job")
+    _endpoint_args(dp)
+    dp.add_argument(
+        "--kind", choices=("projection", "batch", "sweep"),
+        default="projection",
+    )
+    dp.add_argument(
+        "--client", default=None,
+        help="client name for rate limiting / fairness",
+    )
+    dp.add_argument(
+        "--payload", default=None,
+        help="payload file: JSON object, or JSONL request lines for "
+        "--kind batch ('-' reads stdin)",
+    )
+    dp.add_argument(
+        "--workload", default=None,
+        help="build the payload from a registry workload instead",
+    )
+    dp.add_argument(
+        "--dataset", action="append", default=None,
+        help="dataset label (repeatable for --kind sweep)",
+    )
+    dp.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    dp.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--wait timeout in seconds (default: 300)",
+    )
+
+    dp = dsub.add_parser("result", help="fetch a finished job's result")
+    _endpoint_args(dp)
+    dp.add_argument("job_id")
+    dp.add_argument(
+        "-o", "--output", default=None,
+        help="also write the full result document to this JSON file",
+    )
+    dp.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    dp.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="--wait timeout in seconds (default: 300)",
+    )
+
+    dp = dsub.add_parser("cancel", help="cancel a queued or running job")
+    _endpoint_args(dp)
+    dp.add_argument("job_id")
     return parser
 
 
@@ -683,6 +806,198 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _cmd_version(args, out) -> int:
+    from repro.daemon.protocol import PROTOCOL_VERSION
+
+    out(f"repro {package_version()} (daemon protocol {PROTOCOL_VERSION})")
+    return 0
+
+
+def _daemon_client(args):
+    from repro.daemon.client import DaemonClient
+
+    if args.url is not None:
+        return DaemonClient(base_url=args.url)
+    return DaemonClient(state_dir=args.state_dir)
+
+
+def _daemon_payload(args) -> dict:
+    """Build the job payload from --payload or the workload flags."""
+    import json
+    from pathlib import Path
+
+    from repro.service.jobs import BadRequestError
+
+    if args.payload is not None:
+        text = (
+            sys.stdin.read()
+            if args.payload == "-"
+            else Path(args.payload).read_text(encoding="utf-8")
+        )
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            if args.kind != "batch":
+                raise BadRequestError(
+                    f"{args.payload} is not a JSON object",
+                    field="payload",
+                    hint="JSONL payloads are for --kind batch",
+                ) from None
+            data = [
+                json.loads(line)
+                for line in text.splitlines()
+                if line.strip()
+            ]
+        if args.kind == "batch" and isinstance(data, list):
+            return {"requests": data}
+        if not isinstance(data, dict):
+            raise BadRequestError(
+                "payload must be a JSON object",
+                field="payload",
+                hint="see docs/DAEMON.md for the payload shapes",
+            )
+        return data
+    if args.workload is None:
+        raise BadRequestError(
+            "need --payload or --workload to build a job",
+            field="payload",
+            hint="e.g. `daemon submit --workload VectorAdd`",
+        )
+    payload: dict = {"workload": args.workload}
+    if args.kind == "sweep":
+        if args.dataset:
+            payload["datasets"] = args.dataset
+        return payload
+    if args.kind == "batch":
+        raise BadRequestError(
+            "batch submissions need --payload",
+            field="payload",
+            hint="a JSONL requests file, like `python -m repro batch`",
+        )
+    if args.dataset:
+        payload["dataset"] = args.dataset[0]
+    return payload
+
+
+def _print_result_body(body: dict, out, output: str | None) -> None:
+    """Render a terminal job's result the way ``batch`` reports runs."""
+    import json
+    from pathlib import Path
+
+    from repro.service.jobs import summary_lines
+
+    out(f"job {body['id']}: {body['state']}")
+    error = body.get("error")
+    if isinstance(error, dict):
+        out(f"  error: {error.get('error', 'unknown failure')}")
+        if error.get("field"):
+            out(f"  field: {error['field']}")
+        if error.get("hint"):
+            out(f"  hint:  {error['hint']}")
+    result = body.get("result")
+    if isinstance(result, dict):
+        summary = result.get("summary")
+        if isinstance(summary, dict):
+            for line in summary_lines(
+                summary.get("total", 0),
+                summary.get("ok", 0),
+                summary.get("errors", 0),
+                summary.get("cache_hits", 0),
+                summary.get("p95_seconds"),
+            ):
+                out(line)
+        record = result.get("record")
+        if isinstance(record, dict) and record.get("ok"):
+            out(
+                f"  projected total: "
+                f"{seconds_to_human(record.get('total_seconds', 0.0))}"
+            )
+    if output is not None and result is not None:
+        target = Path(output)
+        target.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        out(f"  result document -> {target}")
+
+
+def _cmd_daemon(args, out) -> int:
+    verb = args.daemon_command
+    if verb == "start":
+        from repro.daemon.server import run_daemon
+
+        return run_daemon(
+            args.state_dir,
+            host=args.host,
+            port=args.port,
+            out=out,
+            seed=args.seed,
+            workers=args.workers,
+            rate=args.rate,
+            burst=args.burst,
+            max_client_running=args.max_client_running,
+            drain_deadline=args.drain_deadline,
+            use_cache=not args.no_cache,
+        )
+
+    client = _daemon_client(args)
+    if verb == "status":
+        status = client.status()
+        limiter = "on" if status["rate_limited"] else "off"
+        out(
+            f"repro daemon v{status['version']} at {client.base_url} "
+            f"(pid {status['pid']}, up {status['uptime_seconds']:.1f}s)"
+        )
+        out(
+            f"  workers {status['workers']}, rate limit {limiter}, "
+            f"draining {'yes' if status['draining'] else 'no'}, "
+            f"state {status['state_dir']}"
+        )
+        counts = status["queue"]
+        out(
+            "  queue: "
+            + ", ".join(f"{counts[s]} {s}" for s in counts)
+        )
+        jobs = client.jobs()
+        if jobs:
+            out(f"  {'id':<14}{'kind':<12}{'state':<11}"
+                f"{'client':<12}{'wait':>8}{'run':>8}")
+            for job in jobs:
+                wait = job.get("queue_wait_seconds")
+                run = job.get("run_seconds")
+                out(
+                    f"  {job['id']:<14}{job['kind']:<12}"
+                    f"{job['state']:<11}{job['client']:<12}"
+                    f"{'' if wait is None else f'{wait:.2f}s':>8}"
+                    f"{'' if run is None else f'{run:.2f}s':>8}"
+                )
+        return 0
+    if verb == "submit":
+        payload = _daemon_payload(args)
+        submitted = client.submit(args.kind, payload, client=args.client)
+        out(
+            f"submitted {args.kind} job {submitted['id']} "
+            f"(position {submitted['position']})"
+        )
+        if args.wait:
+            body = client.wait(submitted["id"], timeout=args.timeout)
+            _print_result_body(body, out, None)
+            return 0 if body["state"] == "done" else 1
+        return 0
+    if verb == "result":
+        body = (
+            client.wait(args.job_id, timeout=args.timeout)
+            if args.wait
+            else client.result(args.job_id)
+        )
+        _print_result_body(body, out, args.output)
+        return 0 if body["state"] == "done" else 1
+    # verb == "cancel"
+    job = client.cancel(args.job_id)
+    out(f"job {job['id']}: {job['state']}")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "calibrate": _cmd_calibrate,
@@ -696,6 +1011,8 @@ _COMMANDS = {
     "cache-stats": _cmd_cache_stats,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "version": _cmd_version,
+    "daemon": _cmd_daemon,
 }
 
 
@@ -715,14 +1032,40 @@ def main(argv: Sequence[str] | None = None, out=print, err=None) -> int:
     unparsable skeleton files) are reported as a single ``error: ...``
     line on stderr (or via ``err``) with exit status 2.
     """
+    from repro.service.jobs import BadRequestError
+
     if err is None:
         err = lambda s: print(s, file=sys.stderr)  # noqa: E731
     args = _build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args, out)
+    except BadRequestError as exc:
+        _emit_structured(exc.to_dict(), err)
+        return 2
     except (KeyError, OSError, ValueError) as exc:
         err(f"error: {_error_line(exc)}")
         return 2
+    except Exception as exc:
+        # The daemon client's structured rejections carry the same
+        # {error, field, hint} body the HTTP API returns.
+        body = getattr(exc, "body", None)
+        if isinstance(body, dict) and "error" in body:
+            _emit_structured(body, err)
+            return 2
+        raise
+
+
+def _emit_structured(body: dict, err) -> None:
+    """Render a structured {error, field, hint} body on stderr.
+
+    The first line stays ``error: <message>`` — the same contract every
+    other CLI failure keeps — with the field and hint indented after.
+    """
+    err(f"error: {body.get('error', 'request rejected')}")
+    if body.get("field"):
+        err(f"  field: {body['field']}")
+    if body.get("hint"):
+        err(f"  hint:  {body['hint']}")
 
 
 if __name__ == "__main__":  # pragma: no cover

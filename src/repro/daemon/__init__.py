@@ -1,0 +1,60 @@
+"""repro.daemon — the always-on projection service.
+
+A persistent daemon in front of the projection service layer: a
+stdlib-only HTTP server (:mod:`repro.daemon.server`) feeding a durable
+job queue (:mod:`repro.daemon.queue`, JSONL journal that survives
+restarts), executed by a bounded worker pool
+(:mod:`repro.daemon.scheduler`) with per-client token-bucket rate
+limiting (:mod:`repro.daemon.ratelimit`) and checkpoint/resume for
+sweep jobs (:mod:`repro.daemon.checkpoint`).
+
+Start one with ``python -m repro daemon start --state-dir runs/daemon``
+and talk to it with the other ``daemon`` CLI verbs, the pure-stdlib
+:class:`~repro.daemon.client.DaemonClient`, or any HTTP client — the
+protocol is plain JSON (``docs/DAEMON.md``).
+"""
+
+from repro.daemon.checkpoint import SweepCheckpoint
+from repro.daemon.client import DaemonClient, DaemonError
+from repro.daemon.protocol import (
+    JOB_KINDS,
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    Job,
+    new_job_id,
+    payload_fingerprint,
+    validate_submission,
+)
+from repro.daemon.queue import JobQueue
+from repro.daemon.ratelimit import RateLimiter, TokenBucket
+from repro.daemon.scheduler import JobInterrupted, Scheduler
+from repro.daemon.server import (
+    DaemonApp,
+    DaemonServer,
+    read_endpoint_file,
+    run_daemon,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "PROTOCOL_VERSION",
+    "TERMINAL_STATES",
+    "DaemonApp",
+    "DaemonClient",
+    "DaemonError",
+    "DaemonServer",
+    "Job",
+    "JobInterrupted",
+    "JobQueue",
+    "RateLimiter",
+    "Scheduler",
+    "SweepCheckpoint",
+    "TokenBucket",
+    "new_job_id",
+    "payload_fingerprint",
+    "read_endpoint_file",
+    "run_daemon",
+    "validate_submission",
+]

@@ -1,0 +1,118 @@
+"""Checkpoint/resume for long sweep jobs: persist finished grid tiles.
+
+A sweep job's work divides into independent **tiles** (one per sweep
+point).  As each tile completes, its result record is appended to
+``<state_dir>/checkpoints/<job_id>.jsonl`` — a header line naming the
+job's payload fingerprint, then one ``{"tile": i, "record": {...}}``
+line per finished tile.  When an interrupted job is requeued (daemon
+killed mid-sweep, drain deadline hit), the scheduler loads the
+checkpoint and recomputes only the missing tiles; the content-addressed
+:class:`~repro.service.cache.ProjectionCache` makes even a *lost*
+checkpoint cheap, but the checkpoint makes resume exact and
+search-free regardless of cache state.
+
+The fingerprint guard means a checkpoint can never leak between
+payloads: if a job id is ever reused with different work (or the file
+is stale), the mismatch discards it and the sweep starts clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.daemon.protocol import PROTOCOL_VERSION
+
+CHECKPOINTS_DIR = "checkpoints"
+
+
+class SweepCheckpoint:
+    """Append-only tile journal for one sweep job."""
+
+    def __init__(
+        self, state_dir: str | Path, job_id: str, fingerprint: str
+    ) -> None:
+        directory = Path(state_dir) / CHECKPOINTS_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        self._path = directory / f"{job_id}.jsonl"
+        self._job_id = job_id
+        self._fingerprint = fingerprint
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def load(self) -> dict[int, dict[str, Any]]:
+        """Completed tiles as ``{index: record}``.
+
+        A missing file, a foreign fingerprint, or a torn tail line all
+        degrade to fewer tiles — never to a wrong record: each line was
+        flushed whole before the next tile started.
+        """
+        try:
+            with open(self._path, encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return {}
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return {}
+        if (
+            not isinstance(header, dict)
+            or header.get("format") != PROTOCOL_VERSION
+            or header.get("fingerprint") != self._fingerprint
+        ):
+            self.discard()
+            return {}
+        tiles: dict[int, dict[str, Any]] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail: everything before it is intact
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("record"), dict)
+            ):
+                continue
+            tiles[int(entry["tile"])] = entry["record"]
+        return tiles
+
+    def record(self, tile: int, record: dict[str, Any]) -> None:
+        """Append one finished tile, durably (flush + fsync)."""
+        new_file = not self._path.exists()
+        with open(self._path, "a", encoding="utf-8") as fh:
+            if new_file:
+                fh.write(
+                    json.dumps(
+                        {
+                            "format": PROTOCOL_VERSION,
+                            "job": self._job_id,
+                            "fingerprint": self._fingerprint,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            fh.write(
+                json.dumps(
+                    {"tile": tile, "record": record}, sort_keys=True
+                )
+                + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def discard(self) -> None:
+        """Delete the checkpoint file (job finished or invalidated)."""
+        try:
+            self._path.unlink(missing_ok=True)
+        except OSError:
+            pass

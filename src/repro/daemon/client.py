@@ -1,0 +1,164 @@
+"""Pure-stdlib client for the repro daemon's HTTP API.
+
+:class:`DaemonClient` wraps :mod:`urllib.request` — no third-party
+HTTP library — and speaks the JSON protocol from ``docs/DAEMON.md``.
+Point it at a URL, or at a ``state_dir`` and it reads the daemon's
+``daemon.json`` endpoint file itself.
+
+Error responses (400/404/409/429/503) raise :class:`DaemonError`
+carrying the structured ``{error, field, hint}`` body, so callers can
+print the same message the CLI would.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+from repro.daemon.server import read_endpoint_file
+
+
+class DaemonError(Exception):
+    """An HTTP-level rejection, with the structured body attached."""
+
+    def __init__(self, status: int, body: dict[str, Any]) -> None:
+        self.status = status
+        self.body = body if isinstance(body, dict) else {"error": str(body)}
+        message = self.body.get("error", f"daemon returned HTTP {status}")
+        hint = self.body.get("hint")
+        super().__init__(
+            f"{message} (HTTP {status})"
+            + (f" — hint: {hint}" if hint else "")
+        )
+
+
+class DaemonClient:
+    """Talks to one daemon; every method is a single HTTP exchange."""
+
+    def __init__(
+        self,
+        base_url: str | None = None,
+        state_dir: str | Path | None = None,
+        timeout: float = 10.0,
+    ) -> None:
+        if base_url is None:
+            if state_dir is None:
+                raise ValueError("need base_url or state_dir")
+            record = read_endpoint_file(state_dir)
+            if record is None or "url" not in record:
+                raise ConnectionError(
+                    f"no daemon endpoint file in {state_dir} — is the "
+                    "daemon running? (`python -m repro daemon start`)"
+                )
+            base_url = str(record["url"])
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # Plumbing -------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> Any:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                parsed = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                parsed = {"error": raw.decode("utf-8", "replace")}
+            raise DaemonError(exc.code, parsed) from None
+        except urllib.error.URLError as exc:
+            raise ConnectionError(
+                f"cannot reach daemon at {self.base_url}: {exc.reason}"
+            ) from None
+        return json.loads(raw) if raw else None
+
+    def _text(self, path: str) -> str:
+        request = urllib.request.Request(self.base_url + path)
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ConnectionError(
+                f"cannot reach daemon at {self.base_url}: {exc}"
+            ) from None
+
+    # API ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ConnectionError, DaemonError):
+            return False
+
+    def version(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/version")
+
+    def status(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/status")
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        client: str | None = None,
+    ) -> dict[str, Any]:
+        """POST one job; returns ``{"id", "state", "position"}``."""
+        body: dict[str, Any] = {"kind": kind, "payload": payload}
+        if client is not None:
+            body["client"] = client
+        return self._request("POST", "/v1/jobs", body)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The terminal result body; DaemonError 409 while pending."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        poll: float = 0.1,
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal, then return its result body."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.result(job_id)
+            except DaemonError as exc:
+                if exc.status != 409:
+                    raise
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still pending after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/metrics``."""
+        return self._text("/metrics")

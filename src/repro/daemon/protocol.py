@@ -1,0 +1,210 @@
+"""The daemon's job model and JSON wire forms.
+
+A **job** is one unit of queued work: a single projection, a batch of
+request records, or a parametric sweep.  Its payload is exactly the
+JSON a client POSTs to ``/v1/jobs``; the projection-shaped parts reuse
+the batch runner's record format (:func:`repro.service.jobs.parse_request`)
+verbatim, so anything that works as a ``python -m repro batch`` line
+works inside a daemon job unchanged.
+
+Lifecycle::
+
+    queued -> running -> done | failed | cancelled
+       \\---------------------------------^  (cancel while queued)
+
+A job interrupted by a crash or shutdown goes back to ``queued`` (its
+``interruptions`` counter ticks up), and a sweep job resumes from its
+checkpoint instead of recomputing finished tiles — see
+:mod:`repro.daemon.checkpoint` and ``docs/DAEMON.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.fingerprint import stable_digest
+
+#: Wire/schema version of job records and journal events.
+PROTOCOL_VERSION = 1
+
+#: The job kinds the scheduler knows how to execute.
+JOB_KINDS = ("projection", "batch", "sweep")
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Every legal state, in lifecycle order.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States from which a job will never move again.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+def new_job_id() -> str:
+    """A short, collision-resistant job id."""
+    return uuid.uuid4().hex[:12]
+
+
+def payload_fingerprint(kind: str, payload: dict[str, Any]) -> str:
+    """Content address of a job's work, used to guard checkpoints."""
+    return stable_digest(
+        {"format": PROTOCOL_VERSION, "kind": kind, "payload": payload}
+    )
+
+
+def error_body(
+    error: str,
+    field_name: str | None = None,
+    hint: str | None = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """The structured ``{error, field, hint}`` body every rejection uses.
+
+    The same shape :meth:`repro.service.jobs.BadRequestError.to_dict`
+    produces, so daemon responses and CLI stderr stay interchangeable.
+    """
+    body: dict[str, Any] = {"error": error}
+    if field_name is not None:
+        body["field"] = field_name
+    if hint is not None:
+        body["hint"] = hint
+    body.update(extra)
+    return body
+
+
+@dataclass
+class Job:
+    """One queued/running/finished unit of daemon work.
+
+    The persisted fields round-trip through :meth:`to_dict` /
+    :meth:`from_dict` (the journal's job form).  ``cancel_event`` is
+    runtime-only: the scheduler polls it between batch records and
+    sweep tiles for cooperative cancellation.
+    """
+
+    job_id: str
+    kind: str
+    payload: dict[str, Any]
+    client: str = "anonymous"
+    state: str = QUEUED
+    submitted: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+    error: dict[str, Any] | None = None
+    interruptions: int = 0
+    fingerprint: str = ""
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; know {JOB_KINDS}"
+            )
+        if self.state not in JOB_STATES:
+            raise ValueError(
+                f"unknown job state {self.state!r}; know {JOB_STATES}"
+            )
+        if not self.fingerprint:
+            self.fingerprint = payload_fingerprint(self.kind, self.payload)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def queue_wait(self) -> float | None:
+        """Seconds between submission and start (None while queued)."""
+        if self.started is None:
+            return None
+        return max(0.0, self.started - self.submitted)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe persisted form (journal entries, status bodies)."""
+        record: dict[str, Any] = {
+            "format": PROTOCOL_VERSION,
+            "id": self.job_id,
+            "kind": self.kind,
+            "client": self.client,
+            "state": self.state,
+            "payload": self.payload,
+            "submitted": self.submitted,
+            "fingerprint": self.fingerprint,
+            "interruptions": self.interruptions,
+        }
+        if self.started is not None:
+            record["started"] = self.started
+        if self.finished is not None:
+            record["finished"] = self.finished
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "Job":
+        if record.get("format") != PROTOCOL_VERSION:
+            raise ValueError(
+                f"unsupported job record format {record.get('format')!r}"
+            )
+        return cls(
+            job_id=str(record["id"]),
+            kind=str(record["kind"]),
+            payload=dict(record["payload"]),
+            client=str(record.get("client", "anonymous")),
+            state=str(record.get("state", QUEUED)),
+            submitted=float(record.get("submitted", 0.0)),
+            started=record.get("started"),
+            finished=record.get("finished"),
+            error=record.get("error"),
+            interruptions=int(record.get("interruptions", 0)),
+            fingerprint=str(record.get("fingerprint", "")),
+        )
+
+    def status_dict(self) -> dict[str, Any]:
+        """The ``/v1/jobs/<id>`` body: persisted form + derived times."""
+        record = self.to_dict()
+        record.pop("payload")  # potentially large; fetch via result
+        wait = self.queue_wait()
+        if wait is not None:
+            record["queue_wait_seconds"] = wait
+        if self.started is not None and self.finished is not None:
+            record["run_seconds"] = max(0.0, self.finished - self.started)
+        return record
+
+
+def validate_submission(body: Any) -> tuple[str, str, dict[str, Any]]:
+    """Check a ``/v1/jobs`` submission body: ``(kind, client, payload)``.
+
+    Raises nothing — malformed submissions are the *caller's* error, so
+    this returns via :class:`~repro.service.jobs.BadRequestError` for
+    the shared structured form.
+    """
+    from repro.service.jobs import BadRequestError
+
+    if not isinstance(body, dict):
+        raise BadRequestError(
+            f"submission must be a JSON object, got {type(body).__name__}",
+            hint='POST {"kind": ..., "payload": {...}}',
+        )
+    kind = body.get("kind")
+    if kind not in JOB_KINDS:
+        raise BadRequestError(
+            f"unknown job kind {kind!r}",
+            field="kind",
+            hint=f"one of {', '.join(JOB_KINDS)}",
+        )
+    payload = body.get("payload")
+    if not isinstance(payload, dict):
+        raise BadRequestError(
+            "payload must be a JSON object",
+            field="payload",
+            hint="the job's work description; see docs/DAEMON.md",
+        )
+    client = str(body.get("client") or "anonymous")
+    return str(kind), client, payload

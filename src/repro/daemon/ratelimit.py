@@ -1,0 +1,98 @@
+"""Per-client token-bucket rate limiting for the daemon's intake.
+
+Classic token bucket: a client accumulates ``rate`` tokens per second
+up to a ``burst`` ceiling, and each submission spends one.  An empty
+bucket yields a structured 429-style rejection telling the client
+exactly how long to back off — the daemon never queues work it has
+already decided to refuse.
+
+The clock is injectable so the tests drive time by hand; production
+uses :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.daemon.protocol import error_body
+
+
+class TokenBucket:
+    """One client's bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self._rate = rate
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Spend ``tokens`` if available: 0.0 on success, else the
+        seconds until they will be (the client's retry-after)."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self._rate
+
+
+class RateLimiter:
+    """Token buckets per client, created lazily, behind one lock.
+
+    ``rate=None`` disables limiting entirely (every check admits).
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._rate = rate
+        self._burst = burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate is not None
+
+    def check(self, client: str) -> float:
+        """0.0 if ``client`` may submit now, else seconds to wait."""
+        if self._rate is None:
+            return 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self._rate, self._burst, self._clock)
+                self._buckets[client] = bucket
+            return bucket.try_acquire()
+
+    def rejection(self, client: str, retry_after: float) -> dict:
+        """The structured 429 body for a rate-limited submission."""
+        return error_body(
+            f"rate limit exceeded for client {client!r}",
+            field_name="client",
+            hint=f"retry in {retry_after:.2f}s "
+            f"(limit: {self._rate:g} jobs/s, burst {self._burst:g})",
+            retry_after_seconds=retry_after,
+        )

@@ -1,0 +1,318 @@
+"""The daemon's scheduler: a bounded worker pool over the job queue.
+
+Workers block in :meth:`~repro.daemon.queue.JobQueue.claim` (which
+already enforces per-client running limits), execute one job at a time,
+and write results through the queue.  Execution reuses the service
+layer end-to-end — :func:`repro.service.jobs.parse_objects` for
+validation and :func:`repro.service.jobs.project_parsed` for the cached
+parallel projection — so a daemon job's records are the very dicts
+``python -m repro batch`` would have written.
+
+Sweep jobs checkpoint every finished tile
+(:class:`~repro.daemon.checkpoint.SweepCheckpoint`); an interrupted
+sweep (SIGKILL, drain deadline) resumes from its checkpoint on the next
+start instead of recomputing.  Cancellation is cooperative: the queue
+sets the job's cancel event, and the scheduler observes it between
+records/tiles.
+
+Metrics (shared :class:`~repro.service.metrics.ServiceMetrics`):
+``queue_wait`` and ``job_run`` stage timers feed the p50/p95/p99
+histograms, and counters track submissions, completions, failures,
+cancellations, and checkpoint traffic — all scraped via ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.daemon.checkpoint import SweepCheckpoint
+from repro.daemon.protocol import Job, error_body
+from repro.daemon.queue import JobQueue
+from repro.obs.metrics import nearest_rank
+from repro.obs.trace import span as trace_span
+from repro.service.engine import ProjectionEngine
+from repro.service.jobs import (
+    BadRequestError,
+    parse_objects,
+    project_parsed,
+)
+
+
+class JobInterrupted(Exception):
+    """Raised inside execution when a drain wants the job requeued."""
+
+
+def batch_records_summary(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Counts + cache hits + p95 over serialized batch/sweep records.
+
+    Works on the JSON record dicts (not live responses), so the daemon
+    can summarize results it read back from disk.
+    """
+    ok = [row for row in rows if row.get("ok")]
+    seconds = [
+        row["seconds"] for row in ok if isinstance(
+            row.get("seconds"), (int, float)
+        )
+    ]
+    return {
+        "total": len(rows),
+        "ok": len(ok),
+        "errors": len(rows) - len(ok),
+        "cache_hits": sum(1 for row in ok if row.get("cached")),
+        "p95_seconds": nearest_rank(seconds, 0.95) if seconds else None,
+    }
+
+
+class Scheduler:
+    """Executes queued jobs on ``workers`` daemon threads."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        engine: ProjectionEngine,
+        workers: int = 2,
+        base_dir: str | Path | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._queue = queue
+        self._engine = engine
+        self._metrics = engine.metrics
+        self._workers = workers
+        #: Relative skeleton_file paths in payloads resolve against this
+        #: (the daemon's working directory by default).
+        self._base_dir = Path(base_dir) if base_dir else Path.cwd()
+        self._draining = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def worker_count(self) -> int:
+        return self._workers
+
+    # Lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-daemon-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, deadline: float) -> bool:
+        """Stop claiming, finish in-flight work, requeue the rest.
+
+        Returns True when every worker exited within ``deadline``
+        seconds.  Sweep jobs observe the drain between tiles, so their
+        progress is checkpointed and requeued promptly; whatever is
+        still running when the deadline passes is requeued anyway — the
+        journal then replays it as interrupted on the next start.
+        """
+        self._draining.set()
+        self._queue.close_intake()
+        clean = True
+        remaining = deadline
+        for thread in self._threads:
+            step = max(0.05, remaining)
+            before = time.monotonic()
+            thread.join(step)
+            remaining -= time.monotonic() - before
+            if thread.is_alive():
+                clean = False
+        for job in self._queue.running():
+            self._queue.requeue(job.job_id)
+            self._metrics.incr("jobs_requeued")
+        return clean
+
+    # Workers ---------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.claim(timeout=0.5)
+            if job is None:
+                if self._queue.closed:
+                    return
+                continue
+            wait = job.queue_wait()
+            if wait is not None:
+                self._metrics.add_time("queue_wait", wait)
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        with trace_span(
+            "job", category="daemon", job=job.job_id, kind=job.kind
+        ):
+            try:
+                with self._metrics.timer("job_run"):
+                    result = self._execute(job)
+            except JobInterrupted:
+                self._queue.requeue(job.job_id)
+                self._metrics.incr("jobs_requeued")
+                return
+            except _Cancelled:
+                self._queue.finish(job.job_id, cancelled=True)
+                self._metrics.incr("jobs_cancelled")
+                return
+            except BadRequestError as exc:
+                self._queue.finish(job.job_id, error=exc.to_dict())
+                self._metrics.incr("jobs_failed")
+                return
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                message = str(exc.args[0] if exc.args else exc) or repr(exc)
+                self._queue.finish(
+                    job.job_id,
+                    error=error_body(message.splitlines()[0]),
+                )
+                self._metrics.incr("jobs_failed")
+                return
+            if job.cancel_event.is_set():
+                self._queue.finish(job.job_id, cancelled=True)
+                self._metrics.incr("jobs_cancelled")
+                return
+            self._queue.finish(job.job_id, result=result)
+            self._metrics.incr("jobs_completed")
+
+    # Execution -------------------------------------------------------------
+    def _execute(self, job: Job) -> dict[str, Any]:
+        if job.kind == "projection":
+            return self._execute_projection(job)
+        if job.kind == "batch":
+            return self._execute_batch(job)
+        return self._execute_sweep(job)
+
+    def _check_interrupt(self, job: Job) -> None:
+        if job.cancel_event.is_set():
+            raise _Cancelled()
+        if self._draining.is_set():
+            raise JobInterrupted(job.job_id)
+
+    def _execute_projection(self, job: Job) -> dict[str, Any]:
+        parsed = parse_objects([job.payload], self._base_dir)
+        if parsed[0].error is not None:
+            raise parsed[0].error
+        (record,) = project_parsed(parsed, self._engine)
+        return {"kind": "projection", "record": record.to_dict()}
+
+    def _execute_batch(self, job: Job) -> dict[str, Any]:
+        requests = job.payload.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise BadRequestError(
+                "batch payload needs a non-empty 'requests' list",
+                field="requests",
+                hint="the same records `python -m repro batch` reads, "
+                "as a JSON array",
+            )
+        parsed = parse_objects(requests, self._base_dir)
+        records = project_parsed(
+            parsed,
+            self._engine,
+            should_stop=job.cancel_event.is_set,
+        )
+        rows = [record.to_dict() for record in records]
+        if job.cancel_event.is_set():
+            raise _Cancelled()
+        return {
+            "kind": "batch",
+            "records": rows,
+            "summary": batch_records_summary(rows),
+        }
+
+    def _execute_sweep(self, job: Job) -> dict[str, Any]:
+        """One tile per sweep point, checkpointed as it completes."""
+        requests = self._sweep_requests(job.payload)
+        parsed = parse_objects(requests, self._base_dir)
+        checkpoint = SweepCheckpoint(
+            self._queue.state_dir, job.job_id, job.fingerprint
+        )
+        tiles = checkpoint.load() if job.interruptions else {}
+        if tiles:
+            self._metrics.incr("tiles_resumed", len(tiles))
+        rows: list[dict[str, Any]] = []
+        for index, item in enumerate(parsed):
+            if index in tiles:
+                rows.append(tiles[index])
+                continue
+            self._check_interrupt(job)
+            if item.error is not None:
+                raise item.error
+            (record,) = project_parsed([item], self._engine)
+            row = record.to_dict()
+            checkpoint.record(index, row)
+            self._metrics.incr("tiles_checkpointed")
+            rows.append(row)
+        result = {
+            "kind": "sweep",
+            "workload": job.payload.get("workload"),
+            "points": rows,
+            "summary": batch_records_summary(rows),
+            "resumed_tiles": len(tiles),
+        }
+        checkpoint.discard()
+        return result
+
+    @staticmethod
+    def _sweep_requests(payload: dict[str, Any]) -> list[dict[str, Any]]:
+        """Expand a sweep payload into per-point request records.
+
+        ``{"workload": W, "datasets": [...]}`` — every listed dataset
+        (default: all of the workload's) becomes one tile, carrying any
+        shared optional fields (``iterations``, ``arch``, ``pcie_gen``,
+        ``batched_transfers``, ``cpu_ms``) through unchanged.
+        """
+        from repro.workloads.registry import get_workload
+
+        name = payload.get("workload")
+        if not isinstance(name, str) or not name:
+            raise BadRequestError(
+                "sweep payload needs a 'workload' name",
+                field="workload",
+                hint="`python -m repro list` shows the registry",
+            )
+        try:
+            workload = get_workload(name)
+        except (KeyError, ValueError) as exc:
+            raise BadRequestError(
+                str(exc.args[0] if exc.args else exc),
+                field="workload",
+                hint="`python -m repro list` shows the registry",
+            ) from exc
+        labels = payload.get("datasets")
+        if labels is None:
+            labels = [d.label for d in workload.datasets()]
+        if not isinstance(labels, list) or not labels:
+            raise BadRequestError(
+                "'datasets' must be a non-empty list of labels",
+                field="datasets",
+                hint="omit it to sweep every dataset",
+            )
+        shared = {
+            key: payload[key]
+            for key in (
+                "iterations",
+                "arch",
+                "pcie_gen",
+                "batched_transfers",
+                "cpu_ms",
+            )
+            if key in payload
+        }
+        return [
+            {
+                "id": f"{workload.name}/{label}",
+                "workload": workload.name,
+                "dataset": str(label),
+                **shared,
+            }
+            for label in labels
+        ]
+
+
+class _Cancelled(Exception):
+    """Internal: the job observed its cancel event mid-run."""

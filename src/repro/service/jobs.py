@@ -20,7 +20,17 @@ element count).
 
 Every request is isolated: a malformed line, an unknown workload, an
 unparsable skeleton, or a timeout produces an *error record* in the
-output — never an aborted batch.  Results are written in input order.
+output — never an aborted batch.  Parse failures carry a structured
+``{error, field, hint}`` form (see :class:`BadRequestError`) that the
+CLI prints on stderr and the daemon returns as HTTP 400 bodies, so
+every surface reports the same diagnosis.  Results are written in input
+order.
+
+The parsing/projection halves are exposed separately
+(:func:`parse_jsonl` / :func:`parse_objects` and
+:func:`project_parsed`) so the long-running daemon
+(:mod:`repro.daemon`) can serve the exact record shapes this module
+writes without going through a file.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.datausage.hints import AnalysisHints, SparseExtentHint
 from repro.gpu.arch import (
@@ -39,6 +49,7 @@ from repro.gpu.arch import (
     quadro_fx_5600,
     tesla_c1060,
 )
+from repro.obs.metrics import nearest_rank
 from repro.pcie.presets import bus_for_generation
 from repro.service.engine import (
     ProjectionEngine,
@@ -58,7 +69,42 @@ _SOURCE_FIELDS = ("workload", "skeleton_file", "skeleton")
 
 
 class BadRequestError(ValueError):
-    """A single malformed batch record (isolated, never fatal)."""
+    """A single malformed batch record (isolated, never fatal).
+
+    Carries the offending ``field`` (when one is identifiable) and a
+    remediation ``hint`` alongside the message; :meth:`to_dict` is the
+    shared ``{error, field, hint}`` JSON form that batch error records,
+    CLI stderr, and daemon 400 responses all print.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: str | None = None,
+        hint: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.field = field
+        self.hint = hint
+
+    def to_dict(self) -> dict[str, str]:
+        """The structured ``{error, field, hint}`` form (Nones omitted)."""
+        record = {"error": str(self)}
+        if self.field is not None:
+            record["field"] = self.field
+        if self.hint is not None:
+            record["hint"] = self.hint
+        return record
+
+
+@dataclass(frozen=True)
+class ParsedRecord:
+    """One request record after parsing: a request or its diagnosis."""
+
+    request_id: str
+    request: ProjectionRequest | None = None
+    error: BadRequestError | None = None
 
 
 @dataclass(frozen=True)
@@ -69,12 +115,64 @@ class BatchRecord:
     ok: bool
     response: ProjectionResponse | None = None
     error: str = ""
+    field: str | None = None
+    hint: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         if self.ok:
             assert self.response is not None
             return self.response.to_dict()
-        return {"id": self.request_id, "ok": False, "error": self.error}
+        record: dict[str, Any] = {
+            "id": self.request_id,
+            "ok": False,
+            "error": self.error,
+        }
+        if self.field is not None:
+            record["field"] = self.field
+        if self.hint is not None:
+            record["hint"] = self.hint
+        return record
+
+    @classmethod
+    def from_bad_request(
+        cls, request_id: str, exc: BadRequestError
+    ) -> "BatchRecord":
+        return cls(
+            request_id,
+            False,
+            error=str(exc),
+            field=exc.field,
+            hint=exc.hint,
+        )
+
+
+def summary_lines(
+    total: int,
+    ok: int,
+    errors: int,
+    hits: int,
+    p95_seconds: float | None,
+    elapsed: float | None = None,
+) -> list[str]:
+    """The shared batch/daemon summary block (counts + cache + p95).
+
+    ``python -m repro batch`` and ``python -m repro daemon status``
+    print exactly these lines, so operators read one format everywhere.
+    """
+    line = f"  ok {ok}, errors {errors}, cache hits {hits}/{total}"
+    if ok:
+        line += f" ({hits / ok:.1%} hit rate)"
+    lines = [line]
+    timing = ""
+    if elapsed is not None:
+        timing = f"  wall time {elapsed:.3f}s"
+    if p95_seconds is not None:
+        timing += ("," if timing else " ") + (
+            f" p95 per-request {p95_seconds * 1e3:.2f} ms"
+        )
+    if timing:
+        lines.append(timing)
+    return lines
 
 
 @dataclass(frozen=True)
@@ -100,13 +198,27 @@ class BatchResult:
             1 for r in self.records if r.ok and r.response.cached
         )
 
+    def p95_seconds(self) -> float | None:
+        """p95 serving latency over the ok records (None without any)."""
+        seconds = [
+            r.response.seconds for r in self.records if r.ok
+        ]
+        if not seconds:
+            return None
+        return nearest_rank(seconds, 0.95)
+
     def report(self) -> str:
         """One-paragraph human summary of the run."""
         lines = [
             f"batch: {len(self.records)} request(s) -> {self.output_path}",
-            f"  ok {self.ok_count}, errors {self.error_count}, "
-            f"cache hits {self.hit_count}/{len(self.records)}",
-            f"  wall time {self.elapsed:.3f}s",
+            *summary_lines(
+                len(self.records),
+                self.ok_count,
+                self.error_count,
+                self.hit_count,
+                self.p95_seconds(),
+                self.elapsed,
+            ),
         ]
         for record in self.records:
             if not record.ok:
@@ -119,43 +231,63 @@ def parse_request(
 ) -> ProjectionRequest:
     """Turn one decoded JSONL record into a :class:`ProjectionRequest`.
 
-    Raises :class:`BadRequestError` with a one-line message on any
-    malformed field; the caller converts that into an error record.
+    Raises :class:`BadRequestError` — with the offending field and a
+    hint where identifiable — on any malformed record; the caller
+    converts that into an error record (or a daemon 400 response).
     """
     if not isinstance(data, dict):
         raise BadRequestError(
-            f"record must be a JSON object, got {type(data).__name__}"
+            f"record must be a JSON object, got {type(data).__name__}",
+            hint="write one {...} request per line",
         )
     request_id = str(data.get("id") or f"request-{index + 1}")
     sources = [f for f in _SOURCE_FIELDS if f in data]
     if len(sources) != 1:
         raise BadRequestError(
             "need exactly one of 'workload', 'skeleton_file', 'skeleton'"
-            f" (got {sources or 'none'})"
+            f" (got {sources or 'none'})",
+            hint="pick a registry workload, a skeleton file, or an "
+            "inline skeleton — not several, not none",
         )
 
     hints: AnalysisHints | None = None
+    source = sources[0]
     try:
-        if sources[0] == "workload":
+        if source == "workload":
             workload = get_workload(str(data["workload"]))
             label = data.get("dataset")
-            dataset = (
-                workload.dataset(str(label))
-                if label is not None
-                else max(workload.datasets(), key=lambda d: d.size)
-            )
+            try:
+                dataset = (
+                    workload.dataset(str(label))
+                    if label is not None
+                    else max(workload.datasets(), key=lambda d: d.size)
+                )
+            except (KeyError, ValueError) as exc:
+                raise BadRequestError(
+                    str(exc.args[0] if exc.args else exc),
+                    field="dataset",
+                    hint="`python -m repro list` shows each workload's "
+                    "datasets",
+                ) from exc
             program = workload.skeleton(dataset)
             hints = workload.hints(dataset)
-        elif sources[0] == "skeleton_file":
+        elif source == "skeleton_file":
             path = Path(str(data["skeleton_file"]))
             if not path.is_absolute():
                 path = base_dir / path
             program = parse_skeleton_file(str(path))
         else:
             program = parse_skeleton(str(data["skeleton"]))
+    except BadRequestError:
+        raise
     except (KeyError, OSError, ValueError) as exc:
         message = exc.args[0] if exc.args else exc
-        raise BadRequestError(str(message)) from exc
+        hint = None
+        if source == "workload":
+            hint = "`python -m repro list` shows the registry"
+        raise BadRequestError(
+            str(message), field=source, hint=hint
+        ) from exc
 
     extra_temporaries = data.get("temporaries", ())
     sparse_extents = data.get("sparse_extents", {})
@@ -172,14 +304,21 @@ def parse_request(
                 ),
             )
         except (TypeError, ValueError) as exc:
-            raise BadRequestError(f"bad hints: {exc}") from exc
+            raise BadRequestError(
+                f"bad hints: {exc}",
+                field="sparse_extents" if sparse_extents else "temporaries",
+                hint="sparse_extents maps array name -> element count; "
+                "temporaries is a list of array names",
+            ) from exc
 
     arch = None
     if "arch" in data:
         name = str(data["arch"]).lower()
         if name not in _ARCHS:
             raise BadRequestError(
-                f"unknown arch {data['arch']!r}; know {sorted(_ARCHS)}"
+                f"unknown arch {data['arch']!r}; know {sorted(_ARCHS)}",
+                field="arch",
+                hint=f"one of {', '.join(sorted(_ARCHS))}",
             )
         arch = _ARCHS[name]()
     bus = None
@@ -187,7 +326,9 @@ def parse_request(
         try:
             bus = bus_for_generation(int(data["pcie_gen"]))
         except (TypeError, ValueError) as exc:
-            raise BadRequestError(str(exc)) from exc
+            raise BadRequestError(
+                str(exc), field="pcie_gen", hint="1, 2, or 3"
+            ) from exc
 
     try:
         iterations = int(data.get("iterations", 1))
@@ -204,7 +345,138 @@ def parse_request(
             request_id=request_id,
         )
     except (TypeError, ValueError) as exc:
-        raise BadRequestError(str(exc)) from exc
+        message = str(exc.args[0] if exc.args else exc)
+        field = "cpu_ms" if "cpu_seconds" in message else "iterations"
+        raise BadRequestError(
+            message,
+            field=field,
+            hint="iterations is a positive integer; cpu_ms a positive "
+            "number of milliseconds",
+        ) from exc
+
+
+def parse_objects(
+    objects: Iterable[Any], base_dir: Path
+) -> list[ParsedRecord]:
+    """Parse decoded request objects; failures become diagnoses."""
+    parsed: list[ParsedRecord] = []
+    for index, data in enumerate(objects):
+        try:
+            request = parse_request(data, index, base_dir)
+        except BadRequestError as exc:
+            request_id = (
+                str(data.get("id") or f"request-{index + 1}")
+                if isinstance(data, dict)
+                else f"request-{index + 1}"
+            )
+            parsed.append(ParsedRecord(request_id, error=exc))
+            continue
+        parsed.append(ParsedRecord(request.request_id, request=request))
+    return parsed
+
+
+def parse_jsonl(
+    lines: Iterable[str], base_dir: Path
+) -> list[ParsedRecord]:
+    """Decode + parse JSONL request lines (blank lines skipped)."""
+    parsed: list[ParsedRecord] = []
+    index = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            parsed.append(
+                ParsedRecord(
+                    f"request-{index + 1}",
+                    error=BadRequestError(
+                        f"bad JSON: {exc}",
+                        hint="each line must be one JSON object",
+                    ),
+                )
+            )
+            index += 1
+            continue
+        try:
+            request = parse_request(data, index, base_dir)
+        except BadRequestError as exc:
+            request_id = (
+                str(data.get("id") or f"request-{index + 1}")
+                if isinstance(data, dict)
+                else f"request-{index + 1}"
+            )
+            parsed.append(ParsedRecord(request_id, error=exc))
+        else:
+            parsed.append(
+                ParsedRecord(request.request_id, request=request)
+            )
+        index += 1
+    return parsed
+
+
+def project_parsed(
+    parsed: Sequence[ParsedRecord],
+    engine: ProjectionEngine,
+    max_workers: int = 1,
+    timeout: float | None = None,
+    should_stop: Callable[[], bool] | None = None,
+) -> tuple[BatchRecord, ...]:
+    """Project parsed records with bounded concurrency, in input order.
+
+    Parse diagnoses pass straight through as error records; projection
+    failures and timeouts are isolated per record.  ``should_stop`` is
+    polled before each *submission* — when it turns true the remaining
+    records become ``cancelled`` error records (the daemon's
+    cooperative job cancellation; a one-shot batch never passes it).
+    """
+    records: list[BatchRecord | None] = [None] * len(parsed)
+    pending: list[tuple[int, Future[ProjectionResponse]]] = []
+    pool = ThreadPoolExecutor(max_workers=max(1, max_workers))
+    try:
+        for slot, item in enumerate(parsed):
+            if item.error is not None:
+                records[slot] = BatchRecord.from_bad_request(
+                    item.request_id, item.error
+                )
+            elif should_stop is not None and should_stop():
+                records[slot] = BatchRecord(
+                    item.request_id, False, error="cancelled"
+                )
+            else:
+                pending.append(
+                    (slot, pool.submit(engine.project, item.request, 1))
+                )
+        for slot, future in pending:
+            request_id = parsed[slot].request_id
+            try:
+                response = future.result(timeout=timeout)
+                records[slot] = BatchRecord(
+                    request_id, True, response=response
+                )
+            except TimeoutError:
+                future.cancel()
+                records[slot] = BatchRecord(
+                    request_id,
+                    False,
+                    error=f"timed out after {timeout:g}s",
+                )
+                engine.metrics.incr("timeouts")
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                message = str(exc.args[0] if exc.args else exc)
+                records[slot] = BatchRecord(
+                    request_id,
+                    False,
+                    error=message.splitlines()[0] if message else repr(exc),
+                )
+                engine.metrics.incr("errors")
+    finally:
+        # Don't block the batch on a worker that outlived its timeout —
+        # its thread finishes in the background, the record already says
+        # "timed out".
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    return tuple(r for r in records if r is not None)
 
 
 def run_batch(
@@ -233,74 +505,16 @@ def run_batch(
     with open(requests_path, encoding="utf-8") as fh:
         lines = fh.readlines()
 
-    # Parse every record first; parse failures become error records.
-    parsed: list[tuple[str, ProjectionRequest | None, str]] = []
-    for index, line in enumerate(line for line in lines if line.strip()):
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError as exc:
-            parsed.append((f"request-{index + 1}", None, f"bad JSON: {exc}"))
-            continue
-        try:
-            request = parse_request(data, index, requests_path.parent)
-        except BadRequestError as exc:
-            request_id = (
-                str(data.get("id") or f"request-{index + 1}")
-                if isinstance(data, dict)
-                else f"request-{index + 1}"
-            )
-            parsed.append((request_id, None, str(exc)))
-            continue
-        parsed.append((request.request_id, request, ""))
-
-    # Project the valid ones with bounded concurrency; isolate failures.
-    records: list[BatchRecord | None] = [None] * len(parsed)
-    pending: list[tuple[int, Future[ProjectionResponse]]] = []
-    pool = ThreadPoolExecutor(max_workers=max(1, max_workers))
-    try:
-        for slot, (request_id, request, error) in enumerate(parsed):
-            if request is None:
-                records[slot] = BatchRecord(request_id, False, error=error)
-            else:
-                pending.append(
-                    (slot, pool.submit(engine.project, request, 1))
-                )
-        for slot, future in pending:
-            request_id = parsed[slot][0]
-            try:
-                response = future.result(timeout=timeout)
-                records[slot] = BatchRecord(
-                    request_id, True, response=response
-                )
-            except TimeoutError:
-                future.cancel()
-                records[slot] = BatchRecord(
-                    request_id,
-                    False,
-                    error=f"timed out after {timeout:g}s",
-                )
-                engine.metrics.incr("timeouts")
-            except Exception as exc:  # noqa: BLE001 - per-request isolation
-                message = str(exc.args[0] if exc.args else exc)
-                records[slot] = BatchRecord(
-                    request_id,
-                    False,
-                    error=message.splitlines()[0] if message else repr(exc),
-                )
-                engine.metrics.incr("errors")
-    finally:
-        # Don't block the batch on a worker that outlived its timeout —
-        # its thread finishes in the background, the record already says
-        # "timed out".
-        pool.shutdown(wait=False, cancel_futures=True)
-
-    done = tuple(r for r in records if r is not None)
+    parsed = parse_jsonl(lines, requests_path.parent)
+    records = project_parsed(
+        parsed, engine, max_workers=max_workers, timeout=timeout
+    )
     with open(output_path, "w", encoding="utf-8") as fh:
-        for record in done:
+        for record in records:
             fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
 
     return BatchResult(
-        records=done,
+        records=records,
         elapsed=time.perf_counter() - start,
         metrics=engine.metrics.snapshot(),
         output_path=str(output_path),

@@ -1,0 +1,61 @@
+"""The package version, resolved from packaging metadata.
+
+:func:`package_version` is what ``python -m repro --version`` (and the
+``version`` CLI verb, and the daemon's ``/v1/version`` endpoint) report,
+so clients can assert daemon/CLI compatibility.  Resolution order:
+
+1. installed distribution metadata (:mod:`importlib.metadata`) — the
+   authoritative answer for a ``pip install``-ed package;
+2. the ``pyproject.toml`` at the repository root — the source-tree case
+   (``PYTHONPATH=src`` runs, which is how the test suite and CI work);
+3. the fallback sentinel ``0.0.0+unknown`` — never an exception.
+"""
+
+from __future__ import annotations
+
+import re
+from importlib import metadata
+from pathlib import Path
+
+#: Reported when neither distribution metadata nor pyproject.toml is
+#: reachable; parseable as a version so clients can still compare.
+UNKNOWN_VERSION = "0.0.0+unknown"
+
+
+def _pyproject_version(pyproject: Path) -> str | None:
+    """``project.version`` from a pyproject.toml, or None.
+
+    Uses :mod:`tomllib` when available (3.11+); otherwise a narrow
+    regex over the ``[project]`` table keeps 3.10 working without a
+    TOML dependency.
+    """
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    try:
+        import tomllib
+    except ImportError:
+        match = re.search(
+            r"^\[project\].*?^version\s*=\s*\"([^\"]+)\"",
+            text,
+            re.MULTILINE | re.DOTALL,
+        )
+        return match.group(1) if match else None
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError:
+        return None
+    version = data.get("project", {}).get("version")
+    return str(version) if version is not None else None
+
+
+def package_version() -> str:
+    """The ``repro`` package version string (never raises)."""
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        pass
+    # src layout: src/repro/version.py -> repository root two levels up.
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    return _pyproject_version(pyproject) or UNKNOWN_VERSION

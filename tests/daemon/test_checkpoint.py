@@ -1,0 +1,53 @@
+"""Tests for sweep checkpoint/resume tile persistence."""
+
+from repro.daemon.checkpoint import SweepCheckpoint
+
+
+class TestSweepCheckpoint:
+    def test_empty_when_never_written(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path, "job1", "fp1")
+        assert cp.load() == {}
+
+    def test_round_trips_tiles(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path, "job1", "fp1")
+        cp.record(0, {"id": "a", "ok": True})
+        cp.record(2, {"id": "c", "ok": True})
+        loaded = SweepCheckpoint(tmp_path, "job1", "fp1").load()
+        assert loaded == {0: {"id": "a", "ok": True},
+                          2: {"id": "c", "ok": True}}
+
+    def test_fingerprint_mismatch_discards(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path, "job1", "fp1")
+        cp.record(0, {"id": "a"})
+        other = SweepCheckpoint(tmp_path, "job1", "DIFFERENT")
+        assert other.load() == {}
+        assert not cp.path.exists()  # stale file removed
+
+    def test_torn_tail_keeps_earlier_tiles(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path, "job1", "fp1")
+        cp.record(0, {"id": "a"})
+        cp.record(1, {"id": "b"})
+        with open(cp.path, "a", encoding="utf-8") as fh:
+            fh.write('{"tile": 2, "record": {"id"')  # crash mid-append
+        assert SweepCheckpoint(tmp_path, "job1", "fp1").load() == {
+            0: {"id": "a"},
+            1: {"id": "b"},
+        }
+
+    def test_discard_removes_file(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path, "job1", "fp1")
+        cp.record(0, {"id": "a"})
+        cp.discard()
+        assert not cp.path.exists()
+        assert cp.load() == {}
+
+    def test_garbage_header_loads_empty(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path, "job1", "fp1")
+        cp.path.write_text("not json at all\n", encoding="utf-8")
+        assert cp.load() == {}
+
+    def test_jobs_do_not_share_checkpoints(self, tmp_path):
+        a = SweepCheckpoint(tmp_path, "job-a", "fp")
+        b = SweepCheckpoint(tmp_path, "job-b", "fp")
+        a.record(0, {"id": "a"})
+        assert b.load() == {}

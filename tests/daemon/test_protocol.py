@@ -1,0 +1,130 @@
+"""Tests for the daemon's job model and submission validation."""
+
+import pytest
+
+from repro.daemon.protocol import (
+    JOB_KINDS,
+    PROTOCOL_VERSION,
+    Job,
+    error_body,
+    new_job_id,
+    payload_fingerprint,
+    validate_submission,
+)
+from repro.service.jobs import BadRequestError
+
+
+class TestJobModel:
+    def test_round_trips_through_dict(self):
+        job = Job(
+            job_id="abc123",
+            kind="batch",
+            payload={"requests": [{"workload": "VectorAdd"}]},
+            client="ci",
+            submitted=12.5,
+        )
+        clone = Job.from_dict(job.to_dict())
+        assert clone.job_id == job.job_id
+        assert clone.kind == job.kind
+        assert clone.payload == job.payload
+        assert clone.client == job.client
+        assert clone.submitted == job.submitted
+        assert clone.fingerprint == job.fingerprint
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            Job(job_id="x", kind="mystery", payload={})
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown job state"):
+            Job(job_id="x", kind="batch", payload={}, state="paused")
+
+    def test_fingerprint_is_content_addressed(self):
+        a = Job(job_id="a", kind="sweep", payload={"workload": "CFD"})
+        b = Job(job_id="b", kind="sweep", payload={"workload": "CFD"})
+        c = Job(job_id="c", kind="sweep", payload={"workload": "SRAD"})
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+        assert a.fingerprint == payload_fingerprint(
+            "sweep", {"workload": "CFD"}
+        )
+
+    def test_foreign_format_version_rejected(self):
+        record = Job(job_id="x", kind="batch", payload={}).to_dict()
+        record["format"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ValueError, match="format"):
+            Job.from_dict(record)
+
+    def test_status_dict_drops_payload_and_derives_times(self):
+        job = Job(
+            job_id="x",
+            kind="projection",
+            payload={"workload": "VectorAdd"},
+            submitted=10.0,
+        )
+        job.started = 10.5
+        job.finished = 12.0
+        status = job.status_dict()
+        assert "payload" not in status
+        assert status["queue_wait_seconds"] == pytest.approx(0.5)
+        assert status["run_seconds"] == pytest.approx(1.5)
+
+    def test_job_ids_are_unique(self):
+        ids = {new_job_id() for _ in range(256)}
+        assert len(ids) == 256
+
+
+class TestValidateSubmission:
+    def test_valid_submission(self):
+        kind, client, payload = validate_submission(
+            {"kind": "batch", "client": "ci", "payload": {"requests": []}}
+        )
+        assert kind == "batch"
+        assert client == "ci"
+        assert payload == {"requests": []}
+
+    def test_default_client_is_anonymous(self):
+        _, client, _ = validate_submission(
+            {"kind": "projection", "payload": {}}
+        )
+        assert client == "anonymous"
+
+    def test_non_object_body(self):
+        with pytest.raises(BadRequestError) as excinfo:
+            validate_submission([1, 2, 3])
+        body = excinfo.value.to_dict()
+        assert "JSON object" in body["error"]
+        assert "hint" in body
+
+    def test_unknown_kind_names_the_field(self):
+        with pytest.raises(BadRequestError) as excinfo:
+            validate_submission({"kind": "mystery", "payload": {}})
+        body = excinfo.value.to_dict()
+        assert body["field"] == "kind"
+        for kind in JOB_KINDS:
+            assert kind in body["hint"]
+
+    def test_missing_payload_names_the_field(self):
+        with pytest.raises(BadRequestError) as excinfo:
+            validate_submission({"kind": "batch"})
+        assert excinfo.value.to_dict()["field"] == "payload"
+
+
+class TestErrorBody:
+    def test_minimal(self):
+        assert error_body("boom") == {"error": "boom"}
+
+    def test_full(self):
+        body = error_body(
+            "boom", field_name="x", hint="fix it", retry_after_seconds=1.5
+        )
+        assert body == {
+            "error": "boom",
+            "field": "x",
+            "hint": "fix it",
+            "retry_after_seconds": 1.5,
+        }
+
+    def test_matches_bad_request_error_shape(self):
+        exc = BadRequestError("boom", field="x", hint="fix it")
+        assert exc.to_dict() == error_body("boom", "x", "fix it")

@@ -1,0 +1,77 @@
+"""Tests for the token-bucket rate limiter (hand-driven clock)."""
+
+import pytest
+
+from repro.daemon.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        assert bucket.try_acquire() == 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_retry_after_scales_with_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1, clock=clock)
+        bucket.try_acquire()
+        assert bucket.try_acquire() == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestRateLimiter:
+    def test_disabled_always_admits(self):
+        limiter = RateLimiter(None)
+        assert not limiter.enabled
+        for _ in range(1000):
+            assert limiter.check("anyone") == 0.0
+
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1.0, clock=clock)
+        assert limiter.check("alice") == 0.0
+        assert limiter.check("alice") > 0.0
+        assert limiter.check("bob") == 0.0
+
+    def test_rejection_body_is_structured(self):
+        limiter = RateLimiter(2.0, burst=5.0)
+        body = limiter.rejection("alice", 1.25)
+        assert "rate limit" in body["error"]
+        assert "alice" in body["error"]
+        assert body["field"] == "client"
+        assert body["retry_after_seconds"] == 1.25
+        assert "retry in 1.25s" in body["hint"]
