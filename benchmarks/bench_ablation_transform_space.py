@@ -9,24 +9,21 @@ from repro.core.projector import Grophecy
 from repro.gpu.arch import quadro_fx_5600
 
 from repro.transform.space import TransformationSpace
-from repro.workloads.registry import paper_workloads
 
 
-def _search_gains() -> dict[str, float]:
+def _search_gains(programs) -> dict[str, float]:
     full = Grophecy(quadro_fx_5600())
     naive = Grophecy(quadro_fx_5600(), TransformationSpace.naive())
     gains = {}
-    for workload in paper_workloads():
-        dataset = max(workload.datasets(), key=lambda d: d.size)
-        program = workload.skeleton(dataset)
+    for name, program in programs.items():
         t_full = full.project_kernels(program).seconds
         t_naive = naive.project_kernels(program).seconds
-        gains[workload.name] = t_naive / t_full
+        gains[name] = t_naive / t_full
     return gains
 
 
-def test_ablation_transformation_search(benchmark):
-    gains = benchmark(_search_gains)
+def test_ablation_transformation_search(benchmark, largest_programs):
+    gains = benchmark(_search_gains, largest_programs)
     for name, gain in gains.items():
         assert gain >= 1.0, name  # search can never lose
     # At least one workload must benefit substantially from the search

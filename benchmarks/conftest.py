@@ -10,10 +10,43 @@ the experiment computation itself, not one-time calibration; benchmarks
 that must include calibration construct their own context.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.harness.context import ExperimentContext
-from repro.workloads.registry import paper_workloads
+from repro.transform.space import TransformationSpace
+from repro.workloads.registry import all_workloads, paper_workloads
+
+#: Machine-readable throughput results (configs/s per scoring path);
+#: written incrementally by the explorer/streaming benchmarks and
+#: uploaded as a CI artifact by the ``throughput`` job.
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_explorer.json"
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_explorer.json``.
+
+    Read-merge-write keeps results from separate pytest invocations
+    (explorer vs streaming benches in the same CI job) in one file.
+    """
+    data = {}
+    if BENCH_JSON.is_file():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """The :func:`record_bench` writer, injected as a fixture."""
+    return record_bench
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +63,36 @@ def ctx() -> ExperimentContext:
 def fresh_ctx() -> ExperimentContext:
     """An uncached context, for benchmarks that time the full pipeline."""
     return ExperimentContext(seed=2013)
+
+
+@pytest.fixture(scope="session")
+def wide_space() -> TransformationSpace:
+    """The 144-config search grid the throughput benchmarks sweep."""
+    return TransformationSpace.wide()
+
+
+@pytest.fixture(scope="session")
+def kernel_suite():
+    """(workload name, kernel, program) across every registered workload.
+
+    Largest dataset per workload, first two kernels per program (caps
+    PathFinder's 64 rows) — the shared workload mix of the explorer and
+    streaming throughput benchmarks.
+    """
+    suite = []
+    for workload in all_workloads():
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        program = workload.skeleton(dataset)
+        for kernel in program.kernels[:2]:
+            suite.append((workload.name, kernel, program))
+    return suite
+
+
+@pytest.fixture(scope="session")
+def largest_programs():
+    """workload name -> skeleton of its largest dataset (paper set)."""
+    programs = {}
+    for workload in paper_workloads():
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        programs[workload.name] = workload.skeleton(dataset)
+    return programs

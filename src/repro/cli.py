@@ -123,6 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="force the scalar reference explorer instead of the fast "
         "path (identical results; see docs/EXPLORER.md)",
     )
+    p.add_argument(
+        "--stream-explorer", action="store_true",
+        help="use the fused streaming explorer (argmin-only scoring; "
+        "same best mappings, see docs/EXPLORER.md)",
+    )
 
     p = sub.add_parser(
         "project-file",
@@ -138,6 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--reference-explorer", action="store_true",
         help="force the scalar reference explorer instead of the fast path",
+    )
+    p.add_argument(
+        "--stream-explorer", action="store_true",
+        help="use the fused streaming explorer (argmin-only scoring)",
     )
 
     p = sub.add_parser("advise", help="pinned vs pageable recommendation")
@@ -183,6 +192,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cross-check every sweep point against the per-point "
         "pipeline (raises on any mismatch)",
     )
+    p.add_argument(
+        "--argmin", action="store_true",
+        help="find only the best point of the size axis, pruning whole "
+        "tiles whose provable lower bound exceeds the incumbent",
+    )
+    p.add_argument(
+        "--tile", type=int, default=4,
+        help="points per pruning tile for --argmin (default: 4)",
+    )
 
     p = sub.add_parser(
         "batch",
@@ -214,6 +232,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--reference-explorer", action="store_true",
         help="force the scalar reference explorer instead of the fast path",
+    )
+    p.add_argument(
+        "--stream-explorer", action="store_true",
+        help="use the fused streaming explorer (argmin-only scoring)",
     )
     p.add_argument(
         "--prune", action="store_true",
@@ -400,8 +422,24 @@ def _cmd_calibrate(args, out) -> int:
     return 0
 
 
+def _explorer_choice(args) -> str:
+    """Resolve the explorer flags (mutually exclusive) to a path name."""
+    if getattr(args, "reference_explorer", False) and getattr(
+        args, "stream_explorer", False
+    ):
+        raise ValueError(
+            "--reference-explorer and --stream-explorer are "
+            "mutually exclusive"
+        )
+    if getattr(args, "reference_explorer", False):
+        return "reference"
+    if getattr(args, "stream_explorer", False):
+        return "stream"
+    return "fast"
+
+
 def _cmd_project(args, out) -> int:
-    explorer = "reference" if args.reference_explorer else "fast"
+    explorer = _explorer_choice(args)
     ctx = ExperimentContext(seed=args.seed, explorer=explorer)
     workload = get_workload(args.workload)
     dataset = _pick_dataset(workload, args.dataset)
@@ -457,7 +495,7 @@ def _cmd_project(args, out) -> int:
 def _cmd_project_file(args, out) -> int:
     from repro.skeleton.parser import parse_skeleton_file
 
-    explorer = "reference" if args.reference_explorer else "fast"
+    explorer = _explorer_choice(args)
     ctx = ExperimentContext(seed=args.seed, explorer=explorer)
     program = parse_skeleton_file(args.path)
     projection = ctx.projector.project(program)
@@ -574,6 +612,27 @@ def _cmd_sweep(args, out) -> int:
     workload = get_workload(args.workload)
     engine = ctx.sweep_engine
 
+    if args.argmin:
+        if args.axis != "size":
+            raise ValueError("--argmin only applies to --axis size")
+        datasets = list(workload.datasets())
+        result = engine.argmin_workload(workload, tile=args.tile)
+        stats = result.stats
+        out(
+            f"{workload.name}: best of {stats['points']} size point(s) "
+            f"(tile {args.tile})"
+        )
+        out(
+            f"  best: {datasets[result.index].label} -> "
+            f"{seconds_to_human(result.seconds)}"
+        )
+        out(
+            f"  pruning: {stats['points_evaluated']} point(s) evaluated, "
+            f"{stats['points_pruned']} pruned "
+            f"({stats['tiles_pruned']}/{stats['tiles']} tile(s))"
+        )
+        return 0
+
     if args.axis == "size":
         datasets = list(workload.datasets())
         projections = engine.sweep_workload(workload, check=args.check)
@@ -659,7 +718,7 @@ def _cmd_batch(args, out) -> int:
         bus=ctx.bus_model,
         cache=cache,
         max_workers=max(1, args.jobs),
-        explorer="reference" if args.reference_explorer else "fast",
+        explorer=_explorer_choice(args),
         prune=args.prune,
     )
     result = run_batch(

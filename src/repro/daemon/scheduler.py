@@ -115,6 +115,12 @@ class Scheduler:
         progress is checkpointed and requeued promptly; whatever is
         still running when the deadline passes is requeued anyway — the
         journal then replays it as interrupted on the next start.
+
+        Also releases the process-wide worker pools (the shared thread
+        pool the batch runner fans out on, and the shared-memory
+        streaming pool when one was started) via
+        :meth:`~repro.service.engine.ProjectionEngine.close` — the
+        daemon owns the process, so nothing else will want them.
         """
         self._draining.set()
         self._queue.close_intake()
@@ -130,6 +136,7 @@ class Scheduler:
         for job in self._queue.running():
             self._queue.requeue(job.job_id)
             self._metrics.incr("jobs_requeued")
+        self._engine.close()
         return clean
 
     # Workers ---------------------------------------------------------------

@@ -45,12 +45,15 @@ from repro.service.parallel import (
     explore_kernel_parallel,
     map_ordered,
     project_kernels_parallel,
+    shutdown_pool,
+    shutdown_stream_pool,
 )
 from repro.skeleton.arrays import ArrayDecl
 from repro.skeleton.kernel import KernelSkeleton
 from repro.skeleton.program import ProgramSkeleton, kernel_fingerprint
 from repro.transform.explorer import KernelProjection, ProgramProjection
 from repro.transform.space import TransformationSpace
+from repro.transform.stream import StreamingExplorer
 from repro.util.fingerprint import stable_digest
 from repro.util.validation import check_positive
 
@@ -151,11 +154,15 @@ class ProjectionEngine:
         calibrated :class:`BusModel` for real projections.
 
         ``explorer``/``prune`` select the exploration path (see
-        ``docs/EXPLORER.md``).  Neither enters the *request* cache key:
-        both paths produce the identical :class:`ProjectionSummary`
-        (same best mapping, same seconds, same ``search_width`` — pruned
-        configs still count toward the width), so cached entries stay
-        valid across path switches.
+        ``docs/EXPLORER.md``): ``fast`` (vectorized, full candidate
+        table), ``reference`` (the scalar oracle), or ``stream`` (the
+        fused argmin-only scorer).  fast/reference never enter the
+        *request* cache key: both produce the identical
+        :class:`ProjectionSummary` (same best mapping, same seconds,
+        same ``search_width`` — pruned configs still count toward the
+        width), so cached entries stay valid across those switches.
+        ``stream`` summaries carry argmin-only tables and are keyed
+        separately (see :meth:`fingerprint`).
 
         A second, finer cache sits under the request cache: exploration
         results are kept per *kernel*, keyed by kernel content + arch +
@@ -180,10 +187,10 @@ class ProjectionEngine:
                 f"kernel_cache_capacity must be >= 0, got "
                 f"{kernel_cache_capacity}"
             )
-        if explorer not in ("fast", "reference"):
+        if explorer not in ("fast", "reference", "stream"):
             raise ValueError(
-                f"unknown explorer {explorer!r}: expected 'fast' or "
-                f"'reference'"
+                f"unknown explorer {explorer!r}: expected 'fast', "
+                f"'reference', or 'stream'"
             )
         self._arch = arch or quadro_fx_5600()
         self._bus = bus or pcie_gen1_bus()
@@ -201,6 +208,10 @@ class ProjectionEngine:
         self._provenance = provenance
         self.metrics = metrics or ServiceMetrics()
         self._models: dict[str, GpuPerformanceModel] = {}
+        #: arch name -> warm streaming explorer (``explorer="stream"``);
+        #: keeps analyses, column grids, and the scratch arena hot across
+        #: requests for the same architecture.
+        self._stream_explorers: dict[str, StreamingExplorer] = {}
 
     # Defaults ------------------------------------------------------------
     @property
@@ -230,6 +241,16 @@ class ProjectionEngine:
         bus = request.bus or self._bus
         space = request.space or self._space
         hints = request.hints or AnalysisHints.none()
+        options: dict[str, Any] = {
+            "batched_transfers": request.batched_transfers
+        }
+        if self._explorer == "stream":
+            # fast/reference summaries are interchangeable (identical
+            # best mapping, seconds, and search_width), so the explorer
+            # stays out of their keys.  Stream summaries carry argmin-only
+            # tables (search_width 1) — key them separately so neither
+            # side serves the other's entries.
+            options["explorer"] = "stream"
         return stable_digest(
             {
                 "format": KEY_FORMAT,
@@ -238,7 +259,7 @@ class ProjectionEngine:
                 "arch": arch.fingerprint(),
                 "bus": bus.fingerprint(),
                 "space": space.fingerprint(),
-                "options": {"batched_transfers": request.batched_transfers},
+                "options": options,
             }
         )
 
@@ -370,7 +391,15 @@ class ProjectionEngine:
         instead.  The assembled :class:`ProgramProjection` is identical
         either way — cached entries are the very objects a fresh search
         would rebuild (dataclass-equal by the explorer's determinism).
+
+        The streaming explorer bypasses the kernel cache entirely: its
+        projections are argmin-only (no candidate table), so they are
+        not interchangeable with fast/reference entries, and the warm
+        :class:`StreamingExplorer` already caches the expensive halves
+        (analysis + column grids) itself.
         """
+        if self._explorer == "stream":
+            return self._explore_stream(program, model, space)
         cache = self._kernel_cache
         if cache is None:
             projection = project_kernels_parallel(
@@ -453,6 +482,40 @@ class ProjectionEngine:
             program=program.name,
             kernels=tuple(found[i] for i in range(len(keys))),
         )
+
+    def _explore_stream(
+        self,
+        program: ProgramSkeleton,
+        model: GpuPerformanceModel,
+        space: TransformationSpace,
+    ) -> ProgramProjection:
+        """One fused streaming pass per kernel, arena and caches warm."""
+        explorer = self._stream_explorers.get(model.arch.name)
+        if explorer is None or explorer.model is not model:
+            explorer = StreamingExplorer(model)
+            self._stream_explorers[model.arch.name] = explorer
+        result = explorer.project_program(program, space)
+        self.metrics.incr(
+            "candidates_explored",
+            sum(kernel.search_width for kernel in result.kernels),
+        )
+        return ProgramProjection(
+            program=program.name,
+            kernels=tuple(
+                kernel.projection() for kernel in result.kernels
+            ),
+        )
+
+    def close(self) -> None:
+        """Release the process-wide worker pools.
+
+        Shuts down the shared thread pool and the shared-memory
+        streaming pool (both module-level singletons, recreated lazily
+        on next use).  The daemon calls this on drain; one-shot scripts
+        can call it for a clean exit.  Idempotent.
+        """
+        shutdown_pool()
+        shutdown_stream_pool()
 
     def _compute(
         self, request: ProjectionRequest, workers: int

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError
+from concurrent.futures import Future, TimeoutError
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
@@ -56,6 +56,7 @@ from repro.service.engine import (
     ProjectionRequest,
     ProjectionResponse,
 )
+from repro.service.parallel import shared_pool
 from repro.skeleton.parser import parse_skeleton, parse_skeleton_file
 from repro.workloads.registry import get_workload
 
@@ -429,10 +430,25 @@ def project_parsed(
     polled before each *submission* — when it turns true the remaining
     records become ``cancelled`` error records (the daemon's
     cooperative job cancellation; a one-shot batch never passes it).
+
+    Work fans out through the module-level shared pool
+    (:func:`repro.service.parallel.shared_pool`), so successive batches
+    — and the daemon scheduler between them — reuse one warm executor
+    instead of paying pool construction per call.  With no pool
+    available (or ``max_workers <= 1``) requests run serially inline.
     """
     records: list[BatchRecord | None] = [None] * len(parsed)
     pending: list[tuple[int, Future[ProjectionResponse]]] = []
-    pool = ThreadPoolExecutor(max_workers=max(1, max_workers))
+    pool = shared_pool(max(1, max_workers)) if max_workers > 1 else None
+
+    def _serial(request: ProjectionRequest) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(engine.project(request, 1))
+        except BaseException as exc:  # noqa: BLE001 - isolated per record
+            future.set_exception(exc)
+        return future
+
     try:
         for slot, item in enumerate(parsed):
             if item.error is not None:
@@ -443,10 +459,15 @@ def project_parsed(
                 records[slot] = BatchRecord(
                     item.request_id, False, error="cancelled"
                 )
+            elif pool is None:
+                pending.append((slot, _serial(item.request)))
             else:
-                pending.append(
-                    (slot, pool.submit(engine.project, item.request, 1))
-                )
+                try:
+                    future = pool.submit(engine.project, item.request, 1)
+                except RuntimeError:  # raced an explicit shutdown_pool()
+                    pool = None
+                    future = _serial(item.request)
+                pending.append((slot, future))
         for slot, future in pending:
             request_id = parsed[slot].request_id
             try:
@@ -471,10 +492,13 @@ def project_parsed(
                 )
                 engine.metrics.incr("errors")
     finally:
-        # Don't block the batch on a worker that outlived its timeout —
-        # its thread finishes in the background, the record already says
-        # "timed out".
-        pool.shutdown(wait=False, cancel_futures=True)
+        # The pool is shared and stays up; just make sure nothing this
+        # batch queued keeps running after we've already written its
+        # record (a worker that outlived its timeout finishes in the
+        # background — the record already says "timed out").
+        for _slot, future in pending:
+            if not future.done():
+                future.cancel()
 
     return tuple(r for r in records if r is not None)
 

@@ -1,4 +1,4 @@
-"""Deterministic fan-out of projection work across a worker pool.
+"""Deterministic fan-out of projection work across persistent pools.
 
 Two axes of parallelism, both embarrassingly parallel and both merged in
 a fixed order so parallel and serial execution produce *identical*
@@ -11,18 +11,38 @@ results:
   grid order, so the best-candidate tie-breaking (first minimum wins)
   matches the serial explorer exactly.
 
-The pool is a ``concurrent.futures.ThreadPoolExecutor``; the exploration
-is pure computation over immutable dataclasses, so threads are safe, and
+Two persistent pools live here, both created lazily and reused across
+calls instead of being rebuilt per request:
+
+- a module-level ``ThreadPoolExecutor`` behind :func:`map_ordered` and
+  :func:`submit_shared` — the daemon scheduler, the batch runner, and
+  the parallel explorer all share it (the exploration is pure
+  computation over immutable dataclasses, so threads are safe);
+- a fork-based **streaming worker pool** (:class:`StreamWorkerPool`)
+  whose workers attach ``multiprocessing.shared_memory`` column blocks
+  once and score chunks zero-copy, returning only ``(argmin, seconds,
+  legal)`` triples — no candidate grids ever cross the pipe.
+
 ``max_workers <= 1`` (or a pool that cannot be created) falls back to a
-plain serial loop.
+plain serial loop; :func:`shutdown_pool` / :func:`shutdown_stream_pool`
+release everything explicitly (the daemon calls them on drain).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+import numpy as np
+
 from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.vectorized import (
+    COLUMN_FIELDS,
+    ScoreArena,
+    fused_argmin,
+)
 from repro.obs.trace import span as trace_span
 from repro.skeleton.kernel import KernelSkeleton
 from repro.skeleton.program import ProgramSkeleton
@@ -32,12 +52,75 @@ from repro.transform.explorer import (
     KernelProjection,
     ProgramProjection,
     explore_configs,
+    no_legal_mapping,
 )
 from repro.transform.fastpath import explore_configs_fast
 from repro.transform.space import MappingConfig, TransformationSpace
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+# --------------------------------------------------------------------- #
+# Shared thread pool
+# --------------------------------------------------------------------- #
+_POOL: ThreadPoolExecutor | None = None
+_POOL_WORKERS = 0
+_POOL_LOCK = threading.Lock()
+
+
+def shared_pool(max_workers: int) -> ThreadPoolExecutor | None:
+    """The module-level reusable thread pool, grown to ``max_workers``.
+
+    Created on first use and reused by every subsequent caller — the
+    daemon scheduler, ``run_batch``, and the chunk-parallel explorer all
+    draw from the same warm pool instead of paying executor construction
+    (thread spawn + queue setup) per call.  When a caller asks for more
+    workers than the pool has, a larger pool replaces it; the old one
+    finishes its queued work in the background (``shutdown(wait=False)``
+    cancels nothing).  Returns ``None`` when the pool cannot be created
+    (thread-limited environment) — callers fall back to serial.
+    """
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_WORKERS >= max_workers:
+            return _POOL
+        try:
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="repro-shared",
+            )
+        except (OSError, RuntimeError):
+            return _POOL
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+        _POOL = pool
+        _POOL_WORKERS = max_workers
+        return pool
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Release the shared thread pool (recreated lazily on next use)."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+def submit_shared(fn: Callable[..., R], *args, **kwargs) -> Future:
+    """Submit one task to the shared pool (serial Future if pool-less)."""
+    pool = shared_pool(max(2, _POOL_WORKERS))
+    if pool is not None:
+        try:
+            return pool.submit(fn, *args, **kwargs)
+        except RuntimeError:
+            pass  # pool raced a shutdown; run inline below
+    future: Future = Future()
+    try:
+        future.set_result(fn(*args, **kwargs))
+    except BaseException as exc:  # noqa: BLE001 - mirror executor behavior
+        future.set_exception(exc)
+    return future
 
 
 def map_ordered(
@@ -49,20 +132,226 @@ def map_ordered(
 
     Results always come back in input order regardless of completion
     order.  Runs serially when ``max_workers`` is None/<=1, when there is
-    at most one item, or when the pool cannot be created (e.g. a
+    at most one item, or when the shared pool cannot be created (e.g. a
     thread-limited environment) — the serial fallback is semantically
-    identical.
+    identical.  Fan-out goes through :func:`shared_pool`, so repeated
+    calls reuse one warm executor instead of building one per call.
     """
     work = list(items)
     if max_workers is None or max_workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    try:
-        pool = ThreadPoolExecutor(max_workers=min(max_workers, len(work)))
-    except (OSError, RuntimeError):
+    pool = shared_pool(min(max_workers, len(work)))
+    if pool is None:
         return [fn(item) for item in work]
-    with pool:
+    try:
         futures = [pool.submit(fn, item) for item in work]
-        return [future.result() for future in futures]
+    except RuntimeError:  # raced an explicit shutdown_pool()
+        return [fn(item) for item in work]
+    return [future.result() for future in futures]
+
+
+# --------------------------------------------------------------------- #
+# Persistent shared-memory streaming pool
+# --------------------------------------------------------------------- #
+
+#: Worker-side caches (one per forked process): attached segments keyed
+#: by name, plus a scoring arena.  Workers attach a segment once and
+#: reuse the mapping for every chunk of every batch streamed through it.
+_WORKER_SEGMENTS: dict[str, tuple[object, dict[str, np.ndarray]]] = {}
+_WORKER_SEGMENT_CAP = 4
+_WORKER_ARENA: ScoreArena | None = None
+
+
+def _attach_segment(name: str, capacity: int) -> dict[str, np.ndarray]:
+    """Map a column block into this worker, caching the attachment."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    cached = _WORKER_SEGMENTS.get(name)
+    if cached is not None:
+        return cached[1]
+    shm = shared_memory.SharedMemory(name=name)
+    # The parent owns the segment's lifetime; without this, the worker's
+    # resource tracker would unlink it again on worker exit (the 3.11/3.12
+    # attach-registers-too behavior) and spam leak warnings.
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals
+        pass
+    views = {}
+    for position, (field, dtype) in enumerate(COLUMN_FIELDS):
+        views[field] = np.ndarray(
+            (capacity,),
+            dtype=dtype,
+            buffer=shm.buf,
+            offset=position * 8 * capacity,
+        )
+    if len(_WORKER_SEGMENTS) >= _WORKER_SEGMENT_CAP:
+        oldest = next(iter(_WORKER_SEGMENTS))
+        old_shm, old_views = _WORKER_SEGMENTS.pop(oldest)
+        old_views.clear()
+        old_shm.close()  # type: ignore[attr-defined]
+    _WORKER_SEGMENTS[name] = (shm, views)
+    return views
+
+
+def _stream_worker_score(
+    name: str,
+    capacity: int,
+    lo: int,
+    hi: int,
+    model: GpuPerformanceModel,
+) -> tuple[int, float, int]:
+    """Score rows ``[lo, hi)`` of a shared column block, zero-copy.
+
+    Runs inside a pool worker; returns the chunk's first-minimum argmin
+    (relative to ``lo``), its seconds, and the legal-row count — three
+    scalars, regardless of chunk size.
+    """
+    global _WORKER_ARENA
+    views = _attach_segment(name, capacity)
+    if _WORKER_ARENA is None:
+        _WORKER_ARENA = ScoreArena()
+    columns = {field: view[lo:hi] for field, view in views.items()}
+    return fused_argmin(model, columns, _WORKER_ARENA)
+
+
+class StreamWorkerPool:
+    """A persistent fork pool scoring shared-memory candidate columns.
+
+    The parent writes a kernel's structure-of-arrays candidate grid into
+    one shared-memory block (fields laid out back to back, each strided
+    to the block's row capacity), dispatches ``(segment, lo, hi)`` chunk
+    descriptors, and merges the workers' ``(argmin, seconds, legal)``
+    triples with the explorer's first-minimum tie-break.  Workers attach
+    each segment once and keep their arena warm, so steady-state
+    streaming moves no candidate data at all — only descriptors out and
+    three scalars back.
+
+    Construction raises ``RuntimeError`` when no ``fork`` start method is
+    available (the pool relies on cheap fork + inherited imports);
+    callers treat that as "stream serially instead".
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError("no fork start method; streaming pool unavailable")
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(processes=workers)
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._shm = None
+        self._capacity = 0
+        self._views: dict[str, np.ndarray] = {}
+
+    def _ensure_capacity(self, rows: int) -> None:
+        if self._shm is not None and rows <= self._capacity:
+            return
+        from multiprocessing import shared_memory
+
+        capacity = max(rows, self._capacity * 2, 1024)
+        segment = shared_memory.SharedMemory(
+            create=True, size=len(COLUMN_FIELDS) * 8 * capacity
+        )
+        if self._shm is not None:
+            # No chunk is in flight outside score_columns (it waits for
+            # every result), so the old block has no parent-side users;
+            # workers drop their stale attachments via their LRU cap.
+            self._views.clear()
+            self._shm.close()
+            self._shm.unlink()
+        self._shm = segment
+        self._capacity = capacity
+        self._views = {
+            field: np.ndarray(
+                (capacity,),
+                dtype=dtype,
+                buffer=segment.buf,
+                offset=position * 8 * capacity,
+            )
+            for position, (field, dtype) in enumerate(COLUMN_FIELDS)
+        }
+
+    def score_columns(
+        self,
+        model: GpuPerformanceModel,
+        columns: dict[str, np.ndarray],
+        chunk_rows: int = 16384,
+    ) -> tuple[int, float, int]:
+        """Stream one candidate grid through the pool.
+
+        Returns the global ``(argmin, seconds, legal_count)`` over all
+        rows — ``(-1, inf, 0)`` when nothing is legal.  Chunks are merged
+        in row order with strict ``<``, so ties keep the earliest row,
+        matching the serial explorer exactly.
+        """
+        rows = int(columns["block_size"].shape[0])
+        if rows == 0:
+            return -1, float("inf"), 0
+        chunk_rows = max(1, chunk_rows)
+        with self._lock:
+            self._ensure_capacity(rows)
+            for field, _dtype in COLUMN_FIELDS:
+                np.copyto(self._views[field][:rows], columns[field])
+            name = self._shm.name
+            pending = [
+                self._pool.apply_async(
+                    _stream_worker_score,
+                    (name, self._capacity, lo, min(lo + chunk_rows, rows), model),
+                )
+                for lo in range(0, rows, chunk_rows)
+            ]
+            best_index, best_seconds, legal_total = -1, float("inf"), 0
+            for task, lo in zip(pending, range(0, rows, chunk_rows)):
+                relative, seconds, legal = task.get()
+                legal_total += legal
+                if relative >= 0 and seconds < best_seconds:
+                    best_index, best_seconds = lo + relative, seconds
+            return best_index, best_seconds, legal_total
+
+    def close(self) -> None:
+        """Terminate the workers and release the shared segment."""
+        with self._lock:
+            self._pool.terminate()
+            self._pool.join()
+            if self._shm is not None:
+                self._views.clear()
+                self._shm.close()
+                self._shm.unlink()
+                self._shm = None
+            self._capacity = 0
+
+
+_STREAM_POOL: StreamWorkerPool | None = None
+_STREAM_POOL_LOCK = threading.Lock()
+
+
+def stream_pool(workers: int = 2) -> StreamWorkerPool | None:
+    """The persistent module-level streaming pool (``None`` if unavailable).
+
+    Created warm on first use and shared by every streaming explorer in
+    the process; :func:`shutdown_stream_pool` releases it.  An existing
+    pool is reused even when ``workers`` differs — worker count is a
+    startup hint, not a per-call contract.
+    """
+    global _STREAM_POOL
+    with _STREAM_POOL_LOCK:
+        if _STREAM_POOL is None:
+            try:
+                _STREAM_POOL = StreamWorkerPool(workers)
+            except (RuntimeError, OSError, ValueError):
+                return None
+        return _STREAM_POOL
+
+
+def shutdown_stream_pool() -> None:
+    """Release the streaming pool (recreated lazily on next use)."""
+    global _STREAM_POOL
+    with _STREAM_POOL_LOCK:
+        pool, _STREAM_POOL = _STREAM_POOL, None
+    if pool is not None:
+        pool.close()
 
 
 def space_chunks(
@@ -132,9 +421,8 @@ def explore_kernel_parallel(
                     kernel, program.array_map, model.arch.strict_coalescing
                 )
             except ValueError:
-                raise ValueError(
-                    f"no legal mapping for kernel {kernel.name!r} on "
-                    f"{model.arch.name} (tried {len(configs)})"
+                raise no_legal_mapping(
+                    kernel.name, model.arch.name, len(configs)
                 ) from None
             results = map_ordered(
                 lambda chunk: explore_configs_fast(
@@ -171,10 +459,7 @@ def explore_kernel_parallel(
             pruned=len(pruned),
         )
     if not candidates:
-        raise ValueError(
-            f"no legal mapping for kernel {kernel.name!r} on "
-            f"{model.arch.name} (tried {len(skipped)})"
-        )
+        raise no_legal_mapping(kernel.name, model.arch.name, len(skipped))
     best = min(candidates, key=lambda c: c.seconds)
     return KernelProjection(
         kernel=kernel.name,

@@ -32,7 +32,7 @@ from repro.datausage.hints import AnalysisHints
 from repro.datausage.transfers import TransferPlan
 from repro.gpu.arch import GPUArchitecture
 from repro.gpu.model import GpuPerformanceModel
-from repro.gpu.vectorized import score_grid
+from repro.gpu.vectorized import bound_min_grid, score_grid
 from repro.obs.trace import span as trace_span
 from repro.pcie.model import BusModel
 from repro.skeleton.program import ProgramSkeleton
@@ -91,6 +91,27 @@ def _grid_columns(grids: list[list]) -> dict[str, np.ndarray]:
         [c.block_size for c in flat], dtype=np.int64
     )
     return columns
+
+
+@dataclass(frozen=True)
+class SweepArgmin:
+    """The best point of a sweep, found without scoring every point.
+
+    ``bounds`` holds the per-point provable lower bounds that drove the
+    tile pruning (``None`` when the sharing certificate failed and every
+    point was evaluated); ``evaluated`` lists the point indices that were
+    fully projected — every other point was skipped because its whole
+    tile's bound exceeded the incumbent.
+    """
+
+    #: Position of the winning point in the sweep's point order.
+    index: int
+    projection: Projection
+    #: ``projection.total_seconds(1)`` — the quantity minimized.
+    seconds: float
+    bounds: tuple[float, ...] | None
+    evaluated: tuple[int, ...]
+    stats: dict[str, int]
 
 
 @dataclass(frozen=True)
@@ -251,6 +272,194 @@ class SweepEngine:
                     f"the per-point pipeline"
                 )
         return projections
+
+    # Tile-pruned argmin ----------------------------------------------------
+    def argmin_workload(
+        self,
+        workload: Workload,
+        datasets: Sequence[Dataset] | None = None,
+        tile: int = 4,
+    ) -> SweepArgmin:
+        """:meth:`argmin` over a workload's datasets (in dataset order)."""
+        points = list(datasets) if datasets is not None else list(
+            workload.datasets()
+        )
+        return self.argmin(
+            [workload.skeleton(d) for d in points],
+            hints=[workload.hints(d) for d in points],
+            sizes=[d.size for d in points],
+            tile=tile,
+        )
+
+    def argmin(
+        self,
+        programs: Sequence[ProgramSkeleton],
+        hints: Sequence[AnalysisHints | None] | None = None,
+        sizes: Sequence[int] | None = None,
+        tile: int = 4,
+    ) -> SweepArgmin:
+        """The sweep point with the smallest ``total_seconds(1)``,
+        pruning whole tiles the bounds prove cannot win.
+
+        The sweep grid is cut into contiguous tiles of ``tile`` points.
+        Each point gets a provable lower bound: the per-kernel floor from
+        :func:`~repro.gpu.vectorized.bound_min_grid` (min over legal
+        configs of the branch-and-bound floor — below any mapping's true
+        time) plus the point's *exact* transfer seconds (anchors run the
+        exact analyzer; other points instantiate the Fraction-affine
+        :class:`~repro.sweep.structure.PlanTemplate`, which equals the
+        exact plan wherever it certifies).  The tile with the smallest
+        bound is evaluated first to seed the incumbent; a tile whose
+        bound strictly exceeds the incumbent is skipped whole — every
+        point in it has ``true >= bound > incumbent >= global min``, so
+        it can neither win nor tie, and the returned argmin (first
+        minimum in point order) is identical to evaluating every point.
+
+        Same contract as :meth:`sweep` otherwise: every evaluated point's
+        projection equals the per-point pipeline's, and a point with no
+        legal mapping raises.  When the sharing certificate fails, every
+        tile is evaluated (graceful degradation, never a wrong answer).
+        """
+        programs = list(programs)
+        if not programs:
+            raise ValueError("argmin needs at least one sweep point")
+        if tile < 1:
+            raise ValueError(f"tile must be >= 1, got {tile}")
+        hints_list = (
+            list(hints) if hints is not None else [None] * len(programs)
+        )
+        if len(hints_list) != len(programs):
+            raise ValueError(
+                f"hints do not match programs: {len(hints_list)} vs "
+                f"{len(programs)}"
+            )
+        if sizes is not None and len(sizes) != len(programs):
+            raise ValueError(
+                f"sizes do not match programs: {len(sizes)} vs "
+                f"{len(programs)}"
+            )
+        count = len(programs)
+        with trace_span(
+            "sweep-argmin", category="sweep", points=count, tile=tile
+        ) as root:
+            bounds = self._point_bounds(programs, hints_list, sizes)
+            tiles = [
+                (lo, min(lo + tile, count)) for lo in range(0, count, tile)
+            ]
+            if bounds is None:
+                order = list(range(len(tiles)))
+                tile_bounds = None
+            else:
+                tile_bounds = [
+                    min(bounds[lo:hi]) for lo, hi in tiles
+                ]
+                seed = tile_bounds.index(min(tile_bounds))
+                order = [seed] + [
+                    t for t in range(len(tiles)) if t != seed
+                ]
+
+            best_index = -1
+            best_seconds = float("inf")
+            best_projection: Projection | None = None
+            evaluated: list[int] = []
+            pruned_tiles = 0
+            for t in order:
+                lo, hi = tiles[t]
+                if tile_bounds is not None and tile_bounds[t] > best_seconds:
+                    pruned_tiles += 1
+                    continue
+                projections = self.sweep(
+                    programs[lo:hi],
+                    hints_list[lo:hi],
+                    sizes[lo:hi] if sizes is not None else None,
+                )
+                for offset, projection in enumerate(projections):
+                    index = lo + offset
+                    evaluated.append(index)
+                    seconds = projection.total_seconds(1)
+                    # Strict < with (seconds, index) ordering: the first
+                    # minimum in point order wins, exactly as a full
+                    # sweep's min() would pick it.
+                    if seconds < best_seconds or (
+                        seconds == best_seconds and index < best_index
+                    ):
+                        best_index = index
+                        best_seconds = seconds
+                        best_projection = projection
+            assert best_projection is not None  # count >= 1 and tiles cover
+            evaluated.sort()
+            stats = {
+                "points": count,
+                "tiles": len(tiles),
+                "tiles_pruned": pruned_tiles,
+                "points_evaluated": len(evaluated),
+                "points_pruned": count - len(evaluated),
+                "bounded": int(bounds is not None),
+            }
+            self.stats = stats
+            root.set(**stats)
+        return SweepArgmin(
+            index=best_index,
+            projection=best_projection,
+            seconds=best_seconds,
+            bounds=tuple(bounds) if bounds is not None else None,
+            evaluated=tuple(evaluated),
+            stats=stats,
+        )
+
+    def _point_bounds(
+        self,
+        programs: list[ProgramSkeleton],
+        hints_list: list[AnalysisHints | None],
+        sizes: Sequence[int] | None,
+    ) -> list[float] | None:
+        """Provable per-point lower bounds on ``total_seconds(1)``.
+
+        ``None`` when the kernel-sharing certificate fails (no cheap
+        bound exists without per-point analysis — the caller then
+        evaluates every tile).
+        """
+        anchors = self._anchor_indices(len(programs), sizes)
+        shared = shared_kernel_analyses(
+            programs, self._model.arch.strict_coalescing, anchors
+        )
+        if shared is None:
+            return None
+        configs = list(self._space.configs())
+        count = len(programs)
+        kernel_floor = [0.0] * count
+        for analysis, point_iterations in shared:
+            # One stacked bound pass per kernel: each point's columns are
+            # concatenated and reduced segment-wise.
+            per_point = [
+                analysis.config_columns(configs, iterations)[0]
+                for iterations in point_iterations
+            ]
+            stacked = {
+                field: np.concatenate([c[field] for c in per_point])
+                for field in per_point[0]
+            }
+            segments = []
+            offset = 0
+            for point_columns in per_point:
+                rows = int(point_columns["block_size"].shape[0])
+                segments.append((offset, offset + rows))
+                offset += rows
+            for point, floor in enumerate(
+                bound_min_grid(self._model, stacked, segments)
+            ):
+                kernel_floor[point] += floor
+        plans, _template_points = self._sweep_plans(
+            programs, hints_list, sizes, anchors
+        )
+        bounds = []
+        for index, program in enumerate(programs):
+            plan = plans[index]
+            if plan is None:
+                plan = self._exact_plan(program, hints_list[index])
+            transfer = sum(self._bus.predict_plan_by_transfer(plan))
+            bounds.append(kernel_floor[index] + transfer)
+        return bounds
 
     def sweep_buses(
         self, plan: TransferPlan, buses: Sequence[BusModel]

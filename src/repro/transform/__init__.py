@@ -26,6 +26,12 @@ from repro.transform.fastpath import (
     explore_configs_fast,
     explore_kernel_fast,
 )
+from repro.transform.stream import (
+    StreamingExplorer,
+    StreamProgramResult,
+    StreamResult,
+    explore_kernel_stream,
+)
 from repro.transform.fusion import (
     FusionChoice,
     StencilShape,
@@ -48,6 +54,10 @@ __all__ = [
     "explore_configs_fast",
     "explore_kernel",
     "explore_kernel_fast",
+    "StreamingExplorer",
+    "StreamProgramResult",
+    "StreamResult",
+    "explore_kernel_stream",
     "project_program",
     "FusionChoice",
     "StencilShape",

@@ -36,6 +36,8 @@ import math
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.gpu.characteristics import KernelCharacteristics
 from repro.skeleton.arrays import ArrayDecl, ArrayKind
 from repro.skeleton.kernel import KernelSkeleton
@@ -489,6 +491,102 @@ class KernelAnalysis:
         fields["threads"] = threads
         fields["block_size"] = block_size
         return chars
+
+    def config_columns(
+        self,
+        configs: Sequence[MappingConfig],
+        parallel_iterations: int | None = None,
+    ) -> tuple[dict[str, np.ndarray], np.ndarray, dict[int, str]]:
+        """The candidate grid as structure-of-arrays columns, no objects.
+
+        Returns ``(columns, index_map, errors)``: one NumPy array per
+        :class:`KernelCharacteristics` field (the
+        :data:`repro.gpu.vectorized.COLUMN_FIELDS` layout), the original
+        config index of each row (synthesis failures are dropped from the
+        rows but keep their position in ``errors``), and the per-config
+        synthesis error messages.  Row order is grid order, so an argmin
+        over the columns obeys the explorer's first-minimum tie-break.
+
+        This is the streaming scorer's input: values are bitwise-equal to
+        the per-config :meth:`characteristics` fields — the tails are the
+        same cached tuples, and the threads/block-floor ceilings replay
+        the same scalar expressions — but nothing per-config is
+        materialized beyond one tuple row.  Skipping the dataclass
+        validation is sound: a successful :meth:`_config_tail` already
+        guarantees every ``__post_init__`` invariant (``mem_insts`` is
+        floored at 1e-9, ``comp_insts`` and ``syncs`` are sums of
+        non-negative terms, the coalesced fraction is a convex weight
+        ratio with tile factor 0.40 <= 1, registers/threads/block are
+        positive by construction).
+        """
+        iterations = (
+            self.parallel_iterations
+            if parallel_iterations is None
+            else parallel_iterations
+        )
+        tails = []
+        rows: list[int] = []
+        errors: dict[int, str] = {}
+        tail_of = self._config_tail
+        for index, config in enumerate(configs):
+            try:
+                tails.append(tail_of(config))
+            except ValueError as exc:
+                errors[index] = str(exc)
+                continue
+            rows.append(index)
+        index_map = np.asarray(rows, dtype=np.int64)
+        if not tails:
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_f = np.empty(0, dtype=np.float64)
+            columns = {
+                "block_size": empty_i,
+                "registers_per_thread": empty_i,
+                "shared_mem_per_block": empty_i,
+                "threads": empty_i,
+                "bytes_per_access": empty_i,
+                "mem_insts_per_thread": empty_f,
+                "comp_insts_per_thread": empty_f,
+                "coalesced_fraction": empty_f,
+                "syncs_per_thread": empty_f,
+            }
+            return columns, index_map, errors
+        (
+            _names,
+            block,
+            comp_insts,
+            mem_insts,
+            coalesced,
+            registers,
+            smem_bytes,
+            syncs,
+            coarse,
+        ) = zip(*tails)
+        block_arr = np.asarray(block, dtype=np.int64)
+        coarse_arr = np.asarray(coarse, dtype=np.int64)
+        count = len(tails)
+        threads_arr = np.empty(count, dtype=np.int64)
+        floor_arr = np.empty(count, dtype=np.int64)
+        # A handful of distinct coarsening factors share one scalar
+        # ceiling each — the same expression characteristics() evaluates.
+        for coarse_value in dict.fromkeys(coarse):
+            threads = max(1, math.ceil(iterations / coarse_value))
+            block_floor = 32 if threads < 32 else threads
+            mask = coarse_arr == coarse_value
+            threads_arr[mask] = threads
+            floor_arr[mask] = block_floor
+        columns = {
+            "block_size": np.minimum(block_arr, floor_arr),
+            "registers_per_thread": np.asarray(registers, dtype=np.int64),
+            "shared_mem_per_block": np.asarray(smem_bytes, dtype=np.int64),
+            "threads": threads_arr,
+            "bytes_per_access": np.full(count, self._bytes_pa, dtype=np.int64),
+            "mem_insts_per_thread": np.asarray(mem_insts, dtype=np.float64),
+            "comp_insts_per_thread": np.asarray(comp_insts, dtype=np.float64),
+            "coalesced_fraction": np.asarray(coalesced, dtype=np.float64),
+            "syncs_per_thread": np.asarray(syncs, dtype=np.float64),
+        }
+        return columns, index_map, errors
 
     def characteristics_grid(
         self,

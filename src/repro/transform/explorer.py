@@ -114,6 +114,21 @@ class ProgramProjection:
         raise KeyError(f"no projection for kernel {name!r}")
 
 
+def no_legal_mapping(
+    kernel_name: str, arch_name: str, tried: int
+) -> ValueError:
+    """The exploration-failed error, identical across every explorer path.
+
+    The reference, fast, parallel, and streaming explorers all raise this
+    exact text when a kernel has no legal mapping; centralizing it keeps
+    the paths' error contract bitwise-aligned (tests compare messages).
+    """
+    return ValueError(
+        f"no legal mapping for kernel {kernel_name!r} on "
+        f"{arch_name} (tried {tried})"
+    )
+
+
 def explore_configs(
     kernel: KernelSkeleton,
     program: ProgramSkeleton,
@@ -168,16 +183,25 @@ def explore_kernel(
     ``explorer`` selects the scoring path: ``"fast"`` (default) uses the
     precomputed-analysis + vectorized pipeline, ``"reference"`` the
     original scalar loop; both produce identical projections (see
-    ``docs/EXPLORER.md``).  ``prune=True`` additionally enables
-    bound-based pruning on the fast path — the best mapping and its time
-    are unchanged, but provably-losing candidates land in ``pruned``
-    instead of ``candidates``.
+    ``docs/EXPLORER.md``).  ``"stream"`` runs the fused argmin-only
+    scorer (:mod:`repro.transform.stream`): the returned projection
+    carries the identical best mapping/time but materializes *only* the
+    best candidate — no per-candidate table, so ``search_width`` counts
+    just the winner.  ``prune=True`` additionally enables bound-based
+    pruning on the fast path — the best mapping and its time are
+    unchanged, but provably-losing candidates land in ``pruned`` instead
+    of ``candidates``.
     """
-    if explorer not in ("fast", "reference"):
+    if explorer not in ("fast", "reference", "stream"):
         raise ValueError(
-            f"unknown explorer {explorer!r}: expected 'fast' or 'reference'"
+            f"unknown explorer {explorer!r}: expected 'fast', 'reference', "
+            f"or 'stream'"
         )
     space = space or TransformationSpace.default()
+    if explorer == "stream":
+        from repro.transform.stream import explore_kernel_stream
+
+        return explore_kernel_stream(kernel, program, model, space).projection()
     if explorer == "fast":
         from repro.transform.fastpath import explore_kernel_fast
 
@@ -190,10 +214,7 @@ def explore_kernel(
         )
         search.set(explored=len(candidates), illegal=len(skipped))
     if not candidates:
-        raise ValueError(
-            f"no legal mapping for kernel {kernel.name!r} on "
-            f"{model.arch.name} (tried {len(skipped)})"
-        )
+        raise no_legal_mapping(kernel.name, model.arch.name, len(skipped))
     best = min(candidates, key=lambda c: c.seconds)
     return KernelProjection(
         kernel=kernel.name,

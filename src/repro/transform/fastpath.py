@@ -26,7 +26,11 @@ from repro.obs.trace import span as trace_span
 from repro.skeleton.kernel import KernelSkeleton
 from repro.skeleton.program import ProgramSkeleton
 from repro.transform.analysis import KernelAnalysis, analyze_kernel
-from repro.transform.explorer import CandidateResult, KernelProjection
+from repro.transform.explorer import (
+    CandidateResult,
+    KernelProjection,
+    no_legal_mapping,
+)
 from repro.transform.space import MappingConfig, TransformationSpace
 
 
@@ -114,10 +118,7 @@ def explore_kernel_fast(
             pruned=len(pruned),
         )
     if not candidates:
-        raise ValueError(
-            f"no legal mapping for kernel {kernel.name!r} on "
-            f"{model.arch.name} (tried {len(skipped)})"
-        )
+        raise no_legal_mapping(kernel.name, model.arch.name, len(skipped))
     best = min(candidates, key=lambda c: c.seconds)
     return KernelProjection(
         kernel=kernel.name,

@@ -1,0 +1,291 @@
+"""The fused streaming explorer: argmin-only search at memory speed.
+
+Third member of the explorer family (``reference`` → ``fast`` →
+``stream``).  The fast path already synthesizes characteristics through
+a per-kernel precompute and scores them vectorized, but it still
+materializes one ``KernelCharacteristics`` + ``GpuTimingBreakdown`` +
+``CandidateResult`` per candidate — at wide()-grid scale that object
+churn *is* the runtime.  The streaming path drops it entirely:
+
+- :meth:`~repro.transform.analysis.KernelAnalysis.config_columns` turns
+  the cached per-config tails straight into structure-of-arrays columns
+  (nine arrays, zero per-config objects);
+- :func:`~repro.gpu.vectorized.fused_seconds` scores a whole chunk in
+  one arena pass — occupancy, MWP/CWP regime selection, and repetitions
+  fused over preallocated buffers, bitwise-equal to the reference model;
+- chunks stream through a reused :class:`~repro.gpu.vectorized.ScoreArena`
+  (serial) or through the persistent shared-memory worker pool
+  (:func:`repro.service.parallel.stream_pool`), which returns only
+  ``(argmin, seconds, legal)`` scalars per chunk.
+
+What comes back is the *argmin*: the best mapping, its bitwise-exact
+time, and counts.  Only the winner is materialized (one scalar
+``model.breakdown`` call), so callers that need the full candidate table
+still use the fast path; callers that need "the best mapping, now" —
+sweeps, services, autotuners — skip ~99% of the former work.
+
+Equivalence contract: same columns, same elementwise operations in the
+same order, same first-minimum tie-break (``np.argmin`` keeps the first
+occurrence; chunk merging uses strict ``<`` in row order), same
+``no legal mapping`` error text.  ``tests/transform/test_stream.py``
+pins all of it against the scalar reference via Hypothesis.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.vectorized import ScoreArena, fused_argmin
+from repro.obs.trace import span as trace_span
+from repro.skeleton.kernel import KernelSkeleton
+from repro.skeleton.program import ProgramSkeleton
+from repro.transform.analysis import KernelAnalysis, analyze_kernel
+from repro.transform.explorer import (
+    CandidateResult,
+    KernelProjection,
+    no_legal_mapping,
+)
+from repro.transform.space import MappingConfig, TransformationSpace
+
+#: Rows per fused pass.  Bounds the arena's working set (fits L2) while
+#: keeping the per-chunk NumPy dispatch overhead amortized; also the
+#: chunk granularity handed to the shared-memory pool.
+DEFAULT_CHUNK_ROWS = 16384
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """The argmin of one kernel's transformation search.
+
+    ``best`` is a fully materialized :class:`CandidateResult` — config,
+    characteristics, and scalar breakdown, bitwise-identical to the
+    reference explorer's winner.  ``explored``/``skipped`` carry the
+    same accounting the full table would (legal rows scored vs illegal +
+    synthesis failures); only the per-candidate objects are gone.
+    """
+
+    kernel: str
+    best: CandidateResult
+    #: Index of the winning config in the space's grid order.
+    index: int
+    explored: int
+    skipped: int
+    chunks: int
+
+    @property
+    def seconds(self) -> float:
+        return self.best.breakdown.seconds
+
+    @property
+    def search_width(self) -> int:
+        return self.explored + self.skipped
+
+    def projection(self) -> KernelProjection:
+        """A :class:`KernelProjection` carrying only the winner.
+
+        Drop-in for callers that read ``best``/``seconds``; the
+        candidate table holds just the materialized best (stream scoring
+        keeps no others), so ``search_width`` on the projection counts 1
+        — use :attr:`search_width` here for the true width.
+        """
+        return KernelProjection(
+            kernel=self.kernel,
+            best=self.best,
+            candidates=(self.best,),
+            skipped=(),
+            pruned=(),
+        )
+
+
+@dataclass(frozen=True)
+class StreamProgramResult:
+    """Per-kernel argmins for a whole program (one iteration)."""
+
+    program: str
+    kernels: tuple[StreamResult, ...]
+
+    @property
+    def seconds(self) -> float:
+        return sum(k.seconds for k in self.kernels)
+
+
+class StreamingExplorer:
+    """A warm, reusable fused scorer for one performance model.
+
+    Holds the scratch arena, the per-kernel analyses, and the per-kernel
+    column grids across calls, so re-exploring a kernel (the service
+    pattern: same workload, many what-ifs) costs one fused pass and one
+    argmin — no synthesis, no allocation.  ``workers > 0`` streams
+    chunks through the persistent shared-memory pool when it is
+    available (fork platforms), falling back to in-process serial
+    chunking otherwise; results are identical either way.
+
+    Thread-safe: the arena is thread-local (concurrent fused passes
+    would otherwise overwrite each other's buffers — the batch runner
+    shares one engine, and so one explorer, across its worker threads),
+    and the analysis/column caches only ever store idempotent values.
+    """
+
+    def __init__(
+        self,
+        model: GpuPerformanceModel,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        workers: int = 0,
+    ) -> None:
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.model = model
+        self.chunk_rows = chunk_rows
+        self.workers = workers
+        self._local = threading.local()
+        #: id(kernel) -> (kernel, analysis-or-error); the strong kernel
+        #: reference pins the id against reuse by a new object.
+        self._analyses: dict[int, tuple[KernelSkeleton, object]] = {}
+        #: (id(kernel), space fingerprint) -> config_columns result.
+        self._columns: dict[tuple[int, str], tuple] = {}
+
+    @property
+    def _arena(self) -> ScoreArena:
+        arena = getattr(self._local, "arena", None)
+        if arena is None:
+            arena = self._local.arena = ScoreArena()
+        return arena
+
+    # ------------------------------------------------------------------ #
+    def _analysis(
+        self, kernel: KernelSkeleton, program: ProgramSkeleton
+    ) -> KernelAnalysis | ValueError:
+        key = id(kernel)
+        cached = self._analyses.get(key)
+        if cached is not None and cached[0] is kernel:
+            return cached[1]  # type: ignore[return-value]
+        try:
+            analysis: KernelAnalysis | ValueError = analyze_kernel(
+                kernel, program.array_map, self.model.arch.strict_coalescing
+            )
+        except ValueError as exc:
+            analysis = exc
+        self._analyses[key] = (kernel, analysis)
+        return analysis
+
+    def _grid(
+        self,
+        kernel: KernelSkeleton,
+        analysis: KernelAnalysis,
+        space: TransformationSpace,
+        configs: tuple[MappingConfig, ...],
+    ) -> tuple:
+        key = (id(kernel), space.fingerprint())
+        cached = self._columns.get(key)
+        if cached is None:
+            cached = analysis.config_columns(configs)
+            self._columns[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    def explore_kernel(
+        self,
+        kernel: KernelSkeleton,
+        program: ProgramSkeleton,
+        space: TransformationSpace | None = None,
+    ) -> StreamResult:
+        """The best legal mapping of ``kernel``, streamed.
+
+        Raises the explorer-family ``no legal mapping`` ``ValueError``
+        when every config is illegal or fails synthesis (or the space is
+        empty) — same text, same ``tried`` count as the reference.
+        """
+        space = space or TransformationSpace.default()
+        configs = space.configs()
+        arch = self.model.arch
+        with trace_span(
+            "search", kernel=kernel.name, explorer="stream"
+        ) as search:
+            analysis = self._analysis(kernel, program)
+            if isinstance(analysis, ValueError):
+                raise no_legal_mapping(kernel.name, arch.name, len(configs))
+            columns, index_map, _errors = self._grid(
+                kernel, analysis, space, configs
+            )
+            rows = int(index_map.shape[0])
+            best_row, best_seconds, legal = self._argmin(columns, rows)
+            chunks = max(1, -(-rows // self.chunk_rows)) if rows else 0
+            search.set(
+                explored=legal,
+                illegal=len(configs) - legal,
+                chunks=chunks,
+            )
+        if best_row < 0:
+            raise no_legal_mapping(kernel.name, arch.name, len(configs))
+        index = int(index_map[best_row])
+        config = configs[index]
+        # Materialize the one winning candidate through the scalar
+        # oracle; its seconds are bitwise-equal to the fused pass's.
+        chars = analysis.characteristics(config)
+        breakdown = self.model.breakdown(chars)
+        return StreamResult(
+            kernel=kernel.name,
+            best=CandidateResult(config, chars, breakdown),
+            index=index,
+            explored=legal,
+            skipped=len(configs) - legal,
+            chunks=chunks,
+        )
+
+    def _argmin(
+        self, columns: dict, rows: int
+    ) -> tuple[int, float, int]:
+        """First-minimum argmin over the grid, chunked and merged."""
+        if rows == 0:
+            return -1, float("inf"), 0
+        if self.workers > 0 and rows > self.chunk_rows:
+            from repro.service.parallel import stream_pool
+
+            pool = stream_pool(self.workers)
+            if pool is not None:
+                try:
+                    return pool.score_columns(
+                        self.model, columns, self.chunk_rows
+                    )
+                except (OSError, RuntimeError, ValueError):
+                    pass  # pool died mid-flight; fall through to serial
+        best_row, best_seconds, legal_total = -1, float("inf"), 0
+        for lo in range(0, rows, self.chunk_rows):
+            hi = min(lo + self.chunk_rows, rows)
+            chunk = {field: col[lo:hi] for field, col in columns.items()}
+            relative, seconds, legal = fused_argmin(
+                self.model, chunk, self._arena
+            )
+            legal_total += legal
+            if relative >= 0 and seconds < best_seconds:
+                best_row, best_seconds = lo + relative, seconds
+        return best_row, best_seconds, legal_total
+
+    def project_program(
+        self,
+        program: ProgramSkeleton,
+        space: TransformationSpace | None = None,
+    ) -> StreamProgramResult:
+        """Per-kernel argmins for every kernel of ``program``."""
+        return StreamProgramResult(
+            program=program.name,
+            kernels=tuple(
+                self.explore_kernel(kernel, program, space)
+                for kernel in program.kernels
+            ),
+        )
+
+
+def explore_kernel_stream(
+    kernel: KernelSkeleton,
+    program: ProgramSkeleton,
+    model: GpuPerformanceModel,
+    space: TransformationSpace | None = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    workers: int = 0,
+) -> StreamResult:
+    """One-shot :meth:`StreamingExplorer.explore_kernel` (cold caches)."""
+    explorer = StreamingExplorer(model, chunk_rows=chunk_rows, workers=workers)
+    return explorer.explore_kernel(kernel, program, space)

@@ -1,5 +1,6 @@
 """Tests for the vectorized MWP/CWP batch scorer and its lower bound."""
 
+import dataclasses
 import math
 
 import numpy as np
@@ -8,7 +9,16 @@ import pytest
 from repro.gpu.arch import gtx_280, quadro_fx_5600, tesla_c1060
 from repro.gpu.characteristics import KernelCharacteristics
 from repro.gpu.model import GpuPerformanceModel
-from repro.gpu.vectorized import lower_bound_seconds, score_batch
+from repro.gpu.vectorized import (
+    ScoreArena,
+    _Batch,
+    bound_min_grid,
+    columns_from_chars,
+    fused_argmin,
+    fused_seconds,
+    lower_bound_seconds,
+    score_batch,
+)
 
 ARCHES = [quadro_fx_5600, tesla_c1060, gtx_280]
 
@@ -142,3 +152,174 @@ class TestEdgeCases:
         assert scored[0][0] == "illegal"
         assert "block size 1024" in scored[0][1]
         assert np.isnan(lower_bound_seconds(model, batch)).all()
+
+
+class TestErrorMessages:
+    """`_Batch.error_message` must reproduce the scalar raise texts."""
+
+    @pytest.mark.parametrize("arch_fn", ARCHES)
+    def test_matches_scalar_text_for_every_illegal_row(self, arch_fn):
+        model = GpuPerformanceModel(arch_fn())
+        chars_list = chars_grid()
+        batch = _Batch(model, chars_list)
+        illegal_seen = 0
+        for i, chars in enumerate(chars_list):
+            try:
+                model.breakdown(chars)
+            except ValueError as exc:
+                illegal_seen += 1
+                assert batch.error_message(i) == str(exc)
+        assert illegal_seen > 0  # the grid must actually exercise this
+
+    def test_block_error_wins_over_registers(self):
+        # Violates the block limit AND the register file; the scalar
+        # occupancy raises on the block size first.
+        model = GpuPerformanceModel(quadro_fx_5600())
+        chars = KernelCharacteristics(
+            name="both", threads=4096, block_size=1024,
+            comp_insts_per_thread=1.0, mem_insts_per_thread=1.0,
+            registers_per_thread=124,
+        )
+        batch = _Batch(model, [chars])
+        message = batch.error_message(0)
+        assert message.startswith("block size 1024")
+        with pytest.raises(ValueError, match="block size 1024"):
+            model.breakdown(chars)
+
+    def test_register_error_wins_over_shared_memory(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        chars = KernelCharacteristics(
+            name="both", threads=4096, block_size=512,
+            comp_insts_per_thread=1.0, mem_insts_per_thread=1.0,
+            registers_per_thread=124, shared_mem_per_block=1 << 20,
+        )
+        batch = _Batch(model, [chars])
+        assert "registers per block" in batch.error_message(0)
+        with pytest.raises(ValueError, match="registers per block"):
+            model.breakdown(chars)
+
+    def test_cannot_fit_reports_the_limiter(self):
+        # No stock arch can reach the fit error (each limit hitting zero
+        # implies a dedicated earlier error), so shrink the warp budget.
+        arch = dataclasses.replace(quadro_fx_5600(), max_warps_per_sm=2)
+        model = GpuPerformanceModel(arch)
+        chars = KernelCharacteristics(
+            name="wide", threads=4096, block_size=128,
+            comp_insts_per_thread=1.0, mem_insts_per_thread=1.0,
+        )
+        batch = _Batch(model, [chars])
+        message = batch.error_message(0)
+        assert message == (
+            "kernel 'wide' cannot fit one block per SM (limited by warps)"
+        )
+        with pytest.raises(ValueError) as exc:
+            model.breakdown(chars)
+        assert message == str(exc.value)
+
+
+class TestFusedScoring:
+    """The single-pass arena scorer vs the staged batch scorer."""
+
+    @pytest.mark.parametrize("arch_fn", ARCHES)
+    def test_rowwise_equal_to_score_batch(self, arch_fn):
+        model = GpuPerformanceModel(arch_fn())
+        batch = chars_grid()
+        arena = ScoreArena()
+        seconds, legal = fused_seconds(
+            model, columns_from_chars(batch), arena
+        )
+        scored = score_batch(model, batch)
+        assert legal == sum(1 for kind, _ in scored if kind == "candidate")
+        for row, (kind, payload) in zip(seconds, scored):
+            if kind == "candidate":
+                assert row == payload.seconds  # bitwise
+            else:
+                assert row == float("inf")
+
+    def test_argmin_first_minimum(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = chars_grid()
+        index, seconds, legal = fused_argmin(
+            model, columns_from_chars(batch), ScoreArena()
+        )
+        scored = score_batch(model, batch)
+        expected = min(
+            (p.seconds, i)
+            for i, (kind, p) in enumerate(scored)
+            if kind == "candidate"
+        )
+        assert (seconds, index) == expected
+        assert legal > 0
+
+    def test_empty_columns(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        assert fused_argmin(
+            model, columns_from_chars([]), ScoreArena()
+        ) == (-1, float("inf"), 0)
+
+    def test_single_candidate(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = [chars_grid()[0]]
+        index, seconds, legal = fused_argmin(
+            model, columns_from_chars(batch), ScoreArena()
+        )
+        assert (index, legal) == (0, 1)
+        assert seconds == model.breakdown(batch[0]).seconds
+
+    def test_all_illegal_columns(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = [
+            KernelCharacteristics(
+                name="huge", threads=4096, block_size=1024,
+                comp_insts_per_thread=1.0, mem_insts_per_thread=1.0,
+            )
+        ]
+        assert fused_argmin(
+            model, columns_from_chars(batch), ScoreArena()
+        ) == (-1, float("inf"), 0)
+
+    def test_arena_reuse_is_stable(self):
+        # Same arena, different batch sizes: buffers grow once and the
+        # results of a repeated pass stay bitwise identical.
+        model = GpuPerformanceModel(quadro_fx_5600())
+        arena = ScoreArena()
+        big = columns_from_chars(chars_grid())
+        small = columns_from_chars(chars_grid()[:5])
+        first = fused_seconds(model, big, arena)[0].copy()
+        fused_seconds(model, small, arena)
+        grown = arena.nbytes()
+        second = fused_seconds(model, big, arena)[0]
+        assert np.array_equal(first, second)
+        assert arena.nbytes() == grown  # steady state: no new buffers
+
+    def test_bound_min_grid_under_true_minimum(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = chars_grid()
+        columns = columns_from_chars(batch)
+        half = len(batch) // 2
+        segments = [(0, half), (half, len(batch)), (0, len(batch))]
+        floors = bound_min_grid(model, columns, segments)
+        scored = score_batch(model, batch)
+        for (lo, hi), floor in zip(segments, floors):
+            truths = [
+                p.seconds
+                for kind, p in scored[lo:hi]
+                if kind == "candidate"
+            ]
+            assert floor <= min(truths)
+
+    def test_bound_min_grid_illegal_segment_is_inf(self):
+        model = GpuPerformanceModel(quadro_fx_5600())
+        batch = [
+            KernelCharacteristics(
+                name="huge", threads=4096, block_size=1024,
+                comp_insts_per_thread=1.0, mem_insts_per_thread=1.0,
+            ),
+            chars_grid()[0],
+        ]
+        floors = bound_min_grid(
+            model, columns_from_chars(batch), [(0, 1), (1, 2), (2, 2)]
+        )
+        assert floors[0] == float("inf")
+        assert math.isfinite(floors[1])
+        assert floors[2] == float("inf")  # empty segment

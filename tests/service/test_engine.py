@@ -18,6 +18,19 @@ def vector_program(n=4096, name="vadd"):
     return pb.kernel(kb).build()
 
 
+def stencil_heavy_program(n=512):
+    # A reuse-heavy stencil: shared-memory staging wins, so its best
+    # mapping differs from a plain vector kernel's.
+    pb = ProgramBuilder("stencil")
+    pb.array("src", (n, n)).array("dst", (n, n))
+    kb = KernelBuilder("blur")
+    kb.parallel_loop("i", n - 1, 1).parallel_loop("j", n - 1, 1)
+    kb.load("src", "i", "j").load("src", ("i", 1, -1), "j")
+    kb.load("src", ("i", 1, 1), "j").store("dst", "i", "j")
+    kb.statement(flops=4)
+    return pb.kernel(kb).build()
+
+
 class TestSingleRequests:
     def test_matches_direct_projector(self):
         program = vector_program()
@@ -156,3 +169,91 @@ class TestBatching:
         again = engine.project_batch(requests)
         assert all(r.cached for r in again)
         assert engine.metrics.counter("cache_hits") == 5
+
+
+class TestStreamExplorer:
+    def test_stream_engine_matches_fast_totals(self):
+        program = vector_program()
+        fast = ProjectionEngine(explorer="fast").project(
+            ProjectionRequest(program)
+        )
+        stream = ProjectionEngine(explorer="stream").project(
+            ProjectionRequest(program)
+        )
+        # Same winner, bitwise-equal times; only the candidate-table
+        # accounting (search_width) differs by design.
+        assert stream.summary.kernel_seconds == fast.summary.kernel_seconds
+        assert stream.summary.transfer_seconds == (
+            fast.summary.transfer_seconds
+        )
+        assert stream.total_seconds == fast.total_seconds
+
+    def test_stream_fingerprint_is_keyed_separately(self):
+        program = vector_program()
+        request = ProjectionRequest(program)
+        fast = ProjectionEngine(explorer="fast")
+        reference = ProjectionEngine(explorer="reference")
+        stream = ProjectionEngine(explorer="stream")
+        # fast/reference share keys (interchangeable summaries); stream
+        # summaries have argmin-only tables and must not collide.
+        assert fast.fingerprint(request) == reference.fingerprint(request)
+        assert stream.fingerprint(request) != fast.fingerprint(request)
+
+    def test_stream_engine_caches_and_rehits(self):
+        engine = ProjectionEngine(cache=ProjectionCache(), explorer="stream")
+        first = engine.project(ProjectionRequest(vector_program()))
+        again = engine.project(ProjectionRequest(vector_program()))
+        assert not first.cached
+        assert again.cached
+        assert again.summary == first.summary
+
+    def test_unknown_explorer_rejected(self):
+        with pytest.raises(ValueError, match="expected 'fast'"):
+            ProjectionEngine(explorer="bogus")
+
+    def test_close_is_idempotent(self):
+        engine = ProjectionEngine(explorer="stream")
+        engine.project(ProjectionRequest(vector_program()))
+        engine.close()
+        engine.close()
+        # Pools recreate lazily: the engine still serves after close().
+        response = engine.project(ProjectionRequest(vector_program()))
+        assert response.summary.kernel_seconds > 0
+
+    def test_stream_engine_is_thread_safe(self):
+        # The batch runner shares one engine across its worker threads;
+        # a shared (non-thread-local) arena corrupts concurrent fused
+        # passes, surfacing as a wrong tie-break (regression: VectorAdd
+        # flipped b64 -> b64+smem under a racing SRAD projection).
+        from concurrent.futures import ThreadPoolExecutor
+
+        programs = [
+            vector_program(1 << 16, "vadd"),
+            stencil_heavy_program(),
+        ]
+        serial = ProjectionEngine(explorer="stream")
+        truth = {}
+        for program in programs:
+            response = serial.project(ProjectionRequest(program))
+            truth[program.name] = [
+                (kp.kernel, kp.best.config, kp.best.breakdown.seconds)
+                for kp in response.projection.kernels.kernels
+            ]
+        for _trial in range(10):
+            engine = ProjectionEngine(explorer="stream")
+            with ThreadPoolExecutor(4) as pool:
+                futures = [
+                    pool.submit(
+                        engine.project, ProjectionRequest(program)
+                    )
+                    for program in programs
+                    for _ in range(2)
+                ]
+                for future in futures:
+                    response = future.result()
+                    projection = response.projection.kernels
+                    got = [
+                        (kp.kernel, kp.best.config, kp.best.breakdown.seconds)
+                        for kp in projection.kernels
+                    ]
+                    assert got == truth[projection.program]

@@ -1,18 +1,28 @@
 """Parallel exploration must be bit-identical to the serial explorer."""
 
+import multiprocessing
+
 import pytest
 
 from repro.gpu.arch import quadro_fx_5600
 from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.vectorized import ScoreArena, columns_from_chars, fused_argmin
 from repro.service.parallel import (
+    StreamWorkerPool,
     explore_kernel_parallel,
     map_ordered,
     project_kernels_parallel,
+    shared_pool,
+    shutdown_pool,
     space_chunks,
+    submit_shared,
 )
 from repro.skeleton import KernelBuilder, ProgramBuilder
+from repro.transform.analysis import analyze_kernel
 from repro.transform.explorer import explore_kernel, project_program
 from repro.transform.space import MappingConfig, TransformationSpace
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
 
 
 def stencil_program(n=256):
@@ -113,3 +123,99 @@ class TestParallelMatchesSerial:
             explore_kernel_parallel(
                 program.kernels[0], program, model, space, max_workers=4
             )
+
+
+class TestSharedPool:
+    def test_pool_is_reused_across_calls(self):
+        shutdown_pool()
+        first = shared_pool(2)
+        second = shared_pool(2)
+        assert first is second
+        assert shared_pool(1) is first  # smaller asks reuse the pool
+
+    def test_pool_grows_when_asked_for_more(self):
+        shutdown_pool()
+        small = shared_pool(1)
+        grown = shared_pool(3)
+        assert grown is not small
+        assert shared_pool(2) is grown
+
+    def test_shutdown_then_lazy_recreation(self):
+        pool = shared_pool(2)
+        shutdown_pool()
+        fresh = shared_pool(2)
+        assert fresh is not pool
+        assert map_ordered(lambda x: x + 1, [1, 2, 3], 2) == [2, 3, 4]
+
+    def test_submit_shared_runs_after_shutdown(self):
+        # A submission raced against shutdown still produces a result
+        # (inline fallback) instead of raising.
+        shutdown_pool()
+        future = submit_shared(lambda: 41 + 1)
+        assert future.result() == 42
+        shutdown_pool()
+        assert submit_shared(len, "abc").result() == 3
+
+    def test_map_ordered_uses_shared_pool(self):
+        shutdown_pool()
+        map_ordered(lambda x: x, list(range(8)), 4)
+        # The fan-out above created the module pool; the next call with
+        # equal-or-smaller width must reuse it rather than rebuild.
+        pool = shared_pool(4)
+        assert shared_pool(4) is pool
+
+
+@pytest.mark.skipif(not fork_available, reason="needs the fork start method")
+class TestStreamWorkerPool:
+    def _columns(self, space=None):
+        program = stencil_program()
+        model = GpuPerformanceModel(quadro_fx_5600())
+        analysis = analyze_kernel(
+            program.kernels[0],
+            program.array_map,
+            model.arch.strict_coalescing,
+        )
+        space = space or TransformationSpace.wide()
+        columns, _index_map, _errors = analysis.config_columns(
+            list(space.configs())
+        )
+        return model, columns
+
+    def test_pool_matches_serial_fused_argmin(self):
+        model, columns = self._columns()
+        serial = fused_argmin(model, columns, ScoreArena())
+        pool = StreamWorkerPool(workers=2)
+        try:
+            # Tiny chunks force multi-chunk merging across workers.
+            assert pool.score_columns(model, columns, chunk_rows=7) == serial
+            # Second pass reuses the attached segment (warm path).
+            assert pool.score_columns(model, columns, chunk_rows=7) == serial
+        finally:
+            pool.close()
+
+    def test_pool_grows_capacity_across_batches(self):
+        model, small = self._columns(TransformationSpace.naive())
+        _, large = self._columns()
+        pool = StreamWorkerPool(workers=2)
+        try:
+            assert pool.score_columns(model, small) == fused_argmin(
+                model, small, ScoreArena()
+            )
+            assert pool.score_columns(model, large, chunk_rows=16) == (
+                fused_argmin(model, large, ScoreArena())
+            )
+        finally:
+            pool.close()
+
+    def test_empty_grid(self):
+        model, _ = self._columns(TransformationSpace.naive())
+        pool = StreamWorkerPool(workers=1)
+        try:
+            empty = columns_from_chars([])
+            assert pool.score_columns(model, empty) == (-1, float("inf"), 0)
+        finally:
+            pool.close()
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            StreamWorkerPool(workers=0)

@@ -1,0 +1,95 @@
+"""Tile-pruned sweep argmin vs the full-sweep oracle.
+
+The contract: :meth:`SweepEngine.argmin` returns exactly the point a
+full sweep's ``min((total_seconds(1), index))`` would pick — identical
+index, dataclass-equal projection, bitwise-equal seconds — for every
+tile size, pruned tiles included.  Pruning is an optimization, never an
+approximation.
+"""
+
+import pytest
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.pcie.presets import pcie_gen1_bus, pcie_gen2_bus
+from repro.sweep import SweepEngine
+from repro.workloads.registry import all_workloads, get_workload
+
+
+def _engine(bus=None):
+    return SweepEngine(quadro_fx_5600(), bus or pcie_gen1_bus())
+
+
+def _oracle(engine, workload):
+    """(index, projections, totals) of the full sweep."""
+    projections = engine.sweep_workload(workload)
+    totals = [p.total_seconds(1) for p in projections]
+    index = min(range(len(totals)), key=lambda i: (totals[i], i))
+    return index, projections, totals
+
+
+class TestArgminOracle:
+    @pytest.mark.parametrize(
+        "name", [w.name for w in all_workloads()]
+    )
+    @pytest.mark.parametrize("tile", [1, 2, 4, 100])
+    def test_matches_full_sweep(self, name, tile):
+        workload = get_workload(name)
+        engine = _engine(pcie_gen2_bus())
+        expected, projections, totals = _oracle(engine, workload)
+        result = engine.argmin_workload(workload, tile=tile)
+        assert result.index == expected
+        assert result.projection == projections[expected]
+        assert result.seconds == totals[expected]  # bitwise
+        assert expected in result.evaluated
+
+    def test_pruning_actually_happens(self):
+        workload = get_workload("CFD")
+        engine = _engine()
+        result = engine.argmin_workload(workload, tile=1)
+        stats = result.stats
+        assert stats["bounded"] == 1
+        assert stats["points_pruned"] > 0
+        assert stats["tiles_pruned"] > 0
+        assert (
+            stats["points_evaluated"] + stats["points_pruned"]
+            == stats["points"]
+        )
+        assert stats["points"] == len(list(workload.datasets()))
+        # The engine-level stats mirror the result's.
+        assert engine.stats == stats
+
+    def test_bounds_are_true_lower_bounds(self):
+        workload = get_workload("HotSpot")
+        engine = _engine()
+        _expected, projections, totals = _oracle(engine, workload)
+        result = engine.argmin_workload(workload, tile=2)
+        assert result.bounds is not None
+        assert len(result.bounds) == len(totals)
+        for bound, total in zip(result.bounds, totals):
+            assert bound <= total
+
+    def test_explicit_datasets_subset(self):
+        workload = get_workload("SRAD")
+        datasets = list(workload.datasets())[:2]
+        engine = _engine()
+        full = engine.sweep_workload(workload, datasets=datasets)
+        totals = [p.total_seconds(1) for p in full]
+        expected = min(range(len(totals)), key=lambda i: (totals[i], i))
+        result = engine.argmin_workload(workload, datasets=datasets, tile=1)
+        assert result.index == expected
+        assert result.projection == full[expected]
+
+    def test_validation(self):
+        engine = _engine()
+        with pytest.raises(ValueError, match="at least one"):
+            engine.argmin([])
+        workload = get_workload("CFD")
+        with pytest.raises(ValueError, match="tile"):
+            engine.argmin_workload(workload, tile=0)
+        programs = [
+            workload.skeleton(d) for d in list(workload.datasets())[:2]
+        ]
+        with pytest.raises(ValueError, match="hints do not match"):
+            engine.argmin(programs, hints=[None])
+        with pytest.raises(ValueError, match="sizes do not match"):
+            engine.argmin(programs, sizes=[1])

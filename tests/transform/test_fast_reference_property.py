@@ -25,6 +25,7 @@ from repro.skeleton import (  # noqa: E402
 from repro.transform.explorer import explore_configs  # noqa: E402
 from repro.transform.fastpath import explore_configs_fast  # noqa: E402
 from repro.transform.space import TransformationSpace  # noqa: E402
+from repro.transform.stream import explore_kernel_stream  # noqa: E402
 
 N = 257  # odd grid edge: exercises ceil-division paths
 
@@ -158,3 +159,44 @@ def test_pruning_never_loses_the_argmin(program, arch_fn, space):
     for candidate in cands:
         ref = ref_by_config[candidate.config]
         assert candidate.breakdown == ref.breakdown
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=programs(),
+    arch_fn=st.sampled_from(ARCHES),
+    space=spaces(),
+)
+def test_stream_path_equals_reference(program, arch_fn, space):
+    """The fused streaming argmin picks the reference winner, bitwise.
+
+    Same first-minimum tie-break as the scalar ``min()``, same explored/
+    skipped accounting, identical best candidate (config +
+    characteristics + breakdown, dataclass-equal so every float matches
+    bit for bit).  A kernel with no legal mapping must fail with the
+    exact reference error text.
+    """
+    model = GpuPerformanceModel(arch_fn())
+    kernel = program.kernels[0]
+    configs = space.configs()
+    ref_cands, ref_skipped = explore_configs(kernel, program, model, configs)
+    # Exercise the chunk merge too: a chunk size that never divides the
+    # grid evenly forces multi-chunk streaming with a partial tail.
+    for chunk_rows in (len(configs) + 1, 7):
+        if not ref_cands:
+            with pytest.raises(ValueError, match="no legal mapping"):
+                explore_kernel_stream(
+                    kernel, program, model, space, chunk_rows=chunk_rows
+                )
+            continue
+        result = explore_kernel_stream(
+            kernel, program, model, space, chunk_rows=chunk_rows
+        )
+        ref_best = min(ref_cands, key=lambda c: c.seconds)
+        assert result.best.config == ref_best.config
+        assert result.best.characteristics == ref_best.characteristics
+        assert result.best.breakdown == ref_best.breakdown
+        assert result.seconds == ref_best.seconds
+        assert result.index == configs.index(ref_best.config)
+        assert result.explored == len(ref_cands)
+        assert result.skipped == len(ref_skipped)
