@@ -19,34 +19,60 @@ from repro.harness.context import ExperimentContext
 from repro.transform.space import TransformationSpace
 from repro.workloads.registry import all_workloads, paper_workloads
 
+#: All machine-readable benchmark outputs live under this untracked
+#: directory (gitignored as a whole); CI uploads ``BENCH_*.json`` from
+#: here and :mod:`benchmarks.bench_trend` diffs them against the
+#: previous run's artifact.
+BENCH_DIR = Path(__file__).resolve().parent / "out"
+
 #: Machine-readable throughput results (configs/s per scoring path);
-#: written incrementally by the explorer/streaming benchmarks and
-#: uploaded as a CI artifact by the ``throughput`` job.
-BENCH_JSON = Path(__file__).resolve().parent / "BENCH_explorer.json"
+#: written incrementally by the explorer/streaming benchmarks.
+BENCH_JSON = BENCH_DIR / "BENCH_explorer.json"
+
+#: Surrogate serving-path numbers (µs/query, speedup vs stream,
+#: agreement) from ``bench_surrogate_throughput.py``.
+SURROGATE_JSON = BENCH_DIR / "BENCH_surrogate.json"
 
 
-def record_bench(section: str, payload: dict) -> None:
-    """Merge one benchmark's numbers into ``BENCH_explorer.json``.
+def _merge_json(path: Path, section: str, payload: dict) -> None:
+    """Read-merge-write one section into a benchmark JSON.
 
-    Read-merge-write keeps results from separate pytest invocations
-    (explorer vs streaming benches in the same CI job) in one file.
+    Merging keeps results from separate pytest invocations (explorer vs
+    streaming benches in the same CI job) in one file.
     """
+    path.parent.mkdir(parents=True, exist_ok=True)
     data = {}
-    if BENCH_JSON.is_file():
+    if path.is_file():
         try:
-            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+            data = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             data = {}
     data[section] = payload
-    BENCH_JSON.write_text(
+    path.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_explorer.json``."""
+    _merge_json(BENCH_JSON, section, payload)
+
+
+def record_surrogate_bench(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_surrogate.json``."""
+    _merge_json(SURROGATE_JSON, section, payload)
 
 
 @pytest.fixture(scope="session")
 def bench_json():
     """The :func:`record_bench` writer, injected as a fixture."""
     return record_bench
+
+
+@pytest.fixture(scope="session")
+def surrogate_json():
+    """The :func:`record_surrogate_bench` writer, as a fixture."""
+    return record_surrogate_bench
 
 
 @pytest.fixture(scope="session")

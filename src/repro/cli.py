@@ -128,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the fused streaming explorer (argmin-only scoring; "
         "same best mappings, see docs/EXPLORER.md)",
     )
+    p.add_argument(
+        "--surrogate", default=None, metavar="MODEL",
+        help="serve through a trained surrogate model (.npz) with a "
+        "confidence-gated exact fallback (see docs/SURROGATE.md)",
+    )
 
     p = sub.add_parser(
         "project-file",
@@ -242,6 +247,75 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable bound-based pruning on the fast path "
         "(same best mappings; losing candidates are skipped early)",
     )
+    p.add_argument(
+        "--surrogate", default=None, metavar="MODEL",
+        help="serve the batch through a trained surrogate model (.npz) "
+        "with a confidence-gated exact fallback",
+    )
+    p.add_argument(
+        "--serving-mode", choices=("auto", "surrogate", "exact"),
+        default="auto",
+        help="surrogate serving mode for --surrogate (default: auto)",
+    )
+
+    p = sub.add_parser(
+        "surrogate",
+        help="learned microsecond projections with an exact fallback "
+        "(see docs/SURROGATE.md)",
+    )
+    ssub = p.add_subparsers(dest="surrogate_command", required=True)
+
+    sp = ssub.add_parser(
+        "train",
+        help="label a size grid through the streaming scorer, fit the "
+        "ridge+exemplar model, calibrate, and save",
+    )
+    sp.add_argument(
+        "-o", "--output", default="surrogate.npz",
+        help="model artifact path (default: surrogate.npz)",
+    )
+    sp.add_argument(
+        "--sizes-per-kernel", type=int, default=24,
+        help="grid points per kernel (default: 24)",
+    )
+    sp.add_argument(
+        "--target-accuracy", type=float, default=0.93,
+        help="calibration accuracy target for the accept threshold "
+        "(default: 0.93)",
+    )
+    sp.add_argument(
+        "--holdout-fraction", type=float, default=0.25,
+        help="rows held out of training for the printed evaluation "
+        "(default: 0.25)",
+    )
+    sp.add_argument(
+        "--split-seed", type=int, default=7,
+        help="holdout split seed (default: 7)",
+    )
+
+    sp = ssub.add_parser(
+        "eval",
+        help="evaluate a trained model on a freshly labeled grid",
+    )
+    sp.add_argument("model", help="model artifact (.npz)")
+    sp.add_argument(
+        "--sizes-per-kernel", type=int, default=29,
+        help="grid density for evaluation — pick one different from "
+        "training so the sizes fall off the training grid (default: 29)",
+    )
+
+    sp = ssub.add_parser(
+        "project",
+        help="serve one workload/dataset through the gated surrogate",
+    )
+    sp.add_argument("model", help="model artifact (.npz)")
+    sp.add_argument("workload", help="registry workload name")
+    sp.add_argument("--dataset", default=None)
+    sp.add_argument("--iterations", type=int, default=1)
+    sp.add_argument(
+        "--mode", choices=("auto", "surrogate", "exact"), default="auto",
+        help="serving mode (default: auto — confidence-gated)",
+    )
 
     p = sub.add_parser(
         "cache-stats", help="inspect an on-disk projection cache"
@@ -340,6 +414,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the on-disk projection cache",
     )
+    dp.add_argument(
+        "--surrogate-model", default=None, metavar="MODEL",
+        help="serve projection jobs through this trained surrogate "
+        "model (.npz); jobs pick auto/surrogate/exact via the payload's "
+        "'mode' field",
+    )
 
     dp = dsub.add_parser(
         "status", help="daemon health + human-readable job table"
@@ -368,6 +448,11 @@ def _build_parser() -> argparse.ArgumentParser:
     dp.add_argument(
         "--dataset", action="append", default=None,
         help="dataset label (repeatable for --kind sweep)",
+    )
+    dp.add_argument(
+        "--mode", choices=("auto", "surrogate", "exact"), default=None,
+        help="serving mode for --kind projection on a daemon started "
+        "with --surrogate-model",
     )
     dp.add_argument(
         "--wait", action="store_true",
@@ -438,7 +523,88 @@ def _explorer_choice(args) -> str:
     return "fast"
 
 
+def _surrogate_serving(model_path, seed):
+    """(SurrogateEngine, exact ProjectionEngine) for a saved model."""
+    from repro.gpu.arch import quadro_fx_5600
+    from repro.service.engine import ProjectionEngine
+    from repro.surrogate import SurrogateEngine, load_model
+
+    ctx = ExperimentContext(seed=seed)
+    engine = ProjectionEngine(
+        arch=quadro_fx_5600(), bus=ctx.bus_model, explorer="stream"
+    )
+    model = load_model(model_path, engine.arch, engine.space)
+    return SurrogateEngine(model, engine), engine
+
+
+def _print_surrogate_response(resp, out) -> None:
+    """Render one SurrogateResponse for project/surrogate-project."""
+    serving = resp.provenance
+    line = f"  path: {serving.path} ({serving.reason})"
+    if serving.confidence is not None:
+        line += f", confidence {serving.confidence:.1%}"
+    out(line)
+    if resp.estimate is not None:
+        est = resp.estimate
+        out("  kernels: " + ", ".join(
+            f"{name}={label}" for name, label in est.mappings
+        ))
+        out(f"  predicted kernel time/iter: "
+            f"{seconds_to_human(est.kernel_seconds)} "
+            f"(x/{_band_factor(est.log_band)} conformal band)")
+        out(f"  predicted transfer time:    "
+            f"{seconds_to_human(est.transfer_seconds)}")
+        out(f"  predicted total:            "
+            f"{seconds_to_human(resp.total_seconds)} "
+            f"for {resp.iterations} iteration(s)")
+    else:
+        summary = resp.response.summary
+        out("  kernels: " + ", ".join(
+            f"{k.name}={k.best_mapping}" for k in summary.kernels
+        ))
+        out(f"  projected kernel time/iter: "
+            f"{seconds_to_human(summary.kernel_seconds)}")
+        out(f"  projected transfer time:    "
+            f"{seconds_to_human(summary.transfer_seconds)}")
+        out(f"  projected total:            "
+            f"{seconds_to_human(resp.total_seconds)} "
+            f"for {resp.iterations} iteration(s)")
+    out(f"  served in {seconds_to_human(resp.seconds)}")
+
+
+def _band_factor(log_band: float) -> str:
+    """The conformal band in multiplicative form, e.g. ``1.03``."""
+    import math
+
+    return f"{math.exp(log_band):.2f}"
+
+
+def _serve_one_surrogate(model_path, args, out, mode: str) -> int:
+    """Shared by ``project --surrogate`` and ``surrogate project``."""
+    from repro.service.engine import ProjectionRequest
+
+    serving, _engine = _surrogate_serving(model_path, args.seed)
+    try:
+        workload = get_workload(args.workload)
+        dataset = _pick_dataset(workload, args.dataset)
+        request = ProjectionRequest(
+            program=workload.skeleton(dataset),
+            hints=workload.hints(dataset),
+            iterations=args.iterations,
+            request_id=f"{workload.name}/{dataset.label}",
+        )
+        resp = serving.project(request, mode)
+        out(f"{workload.name} / {dataset.label}  "
+            f"({args.iterations} iteration(s))")
+        _print_surrogate_response(resp, out)
+    finally:
+        serving.close()
+    return 0
+
+
 def _cmd_project(args, out) -> int:
+    if args.surrogate is not None:
+        return _serve_one_surrogate(args.surrogate, args, out, "auto")
     explorer = _explorer_choice(args)
     ctx = ExperimentContext(seed=args.seed, explorer=explorer)
     workload = get_workload(args.workload)
@@ -721,10 +887,19 @@ def _cmd_batch(args, out) -> int:
         explorer=_explorer_choice(args),
         prune=args.prune,
     )
+    batch_engine = engine
+    if args.surrogate is not None:
+        from repro.surrogate import SurrogateEngine, load_model
+        from repro.surrogate.engine import SurrogateBatchAdapter
+
+        model = load_model(args.surrogate, engine.arch, engine.space)
+        batch_engine = SurrogateBatchAdapter(
+            SurrogateEngine(model, engine), mode=args.serving_mode
+        )
     result = run_batch(
         requests_path,
         output_path=args.output,
-        engine=engine,
+        engine=batch_engine,
         max_workers=max(1, args.jobs),
         timeout=args.timeout,
     )
@@ -760,6 +935,87 @@ def _rate_suffix(rate: float | None) -> str:
     if rate is None:
         return ""
     return f" ({rate:.1%} hit rate)"
+
+
+def _format_metric(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _cmd_surrogate(args, out) -> int:
+    from repro.gpu.arch import quadro_fx_5600
+    from repro.surrogate import (
+        evaluate_model,
+        generate_training_set,
+        load_model,
+        save_model,
+        train_surrogate,
+    )
+    from repro.surrogate.dataset import split_rows
+    from repro.transform.space import TransformationSpace
+
+    verb = args.surrogate_command
+    arch = quadro_fx_5600()
+    space = TransformationSpace.default()
+
+    if verb == "train":
+        training = generate_training_set(
+            arch, space, sizes_per_kernel=args.sizes_per_kernel
+        )
+        hold_idx, train_idx = split_rows(
+            training.rows, (args.holdout_fraction,), seed=args.split_seed
+        )
+        model = train_surrogate(
+            training.subset(train_idx),
+            arch,
+            space,
+            target_accuracy=args.target_accuracy,
+        )
+        report = evaluate_model(model, training.subset(hold_idx))
+        path = save_model(model, args.output)
+        stats = model.stats
+        out(f"trained on {stats['fit_rows']} rows "
+            f"({stats['kernels']} kernels, {stats['classes']} mapping "
+            f"classes), calibrated on {stats['calibration_rows']}")
+        out(f"  accept threshold {model.threshold:.4f} "
+            f"(target accuracy {model.target_accuracy:.0%})")
+        out("  holdout: " + ", ".join(
+            f"{key}={_format_metric(report[key])}"
+            for key in (
+                "acceptance_rate",
+                "accepted_top1_agreement",
+                "top1_agreement",
+                "log_mae",
+            )
+        ))
+        out(f"saved model to {path}")
+        return 0
+
+    if verb == "eval":
+        model = load_model(args.model, arch, space)
+        grid = generate_training_set(
+            arch, space, sizes_per_kernel=args.sizes_per_kernel
+        )
+        report = evaluate_model(model, grid)
+        out(f"evaluated {report['rows']} rows "
+            f"(grid density {args.sizes_per_kernel}/kernel):")
+        for key in (
+            "acceptance_rate",
+            "accepted_top1_agreement",
+            "top1_agreement",
+            "accepted_log_mae",
+            "log_mae",
+            "threshold",
+            "conformal_log_band",
+        ):
+            out(f"  {key}: {_format_metric(report[key])}")
+        return 0
+
+    # verb == "project"
+    return _serve_one_surrogate(args.model, args, out, args.mode)
 
 
 def _cmd_cache_stats(args, out) -> int:
@@ -915,6 +1171,8 @@ def _daemon_payload(args) -> dict:
                 field="payload",
                 hint="see docs/DAEMON.md for the payload shapes",
             )
+        if getattr(args, "mode", None) and args.kind == "projection":
+            data.setdefault("mode", args.mode)
         return data
     if args.workload is None:
         raise BadRequestError(
@@ -935,6 +1193,8 @@ def _daemon_payload(args) -> dict:
         )
     if args.dataset:
         payload["dataset"] = args.dataset[0]
+    if getattr(args, "mode", None):
+        payload["mode"] = args.mode
     return payload
 
 
@@ -997,6 +1257,7 @@ def _cmd_daemon(args, out) -> int:
             max_client_running=args.max_client_running,
             drain_deadline=args.drain_deadline,
             use_cache=not args.no_cache,
+            surrogate_model=args.surrogate_model,
         )
 
     client = _daemon_client(args)
@@ -1009,6 +1270,7 @@ def _cmd_daemon(args, out) -> int:
         )
         out(
             f"  workers {status['workers']}, rate limit {limiter}, "
+            f"surrogate {'on' if status.get('surrogate') else 'off'}, "
             f"draining {'yes' if status['draining'] else 'no'}, "
             f"state {status['state_dir']}"
         )
@@ -1067,6 +1329,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "sweep": _cmd_sweep,
     "batch": _cmd_batch,
+    "surrogate": _cmd_surrogate,
     "cache-stats": _cmd_cache_stats,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

@@ -39,6 +39,7 @@ from repro.service.jobs import (
     parse_objects,
     project_parsed,
 )
+from repro.surrogate.engine import SERVING_MODES, SurrogateEngine
 
 
 class JobInterrupted(Exception):
@@ -75,11 +76,15 @@ class Scheduler:
         engine: ProjectionEngine,
         workers: int = 2,
         base_dir: str | Path | None = None,
+        surrogate: SurrogateEngine | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._queue = queue
         self._engine = engine
+        #: Optional learned front-end for projection jobs; ``mode`` in a
+        #: projection payload selects auto/surrogate/exact per job.
+        self._surrogate = surrogate
         self._metrics = engine.metrics
         self._workers = workers
         #: Relative skeleton_file paths in payloads resolve against this
@@ -201,9 +206,31 @@ class Scheduler:
             raise JobInterrupted(job.job_id)
 
     def _execute_projection(self, job: Job) -> dict[str, Any]:
-        parsed = parse_objects([job.payload], self._base_dir)
+        payload = dict(job.payload)
+        mode = payload.pop("mode", None)
+        if mode is not None:
+            if mode not in SERVING_MODES:
+                raise BadRequestError(
+                    f"unknown serving mode {mode!r}",
+                    field="mode",
+                    hint=f"one of {', '.join(SERVING_MODES)}",
+                )
+            if self._surrogate is None and mode != "exact":
+                raise BadRequestError(
+                    f"serving mode {mode!r} needs a surrogate model",
+                    field="mode",
+                    hint="start the daemon with --surrogate-model",
+                )
+        parsed = parse_objects([payload], self._base_dir)
         if parsed[0].error is not None:
             raise parsed[0].error
+        if self._surrogate is not None:
+            # Route every mode through the gated engine so records from
+            # a surrogate daemon uniformly carry path + serving
+            # provenance (mode="exact" falls back with reason
+            # "requested" and the bitwise-identical engine record).
+            served = self._surrogate.project(parsed[0].request, mode)
+            return {"kind": "projection", "record": served.to_dict()}
         (record,) = project_parsed(parsed, self._engine)
         return {"kind": "projection", "record": record.to_dict()}
 

@@ -52,6 +52,8 @@ from repro.obs.prometheus import metric_name
 from repro.service.cache import ProjectionCache
 from repro.service.engine import ProjectionEngine
 from repro.service.jobs import BadRequestError
+from repro.surrogate.engine import SurrogateEngine
+from repro.surrogate.store import load_model
 from repro.version import package_version
 
 #: Name of the endpoint file the CLI verbs read to find a daemon.
@@ -71,6 +73,7 @@ class DaemonApp:
         max_client_running: int = 2,
         drain_deadline: float = 10.0,
         use_cache: bool = True,
+        surrogate_model: str | Path | None = None,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.drain_deadline = drain_deadline
@@ -88,11 +91,25 @@ class DaemonApp:
             cache=cache,
             max_workers=1,
         )
+        self.surrogate: SurrogateEngine | None = None
+        if surrogate_model is not None:
+            # The fingerprint guard runs at load: a model trained for a
+            # different arch/space refuses to start the daemon at all
+            # rather than silently falling back on every job.
+            model = load_model(
+                surrogate_model, self.engine.arch, self.engine.space
+            )
+            self.surrogate = SurrogateEngine(model, self.engine)
         self.queue = JobQueue(
             self.state_dir, max_running_per_client=max_client_running
         )
         self.limiter = RateLimiter(rate, burst)
-        self.scheduler = Scheduler(self.queue, self.engine, workers=workers)
+        self.scheduler = Scheduler(
+            self.queue,
+            self.engine,
+            workers=workers,
+            surrogate=self.surrogate,
+        )
         if self.queue.recovered_jobs:
             self.engine.metrics.incr(
                 "jobs_recovered", len(self.queue.recovered_jobs)
@@ -195,6 +212,7 @@ class DaemonApp:
             "uptime_seconds": max(0.0, time.time() - self.started),
             "draining": self.draining,
             "workers": self.scheduler.worker_count,
+            "surrogate": self.surrogate is not None,
             "rate_limited": self.limiter.enabled,
             "queue": counts,
             "depth": counts["queued"],

@@ -155,6 +155,52 @@ class TransferProvenance:
 
 
 @dataclass(frozen=True)
+class ServingProvenance:
+    """Which serving path answered a query, and why.
+
+    Attached by the surrogate front-end
+    (:class:`~repro.surrogate.engine.SurrogateEngine`) to every response
+    it serves: ``path`` is ``"surrogate"`` when the learned model
+    answered and ``"exact"`` when the query ran through the exact
+    streaming pipeline; ``reason`` says why that path was chosen
+    (``accepted``, ``low_confidence``, ``out_of_domain``, ``requested``,
+    ``arch_mismatch``, ``space_mismatch``, ``provenance``); and
+    ``confidence`` is the calibrated accuracy estimate when the model
+    scored the query (``None`` when it never did).
+    """
+
+    path: str  # "surrogate" | "exact"
+    reason: str
+    confidence: float | None = None
+    model_arch: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.path not in ("surrogate", "exact"):
+            raise ValueError(
+                f"path must be 'surrogate' or 'exact', got {self.path!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"path": self.path, "reason": self.reason}
+        if self.confidence is not None:
+            record["confidence"] = self.confidence
+        if self.model_arch is not None:
+            record["model_arch"] = self.model_arch
+        return record
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "ServingProvenance":
+        confidence = data.get("confidence")
+        model_arch = data.get("model_arch")
+        return ServingProvenance(
+            path=str(data["path"]),
+            reason=str(data["reason"]),
+            confidence=None if confidence is None else float(confidence),
+            model_arch=None if model_arch is None else str(model_arch),
+        )
+
+
+@dataclass(frozen=True)
 class ProjectionProvenance:
     """The full explanation of one projection's bottom line."""
 

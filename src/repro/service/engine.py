@@ -234,6 +234,17 @@ class ProjectionEngine:
     def kernel_cache(self) -> KernelProjectionCache | None:
         return self._kernel_cache
 
+    @property
+    def provenance_enabled(self) -> bool:
+        """Whether fresh summaries carry a provenance record.
+
+        The surrogate front-end reads this to route provenance-requesting
+        engines to the exact path in ``auto`` mode — provenance is an
+        exact-pipeline artifact, there is nothing a learned estimate
+        could honestly put in one.
+        """
+        return self._provenance
+
     # Keying --------------------------------------------------------------
     def fingerprint(self, request: ProjectionRequest) -> str:
         """Cache key: everything that determines the projection result."""

@@ -30,6 +30,7 @@ release everything explicitly (the daemon calls them on drain).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -244,6 +245,11 @@ class StreamWorkerPool:
         self._shm = None
         self._capacity = 0
         self._views: dict[str, np.ndarray] = {}
+        # A shared-memory segment is a kernel object, not process memory:
+        # if the process exits with the pool still warm (daemon SIGTERM,
+        # ^C mid-batch) the block would outlive it in /dev/shm.  Unlink
+        # at interpreter exit; close() unregisters for the normal path.
+        atexit.register(self._atexit_release)
 
     def _ensure_capacity(self, rows: int) -> None:
         if self._shm is not None and rows <= self._capacity:
@@ -312,6 +318,7 @@ class StreamWorkerPool:
 
     def close(self) -> None:
         """Terminate the workers and release the shared segment."""
+        atexit.unregister(self._atexit_release)
         with self._lock:
             self._pool.terminate()
             self._pool.join()
@@ -321,6 +328,13 @@ class StreamWorkerPool:
                 self._shm.unlink()
                 self._shm = None
             self._capacity = 0
+
+    def _atexit_release(self) -> None:
+        """Last-chance cleanup when the process never called close()."""
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
 
 _STREAM_POOL: StreamWorkerPool | None = None

@@ -1,0 +1,256 @@
+"""Static features for the surrogate: one analysis walk, one vector.
+
+Every feature is derivable from a :class:`~repro.transform.analysis.
+KernelAnalysis` (config-independent, one skeleton walk per kernel), the
+kernel's exposed parallelism, and the target
+:class:`~repro.gpu.architecture <repro.gpu.arch.GPUArchitecture>`
+descriptor — nothing requires scoring a single candidate mapping.  That
+is the point: extraction costs microseconds, so the surrogate's serving
+path never touches the transformation space.
+
+The schema is ordered and versioned.  :data:`FEATURE_NAMES` is the
+contract between training and serving — a persisted model records
+:data:`FEATURE_SCHEMA_VERSION`, and the store refuses to load a model
+trained against a different schema (see
+:class:`~repro.surrogate.store.StaleModelError`).
+
+Feature groups:
+
+- **kernel statics** — instruction-stream tallies, staging/reuse counts,
+  and the coalesced fractions of both memory shapes (global vs
+  shared-memory staged), straight off the analysis;
+- **size** — the log work-item count and its square (the best mapping
+  shifts at a handful of size breakpoints; the quadratic term lets a
+  linear classifier bend there), plus SM occupancy pressure;
+- **architecture** — the numeric fields of the arch descriptor, logged
+  where they span decades;
+- **rooflines** — log-scale memory-bound and compute-bound time
+  estimates and their balance.  These are the physically informed
+  features that make a *ridge* model accurate in log-time space: the
+  true projected time is close to a maximum of the two, and the
+  regression only has to learn the blend.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpu.arch import GPUArchitecture
+from repro.transform.analysis import KernelAnalysis
+
+#: Bump when FEATURE_NAMES (order, meaning, or count) changes; persisted
+#: models record it and refuse to serve a different schema.
+FEATURE_SCHEMA_VERSION = 1
+
+FEATURE_NAMES: tuple[str, ...] = (
+    # Kernel statics -----------------------------------------------------
+    "log_flops",
+    "log_loads_per_iter",
+    "log_stores_per_iter",
+    "log_serial",
+    "bytes_per_access",
+    "distinct_arrays",
+    "staged_arrays",
+    "reuse_arrays",
+    "coalesced_fraction_global",
+    "coalesced_fraction_smem",
+    "smem_load_gain",
+    "log_comp_mem_ratio",
+    "smem_sync_pressure",
+    # Size ---------------------------------------------------------------
+    "log_parallel_iters",
+    "log_parallel_iters_sq",
+    "log_sm_occupancy_pressure",
+    # Architecture -------------------------------------------------------
+    "log_mem_bandwidth",
+    "log_mem_latency_cycles",
+    "log_num_sms",
+    "log_clock_ghz",
+    "departure_del_coal",
+    "departure_del_uncoal",
+    "issue_cycles",
+    "log_registers_per_sm",
+    "log_shared_mem_per_sm",
+    "coalesced_bytes_per_warp",
+    "uncoal_transactions_per_warp",
+    "sync_cycles",
+    "strict_coalescing",
+    # Rooflines ----------------------------------------------------------
+    "log_mem_time_scale",
+    "log_comp_time_scale",
+    "roofline_balance",
+)
+
+#: Number of features per row (the model's input width).
+FEATURE_COUNT = len(FEATURE_NAMES)
+
+#: Positions of the size-dependent features; everything else is constant
+#: per (kernel, arch), which is what lets the extractor synthesize a
+#: whole size grid from one static template row.
+_SIZE_DEPENDENT = tuple(
+    FEATURE_NAMES.index(name)
+    for name in (
+        "log_parallel_iters",
+        "log_parallel_iters_sq",
+        "log_sm_occupancy_pressure",
+        "log_mem_time_scale",
+        "log_comp_time_scale",
+        "roofline_balance",
+    )
+)
+
+
+def _log(value: float) -> float:
+    """``log1p`` guarded to the non-negative domain."""
+    return math.log1p(max(float(value), 0.0))
+
+
+def kernel_static_template(
+    analysis: KernelAnalysis, arch: GPUArchitecture
+) -> np.ndarray:
+    """The size-independent feature row for one (kernel, arch) pair.
+
+    The size-dependent slots hold zeros; :func:`fill_size_features`
+    completes a copy for a concrete work-item count.  Computing the
+    template is the expensive half (two cached memory profiles, a score
+    of scalar logs); callers that sweep sizes pay it once.
+    """
+    global_profile = analysis.memory_profile(False)
+    smem_profile = analysis.memory_profile(True)
+    base_loads = max(analysis.base_loads_per_iter, 0.0)
+    smem_gain = (
+        (base_loads - smem_profile.loads_per_iter) / base_loads
+        if base_loads
+        else 0.0
+    )
+    mem_base = max(global_profile.mem_insts_base, 1e-9)
+    comp_base = max(global_profile.comp_base * analysis.serial, 1e-9)
+    row = np.zeros(FEATURE_COUNT, dtype=np.float64)
+    values = {
+        "log_flops": _log(analysis.flops),
+        "log_loads_per_iter": _log(analysis.base_loads_per_iter),
+        "log_stores_per_iter": _log(analysis.stores_per_iter),
+        "log_serial": _log(analysis.serial),
+        "bytes_per_access": float(analysis.bytes_per_access),
+        "distinct_arrays": float(analysis.distinct_arrays),
+        "staged_arrays": float(len(analysis.smem_staged)),
+        "reuse_arrays": float(len(analysis.reuse_arrays)),
+        "coalesced_fraction_global": global_profile.coalesced_fraction,
+        "coalesced_fraction_smem": smem_profile.coalesced_fraction,
+        "smem_load_gain": smem_gain,
+        "log_comp_mem_ratio": math.log(comp_base / mem_base),
+        "smem_sync_pressure": _log(smem_profile.syncs),
+        "log_mem_bandwidth": math.log(arch.mem_bandwidth),
+        "log_mem_latency_cycles": math.log(arch.mem_latency_cycles),
+        "log_num_sms": math.log(arch.num_sms),
+        "log_clock_ghz": math.log(arch.clock_ghz),
+        "departure_del_coal": float(arch.departure_del_coal),
+        "departure_del_uncoal": float(arch.departure_del_uncoal),
+        "issue_cycles": float(arch.issue_cycles),
+        "log_registers_per_sm": math.log(arch.registers_per_sm),
+        "log_shared_mem_per_sm": math.log(arch.shared_mem_per_sm),
+        "coalesced_bytes_per_warp": float(arch.coalesced_bytes_per_warp),
+        "uncoal_transactions_per_warp": float(
+            arch.uncoal_transactions_per_warp
+        ),
+        "sync_cycles": float(arch.sync_cycles),
+        "strict_coalescing": 1.0 if arch.strict_coalescing else 0.0,
+    }
+    for name, value in values.items():
+        row[FEATURE_NAMES.index(name)] = value
+    # Stash the roofline inputs on the template's tail computation via
+    # closure-free scalars: they ride in the returned pair instead.
+    return row
+
+
+def _roofline_scales(
+    analysis: KernelAnalysis, arch: GPUArchitecture
+) -> tuple[float, float]:
+    """(memory, compute) per-work-item time scales, in log-able units.
+
+    Memory: instruction-stream bytes over sustained bandwidth.  Compute:
+    instruction count over aggregate issue rate.  Both are per work-item
+    so the size term factors out as ``+ log n`` — the regression sees
+    the rooflines shift linearly with the size features.
+    """
+    profile = analysis.memory_profile(False)
+    mem = (
+        max(profile.mem_insts_base, 1e-9)
+        * max(analysis.bytes_per_access, 1)
+        / arch.mem_bandwidth
+    )
+    comp = (
+        max(profile.comp_base * analysis.serial, 1e-9)
+        / (arch.clock_ghz * 1e9 * arch.num_sms)
+    )
+    return mem, comp
+
+
+def fill_size_features(
+    row: np.ndarray,
+    analysis: KernelAnalysis,
+    arch: GPUArchitecture,
+    parallel_iterations: int,
+) -> np.ndarray:
+    """Complete a template copy for one work-item count (in place)."""
+    n = max(int(parallel_iterations), 1)
+    log_n = math.log(n)
+    mem_scale, comp_scale = _roofline_scales(analysis, arch)
+    occupancy = n / (arch.num_sms * arch.max_threads_per_sm)
+    log_mem = math.log(mem_scale) + log_n
+    log_comp = math.log(comp_scale) + log_n
+    (
+        i_log_n,
+        i_log_n_sq,
+        i_occ,
+        i_mem,
+        i_comp,
+        i_balance,
+    ) = _SIZE_DEPENDENT
+    row[i_log_n] = log_n
+    row[i_log_n_sq] = log_n * log_n
+    row[i_occ] = _log(occupancy)
+    row[i_mem] = log_mem
+    row[i_comp] = log_comp
+    row[i_balance] = log_mem - log_comp
+    return row
+
+
+def kernel_feature_row(
+    analysis: KernelAnalysis,
+    arch: GPUArchitecture,
+    parallel_iterations: int | None = None,
+) -> np.ndarray:
+    """The full feature vector for one kernel at one size.
+
+    ``parallel_iterations=None`` uses the kernel's own exposed
+    parallelism (the serving case: the skeleton already encodes the
+    dataset).
+    """
+    n = (
+        analysis.parallel_iterations
+        if parallel_iterations is None
+        else parallel_iterations
+    )
+    row = kernel_static_template(analysis, arch)
+    return fill_size_features(row, analysis, arch, n)
+
+
+def feature_rows_for_sizes(
+    analysis: KernelAnalysis,
+    arch: GPUArchitecture,
+    sizes: np.ndarray | list[int],
+) -> np.ndarray:
+    """Feature matrix ``(len(sizes), FEATURE_COUNT)`` for one kernel.
+
+    One template computation, one cheap fill per size — the training
+    generator's inner loop.
+    """
+    template = kernel_static_template(analysis, arch)
+    rows = np.empty((len(sizes), FEATURE_COUNT), dtype=np.float64)
+    for position, size in enumerate(sizes):
+        rows[position] = template
+        fill_size_features(rows[position], analysis, arch, int(size))
+    return rows

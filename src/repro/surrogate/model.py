@@ -1,0 +1,442 @@
+"""The surrogate model: ridge regression + mapping classification.
+
+Everything is linear algebra over the feature matrix, solved in closed
+form — no iterative optimizer, no external ML dependency:
+
+- **time regression**: ridge on ``log(best seconds)``.  The roofline
+  features (see :mod:`~repro.surrogate.features`) already put the
+  answer within a multiplicative band; the regression learns the blend.
+- **mapping classification**: an ensemble of two members that fail in
+  different ways.  A one-vs-rest ridge on ±1 indicators supplies smooth
+  per-class scores and a top-1-vs-top-2 margin; an exemplar memory
+  (nearest standardized training row) supplies the label itself.  The
+  best mapping is piecewise-constant in the dataset size with sharp
+  breakpoints — the linear member smooths those over, the exemplar
+  member nails them, and their *disagreement* is exactly where either
+  one is unreliable.  Both problems share one design matrix, so a
+  single ``solve`` with stacked right-hand sides fits regressor and
+  linear classifier together.
+- **confidence**: conformal-style margin calibration over consensus
+  rows.  A query's effective margin is the ridge margin when the two
+  classifier members agree and ``-inf`` when they don't; on a held-out
+  calibration split the effective margin is recorded with whether the
+  served (exemplar) label was correct, and serving maps a query's
+  margin to the empirical accuracy of calibration queries at or above
+  it.  The accept threshold is the smallest margin whose suffix
+  accuracy reaches the target — if no margin qualifies, the threshold
+  is ``+inf`` and every query falls back to the exact path (safe by
+  construction).
+
+Serving is two matmuls: standardization is folded into the ridge
+weights at train time (``x@W' + b'`` with ``W' = W/σ``, ``b' = b −
+μ·W/σ``), and the exemplar lookup is one distance matrix against a
+few-hundred-row memory — :meth:`SurrogateModel.predict_rows` touches
+each query exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.gpu.arch import GPUArchitecture
+from repro.surrogate.dataset import TrainingSet, split_rows
+from repro.surrogate.features import FEATURE_COUNT, FEATURE_SCHEMA_VERSION
+from repro.transform.space import TransformationSpace
+
+#: Ridge strength on standardized features (intercept unregularized).
+DEFAULT_RIDGE_LAMBDA = 1e-3
+
+#: Conformal quantile for the regression's uncertainty band.
+CONFORMAL_QUANTILE = 0.9
+
+#: Domain guard: the trained feature box is widened by this margin (in
+#: feature units of its span) before a query counts as out-of-domain.
+DOMAIN_SLACK = 0.25
+
+
+def _solve_ridge(
+    features: np.ndarray, targets: np.ndarray, lam: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Closed-form ridge with an unregularized intercept.
+
+    Returns ``(weights (F, T), bias (T,))`` for standardized inputs.
+    """
+    rows, width = features.shape
+    design = np.hstack([features, np.ones((rows, 1))])
+    gram = design.T @ design
+    penalty = np.eye(width + 1) * lam * rows
+    penalty[-1, -1] = 0.0
+    solution = np.linalg.solve(gram + penalty, design.T @ targets)
+    return solution[:-1], solution[-1]
+
+
+@dataclass(frozen=True)
+class RidgeRegressor:
+    """Standalone ridge regressor (fit/predict on raw features)."""
+
+    weights: np.ndarray
+    bias: float
+    mean: np.ndarray
+    std: np.ndarray
+
+    @staticmethod
+    def fit(
+        features: np.ndarray,
+        targets: np.ndarray,
+        lam: float = DEFAULT_RIDGE_LAMBDA,
+    ) -> "RidgeRegressor":
+        mean = features.mean(axis=0)
+        std = np.maximum(features.std(axis=0), 1e-9)
+        weights, bias = _solve_ridge(
+            (features - mean) / std, targets[:, None], lam
+        )
+        return RidgeRegressor(
+            weights=weights[:, 0], bias=float(bias[0]), mean=mean, std=std
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return ((features - self.mean) / self.std) @ self.weights + self.bias
+
+
+@dataclass(frozen=True)
+class MappingClassifier:
+    """One-vs-rest ridge classifier over winning-config classes."""
+
+    weights: np.ndarray  # (F, C)
+    bias: np.ndarray  # (C,)
+    mean: np.ndarray
+    std: np.ndarray
+    classes: np.ndarray  # (C,) config indices, sorted
+
+    @staticmethod
+    def fit(
+        features: np.ndarray,
+        best_index: np.ndarray,
+        lam: float = DEFAULT_RIDGE_LAMBDA,
+    ) -> "MappingClassifier":
+        classes = np.unique(best_index)
+        indicators = np.where(
+            best_index[:, None] == classes[None, :], 1.0, -1.0
+        )
+        mean = features.mean(axis=0)
+        std = np.maximum(features.std(axis=0), 1e-9)
+        weights, bias = _solve_ridge(
+            (features - mean) / std, indicators, lam
+        )
+        return MappingClassifier(
+            weights=weights, bias=bias, mean=mean, std=std, classes=classes
+        )
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        return ((features - self.mean) / self.std) @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted config indices (mapped through ``classes``)."""
+        return self.classes[np.argmax(self.scores(features), axis=1)]
+
+
+def _margins(scores: np.ndarray) -> np.ndarray:
+    """Top-1 minus top-2 score per row (``inf`` with a single class)."""
+    if scores.shape[1] < 2:
+        return np.full(scores.shape[0], np.inf)
+    top2 = np.partition(scores, -2, axis=1)
+    return top2[:, -1] - top2[:, -2]
+
+
+def _nearest_labels(
+    standardized: np.ndarray,
+    exemplars: np.ndarray,
+    exemplar_labels: np.ndarray,
+) -> np.ndarray:
+    """Label of each row's nearest exemplar (squared euclidean)."""
+    cross = standardized @ exemplars.T
+    d2 = (
+        (standardized * standardized).sum(axis=1)[:, None]
+        - 2.0 * cross
+        + (exemplars * exemplars).sum(axis=1)[None, :]
+    )
+    return exemplar_labels[np.argmin(d2, axis=1)]
+
+
+@dataclass(frozen=True)
+class ExemplarClassifier:
+    """Nearest-exemplar classifier over standardized training rows."""
+
+    exemplars: np.ndarray  # (M, F) standardized
+    labels: np.ndarray  # (M,) config indices
+    mean: np.ndarray
+    std: np.ndarray
+
+    @staticmethod
+    def fit(
+        features: np.ndarray, best_index: np.ndarray
+    ) -> "ExemplarClassifier":
+        mean = features.mean(axis=0)
+        std = np.maximum(features.std(axis=0), 1e-9)
+        return ExemplarClassifier(
+            exemplars=(features - mean) / std,
+            labels=np.asarray(best_index),
+            mean=mean,
+            std=std,
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return _nearest_labels(
+            (features - self.mean) / self.std, self.exemplars, self.labels
+        )
+
+
+@dataclass(frozen=True)
+class SurrogateModel:
+    """The packaged serving model: weights, exemplars, calibration.
+
+    Column 0 of ``matrix``/``bias`` is the log-seconds regression; the
+    remaining columns are the per-class ridge scores.  Standardization
+    is folded in, so the ridge half of serving is ``raw_features @
+    matrix + bias``; the exemplar half standardizes with
+    ``scale``/``shift`` (``z = x·scale + shift``) and takes the nearest
+    memory row's label.
+    """
+
+    feature_schema: int
+    arch_fingerprint: str
+    space_fingerprint: str
+    arch_name: str
+    matrix: np.ndarray  # (FEATURE_COUNT, 1 + C), C-contiguous
+    bias: np.ndarray  # (1 + C,)
+    class_indices: np.ndarray  # (C,) winning-config indices in the space
+    exemplars: np.ndarray  # (M, FEATURE_COUNT) standardized memory
+    exemplar_labels: np.ndarray  # (M,) config indices
+    scale: np.ndarray  # (FEATURE_COUNT,) 1/σ of the fit split
+    shift: np.ndarray  # (FEATURE_COUNT,) -μ/σ of the fit split
+    margin_grid: np.ndarray  # (G,) ascending consensus margins
+    accuracy_at: np.ndarray  # (G,) suffix accuracy at each margin
+    threshold: float  # accept when effective margin >= threshold
+    #: Accuracy of the served label when the members *disagree* — the
+    #: confidence reported for ``-inf`` effective margins.
+    disagreement_accuracy: float
+    target_accuracy: float
+    conformal_log_band: float  # CONFORMAL_QUANTILE of |log residual|
+    domain_lo: np.ndarray  # (FEATURE_COUNT,)
+    domain_hi: np.ndarray  # (FEATURE_COUNT,)
+    stats: dict[str, Any]
+
+    @property
+    def class_count(self) -> int:
+        return int(self.class_indices.shape[0])
+
+    # Serving ------------------------------------------------------------
+    def predict_rows(
+        self, features: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(log_seconds, config_index, margin)`` per row.
+
+        ``config_index`` is the exemplar member's label (the accurate
+        one).  ``margin`` is the *effective* margin: the ridge member's
+        top-1-vs-top-2 margin when both members agree on the label, and
+        ``-inf`` when they disagree — so thresholding the margin
+        implements the consensus gate for free.
+        """
+        scores = features @ self.matrix + self.bias
+        class_scores = scores[:, 1:]
+        ridge_labels = self.class_indices[np.argmax(class_scores, axis=1)]
+        nearest = _nearest_labels(
+            features * self.scale + self.shift,
+            self.exemplars,
+            self.exemplar_labels,
+        )
+        margins = np.where(
+            nearest == ridge_labels, _margins(class_scores), -np.inf
+        )
+        return scores[:, 0], nearest, margins
+
+    def confidence(self, margins: np.ndarray) -> np.ndarray:
+        """Calibrated accuracy estimate for each margin.
+
+        A query's confidence is the empirical top-1 accuracy of
+        calibration queries whose margin was at or above its own
+        (clamped to the grid's ends).
+        """
+        margins = np.asarray(margins, dtype=np.float64)
+        if self.margin_grid.shape[0] == 0:
+            return np.zeros_like(margins)
+        index = np.searchsorted(self.margin_grid, margins, side="left")
+        index = np.minimum(index, self.margin_grid.shape[0] - 1)
+        return np.where(
+            np.isneginf(margins),
+            self.disagreement_accuracy,
+            self.accuracy_at[index],
+        )
+
+    def in_domain(self, features: np.ndarray) -> np.ndarray:
+        """Row-wise: every feature inside the (widened) trained box."""
+        above = features >= self.domain_lo
+        below = features <= self.domain_hi
+        return np.all(above & below, axis=1)
+
+    def accepts(
+        self, features: np.ndarray, margins: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise accept verdicts: in-domain and above threshold."""
+        return self.in_domain(features) & (margins >= self.threshold)
+
+    def with_threshold(self, threshold: float) -> "SurrogateModel":
+        """A copy with a different accept threshold (testing/tuning)."""
+        return replace(self, threshold=float(threshold))
+
+
+def train_surrogate(
+    training: TrainingSet,
+    arch: GPUArchitecture,
+    space: TransformationSpace,
+    target_accuracy: float = 0.93,
+    lam: float = DEFAULT_RIDGE_LAMBDA,
+    calibration_fraction: float = 0.25,
+    seed: int = 0,
+) -> SurrogateModel:
+    """Fit, calibrate, and package a surrogate from labeled rows.
+
+    The calibration split never touches the fit; its effective margins
+    (ridge margin under member consensus, ``-inf`` otherwise) and the
+    correctness of the served exemplar label produce both the
+    confidence table and the accept threshold (smallest margin whose
+    suffix accuracy reaches ``target_accuracy``).
+    """
+    if not (0 < target_accuracy <= 1):
+        raise ValueError(
+            f"target_accuracy must be in (0, 1], got {target_accuracy}"
+        )
+    cal_idx, fit_idx = split_rows(
+        training.rows, (calibration_fraction,), seed=seed
+    )
+    fit = training.subset(fit_idx)
+    cal = training.subset(cal_idx)
+
+    mean = fit.features.mean(axis=0)
+    std = np.maximum(fit.features.std(axis=0), 1e-9)
+    standardized = (fit.features - mean) / std
+    classes = np.unique(fit.best_index)
+    indicators = np.where(
+        fit.best_index[:, None] == classes[None, :], 1.0, -1.0
+    )
+    targets = np.hstack([fit.log_seconds[:, None], indicators])
+    weights, bias = _solve_ridge(standardized, targets, lam)
+
+    # Fold standardization into the serving weights.
+    folded = np.ascontiguousarray(weights / std[:, None])
+    folded_bias = bias - mean @ folded
+    scale = 1.0 / std
+    shift = -mean / std
+
+    # Calibrate on the untouched split.
+    cal_scores = cal.features @ folded + folded_bias
+    class_scores = cal_scores[:, 1:]
+    ridge_labels = classes[np.argmax(class_scores, axis=1)]
+    nearest = _nearest_labels(
+        cal.features * scale + shift, standardized, fit.best_index
+    )
+    consensus = nearest == ridge_labels
+    margins = np.where(consensus, _margins(class_scores), -np.inf)
+    correct = (nearest == cal.best_index).astype(np.float64)
+    # The grid covers consensus rows only: a -inf effective margin can
+    # never clear a finite threshold, so those rows carry no signal.
+    finite = np.isfinite(margins) & consensus
+    order = np.argsort(margins[finite], kind="stable")
+    margin_grid = margins[finite][order]
+    # Suffix mean: accuracy among calibration rows with margin >= grid[i].
+    suffix = np.cumsum(correct[finite][order][::-1])[::-1]
+    counts = np.arange(margin_grid.shape[0], 0, -1, dtype=np.float64)
+    accuracy_at = (
+        suffix / counts if margin_grid.size else np.zeros(0)
+    )
+
+    qualifying = np.nonzero(accuracy_at >= target_accuracy)[0]
+    threshold = (
+        float(margin_grid[qualifying[0]])
+        if qualifying.shape[0]
+        else float("inf")
+    )
+    disagreement_accuracy = (
+        float(correct[~consensus].mean()) if np.any(~consensus) else 0.0
+    )
+
+    residuals = np.abs(
+        (cal.features @ folded[:, 0] + folded_bias[0]) - cal.log_seconds
+    )
+    conformal_band = float(np.quantile(residuals, CONFORMAL_QUANTILE))
+
+    span = training.features.max(axis=0) - training.features.min(axis=0)
+    slack = DOMAIN_SLACK * np.maximum(span, 1e-9)
+    acceptance = float(np.mean(margins >= threshold)) if margins.size else 0.0
+    accepted_accuracy = (
+        float(correct[margins >= threshold].mean())
+        if np.any(margins >= threshold)
+        else None
+    )
+    stats = {
+        "rows": training.rows,
+        "fit_rows": int(fit_idx.shape[0]),
+        "calibration_rows": int(cal_idx.shape[0]),
+        "classes": int(classes.shape[0]),
+        "kernels": len(training.kernel_names),
+        "calibration_log_mae": float(np.mean(residuals)),
+        "calibration_top1": float(correct.mean()),
+        "calibration_consensus": float(consensus.mean()),
+        "calibration_accepted_top1": accepted_accuracy,
+        "calibration_acceptance": acceptance,
+        "ridge_lambda": lam,
+        "seed": seed,
+    }
+    return SurrogateModel(
+        feature_schema=FEATURE_SCHEMA_VERSION,
+        arch_fingerprint=arch.fingerprint(),
+        space_fingerprint=space.fingerprint(),
+        arch_name=arch.name,
+        matrix=folded,
+        bias=folded_bias,
+        class_indices=classes,
+        exemplars=np.ascontiguousarray(standardized),
+        exemplar_labels=np.ascontiguousarray(fit.best_index),
+        scale=scale,
+        shift=shift,
+        margin_grid=margin_grid,
+        accuracy_at=accuracy_at,
+        threshold=threshold,
+        disagreement_accuracy=disagreement_accuracy,
+        target_accuracy=target_accuracy,
+        conformal_log_band=conformal_band,
+        domain_lo=training.features.min(axis=0) - slack,
+        domain_hi=training.features.max(axis=0) + slack,
+        stats=stats,
+    )
+
+
+def evaluate_model(
+    model: SurrogateModel, holdout: TrainingSet
+) -> dict[str, Any]:
+    """Held-out metrics: agreement overall and among accepted queries."""
+    if holdout.features.shape[1] != FEATURE_COUNT:
+        raise ValueError("holdout feature width mismatch")
+    log_pred, config_index, margins = model.predict_rows(holdout.features)
+    accepted = model.accepts(holdout.features, margins)
+    agree = config_index == holdout.best_index
+    residual = np.abs(log_pred - holdout.log_seconds)
+    report: dict[str, Any] = {
+        "rows": holdout.rows,
+        "top1_agreement": float(agree.mean()),
+        "log_mae": float(residual.mean()),
+        "acceptance_rate": float(accepted.mean()),
+        "accepted_rows": int(accepted.sum()),
+        "accepted_top1_agreement": (
+            float(agree[accepted].mean()) if accepted.any() else None
+        ),
+        "accepted_log_mae": (
+            float(residual[accepted].mean()) if accepted.any() else None
+        ),
+        "threshold": model.threshold,
+        "conformal_log_band": model.conformal_log_band,
+    }
+    return report

@@ -1,0 +1,171 @@
+"""Versioned ``.npz`` persistence for surrogate models.
+
+A model artifact is a single NumPy archive: the serving arrays plus one
+JSON metadata blob.  Loading is guarded three ways — artifact format,
+feature schema, and the content fingerprints of the architecture table
+and transformation space the model was trained against.  A stale model
+(recalibrated arch, different candidate grid, changed feature schema)
+raises :class:`StaleModelError` instead of silently serving wrong
+answers; retrain and re-save.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.gpu.arch import GPUArchitecture
+from repro.surrogate.features import FEATURE_SCHEMA_VERSION
+from repro.surrogate.model import SurrogateModel
+from repro.transform.space import TransformationSpace
+
+#: Artifact layout version; bump when the array set or meta keys change.
+MODEL_FORMAT = 1
+
+_ARRAY_KEYS = (
+    "matrix",
+    "bias",
+    "class_indices",
+    "exemplars",
+    "exemplar_labels",
+    "scale",
+    "shift",
+    "margin_grid",
+    "accuracy_at",
+    "domain_lo",
+    "domain_hi",
+)
+
+
+class StaleModelError(ValueError):
+    """The artifact no longer matches the serving configuration."""
+
+
+def save_model(model: SurrogateModel, path: str | Path) -> Path:
+    """Write ``model`` as a versioned ``.npz`` artifact."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "model_format": MODEL_FORMAT,
+        "feature_schema": model.feature_schema,
+        "arch_fingerprint": model.arch_fingerprint,
+        "space_fingerprint": model.space_fingerprint,
+        "arch_name": model.arch_name,
+        "threshold": model.threshold,
+        "disagreement_accuracy": model.disagreement_accuracy,
+        "target_accuracy": model.target_accuracy,
+        "conformal_log_band": model.conformal_log_band,
+        "stats": model.stats,
+    }
+    arrays = {key: getattr(model, key) for key in _ARRAY_KEYS}
+    with path.open("wb") as handle:
+        np.savez(
+            handle,
+            meta=np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode("utf-8"),
+                dtype=np.uint8,
+            ),
+            **arrays,
+        )
+    return path
+
+
+def _read_meta(archive: Any, path: Path) -> dict[str, Any]:
+    try:
+        raw = bytes(archive["meta"].tobytes())
+        return json.loads(raw.decode("utf-8"))
+    except (KeyError, ValueError) as exc:
+        raise StaleModelError(
+            f"{path}: not a surrogate model artifact (no readable meta)"
+        ) from exc
+
+
+def load_model(
+    path: str | Path,
+    arch: GPUArchitecture | None = None,
+    space: TransformationSpace | None = None,
+) -> SurrogateModel:
+    """Load an artifact, guarding format, schema, and fingerprints.
+
+    ``arch``/``space`` are the serving configuration; passing them turns
+    on the fingerprint guard (the usual case).  ``None`` skips that
+    check — only for introspection tools that merely describe a model.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no surrogate model at {path}")
+    with np.load(path) as archive:
+        meta = _read_meta(archive, path)
+        arrays = {}
+        for key in _ARRAY_KEYS:
+            if key not in archive:
+                raise StaleModelError(
+                    f"{path}: artifact is missing array {key!r}"
+                )
+            arrays[key] = np.ascontiguousarray(archive[key])
+    if meta.get("model_format") != MODEL_FORMAT:
+        raise StaleModelError(
+            f"{path}: artifact format {meta.get('model_format')!r} != "
+            f"supported {MODEL_FORMAT} — retrain with this version"
+        )
+    if meta.get("feature_schema") != FEATURE_SCHEMA_VERSION:
+        raise StaleModelError(
+            f"{path}: feature schema {meta.get('feature_schema')!r} != "
+            f"current {FEATURE_SCHEMA_VERSION} — retrain with this version"
+        )
+    if arch is not None and meta.get("arch_fingerprint") != arch.fingerprint():
+        raise StaleModelError(
+            f"{path}: model was trained against arch "
+            f"{meta.get('arch_name')!r} "
+            f"({str(meta.get('arch_fingerprint'))[:12]}...), which does "
+            f"not match the serving arch {arch.name!r} — retrain"
+        )
+    if (
+        space is not None
+        and meta.get("space_fingerprint") != space.fingerprint()
+    ):
+        raise StaleModelError(
+            f"{path}: model's transformation space does not match the "
+            f"serving space — retrain"
+        )
+    return SurrogateModel(
+        feature_schema=int(meta["feature_schema"]),
+        arch_fingerprint=str(meta["arch_fingerprint"]),
+        space_fingerprint=str(meta["space_fingerprint"]),
+        arch_name=str(meta["arch_name"]),
+        matrix=arrays["matrix"],
+        bias=arrays["bias"],
+        class_indices=arrays["class_indices"],
+        exemplars=arrays["exemplars"],
+        exemplar_labels=arrays["exemplar_labels"],
+        scale=arrays["scale"],
+        shift=arrays["shift"],
+        margin_grid=arrays["margin_grid"],
+        accuracy_at=arrays["accuracy_at"],
+        threshold=float(meta["threshold"]),
+        disagreement_accuracy=float(meta["disagreement_accuracy"]),
+        target_accuracy=float(meta["target_accuracy"]),
+        conformal_log_band=float(meta["conformal_log_band"]),
+        domain_lo=arrays["domain_lo"],
+        domain_hi=arrays["domain_hi"],
+        stats=dict(meta.get("stats") or {}),
+    )
+
+
+def describe_model(path: str | Path) -> dict[str, Any]:
+    """The artifact's metadata without the fingerprint guard."""
+    model = load_model(path)
+    return {
+        "arch": model.arch_name,
+        "arch_fingerprint": model.arch_fingerprint,
+        "space_fingerprint": model.space_fingerprint,
+        "feature_schema": model.feature_schema,
+        "classes": model.class_count,
+        "threshold": model.threshold,
+        "target_accuracy": model.target_accuracy,
+        "conformal_log_band": model.conformal_log_band,
+        "stats": model.stats,
+    }

@@ -271,6 +271,19 @@ class KernelAnalysis:
             self._staged_shares,
         )
 
+    def memory_profile(
+        self, use_shared_memory: bool, tile_dim: int = 16
+    ) -> MemoryProfile:
+        """The cached :class:`MemoryProfile` for one memory shape.
+
+        Public view of the per-shape cache for consumers outside the
+        explorer (the surrogate's feature extractor reads the coalesced
+        fractions and instruction-stream partial sums here).  The
+        default ``tile_dim`` of 16 is the tile of the canonical
+        256-thread block.
+        """
+        return self._profile(use_shared_memory, tile_dim)
+
     # ------------------------------------------------------------------ #
     def _profile(self, use_shared_memory: bool, tile_dim: int) -> MemoryProfile:
         key = (use_shared_memory, tile_dim)

@@ -1,0 +1,140 @@
+"""The CI benchmark-trend gate: >20% throughput drops must fail."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TREND_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_trend.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_trend", _TREND_PATH)
+trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trend)
+
+
+class TestThroughputLeaves:
+    def test_flattens_tracked_suffixes_only(self):
+        data = {
+            "stream": {
+                "stream_warm_configs_per_s": 1e6,
+                "configs_per_sweep": 1440,  # counter: not tracked
+                "stream_warm_over_fast": 8.6,  # ratio: not tracked
+            },
+            "surrogate": {"p50_per_query_us": 7.0},
+        }
+        leaves = trend.throughput_leaves(data)
+        assert leaves == {
+            "stream.stream_warm_configs_per_s": 1e6,
+            "surrogate.p50_per_query_us": 7.0,
+        }
+
+    def test_ignores_booleans_and_strings(self):
+        data = {"x_per_s": True, "y_per_s": "fast", "z_per_s": 3}
+        assert trend.throughput_leaves(data) == {"z_per_s": 3.0}
+
+
+class TestCompareLeaves:
+    def test_within_tolerance_passes(self):
+        before = {"a_per_s": 100.0}
+        after = {"a_per_s": 85.0}  # -15% < 20% threshold
+        assert trend.compare_leaves(before, after) == []
+
+    def test_large_drop_fails(self):
+        before = {"a_per_s": 100.0}
+        after = {"a_per_s": 70.0}  # -30%
+        problems = trend.compare_leaves(before, after)
+        assert len(problems) == 1
+        assert "a_per_s" in problems[0]
+
+    def test_latency_direction_is_inverted(self):
+        # _per_query_us is a latency: growing is the regression.
+        before = {"p50_per_query_us": 10.0}
+        faster = {"p50_per_query_us": 2.0}
+        slower = {"p50_per_query_us": 13.0}  # +30%
+        assert trend.compare_leaves(before, faster) == []
+        assert len(trend.compare_leaves(before, slower)) == 1
+
+    def test_new_and_removed_leaves_are_skipped(self):
+        before = {"old_per_s": 100.0}
+        after = {"new_per_s": 1.0}
+        assert trend.compare_leaves(before, after) == []
+
+    def test_zero_baseline_is_skipped(self):
+        assert (
+            trend.compare_leaves({"a_per_s": 0.0}, {"a_per_s": 0.0}) == []
+        )
+
+
+class TestMain:
+    def _write(self, directory: Path, name: str, data: dict) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(data), encoding="utf-8")
+
+    def test_missing_previous_dir_passes(self, tmp_path, capsys):
+        current = tmp_path / "out"
+        self._write(current, "BENCH_explorer.json", {"a_per_s": 1.0})
+        code = trend.main([str(tmp_path / "absent"), str(current)])
+        assert code == 0
+        assert "no previous baseline" in capsys.readouterr().out
+
+    def test_missing_previous_file_passes(self, tmp_path):
+        previous, current = tmp_path / "prev", tmp_path / "out"
+        previous.mkdir()
+        self._write(current, "BENCH_surrogate.json", {"a_per_s": 1.0})
+        assert trend.main([str(previous), str(current)]) == 0
+
+    def test_regression_fails_with_exit_1(self, tmp_path, capsys):
+        previous, current = tmp_path / "prev", tmp_path / "out"
+        self._write(previous, "BENCH_explorer.json", {"a_per_s": 100.0})
+        self._write(current, "BENCH_explorer.json", {"a_per_s": 50.0})
+        assert trend.main([str(previous), str(current)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_within_threshold_passes_across_files(self, tmp_path):
+        previous, current = tmp_path / "prev", tmp_path / "out"
+        for name in ("BENCH_explorer.json", "BENCH_surrogate.json"):
+            self._write(previous, name, {"a_per_s": 100.0})
+            self._write(current, name, {"a_per_s": 90.0})
+        assert trend.main([str(previous), str(current)]) == 0
+
+    def test_custom_threshold(self, tmp_path):
+        previous, current = tmp_path / "prev", tmp_path / "out"
+        self._write(previous, "BENCH_explorer.json", {"a_per_s": 100.0})
+        self._write(current, "BENCH_explorer.json", {"a_per_s": 85.0})
+        assert (
+            trend.main(
+                [str(previous), str(current), "--threshold", "0.1"]
+            )
+            == 1
+        )
+
+    def test_unreadable_baseline_is_skipped(self, tmp_path):
+        previous, current = tmp_path / "prev", tmp_path / "out"
+        previous.mkdir()
+        (previous / "BENCH_explorer.json").write_text(
+            "not json", encoding="utf-8"
+        )
+        self._write(current, "BENCH_explorer.json", {"a_per_s": 1.0})
+        assert trend.main([str(previous), str(current)]) == 0
+
+
+@pytest.mark.parametrize(
+    "before,after,expect",
+    [
+        (100.0, 80.01, 0),  # just inside
+        (100.0, 79.9, 1),  # just outside
+    ],
+)
+def test_threshold_boundary(tmp_path, before, after, expect):
+    previous, current = tmp_path / "prev", tmp_path / "out"
+    previous.mkdir()
+    current.mkdir()
+    (previous / "BENCH_explorer.json").write_text(
+        json.dumps({"a_per_s": before}), encoding="utf-8"
+    )
+    (current / "BENCH_explorer.json").write_text(
+        json.dumps({"a_per_s": after}), encoding="utf-8"
+    )
+    assert trend.main([str(previous), str(current)]) == expect

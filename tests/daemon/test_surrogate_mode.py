@@ -1,0 +1,138 @@
+"""Daemon serving modes: surrogate routing, per-job mode, guards.
+
+A daemon started with ``surrogate_model=...`` routes every projection
+job through the gated engine; the ``mode`` field on the payload picks
+auto/surrogate/exact per job. A daemon without a model rejects any
+non-exact mode up front.
+"""
+
+import pytest
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.surrogate.dataset import generate_training_set
+from repro.surrogate.model import train_surrogate
+from repro.surrogate.store import save_model
+from repro.transform.space import TransformationSpace
+from repro.workloads.registry import get_workload
+
+from tests.daemon.test_server import running_daemon
+
+#: Matches the daemon's fixed serving configuration.
+ARCH = quadro_fx_5600()
+SPACE = TransformationSpace.default()
+
+#: A request the small model serves confidently in auto mode.
+SERVED = {"workload": "VectorAdd", "dataset": "4M"}
+#: A request the small model refuses (low confidence -> exact fallback).
+FALLBACK = {"workload": "CFD"}
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    training = generate_training_set(
+        ARCH,
+        SPACE,
+        workloads=tuple(
+            get_workload(name)
+            for name in ("HotSpot", "VectorAdd", "SRAD")
+        ),
+        sizes_per_kernel=12,
+    )
+    model = train_surrogate(training, ARCH, SPACE)
+    return save_model(
+        model, tmp_path_factory.mktemp("model") / "surrogate.npz"
+    )
+
+
+def run_projection(client, payload):
+    submitted = client.submit("projection", dict(payload))
+    return client.wait(submitted["id"], timeout=120)
+
+
+class TestSurrogateDaemon:
+    def test_status_advertises_the_model(self, tmp_path, model_path):
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (app, _, client):
+            assert app.status()[1]["surrogate"] is True
+            assert client.status()["surrogate"] is True
+
+    def test_auto_serves_a_confident_request(self, tmp_path, model_path):
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (_, _, client):
+            body = run_projection(client, SERVED)
+        assert body["state"] == "done"
+        record = body["result"]["record"]
+        assert record["path"] == "surrogate"
+        assert record["serving"]["reason"] == "accepted"
+        assert record["total_seconds"] > 0
+
+    def test_auto_falls_back_on_low_confidence(
+        self, tmp_path, model_path
+    ):
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (_, _, client):
+            body = run_projection(client, FALLBACK)
+        record = body["result"]["record"]
+        assert record["path"] == "exact"
+        assert record["serving"]["reason"] == "low_confidence"
+        assert record["ok"] is True
+
+    def test_exact_mode_is_honored_per_job(self, tmp_path, model_path):
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (_, _, client):
+            body = run_projection(client, {**SERVED, "mode": "exact"})
+        record = body["result"]["record"]
+        assert record["path"] == "exact"
+        assert record["serving"]["reason"] == "requested"
+
+    def test_forced_surrogate_mode(self, tmp_path, model_path):
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (_, _, client):
+            body = run_projection(client, {**SERVED, "mode": "surrogate"})
+        record = body["result"]["record"]
+        assert record["path"] == "surrogate"
+        assert record["serving"]["reason"] in ("accepted", "forced")
+
+    def test_unknown_mode_is_a_bad_request(self, tmp_path, model_path):
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (_, _, client):
+            body = run_projection(client, {**SERVED, "mode": "bogus"})
+        assert body["state"] == "failed"
+        assert body["error"]["field"] == "mode"
+        assert "hint" in body["error"]
+
+    def test_metrics_count_surrogate_hits(self, tmp_path, model_path):
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (app, _, client):
+            run_projection(client, SERVED)
+            assert app.engine.metrics.counter("surrogate_hits") >= 1
+
+
+class TestModelFreeDaemon:
+    def test_status_reports_no_model(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            assert client.status()["surrogate"] is False
+
+    def test_non_exact_mode_needs_a_model(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_projection(client, {**SERVED, "mode": "surrogate"})
+        assert body["state"] == "failed"
+        assert body["error"]["field"] == "mode"
+        assert "surrogate" in body["error"]["error"]
+
+    def test_exact_mode_is_always_available(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_projection(client, {**SERVED, "mode": "exact"})
+        assert body["state"] == "done"
+        record = body["result"]["record"]
+        # No gated engine in the path: plain engine record, no serving
+        # provenance keys.
+        assert "path" not in record
+        assert "serving" not in record

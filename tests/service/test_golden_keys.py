@@ -1,0 +1,150 @@
+"""Golden cache keys: the content-addressed fingerprints are pinned.
+
+The projection cache (memory + disk) and the daemon's result reuse both
+address entries by :meth:`ProjectionEngine.fingerprint`.  Those keys
+must be stable across processes, Python versions, and refactors — a
+silent drift would orphan every persisted cache entry and turn warm
+daemons cold after a deploy.  These tests pin the *computed* digests
+for one fixed request (HotSpot, smallest dataset, default arch/bus/
+space) across the three explorer paths.
+
+If a test here fails because you deliberately changed a fingerprint
+input (new skeleton field, arch table recalibration, key-format bump),
+update the golden values *and* bump the relevant format/version
+constant so old disk caches are invalidated rather than misread.
+"""
+
+from repro.gpu.arch import quadro_fx_5600
+from repro.pcie.presets import pcie_gen1_bus
+from repro.service.engine import ProjectionEngine, ProjectionRequest
+from repro.transform.space import TransformationSpace
+from repro.workloads.registry import get_workload
+
+GOLDEN_REQUEST_KEYS = {
+    # fast/reference summaries are interchangeable by design, so they
+    # share one key; stream summaries are argmin-only tables and get
+    # their own.
+    "reference": (
+        "a487f6afef4896107ef5ab0f76207e8843fe2ab12192946cd4a09e1cfebc04d3"
+    ),
+    "fast": (
+        "a487f6afef4896107ef5ab0f76207e8843fe2ab12192946cd4a09e1cfebc04d3"
+    ),
+    "stream": (
+        "b3c585af5f908501e47ad6e34e4c2edb9a6b705cf6ff25693ef81fd80d0edaa0"
+    ),
+}
+
+GOLDEN_STREAM_BATCHED_KEY = (
+    "3c8f6e772f07f74c03ac06f11b867e1c2657c87c3167618e4592ae32c3f8fd65"
+)
+
+GOLDEN_COMPONENTS = {
+    "program": (
+        "019ece474bc7ba8a5971ae58b612cb2cd5c25e580ee3ef29dd5b53c97f90985d"
+    ),
+    "hints": (
+        "5b776b736340d8c916ae36809d4b3e249b9c40956a1a915f0aeab010f91d5e35"
+    ),
+    "arch": (
+        "45d2805f4ae70c45605a1259f0099cb9cecfd50c73fcb02587e4c95a7f02e928"
+    ),
+    "bus": (
+        "e423bac8c0980c168c33256a3cc12ebf2aa3dec2190edb04596a58b161d1aa7c"
+    ),
+    "space_default": (
+        "a22168329e6753342093e90e4f1ae8030739cd3f2e708c18f19ccdcff875ba14"
+    ),
+    "space_wide": (
+        "5bb46e594b3f7a25cdc95bc8dfefe1500dc8ea7fec2ec51670c05f48e79d419e"
+    ),
+}
+
+
+def _fixed_request():
+    workload = get_workload("HotSpot")
+    dataset = min(workload.datasets(), key=lambda d: d.size)
+    return (
+        workload.skeleton(dataset),
+        workload.hints(dataset),
+    )
+
+
+def _engine(explorer: str) -> ProjectionEngine:
+    return ProjectionEngine(
+        arch=quadro_fx_5600(),
+        bus=pcie_gen1_bus(),
+        space=TransformationSpace.default(),
+        explorer=explorer,
+    )
+
+
+class TestGoldenRequestKeys:
+    def test_request_keys_match_golden(self):
+        program, hints = _fixed_request()
+        request = ProjectionRequest(program=program, hints=hints)
+        for explorer, expected in GOLDEN_REQUEST_KEYS.items():
+            assert _engine(explorer).fingerprint(request) == expected, (
+                f"{explorer} cache key drifted — persisted caches would "
+                "go cold; bump KEY_FORMAT if the change is deliberate"
+            )
+
+    def test_fast_and_reference_share_a_key(self):
+        assert GOLDEN_REQUEST_KEYS["fast"] == GOLDEN_REQUEST_KEYS["reference"]
+
+    def test_stream_key_is_distinct(self):
+        assert (
+            GOLDEN_REQUEST_KEYS["stream"] != GOLDEN_REQUEST_KEYS["fast"]
+        )
+
+    def test_batched_transfers_changes_the_key(self):
+        program, hints = _fixed_request()
+        request = ProjectionRequest(
+            program=program, hints=hints, batched_transfers=True
+        )
+        assert (
+            _engine("stream").fingerprint(request)
+            == GOLDEN_STREAM_BATCHED_KEY
+        )
+        assert GOLDEN_STREAM_BATCHED_KEY != GOLDEN_REQUEST_KEYS["stream"]
+
+    def test_keys_are_deterministic_across_engines(self):
+        # A fresh engine (new caches, new explorer instance) must
+        # produce byte-identical keys — that is the whole point of
+        # content addressing.
+        program, hints = _fixed_request()
+        request = ProjectionRequest(program=program, hints=hints)
+        first = _engine("stream").fingerprint(request)
+        second = _engine("stream").fingerprint(request)
+        assert first == second == GOLDEN_REQUEST_KEYS["stream"]
+
+
+class TestGoldenComponentFingerprints:
+    """The inputs that compose a request key are pinned individually, so
+    a drift points straight at the layer that moved."""
+
+    def test_program_fingerprint(self):
+        program, _ = _fixed_request()
+        assert program.fingerprint() == GOLDEN_COMPONENTS["program"]
+
+    def test_hints_fingerprint(self):
+        _, hints = _fixed_request()
+        assert hints.fingerprint() == GOLDEN_COMPONENTS["hints"]
+
+    def test_arch_fingerprint(self):
+        assert (
+            quadro_fx_5600().fingerprint() == GOLDEN_COMPONENTS["arch"]
+        )
+
+    def test_bus_fingerprint(self):
+        assert pcie_gen1_bus().fingerprint() == GOLDEN_COMPONENTS["bus"]
+
+    def test_space_fingerprints(self):
+        assert (
+            TransformationSpace.default().fingerprint()
+            == GOLDEN_COMPONENTS["space_default"]
+        )
+        assert (
+            TransformationSpace.wide().fingerprint()
+            == GOLDEN_COMPONENTS["space_wide"]
+        )

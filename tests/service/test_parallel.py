@@ -219,3 +219,74 @@ class TestStreamWorkerPool:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             StreamWorkerPool(workers=0)
+
+    def test_close_unlinks_shared_segment(self):
+        import os
+
+        model, columns = self._columns()
+        pool = StreamWorkerPool(workers=1)
+        try:
+            pool.score_columns(model, columns, chunk_rows=16)
+            name = pool._shm.name
+            assert os.path.exists(f"/dev/shm/{name}")
+        finally:
+            pool.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        # Idempotent: a second close (e.g. the unregistered atexit hook
+        # firing anyway) must not raise.
+        pool._atexit_release()
+
+    def test_atexit_releases_leaked_segment(self):
+        """A process that exits without close() must not leak /dev/shm.
+
+        Regression: before the atexit hook, killing a warm daemon (or ^C
+        in the CLI) left the column block behind in /dev/shm until
+        reboot.  Run the leak scenario in a subprocess and verify the
+        segment is gone after a clean interpreter exit.
+        """
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = """
+import os
+from repro.gpu.arch import quadro_fx_5600
+from repro.gpu.model import GpuPerformanceModel
+from repro.service.parallel import StreamWorkerPool
+from repro.skeleton import KernelBuilder, ProgramBuilder
+from repro.transform.analysis import analyze_kernel
+from repro.transform.space import TransformationSpace
+
+pb = ProgramBuilder("p")
+pb.array("src", (64, 64)).array("dst", (64, 64))
+kb = KernelBuilder("k")
+kb.parallel_loop("i", 63, 1).parallel_loop("j", 63, 1)
+kb.load("src", "i", "j").store("dst", "i", "j")
+kb.statement(flops=1)
+program = pb.kernel(kb).build()
+model = GpuPerformanceModel(quadro_fx_5600())
+analysis = analyze_kernel(
+    program.kernels[0], program.array_map, model.arch.strict_coalescing
+)
+columns, _, _ = analysis.config_columns(
+    list(TransformationSpace.wide().configs())
+)
+pool = StreamWorkerPool(workers=1)
+pool.score_columns(model, columns, chunk_rows=32)
+print(pool._shm.name, flush=True)
+assert os.path.exists(f"/dev/shm/{pool._shm.name}")
+# Exit WITHOUT close(): the atexit hook must unlink the segment.
+"""
+        src = Path(__file__).resolve().parents[2] / "src"
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": str(src)},
+        )
+        assert result.returncode == 0, result.stderr
+        name = result.stdout.strip().splitlines()[-1]
+        assert name
+        assert not os.path.exists(f"/dev/shm/{name}")

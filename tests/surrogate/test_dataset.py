@@ -1,0 +1,156 @@
+"""Training-data generation: grids, labels, determinism, splits."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.vectorized import ScoreArena, fused_argmin
+from repro.surrogate.dataset import (
+    TrainingSet,
+    generate_training_set,
+    size_grid,
+    split_rows,
+)
+from repro.transform.analysis import analyze_kernel
+from repro.workloads.registry import get_workload
+
+
+class TestSizeGrid:
+    def test_geometric_span_and_dedup(self):
+        sizes = size_grid(1024, 8, (0.5, 2.0))
+        assert sizes[0] == 512
+        assert sizes[-1] == 2048
+        assert np.all(np.diff(sizes) > 0)  # unique and ascending
+
+    def test_floor_at_one(self):
+        sizes = size_grid(2, 16, (0.01, 1.0))
+        assert sizes[0] == 1
+
+    def test_invalid_span_raises(self):
+        with pytest.raises(ValueError):
+            size_grid(1024, 8, (2.0, 1.0))
+        with pytest.raises(ValueError):
+            size_grid(1024, 8, (0.0, 1.0))
+
+
+class TestGeneration:
+    def test_shapes_and_ranges(self, training, space):
+        configs = space.configs()
+        assert training.rows > 0
+        assert training.features.shape == (training.rows, 32)
+        assert training.log_seconds.shape == (training.rows,)
+        assert np.all(training.best_index >= 0)
+        assert np.all(training.best_index < len(configs))
+        assert np.all(training.sizes >= 1)
+        assert np.all(training.groups >= 0)
+        assert np.all(training.groups < len(training.kernel_names))
+        assert np.all(np.isfinite(training.features))
+        assert np.all(np.isfinite(training.log_seconds))
+
+    def test_deterministic(self, arch, space, training):
+        again = generate_training_set(
+            arch,
+            space,
+            workloads=tuple(
+                get_workload(name)
+                for name in ("HotSpot", "VectorAdd", "SRAD")
+            ),
+            sizes_per_kernel=12,
+        )
+        assert np.array_equal(again.features, training.features)
+        assert np.array_equal(again.log_seconds, training.log_seconds)
+        assert np.array_equal(again.best_index, training.best_index)
+        assert again.kernel_names == training.kernel_names
+
+    def test_labels_match_fused_argmin(self, arch, space, training):
+        """Spot-check: a row's label is the exact scorer's argmin."""
+        workload = get_workload("HotSpot")
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        program = workload.skeleton(dataset)
+        analysis = analyze_kernel(
+            program.kernels[0], program.array_map, arch.strict_coalescing
+        )
+        kernel_id = training.kernel_names.index(
+            f"HotSpot/{program.kernels[0].name}"
+        )
+        rows = np.nonzero(training.groups == kernel_id)[0]
+        assert rows.size > 0
+        row = int(rows[0])
+        configs = space.configs()
+        columns, index_map, _errors = analysis.config_columns(
+            configs, int(training.sizes[row])
+        )
+        model = GpuPerformanceModel(arch)
+        best_row, seconds, _legal = fused_argmin(
+            model, columns, ScoreArena()
+        )
+        assert int(index_map[best_row]) == int(training.best_index[row])
+        assert float(np.log(seconds)) == pytest.approx(
+            float(training.log_seconds[row])
+        )
+
+    def test_max_kernels_cap(self, arch, space):
+        capped = generate_training_set(
+            arch,
+            space,
+            workloads=(get_workload("SRAD"),),
+            sizes_per_kernel=4,
+            max_kernels_per_workload=1,
+        )
+        assert len(capped.kernel_names) == 1
+
+    def test_subset_preserves_alignment(self, training):
+        indices = np.arange(0, training.rows, 2)
+        part = training.subset(indices)
+        assert part.rows == indices.shape[0]
+        assert np.array_equal(part.sizes, training.sizes[indices])
+        assert part.kernel_names == training.kernel_names
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TrainingSet(
+                features=np.zeros((3, 32)),
+                log_seconds=np.zeros(2),  # misaligned
+                best_index=np.zeros(3, dtype=np.int64),
+                groups=np.zeros(3, dtype=np.int64),
+                sizes=np.ones(3, dtype=np.int64),
+                kernel_names=("k",),
+            )
+        with pytest.raises(ValueError):
+            TrainingSet(
+                features=np.zeros((3, 7)),  # wrong width
+                log_seconds=np.zeros(3),
+                best_index=np.zeros(3, dtype=np.int64),
+                groups=np.zeros(3, dtype=np.int64),
+                sizes=np.ones(3, dtype=np.int64),
+                kernel_names=("k",),
+            )
+
+
+class TestSplitRows:
+    def test_partition_is_exact_and_disjoint(self):
+        parts = split_rows(100, (0.25,), seed=3)
+        assert len(parts) == 2
+        merged = np.concatenate(parts)
+        assert merged.shape == (100,)
+        assert np.array_equal(np.sort(merged), np.arange(100))
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(
+            split_rows(50, (0.5,), seed=1)[0],
+            split_rows(50, (0.5,), seed=1)[0],
+        )
+        assert not np.array_equal(
+            split_rows(50, (0.5,), seed=1)[0],
+            split_rows(50, (0.5,), seed=2)[0],
+        )
+
+    def test_small_row_counts_keep_parts_nonempty(self):
+        parts = split_rows(2, (0.9,))
+        assert all(part.size > 0 for part in parts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_rows(0, (0.5,))
+        with pytest.raises(ValueError):
+            split_rows(10, (1.5,))

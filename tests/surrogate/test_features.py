@@ -1,0 +1,94 @@
+"""Feature extraction: schema stability, determinism, size synthesis."""
+
+import numpy as np
+
+from repro.surrogate.features import (
+    FEATURE_COUNT,
+    FEATURE_NAMES,
+    feature_rows_for_sizes,
+    fill_size_features,
+    kernel_feature_row,
+    kernel_static_template,
+)
+from repro.transform.analysis import analyze_kernel
+from repro.workloads.registry import get_workload
+
+
+def _analysis(arch):
+    workload = get_workload("HotSpot")
+    dataset = max(workload.datasets(), key=lambda d: d.size)
+    program = workload.skeleton(dataset)
+    return analyze_kernel(
+        program.kernels[0], program.array_map, arch.strict_coalescing
+    )
+
+
+class TestSchema:
+    def test_count_matches_names(self):
+        assert FEATURE_COUNT == len(FEATURE_NAMES)
+
+    def test_names_are_unique(self):
+        assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
+
+
+class TestExtraction:
+    def test_row_shape_and_finiteness(self, arch):
+        row = kernel_feature_row(_analysis(arch), arch)
+        assert row.shape == (FEATURE_COUNT,)
+        assert np.all(np.isfinite(row))
+
+    def test_deterministic(self, arch):
+        analysis = _analysis(arch)
+        first = kernel_feature_row(analysis, arch)
+        second = kernel_feature_row(analysis, arch)
+        assert np.array_equal(first, second)
+
+    def test_default_size_is_native_parallelism(self, arch):
+        analysis = _analysis(arch)
+        implicit = kernel_feature_row(analysis, arch)
+        explicit = kernel_feature_row(
+            analysis, arch, analysis.parallel_iterations
+        )
+        assert np.array_equal(implicit, explicit)
+
+    def test_size_changes_only_size_features(self, arch):
+        analysis = _analysis(arch)
+        small = kernel_feature_row(analysis, arch, 1024)
+        large = kernel_feature_row(analysis, arch, 1024 * 64)
+        changed = np.nonzero(small != large)[0]
+        assert changed.size > 0
+        size_names = {
+            "log_parallel_iters",
+            "log_parallel_iters_sq",
+            "log_sm_occupancy_pressure",
+            "log_mem_time_scale",
+            "log_comp_time_scale",
+        }
+        # roofline_balance = log_mem - log_comp: both shift by +log n,
+        # so the balance is size-invariant and need not change.
+        for index in changed:
+            assert FEATURE_NAMES[index] in size_names
+
+    def test_template_plus_fill_equals_direct_row(self, arch):
+        analysis = _analysis(arch)
+        template = kernel_static_template(analysis, arch)
+        filled = fill_size_features(template.copy(), analysis, arch, 4096)
+        assert np.array_equal(
+            filled, kernel_feature_row(analysis, arch, 4096)
+        )
+
+    def test_rows_for_sizes_matches_per_size_rows(self, arch):
+        analysis = _analysis(arch)
+        sizes = [512, 4096, 65536]
+        block = feature_rows_for_sizes(analysis, arch, sizes)
+        assert block.shape == (len(sizes), FEATURE_COUNT)
+        for position, size in enumerate(sizes):
+            assert np.array_equal(
+                block[position], kernel_feature_row(analysis, arch, size)
+            )
+
+    def test_size_floor_at_one(self, arch):
+        analysis = _analysis(arch)
+        floored = kernel_feature_row(analysis, arch, 0)
+        one = kernel_feature_row(analysis, arch, 1)
+        assert np.array_equal(floored, one)

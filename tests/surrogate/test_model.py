@@ -1,0 +1,203 @@
+"""The ensemble model: folded serving, consensus gate, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate.model import (
+    ExemplarClassifier,
+    MappingClassifier,
+    RidgeRegressor,
+    evaluate_model,
+    train_surrogate,
+)
+
+
+class TestRidgeRegressor:
+    def test_recovers_linear_relation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 4))
+        y = x @ np.array([1.0, -2.0, 0.5, 3.0]) + 0.7
+        fitted = RidgeRegressor.fit(x, y, lam=1e-8)
+        assert np.allclose(fitted.predict(x), y, atol=1e-5)
+
+
+class TestMappingClassifier:
+    def test_separable_classes(self):
+        rng = np.random.default_rng(1)
+        x = np.vstack(
+            [rng.normal(-3, 0.2, (50, 3)), rng.normal(3, 0.2, (50, 3))]
+        )
+        labels = np.array([4] * 50 + [9] * 50)
+        fitted = MappingClassifier.fit(x, labels)
+        assert np.array_equal(fitted.predict(x), labels)
+        assert np.array_equal(fitted.classes, [4, 9])
+
+
+class TestExemplarClassifier:
+    def test_memorizes_training_rows(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(30, 5))
+        labels = rng.integers(0, 4, size=30)
+        fitted = ExemplarClassifier.fit(x, labels)
+        assert np.array_equal(fitted.predict(x), labels)
+
+    def test_nearest_wins(self):
+        x = np.array([[0.0, 0.0], [10.0, 10.0]])
+        labels = np.array([1, 2])
+        fitted = ExemplarClassifier.fit(x, labels)
+        assert fitted.predict(np.array([[1.0, 1.0]]))[0] == 1
+        assert fitted.predict(np.array([[9.0, 9.0]]))[0] == 2
+
+
+class TestTrainedModel:
+    def test_folded_standardization_serves_raw_features(self, model, training):
+        """Serving is raw @ matrix + bias — no per-query standardize."""
+        log_pred, labels, margins = model.predict_rows(training.features)
+        assert log_pred.shape == (training.rows,)
+        assert labels.shape == (training.rows,)
+        assert margins.shape == (training.rows,)
+        # Labels are valid class indices from the training space.
+        assert set(labels.tolist()) <= set(
+            model.exemplar_labels.tolist()
+        )
+
+    def test_served_label_is_the_exemplar_members(self, model, training):
+        features = training.features
+        standardized = features * model.scale + model.shift
+        d2 = (
+            (standardized**2).sum(axis=1)[:, None]
+            - 2.0 * standardized @ model.exemplars.T
+            + (model.exemplars**2).sum(axis=1)[None, :]
+        )
+        nearest = model.exemplar_labels[np.argmin(d2, axis=1)]
+        _, labels, _ = model.predict_rows(features)
+        assert np.array_equal(labels, nearest)
+
+    def test_consensus_gate_marks_disagreement_neg_inf(self, model, training):
+        features = training.features
+        scores = features @ model.matrix + model.bias
+        ridge_labels = model.class_indices[
+            np.argmax(scores[:, 1:], axis=1)
+        ]
+        _, served, margins = model.predict_rows(features)
+        disagree = served != ridge_labels
+        assert np.all(np.isneginf(margins[disagree]))
+        assert np.all(np.isfinite(margins[~disagree]))
+
+    def test_accepts_requires_domain_and_threshold(self, model, training):
+        features = training.features
+        _, _, margins = model.predict_rows(features)
+        verdict = model.accepts(features, margins)
+        assert np.array_equal(
+            verdict,
+            model.in_domain(features) & (margins >= model.threshold),
+        )
+        # Far outside the trained box: never accepted.
+        outlier = features[:1] + 1e9
+        assert not model.accepts(outlier, np.array([np.inf]))[0]
+
+    def test_neg_inf_margin_never_accepted(self, model, training):
+        features = training.features[:1]
+        assert not model.accepts(features, np.array([-np.inf]))[0]
+
+    def test_with_threshold(self, model, training):
+        features = training.features
+        _, _, margins = model.predict_rows(features)
+        none = model.with_threshold(float("inf"))
+        assert not none.accepts(features, margins).any()
+        generous = model.with_threshold(-1e18)
+        accepted = generous.accepts(features, margins)
+        # Consensus + in-domain rows all clear a -1e18 threshold.
+        expected = np.isfinite(margins) & generous.in_domain(features)
+        assert np.array_equal(accepted, expected)
+
+
+class TestCalibration:
+    def test_accuracy_grid_is_sane(self, model):
+        assert model.margin_grid.shape == model.accuracy_at.shape
+        assert np.all(np.diff(model.margin_grid) >= 0)
+        assert np.all(model.accuracy_at >= 0)
+        assert np.all(model.accuracy_at <= 1)
+
+    def test_threshold_meets_target_on_calibration(self, model):
+        if not np.isfinite(model.threshold):
+            pytest.skip("calibration could not reach the target")
+        at = np.searchsorted(
+            model.margin_grid, model.threshold, side="left"
+        )
+        assert model.accuracy_at[at] >= model.target_accuracy
+
+    def test_confidence_lookup(self, model):
+        grid = model.margin_grid
+        conf = model.confidence(np.array([grid[0], grid[-1], grid[-1] + 1]))
+        assert conf[0] == model.accuracy_at[0]
+        assert conf[1] == model.accuracy_at[-1]
+        assert conf[2] == model.accuracy_at[-1]  # clamped past the end
+
+    def test_disagreement_confidence_is_reported_for_neg_inf(self, model):
+        conf = model.confidence(np.array([-np.inf, np.inf]))
+        assert conf[0] == model.disagreement_accuracy
+        assert conf[1] == model.accuracy_at[-1]
+        assert 0.0 <= model.disagreement_accuracy <= 1.0
+
+    def test_conformal_band_is_positive_and_tight(self, model):
+        assert model.conformal_log_band > 0
+        # log-space band under 50% — the rooflines do the heavy lifting.
+        assert model.conformal_log_band < 0.5
+
+    def test_target_accuracy_validation(self, training, arch, space):
+        with pytest.raises(ValueError):
+            train_surrogate(training, arch, space, target_accuracy=0.0)
+        with pytest.raises(ValueError):
+            train_surrogate(training, arch, space, target_accuracy=1.5)
+
+    def test_unreachable_target_disables_acceptance(
+        self, training, arch, space
+    ):
+        # target_accuracy=1.0 is reachable only if some suffix is
+        # perfect; either way the invariant holds: a finite threshold
+        # implies the suffix accuracy at it is 1.0.
+        strict = train_surrogate(
+            training, arch, space, target_accuracy=1.0
+        )
+        if np.isfinite(strict.threshold):
+            at = np.searchsorted(
+                strict.margin_grid, strict.threshold, side="left"
+            )
+            assert strict.accuracy_at[at] == 1.0
+        else:
+            _, _, margins = strict.predict_rows(training.features)
+            assert not strict.accepts(training.features, margins).any()
+
+    def test_stats_record_the_split(self, model, training):
+        stats = model.stats
+        assert stats["rows"] == training.rows
+        assert (
+            stats["fit_rows"] + stats["calibration_rows"] == training.rows
+        )
+        assert 0 <= stats["calibration_consensus"] <= 1
+        assert stats["classes"] == model.class_count
+
+
+class TestEvaluate:
+    def test_report_structure(self, model, training):
+        report = evaluate_model(model, training)
+        assert report["rows"] == training.rows
+        assert 0 <= report["top1_agreement"] <= 1
+        assert 0 <= report["acceptance_rate"] <= 1
+        assert report["log_mae"] >= 0
+        if report["accepted_rows"]:
+            assert (
+                report["accepted_top1_agreement"]
+                >= report["top1_agreement"] - 0.5
+            )
+
+    def test_feature_width_mismatch_is_unconstructable(self, training):
+        """TrainingSet validates width, so evaluate never sees a bad one."""
+        import dataclasses
+
+        with pytest.raises(ValueError, match="columns"):
+            dataclasses.replace(
+                training,
+                features=training.features[:, :5],
+            )

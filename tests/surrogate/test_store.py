@@ -1,0 +1,138 @@
+"""Model persistence: exact round trip, and every staleness guard."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpu.arch import gtx_280
+from repro.surrogate.store import (
+    MODEL_FORMAT,
+    StaleModelError,
+    describe_model,
+    load_model,
+    save_model,
+)
+from repro.transform.space import TransformationSpace
+
+ARRAY_FIELDS = (
+    "matrix",
+    "bias",
+    "class_indices",
+    "exemplars",
+    "exemplar_labels",
+    "scale",
+    "shift",
+    "margin_grid",
+    "accuracy_at",
+    "domain_lo",
+    "domain_hi",
+)
+
+SCALAR_FIELDS = (
+    "feature_schema",
+    "arch_fingerprint",
+    "space_fingerprint",
+    "arch_name",
+    "threshold",
+    "disagreement_accuracy",
+    "target_accuracy",
+    "conformal_log_band",
+)
+
+
+class TestRoundTrip:
+    def test_bitwise_round_trip(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)
+        for field in ARRAY_FIELDS:
+            assert np.array_equal(
+                getattr(loaded, field), getattr(model, field)
+            ), field
+        for field in SCALAR_FIELDS:
+            assert getattr(loaded, field) == getattr(model, field), field
+        assert loaded.stats == model.stats
+
+    def test_round_trip_predictions_are_identical(
+        self, model, training, tmp_path
+    ):
+        loaded = load_model(save_model(model, tmp_path / "model.npz"))
+        before = model.predict_rows(training.features)
+        after = loaded.predict_rows(training.features)
+        for left, right in zip(before, after):
+            assert np.array_equal(left, right)
+
+    def test_save_creates_parent_dirs(self, model, tmp_path):
+        path = save_model(model, tmp_path / "deep" / "nested" / "m.npz")
+        assert path.is_file()
+
+    def test_fingerprint_guard_passes_for_matching_config(
+        self, model, tmp_path, arch, space
+    ):
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path, arch, space)
+        assert loaded.arch_name == arch.name
+
+
+class TestGuards:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "absent.npz")
+
+    def test_arch_mismatch(self, model, tmp_path, space):
+        path = save_model(model, tmp_path / "model.npz")
+        with pytest.raises(StaleModelError, match="does not match"):
+            load_model(path, gtx_280(), space)
+
+    def test_space_mismatch(self, model, tmp_path, arch):
+        path = save_model(model, tmp_path / "model.npz")
+        with pytest.raises(StaleModelError, match="transformation space"):
+            load_model(path, arch, TransformationSpace.wide())
+
+    def test_schema_mismatch(self, model, tmp_path):
+        stale = dataclasses.replace(model, feature_schema=999)
+        path = save_model(stale, tmp_path / "model.npz")
+        with pytest.raises(StaleModelError, match="feature schema"):
+            load_model(path)
+
+    def test_format_mismatch(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(bytes(arrays["meta"].tobytes()).decode("utf-8"))
+        meta["model_format"] = MODEL_FORMAT + 1
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(StaleModelError, match="format"):
+            load_model(path)
+
+    def test_missing_array_is_stale(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        del arrays["exemplars"]
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(StaleModelError, match="exemplars"):
+            load_model(path)
+
+    def test_not_a_model_artifact(self, tmp_path):
+        path = tmp_path / "random.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, junk=np.arange(3))
+        with pytest.raises(StaleModelError, match="meta"):
+            load_model(path)
+
+
+class TestDescribe:
+    def test_describe_without_guard(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        info = describe_model(path)
+        assert info["arch"] == model.arch_name
+        assert info["classes"] == model.class_count
+        assert info["threshold"] == model.threshold
+        assert info["stats"] == model.stats
