@@ -14,7 +14,12 @@ Commands
 - ``sweep <workload>`` — parameter sweep along ``--axis size``,
   ``iterations``, or ``bus`` through the parametric sweep engine
   (``docs/SWEEP.md``); ``--check`` cross-checks every point against the
-  per-point pipeline;
+  per-point pipeline; ``--arch ID``/``--arch all`` scores one dataset
+  across the architecture registry on paired PCIe buses
+  (``docs/ARCHITECTURES.md``);
+- ``arch list|show <id>`` — the architecture registry: named GPU
+  generations with per-arch tables, paired PCIe defaults, and content
+  fingerprints;
 - ``artifacts <outdir>`` — regenerate everything into a directory;
 - ``batch <requests.jsonl>`` — project many requests through the
   cached, parallel :mod:`repro.service` engine (JSONL in, JSONL out);
@@ -206,6 +211,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tile", type=int, default=4,
         help="points per pruning tile for --argmin (default: 4)",
     )
+    p.add_argument(
+        "--arch", action="append", default=None, metavar="ID",
+        help="architecture axis: a registry id (repeatable) or 'all'; "
+        "scores one dataset across the fleet, each architecture on its "
+        "paired PCIe-generation bus (`repro arch list` shows ids)",
+    )
+
+    p = sub.add_parser(
+        "arch",
+        help="the architecture registry: named GPU generations with "
+        "per-arch tables and paired PCIe defaults "
+        "(see docs/ARCHITECTURES.md)",
+    )
+    asub = p.add_subparsers(dest="arch_command", required=True)
+    asub.add_parser(
+        "list", help="list the registered architecture generations"
+    )
+    ap = asub.add_parser(
+        "show", help="full parameter tables for one architecture"
+    )
+    ap.add_argument("arch_id", help="registry id (see `repro arch list`)")
 
     p = sub.add_parser(
         "batch",
@@ -448,6 +474,11 @@ def _build_parser() -> argparse.ArgumentParser:
     dp.add_argument(
         "--dataset", action="append", default=None,
         help="dataset label (repeatable for --kind sweep)",
+    )
+    dp.add_argument(
+        "--arch", action="append", default=None, metavar="ID",
+        help="registry architecture id; repeatable (or 'all') for "
+        "--kind sweep to cross an architecture axis with the datasets",
     )
     dp.add_argument(
         "--mode", choices=("auto", "surrogate", "exact"), default=None,
@@ -771,12 +802,155 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+def _cmd_arch(args, out) -> int:
+    from repro.gpu.registry import all_specs, get_spec
+
+    if args.arch_command == "list":
+        out(
+            "architecture registry, chronological "
+            "(see docs/ARCHITECTURES.md):"
+        )
+        for spec in all_specs():
+            tag = "calibrated" if spec.calibrated else "nominal"
+            out(
+                f"  {spec.id}: {spec.display_name} — {spec.generation}, "
+                f"CC {spec.compute_capability}, {spec.year}, "
+                f"{spec.geometry.num_sms} SMs @ "
+                f"{spec.geometry.clock_ghz}GHz, "
+                f"{spec.memory.sustained_bandwidth / 1e9:.0f}GB/s "
+                f"sustained, PCIe gen {spec.pcie_gen} [{tag}]"
+            )
+        return 0
+    # arch_command == "show"
+    spec = get_spec(args.arch_id.lower())
+    geometry, memory, latencies = spec.geometry, spec.memory, spec.latencies
+    out(
+        f"{spec.id}: {spec.display_name} ({spec.generation}, {spec.chip}, "
+        f"CC {spec.compute_capability}, {spec.year})"
+    )
+    out(
+        "  calibration: "
+        + (
+            "published measurements (paper testbed / ISCA'09 Table 3)"
+            if spec.calibrated
+            else "nominal datasheet figures — what-if trends only"
+        )
+    )
+    out(f"  paired bus: PCIe gen {spec.pcie_gen}")
+    out(
+        f"  geometry: {geometry.num_sms} SMs @ {geometry.clock_ghz}GHz, "
+        f"warp {geometry.warp_size}, per SM "
+        f"{geometry.max_threads_per_sm} threads / "
+        f"{geometry.max_warps_per_sm} warps / "
+        f"{geometry.max_blocks_per_sm} blocks, "
+        f"{geometry.registers_per_sm} registers, "
+        f"{geometry.shared_mem_per_sm // 1024}KiB shared"
+    )
+    out(
+        f"  memory: {memory.dram}, "
+        f"{memory.sustained_bandwidth / 1e9:.1f}GB/s sustained of "
+        f"{memory.theoretical_bandwidth / 1e9:.1f} theoretical, "
+        f"latency {memory.mem_latency_cycles:.0f} cycles, L2 "
+        + (
+            f"{memory.l2_bytes // 1024}KiB"
+            if memory.l2_bytes
+            else "none (texture-only caching)"
+        )
+        + f", coalescing {'strict' if memory.strict_coalescing else 'relaxed'}"
+    )
+    out(
+        f"  latencies: issue {latencies.issue_cycles:g}, departure "
+        f"{latencies.departure_del_coal:g} coal / "
+        f"{latencies.departure_del_uncoal:g} uncoal, sync "
+        f"{latencies.sync_cycles:g} cycles"
+    )
+    if spec.notes:
+        out(f"  notes: {spec.notes}")
+    out(f"  fingerprint: {spec.fingerprint()}")
+    return 0
+
+
+def _sweep_arch_axis(args, ctx, workload, engine, out) -> int:
+    from repro.gpu.registry import arch_ids, get_spec
+
+    if args.axis != "size":
+        raise ValueError(
+            "--arch is its own sweep axis; drop --axis"
+        )
+    requested: list[str] = []
+    for item in args.arch:
+        if item.lower() == "all":
+            requested.extend(arch_ids())
+        else:
+            requested.append(item.lower())
+    seen: set[str] = set()
+    ids = [a for a in requested if not (a in seen or seen.add(a))]
+    dataset = _pick_dataset(workload, args.dataset)
+    program = workload.skeleton(dataset)
+    hints = workload.hints(dataset)
+    cpu = ctx.measured(workload, dataset).cpu_seconds
+
+    if args.argmin:
+        best = engine.argmin_arches(program, ids, hints=hints, buses="paired")
+        spec = get_spec(best.point.arch_id)
+        out(
+            f"{workload.name} / {dataset.label}: best of "
+            f"{len(ids)} architecture(s)"
+        )
+        out(
+            f"  best: {spec.id} ({spec.display_name}, PCIe gen "
+            f"{spec.pcie_gen}) -> {seconds_to_human(best.seconds)}  ->  "
+            f"{best.point.projection.speedup(cpu, 1):.2f}x"
+        )
+        return 0
+
+    points = engine.sweep_arches(
+        program, ids, hints=hints, buses="paired", check=args.check
+    )
+    header = (
+        f"{workload.name} / {dataset.label}: what-if across "
+        f"{len(points)} architecture(s), paired PCIe buses"
+    )
+    if args.check:
+        header += "  [every point checked against the per-arch pipeline]"
+    out(header)
+    best_index = min(range(len(points)), key=lambda i: points[i].seconds)
+    worth_marked = False
+    for index, point in enumerate(points):
+        spec = get_spec(point.arch_id)
+        speedup = point.projection.speedup(cpu, 1)
+        marks = []
+        if speedup > 1.0 and not worth_marked:
+            worth_marked = True
+            marks.append("first worth porting")
+        if index == best_index:
+            marks.append("best")
+        suffix = f"  [{', '.join(marks)}]" if marks else ""
+        out(
+            f"  {point.arch_id} (PCIe gen {spec.pcie_gen}): kernel "
+            f"{seconds_to_human(point.projection.kernel_seconds)} + "
+            f"transfer "
+            f"{seconds_to_human(point.projection.transfer_seconds)} = "
+            f"{seconds_to_human(point.seconds)}  ->  {speedup:.2f}x{suffix}"
+        )
+    stats = engine.stats
+    out(
+        f"  served: 1 transfer plan re-priced per architecture, kernel "
+        f"grids shared across {stats['groups_shared']}/"
+        f"{stats['coalescing_groups']} coalescing group(s)"
+    )
+    return 0
+
+
 def _cmd_sweep(args, out) -> int:
     from repro.pcie.presets import bus_for_generation
 
     ctx = ExperimentContext(seed=args.seed)
     workload = get_workload(args.workload)
     engine = ctx.sweep_engine
+
+    if args.arch:
+        return _sweep_arch_axis(args, ctx, workload, engine, out)
 
     if args.argmin:
         if args.axis != "size":
@@ -1181,9 +1355,16 @@ def _daemon_payload(args) -> dict:
             hint="e.g. `daemon submit --workload VectorAdd`",
         )
     payload: dict = {"workload": args.workload}
+    arches = getattr(args, "arch", None)
     if args.kind == "sweep":
         if args.dataset:
             payload["datasets"] = args.dataset
+        if arches:
+            payload["arches"] = (
+                "all"
+                if any(a.lower() == "all" for a in arches)
+                else [a.lower() for a in arches]
+            )
         return payload
     if args.kind == "batch":
         raise BadRequestError(
@@ -1193,6 +1374,8 @@ def _daemon_payload(args) -> dict:
         )
     if args.dataset:
         payload["dataset"] = args.dataset[0]
+    if arches:
+        payload["arch"] = arches[0].lower()
     if getattr(args, "mode", None):
         payload["mode"] = args.mode
     return payload
@@ -1328,6 +1511,7 @@ _COMMANDS = {
     "artifacts": _cmd_artifacts,
     "experiment": _cmd_experiment,
     "sweep": _cmd_sweep,
+    "arch": _cmd_arch,
     "batch": _cmd_batch,
     "surrogate": _cmd_surrogate,
     "cache-stats": _cmd_cache_stats,
@@ -1354,6 +1538,7 @@ def main(argv: Sequence[str] | None = None, out=print, err=None) -> int:
     unparsable skeleton files) are reported as a single ``error: ...``
     line on stderr (or via ``err``) with exit status 2.
     """
+    from repro.gpu.registry import UnknownArchitectureError
     from repro.service.jobs import BadRequestError
 
     if err is None:
@@ -1363,6 +1548,13 @@ def main(argv: Sequence[str] | None = None, out=print, err=None) -> int:
         return _COMMANDS[args.command](args, out)
     except BadRequestError as exc:
         _emit_structured(exc.to_dict(), err)
+        return 2
+    except UnknownArchitectureError as exc:
+        # Same {error, field, hint} contract as a bad batch/daemon
+        # record, whichever surface the id came through.
+        _emit_structured(
+            {"error": str(exc), "field": "arch", "hint": exc.hint}, err
+        )
         return 2
     except (KeyError, OSError, ValueError) as exc:
         err(f"error: {_error_line(exc)}")

@@ -31,6 +31,11 @@ from typing import Any
 from repro.daemon.checkpoint import SweepCheckpoint
 from repro.daemon.protocol import Job, error_body
 from repro.daemon.queue import JobQueue
+from repro.gpu.registry import (
+    UnknownArchitectureError,
+    arch_ids,
+    get_arch,
+)
 from repro.obs.metrics import nearest_rank
 from repro.obs.trace import span as trace_span
 from repro.service.engine import ProjectionEngine
@@ -288,17 +293,60 @@ class Scheduler:
             "summary": batch_records_summary(rows),
             "resumed_tiles": len(tiles),
         }
+        if "arches" in job.payload:
+            result["arches"] = self._sweep_arches(job.payload)
         checkpoint.discard()
         return result
 
     @staticmethod
-    def _sweep_requests(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    def _sweep_arches(payload: dict[str, Any]) -> list[str]:
+        """Validate and normalize a sweep payload's architecture axis.
+
+        ``"all"`` expands to the whole registry; otherwise every entry
+        must be a registry id — an unknown one fails the job with the
+        structured ``{error, field, hint}`` body listing valid ids.
+        """
+        arches = payload.get("arches")
+        if "arch" in payload:
+            raise BadRequestError(
+                "'arch' and 'arches' are mutually exclusive",
+                field="arches",
+                hint="use 'arch' for one architecture or 'arches' for "
+                "an axis",
+            )
+        if arches == "all":
+            return list(arch_ids())
+        if not isinstance(arches, list) or not arches:
+            raise BadRequestError(
+                "'arches' must be \"all\" or a non-empty list of "
+                "registry ids",
+                field="arches",
+                hint="`python -m repro arch list` shows the fleet",
+            )
+        normalized = []
+        for arch_id in arches:
+            name = str(arch_id).lower()
+            try:
+                get_arch(name)
+            except UnknownArchitectureError as exc:
+                raise BadRequestError(
+                    str(exc), field="arches", hint=exc.hint
+                ) from exc
+            normalized.append(name)
+        return normalized
+
+    @classmethod
+    def _sweep_requests(cls, payload: dict[str, Any]) -> list[dict[str, Any]]:
         """Expand a sweep payload into per-point request records.
 
         ``{"workload": W, "datasets": [...]}`` — every listed dataset
         (default: all of the workload's) becomes one tile, carrying any
         shared optional fields (``iterations``, ``arch``, ``pcie_gen``,
-        ``batched_transfers``, ``cpu_ms``) through unchanged.
+        ``batched_transfers``, ``cpu_ms``) through unchanged.  An
+        ``arches`` axis (a list of registry ids, or ``"all"``) crosses
+        the dataset axis — one tile per (architecture, dataset), ids
+        ``W/label@arch`` in architecture-major order — and is mutually
+        exclusive with the shared ``arch`` field.
         """
         from repro.workloads.registry import get_workload
 
@@ -337,6 +385,18 @@ class Scheduler:
             )
             if key in payload
         }
+        if "arches" in payload:
+            return [
+                {
+                    "id": f"{workload.name}/{label}@{arch_id}",
+                    "workload": workload.name,
+                    "dataset": str(label),
+                    **shared,
+                    "arch": arch_id,
+                }
+                for arch_id in cls._sweep_arches(payload)
+                for label in labels
+            ]
         return [
             {
                 "id": f"{workload.name}/{label}",

@@ -14,6 +14,20 @@ from repro.gpu.arch import (
     tesla_c1060,
 )
 from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.registry import (
+    ArchSpec,
+    InstructionLatencies,
+    MemoryHierarchy,
+    SmGeometry,
+    UnknownArchitectureError,
+    all_specs,
+    arch_ids,
+    get_arch,
+    get_bus,
+    get_spec,
+    resolve_arch,
+    spec_for_arch,
+)
 from repro.gpu.occupancy import OccupancyResult, occupancy
 from repro.gpu.model import GpuTimingBreakdown, GpuPerformanceModel
 from repro.gpu.sensitivity import (
@@ -32,6 +46,18 @@ __all__ = [
     "quadro_fx_5600",
     "gtx_280",
     "tesla_c1060",
+    "ArchSpec",
+    "SmGeometry",
+    "MemoryHierarchy",
+    "InstructionLatencies",
+    "UnknownArchitectureError",
+    "arch_ids",
+    "all_specs",
+    "get_spec",
+    "get_arch",
+    "get_bus",
+    "resolve_arch",
+    "spec_for_arch",
     "KernelCharacteristics",
     "OccupancyResult",
     "occupancy",

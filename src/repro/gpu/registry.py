@@ -1,0 +1,529 @@
+"""First-class architecture registry: named GPU generations by stable id.
+
+The analytical model was calibrated against the paper's testbed GPU
+(Quadro FX 5600, G80) plus the two GT200 boards Hong & Kim published
+parameters for.  Its real leverage, though, is answering "which GPU +
+bus generation first makes this workload worth porting" — the
+per-architecture parameter-table approach PPT-GPU scales across
+Tesla→Volta.  This module promotes :class:`~repro.gpu.arch.GPUArchitecture`
+from three hand-built constructors to a registry of named generations,
+each carrying explicit per-arch tables:
+
+* :class:`SmGeometry` — the occupancy-limiting execution resources,
+* :class:`MemoryHierarchy` — the DRAM path as seen from an SM,
+* :class:`InstructionLatencies` — MWP/CWP issue/departure inputs,
+
+paired with a matching PCIe-generation :class:`~repro.pcie.model.BusModel`
+default and addressable by a stable string id with a content fingerprint.
+
+Calibration caveat
+------------------
+Only the three entries with ``calibrated=True`` carry parameters tied to
+published measurements (Hong & Kim ISCA'09 Table 3 and the paper's
+Argonne testbed).  The later generations use vendor datasheet geometry
+with *nominal* sustained-bandwidth and latency figures (~80% of
+theoretical peak, microbenchmark-era latencies); they are intended for
+cross-generation what-if trends, not absolute-accuracy claims.  See
+docs/ARCHITECTURES.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.gpu.arch import (
+    GPUArchitecture,
+    gtx_280,
+    quadro_fx_5600,
+    tesla_c1060,
+)
+from repro.pcie.model import BusModel
+from repro.pcie.presets import bus_for_generation
+from repro.util.fingerprint import stable_digest
+
+
+class UnknownArchitectureError(ValueError):
+    """An architecture id that is not in the registry.
+
+    Carries the sorted tuple of valid ids so every surface (CLI, daemon
+    payloads, sweep axes) can render the same ``{error, field, hint}``
+    structured error instead of a traceback.
+    """
+
+    def __init__(self, arch_id: object, known: Iterable[str]):
+        self.arch_id = arch_id
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown architecture {arch_id!r}; know {list(self.known)}"
+        )
+
+    @property
+    def hint(self) -> str:
+        return "one of: " + ", ".join(self.known)
+
+
+@dataclass(frozen=True)
+class SmGeometry:
+    """Per-SM execution geometry: the occupancy-limiting resources."""
+
+    num_sms: int
+    clock_ghz: float  # shader (SP) clock
+    warp_size: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    max_warps_per_sm: int
+    registers_per_sm: int
+    shared_mem_per_sm: int  # bytes
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """The DRAM path as seen from an SM.
+
+    ``sustained_bandwidth`` is what the MWP peak-bandwidth bound uses —
+    the theoretical peak is unreachable by any kernel, so feeding it to
+    the model would make the bound meaningless.
+    """
+
+    dram: str  # memory technology, e.g. "GDDR3"
+    theoretical_bandwidth: float  # vendor peak, bytes/s
+    sustained_bandwidth: float  # model input, bytes/s
+    mem_latency_cycles: float  # DRAM round-trip in SP cycles
+    l2_bytes: int  # unified L2 size; 0 = texture-only caching (pre-Fermi)
+    coalesced_bytes_per_warp: int
+    uncoal_transactions_per_warp: int
+    strict_coalescing: bool  # compute-1.0 rules: misalignment serializes
+
+
+@dataclass(frozen=True)
+class InstructionLatencies:
+    """Issue/departure latencies in SP cycles (MWP/CWP model inputs)."""
+
+    issue_cycles: float
+    departure_del_coal: float
+    departure_del_uncoal: float
+    sync_cycles: float
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """A registered architecture generation: tables + pairing metadata."""
+
+    id: str
+    display_name: str
+    generation: str  # e.g. "Tesla (G80)", "Fermi"
+    chip: str  # e.g. "G80", "GK110"
+    compute_capability: str
+    year: int
+    pcie_gen: int  # paired BusModel default generation
+    calibrated: bool  # parameters tied to published measurements?
+    geometry: SmGeometry
+    memory: MemoryHierarchy
+    latencies: InstructionLatencies
+    notes: str = ""
+
+    def architecture(self) -> GPUArchitecture:
+        """Assemble the model-facing machine description from the tables."""
+        return GPUArchitecture(
+            name=self.display_name,
+            num_sms=self.geometry.num_sms,
+            clock_ghz=self.geometry.clock_ghz,
+            warp_size=self.geometry.warp_size,
+            max_threads_per_sm=self.geometry.max_threads_per_sm,
+            max_blocks_per_sm=self.geometry.max_blocks_per_sm,
+            max_warps_per_sm=self.geometry.max_warps_per_sm,
+            registers_per_sm=self.geometry.registers_per_sm,
+            shared_mem_per_sm=self.geometry.shared_mem_per_sm,
+            mem_bandwidth=self.memory.sustained_bandwidth,
+            mem_latency_cycles=self.memory.mem_latency_cycles,
+            departure_del_coal=self.latencies.departure_del_coal,
+            departure_del_uncoal=self.latencies.departure_del_uncoal,
+            issue_cycles=self.latencies.issue_cycles,
+            coalesced_bytes_per_warp=self.memory.coalesced_bytes_per_warp,
+            uncoal_transactions_per_warp=(
+                self.memory.uncoal_transactions_per_warp
+            ),
+            sync_cycles=self.latencies.sync_cycles,
+            strict_coalescing=self.memory.strict_coalescing,
+        )
+
+    def bus(self) -> BusModel:
+        """The paired PCIe-generation bus default for this board class."""
+        return bus_for_generation(self.pcie_gen)
+
+    def fingerprint(self) -> str:
+        """Content hash over the tables, the metadata, and the assembled
+        machine description — any parameter or pairing change drifts it."""
+        return stable_digest(
+            {
+                "spec": dataclasses.asdict(self),
+                "arch": self.architecture().fingerprint(),
+            }
+        )
+
+
+#: Capabilities the registry guarantees non-decreasing in registration
+#: (chronological) order.  Shared-memory per SM is deliberately absent:
+#: Maxwell (96 KiB) exceeds Pascal GP100 (64 KiB).
+MONOTONE_CAPABILITIES: tuple[str, ...] = (
+    "year",
+    "pcie_gen",
+    "max_threads_per_sm",
+    "max_blocks_per_sm",
+    "max_warps_per_sm",
+    "registers_per_sm",
+    "theoretical_bandwidth",
+    "sustained_bandwidth",
+)
+
+
+def capability(spec: ArchSpec, name: str) -> float:
+    """Look a capability up across the spec's nested tables."""
+    for table in (spec, spec.geometry, spec.memory, spec.latencies):
+        if hasattr(table, name):
+            return getattr(table, name)
+    raise AttributeError(f"no capability {name!r} on {spec.id}")
+
+
+_REGISTRY: dict[str, ArchSpec] = {}
+_ARCH_CACHE: dict[str, GPUArchitecture] = {}
+
+
+def register(spec: ArchSpec) -> ArchSpec:
+    """Add a spec to the registry (ids are unique and stable)."""
+    if spec.id in _REGISTRY:
+        raise ValueError(f"duplicate architecture id {spec.id!r}")
+    _REGISTRY[spec.id] = spec
+    return spec
+
+
+def arch_ids() -> tuple[str, ...]:
+    """Registered ids in registration (chronological) order."""
+    return tuple(_REGISTRY)
+
+
+def all_specs() -> tuple[ArchSpec, ...]:
+    return tuple(_REGISTRY.values())
+
+
+def get_spec(arch_id: str) -> ArchSpec:
+    try:
+        return _REGISTRY[arch_id]
+    except KeyError:
+        raise UnknownArchitectureError(arch_id, arch_ids()) from None
+
+
+def get_arch(arch_id: str) -> GPUArchitecture:
+    """The assembled machine description for a registry id (cached, so
+    repeat lookups return the identical object and model caches keyed on
+    identity stay warm)."""
+    if arch_id not in _ARCH_CACHE:
+        _ARCH_CACHE[arch_id] = get_spec(arch_id).architecture()
+    return _ARCH_CACHE[arch_id]
+
+
+def get_bus(arch_id: str) -> BusModel:
+    return get_spec(arch_id).bus()
+
+
+def resolve_arch(
+    value: "str | ArchSpec | GPUArchitecture",
+) -> GPUArchitecture:
+    """Coerce a registry id, spec, or explicit architecture to the
+    machine description the model consumes."""
+    if isinstance(value, GPUArchitecture):
+        return value
+    if isinstance(value, ArchSpec):
+        return get_arch(value.id) if value.id in _REGISTRY else (
+            value.architecture()
+        )
+    return get_arch(value)
+
+
+def spec_for_arch(arch: GPUArchitecture) -> "ArchSpec | None":
+    """The registered spec whose assembled arch matches, if any."""
+    for spec in _REGISTRY.values():
+        if get_arch(spec.id) == arch:
+            return spec
+    return None
+
+
+def _spec_from_factory(
+    factory: Callable[[], GPUArchitecture],
+    *,
+    id: str,
+    generation: str,
+    chip: str,
+    compute_capability: str,
+    year: int,
+    pcie_gen: int,
+    dram: str,
+    theoretical_bandwidth: float,
+    l2_bytes: int,
+    notes: str = "",
+) -> ArchSpec:
+    """Derive a spec from one of the calibrated hand-built constructors.
+
+    The tables are read off the constructed architecture, so
+    ``spec.architecture()`` reassembles a value-identical (and therefore
+    fingerprint-identical) machine description — the golden tests pin
+    this byte-for-byte.
+    """
+    arch = factory()
+    return ArchSpec(
+        id=id,
+        display_name=arch.name,
+        generation=generation,
+        chip=chip,
+        compute_capability=compute_capability,
+        year=year,
+        pcie_gen=pcie_gen,
+        calibrated=True,
+        geometry=SmGeometry(
+            num_sms=arch.num_sms,
+            clock_ghz=arch.clock_ghz,
+            warp_size=arch.warp_size,
+            max_threads_per_sm=arch.max_threads_per_sm,
+            max_blocks_per_sm=arch.max_blocks_per_sm,
+            max_warps_per_sm=arch.max_warps_per_sm,
+            registers_per_sm=arch.registers_per_sm,
+            shared_mem_per_sm=arch.shared_mem_per_sm,
+        ),
+        memory=MemoryHierarchy(
+            dram=dram,
+            theoretical_bandwidth=theoretical_bandwidth,
+            sustained_bandwidth=arch.mem_bandwidth,
+            mem_latency_cycles=arch.mem_latency_cycles,
+            l2_bytes=l2_bytes,
+            coalesced_bytes_per_warp=arch.coalesced_bytes_per_warp,
+            uncoal_transactions_per_warp=arch.uncoal_transactions_per_warp,
+            strict_coalescing=arch.strict_coalescing,
+        ),
+        latencies=InstructionLatencies(
+            issue_cycles=arch.issue_cycles,
+            departure_del_coal=arch.departure_del_coal,
+            departure_del_uncoal=arch.departure_del_uncoal,
+            sync_cycles=arch.sync_cycles,
+        ),
+        notes=notes,
+    )
+
+
+# --------------------------------------------------------------------------
+# The fleet, in chronological order.  The first three are the calibrated
+# paper-era boards; the rest are datasheet-geometry generations with
+# nominal memory figures (see the module docstring's calibration caveat).
+# --------------------------------------------------------------------------
+
+register(
+    _spec_from_factory(
+        quadro_fx_5600,
+        id="quadro_fx_5600",
+        generation="Tesla (G80)",
+        chip="G80",
+        compute_capability="1.0",
+        year=2007,
+        pcie_gen=1,
+        dram="GDDR3",
+        theoretical_bandwidth=76.8e9,
+        l2_bytes=0,
+        notes=(
+            "The paper's Argonne testbed GPU; Hong & Kim ISCA'09 Table 3 "
+            "parameters, PCIe v1 board."
+        ),
+    )
+)
+
+register(
+    _spec_from_factory(
+        tesla_c1060,
+        id="tesla_c1060",
+        generation="Tesla (GT200)",
+        chip="GT200",
+        compute_capability="1.3",
+        year=2008,
+        pcie_gen=2,
+        dram="GDDR3",
+        theoretical_bandwidth=102.0e9,
+        l2_bytes=0,
+        notes="The HPC board of the era; relaxed coalescing.",
+    )
+)
+
+register(
+    _spec_from_factory(
+        gtx_280,
+        id="gtx_280",
+        generation="Tesla (GT200)",
+        chip="GT200",
+        compute_capability="1.3",
+        year=2008,
+        pcie_gen=2,
+        dram="GDDR3",
+        theoretical_bandwidth=141.7e9,
+        l2_bytes=0,
+        notes="GT200 consumer flagship; Hong & Kim's second testbed class.",
+    )
+)
+
+register(
+    ArchSpec(
+        id="fermi_gtx_480",
+        display_name="GeForce GTX 480",
+        generation="Fermi",
+        chip="GF100",
+        compute_capability="2.0",
+        year=2010,
+        pcie_gen=2,
+        calibrated=False,
+        geometry=SmGeometry(
+            num_sms=15,
+            clock_ghz=1.401,
+            warp_size=32,
+            max_threads_per_sm=1536,
+            max_blocks_per_sm=8,
+            max_warps_per_sm=48,
+            registers_per_sm=32768,
+            shared_mem_per_sm=48 * 1024,
+        ),
+        memory=MemoryHierarchy(
+            dram="GDDR5",
+            theoretical_bandwidth=177.4e9,
+            sustained_bandwidth=142.0e9,
+            mem_latency_cycles=440.0,
+            l2_bytes=768 * 1024,
+            coalesced_bytes_per_warp=128,
+            uncoal_transactions_per_warp=32,
+            strict_coalescing=False,
+        ),
+        latencies=InstructionLatencies(
+            issue_cycles=2.0,  # two 16-wide pipelines per SM
+            departure_del_coal=4.0,
+            departure_del_uncoal=40.0,
+            sync_cycles=20.0,
+        ),
+        notes="First unified-L2 generation; nominal sustained figures.",
+    )
+)
+
+register(
+    ArchSpec(
+        id="kepler_k20",
+        display_name="Tesla K20",
+        generation="Kepler",
+        chip="GK110",
+        compute_capability="3.5",
+        year=2012,
+        pcie_gen=2,
+        calibrated=False,
+        geometry=SmGeometry(
+            num_sms=13,
+            clock_ghz=0.706,
+            warp_size=32,
+            max_threads_per_sm=2048,
+            max_blocks_per_sm=16,
+            max_warps_per_sm=64,
+            registers_per_sm=65536,
+            shared_mem_per_sm=48 * 1024,
+        ),
+        memory=MemoryHierarchy(
+            dram="GDDR5",
+            theoretical_bandwidth=208.0e9,
+            sustained_bandwidth=166.0e9,
+            mem_latency_cycles=380.0,
+            l2_bytes=1280 * 1024,
+            coalesced_bytes_per_warp=128,
+            uncoal_transactions_per_warp=32,
+            strict_coalescing=False,
+        ),
+        latencies=InstructionLatencies(
+            issue_cycles=1.0,  # warp-wide schedulers
+            departure_del_coal=4.0,
+            departure_del_uncoal=40.0,
+            sync_cycles=16.0,
+        ),
+        notes="SMX-era HPC board (PCIe gen2); nominal sustained figures.",
+    )
+)
+
+register(
+    ArchSpec(
+        id="maxwell_gtx_980",
+        display_name="GeForce GTX 980",
+        generation="Maxwell",
+        chip="GM204",
+        compute_capability="5.2",
+        year=2014,
+        pcie_gen=3,
+        calibrated=False,
+        geometry=SmGeometry(
+            num_sms=16,
+            clock_ghz=1.126,
+            warp_size=32,
+            max_threads_per_sm=2048,
+            max_blocks_per_sm=32,
+            max_warps_per_sm=64,
+            registers_per_sm=65536,
+            shared_mem_per_sm=96 * 1024,
+        ),
+        memory=MemoryHierarchy(
+            dram="GDDR5",
+            theoretical_bandwidth=224.0e9,
+            sustained_bandwidth=179.0e9,
+            mem_latency_cycles=368.0,
+            l2_bytes=2048 * 1024,
+            coalesced_bytes_per_warp=128,
+            uncoal_transactions_per_warp=32,
+            strict_coalescing=False,
+        ),
+        latencies=InstructionLatencies(
+            issue_cycles=1.0,
+            departure_del_coal=4.0,
+            departure_del_uncoal=40.0,
+            sync_cycles=16.0,
+        ),
+        notes="SMM generation; nominal sustained figures.",
+    )
+)
+
+register(
+    ArchSpec(
+        id="pascal_p100",
+        display_name="Tesla P100",
+        generation="Pascal",
+        chip="GP100",
+        compute_capability="6.0",
+        year=2016,
+        pcie_gen=3,
+        calibrated=False,
+        geometry=SmGeometry(
+            num_sms=56,
+            clock_ghz=1.328,
+            warp_size=32,
+            max_threads_per_sm=2048,
+            max_blocks_per_sm=32,
+            max_warps_per_sm=64,
+            registers_per_sm=65536,
+            shared_mem_per_sm=64 * 1024,
+        ),
+        memory=MemoryHierarchy(
+            dram="HBM2",
+            theoretical_bandwidth=732.0e9,
+            sustained_bandwidth=585.0e9,
+            mem_latency_cycles=404.0,
+            l2_bytes=4096 * 1024,
+            coalesced_bytes_per_warp=128,
+            uncoal_transactions_per_warp=32,
+            strict_coalescing=False,
+        ),
+        latencies=InstructionLatencies(
+            issue_cycles=1.0,
+            departure_del_coal=4.0,
+            departure_del_uncoal=40.0,
+            sync_cycles=16.0,
+        ),
+        notes="HBM2 stacked-memory generation; nominal sustained figures.",
+    )
+)

@@ -12,7 +12,8 @@ source is required:
 
 Optional fields: ``id`` (echoed in the result; defaults to the line
 number), ``iterations``, ``cpu_ms`` (enables a speedup verdict),
-``arch`` (``quadro_fx_5600`` | ``tesla_c1060`` | ``gtx_280``),
+``arch`` (any :mod:`repro.gpu.registry` id — ``python -m repro arch
+list`` shows the fleet),
 ``pcie_gen`` (1 | 2 | 3 — an analytic bus preset instead of the
 engine's calibrated bus), ``batched_transfers``, ``temporaries`` (extra
 temporary-array hints), and ``sparse_extents`` (array name -> referenced
@@ -43,11 +44,9 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.datausage.hints import AnalysisHints, SparseExtentHint
-from repro.gpu.arch import (
-    GPUArchitecture,
-    gtx_280,
-    quadro_fx_5600,
-    tesla_c1060,
+from repro.gpu.registry import (
+    UnknownArchitectureError,
+    get_arch,
 )
 from repro.obs.metrics import nearest_rank
 from repro.pcie.presets import bus_for_generation
@@ -59,12 +58,6 @@ from repro.service.engine import (
 from repro.service.parallel import shared_pool
 from repro.skeleton.parser import parse_skeleton, parse_skeleton_file
 from repro.workloads.registry import get_workload
-
-_ARCHS: dict[str, Callable[[], GPUArchitecture]] = {
-    "quadro_fx_5600": quadro_fx_5600,
-    "tesla_c1060": tesla_c1060,
-    "gtx_280": gtx_280,
-}
 
 _SOURCE_FIELDS = ("workload", "skeleton_file", "skeleton")
 
@@ -314,14 +307,12 @@ def parse_request(
 
     arch = None
     if "arch" in data:
-        name = str(data["arch"]).lower()
-        if name not in _ARCHS:
+        try:
+            arch = get_arch(str(data["arch"]).lower())
+        except UnknownArchitectureError as exc:
             raise BadRequestError(
-                f"unknown arch {data['arch']!r}; know {sorted(_ARCHS)}",
-                field="arch",
-                hint=f"one of {', '.join(sorted(_ARCHS))}",
-            )
-        arch = _ARCHS[name]()
+                str(exc), field="arch", hint=exc.hint
+            ) from exc
     bus = None
     if "pcie_gen" in data:
         try:

@@ -11,12 +11,21 @@ points in one vectorized pass per kernel.  Results are numerically
 identical to projecting each point individually; see ``docs/SWEEP.md``.
 """
 
-from repro.sweep.engine import BusSweepPoint, SweepEngine
+from repro.sweep.engine import (
+    ArchArgmin,
+    ArchSweepPoint,
+    ArchSweepRow,
+    BusSweepPoint,
+    SweepEngine,
+)
 from repro.sweep.parametric import AffineInt, fit_affine
 from repro.sweep.structure import PlanTemplate, fit_plan_template
 
 __all__ = [
     "AffineInt",
+    "ArchArgmin",
+    "ArchSweepPoint",
+    "ArchSweepRow",
     "BusSweepPoint",
     "PlanTemplate",
     "SweepEngine",

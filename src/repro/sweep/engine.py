@@ -32,6 +32,7 @@ from repro.datausage.hints import AnalysisHints
 from repro.datausage.transfers import TransferPlan
 from repro.gpu.arch import GPUArchitecture
 from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.registry import ArchSpec, get_arch, get_spec, spec_for_arch
 from repro.gpu.vectorized import bound_min_grid, score_grid
 from repro.obs.trace import span as trace_span
 from repro.pcie.model import BusModel
@@ -111,6 +112,48 @@ class SweepArgmin:
     seconds: float
     bounds: tuple[float, ...] | None
     evaluated: tuple[int, ...]
+    stats: dict[str, int]
+
+
+@dataclass(frozen=True)
+class ArchSweepPoint:
+    """One architecture of a cross-generation what-if, with its bus.
+
+    ``arch_id`` is the registry id when the axis entry resolved through
+    :mod:`repro.gpu.registry` (``None`` for a hand-built architecture
+    passed directly); ``bus`` is whatever the axis priced transfers on —
+    the engine's bus by default, the registry-paired PCIe default with
+    ``buses="paired"``.
+    """
+
+    arch_id: str | None
+    arch: GPUArchitecture
+    bus: BusModel
+    projection: Projection
+
+    @property
+    def seconds(self) -> float:
+        """``projection.total_seconds(1)`` — the quantity compared."""
+        return self.projection.total_seconds(1)
+
+
+@dataclass(frozen=True)
+class ArchSweepRow:
+    """One architecture's row of an arch x dataset grid sweep."""
+
+    arch_id: str | None
+    arch: GPUArchitecture
+    bus: BusModel
+    projections: tuple[Projection, ...]
+
+
+@dataclass(frozen=True)
+class ArchArgmin:
+    """The winning architecture of a fleet sweep (first minimum)."""
+
+    index: int
+    point: ArchSweepPoint
+    seconds: float
     stats: dict[str, int]
 
 
@@ -478,6 +521,328 @@ class SweepEngine:
             )
         return points
 
+    # Architecture axis -----------------------------------------------------
+    def sweep_arches_workload(
+        self,
+        workload: Workload,
+        arches: Sequence["str | ArchSpec | GPUArchitecture"],
+        dataset: Dataset | None = None,
+        buses: "Sequence[BusModel] | str | None" = None,
+        check: bool = False,
+    ) -> list[ArchSweepPoint]:
+        """:meth:`sweep_arches` on one workload dataset (largest by
+        default — the porting decision is usually asked at full size)."""
+        if dataset is None:
+            dataset = max(workload.datasets(), key=lambda d: d.size)
+        return self.sweep_arches(
+            workload.skeleton(dataset),
+            arches,
+            hints=workload.hints(dataset),
+            buses=buses,
+            check=check,
+        )
+
+    def sweep_arches(
+        self,
+        program: ProgramSkeleton,
+        arches: Sequence["str | ArchSpec | GPUArchitecture"],
+        hints: AnalysisHints | None = None,
+        buses: "Sequence[BusModel] | str | None" = None,
+        check: bool = False,
+    ) -> list[ArchSweepPoint]:
+        """Score one program across an architecture fleet, in axis order.
+
+        The transfer plan is architecture-independent, so it is analyzed
+        once and re-priced per point; kernel analyses and characteristics
+        grids are shared across every architecture with the same
+        coalescing rules, so only the vectorized scoring pass runs per
+        architecture.  ``arches`` entries are registry ids, specs, or
+        explicit architectures; ``buses`` is ``None`` (engine bus for
+        every point), ``"paired"`` (each registry arch's PCIe-generation
+        default), or one explicit bus per axis entry.  ``check=True``
+        re-projects every point through a fresh per-arch pipeline and
+        asserts equality — the oracle mode.
+        """
+        rows = self.sweep_arch_grid(
+            [program], arches, hints=[hints], buses=buses, check=check
+        )
+        return [
+            ArchSweepPoint(row.arch_id, row.arch, row.bus, row.projections[0])
+            for row in rows
+        ]
+
+    def argmin_arches(
+        self,
+        program: ProgramSkeleton,
+        arches: Sequence["str | ArchSpec | GPUArchitecture"],
+        hints: AnalysisHints | None = None,
+        buses: "Sequence[BusModel] | str | None" = None,
+    ) -> ArchArgmin:
+        """The fleet's fastest architecture for one program.
+
+        The fleet is small (registry-sized), so every point is evaluated;
+        the strict ``<`` keeps the first minimum in axis order, exactly
+        as a full sweep's ``min()`` would pick it.
+        """
+        points = self.sweep_arches(program, arches, hints=hints, buses=buses)
+        best_index = -1
+        best_seconds = float("inf")
+        best: ArchSweepPoint | None = None
+        for index, point in enumerate(points):
+            seconds = point.seconds
+            if seconds < best_seconds:
+                best_index, best_seconds, best = index, seconds, point
+        assert best is not None  # axis validated non-empty by the sweep
+        stats = dict(self.stats)
+        stats["points_evaluated"] = len(points)
+        self.stats = stats
+        return ArchArgmin(
+            index=best_index, point=best, seconds=best_seconds, stats=stats
+        )
+
+    def sweep_arch_grid(
+        self,
+        programs: Sequence[ProgramSkeleton],
+        arches: Sequence["str | ArchSpec | GPUArchitecture"],
+        hints: Sequence[AnalysisHints | None] | None = None,
+        sizes: Sequence[int] | None = None,
+        buses: "Sequence[BusModel] | str | None" = None,
+        check: bool = False,
+    ) -> list[ArchSweepRow]:
+        """A full architecture x point grid, one row per architecture.
+
+        Reuse across the grid: transfer plans are computed once for the
+        point axis (they do not depend on the architecture at all) and
+        re-priced per row; kernel analyses and characteristics grids are
+        built once per coalescing-rule group and scored per architecture.
+        A failed sharing certificate degrades that group to the per-point
+        exact pipeline, never to a wrong answer.
+        """
+        programs = list(programs)
+        if not programs:
+            raise ValueError("arch sweep needs at least one program")
+        entries = self._resolve_arch_axis(arches, buses)
+        hints_list = (
+            list(hints) if hints is not None else [None] * len(programs)
+        )
+        if len(hints_list) != len(programs):
+            raise ValueError(
+                f"hints do not match programs: {len(hints_list)} vs "
+                f"{len(programs)}"
+            )
+        if sizes is not None and len(sizes) != len(programs):
+            raise ValueError(
+                f"sizes do not match programs: {len(sizes)} vs "
+                f"{len(programs)}"
+            )
+        models = [
+            self._model
+            if entry[1] == self._model.arch
+            else GpuPerformanceModel(entry[1])
+            for entry in entries
+        ]
+        with trace_span(
+            "sweep-arches",
+            category="sweep",
+            arches=len(entries),
+            points=len(programs),
+        ) as root:
+            anchors = self._anchor_indices(len(programs), sizes)
+            with trace_span(
+                "transfer-planning", category="sweep", points=len(programs)
+            ):
+                maybe_plans, template_points = self._sweep_plans(
+                    programs, hints_list, sizes, anchors
+                )
+                plans = [
+                    plan
+                    if plan is not None
+                    else self._exact_plan(programs[i], hints_list[i])
+                    for i, plan in enumerate(maybe_plans)
+                ]
+
+            groups: dict[bool, list[int]] = {}
+            for index, (_aid, arch, _bus) in enumerate(entries):
+                groups.setdefault(arch.strict_coalescing, []).append(index)
+            kernels: list[list[ProgramProjection] | None] = (
+                [None] * len(entries)
+            )
+            shared_groups = 0
+            for flag, members in groups.items():
+                group_rows = self._arch_group_kernels(
+                    programs, anchors, flag, [models[i] for i in members]
+                )
+                if group_rows is None:
+                    for i in members:
+                        kernels[i] = [
+                            project_program(
+                                program,
+                                models[i],
+                                self._space,
+                                prune=self._prune,
+                            )
+                            for program in programs
+                        ]
+                else:
+                    shared_groups += 1
+                    for offset, i in enumerate(members):
+                        kernels[i] = group_rows[offset]
+
+            rows: list[ArchSweepRow] = []
+            for index, (arch_id, arch, bus) in enumerate(entries):
+                projections = []
+                for p, program in enumerate(programs):
+                    per_transfer = tuple(bus.predict_plan_by_transfer(plans[p]))
+                    row_kernels = kernels[index]
+                    assert row_kernels is not None  # every group filled
+                    projections.append(
+                        Projection(
+                            program=program.name,
+                            kernel_seconds=row_kernels[p].seconds,
+                            transfer_seconds=sum(per_transfer),
+                            plan=plans[p],
+                            per_transfer_seconds=per_transfer,
+                            kernels=row_kernels[p],
+                        )
+                    )
+                rows.append(
+                    ArchSweepRow(arch_id, arch, bus, tuple(projections))
+                )
+            self.stats = {
+                "arches": len(entries),
+                "points": len(programs),
+                "coalescing_groups": len(groups),
+                "groups_shared": shared_groups,
+                "plans_computed": len(programs),
+                "plans_from_template": template_points,
+                "plans_reused_across_arches": (
+                    (len(entries) - 1) * len(programs)
+                ),
+            }
+            root.set(**self.stats)
+        if check:
+            for row in rows:
+                fresh = GpuPerformanceModel(row.arch)
+                for p, program in enumerate(programs):
+                    exact = self._project_exact(
+                        program, hints_list[p], model=fresh, bus=row.bus
+                    )
+                    assert row.projections[p] == exact, (
+                        f"arch sweep point ({row.arch.name}, {program.name})"
+                        " diverged from the per-arch pipeline"
+                    )
+        return rows
+
+    def _resolve_arch_axis(
+        self,
+        arches: Sequence["str | ArchSpec | GPUArchitecture"],
+        buses: "Sequence[BusModel] | str | None",
+    ) -> list[tuple["str | None", GPUArchitecture, BusModel]]:
+        """Coerce the axis to (registry id, arch, bus) triples.
+
+        Unknown registry ids raise
+        :class:`~repro.gpu.registry.UnknownArchitectureError` (which
+        every serving surface renders as the structured ``{error, field,
+        hint}`` payload).
+        """
+        resolved: list[tuple["str | None", GPUArchitecture, "ArchSpec | None"]]
+        resolved = []
+        for item in arches:
+            if isinstance(item, GPUArchitecture):
+                spec = spec_for_arch(item)
+                resolved.append((spec.id if spec else None, item, spec))
+            elif isinstance(item, ArchSpec):
+                resolved.append((item.id, item.architecture(), item))
+            else:
+                spec = get_spec(item)
+                resolved.append((spec.id, get_arch(spec.id), spec))
+        if not resolved:
+            raise ValueError("arch sweep needs at least one architecture")
+        if buses is None:
+            bus_list: list[BusModel] = [self._bus] * len(resolved)
+        elif isinstance(buses, str):
+            if buses != "paired":
+                raise ValueError(
+                    f"unknown bus pairing {buses!r}; know 'paired'"
+                )
+            bus_list = [
+                spec.bus() if spec is not None else self._bus
+                for _aid, _arch, spec in resolved
+            ]
+        else:
+            bus_list = list(buses)
+            if len(bus_list) != len(resolved):
+                raise ValueError(
+                    f"buses do not match arches: {len(bus_list)} vs "
+                    f"{len(resolved)}"
+                )
+        return [
+            (arch_id, arch, bus)
+            for (arch_id, arch, _spec), bus in zip(resolved, bus_list)
+        ]
+
+    def _arch_group_kernels(
+        self,
+        programs: list[ProgramSkeleton],
+        anchors: list[int],
+        strict_coalescing: bool,
+        models: list[GpuPerformanceModel],
+    ) -> list[list[ProgramProjection]] | None:
+        """Kernel projections for every (model, point) of one coalescing
+        group via a single shared analysis, or ``None`` when the sharing
+        certificate fails (caller degrades to the per-point pipeline).
+
+        The characteristics grid depends on the coalescing rules but not
+        on the rest of the machine table, so it is synthesized once and
+        scored once per architecture — the same grid/columns objects feed
+        every :func:`~repro.gpu.vectorized.score_grid` pass (the batch
+        reads them, never writes).
+        """
+        shared = shared_kernel_analyses(programs, strict_coalescing, anchors)
+        if shared is None:
+            return None
+        configs = list(self._space.configs())
+        per_model_point: list[list[list[KernelProjection]]] = [
+            [[] for _ in programs] for _ in models
+        ]
+        for analysis, point_iterations in shared:
+            grids, synthesis_errors = analysis.characteristics_grid(
+                configs, point_iterations
+            )
+            if synthesis_errors:
+                compact = [
+                    [c for c in chars if c is not None] for chars in grids
+                ]
+                columns = None
+            else:
+                compact = grids
+                columns = _grid_columns(grids)
+            for m, model in enumerate(models):
+                scored = score_grid(
+                    model, compact, prune=self._prune, columns=columns
+                )
+                for point, (chars, results) in enumerate(zip(grids, scored)):
+                    per_model_point[m][point].append(
+                        self._assemble_kernel(
+                            analysis.kernel.name,
+                            configs,
+                            chars,
+                            synthesis_errors,
+                            results,
+                            model=model,
+                        )
+                    )
+        return [
+            [
+                ProgramProjection(
+                    program=program.name,
+                    kernels=tuple(per_model_point[m][p]),
+                )
+                for p, program in enumerate(programs)
+            ]
+            for m in range(len(models))
+        ]
+
     @staticmethod
     def _anchor_indices(
         count: int, sizes: Sequence[int] | None
@@ -550,8 +915,10 @@ class SweepEngine:
         chars: list,
         synthesis_errors: dict[int, str],
         results: list[tuple[str, object]],
+        model: GpuPerformanceModel | None = None,
     ) -> KernelProjection:
         """Mirror of the fast path's per-kernel result assembly."""
+        model = model if model is not None else self._model
         candidates: list[CandidateResult] = []
         skipped: list[tuple] = []
         pruned: list[tuple] = []
@@ -591,7 +958,7 @@ class SweepEngine:
         if best is None:
             raise ValueError(
                 f"no legal mapping for kernel {kernel_name!r} on "
-                f"{self._model.arch.name} (tried {len(skipped)})"
+                f"{model.arch.name} (tried {len(skipped)})"
             )
         return KernelProjection(
             kernel=kernel_name,
@@ -651,14 +1018,21 @@ class SweepEngine:
 
     # Oracle ----------------------------------------------------------------
     def _project_exact(
-        self, program: ProgramSkeleton, hints: AnalysisHints | None
+        self,
+        program: ProgramSkeleton,
+        hints: AnalysisHints | None,
+        model: GpuPerformanceModel | None = None,
+        bus: BusModel | None = None,
     ) -> Projection:
-        """The per-point pipeline (the ``check=True`` oracle)."""
+        """The per-point pipeline (the ``check=True`` oracle); ``model``
+        and ``bus`` override the engine's for per-arch oracle runs."""
+        model = model if model is not None else self._model
+        bus = bus if bus is not None else self._bus
         kernels = project_program(
-            program, self._model, self._space, prune=self._prune
+            program, model, self._space, prune=self._prune
         )
         plan = self._exact_plan(program, hints)
-        per_transfer = tuple(self._bus.predict_plan_by_transfer(plan))
+        per_transfer = tuple(bus.predict_plan_by_transfer(plan))
         return Projection(
             program=program.name,
             kernel_seconds=kernels.seconds,

@@ -1,0 +1,128 @@
+"""Daemon architecture axis: registry ids in payloads, end to end.
+
+Projection payloads take a shared ``arch`` registry id; sweep payloads
+additionally take an ``arches`` axis (a list of ids, or ``"all"``)
+crossed with the dataset axis in architecture-major order.  Unknown
+ids anywhere fail the job with the unified ``{error, field, hint}``
+body listing the valid fleet.
+"""
+
+from repro.gpu import registry
+from tests.daemon.test_server import running_daemon
+
+
+def run_job(client, kind, payload):
+    submitted = client.submit(kind, dict(payload))
+    return client.wait(submitted["id"], timeout=180)
+
+
+class TestProjectionArch:
+    def test_registry_id_is_honored(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            quadro = run_job(
+                client,
+                "projection",
+                {"workload": "VectorAdd", "arch": "quadro_fx_5600"},
+            )
+            pascal = run_job(
+                client,
+                "projection",
+                {"workload": "VectorAdd", "arch": "pascal_p100"},
+            )
+        assert quadro["state"] == pascal["state"] == "done"
+        assert (
+            pascal["result"]["record"]["total_seconds"]
+            < quadro["result"]["record"]["total_seconds"]
+        )
+
+    def test_unknown_arch_is_the_structured_error(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_job(
+                client,
+                "projection",
+                {"workload": "VectorAdd", "arch": "volta_v100"},
+            )
+        assert body["state"] == "failed"
+        assert body["error"]["field"] == "arch"
+        assert "unknown architecture" in body["error"]["error"]
+        for arch_id in registry.arch_ids():
+            assert arch_id in body["error"]["hint"]
+
+
+class TestSweepArches:
+    def test_axis_crosses_datasets_arch_major(self, tmp_path):
+        arches = ["gtx_280", "kepler_k20"]
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_job(
+                client,
+                "sweep",
+                {"workload": "HotSpot", "arches": arches},
+            )
+        assert body["state"] == "done"
+        result = body["result"]
+        assert result["arches"] == arches
+        points = result["points"]
+        from repro.workloads.registry import get_workload
+
+        labels = [d.label for d in get_workload("HotSpot").datasets()]
+        assert [p["id"] for p in points] == [
+            f"HotSpot/{label}@{arch_id}"
+            for arch_id in arches
+            for label in labels
+        ]
+        assert all(p["ok"] for p in points)
+
+    def test_all_expands_to_the_whole_fleet(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_job(
+                client,
+                "sweep",
+                {
+                    "workload": "VectorAdd",
+                    "arches": "all",
+                    "datasets": ["4M"],
+                },
+            )
+        assert body["state"] == "done"
+        result = body["result"]
+        assert result["arches"] == list(registry.arch_ids())
+        assert [p["id"] for p in result["points"]] == [
+            f"VectorAdd/4M@{arch_id}" for arch_id in registry.arch_ids()
+        ]
+
+    def test_unknown_arch_fails_with_the_fleet_hint(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_job(
+                client,
+                "sweep",
+                {"workload": "HotSpot", "arches": ["gtx_280", "nope"]},
+            )
+        assert body["state"] == "failed"
+        assert body["error"]["field"] == "arches"
+        assert "unknown architecture" in body["error"]["error"]
+        for arch_id in registry.arch_ids():
+            assert arch_id in body["error"]["hint"]
+
+    def test_arch_and_arches_are_mutually_exclusive(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_job(
+                client,
+                "sweep",
+                {
+                    "workload": "HotSpot",
+                    "arch": "gtx_280",
+                    "arches": ["kepler_k20"],
+                },
+            )
+        assert body["state"] == "failed"
+        assert body["error"]["field"] == "arches"
+        assert "mutually exclusive" in body["error"]["error"]
+
+    def test_arches_must_be_all_or_a_list(self, tmp_path):
+        with running_daemon(tmp_path / "state") as (_, _, client):
+            body = run_job(
+                client, "sweep", {"workload": "HotSpot", "arches": []}
+            )
+        assert body["state"] == "failed"
+        assert body["error"]["field"] == "arches"
+        assert "arch list" in body["error"]["hint"]

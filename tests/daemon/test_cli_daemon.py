@@ -111,6 +111,26 @@ class TestDaemonVerbs:
         assert code == 0
         assert "ok 2, errors 0" in out
 
+    def test_sweep_submission_with_arch_axis(self, live_daemon):
+        # Two datasets x two registry generations: four tiles.
+        code, out, _ = run_cli(
+            "daemon", "submit", "--url", live_daemon.url,
+            "--kind", "sweep", "--workload", "VectorAdd",
+            "--dataset", "4M", "--dataset", "16M",
+            "--arch", "gtx_280", "--arch", "kepler_k20", "--wait",
+        )
+        assert code == 0
+        assert "ok 4, errors 0" in out
+
+    def test_projection_submission_with_registry_arch(self, live_daemon):
+        code, out, _ = run_cli(
+            "daemon", "submit", "--url", live_daemon.url,
+            "--workload", "VectorAdd", "--dataset", "4M",
+            "--arch", "pascal_p100", "--wait",
+        )
+        assert code == 0
+        assert "done" in out
+
 
 class TestStructuredErrors:
     def test_daemon_rejection_renders_field_and_hint(self, live_daemon):

@@ -107,6 +107,39 @@ class TestSurrogateDaemon:
         assert body["error"]["field"] == "mode"
         assert "hint" in body["error"]
 
+    def test_registry_arch_override_takes_the_exact_fallback(
+        self, tmp_path, model_path
+    ):
+        # The model is pinned to the daemon's serving arch; a payload
+        # asking for a different registry generation must route to the
+        # exact pipeline with the structured arch_mismatch provenance.
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (_, _, client):
+            body = run_projection(
+                client, {**SERVED, "arch": "fermi_gtx_480"}
+            )
+        assert body["state"] == "done"
+        record = body["result"]["record"]
+        assert record["path"] == "exact"
+        assert record["serving"]["reason"] == "arch_mismatch"
+        assert record["ok"] is True
+
+    def test_calibrated_registry_id_still_serves(
+        self, tmp_path, model_path
+    ):
+        # "quadro_fx_5600" assembles the very arch the model was
+        # trained on — the fingerprint guard must not trip on it.
+        with running_daemon(
+            tmp_path / "state", surrogate_model=model_path
+        ) as (_, _, client):
+            body = run_projection(
+                client, {**SERVED, "arch": "quadro_fx_5600"}
+            )
+        record = body["result"]["record"]
+        assert record["path"] == "surrogate"
+        assert record["serving"]["reason"] == "accepted"
+
     def test_metrics_count_surrogate_hits(self, tmp_path, model_path):
         with running_daemon(
             tmp_path / "state", surrogate_model=model_path

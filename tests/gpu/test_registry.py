@@ -1,0 +1,165 @@
+"""The architecture registry: ids, tables, pairing, and error surface.
+
+The registry is the single source of truth for named GPU generations;
+everything downstream (sweep axis, daemon payloads, CLI) resolves
+through it.  These tests pin its contract: stable chronological ids,
+calibrated entries identical to the original hand-built constructors,
+paired PCIe defaults, and one structured error type for unknown ids.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu import registry as R
+from repro.gpu.arch import GPUArchitecture, gtx_280, quadro_fx_5600, tesla_c1060
+from repro.pcie.presets import bus_for_generation
+
+CALIBRATED = {
+    "quadro_fx_5600": quadro_fx_5600,
+    "tesla_c1060": tesla_c1060,
+    "gtx_280": gtx_280,
+}
+
+
+class TestRegistryContents:
+    def test_at_least_six_generations(self):
+        assert len(R.arch_ids()) >= 6
+
+    def test_ids_are_chronological(self):
+        years = [spec.year for spec in R.all_specs()]
+        assert years == sorted(years)
+
+    def test_expected_fleet(self):
+        assert R.arch_ids() == (
+            "quadro_fx_5600",
+            "tesla_c1060",
+            "gtx_280",
+            "fermi_gtx_480",
+            "kepler_k20",
+            "maxwell_gtx_980",
+            "pascal_p100",
+        )
+
+    def test_specs_and_ids_agree(self):
+        assert tuple(spec.id for spec in R.all_specs()) == R.arch_ids()
+
+    def test_only_the_paper_era_boards_are_calibrated(self):
+        calibrated = {s.id for s in R.all_specs() if s.calibrated}
+        assert calibrated == set(CALIBRATED)
+
+
+class TestCalibratedIdentity:
+    """Registry assembly must be value- and fingerprint-identical to the
+    original constructors, or every golden cache key would drift."""
+
+    @pytest.mark.parametrize("arch_id", sorted(CALIBRATED))
+    def test_value_identity(self, arch_id):
+        assert R.get_arch(arch_id) == CALIBRATED[arch_id]()
+
+    @pytest.mark.parametrize("arch_id", sorted(CALIBRATED))
+    def test_fingerprint_identity(self, arch_id):
+        assert (
+            R.get_arch(arch_id).fingerprint()
+            == CALIBRATED[arch_id]().fingerprint()
+        )
+
+
+class TestLookup:
+    def test_get_arch_is_cached_identity(self):
+        assert R.get_arch("kepler_k20") is R.get_arch("kepler_k20")
+
+    def test_architecture_assembly_matches_tables(self):
+        for spec in R.all_specs():
+            arch = R.get_arch(spec.id)
+            assert arch.name == spec.display_name
+            assert arch.num_sms == spec.geometry.num_sms
+            assert arch.mem_bandwidth == spec.memory.sustained_bandwidth
+            assert arch.strict_coalescing == spec.memory.strict_coalescing
+            assert arch.issue_cycles == spec.latencies.issue_cycles
+
+    def test_paired_bus_generations(self):
+        for spec in R.all_specs():
+            assert spec.bus() == bus_for_generation(spec.pcie_gen)
+            assert R.get_bus(spec.id) == spec.bus()
+
+    def test_sustained_below_theoretical(self):
+        for spec in R.all_specs():
+            assert (
+                spec.memory.sustained_bandwidth
+                <= spec.memory.theoretical_bandwidth
+            )
+
+    def test_resolve_arch_coercions(self):
+        spec = R.get_spec("pascal_p100")
+        arch = R.get_arch("pascal_p100")
+        assert R.resolve_arch("pascal_p100") is arch
+        assert R.resolve_arch(spec) is arch
+        assert R.resolve_arch(arch) is arch
+
+    def test_spec_for_arch_round_trip(self):
+        for spec in R.all_specs():
+            found = R.spec_for_arch(R.get_arch(spec.id))
+            assert found is not None and found.id == spec.id
+
+    def test_spec_for_arch_unknown_machine(self):
+        odd = dataclasses.replace(quadro_fx_5600(), num_sms=99)
+        assert R.spec_for_arch(odd) is None
+
+
+class TestUnknownArchitectureError:
+    def test_get_spec_raises_with_the_fleet(self):
+        with pytest.raises(R.UnknownArchitectureError) as excinfo:
+            R.get_spec("volta_v100")
+        exc = excinfo.value
+        assert exc.arch_id == "volta_v100"
+        assert exc.known == R.arch_ids()
+        assert "unknown architecture" in str(exc)
+        for arch_id in R.arch_ids():
+            assert arch_id in exc.hint
+
+    def test_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            R.get_arch("nope")
+
+    def test_hint_lists_valid_ids(self):
+        exc = R.UnknownArchitectureError("x", ("a", "b"))
+        assert exc.hint == "one of: a, b"
+
+
+class TestRegisterGuards:
+    def test_duplicate_id_rejected(self):
+        spec = R.get_spec("kepler_k20")
+        with pytest.raises(ValueError, match="duplicate"):
+            R.register(spec)
+
+    def test_capability_lookup_spans_tables(self):
+        spec = R.get_spec("fermi_gtx_480")
+        assert R.capability(spec, "year") == 2010
+        assert R.capability(spec, "max_warps_per_sm") == 48
+        assert R.capability(spec, "sustained_bandwidth") == 142.0e9
+        assert R.capability(spec, "issue_cycles") == 2.0
+        with pytest.raises(AttributeError, match="no capability"):
+            R.capability(spec, "nonexistent_thing")
+
+
+class TestFingerprints:
+    def test_fingerprints_are_unique(self):
+        prints = [spec.fingerprint() for spec in R.all_specs()]
+        assert len(set(prints)) == len(prints)
+
+    def test_fingerprint_sees_pairing_metadata(self):
+        spec = R.get_spec("maxwell_gtx_980")
+        moved = dataclasses.replace(spec, pcie_gen=2)
+        assert moved.architecture() == spec.architecture()
+        assert moved.fingerprint() != spec.fingerprint()
+
+    def test_fingerprint_sees_table_values(self):
+        spec = R.get_spec("maxwell_gtx_980")
+        bumped = dataclasses.replace(
+            spec,
+            memory=dataclasses.replace(
+                spec.memory, sustained_bandwidth=1e12
+            ),
+        )
+        assert bumped.fingerprint() != spec.fingerprint()

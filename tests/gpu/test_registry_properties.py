@@ -1,0 +1,152 @@
+"""Property tests over the architecture registry (hypothesis).
+
+The registry's invariants must hold for *every* entry — including ones
+added later — so they are stated as properties over sampled ids and
+kernel shapes rather than example tables:
+
+* id round-trip and lookup identity,
+* fingerprint stability (pure function of content),
+* occupancy stays inside each architecture's published envelope,
+* capability monotonicity in registration (chronological) order,
+* the model produces finite, positive predictions for the whole
+  workload suite on the whole fleet.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import registry as R
+from repro.gpu.characteristics import KernelCharacteristics
+from repro.gpu.model import GpuPerformanceModel
+from repro.gpu.occupancy import occupancy
+from repro.pcie.presets import pcie_gen1_bus
+from repro.sweep import SweepEngine
+from repro.workloads.registry import all_workloads
+
+ARCH_IDS = st.sampled_from(R.arch_ids())
+
+
+class TestRoundTrip:
+    @given(arch_id=ARCH_IDS)
+    def test_spec_round_trips_by_id(self, arch_id):
+        spec = R.get_spec(arch_id)
+        assert spec.id == arch_id
+        assert R.get_spec(spec.id) is spec
+        assert R.all_specs()[R.arch_ids().index(arch_id)] is spec
+
+    @given(arch_id=ARCH_IDS)
+    def test_arch_resolution_is_idempotent(self, arch_id):
+        arch = R.get_arch(arch_id)
+        assert R.resolve_arch(arch_id) is arch
+        assert R.resolve_arch(arch) is arch
+        spec = R.spec_for_arch(arch)
+        assert spec is not None and spec.id == arch_id
+
+    @given(arch_id=ARCH_IDS)
+    def test_fingerprint_is_stable(self, arch_id):
+        spec = R.get_spec(arch_id)
+        assert spec.fingerprint() == spec.fingerprint()
+        # Reassembling the architecture never moves its fingerprint.
+        assert (
+            spec.architecture().fingerprint()
+            == R.get_arch(arch_id).fingerprint()
+        )
+
+
+class TestOccupancyEnvelope:
+    """Occupancy on any registry architecture stays inside the envelope
+    the vendor tables promise — for any launchable kernel shape."""
+
+    @given(
+        arch_id=ARCH_IDS,
+        block_size=st.integers(min_value=1, max_value=512),
+        threads_exp=st.integers(min_value=0, max_value=22),
+        registers=st.integers(min_value=1, max_value=32),
+        shared_mem=st.sampled_from([0, 1024, 4096, 16384]),
+    )
+    def test_bounds(self, arch_id, block_size, threads_exp, registers,
+                    shared_mem):
+        arch = R.get_arch(arch_id)
+        chars = KernelCharacteristics(
+            name="probe",
+            threads=2**threads_exp,
+            block_size=block_size,
+            comp_insts_per_thread=8.0,
+            mem_insts_per_thread=2.0,
+            registers_per_thread=registers,
+            shared_mem_per_block=shared_mem,
+        )
+        try:
+            result = occupancy(chars, arch)
+        except ValueError:
+            return  # unlaunchable shape: rejection is the contract
+        assert 1 <= result.blocks_per_sm <= arch.max_blocks_per_sm
+        assert result.warps_per_block == math.ceil(
+            block_size / arch.warp_size
+        )
+        assert 1 <= result.active_warps <= arch.max_warps_per_sm
+        assert (
+            result.blocks_per_sm * block_size <= arch.max_threads_per_sm
+        )
+        assert (
+            result.blocks_per_sm * chars.registers_per_thread * block_size
+            <= arch.registers_per_sm
+        )
+        if shared_mem:
+            assert (
+                result.blocks_per_sm * shared_mem
+                <= arch.shared_mem_per_sm
+            )
+        assert 0.0 < result.occupancy_fraction <= 1.0
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("name", R.MONOTONE_CAPABILITIES)
+    def test_capability_never_regresses(self, name):
+        values = [R.capability(spec, name) for spec in R.all_specs()]
+        assert values == sorted(values), (
+            f"{name} regresses across generations: {values}"
+        )
+
+    def test_shared_mem_is_deliberately_not_monotone(self):
+        # Maxwell's 96 KiB exceeds Pascal GP100's 64 KiB — the guard
+        # list must not claim otherwise.
+        assert "shared_mem_per_sm" not in R.MONOTONE_CAPABILITIES
+
+
+class TestFleetPredictions:
+    """Every workload on every generation: finite, positive, decomposed."""
+
+    @pytest.mark.parametrize(
+        "workload", all_workloads(), ids=lambda w: w.name
+    )
+    def test_finite_positive_on_the_whole_fleet(self, workload):
+        engine = SweepEngine(R.get_arch("quadro_fx_5600"), pcie_gen1_bus())
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        points = engine.sweep_arches(
+            workload.skeleton(dataset),
+            R.arch_ids(),
+            hints=workload.hints(dataset),
+            buses="paired",
+        )
+        assert len(points) == len(R.arch_ids())
+        for point in points:
+            projection = point.projection
+            for value in (
+                projection.kernel_seconds,
+                projection.transfer_seconds,
+                point.seconds,
+            ):
+                assert math.isfinite(value) and value > 0.0
+            assert point.seconds == pytest.approx(
+                projection.kernel_seconds + projection.transfer_seconds
+            )
+
+    @settings(deadline=None, max_examples=20)
+    @given(arch_id=ARCH_IDS)
+    def test_model_construction_is_total(self, arch_id):
+        model = GpuPerformanceModel(R.get_arch(arch_id))
+        assert model.arch is R.get_arch(arch_id)

@@ -14,7 +14,8 @@ update the golden values *and* bump the relevant format/version
 constant so old disk caches are invalidated rather than misread.
 """
 
-from repro.gpu.arch import quadro_fx_5600
+from repro.gpu import registry
+from repro.gpu.arch import gtx_280, quadro_fx_5600, tesla_c1060
 from repro.pcie.presets import pcie_gen1_bus
 from repro.service.engine import ProjectionEngine, ProjectionRequest
 from repro.transform.space import TransformationSpace
@@ -58,6 +59,43 @@ GOLDEN_COMPONENTS = {
     "space_wide": (
         "5bb46e594b3f7a25cdc95bc8dfefe1500dc8ea7fec2ec51670c05f48e79d419e"
     ),
+}
+
+
+#: Machine-description fingerprints of the calibrated boards — computed
+#: before the registry existed, against the hand-built constructors.
+#: ``registry.get_arch`` must keep reproducing them byte-for-byte, or
+#: every cache entry keyed under an arch would silently orphan.
+GOLDEN_ARCH_FINGERPRINTS = {
+    "quadro_fx_5600": (
+        "45d2805f4ae70c45605a1259f0099cb9cecfd50c73fcb02587e4c95a7f02e928"
+    ),
+    "tesla_c1060": (
+        "cee5fca948b92692189eb9e7df82487ea2c99c061f853f18d2c360c15727d9be"
+    ),
+    "gtx_280": (
+        "22e71740192871fa796fd796edf99c1f61589c746666afd815f244c73f23f852"
+    ),
+}
+
+#: Fast-explorer request keys for the fixed request with each calibrated
+#: board as the per-request arch override (pre-registry captures).
+GOLDEN_ARCH_REQUEST_KEYS = {
+    "quadro_fx_5600": (
+        "a487f6afef4896107ef5ab0f76207e8843fe2ab12192946cd4a09e1cfebc04d3"
+    ),
+    "tesla_c1060": (
+        "6c206f1b34e5c4678394613985e1b90b873ab47a30945a5be028b1a06815c028"
+    ),
+    "gtx_280": (
+        "45c6a1dcb7cf8866b083eadb23901518ec75eaeae356b953273be08823c743de"
+    ),
+}
+
+_CONSTRUCTORS = {
+    "quadro_fx_5600": quadro_fx_5600,
+    "tesla_c1060": tesla_c1060,
+    "gtx_280": gtx_280,
 }
 
 
@@ -148,3 +186,47 @@ class TestGoldenComponentFingerprints:
             TransformationSpace.wide().fingerprint()
             == GOLDEN_COMPONENTS["space_wide"]
         )
+
+
+class TestGoldenRegistryArches:
+    """The registry reassembles the calibrated boards byte-identically:
+    same machine-description fingerprints, same request keys.  These
+    values were captured against the hand-built constructors *before*
+    the registry existed — a drift here means the refactor changed
+    model inputs, not just code structure."""
+
+    def test_registry_arch_fingerprints_match_golden(self):
+        for arch_id, expected in GOLDEN_ARCH_FINGERPRINTS.items():
+            assert registry.get_arch(arch_id).fingerprint() == expected, (
+                f"{arch_id} machine description drifted through the "
+                "registry"
+            )
+
+    def test_constructor_fingerprints_match_golden(self):
+        for arch_id, factory in _CONSTRUCTORS.items():
+            assert (
+                factory().fingerprint()
+                == GOLDEN_ARCH_FINGERPRINTS[arch_id]
+            )
+
+    def test_registry_request_keys_match_golden(self):
+        program, hints = _fixed_request()
+        for arch_id, expected in GOLDEN_ARCH_REQUEST_KEYS.items():
+            engine = ProjectionEngine(
+                arch=registry.get_arch(arch_id),
+                bus=pcie_gen1_bus(),
+                space=TransformationSpace.default(),
+                explorer="fast",
+            )
+            request = ProjectionRequest(program=program, hints=hints)
+            assert engine.fingerprint(request) == expected, (
+                f"{arch_id} request key drifted — per-arch caches would "
+                "go cold"
+            )
+
+    def test_nominal_generations_have_distinct_fingerprints(self):
+        calibrated = set(GOLDEN_ARCH_FINGERPRINTS.values())
+        for spec in registry.all_specs():
+            if not spec.calibrated:
+                fingerprint = registry.get_arch(spec.id).fingerprint()
+                assert fingerprint not in calibrated

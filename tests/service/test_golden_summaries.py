@@ -1,0 +1,101 @@
+"""Golden projection summaries per calibrated architecture.
+
+Where ``test_golden_keys.py`` pins the cache *addresses*, these pin the
+*answers*: the SHA-256 of the serialized ``ProjectionSummary`` for one
+fixed request on each calibrated board.  All digests were captured
+against the pre-registry code (hand-built constructors, fast explorer,
+PCIe gen-1 bus, default space) — the registry-backed engine must keep
+reproducing them byte-for-byte.
+
+Two fixed requests are pinned deliberately: HotSpot-smallest, where
+the GT200 boards tie (bandwidth does not bind, and they differ only in
+bandwidth), and VectorAdd-largest, which is bandwidth-bound and
+separates every board.  The tie is asserted too — it is a property of
+the model, and losing it would mean the arch tables leak into places
+they should not.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.gpu import registry
+from repro.pcie.presets import pcie_gen1_bus
+from repro.service.engine import ProjectionEngine, ProjectionRequest
+from repro.transform.space import TransformationSpace
+from repro.workloads.registry import get_workload
+
+GOLDEN_HOTSPOT_SMALLEST = {
+    "quadro_fx_5600": (
+        "3555f63d4eb568dd966ccbf11ad3260c05f57c54844ab1fc5e950fff7c23a497"
+    ),
+    "tesla_c1060": (
+        "f5adf36e5c9228d627772aa43bab2ddbcae436073d90988b0cb47dd679559ed8"
+    ),
+    "gtx_280": (
+        "f5adf36e5c9228d627772aa43bab2ddbcae436073d90988b0cb47dd679559ed8"
+    ),
+}
+
+GOLDEN_VECTORADD_LARGEST = {
+    "quadro_fx_5600": (
+        "2b04edc167ce16bf15f20c2d94e92ea680abb996f5c164d7bc7faeb5dc736e21"
+    ),
+    "tesla_c1060": (
+        "486affe6339fedd30077fe6b3160cc8fa8eacf9a28fd934028d61f3000ed082e"
+    ),
+    "gtx_280": (
+        "e5834eefbfff1990177444771a3569cf68ecd6a42c6b948e2e51be7db200699a"
+    ),
+}
+
+
+def _summary_digest(arch_id, workload_name, pick):
+    workload = get_workload(workload_name)
+    dataset = pick(workload.datasets(), key=lambda d: d.size)
+    engine = ProjectionEngine(
+        arch=registry.get_arch(arch_id),
+        bus=pcie_gen1_bus(),
+        space=TransformationSpace.default(),
+        explorer="fast",
+    )
+    response = engine.project(
+        ProjectionRequest(
+            program=workload.skeleton(dataset),
+            hints=workload.hints(dataset),
+        )
+    )
+    text = response.summary.to_json()
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TestGoldenSummaries:
+    @pytest.mark.parametrize(
+        "arch_id", sorted(GOLDEN_HOTSPOT_SMALLEST)
+    )
+    def test_hotspot_smallest(self, arch_id):
+        assert (
+            _summary_digest(arch_id, "HotSpot", min)
+            == GOLDEN_HOTSPOT_SMALLEST[arch_id]
+        ), f"{arch_id} projection output drifted from the seed capture"
+
+    @pytest.mark.parametrize(
+        "arch_id", sorted(GOLDEN_VECTORADD_LARGEST)
+    )
+    def test_vectoradd_largest(self, arch_id):
+        assert (
+            _summary_digest(arch_id, "VectorAdd", max)
+            == GOLDEN_VECTORADD_LARGEST[arch_id]
+        ), f"{arch_id} projection output drifted from the seed capture"
+
+    def test_gt200_boards_tie_only_when_bandwidth_is_slack(self):
+        # Same board pair, two workloads: identical summaries where the
+        # peak-bandwidth bound is slack, distinct where it binds.
+        assert (
+            GOLDEN_HOTSPOT_SMALLEST["tesla_c1060"]
+            == GOLDEN_HOTSPOT_SMALLEST["gtx_280"]
+        )
+        assert (
+            GOLDEN_VECTORADD_LARGEST["tesla_c1060"]
+            != GOLDEN_VECTORADD_LARGEST["gtx_280"]
+        )

@@ -175,6 +175,56 @@ class TestModes:
         assert response.path == "exact"
         assert response.provenance.reason == "arch_mismatch"
 
+    def test_registry_arch_mismatch_falls_back(self, surrogate):
+        # A registry generation the model was never trained for must
+        # take the clean arch_mismatch fallback, not a stale estimate.
+        from repro.gpu.registry import get_arch
+
+        request = dataclasses.replace(
+            request_for(*SERVED), arch=get_arch("fermi_gtx_480")
+        )
+        before = surrogate.metrics.counter("surrogate_fallbacks")
+        response = surrogate.project(request)
+        assert response.path == "exact"
+        assert response.provenance.reason == "arch_mismatch"
+        assert (
+            surrogate.metrics.counter("surrogate_fallbacks") == before + 1
+        )
+
+    def test_registry_arch_fallback_is_bitwise_exact(
+        self, surrogate, arch, space
+    ):
+        from repro.gpu.registry import get_arch
+
+        request = dataclasses.replace(
+            request_for(*SERVED), arch=get_arch("fermi_gtx_480")
+        )
+        served = surrogate.project(request)
+        direct = ProjectionEngine(
+            arch=arch,
+            bus=surrogate.exact.bus,
+            space=space,
+            explorer="stream",
+        )
+        expected = direct.project(request)
+        assert (
+            served.response.summary.to_json() == expected.summary.to_json()
+        )
+
+    def test_calibrated_registry_arch_still_serves(self, surrogate, arch):
+        # The registry id of the trained arch assembles a value-equal
+        # machine description: the fingerprint guard must NOT trip.
+        from repro.gpu.registry import spec_for_arch, get_arch
+
+        spec = spec_for_arch(arch)
+        assert spec is not None
+        request = dataclasses.replace(
+            request_for(*SERVED), arch=get_arch(spec.id)
+        )
+        response = surrogate.project(request)
+        assert response.path == "surrogate"
+        assert response.provenance.reason == "accepted"
+
     def test_request_space_mismatch_falls_back(self, surrogate):
         request = dataclasses.replace(
             request_for(*SERVED), space=TransformationSpace.wide()

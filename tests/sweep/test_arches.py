@@ -1,0 +1,219 @@
+"""The architecture sweep axis vs the fresh per-arch pipeline oracle.
+
+The contract mirrors ``test_argmin.py``'s: sharing is an optimization,
+never an approximation.  ``sweep_arches`` answers for every fleet
+member exactly what a *fresh* engine built for that architecture (and
+its paired bus) would answer — dataclass-equal projections, bitwise
+seconds — and ``argmin_arches`` picks exactly the point a full sweep's
+``min()`` would.
+"""
+
+import pytest
+
+from repro.gpu import registry as R
+from repro.gpu.arch import quadro_fx_5600
+from repro.pcie.presets import pcie_gen1_bus, pcie_gen3_bus
+from repro.sweep import ArchSweepPoint, SweepEngine
+from repro.workloads.registry import all_workloads, get_workload
+
+
+def _engine(bus=None):
+    return SweepEngine(quadro_fx_5600(), bus or pcie_gen1_bus())
+
+
+class TestOracleEquality:
+    @pytest.mark.parametrize(
+        "name", [w.name for w in all_workloads()]
+    )
+    def test_matches_fresh_per_arch_engines(self, name):
+        """Each fleet row equals a from-scratch engine for that arch."""
+        workload = get_workload(name)
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        points = _engine().sweep_arches_workload(
+            workload, R.arch_ids(), dataset=dataset, buses="paired"
+        )
+        assert [p.arch_id for p in points] == list(R.arch_ids())
+        for point in points:
+            fresh = SweepEngine(
+                R.get_arch(point.arch_id), R.get_bus(point.arch_id)
+            )
+            (expected,) = fresh.sweep_workload(workload, [dataset])
+            assert point.projection == expected
+            assert point.seconds == expected.total_seconds(1)  # bitwise
+
+    def test_check_mode_runs_the_per_point_pipeline(self):
+        workload = get_workload("SRAD")
+        points = _engine().sweep_arches_workload(
+            workload, R.arch_ids(), buses="paired", check=True
+        )
+        assert len(points) == len(R.arch_ids())
+
+    def test_grid_matches_fresh_per_arch_sweep(self):
+        workload = get_workload("HotSpot")
+        datasets = list(workload.datasets())
+        programs = [workload.skeleton(d) for d in datasets]
+        hints = [workload.hints(d) for d in datasets]
+        sizes = [d.size for d in datasets]
+        rows = _engine().sweep_arch_grid(
+            programs, R.arch_ids(), hints=hints, sizes=sizes,
+            buses="paired", check=True,
+        )
+        assert len(rows) == len(R.arch_ids())
+        for row in rows:
+            fresh = SweepEngine(
+                R.get_arch(row.arch_id), R.get_bus(row.arch_id)
+            )
+            expected = fresh.sweep(programs, hints=hints, sizes=sizes)
+            assert list(row.projections) == expected
+
+
+class TestArgmin:
+    @pytest.mark.parametrize("name", ["HotSpot", "Stassuij", "VectorAdd"])
+    def test_matches_full_sweep_min(self, name):
+        workload = get_workload(name)
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        program = workload.skeleton(dataset)
+        hints = workload.hints(dataset)
+        engine = _engine()
+        points = engine.sweep_arches(
+            program, R.arch_ids(), hints=hints, buses="paired"
+        )
+        totals = [p.seconds for p in points]
+        expected = min(range(len(totals)), key=lambda i: (totals[i], i))
+        result = engine.argmin_arches(
+            program, R.arch_ids(), hints=hints, buses="paired"
+        )
+        assert result.index == expected
+        assert result.point.projection == points[expected].projection
+        assert result.seconds == totals[expected]  # bitwise
+        assert result.stats["points_evaluated"] == len(R.arch_ids())
+
+    def test_newest_generation_wins_a_bandwidth_bound_kernel(self):
+        workload = get_workload("VectorAdd")
+        dataset = max(workload.datasets(), key=lambda d: d.size)
+        result = _engine().argmin_arches(
+            workload.skeleton(dataset),
+            R.arch_ids(),
+            hints=workload.hints(dataset),
+            buses="paired",
+        )
+        assert result.point.arch_id == "pascal_p100"
+
+
+class TestAxisResolution:
+    def test_mixed_entry_kinds_resolve_alike(self):
+        workload = get_workload("VectorAdd")
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        program, hints = workload.skeleton(dataset), workload.hints(dataset)
+        engine = _engine()
+        by_id, by_spec, by_arch = (
+            engine.sweep_arches(
+                program, [entry], hints=hints, buses="paired"
+            )[0]
+            for entry in (
+                "kepler_k20",
+                R.get_spec("kepler_k20"),
+                R.get_arch("kepler_k20"),
+            )
+        )
+        assert by_id.arch_id == by_spec.arch_id == by_arch.arch_id == (
+            "kepler_k20"
+        )
+        assert by_id.projection == by_spec.projection == by_arch.projection
+        assert by_id.bus == R.get_bus("kepler_k20")
+
+    def test_hand_built_arch_has_no_id_and_keeps_engine_bus(self):
+        import dataclasses
+
+        workload = get_workload("VectorAdd")
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        odd = dataclasses.replace(quadro_fx_5600(), num_sms=99)
+        (point,) = _engine().sweep_arches(
+            workload.skeleton(dataset),
+            [odd],
+            hints=workload.hints(dataset),
+            buses="paired",
+        )
+        assert point.arch_id is None
+        assert point.bus == pcie_gen1_bus()  # engine bus, nothing to pair
+
+    def test_default_buses_use_the_engine_bus(self):
+        workload = get_workload("VectorAdd")
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        engine = _engine(pcie_gen3_bus())
+        points = engine.sweep_arches(
+            workload.skeleton(dataset),
+            R.arch_ids(),
+            hints=workload.hints(dataset),
+        )
+        assert all(p.bus == pcie_gen3_bus() for p in points)
+        # Same kernel time as paired-bus runs, same plan — only pricing
+        # differs, so transfer seconds agree for gen-3-paired entries.
+        paired = engine.sweep_arches(
+            workload.skeleton(dataset),
+            R.arch_ids(),
+            hints=workload.hints(dataset),
+            buses="paired",
+        )
+        for default_point, paired_point in zip(points, paired):
+            assert (
+                default_point.projection.kernel_seconds
+                == paired_point.projection.kernel_seconds
+            )
+            if R.get_spec(paired_point.arch_id).pcie_gen == 3:
+                assert default_point.projection == paired_point.projection
+
+    def test_explicit_bus_list_must_match_length(self):
+        workload = get_workload("VectorAdd")
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        with pytest.raises(ValueError, match="buses do not match"):
+            _engine().sweep_arches(
+                workload.skeleton(dataset),
+                ["gtx_280", "kepler_k20"],
+                buses=[pcie_gen1_bus()],
+            )
+
+    def test_unknown_pairing_keyword(self):
+        workload = get_workload("VectorAdd")
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        with pytest.raises(ValueError, match="bus pairing"):
+            _engine().sweep_arches(
+                workload.skeleton(dataset), ["gtx_280"], buses="magic"
+            )
+
+    def test_empty_axis_rejected(self):
+        workload = get_workload("VectorAdd")
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        with pytest.raises(ValueError, match="at least one architecture"):
+            _engine().sweep_arches(workload.skeleton(dataset), [])
+
+    def test_unknown_id_raises_the_structured_error(self):
+        workload = get_workload("VectorAdd")
+        dataset = min(workload.datasets(), key=lambda d: d.size)
+        with pytest.raises(R.UnknownArchitectureError) as excinfo:
+            _engine().sweep_arches(
+                workload.skeleton(dataset), ["volta_v100"]
+            )
+        assert "quadro_fx_5600" in excinfo.value.hint
+
+
+class TestSharingStats:
+    def test_one_plan_shared_across_the_fleet(self):
+        workload = get_workload("HotSpot")
+        engine = _engine()
+        engine.sweep_arches_workload(workload, R.arch_ids(), buses="paired")
+        stats = engine.stats
+        assert stats["arches"] == len(R.arch_ids())
+        assert stats["points"] == 1
+        assert stats["plans_computed"] == 1
+        assert stats["plans_reused_across_arches"] == len(R.arch_ids()) - 1
+        # Strict (CC 1.0) vs relaxed coalescing split the fleet in two.
+        assert stats["coalescing_groups"] == 2
+        assert stats["groups_shared"] == 2
+
+    def test_points_are_arch_sweep_points(self):
+        workload = get_workload("VectorAdd")
+        points = _engine().sweep_arches_workload(
+            workload, ["gtx_280"], buses="paired"
+        )
+        assert all(isinstance(p, ArchSweepPoint) for p in points)

@@ -209,6 +209,104 @@ class TestSweepCommand:
         assert code == 2
         assert "error:" in out and "unknown workload" in out
 
+    def test_arch_axis_all(self):
+        code, out = run_cli("sweep", "VectorAdd", "--arch", "all")
+        assert code == 0
+        assert "what-if across 7 architecture(s)" in out
+        for arch_id in ("quadro_fx_5600", "gtx_280", "pascal_p100"):
+            assert arch_id in out
+        assert "[best]" in out or ", best]" in out or "best]" in out
+        assert "coalescing group(s)" in out
+
+    def test_arch_axis_check_flag(self):
+        code, out = run_cli(
+            "sweep", "HotSpot", "--arch", "gtx_280",
+            "--arch", "kepler_k20", "--check",
+        )
+        assert code == 0
+        assert "checked against the per-arch pipeline" in out
+        assert "PCIe gen 2" in out
+
+    def test_arch_axis_argmin(self):
+        code, out = run_cli(
+            "sweep", "VectorAdd", "--arch", "all", "--argmin"
+        )
+        assert code == 0
+        assert "best of 7 architecture(s)" in out
+        assert "pascal_p100" in out
+
+    def test_arch_axis_unknown_id_is_structured(self):
+        code, out, err = run_cli_split(
+            "sweep", "VectorAdd", "--arch", "volta_v100"
+        )
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error: ")
+        assert "unknown architecture" in err
+        assert "field: arch" in err
+        assert "hint:" in err and "quadro_fx_5600" in err
+
+    def test_arch_axis_rejects_other_axes(self):
+        code, _, err = run_cli_split(
+            "sweep", "HotSpot", "--arch", "all", "--axis", "bus"
+        )
+        assert code == 2
+        assert "drop --axis" in err
+
+
+class TestArchCommand:
+    def test_list_shows_the_fleet(self):
+        code, out = run_cli("arch", "list")
+        assert code == 0
+        from repro.gpu.registry import arch_ids
+
+        for arch_id in arch_ids():
+            assert arch_id in out
+        assert "[calibrated]" in out and "[nominal]" in out
+        assert "docs/ARCHITECTURES.md" in out
+
+    def test_list_is_chronological(self):
+        _, out = run_cli("arch", "list")
+        assert out.index("quadro_fx_5600") < out.index("fermi_gtx_480")
+        assert out.index("fermi_gtx_480") < out.index("pascal_p100")
+
+    def test_show_calibrated_board(self):
+        code, out = run_cli("arch", "show", "quadro_fx_5600")
+        assert code == 0
+        assert "Quadro FX 5600" in out
+        assert "published measurements" in out
+        assert "paired bus: PCIe gen 1" in out
+        assert "coalescing strict" in out
+        assert "none (texture-only caching)" in out
+        assert "fingerprint: " in out
+
+    def test_show_nominal_board(self):
+        code, out = run_cli("arch", "show", "pascal_p100")
+        assert code == 0
+        assert "HBM2" in out
+        assert "what-if trends only" in out
+        assert "paired bus: PCIe gen 3" in out
+
+    def test_show_is_case_insensitive(self):
+        code, out = run_cli("arch", "show", "PASCAL_P100")
+        assert code == 0
+        assert "Tesla P100" in out
+
+    def test_show_fingerprint_matches_registry(self):
+        from repro.gpu.registry import get_spec
+
+        _, out = run_cli("arch", "show", "kepler_k20")
+        assert get_spec("kepler_k20").fingerprint() in out
+
+    def test_show_unknown_id_is_structured(self):
+        code, out, err = run_cli_split("arch", "show", "volta_v100")
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error: ")
+        assert "unknown architecture" in err
+        assert "field: arch" in err
+        assert "pascal_p100" in err
+
 
 class TestBatchCommand:
     @pytest.fixture()
