@@ -137,3 +137,120 @@ def test_daemon_overhead_within_bound(tmp_path):
         f"daemon overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
         f"on {attempts} consecutive measurements"
     )
+
+
+def _surrogate_model_path(tmp_path):
+    """A small trained surrogate the audited daemon can serve from."""
+    from repro.surrogate.dataset import generate_training_set
+    from repro.surrogate.model import train_surrogate
+    from repro.surrogate.store import save_model
+    from repro.transform.space import TransformationSpace
+    from repro.workloads.registry import get_workload
+
+    arch = quadro_fx_5600()
+    space = TransformationSpace.default()
+    training = generate_training_set(
+        arch,
+        space,
+        workloads=tuple(
+            get_workload(name)
+            for name in ("HotSpot", "VectorAdd", "SRAD")
+        ),
+        sizes_per_kernel=12,
+    )
+    model = train_surrogate(training, arch, space)
+    return save_model(model, tmp_path / "surrogate.npz")
+
+
+def _run_obs_side(tmp_path, name, model_path, traced):
+    """One measured run: the batch plus a few surrogate projections.
+
+    Both sides serve identical work from identical daemons (surrogate
+    model loaded, cacheless); the traced side additionally records
+    per-job spans, stitches trace files, and shadow-audits every
+    accepted surrogate answer (rate 1.0) — the full obs v2 cost.
+    """
+    app = DaemonApp(
+        tmp_path / name,
+        workers=1,
+        use_cache=False,
+        surrogate_model=model_path,
+        audit_rate=1.0 if traced else 0,
+    )
+    server = DaemonServer(app)
+    server.serve_in_thread()
+    try:
+        client = DaemonClient(base_url=server.url)
+        ids = [
+            client.submit(
+                "batch", {"requests": REQUESTS}, trace=traced
+            )["id"]
+        ]
+        for _ in range(4):
+            ids.append(
+                client.submit(
+                    "projection",
+                    {"workload": "VectorAdd", "dataset": "4M",
+                     "mode": "auto"},
+                    trace=traced,
+                )["id"]
+            )
+        for job_id in ids:
+            body = client.wait(job_id, timeout=300)
+            assert body["state"] == "done"
+        jobs = {job.job_id: job for job in app.queue.jobs()}
+        elapsed = max(
+            jobs[job_id].finished for job_id in ids
+        ) - min(jobs[job_id].submitted for job_id in ids)
+        return app, elapsed
+    finally:
+        server.stop()
+
+
+def test_traced_audited_daemon_overhead_within_bound(tmp_path):
+    """Obs v2 acceptance bar: traced + audited ≤ 10% vs untraced.
+
+    Same interleaved best-of-5 min + retry estimator as the daemon-vs-
+    direct gate (see that test's docstring for why).  Identical work on
+    both sides; only the observability differs — the traced side
+    records every span, writes trace documents, and re-scores every
+    accepted surrogate answer through the exact engine off the hot
+    path.
+    """
+    model_path = _surrogate_model_path(tmp_path)
+    trials = 5
+    attempts = 3
+    overhead = None
+    for attempt in range(attempts):
+        plain_times = []
+        traced_times = []
+        last_app = None
+        for index in range(trials):
+            _, plain = _run_obs_side(
+                tmp_path, f"plain{attempt}-{index}", model_path,
+                traced=False,
+            )
+            plain_times.append(plain)
+            app, traced = _run_obs_side(
+                tmp_path, f"traced{attempt}-{index}", model_path,
+                traced=True,
+            )
+            traced_times.append(traced)
+            last_app = app
+        plain_elapsed = min(plain_times)
+        traced_elapsed = min(traced_times)
+        overhead = traced_elapsed / plain_elapsed - 1.0
+        counters = last_app.engine.metrics.snapshot()["counters"]
+        print(
+            f"\nuntraced: {plain_elapsed:.3f}s | "
+            f"traced+audited: {traced_elapsed:.3f}s | "
+            f"overhead {overhead:+.1%} | "
+            f"traces {counters.get('traces_written', 0)}, "
+            f"audits {counters.get('obs_surrogate_audits', 0)}"
+        )
+        if overhead <= MAX_OVERHEAD:
+            return
+    raise AssertionError(
+        f"traced+audited daemon overhead {overhead:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} on {attempts} consecutive measurements"
+    )

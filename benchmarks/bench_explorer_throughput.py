@@ -196,3 +196,80 @@ def test_tracing_disabled_overhead_under_2_percent(kernel_suite, wide_space):
         f"sweep = {overhead:.4%} overhead"
     )
     assert overhead < 0.02
+
+
+def test_obs_v2_disabled_overhead_under_2_percent(
+    kernel_suite, wide_space, tmp_path
+):
+    """Obs v2 acceptance bar: trace-context + event-log paths off ≤ 2%.
+
+    Same constructive method as the ambient-tracing gate, extended to
+    the two new obs v2 paths an *untraced* request can see:
+
+    - trace-context: once any scoped tracer is live anywhere in the
+      process (a traced daemon job in flight), every disabled span on
+      every other thread pays the thread-local lookup on top of the
+      global reads.  Measure that worst-case per-call cost under a live
+      scope held by another thread.
+    - event log: a daemon job emits a handful of lifecycle events
+      (submit/dequeue/start/complete plus surrogate and audit verdicts)
+      to a disk-backed JSONL log; bound the whole per-job event cost.
+    """
+    import threading
+
+    from repro.obs.events import EventLog
+    from repro.obs.trace import span, tracing
+    from repro.obs.trace import scoped_tracing
+
+    model = GpuPerformanceModel(quadro_fx_5600())
+    sweep_seconds = _best_of(
+        lambda: _sweep(kernel_suite, model, wide_space, "fast")
+    )
+    with tracing() as tracer:
+        _sweep(kernel_suite, model, wide_space, "fast")
+    spans_per_sweep = len(tracer)
+    assert spans_per_sweep > 0
+
+    # Worst-case disabled span: another thread holds a live scope.
+    holding = threading.Event()
+    release = threading.Event()
+
+    def hold_scope():
+        with scoped_tracing():
+            holding.set()
+            release.wait(30)
+
+    holder = threading.Thread(target=hold_scope, daemon=True)
+    holder.start()
+    assert holding.wait(5)
+    try:
+        calls = 200_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            with span("probe", kernel="k"):
+                pass
+        scoped_disabled_cost = (time.perf_counter() - start) / calls
+    finally:
+        release.set()
+        holder.join(5)
+
+    # Event-log emission, disk-backed like the daemon's.
+    events = EventLog(tmp_path / "events.jsonl")
+    emits = 20_000
+    start = time.perf_counter()
+    for _ in range(emits):
+        events.emit("complete", job_id="j", trace_id="t", run_seconds=0.1)
+    emit_cost = (time.perf_counter() - start) / emits
+    events_per_job = 8  # submit..complete + surrogate/audit verdicts
+
+    span_overhead = scoped_disabled_cost * spans_per_sweep / sweep_seconds
+    event_overhead = emit_cost * events_per_job / sweep_seconds
+    overhead = span_overhead + event_overhead
+    print(
+        f"\nobs v2 disabled: {scoped_disabled_cost * 1e9:.0f} ns/span "
+        f"(scope live elsewhere) x {spans_per_sweep} span(s) "
+        f"+ {emit_cost * 1e6:.1f} us/event x {events_per_job} event(s) "
+        f"over a {sweep_seconds * 1e3:.1f} ms sweep "
+        f"= {overhead:.4%} overhead"
+    )
+    assert overhead < 0.02

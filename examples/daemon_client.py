@@ -2,8 +2,9 @@
 
 The daemon's wire protocol is plain JSON over HTTP (docs/DAEMON.md), so
 any language's standard library is a complete client.  This example
-uses only ``urllib`` and ``json`` to submit a batch, poll it, and
-scrape a few metrics — exactly what a CI gate or a cron job would do.
+uses only ``urllib`` and ``json`` to submit a batch, poll it, submit a
+traced projection and fetch its stitched Chrome trace, and scrape a few
+metrics — exactly what a CI gate or a cron job would do.
 
 Run a daemon first::
 
@@ -23,6 +24,7 @@ import sys
 import time
 import urllib.error
 import urllib.request
+import uuid
 
 BASE = sys.argv[1] if len(sys.argv) > 1 else "http://127.0.0.1:8642"
 
@@ -37,6 +39,17 @@ def call(method, path, body=None):
     )
     with urllib.request.urlopen(request, timeout=10) as response:
         return json.loads(response.read())
+
+
+def wait_for(job_id):
+    """Poll /result until terminal (409 means still pending)."""
+    while True:
+        try:
+            return call("GET", f"/v1/jobs/{job_id}/result")
+        except urllib.error.HTTPError as exc:
+            if exc.code != 409:
+                raise
+            time.sleep(0.1)
 
 
 def main():
@@ -64,14 +77,7 @@ def main():
     print(f"submitted batch job {job_id} (position {submitted['position']})")
 
     # Poll until terminal: /result answers 409 while the job is pending.
-    while True:
-        try:
-            body = call("GET", f"/v1/jobs/{job_id}/result")
-            break
-        except urllib.error.HTTPError as exc:
-            if exc.code != 409:
-                raise
-            time.sleep(0.1)
+    body = wait_for(job_id)
 
     print(f"job {job_id}: {body['state']}")
     summary = body["result"]["summary"]
@@ -88,10 +94,41 @@ def main():
         else:
             print(f"  {record['id']}: ERROR {record['error']}")
 
-    # One scrape of the Prometheus exposition, filtered to job counters.
+    # Submit a traced projection: carry our own trace id and wall clock
+    # so the daemon's trace includes the client-submit span, then fetch
+    # the stitched Chrome trace (open it in Perfetto / chrome://tracing).
+    trace_id = uuid.uuid4().hex
+    traced = call(
+        "POST",
+        "/v1/jobs",
+        {
+            "kind": "projection",
+            "client": "example",
+            "payload": {"workload": "VectorAdd", "dataset": "4M"},
+            "trace": True,
+            "trace_id": trace_id,
+            "client_submitted": time.time(),
+        },
+    )
+    traced_id = traced["id"]
+    print(f"submitted traced projection job {traced_id}")
+    wait_for(traced_id)
+    trace = call("GET", f"/v1/jobs/{traced_id}/trace")
+    spans = trace["traceEvents"]
+    names = {event["name"] for event in spans}
+    lifecycle = (
+        "with" if {"client-submit", "queue-dwell"} <= names else "missing"
+    )
+    print(
+        f"trace {trace['trace_id']}: {len(spans)} events "
+        f"({lifecycle} lifecycle spans)"
+    )
+
+    # One scrape of the Prometheus exposition, filtered to job counters
+    # and the obs v2 SLO/health gauges.
     with urllib.request.urlopen(BASE + "/metrics", timeout=10) as response:
         for line in response.read().decode().splitlines():
-            if line.startswith("repro_jobs_"):
+            if line.startswith(("repro_jobs_", "repro_obs_")):
                 print(f"  {line}")
 
 

@@ -383,6 +383,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prometheus", action="store_true",
         help="print Prometheus text exposition instead of JSON",
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the JSON snapshot explicitly (the default; "
+        "mutually exclusive with --prometheus)",
+    )
 
     sub.add_parser("version", help="print package and protocol version")
 
@@ -446,11 +451,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "model (.npz); jobs pick auto/surrogate/exact via the payload's "
         "'mode' field",
     )
+    dp.add_argument(
+        "--audit-rate", type=float, default=0.01,
+        help="fraction of accepted surrogate answers to shadow-audit "
+        "through the exact engine (default: 0.01; 0 disables)",
+    )
+    dp.add_argument(
+        "--audit-min-agreement", type=float, default=0.9,
+        help="top-1 agreement below which /v1/status flips to "
+        "'degraded' (default: 0.9)",
+    )
 
     dp = dsub.add_parser(
         "status", help="daemon health + human-readable job table"
     )
     _endpoint_args(dp)
+    dp.add_argument(
+        "--json", action="store_true",
+        help="print the /v1/status body (plus jobs) as JSON",
+    )
 
     dp = dsub.add_parser("submit", help="submit one job")
     _endpoint_args(dp)
@@ -486,6 +505,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "with --surrogate-model",
     )
     dp.add_argument(
+        "--trace", action="store_true",
+        help="record worker-side spans for this job so `daemon trace` "
+        "can fetch one stitched Chrome trace later",
+    )
+    dp.add_argument(
         "--wait", action="store_true",
         help="block until the job finishes and print its result",
     )
@@ -513,6 +537,39 @@ def _build_parser() -> argparse.ArgumentParser:
     dp = dsub.add_parser("cancel", help="cancel a queued or running job")
     _endpoint_args(dp)
     dp.add_argument("job_id")
+
+    dp = dsub.add_parser(
+        "trace",
+        help="fetch a traced job's stitched Chrome trace document",
+    )
+    _endpoint_args(dp)
+    dp.add_argument("job_id")
+    dp.add_argument(
+        "-o", "--output", default=None,
+        help="write the trace JSON here instead of stdout "
+        "(open it in chrome://tracing or Perfetto)",
+    )
+
+    dp = dsub.add_parser(
+        "tail", help="show the daemon's structured event log"
+    )
+    _endpoint_args(dp)
+    dp.add_argument(
+        "-n", "--lines", type=int, default=20,
+        help="events to show initially (default: 20)",
+    )
+    dp.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new events until interrupted",
+    )
+    dp.add_argument(
+        "--json", action="store_true",
+        help="print one JSON object per event instead of text",
+    )
+    dp.add_argument(
+        "--poll", type=float, default=1.0,
+        help="--follow poll interval in seconds (default: 1)",
+    )
     return parser
 
 
@@ -1265,6 +1322,7 @@ def _cmd_metrics(args, out) -> int:
     from repro.gpu.arch import quadro_fx_5600
     from repro.service.cache import ProjectionCache
     from repro.service.engine import ProjectionEngine, ProjectionRequest
+    from repro.service.jobs import BadRequestError
 
     ctx = ExperimentContext(seed=args.seed)
     workload = get_workload(args.workload)
@@ -1284,9 +1342,17 @@ def _cmd_metrics(args, out) -> int:
                 hints=workload.hints(dataset),
             )
         )
+    if args.prometheus and args.json:
+        raise BadRequestError(
+            "--prometheus and --json are mutually exclusive",
+            field="--json",
+            hint="pick one output format",
+        )
     if args.prometheus:
         out(engine.metrics.to_prometheus())
     else:
+        # --json is the explicit spelling of the default: the same
+        # snapshot document the daemon embeds in its HTTP bodies.
         out(
             json.dumps(
                 engine.metrics.snapshot(), indent=2, sort_keys=True
@@ -1441,11 +1507,19 @@ def _cmd_daemon(args, out) -> int:
             drain_deadline=args.drain_deadline,
             use_cache=not args.no_cache,
             surrogate_model=args.surrogate_model,
+            audit_rate=args.audit_rate,
+            audit_min_agreement=args.audit_min_agreement,
         )
 
     client = _daemon_client(args)
     if verb == "status":
         status = client.status()
+        if args.json:
+            import json
+
+            status["jobs"] = client.jobs()
+            out(json.dumps(status, indent=2, sort_keys=True))
+            return 0
         limiter = "on" if status["rate_limited"] else "off"
         out(
             f"repro daemon v{status['version']} at {client.base_url} "
@@ -1455,8 +1529,23 @@ def _cmd_daemon(args, out) -> int:
             f"  workers {status['workers']}, rate limit {limiter}, "
             f"surrogate {'on' if status.get('surrogate') else 'off'}, "
             f"draining {'yes' if status['draining'] else 'no'}, "
+            f"health {status.get('health', 'ok')}, "
             f"state {status['state_dir']}"
         )
+        audit = status.get("audit")
+        if isinstance(audit, dict):
+            agreement = audit.get("agreement")
+            out(
+                "  shadow audit: "
+                f"{audit.get('audits', 0)} audits, "
+                f"{audit.get('disagreements', 0)} disagreements, "
+                "agreement "
+                + (
+                    "n/a"
+                    if agreement is None
+                    else f"{agreement:.3f}"
+                )
+            )
         counts = status["queue"]
         out(
             "  queue: "
@@ -1478,9 +1567,12 @@ def _cmd_daemon(args, out) -> int:
         return 0
     if verb == "submit":
         payload = _daemon_payload(args)
-        submitted = client.submit(args.kind, payload, client=args.client)
+        submitted = client.submit(
+            args.kind, payload, client=args.client, trace=args.trace
+        )
+        traced = " traced" if args.trace else ""
         out(
-            f"submitted {args.kind} job {submitted['id']} "
+            f"submitted{traced} {args.kind} job {submitted['id']} "
             f"(position {submitted['position']})"
         )
         if args.wait:
@@ -1496,10 +1588,80 @@ def _cmd_daemon(args, out) -> int:
         )
         _print_result_body(body, out, args.output)
         return 0 if body["state"] == "done" else 1
+    if verb == "trace":
+        import json
+        from pathlib import Path
+
+        document = client.trace(args.job_id)
+        text = json.dumps(document, indent=2, sort_keys=True)
+        if args.output is not None:
+            target = Path(args.output)
+            target.write_text(text + "\n", encoding="utf-8")
+            events = document.get("traceEvents", [])
+            out(
+                f"trace for job {args.job_id} "
+                f"({len(events)} events) -> {target}"
+            )
+        else:
+            out(text)
+        return 0
+    if verb == "tail":
+        return _daemon_tail(args, client, out)
     # verb == "cancel"
     job = client.cancel(args.job_id)
     out(f"job {job['id']}: {job['state']}")
     return 0
+
+
+def _format_event(event: dict) -> str:
+    """One human-readable event-log line for ``daemon tail``."""
+    import time as _time
+
+    stamp = _time.strftime(
+        "%H:%M:%S", _time.localtime(event.get("at", 0.0))
+    )
+    parts = [stamp, f"{event.get('type', '?'):<18}"]
+    if event.get("job_id"):
+        parts.append(f"job={event['job_id']}")
+    if event.get("client"):
+        parts.append(f"client={event['client']}")
+    if event.get("trace_id"):
+        parts.append(f"trace={event['trace_id'][:12]}")
+    for key, value in sorted(event.get("attrs", {}).items()):
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _daemon_tail(args, client, out) -> int:
+    """``daemon tail``: print the event ring, optionally following."""
+    import json
+    import time as _time
+
+    def render(event: dict) -> None:
+        if args.json:
+            out(json.dumps(event, sort_keys=True))
+        else:
+            out(_format_event(event))
+
+    body = client.events(after=0, limit=max(1, args.lines))
+    # The ring may hold more than -n events; show only the newest.
+    for event in body["events"][-max(1, args.lines):]:
+        render(event)
+    last_seq = body["last_seq"]
+    if not args.follow:
+        return 0
+    try:
+        while True:
+            _time.sleep(max(0.05, args.poll))
+            body = client.events(after=last_seq, limit=500)
+            for event in body["events"]:
+                render(event)
+            last_seq = max(last_seq, body["last_seq"])
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
 
 
 _COMMANDS = {

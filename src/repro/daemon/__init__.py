@@ -25,6 +25,7 @@ from repro.daemon.protocol import (
     new_job_id,
     payload_fingerprint,
     validate_submission,
+    validate_trace_context,
 )
 from repro.daemon.queue import JobQueue
 from repro.daemon.ratelimit import RateLimiter, TokenBucket
@@ -57,4 +58,5 @@ __all__ = [
     "read_endpoint_file",
     "run_daemon",
     "validate_submission",
+    "validate_trace_context",
 ]

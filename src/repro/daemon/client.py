@@ -119,11 +119,26 @@ class DaemonClient:
         kind: str,
         payload: dict[str, Any],
         client: str | None = None,
+        trace: bool = False,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
-        """POST one job; returns ``{"id", "state", "position"}``."""
+        """POST one job; returns ``{"id", "state", "position", ...}``.
+
+        With ``trace=True`` the submission carries a trace context —
+        a client-minted ``trace_id`` (or the one supplied) plus this
+        process's wall clock — and the daemon records worker-side spans
+        so ``GET /v1/jobs/<id>/trace`` later returns one stitched
+        Chrome trace including the client-submit span.
+        """
         body: dict[str, Any] = {"kind": kind, "payload": payload}
         if client is not None:
             body["client"] = client
+        if trace or trace_id is not None:
+            from repro.obs.context import new_trace_id
+
+            body["trace"] = bool(trace)
+            body["trace_id"] = trace_id or new_trace_id()
+            body["client_submitted"] = time.time()
         return self._request("POST", "/v1/jobs", body)
 
     def jobs(self) -> list[dict[str, Any]]:
@@ -158,6 +173,22 @@ class DaemonClient:
                     f"job {job_id} still pending after {timeout:g}s"
                 )
             time.sleep(poll)
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        """A traced job's Chrome trace document (409 until terminal)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
+    def events(
+        self, after: int = 0, limit: int = 100
+    ) -> dict[str, Any]:
+        """``{"events": [...], "last_seq": N}`` with ``seq > after``."""
+        return self._request(
+            "GET", f"/v1/events?after={int(after)}&limit={int(limit)}"
+        )
+
+    def slo(self) -> dict[str, Any]:
+        """The ``/v1/slo`` body: burn rates + shadow-audit verdict."""
+        return self._request("GET", "/v1/slo")
 
     def metrics_text(self) -> str:
         """The raw Prometheus exposition from ``/metrics``."""

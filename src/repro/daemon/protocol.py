@@ -99,6 +99,16 @@ class Job:
     error: dict[str, Any] | None = None
     interruptions: int = 0
     fingerprint: str = ""
+    #: Stable request/trace id carried end-to-end (client → journal →
+    #: worker → event log).  Assigned at submission when the client did
+    #: not propagate one.
+    trace_id: str = ""
+    #: The submitting client's own wall clock (unix seconds), when it
+    #: sent one — lets the trace include the client-submit span.
+    client_submitted: float | None = None
+    #: Whether the client asked for span recording; off by default so
+    #: untraced jobs pay nothing.
+    trace: bool = False
     cancel_event: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
@@ -138,6 +148,12 @@ class Job:
             "fingerprint": self.fingerprint,
             "interruptions": self.interruptions,
         }
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
+        if self.client_submitted is not None:
+            record["client_submitted"] = self.client_submitted
+        if self.trace:
+            record["trace"] = True
         if self.started is not None:
             record["started"] = self.started
         if self.finished is not None:
@@ -164,6 +180,9 @@ class Job:
             error=record.get("error"),
             interruptions=int(record.get("interruptions", 0)),
             fingerprint=str(record.get("fingerprint", "")),
+            trace_id=str(record.get("trace_id", "")),
+            client_submitted=record.get("client_submitted"),
+            trace=bool(record.get("trace", False)),
         )
 
     def status_dict(self) -> dict[str, Any]:
@@ -208,3 +227,44 @@ def validate_submission(body: Any) -> tuple[str, str, dict[str, Any]]:
         )
     client = str(body.get("client") or "anonymous")
     return str(kind), client, payload
+
+
+def validate_trace_context(
+    body: dict[str, Any],
+) -> tuple[bool, str, float | None]:
+    """Extract ``(trace, trace_id, client_submitted)`` from a submission.
+
+    All three are optional on the wire: ``trace`` asks the daemon to
+    record worker-side spans for this job, ``trace_id`` propagates a
+    client-generated id (one is minted server-side otherwise), and
+    ``client_submitted`` is the client's wall clock at submission.
+    Malformed values raise the shared structured
+    :class:`~repro.service.jobs.BadRequestError`.
+    """
+    from repro.service.jobs import BadRequestError
+
+    trace = bool(body.get("trace", False))
+    trace_id = body.get("trace_id", "")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise BadRequestError(
+            f"trace_id must be a string, got {type(trace_id).__name__}",
+            field="trace_id",
+            hint="omit it to have the daemon mint one",
+        )
+    trace_id = str(trace_id or "")
+    if len(trace_id) > 64:
+        raise BadRequestError(
+            "trace_id too long (max 64 characters)", field="trace_id"
+        )
+    client_submitted = body.get("client_submitted")
+    if client_submitted is not None and not isinstance(
+        client_submitted, (int, float)
+    ):
+        raise BadRequestError(
+            "client_submitted must be a unix timestamp",
+            field="client_submitted",
+            hint="seconds since the epoch, e.g. time.time()",
+        )
+    return trace, trace_id, (
+        float(client_submitted) if client_submitted is not None else None
+    )

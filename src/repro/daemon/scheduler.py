@@ -19,14 +19,28 @@ Metrics (shared :class:`~repro.service.metrics.ServiceMetrics`):
 ``queue_wait`` and ``job_run`` stage timers feed the p50/p95/p99
 histograms, and counters track submissions, completions, failures,
 cancellations, and checkpoint traffic — all scraped via ``/metrics``.
+
+Observability v2 rides along: when the scheduler is built with an
+:class:`~repro.obs.events.EventLog` it emits one typed event per
+lifecycle transition (dequeue/start/checkpoint/requeue/complete/fail/
+cancel, plus surrogate accept/fallback decisions); an
+:class:`~repro.obs.slo.SLOMonitor` observes every terminal job; and a
+job submitted with ``trace: true`` runs under a per-worker scoped
+tracer (:func:`repro.obs.trace.scoped_tracing`) whose spans — stitched
+with the client-submit and queue-dwell lifecycle edges — are written to
+``<state_dir>/traces/<job_id>.trace.json`` for ``GET
+/v1/jobs/<id>/trace``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
+from contextlib import nullcontext
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.daemon.checkpoint import SweepCheckpoint
 from repro.daemon.protocol import Job, error_body
@@ -36,7 +50,11 @@ from repro.gpu.registry import (
     arch_ids,
     get_arch,
 )
+from repro.obs.context import build_job_trace
+from repro.obs.events import EventLog
 from repro.obs.metrics import nearest_rank
+from repro.obs.slo import SLOMonitor
+from repro.obs.trace import Tracer, scoped_tracing
 from repro.obs.trace import span as trace_span
 from repro.service.engine import ProjectionEngine
 from repro.service.jobs import (
@@ -45,6 +63,9 @@ from repro.service.jobs import (
     project_parsed,
 )
 from repro.surrogate.engine import SERVING_MODES, SurrogateEngine
+
+#: Where per-job Chrome traces land, under the queue's state dir.
+TRACES_DIR = "traces"
 
 
 class JobInterrupted(Exception):
@@ -82,6 +103,8 @@ class Scheduler:
         workers: int = 2,
         base_dir: str | Path | None = None,
         surrogate: SurrogateEngine | None = None,
+        events: EventLog | None = None,
+        slo: SLOMonitor | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -95,8 +118,25 @@ class Scheduler:
         #: Relative skeleton_file paths in payloads resolve against this
         #: (the daemon's working directory by default).
         self._base_dir = Path(base_dir) if base_dir else Path.cwd()
+        self._events = events
+        self._slo = slo
         self._draining = threading.Event()
         self._threads: list[threading.Thread] = []
+
+    def _emit(self, event_type: str, job: Job, **attrs: Any) -> None:
+        """One lifecycle event carrying the job's identity triple."""
+        if self._events is not None:
+            self._events.emit(
+                event_type,
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+                client=job.client,
+                **attrs,
+            )
+
+    def trace_path(self, job_id: str) -> Path:
+        """Where a traced job's Chrome document lands."""
+        return self._queue.state_dir / TRACES_DIR / f"{job_id}.trace.json"
 
     @property
     def draining(self) -> bool:
@@ -146,6 +186,7 @@ class Scheduler:
         for job in self._queue.running():
             self._queue.requeue(job.job_id)
             self._metrics.incr("jobs_requeued")
+            self._emit("requeue", job, reason="shutdown")
         self._engine.close()
         return clean
 
@@ -160,9 +201,53 @@ class Scheduler:
             wait = job.queue_wait()
             if wait is not None:
                 self._metrics.add_time("queue_wait", wait)
+            self._emit(
+                "dequeue",
+                job,
+                kind=job.kind,
+                queue_wait_seconds=wait,
+                interruptions=job.interruptions,
+            )
             self._run_job(job)
 
     def _run_job(self, job: Job) -> None:
+        """Execute one claimed job under its (optional) scoped tracer.
+
+        The tracer is installed on *this worker thread only*
+        (:func:`~repro.obs.trace.scoped_tracing`), so concurrent workers
+        tracing different jobs never leak spans into each other.  The
+        daemon's engine executes serially on the claiming thread
+        (``max_workers=1``), which keeps every engine span on the scoped
+        thread.
+        """
+        self._emit("start", job, kind=job.kind)
+        tracer = Tracer() if job.trace else None
+        scope = scoped_tracing(tracer) if tracer is not None else nullcontext()
+        run_start = time.perf_counter()
+        with scope:
+            outcome, commit = self._run_job_inner(job)
+        if tracer is not None and outcome != "requeued":
+            # Persist the trace *before* the job turns terminal, so a
+            # client that saw a terminal /result can always fetch
+            # /trace without racing the writer.
+            self._write_trace(job, tracer)
+        if self._slo is not None and outcome in ("done", "failed"):
+            # Likewise before the commit: a client that saw the job
+            # terminal must find it in the SLO window already.
+            self._slo.observe_job(
+                time.perf_counter() - run_start, ok=outcome == "done"
+            )
+        commit()
+
+    def _run_job_inner(
+        self, job: Job
+    ) -> tuple[str, Callable[[], None]]:
+        """Execute one job to a verdict; the returned callable commits it.
+
+        The commit (queue state transition + counters + lifecycle
+        event) is deferred so the caller can write the job's trace file
+        first — a terminal job therefore always has its trace on disk.
+        """
         with trace_span(
             "job", category="daemon", job=job.job_id, kind=job.kind
         ):
@@ -170,31 +255,69 @@ class Scheduler:
                 with self._metrics.timer("job_run"):
                     result = self._execute(job)
             except JobInterrupted:
-                self._queue.requeue(job.job_id)
-                self._metrics.incr("jobs_requeued")
-                return
+
+                def requeue() -> None:
+                    self._queue.requeue(job.job_id)
+                    self._metrics.incr("jobs_requeued")
+                    self._emit("requeue", job, reason="drain")
+
+                return "requeued", requeue
             except _Cancelled:
-                self._queue.finish(job.job_id, cancelled=True)
-                self._metrics.incr("jobs_cancelled")
-                return
+                return "cancelled", lambda: self._commit_cancelled(job)
             except BadRequestError as exc:
-                self._queue.finish(job.job_id, error=exc.to_dict())
-                self._metrics.incr("jobs_failed")
-                return
+                return "failed", self._failure_commit(job, exc.to_dict())
             except Exception as exc:  # noqa: BLE001 - job isolation
                 message = str(exc.args[0] if exc.args else exc) or repr(exc)
-                self._queue.finish(
-                    job.job_id,
-                    error=error_body(message.splitlines()[0]),
+                return "failed", self._failure_commit(
+                    job, error_body(message.splitlines()[0])
                 )
-                self._metrics.incr("jobs_failed")
-                return
             if job.cancel_event.is_set():
-                self._queue.finish(job.job_id, cancelled=True)
-                self._metrics.incr("jobs_cancelled")
-                return
-            self._queue.finish(job.job_id, result=result)
-            self._metrics.incr("jobs_completed")
+                return "cancelled", lambda: self._commit_cancelled(job)
+
+            def complete() -> None:
+                self._queue.finish(job.job_id, result=result)
+                self._metrics.incr("jobs_completed")
+                run = None
+                if job.finished is not None and job.started is not None:
+                    run = max(0.0, job.finished - job.started)
+                self._emit("complete", job, kind=job.kind, run_seconds=run)
+
+            return "done", complete
+
+    def _commit_cancelled(self, job: Job) -> None:
+        self._queue.finish(job.job_id, cancelled=True)
+        self._metrics.incr("jobs_cancelled")
+        self._emit("cancel", job)
+
+    def _failure_commit(
+        self, job: Job, body: dict[str, Any]
+    ) -> Callable[[], None]:
+        def fail() -> None:
+            self._queue.finish(job.job_id, error=body)
+            self._metrics.incr("jobs_failed")
+            self._emit("fail", job, error=body.get("error"))
+
+        return fail
+
+    def _write_trace(self, job: Job, tracer: Tracer) -> None:
+        """Assemble and atomically persist one job's Chrome trace."""
+        document = build_job_trace(
+            trace_id=job.trace_id or job.job_id,
+            job_id=job.job_id,
+            tracer=tracer,
+            pid=os.getpid(),
+            submitted=job.submitted,
+            started=job.started,
+            finished=job.finished,
+            client_submitted=job.client_submitted,
+        )
+        path = self.trace_path(job.job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self._metrics.incr("traces_written")
 
     # Execution -------------------------------------------------------------
     def _execute(self, job: Job) -> dict[str, Any]:
@@ -235,6 +358,21 @@ class Scheduler:
             # provenance (mode="exact" falls back with reason
             # "requested" and the bitwise-identical engine record).
             served = self._surrogate.project(parsed[0].request, mode)
+            provenance = served.provenance
+            if provenance.path == "surrogate":
+                self._emit(
+                    "surrogate_accept",
+                    job,
+                    reason=provenance.reason,
+                    confidence=provenance.confidence,
+                )
+            else:
+                self._emit(
+                    "surrogate_fallback",
+                    job,
+                    reason=provenance.reason,
+                    confidence=provenance.confidence,
+                )
             return {"kind": "projection", "record": served.to_dict()}
         (record,) = project_parsed(parsed, self._engine)
         return {"kind": "projection", "record": record.to_dict()}
@@ -281,8 +419,22 @@ class Scheduler:
             self._check_interrupt(job)
             if item.error is not None:
                 raise item.error
-            (record,) = project_parsed([item], self._engine)
+            with self._metrics.timer("sweep_tile"):
+                (record,) = project_parsed([item], self._engine)
             row = record.to_dict()
+            if not row.get("ok"):
+                # A worker exception during tile scoring is isolated
+                # into an error record by project_parsed — surface it in
+                # the per-stage error counters and the event log too,
+                # not just the job's result document.
+                self._metrics.incr("sweep_tile_errors")
+                self._emit(
+                    "fail",
+                    job,
+                    scope="tile",
+                    request_id=row.get("id"),
+                    error=row.get("error"),
+                )
             checkpoint.record(index, row)
             self._metrics.incr("tiles_checkpointed")
             rows.append(row)

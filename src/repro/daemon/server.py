@@ -10,9 +10,16 @@ JSON out; see ``docs/DAEMON.md`` for the full protocol):
 - ``GET /v1/jobs`` / ``GET /v1/jobs/<id>`` — queue listing / one job;
 - ``GET /v1/jobs/<id>/result`` — the result document (409 + current
   state while the job is still pending);
+- ``GET /v1/jobs/<id>/trace`` — the Chrome trace document of a job
+  submitted with ``trace: true`` (409 until terminal);
 - ``POST /v1/jobs/<id>/cancel`` — cancel (queued: immediate; running:
   cooperative);
-- ``GET /v1/status`` — queue depths, worker/limiter config, uptime;
+- ``GET /v1/events?after=N&limit=M`` — the structured event ring
+  (``repro daemon tail`` is the CLI follower);
+- ``GET /v1/slo`` — rolling latency/error burn rates + shadow-audit
+  verdict;
+- ``GET /v1/status`` — queue depths, worker/limiter config, uptime,
+  and the ``health`` field the shadow audit drives;
 - ``GET /v1/version`` — package + protocol version;
 - ``GET /metrics`` — Prometheus text exposition (service counters and
   stage summaries plus live queue gauges);
@@ -32,6 +39,7 @@ import os
 import signal
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Callable
@@ -42,13 +50,18 @@ from repro.daemon.protocol import (
     error_body,
     new_job_id,
     validate_submission,
+    validate_trace_context,
 )
 from repro.daemon.queue import JobQueue
 from repro.daemon.ratelimit import RateLimiter
 from repro.daemon.scheduler import Scheduler
 from repro.gpu.arch import quadro_fx_5600
 from repro.harness.context import ExperimentContext
+from repro.obs.audit import ShadowAuditor
+from repro.obs.context import new_trace_id
+from repro.obs.events import EventLog
 from repro.obs.prometheus import metric_name
+from repro.obs.slo import SLOConfig, SLOMonitor
 from repro.service.cache import ProjectionCache
 from repro.service.engine import ProjectionEngine
 from repro.service.jobs import BadRequestError
@@ -74,6 +87,10 @@ class DaemonApp:
         drain_deadline: float = 10.0,
         use_cache: bool = True,
         surrogate_model: str | Path | None = None,
+        slo: SLOConfig | None = None,
+        audit_rate: float = 0.01,
+        audit_min_agreement: float = 0.9,
+        events_capacity: int = 1024,
     ) -> None:
         self.state_dir = Path(state_dir)
         self.drain_deadline = drain_deadline
@@ -91,7 +108,12 @@ class DaemonApp:
             cache=cache,
             max_workers=1,
         )
+        self.events = EventLog(
+            self.state_dir / "events.jsonl", capacity=events_capacity
+        )
+        self.slo = SLOMonitor(slo)
         self.surrogate: SurrogateEngine | None = None
+        self.auditor: ShadowAuditor | None = None
         if surrogate_model is not None:
             # The fingerprint guard runs at load: a model trained for a
             # different arch/space refuses to start the daemon at all
@@ -100,6 +122,23 @@ class DaemonApp:
                 surrogate_model, self.engine.arch, self.engine.space
             )
             self.surrogate = SurrogateEngine(model, self.engine)
+            if audit_rate > 0:
+                # Shadow audit accepted surrogate answers off the hot
+                # path; the hook fires inside SurrogateEngine.project.
+                self.auditor = ShadowAuditor(
+                    self.engine,
+                    rate=audit_rate,
+                    min_agreement=audit_min_agreement,
+                    events=self.events,
+                )
+                self.surrogate.auditor = self.auditor
+                # Pre-register the audit counters so the series exist
+                # on /metrics from the first scrape, not the first
+                # disagreement.
+                self.engine.metrics.incr("obs_surrogate_audits", 0)
+                self.engine.metrics.incr(
+                    "obs_surrogate_audit_disagreements", 0
+                )
         self.queue = JobQueue(
             self.state_dir, max_running_per_client=max_client_running
         )
@@ -109,15 +148,30 @@ class DaemonApp:
             self.engine,
             workers=workers,
             surrogate=self.surrogate,
+            events=self.events,
+            slo=self.slo,
         )
         if self.queue.recovered_jobs:
             self.engine.metrics.incr(
                 "jobs_recovered", len(self.queue.recovered_jobs)
             )
+            for job_id in self.queue.recovered_jobs:
+                job = self.queue.get(job_id)
+                if job is not None:
+                    self.events.emit(
+                        "requeue",
+                        job_id=job.job_id,
+                        trace_id=job.trace_id,
+                        client=job.client,
+                        reason="recovered",
+                        interruptions=job.interruptions,
+                    )
 
     # Lifecycle ------------------------------------------------------------
     def start(self) -> None:
         self.scheduler.start()
+        if self.auditor is not None:
+            self.auditor.start()
 
     @property
     def draining(self) -> bool:
@@ -126,7 +180,10 @@ class DaemonApp:
     def shutdown(self) -> bool:
         """Stop intake, drain with the deadline, requeue the rest."""
         self._draining.set()
-        return self.scheduler.drain(self.drain_deadline)
+        clean = self.scheduler.drain(self.drain_deadline)
+        if self.auditor is not None:
+            self.auditor.stop()
+        return clean
 
     # Handlers: each returns ``(http_status, body_dict)`` ------------------
     def submit(self, body: Any) -> tuple[int, dict[str, Any]]:
@@ -137,23 +194,48 @@ class DaemonApp:
             )
         try:
             kind, client, payload = validate_submission(body)
+            trace, trace_id, client_submitted = validate_trace_context(
+                body
+            )
         except BadRequestError as exc:
             return 400, exc.to_dict()
         retry_after = self.limiter.check(client)
         if retry_after > 0:
             self.engine.metrics.incr("rate_limited")
+            self.events.emit(
+                "rate_limit",
+                trace_id=trace_id,
+                client=client,
+                retry_after_seconds=retry_after,
+            )
             return 429, self.limiter.rejection(client, retry_after)
-        job = Job(job_id=new_job_id(), kind=kind, payload=payload,
-                  client=client)
+        job = Job(
+            job_id=new_job_id(),
+            kind=kind,
+            payload=payload,
+            client=client,
+            trace_id=trace_id or new_trace_id(),
+            client_submitted=client_submitted,
+            trace=trace,
+        )
         try:
             self.queue.submit(job)
         except RuntimeError as exc:
             return 503, error_body(str(exc))
         self.engine.metrics.incr("jobs_submitted")
+        self.events.emit(
+            "submit",
+            job_id=job.job_id,
+            trace_id=job.trace_id,
+            client=client,
+            kind=kind,
+            traced=trace,
+        )
         return 200, {
             "id": job.job_id,
             "state": job.state,
             "position": self.queue.depth(),
+            "trace_id": job.trace_id,
         }
 
     def job_status(self, job_id: str) -> tuple[int, dict[str, Any]]:
@@ -189,6 +271,64 @@ class DaemonApp:
                 body["error"] = error_body("result document unreadable")
         return 200, body
 
+    def job_trace(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        """The job's Chrome trace document, once it exists."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, error_body(
+                f"unknown job {job_id!r}", field_name="id"
+            )
+        if not job.trace:
+            return 404, error_body(
+                f"job {job_id} was not traced",
+                hint='submit with "trace": true '
+                "(`repro daemon submit --trace`)",
+                id=job_id,
+            )
+        path = self.scheduler.trace_path(job_id)
+        if not path.is_file():
+            return 409, error_body(
+                f"job {job_id} is still {job.state}; no trace yet",
+                hint="poll again once the job is terminal",
+                id=job_id,
+                state=job.state,
+            )
+        try:
+            with open(path, encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return 500, error_body("trace document unreadable")
+        return 200, document
+
+    def events_body(
+        self, after: int = 0, limit: int = 100
+    ) -> tuple[int, dict[str, Any]]:
+        """The ``/v1/events`` body: ring events with ``seq > after``."""
+        events = self.events.tail(limit=limit, after=after)
+        return 200, {
+            "events": [event.to_dict() for event in events],
+            "last_seq": self.events.last_seq,
+        }
+
+    def slo_body(self) -> tuple[int, dict[str, Any]]:
+        """The ``/v1/slo`` body: burn rates + shadow-audit verdict."""
+        body: dict[str, Any] = {
+            "slo": self.slo.snapshot(),
+            "audit": (
+                self.auditor.snapshot()
+                if self.auditor is not None
+                else None
+            ),
+        }
+        body["health"] = self.health()
+        return 200, body
+
+    def health(self) -> str:
+        """``ok`` unless the shadow audit says the surrogate drifted."""
+        if self.auditor is not None and not self.auditor.healthy():
+            return "degraded"
+        return "ok"
+
     def cancel(self, job_id: str) -> tuple[int, dict[str, Any]]:
         try:
             job = self.queue.cancel(job_id)
@@ -205,12 +345,13 @@ class DaemonApp:
 
     def status(self) -> tuple[int, dict[str, Any]]:
         counts = self.queue.counts()
-        return 200, {
+        body: dict[str, Any] = {
             "version": package_version(),
             "protocol": PROTOCOL_VERSION,
             "pid": os.getpid(),
             "uptime_seconds": max(0.0, time.time() - self.started),
             "draining": self.draining,
+            "health": self.health(),
             "workers": self.scheduler.worker_count,
             "surrogate": self.surrogate is not None,
             "rate_limited": self.limiter.enabled,
@@ -219,6 +360,15 @@ class DaemonApp:
             "running": counts["running"],
             "state_dir": str(self.state_dir),
         }
+        if self.auditor is not None:
+            audit = self.auditor.snapshot()
+            body["audit"] = {
+                "agreement": audit["agreement"],
+                "audits": audit["audits"],
+                "disagreements": audit["disagreements"],
+                "healthy": audit["healthy"],
+            }
+        return 200, body
 
     def version(self) -> tuple[int, dict[str, Any]]:
         return 200, {
@@ -227,15 +377,37 @@ class DaemonApp:
         }
 
     def metrics_text(self) -> str:
-        """Service metrics exposition plus live queue gauges."""
+        """Service metrics exposition plus live queue/SLO/audit gauges."""
         text = self.engine.metrics.to_prometheus()
         counts = self.queue.counts()
-        lines = []
-        for raw, value in (
+        slo = self.slo.snapshot()
+        gauges: list[tuple[str, Any]] = [
             ("queue_depth", counts["queued"]),
             ("jobs_running", counts["running"]),
             ("uptime_seconds", max(0.0, time.time() - self.started)),
-        ):
+            ("obs_slo_window_jobs", slo["window_jobs"]),
+            ("obs_slo_error_burn_rate", slo["error_burn_rate"]),
+            ("obs_slo_latency_burn_rate", slo["latency_burn_rate"]),
+            ("obs_events_emitted", self.events.last_seq),
+            ("obs_health_ok", 1 if self.health() == "ok" else 0),
+        ]
+        if self.auditor is not None:
+            audit = self.auditor.snapshot()
+            gauges.append(
+                (
+                    "obs_surrogate_audit_agreement",
+                    # 1.0 until the first audit lands: no evidence of
+                    # drift is healthy, and a NaN would trip the strict
+                    # exposition parser's float round-trip.
+                    1.0 if audit["agreement"] is None
+                    else audit["agreement"],
+                )
+            )
+            gauges.append(
+                ("obs_surrogate_audit_pending", audit["pending"])
+            )
+        lines = []
+        for raw, value in gauges:
             name = metric_name(raw).removesuffix("_total")
             lines.append(f"# HELP {name} Live daemon gauge {raw!r}.")
             lines.append(f"# TYPE {name} gauge")
@@ -280,8 +452,21 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return json.loads(raw)
 
+    @staticmethod
+    def _int_param(
+        query: dict[str, list[str]], name: str, default: int
+    ) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[-1])
+        except ValueError:
+            return default
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.rstrip("/")
+        split = urllib.parse.urlsplit(self.path)
+        path = split.path.rstrip("/")
         if path == "/healthz":
             self._send_json(200, {"ok": True})
         elif path == "/metrics":
@@ -290,6 +475,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(*self.app.version())
         elif path == "/v1/status":
             self._send_json(*self.app.status())
+        elif path == "/v1/slo":
+            self._send_json(*self.app.slo_body())
+        elif path == "/v1/events":
+            query = urllib.parse.parse_qs(split.query)
+            self._send_json(
+                *self.app.events_body(
+                    after=self._int_param(query, "after", 0),
+                    limit=self._int_param(query, "limit", 100),
+                )
+            )
         elif path == "/v1/jobs":
             self._send_json(*self.app.list_jobs())
         elif path.startswith("/v1/jobs/"):
@@ -298,6 +493,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(*self.app.job_status(parts[3]))
             elif len(parts) == 5 and parts[4] == "result":
                 self._send_json(*self.app.job_result(parts[3]))
+            elif len(parts) == 5 and parts[4] == "trace":
+                self._send_json(*self.app.job_trace(parts[3]))
             else:
                 self._send_json(
                     404, error_body(f"no such endpoint {self.path!r}")

@@ -17,9 +17,32 @@ Three concerns, one package (tour in ``docs/OBSERVABILITY.md``):
   latency histograms (p50/p95/p99) behind
   :class:`~repro.service.metrics.ServiceMetrics`, with Prometheus text
   exposition via ``python -m repro metrics --prometheus``.
+
+The v2 layer adds daemon-wide, request-scoped observability:
+
+- **context** (:mod:`repro.obs.context`): trace ids propagated from
+  client to worker, with :func:`~repro.obs.context.build_job_trace`
+  stitching client-submit / queue-dwell lifecycle spans and the
+  worker's scoped spans into one Chrome trace per job;
+- **events** (:mod:`repro.obs.events`): typed lifecycle events in a
+  bounded ring + size-rotated JSONL (``repro daemon tail``);
+- **slo** (:mod:`repro.obs.slo`): rolling-window latency/error burn
+  rates (``/v1/slo``, ``/metrics`` gauges);
+- **audit** (:mod:`repro.obs.audit`): shadow re-scoring of accepted
+  surrogate answers through the exact engine, driving the daemon
+  health field.
 """
 
+from repro.obs.audit import ShadowAuditor
+from repro.obs.context import (
+    TraceContext,
+    build_job_trace,
+    new_trace_id,
+    validate_chrome_trace,
+)
+from repro.obs.events import EVENT_TYPES, Event, EventLog
 from repro.obs.metrics import DEFAULT_QUANTILES, Histogram, nearest_rank
+from repro.obs.slo import SLOConfig, SLOMonitor
 from repro.obs.prometheus import (
     metric_name,
     parse_exposition,
@@ -37,6 +60,8 @@ from repro.obs.trace import (
     Tracer,
     current,
     install,
+    scope_active,
+    scoped_tracing,
     span,
     tracing,
     uninstall,
@@ -45,20 +70,32 @@ from repro.obs.trace import (
 __all__ = [
     "CHROME_EVENT_KEYS",
     "DEFAULT_QUANTILES",
+    "EVENT_TYPES",
+    "Event",
+    "EventLog",
     "Histogram",
     "KernelProvenance",
     "ProjectionProvenance",
+    "SLOConfig",
+    "SLOMonitor",
+    "ShadowAuditor",
+    "TraceContext",
     "TraceSpan",
     "Tracer",
     "TransferProvenance",
+    "build_job_trace",
     "build_provenance",
     "current",
     "install",
     "metric_name",
     "nearest_rank",
+    "new_trace_id",
     "parse_exposition",
     "render_snapshot",
+    "scope_active",
+    "scoped_tracing",
     "span",
     "tracing",
     "uninstall",
+    "validate_chrome_trace",
 ]

@@ -1,0 +1,215 @@
+"""Shadow auditing: re-score a sample of surrogate answers exactly.
+
+The surrogate's calibrated confidence gate was fit offline; nothing in
+serving verifies it stays honest as the query mix drifts.  The
+:class:`ShadowAuditor` closes that loop without touching the hot path:
+
+- :meth:`consider` is called after every **accepted** surrogate answer
+  (the :class:`~repro.surrogate.engine.SurrogateEngine` hook).  It is
+  two integer ops on the non-sampled path; every ``1/rate``-th answer
+  is copied onto a bounded queue (full queue → drop and count, never
+  block serving).
+- A background thread replays sampled requests through the **exact**
+  engine and compares: per-kernel winning-mapping agreement (top-1) and
+  the absolute log-total drift between the surrogate's predicted time
+  and the exact projection.
+- Verdicts land three places: counters on the shared
+  :class:`~repro.service.metrics.ServiceMetrics`
+  (``obs_surrogate_audits`` / ``obs_surrogate_audit_disagreements``),
+  optional ``audit`` events on the daemon's event log, and a rolling
+  agreement window that drives :meth:`healthy` — the daemon's
+  ``/v1/status`` health field flips to ``degraded`` when live agreement
+  drops below ``min_agreement``.
+
+Sampling is deterministic (a counter, not a PRNG): every Nth accepted
+answer is audited, so tests and replays see the same sample.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.obs.events import EventLog
+    from repro.service.engine import ProjectionEngine, ProjectionRequest
+    from repro.service.metrics import ServiceMetrics
+    from repro.surrogate.engine import SurrogateResponse
+
+#: Sentinel telling the audit thread to exit.
+_STOP = object()
+
+
+class ShadowAuditor:
+    """Samples accepted surrogate answers and re-scores them exactly."""
+
+    def __init__(
+        self,
+        exact: "ProjectionEngine",
+        rate: float = 0.01,
+        min_agreement: float = 0.9,
+        min_samples: int = 5,
+        window: int = 256,
+        max_pending: int = 64,
+        metrics: "ServiceMetrics | None" = None,
+        events: "EventLog | None" = None,
+    ) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        if not 0.0 < min_agreement <= 1.0:
+            raise ValueError(
+                f"min_agreement must be in (0, 1], got {min_agreement}"
+            )
+        self._exact = exact
+        self.rate = rate
+        self.min_agreement = min_agreement
+        #: Health stays "ok" until at least this many audits landed —
+        #: one early disagreement should not page anyone.
+        self.min_samples = max(1, min_samples)
+        #: Every Nth accepted answer is sampled.
+        self._every = max(1, round(1.0 / rate))
+        self._metrics = metrics if metrics is not None else exact.metrics
+        self._events = events
+        self._lock = threading.Lock()
+        self._considered = 0
+        self._dropped = 0
+        self._audits = 0
+        self._disagreements = 0
+        self._drift_sum = 0.0
+        #: Rolling (agreed, abs log drift) verdicts driving health.
+        self._window: list[bool] = []
+        self._window_size = max(1, window)
+        self._pending: queue.Queue = queue.Queue(maxsize=max(1, max_pending))
+        self._thread: threading.Thread | None = None
+
+    # Lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background audit thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._worker, name="repro-shadow-audit", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain the pending queue and join the audit thread."""
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            return
+        self._pending.put(_STOP)
+        thread.join(timeout)
+
+    # Hot-path hook --------------------------------------------------------
+    def consider(
+        self, request: "ProjectionRequest", response: "SurrogateResponse"
+    ) -> bool:
+        """Maybe sample one accepted answer; returns True when sampled.
+
+        Cheap by construction: a counter increment and a modulo on the
+        common path, one non-blocking enqueue on the sampled path.
+        """
+        with self._lock:
+            self._considered += 1
+            sampled = self._considered % self._every == 0
+        if not sampled:
+            return False
+        try:
+            self._pending.put_nowait((request, response))
+        except queue.Full:
+            with self._lock:
+                self._dropped += 1
+            self._metrics.incr("obs_audit_dropped")
+            return False
+        return True
+
+    # Audit work -----------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._pending.get()
+            if item is _STOP:
+                return
+            request, response = item
+            try:
+                self._audit_one(request, response)
+            except Exception:  # noqa: BLE001 - audits never kill serving
+                self._metrics.incr("obs_audit_errors")
+
+    def _audit_one(
+        self, request: "ProjectionRequest", response: "SurrogateResponse"
+    ) -> None:
+        exact = self._exact.project(request)
+        surrogate_labels = dict(response.estimate.mappings)
+        exact_labels = {
+            kernel.name: kernel.best_mapping
+            for kernel in exact.summary.kernels
+        }
+        agreed = surrogate_labels == exact_labels
+        drift = abs(
+            math.log(max(response.total_seconds, 1e-30))
+            - math.log(max(exact.total_seconds, 1e-30))
+        )
+        with self._lock:
+            self._audits += 1
+            self._drift_sum += drift
+            if not agreed:
+                self._disagreements += 1
+            self._window.append(agreed)
+            if len(self._window) > self._window_size:
+                del self._window[0]
+        self._metrics.incr("obs_surrogate_audits")
+        if not agreed:
+            self._metrics.incr("obs_surrogate_audit_disagreements")
+        if self._events is not None:
+            self._events.emit(
+                "audit",
+                job_id=str(response.request_id or ""),
+                agreed=agreed,
+                abs_log_drift=drift,
+                confidence=response.confidence,
+            )
+
+    # Views ----------------------------------------------------------------
+    def agreement(self) -> float | None:
+        """Rolling top-1 agreement over the verdict window."""
+        with self._lock:
+            if not self._window:
+                return None
+            return sum(self._window) / len(self._window)
+
+    def healthy(self) -> bool:
+        """False once enough audits landed and agreement fell below bar."""
+        with self._lock:
+            if self._audits < self.min_samples or not self._window:
+                return True
+            agreement = sum(self._window) / len(self._window)
+        return agreement >= self.min_agreement
+
+    def pending(self) -> int:
+        return self._pending.qsize()
+
+    def snapshot(self) -> dict[str, Any]:
+        """The audit block of ``/v1/slo`` and ``/v1/status``."""
+        with self._lock:
+            audits = self._audits
+            snapshot: dict[str, Any] = {
+                "rate": self.rate,
+                "min_agreement": self.min_agreement,
+                "considered": self._considered,
+                "audits": audits,
+                "disagreements": self._disagreements,
+                "dropped": self._dropped,
+                "pending": self._pending.qsize(),
+                "agreement": (
+                    sum(self._window) / len(self._window)
+                    if self._window
+                    else None
+                ),
+                "mean_abs_log_drift": (
+                    self._drift_sum / audits if audits else None
+                ),
+            }
+        snapshot["healthy"] = self.healthy()
+        return snapshot

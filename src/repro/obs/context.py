@@ -1,0 +1,177 @@
+"""Request-scoped trace context, propagated across process boundaries.
+
+A :class:`TraceContext` is the tiny record a client attaches to a
+daemon submission — a stable ``trace_id`` plus the client's own
+submission wall-clock — that lets spans recorded in *different places*
+(the client's process, the daemon's HTTP front end, the worker thread
+that eventually runs the job) stitch into one Chrome/Perfetto trace.
+
+The stitching trick: in-process spans
+(:class:`~repro.obs.trace.Tracer`) are timed against a
+``perf_counter`` epoch whose wall-clock instant the tracer records
+(``Tracer.wall_epoch``), while cross-process lifecycle edges (client
+submit, queue dwell) exist only as wall-clock job timestamps.
+:func:`build_job_trace` rebases both onto absolute unix microseconds,
+synthesizing ``client-submit`` and ``queue-dwell`` spans from the job
+record and tagging every event with the ``trace_id``, so the exported
+document reads as one nested timeline:
+
+    client-submit → queue-dwell → job → project → search → ...
+
+Everything here is stdlib-only and allocation-light; nothing runs
+unless a job asked to be traced.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.trace import CHROME_EVENT_KEYS, Tracer
+
+#: Category given to the synthesized cross-process lifecycle spans.
+LIFECYCLE_CATEGORY = "lifecycle"
+
+#: The synthetic tid lifecycle spans render under (a dedicated lane
+#: above the worker-thread lanes in Chrome/Perfetto).
+LIFECYCLE_TID = 0
+
+
+def new_trace_id() -> str:
+    """A globally unique, URL-safe trace id."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a client propagates with a request to join its trace."""
+
+    trace_id: str
+    #: The client's wall clock at submission (unix seconds); lets the
+    #: daemon synthesize the client-submit span even though the two
+    #: processes never shared a perf_counter epoch.
+    client_submitted: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"trace_id": self.trace_id}
+        if self.client_submitted is not None:
+            record["client_submitted"] = self.client_submitted
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict[str, Any]) -> "TraceContext":
+        submitted = record.get("client_submitted")
+        return cls(
+            trace_id=str(record["trace_id"]),
+            client_submitted=(
+                float(submitted) if submitted is not None else None
+            ),
+        )
+
+
+def lifecycle_event(
+    name: str,
+    start_wall: float,
+    end_wall: float,
+    trace_id: str,
+    pid: int,
+    **args: Any,
+) -> dict[str, Any]:
+    """One synthetic complete event over a wall-clock interval."""
+    return {
+        "name": name,
+        "cat": LIFECYCLE_CATEGORY,
+        "ph": "X",
+        "ts": start_wall * 1e6,
+        "dur": max(0.0, end_wall - start_wall) * 1e6,
+        "pid": pid,
+        "tid": LIFECYCLE_TID,
+        "args": {"trace_id": trace_id, **args},
+    }
+
+
+def build_job_trace(
+    *,
+    trace_id: str,
+    job_id: str,
+    tracer: Tracer,
+    pid: int,
+    submitted: float,
+    started: float | None = None,
+    finished: float | None = None,
+    client_submitted: float | None = None,
+) -> dict[str, Any]:
+    """Assemble one job's Chrome trace document.
+
+    Combines the worker-side spans the job's scoped tracer recorded
+    (rebased from perf_counter-relative to absolute wall microseconds
+    via ``tracer.wall_epoch``) with synthetic lifecycle spans derived
+    from the job record's wall-clock timestamps:
+
+    - ``client-submit``: the client's submission instant to the
+      daemon's accept (only when the client sent its clock);
+    - ``queue-dwell``: daemon accept to worker claim.
+
+    Every event's ``args`` carries the ``trace_id``, so multi-job trace
+    files concatenate without ambiguity.
+    """
+    events: list[dict[str, Any]] = []
+    if client_submitted is not None:
+        events.append(
+            lifecycle_event(
+                "client-submit",
+                client_submitted,
+                submitted,
+                trace_id,
+                pid,
+                job=job_id,
+            )
+        )
+    if started is not None:
+        events.append(
+            lifecycle_event(
+                "queue-dwell", submitted, started, trace_id, pid,
+                job=job_id,
+            )
+        )
+    epoch_us = tracer.wall_epoch * 1e6
+    for span in tracer.spans():
+        event = span.to_chrome_event(pid)
+        event["ts"] += epoch_us
+        event["args"]["trace_id"] = trace_id
+        events.append(event)
+    events.sort(key=lambda event: event["ts"])
+    document: dict[str, Any] = {
+        "displayTimeUnit": "ms",
+        "trace_id": trace_id,
+        "job_id": job_id,
+        "traceEvents": events,
+    }
+    if finished is not None:
+        document["finished"] = finished
+    return document
+
+
+def validate_chrome_trace(document: dict[str, Any]) -> int:
+    """Sanity-check a trace document; returns its event count.
+
+    Raises ``ValueError`` on a malformed document — used by tests and
+    the CI ``obs-e2e`` job so "the endpoint returned JSON" never passes
+    for "the endpoint returned a loadable trace".
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace document has no traceEvents")
+    trace_id = document.get("trace_id")
+    for event in events:
+        for key in CHROME_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"event missing {key!r}: {event}")
+        if event["ph"] != "X":
+            raise ValueError(f"unexpected phase {event['ph']!r}")
+        if trace_id and event.get("args", {}).get("trace_id") != trace_id:
+            raise ValueError(
+                f"event trace_id mismatch in {event['name']!r}"
+            )
+    return len(events)

@@ -1,0 +1,132 @@
+"""Rolling-window SLO monitors: latency and error burn rates.
+
+The histograms in :class:`~repro.service.metrics.ServiceMetrics` answer
+"what have latencies looked like over the last N samples"; an SLO
+question is different — "over the last *five minutes*, what fraction of
+jobs missed the objective, and how fast is that eating the error
+budget?"  :class:`SLOMonitor` keeps exact per-job observations
+``(wall time, run seconds, ok)`` in a time-pruned deque and derives:
+
+- ``error_rate`` / ``error_burn_rate``: failed-job fraction over the
+  window, divided by the budgeted failure fraction.  Burn rate 1.0
+  means the budget is being consumed exactly as provisioned; 2.0 means
+  twice as fast (the window will exhaust a month's budget in half a
+  month); anything sustained above 1.0 deserves a page.
+- ``slow_rate`` / ``latency_burn_rate``: same arithmetic over jobs
+  slower than ``latency_target_seconds`` against the
+  ``1 - latency_objective`` slow-job allowance.
+
+The monitor is O(jobs-in-window) memory, lock-guarded, and fed one call
+per finished job — nowhere near any hot path.  ``/v1/slo`` serves the
+snapshot; ``/metrics`` exports the burn rates as gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.metrics import nearest_rank
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The objectives a daemon is held to."""
+
+    #: Sliding window the rates are computed over.
+    window_seconds: float = 300.0
+    #: A job slower than this is "slow" for the latency objective.
+    latency_target_seconds: float = 5.0
+    #: Fraction of jobs that must finish under the target.
+    latency_objective: float = 0.95
+    #: Budgeted failed-job fraction.
+    error_budget: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.latency_target_seconds <= 0:
+            raise ValueError("latency_target_seconds must be positive")
+        if not 0.0 < self.latency_objective < 1.0:
+            raise ValueError("latency_objective must be in (0, 1)")
+        if not 0.0 < self.error_budget < 1.0:
+            raise ValueError("error_budget must be in (0, 1)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window_seconds": self.window_seconds,
+            "latency_target_seconds": self.latency_target_seconds,
+            "latency_objective": self.latency_objective,
+            "error_budget": self.error_budget,
+        }
+
+
+class SLOMonitor:
+    """Exact rolling-window burn rates over per-job observations."""
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (observed wall time, run seconds, ok) — pruned by wall time.
+        self._observations: deque[tuple[float, float, bool]] = deque()
+
+    def observe_job(self, seconds: float, ok: bool = True) -> None:
+        """Record one finished job's run time and outcome."""
+        now = self._clock()
+        with self._lock:
+            self._observations.append((now, max(0.0, seconds), ok))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.config.window_seconds
+        observations = self._observations
+        while observations and observations[0][0] < horizon:
+            observations.popleft()
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``/v1/slo`` body: rates, burn rates, percentiles, verdict."""
+        config = self.config
+        with self._lock:
+            self._prune(self._clock())
+            rows = list(self._observations)
+        jobs = len(rows)
+        errors = sum(1 for _, _, ok in rows if not ok)
+        durations = [seconds for _, seconds, _ in rows]
+        slow = sum(
+            1
+            for seconds in durations
+            if seconds > config.latency_target_seconds
+        )
+        error_rate = errors / jobs if jobs else 0.0
+        slow_rate = slow / jobs if jobs else 0.0
+        error_burn = error_rate / config.error_budget
+        latency_burn = slow_rate / (1.0 - config.latency_objective)
+        snapshot: dict[str, Any] = {
+            "config": config.to_dict(),
+            "window_jobs": jobs,
+            "errors": errors,
+            "error_rate": error_rate,
+            "error_burn_rate": error_burn,
+            "slow_jobs": slow,
+            "slow_rate": slow_rate,
+            "latency_burn_rate": latency_burn,
+            "ok": error_burn <= 1.0 and latency_burn <= 1.0,
+        }
+        for quantile in (0.5, 0.95, 0.99):
+            key = f"p{int(quantile * 100)}_seconds"
+            snapshot[key] = (
+                nearest_rank(durations, quantile) if durations else None
+            )
+        return snapshot
+
+    def healthy(self) -> bool:
+        """True while both burn rates are within budget."""
+        return bool(self.snapshot()["ok"])

@@ -16,6 +16,15 @@ read and one identity check per instrumentation point, which is what
 keeps the overhead bound in
 ``benchmarks/bench_explorer_throughput.py`` comfortably under 2%.
 
+On top of the process-wide ambient tracer there is a **thread-scoped**
+layer (:func:`scoped_tracing`) for concurrent per-request tracing: the
+daemon's workers each install a per-job tracer on their own thread, so
+four jobs running at once record four disjoint traces with no
+cross-request span leakage.  The scope check is guarded by a global
+counter (``_scopes_active``) so the fully-disabled path stays the same
+two instructions; threads only pay the thread-local lookup while at
+least one scope exists anywhere in the process.
+
 Exports:
 
 - :meth:`Tracer.to_jsonl` / :meth:`Tracer.write_jsonl` — one JSON object
@@ -139,6 +148,12 @@ class Tracer:
         self._stack = threading.local()
         self._next_id = 0
         self._epoch = time.perf_counter()
+        #: Wall-clock instant of the perf_counter epoch: span ``start``
+        #: values are relative to it, so ``wall_epoch + span.start`` is
+        #: the span's absolute unix time.  Used to stitch in-process
+        #: spans together with cross-process lifecycle timestamps (the
+        #: daemon's client-submit / queue-dwell synthetic spans).
+        self.wall_epoch = time.time()
 
     # Recording -----------------------------------------------------------
     @contextmanager
@@ -225,10 +240,31 @@ class Tracer:
 # The ambient tracer ------------------------------------------------------
 _active: Tracer | None = None
 
+# The thread-scoped layer: a per-thread tracer that takes precedence
+# over the ambient one.  ``_scopes_active`` counts live scopes across
+# the whole process so the common no-scope case never touches the
+# thread-local (one extra global read on the disabled path).
+_scope = threading.local()
+_scopes_active = 0
+_scope_lock = threading.Lock()
+
 
 def current() -> Tracer | None:
-    """The installed tracer, or None when tracing is disabled."""
+    """The effective tracer for this thread, or None when disabled.
+
+    A thread-scoped tracer (:func:`scoped_tracing`) wins over the
+    process-wide ambient one.
+    """
+    if _scopes_active:
+        scoped = getattr(_scope, "tracer", None)
+        if scoped is not None:
+            return scoped
     return _active
+
+
+def scope_active() -> bool:
+    """True when any thread in the process holds a scoped tracer."""
+    return bool(_scopes_active)
 
 
 def install(tracer: Tracer) -> None:
@@ -263,14 +299,47 @@ def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
         _active = previous
 
 
+@contextmanager
+def scoped_tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install a tracer for this thread only, for the block's duration.
+
+    Unlike :func:`tracing` (process-wide), a scoped tracer is visible
+    solely to spans opened on the installing thread — the daemon's
+    workers each trace their own job concurrently without leaking spans
+    into each other's traces.  Scopes nest: the previous thread-scoped
+    tracer (usually None) is restored on exit.
+    """
+    global _scopes_active
+    if tracer is None:
+        tracer = Tracer()
+    previous = getattr(_scope, "tracer", None)
+    _scope.tracer = tracer
+    with _scope_lock:
+        _scopes_active += 1
+    try:
+        yield tracer
+    finally:
+        with _scope_lock:
+            _scopes_active -= 1
+        _scope.tracer = previous
+
+
 def span(name: str, category: str = "projection", **attrs: Any):
-    """Record a span on the ambient tracer — a shared no-op without one.
+    """Record a span on the effective tracer — a shared no-op without one.
 
     This is the function the pipeline's instrumentation points call; the
-    disabled cost is one global read, one comparison, and the kwargs
-    dict the caller built.
+    disabled cost is two global reads, one comparison, and the kwargs
+    dict the caller built.  The thread-local scope is consulted only
+    while at least one :func:`scoped_tracing` block is live anywhere in
+    the process, and a thread's scoped tracer wins over the ambient one.
     """
-    tracer = _active
+    if _scopes_active:
+        # Not ``scoped or _active``: a tracer with no spans yet is falsy
+        # (``__len__`` == 0) and would be silently skipped.
+        scoped = getattr(_scope, "tracer", None)
+        tracer = scoped if scoped is not None else _active
+    else:
+        tracer = _active
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, category, **attrs)

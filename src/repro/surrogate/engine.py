@@ -41,6 +41,7 @@ import numpy as np
 from repro.datausage.analyzer import analyze_transfers
 from repro.gpu.arch import GPUArchitecture
 from repro.obs.provenance import ServingProvenance
+from repro.obs.trace import span
 from repro.service.engine import (
     ProjectionEngine,
     ProjectionRequest,
@@ -179,6 +180,10 @@ class SurrogateEngine:
         self.exact = exact
         self.mode = mode
         self.metrics = exact.metrics
+        #: Optional shadow auditor (``repro.obs.audit.ShadowAuditor``):
+        #: when set, every accepted surrogate answer is offered for
+        #: off-hot-path exact re-scoring via ``auditor.consider``.
+        self.auditor: Any = None
         configs = exact.space.configs()
         self._labels = tuple(config.label() for config in configs)
         #: (id(program), id(hints), batched) -> _Prepared; strong refs
@@ -291,6 +296,19 @@ class SurrogateEngine:
                 f"unknown serving mode {mode!r}: expected one of "
                 f"{', '.join(SERVING_MODES)}"
             )
+        with span(
+            "serve", category="surrogate", request=request.request_id
+        ) as handle:
+            response = self._project(request, mode, start)
+            handle.set(
+                path=response.provenance.path,
+                reason=response.provenance.reason,
+            )
+        return response
+
+    def _project(
+        self, request: ProjectionRequest, mode: str, start: float
+    ) -> SurrogateResponse:
         if mode == "exact":
             return self._fallback(request, "requested", None, start)
         if self.exact.provenance_enabled and mode == "auto":
@@ -318,7 +336,7 @@ class SurrogateEngine:
             + bus.d2h.beta * prepared.d2h_bytes
         )
         self.metrics.incr("surrogate_hits")
-        return SurrogateResponse(
+        response = SurrogateResponse(
             request_id=request.request_id,
             provenance=ServingProvenance(
                 path="surrogate",
@@ -336,6 +354,11 @@ class SurrogateEngine:
                 log_band=self.model.conformal_log_band,
             ),
         )
+        if self.auditor is not None:
+            # Two integer ops on the non-sampled path; sampled answers
+            # are re-scored exactly on the audit thread, off this one.
+            self.auditor.consider(request, response)
+        return response
 
     def project_many(
         self,

@@ -189,3 +189,101 @@ class TestBatchSummaryParity:
         assert "ok 1, errors 0" in out
         assert "cache hits 0/1" in out
         assert "p95 per-request" in out
+
+
+class TestObsVerbs:
+    def test_traced_submit_then_trace_verb(self, live_daemon, tmp_path):
+        code, out, _ = run_cli(
+            "daemon", "submit", "--url", live_daemon.url,
+            "--workload", "VectorAdd", "--dataset", "4M",
+            "--trace", "--wait",
+        )
+        assert code == 0
+        assert "submitted traced projection job" in out
+        job_id = out.split("job ")[1].split()[0]
+
+        trace_file = tmp_path / "job.trace.json"
+        code, out, _ = run_cli(
+            "daemon", "trace", "--url", live_daemon.url, job_id,
+            "-o", str(trace_file),
+        )
+        assert code == 0
+        assert str(trace_file) in out
+        from repro.obs.context import validate_chrome_trace
+
+        document = json.loads(trace_file.read_text())
+        assert validate_chrome_trace(document) >= 3
+        assert document["job_id"] == job_id
+
+    def test_trace_verb_prints_json_to_stdout(self, live_daemon):
+        code, out, _ = run_cli(
+            "daemon", "submit", "--url", live_daemon.url,
+            "--workload", "VectorAdd", "--dataset", "4M",
+            "--trace", "--wait",
+        )
+        job_id = out.split("job ")[1].split()[0]
+        code, out, _ = run_cli(
+            "daemon", "trace", "--url", live_daemon.url, job_id
+        )
+        assert code == 0
+        assert json.loads(out)["job_id"] == job_id
+
+    def test_trace_of_untraced_job_is_a_structured_error(
+        self, live_daemon
+    ):
+        code, out, _ = run_cli(
+            "daemon", "submit", "--url", live_daemon.url,
+            "--workload", "VectorAdd", "--dataset", "4M", "--wait",
+        )
+        job_id = out.split("job ")[1].split()[0]
+        code, _, err = run_cli(
+            "daemon", "trace", "--url", live_daemon.url, job_id
+        )
+        assert code == 2
+        assert "not traced" in err
+        assert "hint" in err
+
+    def test_tail_human_and_json(self, live_daemon):
+        code, out, _ = run_cli(
+            "daemon", "submit", "--url", live_daemon.url,
+            "--workload", "VectorAdd", "--dataset", "4M", "--wait",
+        )
+        assert code == 0
+        job_id = out.split("job ")[1].split()[0]
+
+        code, out, _ = run_cli(
+            "daemon", "tail", "--url", live_daemon.url, "-n", "50"
+        )
+        assert code == 0
+        assert "submit" in out
+        assert "complete" in out
+        assert f"job={job_id}" in out
+
+        code, out, _ = run_cli(
+            "daemon", "tail", "--url", live_daemon.url,
+            "-n", "50", "--json",
+        )
+        assert code == 0
+        events = [json.loads(line) for line in out.splitlines()]
+        types = [event["type"] for event in events]
+        for expected in ("submit", "dequeue", "start", "complete"):
+            assert expected in types
+        assert all("seq" in event and "at" in event for event in events)
+
+    def test_status_json_matches_the_http_body(self, live_daemon):
+        code, out, _ = run_cli(
+            "daemon", "status", "--url", live_daemon.url, "--json"
+        )
+        assert code == 0
+        body = json.loads(out)
+        assert body["health"] == "ok"
+        assert body["workers"] == 2
+        assert "queue" in body
+        assert isinstance(body["jobs"], list)
+
+    def test_status_table_shows_health(self, live_daemon):
+        code, out, _ = run_cli(
+            "daemon", "status", "--url", live_daemon.url
+        )
+        assert code == 0
+        assert "health ok" in out

@@ -1,0 +1,211 @@
+"""Shadow auditor: deterministic sampling, verdicts, health, backpressure.
+
+These tests drive the auditor with small fakes (an exact "engine" whose
+answer we control, surrogate responses whose mappings we control) so
+every agreement/disagreement verdict is deterministic; the end-to-end
+auditor-inside-a-daemon path lives in ``tests/daemon/test_obs.py``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.audit import ShadowAuditor
+from repro.obs.events import EventLog
+from repro.service.metrics import ServiceMetrics
+
+
+def fake_exact(labels, total_seconds=1.0):
+    """An 'exact engine' returning fixed winning mappings."""
+    kernels = [
+        SimpleNamespace(name=name, best_mapping=label)
+        for name, label in labels.items()
+    ]
+    response = SimpleNamespace(
+        summary=SimpleNamespace(kernels=kernels),
+        total_seconds=total_seconds,
+    )
+    return SimpleNamespace(
+        project=lambda request: response, metrics=ServiceMetrics()
+    )
+
+
+def fake_response(labels, total_seconds=1.0, request_id="r1"):
+    """A surrogate response whose estimate carries fixed mappings."""
+    return SimpleNamespace(
+        request_id=request_id,
+        confidence=0.9,
+        total_seconds=total_seconds,
+        estimate=SimpleNamespace(mappings=tuple(labels.items())),
+    )
+
+
+LABELS = {"kernel_a": "tiled-16", "kernel_b": "coalesced"}
+
+
+def drain(auditor):
+    """Process everything queued, synchronously."""
+    auditor.start()
+    auditor.stop()
+
+
+class TestSampling:
+    def test_every_nth_answer_is_sampled_deterministically(self):
+        auditor = ShadowAuditor(fake_exact(LABELS), rate=0.5)
+        verdicts = [
+            auditor.consider(None, fake_response(LABELS))
+            for _ in range(6)
+        ]
+        # rate 0.5 -> every 2nd considered answer, counter-based.
+        assert verdicts == [False, True, False, True, False, True]
+        assert auditor.snapshot()["considered"] == 6
+
+    def test_rate_one_samples_everything(self):
+        auditor = ShadowAuditor(fake_exact(LABELS), rate=1.0)
+        assert auditor.consider(None, fake_response(LABELS))
+        assert auditor.pending() == 1
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowAuditor(fake_exact(LABELS), rate=0.0)
+        with pytest.raises(ValueError):
+            ShadowAuditor(fake_exact(LABELS), rate=1.5)
+
+
+class TestVerdicts:
+    def test_agreement_when_mappings_match(self):
+        metrics = ServiceMetrics()
+        auditor = ShadowAuditor(
+            fake_exact(LABELS), rate=1.0, metrics=metrics
+        )
+        for _ in range(3):
+            auditor.consider(None, fake_response(LABELS))
+        drain(auditor)
+        snapshot = auditor.snapshot()
+        assert snapshot["audits"] == 3
+        assert snapshot["disagreements"] == 0
+        assert snapshot["agreement"] == 1.0
+        assert metrics.snapshot()["counters"]["obs_surrogate_audits"] == 3
+
+    def test_disagreement_counted_and_emitted(self):
+        metrics = ServiceMetrics()
+        events = EventLog()
+        auditor = ShadowAuditor(
+            fake_exact(LABELS),
+            rate=1.0,
+            metrics=metrics,
+            events=events,
+        )
+        wrong = dict(LABELS, kernel_a="naive")
+        auditor.consider(None, fake_response(wrong))
+        drain(auditor)
+        snapshot = auditor.snapshot()
+        assert snapshot["disagreements"] == 1
+        assert snapshot["agreement"] == 0.0
+        counters = metrics.snapshot()["counters"]
+        assert counters["obs_surrogate_audit_disagreements"] == 1
+        (event,) = events.tail(types=("audit",))
+        assert event.attrs["agreed"] is False
+        assert event.attrs["abs_log_drift"] >= 0.0
+
+    def test_drift_is_abs_log_ratio(self):
+        auditor = ShadowAuditor(
+            fake_exact(LABELS, total_seconds=1.0), rate=1.0
+        )
+        import math
+
+        auditor.consider(
+            None, fake_response(LABELS, total_seconds=math.e)
+        )
+        drain(auditor)
+        assert auditor.snapshot()["mean_abs_log_drift"] == pytest.approx(
+            1.0, rel=1e-6
+        )
+
+
+class TestHealth:
+    def test_healthy_until_min_samples(self):
+        auditor = ShadowAuditor(
+            fake_exact(LABELS),
+            rate=1.0,
+            min_agreement=0.9,
+            min_samples=5,
+        )
+        wrong = dict(LABELS, kernel_a="naive")
+        for _ in range(4):
+            auditor.consider(None, fake_response(wrong))
+        drain(auditor)
+        # Four unanimous disagreements, but below the sample floor.
+        assert auditor.healthy()
+
+    def test_flips_once_agreement_falls_below_the_bar(self):
+        auditor = ShadowAuditor(
+            fake_exact(LABELS),
+            rate=1.0,
+            min_agreement=0.9,
+            min_samples=5,
+        )
+        wrong = dict(LABELS, kernel_a="naive")
+        for index in range(10):
+            labels = LABELS if index % 2 else wrong
+            auditor.consider(None, fake_response(labels))
+        drain(auditor)
+        assert auditor.agreement() == pytest.approx(0.5)
+        assert not auditor.healthy()
+        assert auditor.snapshot()["healthy"] is False
+
+    def test_recovers_as_the_window_rolls(self):
+        auditor = ShadowAuditor(
+            fake_exact(LABELS),
+            rate=1.0,
+            min_agreement=0.9,
+            min_samples=5,
+            window=8,
+            max_pending=64,
+        )
+        wrong = dict(LABELS, kernel_a="naive")
+        for _ in range(8):
+            auditor.consider(None, fake_response(wrong))
+        drain(auditor)
+        assert not auditor.healthy()
+        for _ in range(8):
+            auditor.consider(None, fake_response(LABELS))
+        drain(auditor)
+        assert auditor.agreement() == 1.0
+        assert auditor.healthy()
+
+
+class TestBackpressure:
+    def test_full_queue_drops_and_counts_instead_of_blocking(self):
+        metrics = ServiceMetrics()
+        auditor = ShadowAuditor(
+            fake_exact(LABELS), rate=1.0, max_pending=1, metrics=metrics
+        )
+        assert auditor.consider(None, fake_response(LABELS))
+        # The thread is not running, so the second sample finds the
+        # queue full — it must drop, never block the serving path.
+        assert not auditor.consider(None, fake_response(LABELS))
+        snapshot = auditor.snapshot()
+        assert snapshot["dropped"] == 1
+        assert metrics.snapshot()["counters"]["obs_audit_dropped"] == 1
+
+    def test_audit_errors_never_escape(self):
+        metrics = ServiceMetrics()
+        exploding = SimpleNamespace(
+            project=lambda request: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            ),
+            metrics=metrics,
+        )
+        auditor = ShadowAuditor(exploding, rate=1.0, metrics=metrics)
+        auditor.consider(None, fake_response(LABELS))
+        drain(auditor)
+        assert metrics.snapshot()["counters"]["obs_audit_errors"] == 1
+        assert auditor.snapshot()["audits"] == 0
+
+    def test_stop_is_idempotent(self):
+        auditor = ShadowAuditor(fake_exact(LABELS), rate=1.0)
+        auditor.start()
+        auditor.start()  # second start is a no-op
+        auditor.stop()
+        auditor.stop()

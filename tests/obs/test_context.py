@@ -1,0 +1,162 @@
+"""Trace-context propagation and cross-process trace stitching."""
+
+import pytest
+
+from repro.obs.context import (
+    TraceContext,
+    build_job_trace,
+    lifecycle_event,
+    new_trace_id,
+    validate_chrome_trace,
+)
+from repro.obs.trace import Tracer
+
+
+class TestTraceContext:
+    def test_new_trace_ids_are_unique_and_short_enough(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(tid) <= 64 for tid in ids)
+
+    def test_round_trip(self):
+        context = TraceContext(trace_id="abc123", client_submitted=17.5)
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    def test_client_submitted_is_optional_on_the_wire(self):
+        context = TraceContext(trace_id="abc123")
+        record = context.to_dict()
+        assert "client_submitted" not in record
+        assert TraceContext.from_dict(record) == context
+
+
+class TestLifecycleEvent:
+    def test_is_a_complete_event_in_microseconds(self):
+        event = lifecycle_event("queue-dwell", 10.0, 10.5, "t1", 42)
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(10.0 * 1e6)
+        assert event["dur"] == pytest.approx(0.5 * 1e6)
+        assert event["pid"] == 42
+        assert event["args"]["trace_id"] == "t1"
+
+    def test_negative_interval_clamps_to_zero_duration(self):
+        # Client and daemon clocks may disagree; a skewed client clock
+        # must not produce a negative-duration span.
+        event = lifecycle_event("client-submit", 11.0, 10.0, "t1", 1)
+        assert event["dur"] == 0.0
+
+
+class TestBuildJobTrace:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("job", category="daemon"):
+            with tracer.span("project"):
+                pass
+        return tracer
+
+    def test_stitches_lifecycle_and_worker_spans(self):
+        tracer = self._traced()
+        document = build_job_trace(
+            trace_id="tid1",
+            job_id="job1",
+            tracer=tracer,
+            pid=7,
+            submitted=tracer.wall_epoch - 0.2,
+            started=tracer.wall_epoch,
+            finished=tracer.wall_epoch + 1.0,
+            client_submitted=tracer.wall_epoch - 0.5,
+        )
+        names = [event["name"] for event in document["traceEvents"]]
+        assert names[:2] == ["client-submit", "queue-dwell"]
+        assert "job" in names and "project" in names
+        assert document["trace_id"] == "tid1"
+        assert document["job_id"] == "job1"
+        assert validate_chrome_trace(document) == 4
+
+    def test_events_sorted_by_absolute_timestamp(self):
+        tracer = self._traced()
+        document = build_job_trace(
+            trace_id="tid1",
+            job_id="job1",
+            tracer=tracer,
+            pid=7,
+            submitted=tracer.wall_epoch - 0.2,
+            started=tracer.wall_epoch - 0.1,
+            client_submitted=tracer.wall_epoch - 0.5,
+        )
+        stamps = [event["ts"] for event in document["traceEvents"]]
+        assert stamps == sorted(stamps)
+
+    def test_every_event_tagged_with_the_trace_id(self):
+        tracer = self._traced()
+        document = build_job_trace(
+            trace_id="tid9",
+            job_id="job9",
+            tracer=tracer,
+            pid=7,
+            submitted=tracer.wall_epoch,
+        )
+        assert all(
+            event["args"]["trace_id"] == "tid9"
+            for event in document["traceEvents"]
+        )
+
+    def test_worker_spans_rebased_to_wall_clock(self):
+        tracer = self._traced()
+        document = build_job_trace(
+            trace_id="t",
+            job_id="j",
+            tracer=tracer,
+            pid=7,
+            submitted=tracer.wall_epoch,
+        )
+        job = next(
+            event
+            for event in document["traceEvents"]
+            if event["name"] == "job"
+        )
+        # Span timestamps become absolute unix microseconds.
+        assert job["ts"] >= tracer.wall_epoch * 1e6
+
+    def test_nesting_survives_the_rebase(self):
+        tracer = self._traced()
+        document = build_job_trace(
+            trace_id="t",
+            job_id="j",
+            tracer=tracer,
+            pid=7,
+            submitted=tracer.wall_epoch,
+        )
+        by_name = {
+            event["name"]: event for event in document["traceEvents"]
+        }
+        assert (
+            by_name["project"]["args"]["parent_id"]
+            == by_name["job"]["args"]["span_id"]
+        )
+
+
+class TestValidateChromeTrace:
+    def test_rejects_empty_documents(self):
+        with pytest.raises(ValueError, match="no traceEvents"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X"}]}
+            )
+
+    def test_rejects_trace_id_mismatch(self):
+        tracer = Tracer()
+        with tracer.span("job"):
+            pass
+        document = build_job_trace(
+            trace_id="right",
+            job_id="j",
+            tracer=tracer,
+            pid=1,
+            submitted=tracer.wall_epoch,
+        )
+        document["trace_id"] = "wrong"
+        with pytest.raises(ValueError, match="mismatch"):
+            validate_chrome_trace(document)

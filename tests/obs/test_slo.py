@@ -1,0 +1,126 @@
+"""SLO monitors: burn-rate arithmetic, window pruning, verdicts."""
+
+import pytest
+
+from repro.obs.slo import SLOConfig, SLOMonitor
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        config = SLOConfig()
+        assert config.window_seconds == 300.0
+        assert config.to_dict()["error_budget"] == 0.01
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_seconds": 0},
+            {"latency_target_seconds": -1},
+            {"latency_objective": 1.0},
+            {"error_budget": 0.0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOConfig(**kwargs)
+
+
+class TestBurnRates:
+    def _monitor(self, **kwargs):
+        clock = FakeClock()
+        config = SLOConfig(
+            window_seconds=100.0,
+            latency_target_seconds=1.0,
+            latency_objective=0.9,
+            error_budget=0.1,
+            **kwargs,
+        )
+        return SLOMonitor(config, clock=clock), clock
+
+    def test_error_burn_of_exactly_one_at_budget(self):
+        monitor, _ = self._monitor()
+        for index in range(10):
+            monitor.observe_job(0.1, ok=index != 0)  # 1/10 errors
+        snapshot = monitor.snapshot()
+        assert snapshot["error_rate"] == pytest.approx(0.1)
+        assert snapshot["error_burn_rate"] == pytest.approx(1.0)
+        assert snapshot["ok"] is True
+        assert monitor.healthy()
+
+    def test_error_burn_above_one_flips_the_verdict(self):
+        monitor, _ = self._monitor()
+        for index in range(10):
+            monitor.observe_job(0.1, ok=index >= 3)  # 3/10 errors
+        snapshot = monitor.snapshot()
+        assert snapshot["error_burn_rate"] == pytest.approx(3.0)
+        assert snapshot["ok"] is False
+        assert not monitor.healthy()
+
+    def test_latency_burn_counts_slow_jobs(self):
+        monitor, _ = self._monitor()
+        # 2/10 slower than the 1 s target against a 10% allowance.
+        for index in range(10):
+            monitor.observe_job(2.0 if index < 2 else 0.1)
+        snapshot = monitor.snapshot()
+        assert snapshot["slow_jobs"] == 2
+        assert snapshot["slow_rate"] == pytest.approx(0.2)
+        assert snapshot["latency_burn_rate"] == pytest.approx(2.0)
+        assert snapshot["ok"] is False
+
+    def test_empty_window_is_healthy(self):
+        monitor, _ = self._monitor()
+        snapshot = monitor.snapshot()
+        assert snapshot["window_jobs"] == 0
+        assert snapshot["error_burn_rate"] == 0.0
+        assert snapshot["p95_seconds"] is None
+        assert snapshot["ok"] is True
+
+
+class TestWindowPruning:
+    def test_old_observations_age_out(self):
+        clock = FakeClock()
+        monitor = SLOMonitor(
+            SLOConfig(window_seconds=100.0), clock=clock
+        )
+        monitor.observe_job(0.1, ok=False)
+        assert monitor.snapshot()["errors"] == 1
+        clock.now += 101.0
+        snapshot = monitor.snapshot()
+        assert snapshot["window_jobs"] == 0
+        assert snapshot["errors"] == 0
+
+    def test_burn_recovers_as_errors_age_out(self):
+        clock = FakeClock()
+        monitor = SLOMonitor(
+            SLOConfig(window_seconds=100.0, error_budget=0.1),
+            clock=clock,
+        )
+        monitor.observe_job(0.1, ok=False)
+        clock.now += 50.0
+        for _ in range(9):
+            monitor.observe_job(0.1)
+        assert monitor.snapshot()["error_burn_rate"] == pytest.approx(1.0)
+        clock.now += 51.0  # the error falls off; the 9 good jobs remain
+        assert monitor.snapshot()["error_burn_rate"] == 0.0
+        assert monitor.healthy()
+
+
+class TestPercentiles:
+    def test_nearest_rank_percentiles(self):
+        monitor = SLOMonitor(
+            SLOConfig(window_seconds=1e6), clock=FakeClock()
+        )
+        for value in range(1, 101):
+            monitor.observe_job(value / 100.0)
+        snapshot = monitor.snapshot()
+        assert snapshot["p50_seconds"] == pytest.approx(0.50)
+        assert snapshot["p95_seconds"] == pytest.approx(0.95)
+        assert snapshot["p99_seconds"] == pytest.approx(0.99)

@@ -181,3 +181,125 @@ class TestAmbientTracing:
             assert current() is outer
         assert len(inner) == 1
         assert len(outer) == 0
+
+
+class TestScopedTracing:
+    """The thread-scoped layer the daemon's workers trace jobs under."""
+
+    def test_scoped_tracer_captures_spans(self):
+        from repro.obs.trace import scoped_tracing
+
+        with scoped_tracing() as tracer:
+            with span("job", category="daemon"):
+                with span("project"):
+                    pass
+        names = {s.name for s in tracer.spans()}
+        assert names == {"job", "project"}
+
+    def test_fresh_empty_tracer_is_not_skipped(self):
+        # Regression: a Tracer with zero spans is falsy (__len__ == 0);
+        # the scope lookup must use an identity check, not truthiness,
+        # or the very first span of every scoped job is lost.
+        from repro.obs.trace import scoped_tracing
+
+        tracer = Tracer()
+        assert not tracer  # the trap this test pins down
+        with scoped_tracing(tracer):
+            with span("first"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["first"]
+
+    def test_scope_wins_over_ambient(self):
+        from repro.obs.trace import scoped_tracing
+
+        ambient = Tracer()
+        with tracing(ambient):
+            with scoped_tracing() as scoped:
+                with span("routed"):
+                    pass
+            with span("ambient-again"):
+                pass
+        assert [s.name for s in scoped.spans()] == ["routed"]
+        assert [s.name for s in ambient.spans()] == ["ambient-again"]
+
+    def test_scope_is_invisible_to_other_threads(self):
+        from repro.obs.trace import scoped_tracing
+
+        ready = threading.Event()
+        release = threading.Event()
+        scoped = Tracer()
+        other = Tracer()
+
+        def scoped_worker():
+            with scoped_tracing(scoped):
+                ready.set()
+                release.wait(5)
+                with span("scoped-span"):
+                    pass
+
+        def other_worker():
+            ready.wait(5)
+            # A live scope elsewhere must not leak here: with no
+            # ambient tracer this span is a no-op.
+            with span("unscoped-span"):
+                pass
+            with scoped_tracing(other):
+                with span("other-span"):
+                    pass
+            release.set()
+
+        threads = [
+            threading.Thread(target=scoped_worker),
+            threading.Thread(target=other_worker),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert [s.name for s in scoped.spans()] == ["scoped-span"]
+        assert [s.name for s in other.spans()] == ["other-span"]
+
+    def test_concurrent_scopes_record_disjoint_traces(self):
+        from repro.obs.trace import scoped_tracing
+
+        tracers = [Tracer() for _ in range(4)]
+        barrier = threading.Barrier(4)
+
+        def worker(index):
+            with scoped_tracing(tracers[index]):
+                barrier.wait(5)
+                with span("job", job=index):
+                    with span("inner", job=index):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        for index, tracer in enumerate(tracers):
+            spans = tracer.spans()
+            assert len(spans) == 2
+            assert all(s.attrs["job"] == index for s in spans)
+
+    def test_scopes_nest_and_restore(self):
+        from repro.obs.trace import scope_active, scoped_tracing
+
+        assert not scope_active()
+        with scoped_tracing() as outer:
+            assert scope_active()
+            with scoped_tracing() as inner:
+                with span("deep"):
+                    pass
+            with span("shallow"):
+                pass
+        assert not scope_active()
+        assert [s.name for s in inner.spans()] == ["deep"]
+        assert [s.name for s in outer.spans()] == ["shallow"]
+
+    def test_disabled_path_stays_null_span(self):
+        from repro.obs.trace import _NULL_SPAN
+
+        assert span("anything") is _NULL_SPAN

@@ -508,6 +508,19 @@ class TestMetricsCommand:
         assert code == 2
         assert "unknown workload" in err
 
+    def test_json_flag_is_the_explicit_default(self):
+        code, out = run_cli("metrics", "--json")
+        assert code == 0
+        snap = json.loads(out)
+        assert snap["counters"]["requests"] >= 2
+
+    def test_json_and_prometheus_are_mutually_exclusive(self):
+        code, _, err = run_cli_split(
+            "metrics", "--json", "--prometheus"
+        )
+        assert code == 2
+        assert "mutually exclusive" in err
+
 
 class TestCacheHitRates:
     def test_batch_and_cache_stats_report_hit_rates(self, tmp_path):
